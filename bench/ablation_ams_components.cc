@@ -1,0 +1,116 @@
+// Component ablation of the AMS design choices called out in DESIGN.md:
+//   full        — the complete model;
+//   no-slg      — supervised LR generation disabled (lambda_slg = 0);
+//   no-assembly — model assembly disabled (gamma = 1);
+//   no-gat      — master without any GNN (node transform -> generator);
+//   gcn-master  — GAT replaced by a plain GCN (mean aggregation);
+//   anchor-only — the anchored LR by itself (gamma = 0 equivalent is the
+//                 learned beta_c; this row is the pure Eq. 5 ridge).
+// Reported as mean BA / SR over the transaction-amount CV folds.
+//
+// Usage: ablation_ams_components [--seed=42]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/cv.h"
+#include "data/generator.h"
+#include "models/ams_regressor.h"
+#include "models/baselines.h"
+
+using namespace ams;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  core::AmsConfig config;
+  bool anchor_only = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = GetFlagU64(argc, argv, "seed", 42);
+  auto panel_result = data::GenerateMarket(data::GeneratorConfig::Defaults(
+      data::DatasetProfile::kTransactionAmount, seed));
+  panel_result.status().Abort("generate");
+  const data::Panel& panel = panel_result.ValueOrDie();
+  auto folds_result = data::TimeSeriesCvFolds(
+      panel.num_quarters, data::DefaultCvOptions(panel.profile));
+  folds_result.status().Abort("folds");
+  const auto& folds = folds_result.ValueOrDie();
+
+  std::vector<Variant> variants;
+  variants.push_back({"full", core::AmsConfig{}, false});
+  {
+    core::AmsConfig config;
+    config.lambda_slg = 0.0;
+    variants.push_back({"no-slg", config, false});
+  }
+  {
+    core::AmsConfig config;
+    config.gamma = 1.0;
+    variants.push_back({"no-assembly", config, false});
+  }
+  {
+    core::AmsConfig config;
+    config.use_gat = false;
+    variants.push_back({"no-gat", config, false});
+  }
+  {
+    core::AmsConfig config;
+    config.gnn_kind = core::AmsConfig::GnnKind::kGcn;
+    variants.push_back({"gcn-master", config, false});
+  }
+  variants.push_back({"anchor-only", core::AmsConfig{}, true});
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Variant", "BA(%)", "SR"});
+  for (const Variant& variant : variants) {
+    double ba_sum = 0.0;
+    double sr_sum = 0.0;
+    for (const auto& fold : folds) {
+      data::FeatureBuilder builder(&panel, data::FeatureOptions{});
+      auto train = builder.Build(fold.train_quarters).MoveValue();
+      auto valid = builder.Build({fold.valid_quarter}).MoveValue();
+      auto test = builder.Build({fold.test_quarter}).MoveValue();
+      const data::Standardizer standardizer = data::Standardizer::Fit(train);
+      standardizer.Apply(&train);
+      standardizer.Apply(&valid);
+      standardizer.Apply(&test);
+
+      models::FitContext context;
+      context.train = &train;
+      context.valid = &valid;
+      context.panel = &panel;
+      context.last_train_quarter = fold.valid_quarter - 1;
+      context.seed = seed;
+
+      std::vector<double> pred;
+      if (variant.anchor_only) {
+        linear::LinearOptions options;
+        options.alpha = variant.config.anchored_alpha;
+        options.l1_ratio = 0.0;
+        models::LinearRegressor anchor("anchor", options);
+        anchor.Fit(context).Abort("anchor fit");
+        pred = anchor.PredictNorm(test).MoveValue();
+      } else {
+        models::AmsRegressor model(variant.config, /*graph_top_k=*/5,
+                                   /*ensemble_size=*/2);
+        model.Fit(context).Abort("ablation fit");
+        pred = model.PredictNorm(test).MoveValue();
+      }
+      auto eval = metrics::Evaluate(test, pred);
+      eval.status().Abort("evaluate");
+      ba_sum += eval.ValueOrDie().ba;
+      sr_sum += eval.ValueOrDie().sr;
+    }
+    rows.push_back({variant.name,
+                    FormatDouble(ba_sum / folds.size(), 3),
+                    FormatDouble(sr_sum / folds.size(), 4)});
+  }
+  std::printf(
+      "AMS component ablation — transaction amount dataset, %zu CV folds\n%s\n",
+      folds.size(), RenderTable(rows).c_str());
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared driver for the backtest benches (Tables IV/V, Figures 6/7): runs
+// the cross-validation experiment, replays every model's predictions through
+// the market simulator, and returns per-model backtest results.
+#ifndef AMS_BENCH_BACKTEST_COMMON_H_
+#define AMS_BENCH_BACKTEST_COMMON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "backtest/backtest.h"
+#include "bench/bench_util.h"
+
+namespace ams::bench {
+
+struct BacktestRun {
+  models::ExperimentResult experiment;
+  std::vector<std::pair<std::string, backtest::BacktestResult>> results;
+};
+
+/// Runs the experiment for `profile` and backtests every learned model
+/// (ARIMA/QoQ/YoY are excluded, matching the paper's Table IV/V roster).
+inline BacktestRun RunBacktests(data::DatasetProfile profile, int argc,
+                                char** argv) {
+  models::ExperimentConfig config =
+      ParseExperimentFlags(argc, argv, profile);
+  config.model_filter = models::LearnedModelNames();
+  auto result = models::RunExperimentCached(config);
+  result.status().Abort("experiment");
+
+  BacktestRun run;
+  run.experiment = result.MoveValue();
+
+  backtest::BacktestConfig bt_config;
+  bt_config.seed = config.seed;
+  backtest::Backtester backtester(&run.experiment.panel, bt_config);
+
+  for (const models::ModelOutcome& model : run.experiment.models) {
+    std::vector<backtest::QuarterPositions> quarters;
+    for (size_t f = 0; f < model.folds.size(); ++f) {
+      backtest::QuarterPositions positions;
+      positions.test_quarter = model.folds[f].test_quarter;
+      positions.predicted_ur = model.folds[f].predicted_ur;
+      positions.meta = run.experiment.fold_test_meta[f];
+      quarters.push_back(std::move(positions));
+    }
+    auto bt = backtester.Run(quarters);
+    bt.status().Abort("backtest");
+    run.results.emplace_back(model.name, bt.MoveValue());
+  }
+  return run;
+}
+
+/// Prints the Table IV/V rows: Earning, MDD, Sharpe vs AMS, AER vs AMS.
+inline void PrintBacktestTable(const BacktestRun& run, const char* title) {
+  const backtest::BacktestResult* ams_result = nullptr;
+  for (const auto& [name, result] : run.results) {
+    if (name == "AMS") ams_result = &result;
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Model", "Earning(%)", "MDD(%)", "Sharpe Ratio", "AER(%)"});
+  for (const auto& [name, result] : run.results) {
+    std::vector<std::string> row = {name,
+                                    FormatDouble(result.earning_pct, 4),
+                                    FormatDouble(result.mdd_pct, 4)};
+    if (name == "AMS" || ams_result == nullptr) {
+      row.push_back("-");
+      row.push_back("-");
+    } else {
+      auto sharpe = backtest::SharpeVsReference(result.daily_returns,
+                                                ams_result->daily_returns);
+      auto aer = backtest::AverageExcessReturn(
+          result.quarter_returns_pct, ams_result->quarter_returns_pct);
+      row.push_back(sharpe.ok() ? FormatDouble(sharpe.ValueOrDie(), 4)
+                                : "n/a");
+      row.push_back(aer.ok() ? FormatDouble(aer.ValueOrDie(), 4) : "n/a");
+    }
+    rows.push_back(row);
+  }
+  std::printf("%s\n%s\n", title, RenderTable(rows).c_str());
+}
+
+/// Prints the Fig. 6/7 series: one asset-curve column per model.
+inline void PrintAssetCurves(const BacktestRun& run, const char* title) {
+  std::printf("%s\n", title);
+  std::printf("day");
+  for (const auto& [name, result] : run.results) {
+    (void)result;
+    std::printf(",%s", name.c_str());
+  }
+  std::printf("\n");
+  const size_t days = run.results.front().second.asset_curve.size();
+  for (size_t d = 0; d < days; ++d) {
+    std::printf("%zu", d);
+    for (const auto& [name, result] : run.results) {
+      (void)name;
+      std::printf(",%.6f", result.asset_curve[d]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace ams::bench
+
+#endif  // AMS_BENCH_BACKTEST_COMMON_H_

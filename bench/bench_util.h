@@ -1,0 +1,35 @@
+// Shared helpers for the table/figure benches.
+#ifndef AMS_BENCH_BENCH_UTIL_H_
+#define AMS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "la/stats.h"
+#include "models/experiment.h"
+#include "util/string_util.h"
+
+namespace ams::bench {
+
+/// Parses the common bench flags into an ExperimentConfig.
+inline models::ExperimentConfig ParseExperimentFlags(
+    int argc, char** argv, data::DatasetProfile profile) {
+  models::ExperimentConfig config;
+  config.profile = profile;
+  config.seed = GetFlagU64(argc, argv, "seed", 42);
+  config.hpo_trials = GetFlagInt(argc, argv, "trials", 4);
+  config.verbose = GetFlag(argc, argv, "verbose", "") == "1";
+  return config;
+}
+
+/// Two-sided paired t-test p-value between a model's per-fold metric values
+/// and a reference model's; "<1e-4" formatting like the paper's tables.
+inline std::string FormatPValue(double p) {
+  if (p < 1e-4) return "<1e-4";
+  return FormatDouble(p, 4);
+}
+
+}  // namespace ams::bench
+
+#endif  // AMS_BENCH_BENCH_UTIL_H_

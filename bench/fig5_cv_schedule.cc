@@ -1,0 +1,29 @@
+// Reproduces Fig. 5: the time-series cross-validation layout for both
+// datasets (which quarters are train/validation/test at each step).
+//
+// Usage: fig5_cv_schedule [--seed=42]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/cv.h"
+#include "data/generator.h"
+
+using namespace ams;
+
+int main(int argc, char** argv) {
+  const uint64_t seed = GetFlagU64(argc, argv, "seed", 42);
+  for (data::DatasetProfile profile :
+       {data::DatasetProfile::kTransactionAmount,
+        data::DatasetProfile::kMapQuery}) {
+    auto panel = data::GenerateMarket(
+        data::GeneratorConfig::Defaults(profile, seed));
+    panel.status().Abort("generate");
+    auto folds = data::TimeSeriesCvFolds(
+        panel.ValueOrDie().num_quarters, data::DefaultCvOptions(profile));
+    folds.status().Abort("folds");
+    std::printf("Fig. 5 — time-series cross-validation schedule\n%s\n",
+                data::DescribeFolds(panel.ValueOrDie(), folds.ValueOrDie())
+                    .c_str());
+  }
+  return 0;
+}

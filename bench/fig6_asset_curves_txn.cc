@@ -1,0 +1,13 @@
+// Reproduces Fig. 6: daily asset curves of every model's strategy on the
+// transaction-amount dataset (CSV series to stdout; paper plots the same).
+//
+// Usage: fig6_asset_curves_txn [--seed=42] [--trials=N]
+#include "bench/backtest_common.h"
+
+int main(int argc, char** argv) {
+  auto run = ams::bench::RunBacktests(
+      ams::data::DatasetProfile::kTransactionAmount, argc, argv);
+  ams::bench::PrintAssetCurves(
+      run, "Fig. 6 — strategy asset curves, transaction amount dataset");
+  return 0;
+}

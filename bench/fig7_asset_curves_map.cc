@@ -1,0 +1,13 @@
+// Reproduces Fig. 7: daily asset curves of every model's strategy on the
+// map-query dataset (CSV series to stdout).
+//
+// Usage: fig7_asset_curves_map [--seed=42] [--trials=N]
+#include "bench/backtest_common.h"
+
+int main(int argc, char** argv) {
+  auto run = ams::bench::RunBacktests(ams::data::DatasetProfile::kMapQuery,
+                                      argc, argv);
+  ams::bench::PrintAssetCurves(
+      run, "Fig. 7 — strategy asset curves, map query dataset");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Google-Benchmark microbenchmarks of the substrates: dense matmul, one
+// autograd training step, a GAT forward/backward, GBDT fitting, correlation-
+// graph construction, ARIMA order search and market generation.
+#include <benchmark/benchmark.h>
+
+#include "data/generator.h"
+#include "gbdt/gbdt.h"
+#include "gnn/gat.h"
+#include "graph/company_graph.h"
+#include "la/matrix.h"
+#include "nn/dense.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+#include "ts/arima.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ams;
+
+la::Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  la::Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal();
+  }
+  return m;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  la::Matrix a = RandomMatrix(n, n, &rng);
+  la::Matrix b = RandomMatrix(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AutogradStep(benchmark::State& state) {
+  const int batch = 512;
+  const int features = 48;
+  Rng rng(2);
+  nn::Mlp mlp(features, {64, 32}, 1, nn::Activation::kRelu, &rng);
+  tensor::Tensor x = tensor::Tensor::Constant(RandomMatrix(batch, features, &rng));
+  tensor::Tensor y = tensor::Tensor::Constant(RandomMatrix(batch, 1, &rng));
+  optim::Adam adam(mlp.Parameters(), 1e-3);
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    tensor::Tensor loss = tensor::MseLoss(mlp.Forward(x), y);
+    tensor::Backward(loss);
+    adam.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_AutogradStep);
+
+void BM_GatForwardBackward(benchmark::State& state) {
+  const int nodes = 71;
+  const int features = 48;
+  Rng rng(3);
+  gnn::GatConfig config;
+  gnn::GatNetwork gat(features, config, &rng);
+  tensor::Tensor x = tensor::Tensor::Constant(RandomMatrix(nodes, features, &rng));
+  la::Matrix mask(nodes, nodes, 0.0);
+  for (int i = 0; i < nodes; ++i) {
+    mask(i, i) = 1.0;
+    for (int k = 1; k <= 5; ++k) mask(i, (i + k) % nodes) = 1.0;
+  }
+  for (auto _ : state) {
+    tensor::Tensor out = gat.Forward(x, mask);
+    tensor::Tensor loss = tensor::Mean(tensor::SumSquares(out));
+    tensor::Backward(loss);
+    for (auto& p : gat.Parameters()) p.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_GatForwardBackward);
+
+void BM_GbdtFit(benchmark::State& state) {
+  const int n = 512;
+  const int p = 48;
+  Rng rng(4);
+  la::Matrix x = RandomMatrix(n, p, &rng);
+  la::Matrix y(n, 1);
+  for (int r = 0; r < n; ++r) y(r, 0) = x(r, 0) * 0.5 + rng.Normal() * 0.1;
+  gbdt::GbdtOptions options;
+  options.num_rounds = 50;
+  for (auto _ : state) {
+    gbdt::GbdtRegressor booster(options);
+    benchmark::DoNotOptimize(booster.Fit(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GbdtFit);
+
+void BM_CorrelationGraph(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<double>> histories(71);
+  for (auto& h : histories) {
+    h.resize(16);
+    for (double& v : h) v = 100.0 + rng.Normal() * 10.0;
+  }
+  graph::CorrelationGraphOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::CompanyGraph::BuildFromRevenue(histories, options));
+  }
+}
+BENCHMARK(BM_CorrelationGraph);
+
+void BM_ArimaFitAuto(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> series(15);
+  double level = 100.0;
+  for (double& v : series) {
+    level *= 1.0 + rng.Normal(0.02, 0.05);
+    v = level;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::ArimaModel::FitAuto(series));
+  }
+}
+BENCHMARK(BM_ArimaFitAuto);
+
+void BM_GenerateMarket(benchmark::State& state) {
+  auto config = data::GeneratorConfig::Defaults(
+      data::DatasetProfile::kTransactionAmount, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::GenerateMarket(config));
+  }
+}
+BENCHMARK(BM_GenerateMarket);
+
+}  // namespace
+
+BENCHMARK_MAIN();

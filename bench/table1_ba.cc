@@ -1,0 +1,70 @@
+// Reproduces Table I: Bounded Accuracy (BA, %) of AMS and all baselines on
+// both alternative datasets, with paired t-test p-values vs AMS on the
+// transaction-amount cross-validation folds.
+//
+// Usage: table1_ba [--seed=42] [--trials=N] [--profile=txn|map|both]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ams;
+
+namespace {
+
+void RunProfile(data::DatasetProfile profile, int argc, char** argv) {
+  models::ExperimentConfig config =
+      bench::ParseExperimentFlags(argc, argv, profile);
+  auto result = models::RunExperimentCached(config);
+  result.status().Abort("experiment");
+  const models::ExperimentResult& experiment = result.ValueOrDie();
+
+  const models::ModelOutcome* ams_outcome = experiment.Find("AMS");
+  const bool per_fold_columns = experiment.cv_folds.size() <= 2;
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"Model", "BA"};
+  if (!per_fold_columns) {
+    header.push_back("P-value");
+  } else {
+    for (const auto& fold : experiment.cv_folds) {
+      header.push_back(
+          "BA(" + experiment.panel.QuarterAt(fold.test_quarter).ToString() +
+          ")");
+    }
+  }
+  rows.push_back(header);
+  for (const models::ModelOutcome& model : experiment.models) {
+    std::vector<std::string> row = {model.name,
+                                    FormatDouble(model.MeanBa(), 3)};
+    if (!per_fold_columns) {
+      if (model.name == "AMS" || ams_outcome == nullptr) {
+        row.push_back("-");
+      } else {
+        auto ttest = la::PairedTTest(ams_outcome->FoldBas(), model.FoldBas());
+        row.push_back(ttest.ok()
+                          ? bench::FormatPValue(ttest.ValueOrDie().p_value)
+                          : "n/a");
+      }
+    } else {
+      for (const auto& fold : model.folds) {
+        row.push_back(FormatDouble(fold.eval.ba, 3));
+      }
+    }
+    rows.push_back(row);
+  }
+  std::printf("Table I — BA (Bounded Accuracy, %%) on the %s dataset\n%s\n",
+              data::DatasetProfileName(profile), RenderTable(rows).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string profile = GetFlag(argc, argv, "profile", "both");
+  if (profile == "txn" || profile == "both") {
+    RunProfile(data::DatasetProfile::kTransactionAmount, argc, argv);
+  }
+  if (profile == "map" || profile == "both") {
+    RunProfile(data::DatasetProfile::kMapQuery, argc, argv);
+  }
+  return 0;
+}

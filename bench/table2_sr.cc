@@ -1,0 +1,68 @@
+// Reproduces Table II: Surprise Ratio (SR) of AMS and all baselines on both
+// datasets, with a paired t-test of each model's per-fold SR against the
+// analysts' consensus (SR == 1) on the transaction-amount folds.
+//
+// Usage: table2_sr [--seed=42] [--trials=N] [--profile=txn|map|both]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ams;
+
+namespace {
+
+void RunProfile(data::DatasetProfile profile, int argc, char** argv) {
+  models::ExperimentConfig config =
+      bench::ParseExperimentFlags(argc, argv, profile);
+  auto result = models::RunExperimentCached(config);
+  result.status().Abort("experiment");
+  const models::ExperimentResult& experiment = result.ValueOrDie();
+
+  const bool per_fold_columns = experiment.cv_folds.size() <= 2;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"Model", "SR"};
+  if (!per_fold_columns) {
+    header.push_back("P-value");
+  } else {
+    for (const auto& fold : experiment.cv_folds) {
+      header.push_back(
+          "SR(" + experiment.panel.QuarterAt(fold.test_quarter).ToString() +
+          ")");
+    }
+  }
+  rows.push_back(header);
+  for (const models::ModelOutcome& model : experiment.models) {
+    std::vector<std::string> row = {model.name,
+                                    FormatDouble(model.MeanSr(), 4)};
+    if (!per_fold_columns) {
+      // One-sample t-test of per-fold SR against the consensus (SR = 1).
+      auto ttest = la::OneSampleTTest(model.FoldSrs(), 1.0);
+      row.push_back(ttest.ok()
+                        ? bench::FormatPValue(ttest.ValueOrDie().p_value)
+                        : "n/a");
+    } else {
+      for (const auto& fold : model.folds) {
+        row.push_back(FormatDouble(fold.eval.sr, 4));
+      }
+    }
+    rows.push_back(row);
+  }
+  std::printf(
+      "Table II — SR (Surprise Ratio) on the %s dataset\n"
+      "(SR < 1: the model's revenue forecast beats the analysts' consensus)\n"
+      "%s\n",
+      data::DatasetProfileName(profile), RenderTable(rows).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string profile = GetFlag(argc, argv, "profile", "both");
+  if (profile == "txn" || profile == "both") {
+    RunProfile(data::DatasetProfile::kTransactionAmount, argc, argv);
+  }
+  if (profile == "map" || profile == "both") {
+    RunProfile(data::DatasetProfile::kMapQuery, argc, argv);
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces Table V: long/short backtest on the map-query dataset over the
+// test quarters (paper: 2018q1-2018q2).
+//
+// Usage: table5_backtest_map [--seed=42] [--trials=N]
+#include "bench/backtest_common.h"
+
+int main(int argc, char** argv) {
+  auto run = ams::bench::RunBacktests(ams::data::DatasetProfile::kMapQuery,
+                                      argc, argv);
+  ams::bench::PrintBacktestTable(
+      run,
+      "Table V — backtest 2018q1-2018q2, map query dataset\n"
+      "(Sharpe/AER are measured against AMS; negative means no excess return"
+      " over AMS)");
+  return 0;
+}

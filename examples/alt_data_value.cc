@@ -1,0 +1,52 @@
+// Alternative-data value example (the Table III story in miniature): train
+// the same Ridge model with and without the alternative-data features on
+// identical folds and show the BA/SR degradation when the alt signal is
+// removed.
+//
+// Usage: alt_data_value [--seed=42]
+#include <cstdio>
+
+#include "models/experiment.h"
+#include "util/string_util.h"
+
+using namespace ams;
+
+int main(int argc, char** argv) {
+  const uint64_t seed = GetFlagU64(argc, argv, "seed", 42);
+  for (data::DatasetProfile profile :
+       {data::DatasetProfile::kTransactionAmount,
+        data::DatasetProfile::kMapQuery}) {
+    auto panel = data::GenerateMarket(
+                     data::GeneratorConfig::Defaults(profile, seed))
+                     .MoveValue();
+    models::ExperimentConfig config;
+    config.profile = profile;
+    config.seed = seed;
+    config.hpo_trials = 4;
+    config.model_filter = {"Ridge"};
+
+    config.include_alt = true;
+    auto with_alt = models::RunExperimentOnPanel(panel, config);
+    with_alt.status().Abort("with alt");
+    config.include_alt = false;
+    auto without_alt = models::RunExperimentOnPanel(panel, config);
+    without_alt.status().Abort("without alt");
+
+    const auto* base = with_alt.ValueOrDie().Find("Ridge");
+    const auto* na = without_alt.ValueOrDie().Find("Ridge");
+    std::printf(
+        "%s dataset (Ridge, %zu CV folds):\n"
+        "  with alternative data:    BA = %6.2f%%  SR = %.4f\n"
+        "  without alternative data: BA = %6.2f%%  SR = %.4f\n"
+        "  -> alt data is worth %+.2f BA points / %+.4f SR\n\n",
+        data::DatasetProfileName(profile),
+        with_alt.ValueOrDie().cv_folds.size(), base->MeanBa(),
+        base->MeanSr(), na->MeanBa(), na->MeanSr(),
+        base->MeanBa() - na->MeanBa(), na->MeanSr() - base->MeanSr());
+  }
+  std::printf(
+      "SR < 1 means the model out-forecasts the analysts' consensus; losing\n"
+      "the alternative features pushes SR back toward 1 — the information\n"
+      "edge comes from the alternative data, not the financial history.\n");
+  return 0;
+}

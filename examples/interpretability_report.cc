@@ -1,0 +1,101 @@
+// Interpretability example (paper §IV-G): train AMS on one fold, extract the
+// per-company slave-LR coefficients, and explain a single company's
+// prediction as a sum of feature contributions — the workflow a portfolio
+// manager would use to understand an AMS forecast.
+//
+// Usage: interpretability_report [--seed=42] [--company=3]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "data/cv.h"
+#include "data/generator.h"
+#include "models/ams_regressor.h"
+#include "util/string_util.h"
+
+using namespace ams;
+
+int main(int argc, char** argv) {
+  const uint64_t seed = GetFlagU64(argc, argv, "seed", 42);
+  const int company = GetFlagInt(argc, argv, "company", 3);
+
+  auto panel_result = data::GenerateMarket(data::GeneratorConfig::Defaults(
+      data::DatasetProfile::kTransactionAmount, seed));
+  panel_result.status().Abort("generate");
+  const data::Panel& panel = panel_result.ValueOrDie();
+
+  auto folds = data::TimeSeriesCvFolds(
+                   panel.num_quarters, data::DefaultCvOptions(panel.profile))
+                   .MoveValue();
+  const data::CvFold fold = folds.back();
+  data::FeatureBuilder builder(&panel, data::FeatureOptions{});
+  auto train = builder.Build(fold.train_quarters).MoveValue();
+  auto valid = builder.Build({fold.valid_quarter}).MoveValue();
+  auto test = builder.Build({fold.test_quarter}).MoveValue();
+  const data::Standardizer standardizer = data::Standardizer::Fit(train);
+  standardizer.Apply(&train);
+  standardizer.Apply(&valid);
+  standardizer.Apply(&test);
+
+  models::FitContext context;
+  context.train = &train;
+  context.valid = &valid;
+  context.panel = &panel;
+  context.last_train_quarter = fold.valid_quarter - 1;
+  context.seed = seed;
+
+  models::AmsRegressor model(core::AmsConfig{}, /*graph_top_k=*/5);
+  model.Fit(context).Abort("fit");
+
+  auto coeffs = model.SlaveCoefficients(test).MoveValue();
+  auto pred = model.PredictNorm(test).MoveValue();
+
+  const data::SampleMeta& meta = test.meta[company];
+  std::printf(
+      "company %s, sector %d, quarter %s\n"
+      "  consensus:            %12.1f M\n"
+      "  predicted revenue:    %12.1f M\n"
+      "  predicted UR:         %+12.1f M\n"
+      "  actual UR:            %+12.1f M\n\n",
+      panel.companies[company].name.c_str(), panel.companies[company].sector,
+      panel.QuarterAt(meta.quarter).ToString().c_str(), meta.consensus,
+      meta.consensus + pred[company] * meta.scale,
+      pred[company] * meta.scale, meta.actual_ur);
+
+  // Feature contributions: coefficient * feature value (normalized units).
+  struct Contribution {
+    std::string name;
+    double weight;
+    double value;
+    double product;
+  };
+  std::vector<Contribution> contributions;
+  for (int c = 0; c < test.num_features(); ++c) {
+    Contribution entry;
+    entry.name = test.feature_names[c];
+    entry.weight = coeffs(company, c);
+    entry.value = test.x(company, c);
+    entry.product = entry.weight * entry.value;
+    contributions.push_back(entry);
+  }
+  std::sort(contributions.begin(), contributions.end(),
+            [](const Contribution& a, const Contribution& b) {
+              return std::abs(a.product) > std::abs(b.product);
+            });
+
+  std::printf("top contributions to the prediction (slave-LR weight x"
+              " feature):\n%-16s %12s %10s %14s\n",
+              "feature", "weight", "value", "contribution");
+  for (int i = 0; i < 12 && i < static_cast<int>(contributions.size()); ++i) {
+    const Contribution& entry = contributions[i];
+    std::printf("%-16s %12.5f %10.4f %14.5f\n", entry.name.c_str(),
+                entry.weight, entry.value, entry.product);
+  }
+  std::printf("%-16s %12s %10s %14.5f\n", "(intercept)", "-", "-",
+              coeffs(company, test.num_features()));
+  std::printf(
+      "\nEach weight is this company's own slave-LR coefficient; bumping a\n"
+      "feature by one (standardized) unit moves the predicted normalized UR\n"
+      "by the weight — the sensitivity reading the paper highlights.\n");
+  return 0;
+}

@@ -1,0 +1,357 @@
+#include "ams/ams_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linear/linear_model.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+#include "util/logging.h"
+
+namespace ams::core {
+
+using la::Matrix;
+using tensor::Tensor;
+
+namespace {
+
+/// Augments features with a trailing column of ones so slave-LRs carry an
+/// intercept: XA = [X | 1].
+Matrix AugmentOnes(const Matrix& x) {
+  return Matrix::HStack(x, Matrix::Ones(x.rows(), 1));
+}
+
+/// Snapshot / restore of parameter values for early stopping.
+std::vector<Matrix> SnapshotParams(const std::vector<Tensor>& params) {
+  std::vector<Matrix> out;
+  out.reserve(params.size());
+  for (const Tensor& p : params) out.push_back(p.value());
+  return out;
+}
+
+void RestoreParams(std::vector<Tensor>* params,
+                   const std::vector<Matrix>& snapshot) {
+  AMS_DCHECK(params->size() == snapshot.size(), "snapshot size mismatch");
+  for (size_t i = 0; i < params->size(); ++i) {
+    (*params)[i].mutable_value() = snapshot[i];
+  }
+}
+
+}  // namespace
+
+Result<std::vector<AmsModel::QuarterBatch>> AmsModel::SplitQuarters(
+    const data::Dataset& dataset) const {
+  std::vector<QuarterBatch> batches;
+  for (auto& [quarter, rows] : dataset.RowsByQuarter()) {
+    if (static_cast<int>(rows.size()) != num_companies_) {
+      return Status::InvalidArgument(
+          "AMS requires one sample per company per quarter (quarter " +
+          std::to_string(quarter) + " has " + std::to_string(rows.size()) +
+          " samples, graph has " + std::to_string(num_companies_) +
+          " companies)");
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (dataset.meta[rows[i]].company != static_cast<int>(i)) {
+        return Status::InvalidArgument(
+            "AMS quarter rows must be ordered by company index");
+      }
+    }
+    QuarterBatch batch;
+    batch.quarter = quarter;
+    batch.rows = rows;
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+AmsModel::MasterOutput AmsModel::MasterForward(const Tensor& x, bool training,
+                                               Rng* dropout_rng) const {
+  // Node transformation (Eq. 1): stacked ReLU forward layers with dropout.
+  Tensor h = x;
+  for (const nn::Dense& layer : node_transform_) {
+    h = layer.Forward(h);
+    if (config_.dropout > 0.0) {
+      h = tensor::Dropout(h, config_.dropout, training, dropout_rng);
+    }
+  }
+  // GNN over the company correlation graph (Eq. 2-3; GAT by default).
+  if (config_.use_gat) {
+    h = config_.gnn_kind == AmsConfig::GnnKind::kGat
+            ? gat_->Forward(h, attention_mask_, training, dropout_rng)
+            : gcn_->Forward(h, attention_mask_);
+  }
+  // Generation head M(.) (Eq. 6): per-company slave-LR coefficients.
+  MasterOutput out;
+  out.generated = generator_->Forward(h, training, dropout_rng);
+  // Model assembly (Eq. 10): gamma M(g(X)) + (1 - gamma) beta_c.
+  if (config_.gamma >= 1.0) {
+    out.assembled = out.generated;
+  } else {
+    Tensor global_row = tensor::Transpose(beta_c_);  // 1 x (F+1)
+    out.assembled =
+        tensor::Add(tensor::Scale(out.generated, config_.gamma),
+                    tensor::Scale(global_row, 1.0 - config_.gamma));
+  }
+  return out;
+}
+
+std::vector<Tensor> AmsModel::Parameters() const {
+  std::vector<Tensor> params;
+  for (const nn::Dense& layer : node_transform_) {
+    for (const Tensor& p : layer.Parameters()) params.push_back(p);
+  }
+  if (config_.use_gat) {
+    const auto gnn_params = config_.gnn_kind == AmsConfig::GnnKind::kGat
+                                ? gat_->Parameters()
+                                : gcn_->Parameters();
+    for (const Tensor& p : gnn_params) params.push_back(p);
+  }
+  for (const Tensor& p : generator_->Parameters()) params.push_back(p);
+  if (config_.learn_beta_c) params.push_back(beta_c_);
+  return params;
+}
+
+Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
+                     const graph::CompanyGraph& graph) {
+  if (train.num_samples() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (valid.num_features() != train.num_features()) {
+    return Status::InvalidArgument("train/valid feature width mismatch");
+  }
+  if (!(config_.gamma >= 0.0 && config_.gamma <= 1.0)) {
+    return Status::InvalidArgument("gamma must be in [0, 1]");
+  }
+  if (config_.lambda_slg < 0.0 || config_.lambda_l2 < 0.0) {
+    return Status::InvalidArgument("negative regularization strength");
+  }
+
+  num_features_ = train.num_features();
+  num_companies_ = graph.num_nodes();
+  attention_mask_ = graph.AttentionMask();
+
+  AMS_ASSIGN_OR_RETURN(std::vector<QuarterBatch> train_batches,
+                       SplitQuarters(train));
+  AMS_ASSIGN_OR_RETURN(std::vector<QuarterBatch> valid_batches,
+                       SplitQuarters(valid));
+
+  // --- Step 1 (§III-F): anchored LR B_acr on all training data (Eq. 5;
+  //     optionally elastic-net-generalized, see AmsConfig). ---
+  linear::LinearModel anchored;
+  if (config_.anchored_l1_ratio <= 0.0) {
+    AMS_ASSIGN_OR_RETURN(
+        anchored, linear::LinearModel::FitRidge(train.x, train.TargetMatrix(),
+                                                config_.anchored_alpha));
+  } else {
+    linear::LinearOptions anchor_options;
+    anchor_options.alpha = config_.anchored_alpha;
+    anchor_options.l1_ratio = config_.anchored_l1_ratio;
+    AMS_ASSIGN_OR_RETURN(anchored,
+                         linear::LinearModel::FitElasticNet(
+                             train.x, train.TargetMatrix(), anchor_options));
+  }
+  b_acr_ = Matrix(num_features_ + 1, 1);
+  for (int j = 0; j < num_features_; ++j) {
+    b_acr_(j, 0) = anchored.coefficients()(j, 0);
+  }
+  b_acr_(num_features_, 0) = anchored.intercept();
+
+  // --- Build the master model. ---
+  Rng rng(config_.seed);
+  Rng init_rng = rng.Fork();
+  Rng dropout_rng = rng.Fork();
+
+  node_transform_.clear();
+  int width = num_features_;
+  for (int out : config_.node_transform_layers) {
+    node_transform_.emplace_back(width, out, nn::Activation::kRelu,
+                                 &init_rng);
+    width = out;
+  }
+  int generator_in = width;
+  gat_.reset();
+  gcn_.reset();
+  if (config_.use_gat) {
+    if (config_.gnn_kind == AmsConfig::GnnKind::kGat) {
+      gat_ = std::make_unique<gnn::GatNetwork>(width, config_.gat, &init_rng);
+      generator_in = gat_->out_features();
+    } else {
+      gcn_ = std::make_unique<gnn::GcnNetwork>(
+          width, config_.gcn_hidden, config_.gat.out_features, &init_rng);
+      generator_in = gcn_->out_features();
+    }
+  }
+  generator_ = std::make_unique<nn::Mlp>(
+      generator_in, config_.generator_hidden, num_features_ + 1,
+      nn::Activation::kRelu, &init_rng, config_.dropout);
+  // Start the generation head at the anchor: zero output weights and a bias
+  // equal to B_acr make M(g(X)) == B_acr at initialization, so training
+  // begins at the anchored LR and explores the "near-optimal parameter
+  // space" around it (paper §III-E1) instead of from random coefficients.
+  {
+    nn::Dense& out_layer = generator_->mutable_layers()->back();
+    out_layer.SetWeights(
+        Matrix::Zeros(out_layer.out_features(), out_layer.in_features()),
+        b_acr_.Transposed());
+  }
+  // beta_c starts at the anchor; it stays fixed there unless the config
+  // asks for a jointly-learned global LR.
+  beta_c_ = config_.learn_beta_c ? Tensor::Parameter(b_acr_)
+                                 : Tensor::Constant(b_acr_);
+
+  // Per-quarter constant tensors.
+  auto make_inputs = [](const data::Dataset& dataset,
+                        const std::vector<QuarterBatch>& batches) {
+    std::vector<std::tuple<Tensor, Tensor, Tensor>> inputs;  // x, xa, y
+    for (const QuarterBatch& batch : batches) {
+      Matrix x(static_cast<int>(batch.rows.size()), dataset.num_features());
+      Matrix y(static_cast<int>(batch.rows.size()), 1);
+      for (size_t i = 0; i < batch.rows.size(); ++i) {
+        const int row = batch.rows[i];
+        for (int c = 0; c < dataset.num_features(); ++c) {
+          x(static_cast<int>(i), c) = dataset.x(row, c);
+        }
+        y(static_cast<int>(i), 0) = dataset.y[row];
+      }
+      inputs.emplace_back(Tensor::Constant(x),
+                          Tensor::Constant(AugmentOnes(x)),
+                          Tensor::Constant(y));
+    }
+    return inputs;
+  };
+  auto train_inputs = make_inputs(train, train_batches);
+  auto valid_inputs = make_inputs(valid, valid_batches);
+
+  const Tensor b_acr_row = Tensor::Constant(b_acr_.Transposed());
+  const double n_train = train.num_samples();
+
+  std::vector<Tensor> params = Parameters();
+  optim::Adam optimizer(params, config_.learning_rate);
+
+  auto forward_loss = [&](bool training) {
+    // Data term + supervised-LR-generation term of Gamma_master (Eq. 11).
+    Tensor total = Tensor::Constant(Matrix::Zeros(1, 1));
+    for (auto& [x, xa, y] : train_inputs) {
+      MasterOutput master = MasterForward(x, training, &dropout_rng);
+      Tensor pred = tensor::RowDot(xa, master.assembled);
+      Tensor err = tensor::Sub(pred, y);
+      total = tensor::Add(total, tensor::SumSquares(err));
+      if (config_.lambda_slg > 0.0) {
+        // Supervised LR generation (Eq. 8): pull M(g(X_i)) toward B_acr.
+        Tensor deviation = tensor::Sub(master.generated, b_acr_row);
+        total = tensor::Add(
+            total,
+            tensor::Scale(tensor::SumSquares(deviation), config_.lambda_slg));
+      }
+    }
+    total = tensor::Scale(total, 1.0 / (2.0 * n_train));
+    if (config_.lambda_l2 > 0.0) {
+      Tensor l2 = Tensor::Constant(Matrix::Zeros(1, 1));
+      for (const Tensor& p : params) {
+        l2 = tensor::Add(l2, tensor::SumSquares(p));
+      }
+      total = tensor::Add(total, tensor::Scale(l2, 0.5 * config_.lambda_l2));
+    }
+    return total;
+  };
+
+  auto valid_loss = [&]() {
+    double sse = 0.0;
+    double count = 0.0;
+    for (auto& [x, xa, y] : valid_inputs) {
+      MasterOutput master = MasterForward(x, /*training=*/false, nullptr);
+      Tensor pred = tensor::RowDot(xa, master.assembled);
+      const Matrix& p = pred.value();
+      const Matrix& target = y.value();
+      for (int r = 0; r < p.rows(); ++r) {
+        const double d = p(r, 0) - target(r, 0);
+        sse += d * d;
+      }
+      count += p.rows();
+    }
+    return count > 0 ? sse / count : 0.0;
+  };
+
+  // The initial state (generation head == anchored LR) is a selection
+  // candidate too: if no training epoch improves validation loss, Fit
+  // returns the anchor rather than an arbitrary drifted state.
+  double best = valid.num_samples() > 0
+                    ? valid_loss()
+                    : std::numeric_limits<double>::infinity();
+  std::vector<Matrix> best_params = SnapshotParams(params);
+  int since_best = 0;
+  epochs_run_ = 0;
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    Tensor loss = forward_loss(/*training=*/true);
+    if (!loss.value().AllFinite()) {
+      return Status::ComputeError("AMS training diverged (non-finite loss)");
+    }
+    tensor::Backward(loss);
+    if (config_.grad_clip > 0.0) optimizer.ClipGradNorm(config_.grad_clip);
+    optimizer.Step();
+    ++epochs_run_;
+
+    const double v = valid.num_samples() > 0 ? valid_loss() : 0.0;
+    if (config_.log_every > 0 && epoch % config_.log_every == 0) {
+      AMS_LOG(Info) << "epoch " << epoch << " train_loss="
+                    << loss.value()(0, 0) << " valid_mse=" << v;
+    }
+    if (v < best - 1e-9) {
+      best = v;
+      best_params = SnapshotParams(params);
+      since_best = 0;
+    } else if (++since_best >= config_.patience) {
+      break;
+    }
+  }
+  RestoreParams(&params, best_params);
+  best_valid_loss_ = best;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> AmsModel::Predict(
+    const data::Dataset& dataset) const {
+  AMS_ASSIGN_OR_RETURN(Matrix coeffs, SlaveCoefficients(dataset));
+  std::vector<double> out(dataset.num_samples());
+  for (int r = 0; r < dataset.num_samples(); ++r) {
+    double acc = coeffs(r, num_features_);  // intercept
+    for (int c = 0; c < num_features_; ++c) {
+      acc += dataset.x(r, c) * coeffs(r, c);
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+Result<Matrix> AmsModel::SlaveCoefficients(
+    const data::Dataset& dataset) const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (dataset.num_features() != num_features_) {
+    return Status::InvalidArgument("feature width mismatch");
+  }
+  AMS_ASSIGN_OR_RETURN(std::vector<QuarterBatch> batches,
+                       SplitQuarters(dataset));
+  Matrix out(dataset.num_samples(), num_features_ + 1);
+  for (const QuarterBatch& batch : batches) {
+    Matrix x(static_cast<int>(batch.rows.size()), num_features_);
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      for (int c = 0; c < num_features_; ++c) {
+        x(static_cast<int>(i), c) = dataset.x(batch.rows[i], c);
+      }
+    }
+    MasterOutput master = MasterForward(Tensor::Constant(std::move(x)),
+                                        /*training=*/false, nullptr);
+    const Matrix& values = master.assembled.value();
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      for (int c = 0; c <= num_features_; ++c) {
+        out(batch.rows[i], c) = values(static_cast<int>(i), c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ams::core

@@ -1,0 +1,161 @@
+// The paper's contribution: the Adaptive Master-Slave regularized model
+// (AMS, §III).
+//
+// A master model — node transformation (Eq. 1) -> GAT over the company
+// correlation graph (Eq. 2-3) -> generation head M(.) (Eq. 6) — emits, for
+// every company, the coefficient vector of a per-company linear-regression
+// slave model. Two regularizers keep the generated slave-LRs well-behaved:
+//   * supervised LR generation (Eq. 8-9): pull M(g(X_i)) toward the anchored
+//     LR B_acr fitted on all training data (Eq. 4-5);
+//   * model assembly (Eq. 10): blend the generated coefficients with a
+//     globally-learned LR beta_c via the hyperparameter gamma.
+// The joint objective is Gamma_master (Eq. 11); training follows §III-F
+// (anchored LR first, then Adam on everything else).
+#ifndef AMS_AMS_AMS_MODEL_H_
+#define AMS_AMS_AMS_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/features.h"
+#include "gnn/gat.h"
+#include "gnn/gcn.h"
+#include "graph/company_graph.h"
+#include "la/matrix.h"
+#include "nn/dense.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ams::core {
+
+struct AmsConfig {
+  // --- Node transformation (Eq. 1): ReLU forward layers. ---
+  std::vector<int> node_transform_layers = {48, 32};
+
+  // --- GNN on the company correlation graph. ---
+  gnn::GatConfig gat;
+
+  /// Ablation switch: when false the GNN is skipped and the generation head
+  /// consumes the node transformation output directly.
+  bool use_gat = true;
+
+  /// Which GNN aggregates over the correlation graph: the paper's GAT, or a
+  /// plain GCN (Kipf & Welling) used by the component ablation to isolate
+  /// what attention adds over mean aggregation.
+  enum class GnnKind { kGat, kGcn };
+  GnnKind gnn_kind = GnnKind::kGat;
+  /// Hidden widths of the GCN variant (its output width reuses
+  /// gat.out_features).
+  std::vector<int> gcn_hidden = {32};
+
+  // --- Generation head M(.): hidden widths (output width is implied by the
+  //     slave-LR coefficient count). ---
+  std::vector<int> generator_hidden = {48};
+
+  // --- Objective Gamma_master (Eq. 11). ---
+  /// Model-assembly blend: slave = gamma * M(g(X)) + (1 - gamma) * beta_c.
+  /// gamma = 1 disables model assembly (ablation).
+  double gamma = 0.6;
+  /// Eq. 10's "globally optimized LR" beta_c: when false (default) it is the
+  /// anchored LR B_acr held fixed, so the assembled slave can never drift
+  /// below the anchor; when true beta_c is a free parameter trained jointly
+  /// (with the L2 term of Eq. 11), the paper's more liberal reading.
+  bool learn_beta_c = false;
+  /// Supervised-LR-generation strength lambda_slg. 0 disables (ablation).
+  double lambda_slg = 2.0;
+  /// L2 regularization lambda_1 on master parameters and beta_c.
+  double lambda_l2 = 1e-4;
+  /// Regularization strength when fitting the anchored LR B_acr.
+  double anchored_alpha = 0.1;
+  /// L1 share of the anchored LR's penalty. 0 reproduces the paper's Eq. 5
+  /// (pure L2); > 0 generalizes the anchor to the elastic-net family, which
+  /// this implementation allows the hyperparameter search to exploit.
+  double anchored_l1_ratio = 0.0;
+
+  // --- Optimization (§III-F / §IV-C). ---
+  int max_epochs = 400;
+  double learning_rate = 5e-4;
+  double dropout = 0.05;
+  double grad_clip = 5.0;
+  /// Early-stopping patience on validation loss (epochs).
+  int patience = 50;
+
+  /// Log train/valid loss every N epochs (0 = silent).
+  int log_every = 0;
+
+  uint64_t seed = 42;
+};
+
+/// A fitted AMS model (master + anchored LR); generates and applies a
+/// slave-LR per company at prediction time.
+class AmsModel {
+ public:
+  explicit AmsModel(AmsConfig config) : config_(std::move(config)) {}
+
+  /// Trains the master model. `graph` must index the same companies as the
+  /// datasets' SampleMeta::company, and must have been built from training-
+  /// window revenue only (no leakage). Within each quarter the datasets must
+  /// contain exactly one row per company, ordered by company index — the
+  /// layout data::FeatureBuilder produces.
+  Status Fit(const data::Dataset& train, const data::Dataset& valid,
+             const graph::CompanyGraph& graph);
+
+  /// Normalized UR predictions for every row of `dataset` (same company/
+  /// quarter layout requirements as Fit).
+  Result<std::vector<double>> Predict(const data::Dataset& dataset) const;
+
+  /// Per-sample slave-LR coefficients (num_samples x (F+1); the last column
+  /// is the generated intercept). This is the paper's interpretability
+  /// artifact (§IV-G, Fig. 8).
+  Result<la::Matrix> SlaveCoefficients(const data::Dataset& dataset) const;
+
+  /// Anchored LR coefficients B_acr ((F+1) x 1, intercept last).
+  const la::Matrix& anchored_coefficients() const { return b_acr_; }
+
+  /// Training diagnostics.
+  int epochs_run() const { return epochs_run_; }
+  double best_valid_loss() const { return best_valid_loss_; }
+
+ private:
+  struct QuarterBatch {
+    int quarter = 0;
+    std::vector<int> rows;  // dataset rows, ordered by company index
+  };
+
+  struct MasterOutput {
+    /// Raw generation-head output M(g(X)): n x (F+1). The supervised-LR-
+    /// generation regularizer (Eq. 8) applies to this.
+    tensor::Tensor generated;
+    /// After model assembly (Eq. 10): the slave-LR coefficients actually
+    /// used for prediction.
+    tensor::Tensor assembled;
+  };
+
+  /// Master forward pass for one quarter's company block (n x F features).
+  MasterOutput MasterForward(const tensor::Tensor& x, bool training,
+                             Rng* dropout_rng) const;
+
+  /// Collects all trainable parameters.
+  std::vector<tensor::Tensor> Parameters() const;
+
+  Result<std::vector<QuarterBatch>> SplitQuarters(
+      const data::Dataset& dataset) const;
+
+  AmsConfig config_;
+  la::Matrix attention_mask_;           // from the correlation graph
+  la::Matrix b_acr_;                    // (F+1) x 1 anchored LR
+  std::vector<nn::Dense> node_transform_;
+  std::unique_ptr<gnn::GatNetwork> gat_;
+  std::unique_ptr<gnn::GcnNetwork> gcn_;
+  std::unique_ptr<nn::Mlp> generator_;
+  tensor::Tensor beta_c_;               // (F+1) x 1 model-assembly LR
+  int num_features_ = 0;
+  int num_companies_ = 0;
+  int epochs_run_ = 0;
+  double best_valid_loss_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace ams::core
+
+#endif  // AMS_AMS_AMS_MODEL_H_

@@ -1,0 +1,155 @@
+#include "backtest/backtest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/stats.h"
+#include "util/rng.h"
+
+namespace ams::backtest {
+
+Backtester::Backtester(const data::Panel* panel, const BacktestConfig& config)
+    : panel_(panel), config_(config) {
+  AMS_DCHECK(panel != nullptr, "null panel");
+  AMS_DCHECK(config.holding_days >= 2, "holding window too short");
+}
+
+double Backtester::BucketRatio(double market_cap_billions) const {
+  if (market_cap_billions < config_.small_cap_boundary) {
+    return config_.bucket_ratios[0];
+  }
+  if (market_cap_billions < config_.large_cap_boundary) {
+    return config_.bucket_ratios[1];
+  }
+  return config_.bucket_ratios[2];
+}
+
+std::vector<double> Backtester::CompanyPath(int test_quarter,
+                                            int company) const {
+  // Deterministic per (seed, quarter, company): every model sees the same
+  // market.
+  uint64_t stream = config_.seed;
+  stream = SplitMix64(&stream) ^ (0x9E3779B97F4A7C15ULL *
+                                  static_cast<uint64_t>(test_quarter + 1));
+  stream ^= 0xC2B2AE3D27D4EB4FULL * static_cast<uint64_t>(company + 1);
+  Rng rng(stream);
+
+  const data::CompanyQuarter& cq =
+      panel_->companies[company].quarters[test_quarter];
+  const double relative_surprise =
+      std::clamp(cq.UnexpectedRevenue() / cq.consensus,
+                 -config_.max_relative_surprise,
+                 config_.max_relative_surprise);
+  // The revenue report lands somewhere in the first half of the window.
+  const int announce_day = 3 + static_cast<int>(rng.UniformInt(
+                                   config_.holding_days / 2));
+
+  std::vector<double> returns(config_.holding_days);
+  for (int d = 0; d < config_.holding_days; ++d) {
+    double r = config_.market_drift + rng.Normal(0.0, config_.daily_vol);
+    if (d == announce_day) {
+      r += config_.jump_scale * relative_surprise +
+           rng.Normal(0.0, config_.jump_noise);
+    }
+    returns[d] = r;
+  }
+  return returns;
+}
+
+Result<BacktestResult> Backtester::Run(
+    const std::vector<QuarterPositions>& quarters) const {
+  if (quarters.empty()) {
+    return Status::InvalidArgument("no quarters to trade");
+  }
+  BacktestResult result;
+  result.asset_curve.push_back(1.0);
+  double asset = 1.0;
+  double peak = 1.0;
+
+  for (const QuarterPositions& quarter : quarters) {
+    if (quarter.predicted_ur.size() != quarter.meta.size() ||
+        quarter.meta.empty()) {
+      return Status::InvalidArgument("misaligned quarter positions");
+    }
+    if (quarter.test_quarter < 0 ||
+        quarter.test_quarter >= panel_->num_quarters) {
+      return Status::OutOfRange("test quarter outside the panel");
+    }
+    // Position weights: bucket ratio normalized over the quarter's book,
+    // signed by the predicted surprise direction.
+    const size_t n = quarter.meta.size();
+    std::vector<double> weight(n);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      weight[i] = BucketRatio(quarter.meta[i].market_cap);
+      total += weight[i];
+    }
+    std::vector<double> sign(n);
+    for (size_t i = 0; i < n; ++i) {
+      weight[i] /= total;
+      sign[i] = quarter.predicted_ur[i] >= 0.0 ? 1.0 : -1.0;
+    }
+    std::vector<std::vector<double>> paths(n);
+    for (size_t i = 0; i < n; ++i) {
+      paths[i] = CompanyPath(quarter.test_quarter, quarter.meta[i].company);
+    }
+
+    const double quarter_start_asset = asset;
+    for (int d = 0; d < config_.holding_days; ++d) {
+      double portfolio_return = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        portfolio_return += weight[i] * sign[i] * paths[i][d];
+      }
+      asset *= 1.0 + portfolio_return;
+      result.daily_returns.push_back(portfolio_return);
+      result.asset_curve.push_back(asset);
+      peak = std::max(peak, asset);
+    }
+    result.quarter_returns_pct.push_back(
+        100.0 * (asset / quarter_start_asset - 1.0));
+  }
+
+  result.earning_pct = 100.0 * (asset - 1.0);
+  double mdd = 0.0;
+  double running_peak = result.asset_curve[0];
+  for (double value : result.asset_curve) {
+    running_peak = std::max(running_peak, value);
+    mdd = std::max(mdd, (running_peak - value) / running_peak);
+  }
+  result.mdd_pct = 100.0 * mdd;
+  return result;
+}
+
+Result<double> SharpeVsReference(const std::vector<double>& model_daily,
+                                 const std::vector<double>& reference_daily) {
+  if (model_daily.size() != reference_daily.size() || model_daily.size() < 2) {
+    return Status::InvalidArgument("daily return series mismatch");
+  }
+  std::vector<double> excess(model_daily.size());
+  for (size_t i = 0; i < model_daily.size(); ++i) {
+    excess[i] = model_daily[i] - reference_daily[i];
+  }
+  const double sd = la::SampleStdDev(excess);
+  if (sd == 0.0) {
+    return Status::ComputeError("zero-variance excess return");
+  }
+  return la::Mean(excess) / sd;
+}
+
+Result<double> AverageExcessReturn(
+    const std::vector<double>& model_quarter_returns_pct,
+    const std::vector<double>& reference_quarter_returns_pct) {
+  if (model_quarter_returns_pct.size() !=
+          reference_quarter_returns_pct.size() ||
+      model_quarter_returns_pct.empty()) {
+    return Status::InvalidArgument("quarter return series mismatch");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < model_quarter_returns_pct.size(); ++i) {
+    total +=
+        model_quarter_returns_pct[i] - reference_quarter_returns_pct[i];
+  }
+  return total / model_quarter_returns_pct.size();
+}
+
+}  // namespace ams::backtest

@@ -1,0 +1,98 @@
+// Trading backtest of paper §IV-F: long/short positions taken at fiscal
+// quarter end from the sign of the predicted unexpected revenue, held for
+// one month, capital split 1:2:3 across market-cap buckets (< 1B, 1-10B,
+// > 10B).
+//
+// Real daily prices are proprietary, so a MarketSimulator generates them
+// (DESIGN.md §1): geometric daily noise plus an announcement-day jump
+// proportional to the *actual* unexpected revenue — the documented empirical
+// link between revenue surprises and abnormal returns the paper's strategy
+// monetizes. Price paths depend only on (panel, seed), never on a model, so
+// every model trades identical markets and differences come solely from
+// position signs.
+#ifndef AMS_BACKTEST_BACKTEST_H_
+#define AMS_BACKTEST_BACKTEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/features.h"
+#include "data/panel.h"
+#include "util/status.h"
+
+namespace ams::backtest {
+
+struct BacktestConfig {
+  /// Trading days per holding window ("sell them a month later").
+  int holding_days = 21;
+  /// Daily idiosyncratic return volatility.
+  double daily_vol = 0.012;
+  /// Common market drift per day.
+  double market_drift = 0.0002;
+  /// Announcement-day jump = jump_scale * (actual UR / consensus), clipped.
+  double jump_scale = 1.2;
+  /// Clip for the relative surprise feeding the jump.
+  double max_relative_surprise = 0.15;
+  /// Noise added to the jump (surprise != pure price reaction).
+  double jump_noise = 0.01;
+  /// Market-cap bucket boundaries (billions) and money ratios (paper: 1:2:3).
+  double small_cap_boundary = 1.0;
+  double large_cap_boundary = 10.0;
+  double bucket_ratios[3] = {1.0, 2.0, 3.0};
+  uint64_t seed = 42;
+};
+
+/// One quarter's positions for one model: predictions aligned with `meta`.
+struct QuarterPositions {
+  int test_quarter = 0;
+  std::vector<double> predicted_ur;
+  std::vector<data::SampleMeta> meta;
+};
+
+struct BacktestResult {
+  /// Daily portfolio value, starting at 1.0 (index 0 = period start).
+  std::vector<double> asset_curve;
+  std::vector<double> daily_returns;
+  /// Per-quarter window return (%), used for the AER comparison.
+  std::vector<double> quarter_returns_pct;
+  double earning_pct = 0.0;  // total return over the trading period
+  double mdd_pct = 0.0;      // max drawdown relative to the running peak
+};
+
+/// Simulates one model's strategy over consecutive test quarters.
+class Backtester {
+ public:
+  Backtester(const data::Panel* panel, const BacktestConfig& config);
+
+  /// Runs the long/short strategy. All quarters must carry one sample per
+  /// company. Deterministic: same panel + seed => same price paths.
+  Result<BacktestResult> Run(
+      const std::vector<QuarterPositions>& quarters) const;
+
+  /// Capital weight for a company (bucket ratio before normalization).
+  double BucketRatio(double market_cap_billions) const;
+
+  /// The simulated daily returns of company `company` in the window of
+  /// `test_quarter` (exposed for tests).
+  std::vector<double> CompanyPath(int test_quarter, int company) const;
+
+ private:
+  const data::Panel* panel_;
+  BacktestConfig config_;
+};
+
+/// Paper's Sharpe Ratio: AVG(R_B - R_ref) / STD(R_B - R_ref) over daily
+/// returns; negative means strategy B earns no excess return over the
+/// reference (AMS).
+Result<double> SharpeVsReference(const std::vector<double>& model_daily,
+                                 const std::vector<double>& reference_daily);
+
+/// Average Excess Return: mean over quarters of (model quarter return -
+/// reference quarter return), in percent.
+Result<double> AverageExcessReturn(
+    const std::vector<double>& model_quarter_returns_pct,
+    const std::vector<double>& reference_quarter_returns_pct);
+
+}  // namespace ams::backtest
+
+#endif  // AMS_BACKTEST_BACKTEST_H_

@@ -1,0 +1,69 @@
+#include "data/cv.h"
+
+#include <sstream>
+
+namespace ams::data {
+
+Result<std::vector<CvFold>> TimeSeriesCvFolds(int num_quarters,
+                                              const CvOptions& options) {
+  if (options.lag_k < 1 || options.initial_train_quarters < 1) {
+    return Status::InvalidArgument("invalid CV options");
+  }
+  const int first_usable = options.lag_k;
+  // Initial fold: train on the first window, validate on the next quarter,
+  // test on the one after.
+  const int first_test =
+      first_usable + options.initial_train_quarters + 1;
+  if (first_test >= num_quarters) {
+    return Status::InvalidArgument(
+        "panel too short for even one cross-validation fold");
+  }
+  std::vector<CvFold> folds;
+  for (int test = first_test; test < num_quarters; ++test) {
+    CvFold fold;
+    fold.valid_quarter = test - 1;
+    fold.test_quarter = test;
+    for (int t = first_usable; t < fold.valid_quarter; ++t) {
+      fold.train_quarters.push_back(t);
+    }
+    folds.push_back(std::move(fold));
+  }
+  return folds;
+}
+
+CvOptions DefaultCvOptions(DatasetProfile profile) {
+  CvOptions options;
+  options.lag_k = 4;
+  switch (profile) {
+    case DatasetProfile::kTransactionAmount:
+      // Train 2015q3-2016q2, validate 2016q3, test 2016q4; then roll
+      // through 2018q2 (7 test quarters).
+      options.initial_train_quarters = 4;
+      break;
+    case DatasetProfile::kMapQuery:
+      // Train 2017q2-2017q3, validate 2017q4, test 2018q1; then roll to
+      // 2018q2 (2 test quarters).
+      options.initial_train_quarters = 2;
+      break;
+  }
+  return options;
+}
+
+std::string DescribeFolds(const Panel& panel,
+                          const std::vector<CvFold>& folds) {
+  std::ostringstream oss;
+  oss << DatasetProfileName(panel.profile) << " dataset, "
+      << panel.num_quarters << " quarters (" << panel.QuarterAt(0).ToString()
+      << "-" << panel.QuarterAt(panel.num_quarters - 1).ToString() << ")\n";
+  for (size_t f = 0; f < folds.size(); ++f) {
+    const CvFold& fold = folds[f];
+    oss << "fold " << f + 1 << ": train ["
+        << panel.QuarterAt(fold.train_quarters.front()).ToString() << " - "
+        << panel.QuarterAt(fold.train_quarters.back()).ToString()
+        << "]  valid " << panel.QuarterAt(fold.valid_quarter).ToString()
+        << "  test " << panel.QuarterAt(fold.test_quarter).ToString() << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace ams::data

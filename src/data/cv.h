@@ -1,0 +1,44 @@
+// Time-series cross-validation (paper §IV-C, Fig. 5): expanding-window
+// training, one validation quarter, one test quarter, rolled forward until
+// the panel is exhausted.
+#ifndef AMS_DATA_CV_H_
+#define AMS_DATA_CV_H_
+
+#include <string>
+#include <vector>
+
+#include "data/panel.h"
+#include "util/status.h"
+
+namespace ams::data {
+
+/// One fold: the quarter indices (into the panel) of each split.
+struct CvFold {
+  std::vector<int> train_quarters;  // expanding window
+  int valid_quarter = 0;
+  int test_quarter = 0;
+};
+
+struct CvOptions {
+  /// History depth k; the first k panel quarters produce no samples
+  /// ("dropped due to the absence of historical information of one year").
+  int lag_k = 4;
+  /// Quarters in the initial training window (paper: 4 for transaction
+  /// amount, 2 for map query).
+  int initial_train_quarters = 4;
+};
+
+/// Builds the fold schedule for a panel of `num_quarters` quarters.
+/// Fails if the panel is too short for even one fold.
+Result<std::vector<CvFold>> TimeSeriesCvFolds(int num_quarters,
+                                              const CvOptions& options);
+
+/// Profile-appropriate CV options (the paper's two schedules).
+CvOptions DefaultCvOptions(DatasetProfile profile);
+
+/// Human-readable schedule (used by the Fig. 5 bench and logs).
+std::string DescribeFolds(const Panel& panel, const std::vector<CvFold>& folds);
+
+}  // namespace ams::data
+
+#endif  // AMS_DATA_CV_H_

@@ -1,0 +1,191 @@
+#include "data/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ams::data {
+
+using la::Matrix;
+
+Matrix Dataset::TargetMatrix() const {
+  return Matrix::ColumnVector(y);
+}
+
+std::vector<std::pair<int, std::vector<int>>> Dataset::RowsByQuarter() const {
+  std::map<int, std::vector<int>> by_quarter;
+  for (int r = 0; r < num_samples(); ++r) {
+    by_quarter[meta[r].quarter].push_back(r);
+  }
+  return {by_quarter.begin(), by_quarter.end()};
+}
+
+void Dataset::SequenceView(std::vector<Matrix>* steps,
+                           Matrix* static_features) const {
+  AMS_DCHECK(steps != nullptr && static_features != nullptr,
+             "null output arguments");
+  steps->clear();
+  const int n = num_samples();
+  // Lag blocks occupy the first lag_k * lag_block_width columns, oldest
+  // lag (t-k) first — see FeatureBuilder for the layout.
+  for (int j = 0; j < lag_k; ++j) {
+    steps->push_back(
+        x.SliceCols(j * lag_block_width, (j + 1) * lag_block_width));
+  }
+  *static_features = x.SliceCols(lag_k * lag_block_width, x.cols());
+  AMS_DCHECK(static_features->rows() == n, "sequence view row mismatch");
+}
+
+FeatureBuilder::FeatureBuilder(const Panel* panel,
+                               const FeatureOptions& options)
+    : panel_(panel), options_(options) {
+  AMS_DCHECK(panel != nullptr, "null panel");
+  AMS_DCHECK(options.lag_k >= 1, "lag_k must be >= 1");
+  const int num_alt = options_.include_alt ? panel_->num_alt_channels : 0;
+  // Lag blocks, oldest first: t-k, t-k+1, ..., t-1.
+  for (int j = options_.lag_k; j >= 1; --j) {
+    const std::string suffix = "_dq" + std::to_string(j);
+    names_.push_back("revenue" + suffix);
+    names_.push_back("consensus" + suffix);
+    names_.push_back("low_est" + suffix);
+    names_.push_back("high_est" + suffix);
+    for (int c = 0; c < num_alt; ++c) {
+      names_.push_back("alt" + std::to_string(c) + suffix);
+    }
+  }
+  // Current-quarter estimation features VE_t.
+  names_.push_back("consensus_t");
+  names_.push_back("low_est_t");
+  names_.push_back("high_est_t");
+  // Current-quarter alternative features A_t.
+  for (int c = 0; c < num_alt; ++c) {
+    names_.push_back("alt" + std::to_string(c) + "_t");
+  }
+  is_onehot_.assign(names_.size(), false);
+  // One-hot calendar quarter, fiscal-end month, and sector.
+  for (int q = 1; q <= 4; ++q) {
+    names_.push_back("quarter_q" + std::to_string(q));
+    is_onehot_.push_back(true);
+  }
+  for (int m = 1; m <= 12; ++m) {
+    names_.push_back("month_" + std::to_string(m));
+    is_onehot_.push_back(true);
+  }
+  for (int s = 0; s < panel_->num_sectors; ++s) {
+    names_.push_back("sector_" + std::to_string(s));
+    is_onehot_.push_back(true);
+  }
+}
+
+Result<Dataset> FeatureBuilder::Build(const std::vector<int>& quarters) const {
+  const int k = options_.lag_k;
+  const int num_alt = options_.include_alt ? panel_->num_alt_channels : 0;
+  for (int t : quarters) {
+    if (t < k || t >= panel_->num_quarters) {
+      return Status::InvalidArgument(
+          "quarter index " + std::to_string(t) +
+          " lacks a full year of history or is out of range");
+    }
+  }
+
+  Dataset dataset;
+  dataset.lag_k = k;
+  dataset.num_alt_channels = num_alt;
+  dataset.lag_block_width = 4 + num_alt;
+  dataset.feature_names = names_;
+  dataset.is_onehot = is_onehot_;
+
+  const int n = static_cast<int>(quarters.size()) * panel_->num_companies();
+  dataset.x = Matrix(n, num_features());
+  dataset.y.reserve(n);
+  dataset.meta.reserve(n);
+
+  int row = 0;
+  for (int t : quarters) {
+    const Quarter quarter = panel_->QuarterAt(t);
+    for (int i = 0; i < panel_->num_companies(); ++i) {
+      const Company& company = panel_->companies[i];
+      const CompanyQuarter& now = company.quarters[t];
+      const CompanyQuarter& oldest = company.quarters[t - k];
+      const double scale = oldest.revenue;
+      AMS_DCHECK(scale > 0.0, "non-positive normalization scale");
+
+      int col = 0;
+      for (int j = k; j >= 1; --j) {
+        const CompanyQuarter& lag = company.quarters[t - j];
+        dataset.x(row, col++) = lag.revenue / scale;
+        dataset.x(row, col++) = lag.consensus / scale;
+        dataset.x(row, col++) = lag.low_estimate / scale;
+        dataset.x(row, col++) = lag.high_estimate / scale;
+        for (int c = 0; c < num_alt; ++c) {
+          dataset.x(row, col++) = lag.alt[c] / oldest.alt[c];
+        }
+      }
+      dataset.x(row, col++) = now.consensus / scale;
+      dataset.x(row, col++) = now.low_estimate / scale;
+      dataset.x(row, col++) = now.high_estimate / scale;
+      for (int c = 0; c < num_alt; ++c) {
+        dataset.x(row, col++) = now.alt[c] / oldest.alt[c];
+      }
+      dataset.x(row, col + quarter.q - 1) = 1.0;
+      col += 4;
+      dataset.x(row, col + quarter.EndMonth() - 1) = 1.0;
+      col += 12;
+      dataset.x(row, col + company.sector) = 1.0;
+      col += panel_->num_sectors;
+      AMS_DCHECK(col == num_features(), "feature layout mismatch");
+
+      SampleMeta meta;
+      meta.company = i;
+      meta.quarter = t;
+      meta.scale = scale;
+      meta.consensus = now.consensus;
+      meta.actual_revenue = now.revenue;
+      meta.actual_ur = now.UnexpectedRevenue();
+      meta.market_cap = company.market_cap;
+      dataset.meta.push_back(meta);
+      dataset.y.push_back(meta.actual_ur / scale);
+      ++row;
+    }
+  }
+  return dataset;
+}
+
+Standardizer Standardizer::Fit(const Dataset& train) {
+  Standardizer s;
+  const int p = train.num_features();
+  const int n = train.num_samples();
+  AMS_DCHECK(n > 0, "cannot fit standardizer on empty data");
+  s.means_.assign(p, 0.0);
+  s.stds_.assign(p, 1.0);
+  s.is_onehot_ = train.is_onehot;
+  for (int c = 0; c < p; ++c) {
+    if (s.is_onehot_[c]) continue;
+    double mean = 0.0;
+    for (int r = 0; r < n; ++r) mean += train.x(r, c);
+    mean /= n;
+    double var = 0.0;
+    for (int r = 0; r < n; ++r) {
+      const double d = train.x(r, c) - mean;
+      var += d * d;
+    }
+    var /= n;
+    s.means_[c] = mean;
+    s.stds_[c] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+  return s;
+}
+
+void Standardizer::Apply(Dataset* dataset) const {
+  AMS_DCHECK(dataset != nullptr, "null dataset");
+  AMS_DCHECK(dataset->num_features() == static_cast<int>(means_.size()),
+             "standardizer width mismatch");
+  for (int c = 0; c < dataset->num_features(); ++c) {
+    if (is_onehot_[c]) continue;
+    for (int r = 0; r < dataset->num_samples(); ++r) {
+      dataset->x(r, c) = (dataset->x(r, c) - means_[c]) / stds_[c];
+    }
+  }
+}
+
+}  // namespace ams::data

@@ -1,0 +1,114 @@
+// Feature assembly per the paper's problem definition (Def. II.3, §II-D):
+//
+//   X_i^t = { C_i^{t-k..t-1}, VE_i^t, A_i^t } plus one-hot quarter, month
+//   and sector, with k = 4.
+//
+// Ratio normalization divides revenue-scale features by R_i^{t-k} and each
+// alt channel by its own value at t-k ("normalized by dividing the value of
+// the oldest features"). The regression target is the normalized unexpected
+// revenue (R_t - E_t) / R_{t-k}; metadata keeps the absolute quantities so
+// metrics and backtests can denormalize.
+#ifndef AMS_DATA_FEATURES_H_
+#define AMS_DATA_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/panel.h"
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace ams::data {
+
+struct FeatureOptions {
+  /// History depth k (the paper sets 4 to cover one year).
+  int lag_k = 4;
+  /// When false, all alternative-data columns are dropped — the "-na"
+  /// variants of Table III.
+  bool include_alt = true;
+};
+
+/// Absolute-scale bookkeeping for one sample (one company-quarter).
+struct SampleMeta {
+  int company = 0;        // index into the panel
+  int quarter = 0;        // t (panel quarter index)
+  double scale = 1.0;     // R_i^{t-k}, the normalization denominator
+  double consensus = 0.0; // E_i^t (absolute)
+  double actual_revenue = 0.0;  // R_i^t (absolute)
+  double actual_ur = 0.0;       // R_i^t - E_i^t (absolute)
+  double market_cap = 0.0;      // billions
+};
+
+/// A model-ready design matrix with aligned targets and metadata.
+struct Dataset {
+  la::Matrix x;                    // n x F
+  std::vector<double> y;           // normalized UR targets
+  std::vector<SampleMeta> meta;    // n entries
+  std::vector<std::string> feature_names;
+  /// True for one-hot indicator columns (excluded from standardization).
+  std::vector<bool> is_onehot;
+  int lag_k = 4;
+  int num_alt_channels = 0;
+  /// Width of one per-quarter lag block: 4 (R, E, LE, HE) + alt channels.
+  int lag_block_width = 0;
+
+  int num_samples() const { return x.rows(); }
+  int num_features() const { return x.cols(); }
+
+  /// y as an (n x 1) matrix.
+  la::Matrix TargetMatrix() const;
+
+  /// Sample row indices grouped by panel quarter index (ascending); used by
+  /// AMS, whose GAT consumes whole quarters at a time.
+  std::vector<std::pair<int, std::vector<int>>> RowsByQuarter() const;
+
+  /// Time-major sequence view for the recurrent baselines: `lag_k` steps,
+  /// each (n x lag_block_width), oldest quarter first. The remaining static
+  /// columns (VE_t, A_t, one-hots) are returned via `static_features`.
+  void SequenceView(std::vector<la::Matrix>* steps,
+                    la::Matrix* static_features) const;
+};
+
+/// Builds samples for the given panel quarters. Every quarter index must be
+/// >= lag_k (one full year of history).
+class FeatureBuilder {
+ public:
+  FeatureBuilder(const Panel* panel, const FeatureOptions& options);
+
+  /// Feature vector width.
+  int num_features() const { return static_cast<int>(names_.size()); }
+  const std::vector<std::string>& feature_names() const { return names_; }
+
+  /// Assembles one dataset covering all companies at each listed quarter.
+  Result<Dataset> Build(const std::vector<int>& quarters) const;
+
+ private:
+  const Panel* panel_;
+  FeatureOptions options_;
+  std::vector<std::string> names_;
+  std::vector<bool> is_onehot_;
+};
+
+/// Z-score standardization fitted on training data only (paper §II-D: "we
+/// normalize dataset with the mean and variance from the training set").
+/// One-hot columns pass through untouched.
+class Standardizer {
+ public:
+  /// Fits per-column mean/std on `train`. Constant columns get std = 1.
+  static Standardizer Fit(const Dataset& train);
+
+  /// Standardizes `dataset` in place (must have the same width).
+  void Apply(Dataset* dataset) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+  std::vector<bool> is_onehot_;
+};
+
+}  // namespace ams::data
+
+#endif  // AMS_DATA_FEATURES_H_

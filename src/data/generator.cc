@@ -1,0 +1,192 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ams::data {
+
+GeneratorConfig GeneratorConfig::Defaults(DatasetProfile profile,
+                                          uint64_t seed) {
+  GeneratorConfig config;
+  config.profile = profile;
+  config.seed = seed;
+  switch (profile) {
+    case DatasetProfile::kTransactionAmount:
+      // 71 companies, 16 quarters of 2014q3-2018q2 (paper §II-D); one
+      // strongly-coupled, low-noise channel.
+      config.num_companies = 71;
+      config.num_quarters = 16;
+      config.start = Quarter{2014, 3};
+      config.alt_coupling = {0.9};
+      config.alt_noise = {0.03};
+      break;
+    case DatasetProfile::kMapQuery:
+      // 62 companies, 9 quarters of 2016q2-2018q2; two weaker, noisier
+      // channels (map query to store, to parking lot).
+      config.num_companies = 62;
+      config.num_quarters = 9;
+      config.start = Quarter{2016, 2};
+      config.alt_coupling = {0.65, 0.55};
+      config.alt_noise = {0.08, 0.12};
+      break;
+  }
+  return config;
+}
+
+namespace {
+
+Status ValidateConfig(const GeneratorConfig& config) {
+  if (config.num_companies < 2) {
+    return Status::InvalidArgument("need >= 2 companies");
+  }
+  if (config.num_quarters < 2) {
+    return Status::InvalidArgument("need >= 2 quarters");
+  }
+  if (config.num_sectors < 1 || config.num_sectors > config.num_companies) {
+    return Status::InvalidArgument("bad sector count");
+  }
+  if (config.alt_coupling.empty() ||
+      config.alt_coupling.size() != config.alt_noise.size()) {
+    return Status::InvalidArgument("alt channel configuration mismatch");
+  }
+  if (config.shock_persistence < 0.0 || config.shock_persistence >= 1.0) {
+    return Status::InvalidArgument("shock_persistence must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Panel> GenerateMarket(const GeneratorConfig& config) {
+  AMS_RETURN_NOT_OK(ValidateConfig(config));
+
+  Rng root(config.seed);
+  Rng sector_rng = root.Fork();
+  Rng company_rng = root.Fork();
+  Rng shock_rng = root.Fork();
+
+  const int num_channels = static_cast<int>(config.alt_coupling.size());
+  const int t_count = config.num_quarters;
+
+  Panel panel;
+  panel.profile = config.profile;
+  panel.start = config.start;
+  panel.num_quarters = t_count;
+  panel.num_sectors = config.num_sectors;
+  panel.num_alt_channels = num_channels;
+
+  // Sector seasonal profiles: a smooth per-quarter multiplier with a random
+  // peak quarter, normalized to mean 1.
+  std::vector<std::array<double, 4>> season(config.num_sectors);
+  for (auto& profile : season) {
+    const int peak = static_cast<int>(sector_rng.UniformInt(4));
+    double total = 0.0;
+    for (int q = 0; q < 4; ++q) {
+      const int dist = std::min((q - peak + 4) % 4, (peak - q + 4) % 4);
+      profile[q] = 1.0 + config.seasonal_amplitude * (1.0 - dist * 0.6) +
+                   sector_rng.Normal(0.0, 0.02);
+      total += profile[q];
+    }
+    for (int q = 0; q < 4; ++q) profile[q] *= 4.0 / total;
+  }
+
+  // Per-sector coupling multipliers (observable heterogeneity: sector
+  // one-hots are features, so adaptive models can learn sector-specific
+  // alt-signal slopes).
+  std::vector<double> sector_coupling(config.num_sectors);
+  for (double& multiplier : sector_coupling) {
+    multiplier = sector_rng.Uniform(config.sector_coupling_min,
+                                    config.sector_coupling_max);
+  }
+
+  // Sector-shared shock innovations, one visible + one hidden per sector per
+  // quarter. These create the cross-company correlation structure.
+  std::vector<std::vector<double>> sector_vis(config.num_sectors),
+      sector_hid(config.num_sectors);
+  for (int s = 0; s < config.num_sectors; ++s) {
+    sector_vis[s].resize(t_count);
+    sector_hid[s].resize(t_count);
+    for (int t = 0; t < t_count; ++t) {
+      sector_vis[s][t] = shock_rng.Normal();
+      sector_hid[s][t] = shock_rng.Normal();
+    }
+  }
+
+  const double shared = std::sqrt(config.sector_share);
+  const double idio = std::sqrt(1.0 - config.sector_share);
+
+  panel.companies.reserve(config.num_companies);
+  for (int i = 0; i < config.num_companies; ++i) {
+    Company company;
+    company.name = "C" + std::string(i < 10 ? "0" : "") + std::to_string(i);
+    company.sector = i % config.num_sectors;
+    Rng rng = company_rng.Fork();
+
+    const double base =
+        std::exp(rng.Normal(config.log_base_mean, config.log_base_vol));
+    const double growth = rng.Normal(config.growth_mean, config.growth_vol);
+    const double analyst_bias = rng.Normal(0.0, config.analyst_bias_vol);
+    // Market cap (billions): annualized revenue times a random multiple.
+    company.market_cap =
+        4.0 * base * rng.Uniform(1.5, 6.0) / 1000.0;
+
+    std::vector<double> alt_scale(num_channels);
+    std::vector<double> coupling(num_channels);
+    std::vector<double> coverage_drift(num_channels);
+    std::vector<double> coverage(num_channels, 0.0);  // log coverage walk
+    for (int c = 0; c < num_channels; ++c) {
+      alt_scale[c] = std::exp(rng.Normal(4.0, 0.8));
+      coupling[c] = config.alt_coupling[c] * sector_coupling[company.sector] *
+                    std::exp(rng.Normal(0.0, config.coupling_heterogeneity));
+      coverage_drift[c] = rng.Normal(0.0, config.alt_coverage_drift_vol);
+    }
+
+    company.quarters.resize(t_count);
+    double u_vis = 0.0;
+    double u_hid = 0.0;
+    for (int t = 0; t < t_count; ++t) {
+      const Quarter quarter = panel.QuarterAt(t);
+      const int q_index = quarter.q - 1;
+      const double vis_innov =
+          config.visible_vol * (shared * sector_vis[company.sector][t] +
+                                idio * rng.Normal());
+      const double hid_innov =
+          config.hidden_vol * (shared * sector_hid[company.sector][t] +
+                               idio * rng.Normal());
+      u_vis = config.shock_persistence * u_vis + vis_innov;
+      u_hid = config.shock_persistence * u_hid + hid_innov;
+
+      const double trend = base * std::pow(1.0 + growth, t) *
+                           season[company.sector][q_index];
+
+      CompanyQuarter& cq = company.quarters[t];
+      cq.revenue = trend * std::exp(u_vis + u_hid +
+                                    rng.Normal(0.0, config.reporting_noise));
+      cq.consensus = trend * std::exp(u_vis) * (1.0 + analyst_bias) *
+                     std::exp(rng.Normal(0.0, config.analyst_noise));
+      const double spread =
+          std::max(0.01, rng.Normal(0.04, 0.015));
+      cq.low_estimate = cq.consensus * (1.0 - spread * rng.Uniform(0.5, 1.0));
+      cq.high_estimate = cq.consensus * (1.0 + spread * rng.Uniform(0.5, 1.0));
+
+      cq.alt.resize(num_channels);
+      for (int c = 0; c < num_channels; ++c) {
+        coverage[c] += coverage_drift[c] +
+                       rng.Normal(0.0, config.alt_coverage_wander);
+        cq.alt[c] = alt_scale[c] * std::pow(1.0 + growth, t) *
+                    season[company.sector][q_index] *
+                    std::exp(coupling[c] * (u_vis + u_hid) + coverage[c] +
+                             rng.Normal(0.0, config.alt_noise[c]));
+      }
+    }
+    panel.companies.push_back(std::move(company));
+  }
+
+  AMS_RETURN_NOT_OK(panel.Validate());
+  return panel;
+}
+
+}  // namespace ams::data

@@ -1,0 +1,97 @@
+// Synthetic market generator: the documented substitute for the paper's two
+// proprietary alternative datasets (DESIGN.md §1).
+//
+// The generative story mirrors the information structure the paper relies on:
+//   revenue_t  = base * growth^t * season(sector, q) * exp(u_vis + u_hid + e_r)
+//   consensus  = base * growth^t * season * exp(u_vis) * (1 + bias) * exp(e_a)
+//   alt_c,t    = scale_c * growth^t * season * exp(kappa_c * (u_vis + u_hid)
+//                                                  + eta_c)
+// where u_vis / u_hid are AR(1) demand-shock components. Analysts observe
+// only u_vis; the alternative signal is coupled (kappa_c) to the *total*
+// shock, so it carries exactly the information edge the paper attributes to
+// alternative data. Sector-shared innovations give companies in a sector
+// correlated revenues, which the company correlation graph can exploit.
+#ifndef AMS_DATA_GENERATOR_H_
+#define AMS_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/panel.h"
+#include "util/status.h"
+
+namespace ams::data {
+
+struct GeneratorConfig {
+  DatasetProfile profile = DatasetProfile::kTransactionAmount;
+  int num_companies = 71;
+  int num_quarters = 16;
+  Quarter start{2014, 3};
+  int num_sectors = 8;
+  uint64_t seed = 42;
+
+  // --- Demand-shock process. ---
+  /// AR(1) persistence of both shock components.
+  double shock_persistence = 0.5;
+  /// Std dev of the analyst-visible innovation.
+  double visible_vol = 0.05;
+  /// Std dev of the hidden innovation (what alt data can reveal).
+  double hidden_vol = 0.06;
+  /// Fraction of each innovation shared across a sector (graph structure:
+  /// neighbours' alternative signals help denoise the shared component).
+  double sector_share = 0.6;
+
+  // --- Reporting / analysts. ---
+  /// Std dev of the reporting noise (unpredictable by anyone).
+  double reporting_noise = 0.012;
+  /// Std dev of the consensus noise. Deliberately the largest noise term:
+  /// it sits in the SR denominator |R - E| but not in a model's error, which
+  /// is what lets a good model reach SR < 1 (beat the consensus) at all.
+  double analyst_noise = 0.018;
+  /// Std dev of the persistent per-company analyst bias — predictable
+  /// structure a model can learn from the lagged (R, E) features.
+  double analyst_bias_vol = 0.015;
+
+  // --- Alternative-data channels (size = panel's num_alt_channels). ---
+  /// Coupling of each channel to the total demand shock.
+  std::vector<double> alt_coupling = {0.9};
+  /// Measurement-noise std dev of each channel.
+  std::vector<double> alt_noise = {0.03};
+  /// Log-normal spread of the per-company coupling multiplier: companies
+  /// differ in how strongly their alt signal tracks revenue, which is what
+  /// per-company slave-LR weights (Fig. 8) adapt to.
+  double coupling_heterogeneity = 0.15;
+  /// Uniform range of the per-sector coupling multiplier. Sector membership
+  /// is an observable one-hot feature, so the *slope* of the alt signal
+  /// differs across sectors in a way a per-company generated LR can express
+  /// but a single global linear model cannot (it can only shift intercepts).
+  double sector_coupling_min = 0.3;
+  double sector_coupling_max = 1.7;
+  /// Random-walk volatility of the (log) alt-panel coverage: card panels
+  /// grow, apps gain/lose users — drift unrelated to revenue. Naive ratio
+  /// models (QoQ/YoY) integrate this drift over their full lag, while
+  /// learned models can difference it away with adjacent lags.
+  double alt_coverage_wander = 0.065;
+  /// Per-company deterministic per-quarter drift in log alt coverage.
+  double alt_coverage_drift_vol = 0.01;
+
+  // --- Company scale. ---
+  /// ln(base quarterly revenue, millions): mean and std dev.
+  double log_base_mean = 6.0;   // exp(6) ~ 400M per quarter
+  double log_base_vol = 1.1;
+  /// Per-quarter growth rate: mean and std dev.
+  double growth_mean = 0.015;
+  double growth_vol = 0.02;
+  /// Seasonal amplitude (peak-vs-trough multiplier spread).
+  double seasonal_amplitude = 0.22;
+
+  /// Paper-calibrated defaults for each dataset profile (company and quarter
+  /// counts, start quarter, channel couplings).
+  static GeneratorConfig Defaults(DatasetProfile profile, uint64_t seed = 42);
+};
+
+/// Generates a complete panel; deterministic for a given config.
+Result<Panel> GenerateMarket(const GeneratorConfig& config);
+
+}  // namespace ams::data
+
+#endif  // AMS_DATA_GENERATOR_H_

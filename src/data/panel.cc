@@ -1,0 +1,93 @@
+#include "data/panel.h"
+
+#include <cmath>
+
+namespace ams::data {
+
+Quarter Quarter::Plus(int offset) const {
+  int index = year * 4 + (q - 1) + offset;
+  Quarter out;
+  out.year = index / 4;
+  out.q = index % 4 + 1;
+  return out;
+}
+
+int Quarter::Minus(const Quarter& other) const {
+  return (year * 4 + q) - (other.year * 4 + other.q);
+}
+
+std::string Quarter::ToString() const {
+  return std::to_string(year) + "q" + std::to_string(q);
+}
+
+const char* DatasetProfileName(DatasetProfile profile) {
+  switch (profile) {
+    case DatasetProfile::kTransactionAmount:
+      return "transaction amount";
+    case DatasetProfile::kMapQuery:
+      return "map query";
+  }
+  return "unknown";
+}
+
+std::vector<std::vector<double>> Panel::RevenueHistories(
+    int up_to_quarter) const {
+  AMS_DCHECK(up_to_quarter >= 0 && up_to_quarter < num_quarters,
+             "quarter index out of range");
+  std::vector<std::vector<double>> histories;
+  histories.reserve(companies.size());
+  for (const Company& company : companies) {
+    std::vector<double> history(up_to_quarter + 1);
+    for (int t = 0; t <= up_to_quarter; ++t) {
+      history[t] = company.quarters[t].revenue;
+    }
+    histories.push_back(std::move(history));
+  }
+  return histories;
+}
+
+Status Panel::Validate() const {
+  if (companies.empty()) return Status::InvalidArgument("panel is empty");
+  if (num_quarters < 1) return Status::InvalidArgument("no quarters");
+  for (const Company& company : companies) {
+    if (static_cast<int>(company.quarters.size()) != num_quarters) {
+      return Status::InvalidArgument("company " + company.name +
+                                     " has misaligned quarter count");
+    }
+    if (company.sector < 0 || company.sector >= num_sectors) {
+      return Status::InvalidArgument("company " + company.name +
+                                     " has out-of-range sector");
+    }
+    if (company.market_cap <= 0.0) {
+      return Status::InvalidArgument("company " + company.name +
+                                     " has non-positive market cap");
+    }
+    for (const CompanyQuarter& cq : company.quarters) {
+      if (!(cq.revenue > 0.0) || !std::isfinite(cq.revenue)) {
+        return Status::InvalidArgument("non-positive revenue in " +
+                                       company.name);
+      }
+      if (!(cq.consensus > 0.0) || !std::isfinite(cq.consensus)) {
+        return Status::InvalidArgument("non-positive consensus in " +
+                                       company.name);
+      }
+      if (cq.low_estimate > cq.consensus || cq.consensus > cq.high_estimate) {
+        return Status::InvalidArgument("estimate ordering violated in " +
+                                       company.name);
+      }
+      if (static_cast<int>(cq.alt.size()) != num_alt_channels) {
+        return Status::InvalidArgument("alt channel count mismatch in " +
+                                       company.name);
+      }
+      for (double a : cq.alt) {
+        if (!(a > 0.0) || !std::isfinite(a)) {
+          return Status::InvalidArgument("non-positive alt signal in " +
+                                         company.name);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ams::data

@@ -1,0 +1,89 @@
+// The quarterly company panel: the in-memory form of the paper's two
+// alternative datasets (revenues, analyst estimates, alternative-data
+// channels per company per quarter).
+#ifndef AMS_DATA_PANEL_H_
+#define AMS_DATA_PANEL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ams::data {
+
+/// Calendar quarter, e.g. {2016, 3} == "2016q3".
+struct Quarter {
+  int year = 2000;
+  int q = 1;  // 1..4
+
+  /// Quarter `offset` steps later (negative = earlier).
+  Quarter Plus(int offset) const;
+  /// Signed distance in quarters (this - other).
+  int Minus(const Quarter& other) const;
+  /// Fiscal-quarter-end month (March/June/September/December), 1-based.
+  int EndMonth() const { return q * 3; }
+  std::string ToString() const;
+
+  bool operator==(const Quarter& other) const {
+    return year == other.year && q == other.q;
+  }
+};
+
+/// Which of the paper's two alternative datasets a panel models.
+enum class DatasetProfile {
+  /// China UnionPay online transaction amounts: 71 companies, 16 quarters
+  /// (2014q3-2018q2), one alt channel with strong revenue coupling.
+  kTransactionAmount,
+  /// Baidu Maps query counts: 62 companies, 9 quarters (2016q2-2018q2),
+  /// two alt channels (store, parking lot), weaker and noisier coupling.
+  kMapQuery,
+};
+
+const char* DatasetProfileName(DatasetProfile profile);
+
+/// One company-quarter observation.
+struct CompanyQuarter {
+  double revenue = 0.0;        // R_i^t, officially reported (millions CNY)
+  double consensus = 0.0;      // E_i^t, mean analyst estimate
+  double low_estimate = 0.0;   // LE_i^t
+  double high_estimate = 0.0;  // HE_i^t
+  /// Aggregated alternative-data channels A_i^t (1 for transaction amount,
+  /// 2 for map query: store, parking lot).
+  std::vector<double> alt;
+
+  /// Actual unexpected revenue R - E.
+  double UnexpectedRevenue() const { return revenue - consensus; }
+};
+
+struct Company {
+  std::string name;
+  int sector = 0;
+  double market_cap = 0.0;  // billions, drives backtest allocation buckets
+  /// One entry per panel quarter, index-aligned with Panel::QuarterAt.
+  std::vector<CompanyQuarter> quarters;
+};
+
+/// A complete dataset: all companies over a shared quarter range.
+struct Panel {
+  DatasetProfile profile = DatasetProfile::kTransactionAmount;
+  Quarter start;
+  int num_quarters = 0;
+  int num_sectors = 0;
+  int num_alt_channels = 0;
+  std::vector<Company> companies;
+
+  int num_companies() const { return static_cast<int>(companies.size()); }
+  Quarter QuarterAt(int index) const { return start.Plus(index); }
+
+  /// Per-company revenue histories over quarters [0, up_to_quarter], used
+  /// to build the correlation graph from training data only.
+  std::vector<std::vector<double>> RevenueHistories(int up_to_quarter) const;
+
+  /// Structural sanity checks (aligned lengths, positive revenues, alt
+  /// channel counts).
+  Status Validate() const;
+};
+
+}  // namespace ams::data
+
+#endif  // AMS_DATA_PANEL_H_

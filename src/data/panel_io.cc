@@ -1,0 +1,180 @@
+#include "data/panel_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace ams::data {
+
+namespace {
+
+constexpr int kFixedColumns = 9;  // columns before the alt channels
+
+std::vector<std::string> HeaderFor(int num_alt_channels) {
+  std::vector<std::string> header = {
+      "company", "sector",    "market_cap",   "year",         "quarter",
+      "revenue", "consensus", "low_estimate", "high_estimate"};
+  for (int c = 0; c < num_alt_channels; ++c) {
+    header.push_back("alt" + std::to_string(c));
+  }
+  return header;
+}
+
+Result<double> ParseDouble(const std::string& field,
+                           const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("cannot parse " + what + ": '" + field +
+                                   "'");
+  }
+  return value;
+}
+
+Result<int> ParseInt(const std::string& field, const std::string& what) {
+  AMS_ASSIGN_OR_RETURN(double value, ParseDouble(field, what));
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+CsvTable PanelToCsv(const Panel& panel) {
+  CsvTable table;
+  table.header = HeaderFor(panel.num_alt_channels);
+  for (const Company& company : panel.companies) {
+    for (int t = 0; t < panel.num_quarters; ++t) {
+      const Quarter quarter = panel.QuarterAt(t);
+      const CompanyQuarter& cq = company.quarters[t];
+      std::vector<std::string> row = {
+          company.name,
+          std::to_string(company.sector),
+          FormatDouble(company.market_cap, 6),
+          std::to_string(quarter.year),
+          std::to_string(quarter.q),
+          FormatDouble(cq.revenue, 6),
+          FormatDouble(cq.consensus, 6),
+          FormatDouble(cq.low_estimate, 6),
+          FormatDouble(cq.high_estimate, 6)};
+      for (double a : cq.alt) row.push_back(FormatDouble(a, 6));
+      table.rows.push_back(std::move(row));
+    }
+  }
+  return table;
+}
+
+Status WritePanelCsv(const std::string& path, const Panel& panel) {
+  return WriteCsv(path, PanelToCsv(panel));
+}
+
+Result<Panel> PanelFromCsv(const CsvTable& table, DatasetProfile profile) {
+  if (table.header.size() < static_cast<size_t>(kFixedColumns) + 1) {
+    return Status::InvalidArgument(
+        "panel CSV needs at least one alt channel column");
+  }
+  for (int c = 0; c < kFixedColumns; ++c) {
+    if (table.header[c] != HeaderFor(1)[c]) {
+      return Status::InvalidArgument("unexpected column '" +
+                                     table.header[c] + "' at position " +
+                                     std::to_string(c));
+    }
+  }
+  const int num_alt = static_cast<int>(table.header.size()) - kFixedColumns;
+
+  struct ParsedRow {
+    Quarter quarter;
+    CompanyQuarter data;
+  };
+  // Preserve first-appearance order of companies.
+  std::vector<std::string> company_order;
+  std::map<std::string, int> sectors;
+  std::map<std::string, double> caps;
+  std::map<std::string, std::vector<ParsedRow>> rows_by_company;
+
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) {
+      return Status::InvalidArgument("ragged panel CSV row");
+    }
+    const std::string& name = row[0];
+    if (rows_by_company.find(name) == rows_by_company.end()) {
+      company_order.push_back(name);
+      AMS_ASSIGN_OR_RETURN(sectors[name], ParseInt(row[1], "sector"));
+      AMS_ASSIGN_OR_RETURN(caps[name], ParseDouble(row[2], "market_cap"));
+    }
+    ParsedRow parsed;
+    AMS_ASSIGN_OR_RETURN(parsed.quarter.year, ParseInt(row[3], "year"));
+    AMS_ASSIGN_OR_RETURN(parsed.quarter.q, ParseInt(row[4], "quarter"));
+    if (parsed.quarter.q < 1 || parsed.quarter.q > 4) {
+      return Status::InvalidArgument("quarter must be 1..4");
+    }
+    AMS_ASSIGN_OR_RETURN(parsed.data.revenue,
+                         ParseDouble(row[5], "revenue"));
+    AMS_ASSIGN_OR_RETURN(parsed.data.consensus,
+                         ParseDouble(row[6], "consensus"));
+    AMS_ASSIGN_OR_RETURN(parsed.data.low_estimate,
+                         ParseDouble(row[7], "low_estimate"));
+    AMS_ASSIGN_OR_RETURN(parsed.data.high_estimate,
+                         ParseDouble(row[8], "high_estimate"));
+    parsed.data.alt.resize(num_alt);
+    for (int c = 0; c < num_alt; ++c) {
+      AMS_ASSIGN_OR_RETURN(parsed.data.alt[c],
+                           ParseDouble(row[kFixedColumns + c], "alt"));
+    }
+    rows_by_company[name].push_back(std::move(parsed));
+  }
+  if (company_order.empty()) {
+    return Status::InvalidArgument("panel CSV has no data rows");
+  }
+
+  // Establish the common quarter range from the first company.
+  auto& first_rows = rows_by_company[company_order[0]];
+  std::sort(first_rows.begin(), first_rows.end(),
+            [](const ParsedRow& a, const ParsedRow& b) {
+              return a.quarter.Minus(b.quarter) < 0;
+            });
+  const Quarter start = first_rows.front().quarter;
+  const int num_quarters = static_cast<int>(first_rows.size());
+
+  Panel panel;
+  panel.profile = profile;
+  panel.start = start;
+  panel.num_quarters = num_quarters;
+  panel.num_alt_channels = num_alt;
+
+  int max_sector = 0;
+  for (const std::string& name : company_order) {
+    auto& rows = rows_by_company[name];
+    if (static_cast<int>(rows.size()) != num_quarters) {
+      return Status::InvalidArgument("company " + name +
+                                     " has a different quarter count");
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const ParsedRow& a, const ParsedRow& b) {
+                return a.quarter.Minus(b.quarter) < 0;
+              });
+    Company company;
+    company.name = name;
+    company.sector = sectors[name];
+    company.market_cap = caps[name];
+    for (int t = 0; t < num_quarters; ++t) {
+      if (!(rows[t].quarter == start.Plus(t))) {
+        return Status::InvalidArgument("company " + name +
+                                       " has non-contiguous quarters");
+      }
+      company.quarters.push_back(rows[t].data);
+    }
+    max_sector = std::max(max_sector, company.sector);
+    panel.companies.push_back(std::move(company));
+  }
+  panel.num_sectors = max_sector + 1;
+  AMS_RETURN_NOT_OK(panel.Validate());
+  return panel;
+}
+
+Result<Panel> ReadPanelCsv(const std::string& path, DatasetProfile profile) {
+  AMS_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path));
+  return PanelFromCsv(table, profile);
+}
+
+}  // namespace ams::data

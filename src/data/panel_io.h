@@ -1,0 +1,36 @@
+// Panel serialization: export a panel to CSV and import one back.
+//
+// The CSV schema is the natural interchange format for users who have real
+// alternative data: one row per company-quarter with the columns
+//   company,sector,market_cap,year,quarter,revenue,consensus,low_estimate,
+//   high_estimate,alt0[,alt1,...]
+// Import validates the same invariants as data::Panel::Validate (aligned
+// quarters, positive revenues, ordered estimates).
+#ifndef AMS_DATA_PANEL_IO_H_
+#define AMS_DATA_PANEL_IO_H_
+
+#include <string>
+
+#include "data/panel.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace ams::data {
+
+/// Serializes the panel into the CSV interchange schema.
+CsvTable PanelToCsv(const Panel& panel);
+
+/// Writes the panel to `path` as CSV.
+Status WritePanelCsv(const std::string& path, const Panel& panel);
+
+/// Parses a panel from the CSV interchange schema. `profile` tags the
+/// result (it does not change parsing). All companies must cover the same
+/// contiguous quarter range; rows may appear in any order.
+Result<Panel> PanelFromCsv(const CsvTable& table, DatasetProfile profile);
+
+/// Reads a panel from a CSV file.
+Result<Panel> ReadPanelCsv(const std::string& path, DatasetProfile profile);
+
+}  // namespace ams::data
+
+#endif  // AMS_DATA_PANEL_IO_H_

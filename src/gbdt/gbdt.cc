@@ -1,0 +1,285 @@
+#include "gbdt/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ams::gbdt {
+
+using la::Matrix;
+
+namespace {
+
+/// Leaf weight under the second-order objective: -G / (H + lambda).
+double LeafWeight(double grad_sum, double hess_sum, double reg_lambda) {
+  return -grad_sum / (hess_sum + reg_lambda);
+}
+
+/// Score term G^2 / (H + lambda) used in the gain formula.
+double ScoreTerm(double grad_sum, double hess_sum, double reg_lambda) {
+  return grad_sum * grad_sum / (hess_sum + reg_lambda);
+}
+
+struct BestSplit {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+int RegressionTree::GrowNode(const Matrix& x, const std::vector<double>& grad,
+                             const std::vector<double>& hess,
+                             std::vector<int>* rows,
+                             const std::vector<int>& feature_subset,
+                             const GbdtOptions& options, int depth) {
+  double grad_sum = 0.0;
+  double hess_sum = 0.0;
+  for (int r : *rows) {
+    grad_sum += grad[r];
+    hess_sum += hess[r];
+  }
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].weight =
+      LeafWeight(grad_sum, hess_sum, options.reg_lambda);
+
+  if (depth >= options.max_depth || rows->size() < 2) return node_index;
+
+  const double parent_score =
+      ScoreTerm(grad_sum, hess_sum, options.reg_lambda);
+
+  BestSplit best;
+  std::vector<int> sorted = *rows;
+  for (int feature : feature_subset) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return x(a, feature) < x(b, feature);
+    });
+    double left_grad = 0.0;
+    double left_hess = 0.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const int r = sorted[i];
+      left_grad += grad[r];
+      left_hess += hess[r];
+      const double cur = x(r, feature);
+      const double next = x(sorted[i + 1], feature);
+      if (cur == next) continue;  // cannot split between equal values
+      const double right_grad = grad_sum - left_grad;
+      const double right_hess = hess_sum - left_hess;
+      if (left_hess < options.min_child_weight ||
+          right_hess < options.min_child_weight) {
+        continue;
+      }
+      const double gain =
+          0.5 * (ScoreTerm(left_grad, left_hess, options.reg_lambda) +
+                 ScoreTerm(right_grad, right_hess, options.reg_lambda) -
+                 parent_score) -
+          options.min_split_gain;
+      if (gain > best.gain) {
+        best.feature = feature;
+        best.threshold = 0.5 * (cur + next);
+        best.gain = gain;
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.gain <= 0.0) return node_index;
+
+  std::vector<int> left_rows;
+  std::vector<int> right_rows;
+  for (int r : *rows) {
+    if (x(r, best.feature) < best.threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  AMS_DCHECK(!left_rows.empty() && !right_rows.empty(),
+             "degenerate GBDT split");
+  rows->clear();
+  rows->shrink_to_fit();
+
+  const int left = GrowNode(x, grad, hess, &left_rows, feature_subset,
+                            options, depth + 1);
+  const int right = GrowNode(x, grad, hess, &right_rows, feature_subset,
+                             options, depth + 1);
+  Node& node = nodes_[node_index];
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.gain = best.gain;
+  node.left = left;
+  node.right = right;
+  node.is_leaf = false;
+  return node_index;
+}
+
+RegressionTree RegressionTree::Grow(const Matrix& x,
+                                    const std::vector<double>& grad,
+                                    const std::vector<double>& hess,
+                                    const std::vector<int>& rows,
+                                    const std::vector<int>& feature_subset,
+                                    const GbdtOptions& options) {
+  RegressionTree tree;
+  std::vector<int> mutable_rows = rows;
+  tree.GrowNode(x, grad, hess, &mutable_rows, feature_subset, options,
+                /*depth=*/0);
+  return tree;
+}
+
+double RegressionTree::PredictRow(const double* row) const {
+  AMS_DCHECK(!nodes_.empty(), "predict on empty tree");
+  int index = 0;
+  while (!nodes_[index].is_leaf) {
+    const Node& node = nodes_[index];
+    index = row[node.feature] < node.threshold ? node.left : node.right;
+  }
+  return nodes_[index].weight;
+}
+
+int RegressionTree::num_leaves() const {
+  int count = 0;
+  for (const Node& node : nodes_) {
+    if (node.is_leaf) ++count;
+  }
+  return count;
+}
+
+int RegressionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  // Depth via DFS over the flat representation.
+  std::vector<std::pair<int, int>> stack = {{0, 0}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    auto [index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes_[index];
+    if (!node.is_leaf) {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+Status GbdtRegressor::Fit(const Matrix& x, const Matrix& y,
+                          const Matrix* valid_x, const Matrix* valid_y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (y.rows() != x.rows() || y.cols() != 1) {
+    return Status::InvalidArgument("y must be (num_rows x 1)");
+  }
+  if (options_.num_rounds < 1 || options_.learning_rate <= 0.0 ||
+      options_.max_depth < 1 || options_.subsample <= 0.0 ||
+      options_.subsample > 1.0 || options_.colsample <= 0.0 ||
+      options_.colsample > 1.0) {
+    return Status::InvalidArgument("invalid GBDT hyperparameters");
+  }
+  const bool has_valid = valid_x != nullptr && valid_y != nullptr &&
+                         valid_x->rows() > 0;
+  if (options_.early_stopping_rounds > 0 && !has_valid) {
+    return Status::InvalidArgument(
+        "early stopping requires validation data");
+  }
+
+  const int n = x.rows();
+  num_features_ = x.cols();
+  trees_.clear();
+  base_score_ = y.Mean();
+
+  Rng rng(options_.seed);
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> valid_pred;
+  if (has_valid) valid_pred.assign(valid_x->rows(), base_score_);
+
+  std::vector<double> grad(n);
+  std::vector<double> hess(n, 1.0);
+
+  double best_valid_rmse = std::numeric_limits<double>::infinity();
+  int best_round = -1;
+
+  const int rows_per_tree =
+      std::max(1, static_cast<int>(std::lround(options_.subsample * n)));
+  const int cols_per_tree = std::max(
+      1, static_cast<int>(std::lround(options_.colsample * num_features_)));
+
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    // Squared-error objective: g = pred - y, h = 1.
+    for (int r = 0; r < n; ++r) grad[r] = pred[r] - y(r, 0);
+
+    std::vector<int> rows =
+        rows_per_tree == n
+            ? [&] {
+                std::vector<int> all(n);
+                for (int r = 0; r < n; ++r) all[r] = r;
+                return all;
+              }()
+            : rng.SampleWithoutReplacement(n, rows_per_tree);
+    std::vector<int> features =
+        cols_per_tree == num_features_
+            ? [&] {
+                std::vector<int> all(num_features_);
+                for (int c = 0; c < num_features_; ++c) all[c] = c;
+                return all;
+              }()
+            : rng.SampleWithoutReplacement(num_features_, cols_per_tree);
+
+    RegressionTree tree =
+        RegressionTree::Grow(x, grad, hess, rows, features, options_);
+    for (int r = 0; r < n; ++r) {
+      pred[r] += options_.learning_rate * tree.PredictRow(x.row_data(r));
+    }
+    trees_.push_back(std::move(tree));
+
+    if (has_valid) {
+      double sq = 0.0;
+      for (int r = 0; r < valid_x->rows(); ++r) {
+        valid_pred[r] += options_.learning_rate *
+                         trees_.back().PredictRow(valid_x->row_data(r));
+        const double err = valid_pred[r] - (*valid_y)(r, 0);
+        sq += err * err;
+      }
+      const double rmse = std::sqrt(sq / valid_x->rows());
+      if (rmse < best_valid_rmse - 1e-12) {
+        best_valid_rmse = rmse;
+        best_round = round;
+      } else if (options_.early_stopping_rounds > 0 &&
+                 round - best_round >= options_.early_stopping_rounds) {
+        trees_.resize(best_round + 1);
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> GbdtRegressor::Predict(const Matrix& x) const {
+  if (trees_.empty()) return Status::FailedPrecondition("model not fitted");
+  if (x.cols() != num_features_) {
+    return Status::InvalidArgument("feature width mismatch in Predict");
+  }
+  std::vector<double> out(x.rows(), base_score_);
+  for (int r = 0; r < x.rows(); ++r) {
+    const double* row = x.row_data(r);
+    double acc = base_score_;
+    for (const RegressionTree& tree : trees_) {
+      acc += options_.learning_rate * tree.PredictRow(row);
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> GbdtRegressor::FeatureImportance() const {
+  std::vector<double> importance(num_features_, 0.0);
+  for (const RegressionTree& tree : trees_) {
+    for (const RegressionTree::Node& node : tree.nodes()) {
+      if (!node.is_leaf) importance[node.feature] += node.gain;
+    }
+  }
+  return importance;
+}
+
+}  // namespace ams::gbdt

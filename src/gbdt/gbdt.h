@@ -1,0 +1,107 @@
+// Gradient-boosted regression trees in the XGBoost style (Chen & Guestrin,
+// KDD 2016): second-order (gradient/hessian) objective, exact greedy split
+// enumeration, L2-regularized leaf weights, shrinkage, min-child-weight and
+// min-split-gain pruning, and row/column subsampling.
+//
+// Used as the "XGBoost" baseline of Tables I-V with objective reg:linear
+// (squared error), as in the paper.
+#ifndef AMS_GBDT_GBDT_H_
+#define AMS_GBDT_GBDT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ams::gbdt {
+
+struct GbdtOptions {
+  int num_rounds = 100;
+  double learning_rate = 0.1;  // eta / shrinkage
+  int max_depth = 3;
+  /// Minimum sum of hessians in a child (with squared error, the child's
+  /// sample count).
+  double min_child_weight = 1.0;
+  /// L2 regularization on leaf weights (XGBoost lambda).
+  double reg_lambda = 1.0;
+  /// Minimum gain required to make a split (XGBoost gamma).
+  double min_split_gain = 0.0;
+  /// Fraction of rows sampled per tree.
+  double subsample = 1.0;
+  /// Fraction of features sampled per tree.
+  double colsample = 1.0;
+  /// Stop when validation RMSE has not improved in this many rounds
+  /// (0 = disabled; requires validation data in Fit).
+  int early_stopping_rounds = 0;
+  uint64_t seed = 42;
+};
+
+/// A single regression tree, stored as a flat node array.
+class RegressionTree {
+ public:
+  struct Node {
+    int feature = -1;        // split feature; -1 for leaves
+    double threshold = 0.0;  // go left when x[feature] < threshold
+    int left = -1;
+    int right = -1;
+    double weight = 0.0;     // leaf output
+    double gain = 0.0;       // split gain (0 for leaves)
+    bool is_leaf = true;
+  };
+
+  /// Grows a tree on the given rows against gradients/hessians.
+  /// `feature_subset` lists the candidate feature indices for this tree.
+  static RegressionTree Grow(const la::Matrix& x,
+                             const std::vector<double>& grad,
+                             const std::vector<double>& hess,
+                             const std::vector<int>& rows,
+                             const std::vector<int>& feature_subset,
+                             const GbdtOptions& options);
+
+  double PredictRow(const double* row) const;
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_leaves() const;
+  /// Maximum root-to-leaf depth (root = 0).
+  int Depth() const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
+  int GrowNode(const la::Matrix& x, const std::vector<double>& grad,
+               const std::vector<double>& hess, std::vector<int>* rows,
+               const std::vector<int>& feature_subset,
+               const GbdtOptions& options, int depth);
+  std::vector<Node> nodes_;
+};
+
+/// The boosted ensemble.
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(GbdtOptions options = {}) : options_(options) {}
+
+  /// Trains on (x, y); optional validation pair enables early stopping.
+  Status Fit(const la::Matrix& x, const la::Matrix& y,
+             const la::Matrix* valid_x = nullptr,
+             const la::Matrix* valid_y = nullptr);
+
+  Result<std::vector<double>> Predict(const la::Matrix& x) const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  double base_score() const { return base_score_; }
+  const GbdtOptions& options() const { return options_; }
+
+  /// Total split-gain importance per feature (sums over all trees). Requires
+  /// a fitted model.
+  std::vector<double> FeatureImportance() const;
+
+ private:
+  GbdtOptions options_;
+  double base_score_ = 0.0;
+  int num_features_ = 0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace ams::gbdt
+
+#endif  // AMS_GBDT_GBDT_H_

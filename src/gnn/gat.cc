@@ -1,0 +1,115 @@
+#include "gnn/gat.h"
+
+#include "nn/init.h"
+
+namespace ams::gnn {
+
+using la::Matrix;
+using tensor::Tensor;
+
+GatLayer::GatLayer(int in_features, int out_features_per_head, int num_heads,
+                   nn::Activation activation, Rng* rng, bool average_heads,
+                   double leaky_relu_alpha)
+    : in_features_(in_features),
+      out_per_head_(out_features_per_head),
+      num_heads_(num_heads),
+      activation_(activation),
+      average_heads_(average_heads),
+      leaky_alpha_(leaky_relu_alpha) {
+  AMS_DCHECK(num_heads >= 1, "GAT layer needs >= 1 head");
+  for (int h = 0; h < num_heads; ++h) {
+    weights_.push_back(Tensor::Parameter(nn::XavierUniform(
+        out_per_head_, in_features_, in_features_, out_per_head_, rng)));
+    attn_src_.push_back(Tensor::Parameter(
+        nn::XavierUniform(out_per_head_, 1, out_per_head_, 1, rng)));
+    attn_dst_.push_back(Tensor::Parameter(
+        nn::XavierUniform(out_per_head_, 1, out_per_head_, 1, rng)));
+  }
+}
+
+int GatLayer::out_features() const {
+  return average_heads_ ? out_per_head_ : out_per_head_ * num_heads_;
+}
+
+Tensor GatLayer::Forward(const Tensor& x, const Matrix& mask, bool training,
+                         double attn_dropout, Rng* dropout_rng) const {
+  AMS_DCHECK(x.cols() == in_features_, "GAT input width mismatch");
+  const int n = x.rows();
+  AMS_DCHECK(mask.rows() == n && mask.cols() == n, "GAT mask shape mismatch");
+
+  last_attention_.clear();
+  const Tensor zeros = Tensor::Constant(Matrix::Zeros(n, n));
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    // H = X W^T: n x out_per_head.
+    Tensor hidden = tensor::MatMul(x, tensor::Transpose(weights_[h]));
+    // Additive attention split into source and destination contributions:
+    // e_ij = LeakyReLU(s_src_i + s_dst_j).
+    Tensor s_src = tensor::MatMul(hidden, attn_src_[h]);  // n x 1
+    Tensor s_dst = tensor::MatMul(hidden, attn_dst_[h]);  // n x 1
+    Tensor logits = tensor::Add(zeros, s_src);            // broadcast rows
+    logits = tensor::Add(logits, tensor::Transpose(s_dst));  // broadcast cols
+    logits = tensor::LeakyRelu(logits, leaky_alpha_);
+    Tensor attention = tensor::MaskedRowSoftmax(logits, mask);
+    if (attn_dropout > 0.0 && training) {
+      attention =
+          tensor::Dropout(attention, attn_dropout, training, dropout_rng);
+    }
+    last_attention_.push_back(attention.value());
+    Tensor aggregated = tensor::MatMul(attention, hidden);
+    head_outputs.push_back(nn::Activate(aggregated, activation_));
+  }
+  if (num_heads_ == 1) return head_outputs[0];
+  if (!average_heads_) return tensor::ConcatCols(head_outputs);
+  Tensor sum = head_outputs[0];
+  for (int h = 1; h < num_heads_; ++h) {
+    sum = tensor::Add(sum, head_outputs[h]);
+  }
+  return tensor::Scale(sum, 1.0 / num_heads_);
+}
+
+std::vector<Tensor> GatLayer::Parameters() const {
+  std::vector<Tensor> params;
+  for (int h = 0; h < num_heads_; ++h) {
+    params.push_back(weights_[h]);
+    params.push_back(attn_src_[h]);
+    params.push_back(attn_dst_[h]);
+  }
+  return params;
+}
+
+GatNetwork::GatNetwork(int in_features, const GatConfig& config, Rng* rng)
+    : in_features_(in_features), config_(config) {
+  int width = in_features;
+  for (int per_head : config.hidden_per_head) {
+    layers_.emplace_back(width, per_head, config.num_heads,
+                         config.hidden_activation, rng,
+                         /*average_heads=*/false, config.leaky_relu_alpha);
+    width = layers_.back().out_features();
+  }
+  // Final single-head layer, linear output (representation layer).
+  layers_.emplace_back(width, config.out_features, /*num_heads=*/1,
+                       nn::Activation::kNone, rng, /*average_heads=*/false,
+                       config.leaky_relu_alpha);
+}
+
+Tensor GatNetwork::Forward(const Tensor& x, const Matrix& mask, bool training,
+                           Rng* dropout_rng) const {
+  Tensor h = x;
+  for (const GatLayer& layer : layers_) {
+    h = layer.Forward(h, mask, training, config_.attention_dropout,
+                      dropout_rng);
+  }
+  return h;
+}
+
+std::vector<Tensor> GatNetwork::Parameters() const {
+  std::vector<Tensor> params;
+  for (const GatLayer& layer : layers_) {
+    for (const Tensor& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace ams::gnn

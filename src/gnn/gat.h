@@ -1,0 +1,102 @@
+// Graph attention network (Velickovic et al., ICLR 2018), the GNN used by
+// the AMS master model on the company correlation graph (paper §III-C,
+// Eq. 2-3).
+//
+// Graphs here are small (one node per company, n <= ~100), so attention is
+// computed densely over an n x n adjacency mask.
+#ifndef AMS_GNN_GAT_H_
+#define AMS_GNN_GAT_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "nn/dense.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ams::gnn {
+
+/// One multi-head graph attention layer.
+///
+/// Per head h: H = X W_h^T; e_ij = LeakyReLU(a_src . h_i + a_dst . h_j) for
+/// j in N(i) u {i}; alpha = softmax_j(e_ij); out_i = phi(sum_j alpha_ij h_j).
+/// Head outputs are concatenated (Eq. 3) unless `average_heads` is set
+/// (used for the final layer, which the paper makes single-head).
+class GatLayer {
+ public:
+  GatLayer(int in_features, int out_features_per_head, int num_heads,
+           nn::Activation activation, Rng* rng, bool average_heads = false,
+           double leaky_relu_alpha = 0.2);
+
+  /// x: n x in_features node features; mask: n x n attention mask with
+  /// self-loops (see graph::CompanyGraph::AttentionMask).
+  tensor::Tensor Forward(const tensor::Tensor& x, const la::Matrix& mask,
+                         bool training = false, double attn_dropout = 0.0,
+                         Rng* dropout_rng = nullptr) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+  int in_features() const { return in_features_; }
+  /// Width of the layer output (heads * per-head features when
+  /// concatenating; per-head features when averaging).
+  int out_features() const;
+  int num_heads() const { return num_heads_; }
+
+  /// Attention matrices (one n x n per head) from the most recent Forward;
+  /// exposed for diagnostics and tests.
+  const std::vector<la::Matrix>& last_attention() const {
+    return last_attention_;
+  }
+
+ private:
+  int in_features_;
+  int out_per_head_;
+  int num_heads_;
+  nn::Activation activation_;
+  bool average_heads_;
+  double leaky_alpha_;
+  std::vector<tensor::Tensor> weights_;   // per head: out_per_head x in
+  std::vector<tensor::Tensor> attn_src_;  // per head: out_per_head x 1
+  std::vector<tensor::Tensor> attn_dst_;  // per head: out_per_head x 1
+  mutable std::vector<la::Matrix> last_attention_;
+};
+
+/// Configuration of a GAT stack.
+struct GatConfig {
+  /// Hidden layer widths per head; each entry adds one multi-head layer.
+  std::vector<int> hidden_per_head = {16};
+  int num_heads = 4;
+  /// Output embedding width (single-head final layer per the paper).
+  int out_features = 16;
+  nn::Activation hidden_activation = nn::Activation::kRelu;
+  /// Dropout applied to attention coefficients during training.
+  double attention_dropout = 0.0;
+  double leaky_relu_alpha = 0.2;
+};
+
+/// A stack of GatLayers: multi-head concatenating hidden layers followed by
+/// one single-head output layer (paper: "The final output layer of GAT is a
+/// single attention head layer").
+class GatNetwork {
+ public:
+  GatNetwork(int in_features, const GatConfig& config, Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x, const la::Matrix& mask,
+                         bool training = false,
+                         Rng* dropout_rng = nullptr) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return config_.out_features; }
+  const std::vector<GatLayer>& layers() const { return layers_; }
+
+ private:
+  int in_features_;
+  GatConfig config_;
+  std::vector<GatLayer> layers_;
+};
+
+}  // namespace ams::gnn
+
+#endif  // AMS_GNN_GAT_H_

@@ -1,0 +1,74 @@
+#include "gnn/gcn.h"
+
+#include <cmath>
+
+namespace ams::gnn {
+
+using la::Matrix;
+using tensor::Tensor;
+
+Matrix NormalizedAdjacency(const Matrix& mask) {
+  AMS_DCHECK(mask.rows() == mask.cols(), "mask must be square");
+  const int n = mask.rows();
+  std::vector<double> inv_sqrt_degree(n);
+  for (int i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (int j = 0; j < n; ++j) degree += mask(i, j) != 0.0 ? 1.0 : 0.0;
+    AMS_DCHECK(degree > 0.0, "isolated node without self-loop");
+    inv_sqrt_degree[i] = 1.0 / std::sqrt(degree);
+  }
+  Matrix a_hat(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (mask(i, j) != 0.0) {
+        a_hat(i, j) = inv_sqrt_degree[i] * inv_sqrt_degree[j];
+      }
+    }
+  }
+  return a_hat;
+}
+
+GcnLayer::GcnLayer(int in_features, int out_features,
+                   nn::Activation activation, Rng* rng)
+    : layer_(in_features, out_features, activation, rng) {}
+
+Tensor GcnLayer::Forward(const Tensor& x, const Matrix& a_hat) const {
+  Tensor aggregated = tensor::MatMul(Tensor::Constant(a_hat), x);
+  return layer_.Forward(aggregated);
+}
+
+std::vector<Tensor> GcnLayer::Parameters() const {
+  return layer_.Parameters();
+}
+
+GcnNetwork::GcnNetwork(int in_features, const std::vector<int>& hidden,
+                       int out_features, Rng* rng) {
+  int width = in_features;
+  for (int h : hidden) {
+    layers_.emplace_back(width, h, nn::Activation::kRelu, rng);
+    width = h;
+  }
+  layers_.emplace_back(width, out_features, nn::Activation::kNone, rng);
+}
+
+Tensor GcnNetwork::Forward(const Tensor& x, const Matrix& mask) const {
+  if (!cached_mask_.same_shape(mask) || !(cached_mask_ == mask)) {
+    cached_mask_ = mask;
+    cached_a_hat_ = NormalizedAdjacency(mask);
+  }
+  Tensor h = x;
+  for (const GcnLayer& layer : layers_) {
+    h = layer.Forward(h, cached_a_hat_);
+  }
+  return h;
+}
+
+std::vector<Tensor> GcnNetwork::Parameters() const {
+  std::vector<Tensor> params;
+  for (const GcnLayer& layer : layers_) {
+    for (const Tensor& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace ams::gnn

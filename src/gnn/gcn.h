@@ -1,0 +1,65 @@
+// Graph convolutional network (Kipf & Welling, ICLR 2017) — the
+// mean-aggregation alternative to GAT for the AMS master model's GNN
+// component. Used by the component-ablation bench to show what the
+// attention mechanism adds over plain symmetric-normalized aggregation.
+#ifndef AMS_GNN_GCN_H_
+#define AMS_GNN_GCN_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "nn/dense.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ams::gnn {
+
+/// Builds the dense symmetric-normalized propagation matrix
+/// A_hat = D^{-1/2} (A + I) D^{-1/2} from an attention mask (nonzero =
+/// edge; the mask convention already includes self-loops).
+la::Matrix NormalizedAdjacency(const la::Matrix& mask);
+
+/// One GCN layer: X' = phi(A_hat X W^T + b).
+class GcnLayer {
+ public:
+  GcnLayer(int in_features, int out_features, nn::Activation activation,
+           Rng* rng);
+
+  /// `a_hat` must be the NormalizedAdjacency of the graph.
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const la::Matrix& a_hat) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+  int in_features() const { return layer_.in_features(); }
+  int out_features() const { return layer_.out_features(); }
+
+ private:
+  nn::Dense layer_;
+};
+
+/// A stack of GCN layers (hidden ReLU layers + linear output layer),
+/// interface-compatible with GatNetwork for the AMS master.
+class GcnNetwork {
+ public:
+  GcnNetwork(int in_features, const std::vector<int>& hidden,
+             int out_features, Rng* rng);
+
+  /// `mask` is the same attention mask GatNetwork consumes; the normalized
+  /// adjacency is (re)computed when the mask changes.
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const la::Matrix& mask) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+  int out_features() const { return layers_.back().out_features(); }
+
+ private:
+  std::vector<GcnLayer> layers_;
+  mutable la::Matrix cached_mask_;
+  mutable la::Matrix cached_a_hat_;
+};
+
+}  // namespace ams::gnn
+
+#endif  // AMS_GNN_GCN_H_

@@ -1,0 +1,106 @@
+#include "graph/company_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "la/stats.h"
+
+namespace ams::graph {
+
+Result<CompanyGraph> CompanyGraph::BuildFromRevenue(
+    const std::vector<std::vector<double>>& revenue_histories,
+    const CorrelationGraphOptions& options) {
+  const int n = static_cast<int>(revenue_histories.size());
+  if (n < 2) {
+    return Status::InvalidArgument("correlation graph needs >= 2 companies");
+  }
+  if (options.top_k < 1) {
+    return Status::InvalidArgument("top_k must be >= 1");
+  }
+  if (options.min_overlap < 2) {
+    return Status::InvalidArgument("min_overlap must be >= 2");
+  }
+
+  CompanyGraph graph;
+  graph.correlations_ = la::Matrix::Zeros(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const auto& a = revenue_histories[i];
+      const auto& b = revenue_histories[j];
+      const int overlap =
+          static_cast<int>(std::min(a.size(), b.size()));
+      if (overlap < options.min_overlap) continue;
+      // Align on the common suffix (most recent quarters).
+      std::vector<double> sa(a.end() - overlap, a.end());
+      std::vector<double> sb(b.end() - overlap, b.end());
+      const double corr = la::PearsonCorrelation(sa, sb);
+      graph.correlations_(i, j) = corr;
+      graph.correlations_(j, i) = corr;
+    }
+  }
+
+  // Directed top-k selection per node, then (optionally) symmetrize.
+  std::vector<std::vector<bool>> edge(n, std::vector<bool>(n, false));
+  const int k = std::min(options.top_k, n - 1);
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> candidates;
+    candidates.reserve(n - 1);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) candidates.push_back(j);
+    }
+    std::partial_sort(candidates.begin(), candidates.begin() + k,
+                      candidates.end(), [&](int x, int y) {
+                        const double cx = graph.correlations_(i, x);
+                        const double cy = graph.correlations_(i, y);
+                        if (cx != cy) return cx > cy;
+                        return x < y;  // deterministic tie-break
+                      });
+    for (int t = 0; t < k; ++t) {
+      const int j = candidates[t];
+      edge[i][j] = true;
+      if (options.symmetric) edge[j][i] = true;
+    }
+  }
+
+  graph.adjacency_.assign(n, {});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (edge[i][j]) graph.adjacency_[i].push_back(j);
+    }
+  }
+  return graph;
+}
+
+const std::vector<int>& CompanyGraph::Neighbors(int i) const {
+  AMS_DCHECK(i >= 0 && i < num_nodes(), "node index out of range");
+  return adjacency_[i];
+}
+
+bool CompanyGraph::HasEdge(int i, int j) const {
+  const auto& nbrs = Neighbors(i);
+  return std::binary_search(nbrs.begin(), nbrs.end(), j);
+}
+
+double CompanyGraph::Correlation(int i, int j) const {
+  AMS_DCHECK(i >= 0 && i < num_nodes() && j >= 0 && j < num_nodes(),
+             "node index out of range");
+  return correlations_(i, j);
+}
+
+la::Matrix CompanyGraph::AttentionMask() const {
+  const int n = num_nodes();
+  la::Matrix mask(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    mask(i, i) = 1.0;
+    for (int j : adjacency_[i]) mask(i, j) = 1.0;
+  }
+  return mask;
+}
+
+int CompanyGraph::NumEdges() const {
+  int total = 0;
+  for (const auto& nbrs : adjacency_) total += static_cast<int>(nbrs.size());
+  return total / 2;
+}
+
+}  // namespace ams::graph

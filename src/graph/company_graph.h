@@ -1,0 +1,66 @@
+// Company correlation graph (paper §III-C, Fig. 4).
+//
+// Nodes are companies; an edge connects a company to each of the top-k
+// companies with the largest Pearson correlation of historical revenue.
+// The graph is rebuilt from *training-window* revenue only at every
+// cross-validation step to avoid leakage.
+#ifndef AMS_GRAPH_COMPANY_GRAPH_H_
+#define AMS_GRAPH_COMPANY_GRAPH_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace ams::graph {
+
+struct CorrelationGraphOptions {
+  /// Number of highest-correlation neighbours linked per company (the paper's
+  /// hyperparameter k, Fig. 4 uses k = 5).
+  int top_k = 5;
+  /// If true the directed top-k edges are symmetrized (i-j whenever either
+  /// endpoint selected the other).
+  bool symmetric = true;
+  /// Minimum number of overlapping history points to trust a correlation.
+  int min_overlap = 3;
+};
+
+/// An undirected company graph with cached correlations and the dense
+/// attention mask the GAT consumes.
+class CompanyGraph {
+ public:
+  /// Builds the graph from per-company revenue histories. Histories may have
+  /// different lengths; correlation is computed over the common suffix.
+  /// Requires at least 2 companies and top_k >= 1.
+  static Result<CompanyGraph> BuildFromRevenue(
+      const std::vector<std::vector<double>>& revenue_histories,
+      const CorrelationGraphOptions& options);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Sorted neighbour list of node i (excluding i itself).
+  const std::vector<int>& Neighbors(int i) const;
+
+  bool HasEdge(int i, int j) const;
+
+  int Degree(int i) const { return static_cast<int>(Neighbors(i).size()); }
+
+  /// Pearson correlation used when ranking the pair (0 if never computed).
+  double Correlation(int i, int j) const;
+
+  /// Dense n x n mask with 1 at (i, j) when j is i's neighbour or j == i
+  /// (self-loops, as GAT attends over N_i plus the node itself).
+  la::Matrix AttentionMask() const;
+
+  /// Total number of undirected edges.
+  int NumEdges() const;
+
+ private:
+  CompanyGraph() = default;
+  std::vector<std::vector<int>> adjacency_;
+  la::Matrix correlations_;
+};
+
+}  // namespace ams::graph
+
+#endif  // AMS_GRAPH_COMPANY_GRAPH_H_

@@ -1,0 +1,358 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace ams::la {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, fill) {
+  AMS_DCHECK(rows >= 0 && cols >= 0, "negative matrix dimension");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = static_cast<int>(init.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<int>(init.begin()->size());
+  data_.reserve(static_cast<size_t>(rows_) * cols_);
+  for (const auto& row : init) {
+    AMS_DCHECK(static_cast<int>(row.size()) == cols_,
+               "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n, 0.0);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix m(static_cast<int>(values.size()), 1);
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  Matrix m(1, static_cast<int>(values.size()));
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  AMS_DCHECK(same_shape(other), "shape mismatch in +=");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  AMS_DCHECK(same_shape(other), "shape mismatch in -=");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  AMS_DCHECK(same_shape(other), "shape mismatch in Hadamard");
+  Matrix out = *this;
+  for (size_t i = 0; i < out.data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& fn) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v = fn(v);
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    const double* src = row_data(r);
+    for (int c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  AMS_DCHECK(cols_ == other.rows_, "inner dimension mismatch in MatMul");
+  Matrix out(rows_, other.cols_, 0.0);
+  // i-k-j loop order: streams through `other` rows; cache-friendly for
+  // row-major storage.
+  for (int i = 0; i < rows_; ++i) {
+    double* out_row = out.row_data(i);
+    const double* a_row = row_data(i);
+    for (int k = 0; k < cols_; ++k) {
+      const double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      const double* b_row = other.row_data(k);
+      for (int j = 0; j < other.cols_; ++j) out_row[j] += a_ik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMatMul(const Matrix& other) const {
+  AMS_DCHECK(rows_ == other.rows_, "row mismatch in TransposeMatMul");
+  Matrix out(cols_, other.cols_, 0.0);
+  for (int k = 0; k < rows_; ++k) {
+    const double* a_row = row_data(k);
+    const double* b_row = other.row_data(k);
+    for (int i = 0; i < cols_; ++i) {
+      const double a_ki = a_row[i];
+      if (a_ki == 0.0) continue;
+      double* out_row = out.row_data(i);
+      for (int j = 0; j < other.cols_; ++j) out_row[j] += a_ki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTranspose(const Matrix& other) const {
+  AMS_DCHECK(cols_ == other.cols_, "column mismatch in MatMulTranspose");
+  Matrix out(rows_, other.rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    const double* a_row = row_data(i);
+    double* out_row = out.row_data(i);
+    for (int j = 0; j < other.rows_; ++j) {
+      const double* b_row = other.row_data(j);
+      double acc = 0.0;
+      for (int k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SliceRows(int begin, int end) const {
+  AMS_DCHECK(begin >= 0 && begin <= end && end <= rows_,
+             "bad row slice bounds");
+  Matrix out(end - begin, cols_);
+  std::memcpy(out.data(), row_data(begin),
+              static_cast<size_t>(end - begin) * cols_ * sizeof(double));
+  return out;
+}
+
+Matrix Matrix::SliceCols(int begin, int end) const {
+  AMS_DCHECK(begin >= 0 && begin <= end && end <= cols_,
+             "bad column slice bounds");
+  Matrix out(rows_, end - begin);
+  for (int r = 0; r < rows_; ++r) {
+    std::memcpy(out.row_data(r), row_data(r) + begin,
+                static_cast<size_t>(end - begin) * sizeof(double));
+  }
+  return out;
+}
+
+Matrix Matrix::VStack(const Matrix& top, const Matrix& bottom) {
+  if (top.empty()) return bottom;
+  if (bottom.empty()) return top;
+  AMS_DCHECK(top.cols_ == bottom.cols_, "column mismatch in VStack");
+  Matrix out(top.rows_ + bottom.rows_, top.cols_);
+  std::memcpy(out.data(), top.data(),
+              static_cast<size_t>(top.size()) * sizeof(double));
+  std::memcpy(out.data() + top.size(), bottom.data(),
+              static_cast<size_t>(bottom.size()) * sizeof(double));
+  return out;
+}
+
+Matrix Matrix::HStack(const Matrix& left, const Matrix& right) {
+  if (left.empty()) return right;
+  if (right.empty()) return left;
+  AMS_DCHECK(left.rows_ == right.rows_, "row mismatch in HStack");
+  Matrix out(left.rows_, left.cols_ + right.cols_);
+  for (int r = 0; r < left.rows_; ++r) {
+    std::memcpy(out.row_data(r), left.row_data(r),
+                static_cast<size_t>(left.cols_) * sizeof(double));
+    std::memcpy(out.row_data(r) + left.cols_, right.row_data(r),
+                static_cast<size_t>(right.cols_) * sizeof(double));
+  }
+  return out;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::Mean() const {
+  AMS_DCHECK(!empty(), "Mean of empty matrix");
+  return Sum() / size();
+}
+
+double Matrix::Min() const {
+  AMS_DCHECK(!empty(), "Min of empty matrix");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::Max() const {
+  AMS_DCHECK(!empty(), "Max of empty matrix");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix out(1, cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* src = row_data(r);
+    for (int c = 0; c < cols_; ++c) out(0, c) += src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::RowSums() const {
+  Matrix out(rows_, 1, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* src = row_data(r);
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += src[c];
+    out(r, 0) = acc;
+  }
+  return out;
+}
+
+bool Matrix::AllFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  AMS_DCHECK(same_shape(other), "shape mismatch in MaxAbsDiff");
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream oss;
+  oss.precision(precision);
+  oss << std::fixed;
+  oss << "[";
+  for (int r = 0; r < rows_; ++r) {
+    oss << (r == 0 ? "[" : " [");
+    for (int c = 0; c < cols_; ++c) {
+      if (c > 0) oss << ", ";
+      oss << (*this)(r, c);
+    }
+    oss << "]" << (r + 1 < rows_ ? "\n" : "");
+  }
+  oss << "]";
+  return oss.str();
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  AMS_DCHECK(a.size() == b.size(), "size mismatch in Dot");
+  double acc = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (int i = 0; i < a.size(); ++i) acc += pa[i] * pb[i];
+  return acc;
+}
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("CholeskyFactor requires a square matrix");
+  }
+  const int n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::ComputeError("matrix is not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (int i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (int k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / l(j, j);
+    }
+  }
+  return l;
+}
+
+Result<Matrix> CholeskySolve(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("CholeskySolve dimension mismatch");
+  }
+  AMS_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  const int n = a.rows();
+  const int m = b.cols();
+  // Forward substitution: L z = b.
+  Matrix z(n, m);
+  for (int c = 0; c < m; ++c) {
+    for (int i = 0; i < n; ++i) {
+      double v = b(i, c);
+      for (int k = 0; k < i; ++k) v -= l(i, k) * z(k, c);
+      z(i, c) = v / l(i, i);
+    }
+  }
+  // Back substitution: L^T x = z.
+  Matrix x(n, m);
+  for (int c = 0; c < m; ++c) {
+    for (int i = n - 1; i >= 0; --i) {
+      double v = z(i, c);
+      for (int k = i + 1; k < n; ++k) v -= l(k, i) * x(k, c);
+      x(i, c) = v / l(i, i);
+    }
+  }
+  return x;
+}
+
+Result<Matrix> RidgeSolve(const Matrix& x, const Matrix& y, double lambda,
+                          int unpenalized_col) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("RidgeSolve: X and y row counts differ");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("RidgeSolve: negative lambda");
+  }
+  Matrix gram = x.TransposeMatMul(x);
+  for (int i = 0; i < gram.rows(); ++i) {
+    if (i == unpenalized_col) continue;
+    gram(i, i) += lambda;
+  }
+  // A touch of jitter keeps the system SPD when lambda == 0 and X is
+  // rank-deficient (constant one-hot columns are common in our features).
+  for (int i = 0; i < gram.rows(); ++i) gram(i, i) += 1e-10;
+  Matrix xty = x.TransposeMatMul(y);
+  return CholeskySolve(gram, xty);
+}
+
+}  // namespace ams::la

@@ -1,0 +1,152 @@
+// Dense row-major matrix with the kernels the rest of the library needs:
+// gemm, transpose, elementwise arithmetic, reductions, and factorizations
+// (Cholesky) for the closed-form linear models.
+#ifndef AMS_LA_MATRIX_H_
+#define AMS_LA_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ams::la {
+
+/// Dense row-major matrix of doubles.
+///
+/// Shapes are checked with AMS_DCHECK in element accessors and with Status
+/// returns in the fallible factory/solver entry points.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+  /// rows x cols matrix filled with `fill`.
+  Matrix(int rows, int cols, double fill = 0.0);
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0); }
+  static Matrix Ones(int rows, int cols) { return Matrix(rows, cols, 1.0); }
+  static Matrix Identity(int n);
+  /// Column vector from data.
+  static Matrix ColumnVector(const std::vector<double>& values);
+  /// Row vector from data.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  double& operator()(int r, int c) {
+    AMS_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+               "Matrix index out of range");
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    AMS_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+               "Matrix index out of range");
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_data(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* row_data(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // --- Elementwise arithmetic (shape-checked). ---
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(double scalar) const;
+  /// Hadamard (elementwise) product.
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Applies `fn` to every element, returning a new matrix.
+  Matrix Map(const std::function<double(double)>& fn) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// this (rows x k) times other (k x cols).
+  Matrix MatMul(const Matrix& other) const;
+  /// this^T times other, without materializing the transpose.
+  Matrix TransposeMatMul(const Matrix& other) const;
+  /// this times other^T, without materializing the transpose.
+  Matrix MatMulTranspose(const Matrix& other) const;
+
+  /// Rows [begin, end) as a new matrix.
+  Matrix SliceRows(int begin, int end) const;
+  /// Columns [begin, end) as a new matrix.
+  Matrix SliceCols(int begin, int end) const;
+  /// Single row r as a 1 x cols matrix.
+  Matrix Row(int r) const { return SliceRows(r, r + 1); }
+  /// Single column c as a rows x 1 matrix.
+  Matrix Col(int c) const { return SliceCols(c, c + 1); }
+
+  /// Stacks `top` above `bottom` (equal column counts).
+  static Matrix VStack(const Matrix& top, const Matrix& bottom);
+  /// Concatenates `left` and `right` horizontally (equal row counts).
+  static Matrix HStack(const Matrix& left, const Matrix& right);
+
+  // --- Reductions. ---
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Frobenius norm.
+  double Norm() const;
+  /// Column-wise sums as a 1 x cols matrix.
+  Matrix ColSums() const;
+  /// Row-wise sums as a rows x 1 matrix.
+  Matrix RowSums() const;
+
+  /// True if all elements are finite.
+  bool AllFinite() const;
+
+  bool operator==(const Matrix& other) const {
+    return same_shape(other) && data_ == other.data_;
+  }
+
+  /// Max |a - b| over elements; matrices must be same shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  std::string ToString(int precision = 4) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+inline Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }
+
+/// Dot product of two equally-sized vectors (any shape, flattened).
+double Dot(const Matrix& a, const Matrix& b);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// b may have multiple right-hand-side columns.
+Result<Matrix> CholeskySolve(const Matrix& a, const Matrix& b);
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves the ridge system (X^T X + lambda I) beta = X^T y.
+/// `penalize_intercept_col` < 0 penalizes all columns; otherwise that column
+/// (typically a bias column of ones) is excluded from the penalty.
+Result<Matrix> RidgeSolve(const Matrix& x, const Matrix& y, double lambda,
+                          int unpenalized_col = -1);
+
+}  // namespace ams::la
+
+#endif  // AMS_LA_MATRIX_H_

@@ -1,0 +1,181 @@
+#include "la/stats.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ams::la {
+
+double Mean(const std::vector<double>& values) {
+  AMS_DCHECK(!values.empty(), "Mean of empty vector");
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double SampleVariance(const std::vector<double>& values) {
+  AMS_DCHECK(values.size() >= 2, "SampleVariance needs >= 2 values");
+  const double mu = Mean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - mu) * (v - mu);
+  return s / static_cast<double>(values.size() - 1);
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double PopulationStdDev(const std::vector<double>& values) {
+  AMS_DCHECK(!values.empty(), "PopulationStdDev of empty vector");
+  const double mu = Mean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - mu) * (v - mu);
+  return std::sqrt(s / static_cast<double>(values.size()));
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  AMS_DCHECK(a.size() == b.size(), "PearsonCorrelation size mismatch");
+  AMS_DCHECK(a.size() >= 2, "PearsonCorrelation needs >= 2 points");
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double LogGamma(double x) {
+  // Lanczos approximation, g = 7, n = 9.
+  static const double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta (Numerical Recipes
+// style modified Lentz's method).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  AMS_DCHECK(a > 0.0 && b > 0.0, "incomplete beta requires a, b > 0");
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double dof) {
+  AMS_DCHECK(dof > 0.0, "StudentTCdf requires dof > 0");
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * RegularizedIncompleteBeta(dof / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+namespace {
+
+Result<TTestResult> TTestFromDiffs(const std::vector<double>& diffs) {
+  if (diffs.size() < 2) {
+    return Status::InvalidArgument("t-test requires at least 2 pairs");
+  }
+  const int n = static_cast<int>(diffs.size());
+  TTestResult result;
+  result.mean_diff = Mean(diffs);
+  result.dof = n - 1;
+  const double sd = SampleStdDev(diffs);
+  if (sd == 0.0) {
+    result.t_statistic =
+        result.mean_diff == 0.0 ? 0.0
+                                : std::numeric_limits<double>::infinity() *
+                                      (result.mean_diff > 0 ? 1.0 : -1.0);
+    result.p_value = result.mean_diff == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.t_statistic =
+      result.mean_diff / (sd / std::sqrt(static_cast<double>(n)));
+  const double cdf = StudentTCdf(std::fabs(result.t_statistic),
+                                 static_cast<double>(result.dof));
+  result.p_value = 2.0 * (1.0 - cdf);
+  return result;
+}
+
+}  // namespace
+
+Result<TTestResult> PairedTTest(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("PairedTTest size mismatch");
+  }
+  std::vector<double> diffs(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diffs[i] = a[i] - b[i];
+  return TTestFromDiffs(diffs);
+}
+
+Result<TTestResult> OneSampleTTest(const std::vector<double>& values,
+                                   double mu) {
+  std::vector<double> diffs(values.size());
+  for (size_t i = 0; i < values.size(); ++i) diffs[i] = values[i] - mu;
+  return TTestFromDiffs(diffs);
+}
+
+}  // namespace ams::la

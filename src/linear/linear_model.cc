@@ -1,0 +1,162 @@
+#include "linear/linear_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ams::linear {
+
+using la::Matrix;
+
+namespace {
+
+Status ValidateXy(const Matrix& x, const Matrix& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (y.rows() != x.rows() || y.cols() != 1) {
+    return Status::InvalidArgument("y must be (num_rows x 1)");
+  }
+  if (!x.AllFinite() || !y.AllFinite()) {
+    return Status::InvalidArgument("non-finite values in training data");
+  }
+  return Status::OK();
+}
+
+/// Centers columns of x and y in place; returns (col_means, y_mean).
+std::pair<Matrix, double> CenterInPlace(Matrix* x, Matrix* y) {
+  Matrix means = x->ColSums() * (1.0 / x->rows());
+  for (int r = 0; r < x->rows(); ++r) {
+    for (int c = 0; c < x->cols(); ++c) (*x)(r, c) -= means(0, c);
+  }
+  const double y_mean = y->Mean();
+  for (int r = 0; r < y->rows(); ++r) (*y)(r, 0) -= y_mean;
+  return {means, y_mean};
+}
+
+double SoftThreshold(double value, double threshold) {
+  if (value > threshold) return value - threshold;
+  if (value < -threshold) return value + threshold;
+  return 0.0;
+}
+
+}  // namespace
+
+Result<LinearModel> LinearModel::FitOls(const Matrix& x, const Matrix& y,
+                                        bool fit_intercept) {
+  return FitRidge(x, y, /*alpha=*/0.0, fit_intercept);
+}
+
+Result<LinearModel> LinearModel::FitRidge(const Matrix& x, const Matrix& y,
+                                          double alpha, bool fit_intercept) {
+  AMS_RETURN_NOT_OK(ValidateXy(x, y));
+  if (alpha < 0.0) return Status::InvalidArgument("negative ridge alpha");
+  Matrix xc = x;
+  Matrix yc = y;
+  Matrix means(1, x.cols(), 0.0);
+  double y_mean = 0.0;
+  if (fit_intercept) {
+    auto centered = CenterInPlace(&xc, &yc);
+    means = centered.first;
+    y_mean = centered.second;
+  }
+  // Objective (1/2N)||y-Xb||^2 + (alpha/2)||b||^2 has normal equations
+  // (X^T X / N + alpha I) b = X^T y / N, i.e. (X^T X + N*alpha I) b = X^T y.
+  const double lambda = alpha * x.rows();
+  AMS_ASSIGN_OR_RETURN(Matrix beta, la::RidgeSolve(xc, yc, lambda));
+  LinearModel model;
+  model.beta_ = std::move(beta);
+  if (fit_intercept) {
+    model.intercept_ = y_mean - la::Dot(means, model.beta_);
+  }
+  return model;
+}
+
+Result<LinearModel> LinearModel::FitElasticNet(const Matrix& x,
+                                               const Matrix& y,
+                                               const LinearOptions& options) {
+  AMS_RETURN_NOT_OK(ValidateXy(x, y));
+  if (options.alpha < 0.0 || options.l1_ratio < 0.0 ||
+      options.l1_ratio > 1.0) {
+    return Status::InvalidArgument("invalid ElasticNet hyperparameters");
+  }
+  const int n = x.rows();
+  const int p = x.cols();
+  Matrix xc = x;
+  Matrix yc = y;
+  Matrix means(1, p, 0.0);
+  double y_mean = 0.0;
+  if (options.fit_intercept) {
+    auto centered = CenterInPlace(&xc, &yc);
+    means = centered.first;
+    y_mean = centered.second;
+  }
+
+  const double l1_penalty = options.alpha * options.l1_ratio;
+  const double l2_penalty = options.alpha * (1.0 - options.l1_ratio);
+
+  // Precompute column squared norms (z_j = sum_i x_ij^2 / N).
+  std::vector<double> col_sq(p, 0.0);
+  for (int r = 0; r < n; ++r) {
+    const double* row = xc.row_data(r);
+    for (int c = 0; c < p; ++c) col_sq[c] += row[c] * row[c];
+  }
+  for (int c = 0; c < p; ++c) col_sq[c] /= n;
+
+  Matrix beta(p, 1, 0.0);
+  // residual = y - X beta, maintained incrementally.
+  std::vector<double> residual(n);
+  for (int r = 0; r < n; ++r) residual[r] = yc(r, 0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double max_update = 0.0;
+    for (int j = 0; j < p; ++j) {
+      if (col_sq[j] == 0.0) continue;  // constant (centered-out) column
+      const double old_beta = beta(j, 0);
+      // rho_j = (1/N) sum_i x_ij (residual_i + x_ij * old_beta).
+      double rho = 0.0;
+      for (int r = 0; r < n; ++r) rho += xc(r, j) * residual[r];
+      rho = rho / n + col_sq[j] * old_beta;
+      const double new_beta =
+          SoftThreshold(rho, l1_penalty) / (col_sq[j] + l2_penalty);
+      if (new_beta != old_beta) {
+        const double delta = new_beta - old_beta;
+        for (int r = 0; r < n; ++r) residual[r] -= delta * xc(r, j);
+        beta(j, 0) = new_beta;
+        max_update = std::max(max_update, std::fabs(delta));
+      }
+    }
+    if (max_update < options.tolerance) break;
+  }
+
+  LinearModel model;
+  model.beta_ = std::move(beta);
+  if (options.fit_intercept) {
+    model.intercept_ = y_mean - la::Dot(means, model.beta_);
+  }
+  return model;
+}
+
+Result<std::vector<double>> LinearModel::Predict(const Matrix& x) const {
+  if (beta_.empty()) return Status::FailedPrecondition("model not fitted");
+  if (x.cols() != beta_.rows()) {
+    return Status::InvalidArgument("feature width mismatch in Predict");
+  }
+  std::vector<double> out(x.rows());
+  for (int r = 0; r < x.rows(); ++r) {
+    const double* row = x.row_data(r);
+    double acc = intercept_;
+    for (int c = 0; c < x.cols(); ++c) acc += row[c] * beta_(c, 0);
+    out[r] = acc;
+  }
+  return out;
+}
+
+int LinearModel::NumZeroCoefficients(double tol) const {
+  int count = 0;
+  for (int j = 0; j < beta_.rows(); ++j) {
+    if (std::fabs(beta_(j, 0)) <= tol) ++count;
+  }
+  return count;
+}
+
+}  // namespace ams::linear

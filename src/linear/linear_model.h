@@ -1,0 +1,73 @@
+// Linear regression family: OLS/Ridge in closed form (Cholesky) and
+// Lasso/ElasticNet via cyclic coordinate descent.
+//
+// These serve three roles in the reproduction: the Lasso/Ridge/Elasticnet
+// baselines of Table I/II, the anchored LR of the AMS master model (Eq. 4-5),
+// and the globally optimized component of model assembly.
+#ifndef AMS_LINEAR_LINEAR_MODEL_H_
+#define AMS_LINEAR_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace ams::linear {
+
+/// Shared options for the linear family.
+struct LinearOptions {
+  /// Overall regularization strength (lambda). 0 disables regularization.
+  double alpha = 1.0;
+  /// Mix between L1 and L2: 1.0 = Lasso, 0.0 = Ridge, in between = ElasticNet.
+  /// Only used by the coordinate-descent solver.
+  double l1_ratio = 0.5;
+  bool fit_intercept = true;
+  /// Coordinate-descent iteration cap and convergence tolerance on the max
+  /// coefficient update.
+  int max_iterations = 1000;
+  double tolerance = 1e-8;
+};
+
+/// A fitted linear model y = X beta + intercept.
+class LinearModel {
+ public:
+  LinearModel() = default;
+
+  /// Ordinary least squares (tiny ridge jitter keeps the normal equations
+  /// solvable for rank-deficient X).
+  static Result<LinearModel> FitOls(const la::Matrix& x, const la::Matrix& y,
+                                    bool fit_intercept = true);
+
+  /// Ridge regression with penalty alpha, solved in closed form.
+  /// Objective: (1/2N) ||y - X b||^2 + (alpha/2) ||b||^2 — matching the
+  /// paper's anchored-LR objective Gamma_acr (Eq. 5).
+  static Result<LinearModel> FitRidge(const la::Matrix& x, const la::Matrix& y,
+                                      double alpha, bool fit_intercept = true);
+
+  /// ElasticNet via cyclic coordinate descent:
+  /// (1/2N) ||y - X b||^2 + alpha * (l1_ratio ||b||_1
+  ///                                 + (1 - l1_ratio)/2 ||b||^2).
+  /// l1_ratio = 1 gives the Lasso.
+  static Result<LinearModel> FitElasticNet(const la::Matrix& x,
+                                           const la::Matrix& y,
+                                           const LinearOptions& options);
+
+  /// Predictions for each row of x.
+  Result<std::vector<double>> Predict(const la::Matrix& x) const;
+
+  /// Coefficient vector (num_features x 1), excluding the intercept.
+  const la::Matrix& coefficients() const { return beta_; }
+  double intercept() const { return intercept_; }
+  int num_features() const { return beta_.rows(); }
+
+  /// Number of exactly-zero coefficients (L1 sparsity diagnostic).
+  int NumZeroCoefficients(double tol = 1e-12) const;
+
+ private:
+  la::Matrix beta_;  // p x 1
+  double intercept_ = 0.0;
+};
+
+}  // namespace ams::linear
+
+#endif  // AMS_LINEAR_LINEAR_MODEL_H_

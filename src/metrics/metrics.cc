@@ -1,0 +1,66 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ams::metrics {
+
+int BoundedCorrection(double predicted_ur, double actual_ur) {
+  return std::fabs(predicted_ur - actual_ur) < std::fabs(actual_ur) ? 1 : 0;
+}
+
+double SurpriseRatio(double predicted_ur, double actual_ur, double cap) {
+  const double abs_ur = std::fabs(actual_ur);
+  if (abs_ur == 0.0) return cap;
+  return std::min(std::fabs(predicted_ur - actual_ur) / abs_ur, cap);
+}
+
+Result<EvalResult> EvaluateAbsolute(const std::vector<double>& predicted_ur,
+                                    const std::vector<double>& actual_ur,
+                                    double sr_cap) {
+  if (predicted_ur.size() != actual_ur.size()) {
+    return Status::InvalidArgument("prediction/actual size mismatch");
+  }
+  if (predicted_ur.empty()) {
+    return Status::InvalidArgument("nothing to evaluate");
+  }
+  EvalResult result;
+  result.num_samples = static_cast<int>(predicted_ur.size());
+  result.bc.reserve(predicted_ur.size());
+  result.sr_values.reserve(predicted_ur.size());
+  double bc_sum = 0.0;
+  double sr_sum = 0.0;
+  double abs_err_sum = 0.0;
+  double abs_ur_sum = 0.0;
+  for (size_t i = 0; i < predicted_ur.size(); ++i) {
+    const int bc = BoundedCorrection(predicted_ur[i], actual_ur[i]);
+    const double sr = SurpriseRatio(predicted_ur[i], actual_ur[i], sr_cap);
+    result.bc.push_back(bc);
+    result.sr_values.push_back(sr);
+    bc_sum += bc;
+    sr_sum += sr;
+    abs_err_sum += std::fabs(predicted_ur[i] - actual_ur[i]);
+    abs_ur_sum += std::fabs(actual_ur[i]);
+  }
+  result.ba = 100.0 * bc_sum / result.num_samples;
+  result.sr_mean_capped = sr_sum / result.num_samples;
+  result.sr = abs_ur_sum > 0.0 ? abs_err_sum / abs_ur_sum : sr_cap;
+  return result;
+}
+
+Result<EvalResult> Evaluate(const data::Dataset& dataset,
+                            const std::vector<double>& predictions_norm,
+                            double sr_cap) {
+  if (static_cast<int>(predictions_norm.size()) != dataset.num_samples()) {
+    return Status::InvalidArgument("prediction count mismatch");
+  }
+  std::vector<double> predicted_ur(predictions_norm.size());
+  std::vector<double> actual_ur(predictions_norm.size());
+  for (size_t i = 0; i < predictions_norm.size(); ++i) {
+    predicted_ur[i] = predictions_norm[i] * dataset.meta[i].scale;
+    actual_ur[i] = dataset.meta[i].actual_ur;
+  }
+  return EvaluateAbsolute(predicted_ur, actual_ur, sr_cap);
+}
+
+}  // namespace ams::metrics

@@ -1,0 +1,60 @@
+// Evaluation metrics from the paper (§II-B): Bounded Correction / Bounded
+// Accuracy and Surprise Ratio, computed on absolute (denormalized)
+// unexpected revenues.
+#ifndef AMS_METRICS_METRICS_H_
+#define AMS_METRICS_METRICS_H_
+
+#include <vector>
+
+#include "data/features.h"
+#include "util/status.h"
+
+namespace ams::metrics {
+
+/// BC (Def. II.1): 1 iff |predicted_ur - actual_ur| < |actual_ur|.
+/// Lemma II.1: BC = 1 implies the prediction has the right surprise sign and
+/// beats the analysts' consensus in absolute error.
+int BoundedCorrection(double predicted_ur, double actual_ur);
+
+/// Per-sample SR (Def. II.2): |predicted_ur - actual_ur| / |actual_ur|.
+/// < 1 means the model beats the consensus on this sample. Capped at
+/// `cap` because synthetic |actual_ur| can be arbitrarily small (see
+/// DESIGN.md §4); the paper's reported averages (<= 6.3) are unaffected.
+double SurpriseRatio(double predicted_ur, double actual_ur,
+                     double cap = 20.0);
+
+/// Aggregated evaluation of one prediction set.
+///
+/// The paper aggregates SR as "the average of SR" without specifying the
+/// treatment of near-zero |UR| samples. With synthetic Gaussian surprises the
+/// unweighted mean of per-sample ratios is dominated by a handful of samples
+/// whose |UR| happens to be tiny (the ratio is Cauchy-tailed), which no real
+/// dataset with analyst herding exhibits. We therefore report as `sr` the
+/// |UR|-weighted aggregate  sum|UR_hat - UR| / sum|UR|  — identical in
+/// interpretation (sr < 1 iff the model's total error beats the consensus's)
+/// and stable — and keep the capped unweighted mean as `sr_mean_capped` for
+/// reference. See DESIGN.md §4.
+struct EvalResult {
+  double ba = 0.0;        // Bounded Accuracy, percent (0-100)
+  double sr = 0.0;        // |UR|-weighted Surprise Ratio (ratio of sums)
+  double sr_mean_capped = 0.0;  // unweighted mean of capped per-sample SR
+  int num_samples = 0;
+  std::vector<int> bc;    // per-sample BC
+  std::vector<double> sr_values;  // per-sample (capped) SR
+};
+
+/// Evaluates normalized predictions against a dataset: predictions are
+/// denormalized with each sample's scale (R_{t-k}) before computing BC/SR.
+/// `predictions_norm.size()` must match the dataset.
+Result<EvalResult> Evaluate(const data::Dataset& dataset,
+                            const std::vector<double>& predictions_norm,
+                            double sr_cap = 20.0);
+
+/// Evaluates absolute-unit UR predictions against absolute actual URs.
+Result<EvalResult> EvaluateAbsolute(const std::vector<double>& predicted_ur,
+                                    const std::vector<double>& actual_ur,
+                                    double sr_cap = 20.0);
+
+}  // namespace ams::metrics
+
+#endif  // AMS_METRICS_METRICS_H_

@@ -1,0 +1,64 @@
+#include "models/ams_regressor.h"
+
+namespace ams::models {
+
+Status AmsRegressor::Fit(const FitContext& context) {
+  if (context.panel == nullptr) {
+    return Status::InvalidArgument("AMS needs the panel to build the graph");
+  }
+  if (ensemble_size_ < 1) {
+    return Status::InvalidArgument("ensemble size must be >= 1");
+  }
+  // Correlation graph from training-window revenue only (no leakage,
+  // paper §III-C).
+  graph::CorrelationGraphOptions graph_options;
+  graph_options.top_k = graph_top_k_;
+  AMS_ASSIGN_OR_RETURN(
+      graph::CompanyGraph graph,
+      graph::CompanyGraph::BuildFromRevenue(
+          context.panel->RevenueHistories(context.last_train_quarter),
+          graph_options));
+  graph_ = std::move(graph);
+
+  members_.clear();
+  Rng seed_rng(context.seed);
+  for (int member = 0; member < ensemble_size_; ++member) {
+    core::AmsConfig config = config_;
+    config.seed = seed_rng.NextU64();
+    auto model = std::make_unique<core::AmsModel>(config);
+    AMS_RETURN_NOT_OK(model->Fit(*context.train, *context.valid, *graph_));
+    members_.push_back(std::move(model));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> AmsRegressor::PredictNorm(
+    const data::Dataset& dataset) const {
+  if (members_.empty()) return Status::FailedPrecondition("not fitted");
+  std::vector<double> out(dataset.num_samples(), 0.0);
+  for (const auto& member : members_) {
+    AMS_ASSIGN_OR_RETURN(std::vector<double> pred, member->Predict(dataset));
+    for (size_t i = 0; i < pred.size(); ++i) out[i] += pred[i];
+  }
+  for (double& v : out) v /= members_.size();
+  return out;
+}
+
+Result<la::Matrix> AmsRegressor::SlaveCoefficients(
+    const data::Dataset& dataset) const {
+  if (members_.empty()) return Status::FailedPrecondition("not fitted");
+  la::Matrix total;
+  for (const auto& member : members_) {
+    AMS_ASSIGN_OR_RETURN(la::Matrix coeffs,
+                         member->SlaveCoefficients(dataset));
+    if (total.empty()) {
+      total = std::move(coeffs);
+    } else {
+      total += coeffs;
+    }
+  }
+  total *= 1.0 / members_.size();
+  return total;
+}
+
+}  // namespace ams::models

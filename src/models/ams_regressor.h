@@ -1,0 +1,56 @@
+// Adapter exposing the core AMS model through the Regressor interface:
+// builds the company correlation graph from training-window revenue and
+// delegates to core::AmsModel.
+#ifndef AMS_MODELS_AMS_REGRESSOR_H_
+#define AMS_MODELS_AMS_REGRESSOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "ams/ams_model.h"
+#include "graph/company_graph.h"
+#include "models/regressor.h"
+
+namespace ams::models {
+
+class AmsRegressor : public Regressor {
+ public:
+  /// `graph_top_k` is the correlation-graph hyperparameter k (§III-C).
+  /// `ensemble_size` masters are trained from forked seeds and their
+  /// predictions averaged — mirroring the paper's practice of repeating
+  /// training runs and reporting averages (§IV-C), and taming the variance
+  /// of small-data early stopping. Since slave models are linear, averaging
+  /// predictions equals averaging slave coefficients.
+  AmsRegressor(core::AmsConfig config, int graph_top_k, int ensemble_size = 3)
+      : config_(std::move(config)),
+        graph_top_k_(graph_top_k),
+        ensemble_size_(ensemble_size) {}
+
+  std::string name() const override { return "AMS"; }
+  Status Fit(const FitContext& context) override;
+  Result<std::vector<double>> PredictNorm(
+      const data::Dataset& dataset) const override;
+
+  /// Ensemble-averaged per-sample slave coefficients (Fig. 8).
+  Result<la::Matrix> SlaveCoefficients(const data::Dataset& dataset) const;
+
+  /// Access to the first fitted member (anchored coefficients etc.).
+  const core::AmsModel* model() const {
+    return members_.empty() ? nullptr : members_.front().get();
+  }
+  const graph::CompanyGraph* company_graph() const {
+    return graph_ ? &*graph_ : nullptr;
+  }
+  int ensemble_size() const { return ensemble_size_; }
+
+ private:
+  core::AmsConfig config_;
+  int graph_top_k_;
+  int ensemble_size_;
+  std::optional<graph::CompanyGraph> graph_;
+  std::vector<std::unique_ptr<core::AmsModel>> members_;
+};
+
+}  // namespace ams::models
+
+#endif  // AMS_MODELS_AMS_REGRESSOR_H_

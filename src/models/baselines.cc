@@ -1,0 +1,117 @@
+#include "models/baselines.h"
+
+#include <cmath>
+
+namespace ams::models {
+
+Result<double> ValidationRmse(const Regressor& model,
+                              const data::Dataset& valid) {
+  AMS_ASSIGN_OR_RETURN(std::vector<double> pred, model.PredictNorm(valid));
+  if (pred.empty()) return Status::InvalidArgument("empty validation set");
+  double sse = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - valid.y[i];
+    sse += d * d;
+  }
+  return std::sqrt(sse / pred.size());
+}
+
+Status LinearRegressor::Fit(const FitContext& context) {
+  const data::Dataset& train = *context.train;
+  if (options_.l1_ratio == 0.0) {
+    // Pure L2: closed form is exact and faster than coordinate descent.
+    AMS_ASSIGN_OR_RETURN(model_,
+                         linear::LinearModel::FitRidge(
+                             train.x, train.TargetMatrix(), options_.alpha,
+                             options_.fit_intercept));
+    return Status::OK();
+  }
+  AMS_ASSIGN_OR_RETURN(model_, linear::LinearModel::FitElasticNet(
+                                   train.x, train.TargetMatrix(), options_));
+  return Status::OK();
+}
+
+Result<std::vector<double>> LinearRegressor::PredictNorm(
+    const data::Dataset& dataset) const {
+  return model_.Predict(dataset.x);
+}
+
+Status XgboostRegressor::Fit(const FitContext& context) {
+  const data::Dataset& train = *context.train;
+  const data::Dataset& valid = *context.valid;
+  const la::Matrix valid_y = valid.TargetMatrix();
+  return booster_.Fit(train.x, train.TargetMatrix(), &valid.x, &valid_y);
+}
+
+Result<std::vector<double>> XgboostRegressor::PredictNorm(
+    const data::Dataset& dataset) const {
+  return booster_.Predict(dataset.x);
+}
+
+Status ArimaRegressor::Fit(const FitContext& context) {
+  if (context.panel == nullptr) {
+    return Status::InvalidArgument("ARIMA needs the panel");
+  }
+  panel_ = context.panel;
+  return Status::OK();
+}
+
+Result<std::vector<double>> ArimaRegressor::PredictNorm(
+    const data::Dataset& dataset) const {
+  if (panel_ == nullptr) return Status::FailedPrecondition("not fitted");
+  std::vector<double> out(dataset.num_samples());
+  for (int r = 0; r < dataset.num_samples(); ++r) {
+    const data::SampleMeta& meta = dataset.meta[r];
+    const data::Company& company = panel_->companies[meta.company];
+    // History strictly before the target quarter; those revenues have been
+    // announced by prediction time.
+    std::vector<double> history(meta.quarter);
+    for (int t = 0; t < meta.quarter; ++t) {
+      history[t] = company.quarters[t].revenue;
+    }
+    AMS_ASSIGN_OR_RETURN(ts::ArimaModel model,
+                         ts::ArimaModel::FitAuto(history, options_));
+    const double forecast = model.Forecast(1)[0];
+    out[r] = (forecast - meta.consensus) / meta.scale;
+  }
+  return out;
+}
+
+std::string RatioRegressor::name() const {
+  std::string base = kind_ == Kind::kQoQ ? "QoQ" : "YoY";
+  if (alt_channel_ > 0) base += "(ch" + std::to_string(alt_channel_) + ")";
+  return base;
+}
+
+Status RatioRegressor::Fit(const FitContext& context) {
+  if (context.panel == nullptr) {
+    return Status::InvalidArgument("ratio models need the panel");
+  }
+  if (alt_channel_ < 0 || alt_channel_ >= context.panel->num_alt_channels) {
+    return Status::InvalidArgument("alt channel out of range");
+  }
+  panel_ = context.panel;
+  return Status::OK();
+}
+
+Result<std::vector<double>> RatioRegressor::PredictNorm(
+    const data::Dataset& dataset) const {
+  if (panel_ == nullptr) return Status::FailedPrecondition("not fitted");
+  const int lag = kind_ == Kind::kQoQ ? 1 : 4;
+  std::vector<double> out(dataset.num_samples());
+  for (int r = 0; r < dataset.num_samples(); ++r) {
+    const data::SampleMeta& meta = dataset.meta[r];
+    if (meta.quarter < lag) {
+      return Status::InvalidArgument("sample lacks the required lag");
+    }
+    const data::Company& company = panel_->companies[meta.company];
+    const data::CompanyQuarter& now = company.quarters[meta.quarter];
+    const data::CompanyQuarter& past = company.quarters[meta.quarter - lag];
+    const double ratio = now.alt[alt_channel_] / past.alt[alt_channel_];
+    const double predicted_revenue = ratio * past.revenue;
+    out[r] = (predicted_revenue - meta.consensus) / meta.scale;
+  }
+  return out;
+}
+
+}  // namespace ams::models

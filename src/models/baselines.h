@@ -1,0 +1,94 @@
+// Non-neural baselines: the linear family (Lasso / Ridge / Elasticnet),
+// XGBoost-style GBDT, and the series-based predictors (ARIMA, QoQ, YoY)
+// described in paper §IV-B.
+#ifndef AMS_MODELS_BASELINES_H_
+#define AMS_MODELS_BASELINES_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "gbdt/gbdt.h"
+#include "linear/linear_model.h"
+#include "models/regressor.h"
+#include "ts/arima.h"
+
+namespace ams::models {
+
+/// Lasso / Ridge / Elasticnet, selected by LinearOptions::l1_ratio
+/// (1 / 0 / in-between). `display_name` fixes the table label.
+class LinearRegressor : public Regressor {
+ public:
+  LinearRegressor(std::string display_name, linear::LinearOptions options)
+      : name_(std::move(display_name)), options_(options) {}
+
+  std::string name() const override { return name_; }
+  Status Fit(const FitContext& context) override;
+  Result<std::vector<double>> PredictNorm(
+      const data::Dataset& dataset) const override;
+
+  const linear::LinearModel& model() const { return model_; }
+
+ private:
+  std::string name_;
+  linear::LinearOptions options_;
+  linear::LinearModel model_;
+};
+
+/// The XGBoost baseline (objective reg:linear).
+class XgboostRegressor : public Regressor {
+ public:
+  explicit XgboostRegressor(gbdt::GbdtOptions options)
+      : booster_(options) {}
+
+  std::string name() const override { return "XGBoost"; }
+  Status Fit(const FitContext& context) override;
+  Result<std::vector<double>> PredictNorm(
+      const data::Dataset& dataset) const override;
+
+ private:
+  gbdt::GbdtRegressor booster_;
+};
+
+/// ARIMA per company: fit on the revenue series up to the quarter before
+/// the prediction target, forecast one step, subtract the consensus.
+class ArimaRegressor : public Regressor {
+ public:
+  explicit ArimaRegressor(ts::ArimaOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "ARIMA"; }
+  Status Fit(const FitContext& context) override;
+  Result<std::vector<double>> PredictNorm(
+      const data::Dataset& dataset) const override;
+
+ private:
+  ts::ArimaOptions options_;
+  const data::Panel* panel_ = nullptr;
+};
+
+/// Naive alternative-data ratio predictors (paper §IV-B):
+///   QoQ: (A_t / A_{t-1}) R_{t-1} - E_t;  YoY: (A_t / A_{t-4}) R_{t-4} - E_t.
+/// `alt_channel` selects the channel (map-query store vs parking lot rows
+/// in Tables I/II).
+class RatioRegressor : public Regressor {
+ public:
+  enum class Kind { kQoQ, kYoY };
+
+  RatioRegressor(Kind kind, int alt_channel)
+      : kind_(kind), alt_channel_(alt_channel) {}
+
+  std::string name() const override;
+  Status Fit(const FitContext& context) override;
+  Result<std::vector<double>> PredictNorm(
+      const data::Dataset& dataset) const override;
+
+ private:
+  Kind kind_;
+  int alt_channel_;
+  const data::Panel* panel_ = nullptr;
+};
+
+}  // namespace ams::models
+
+#endif  // AMS_MODELS_BASELINES_H_

@@ -1,0 +1,296 @@
+#include "models/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <thread>
+
+#include "models/hpo.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace ams::models {
+
+namespace {
+
+double MeanOf(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return values.empty() ? 0.0 : sum / values.size();
+}
+
+}  // namespace
+
+double ModelOutcome::MeanBa() const { return MeanOf(FoldBas()); }
+double ModelOutcome::MeanSr() const { return MeanOf(FoldSrs()); }
+
+std::vector<double> ModelOutcome::FoldBas() const {
+  std::vector<double> out;
+  out.reserve(folds.size());
+  for (const FoldOutcome& fold : folds) out.push_back(fold.eval.ba);
+  return out;
+}
+
+std::vector<double> ModelOutcome::FoldSrs() const {
+  std::vector<double> out;
+  out.reserve(folds.size());
+  for (const FoldOutcome& fold : folds) out.push_back(fold.eval.sr);
+  return out;
+}
+
+const ModelOutcome* ExperimentResult::Find(const std::string& name) const {
+  for (const ModelOutcome& model : models) {
+    if (model.name == name) return &model;
+  }
+  return nullptr;
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  AMS_ASSIGN_OR_RETURN(
+      data::Panel panel,
+      data::GenerateMarket(
+          data::GeneratorConfig::Defaults(config.profile, config.seed)));
+  return RunExperimentOnPanel(panel, config);
+}
+
+Result<ExperimentResult> RunExperimentOnPanel(const data::Panel& panel,
+                                              const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.panel = panel;
+
+  const data::CvOptions cv_options = data::DefaultCvOptions(panel.profile);
+  AMS_ASSIGN_OR_RETURN(result.cv_folds, data::TimeSeriesCvFolds(
+                                            panel.num_quarters, cv_options));
+
+  data::FeatureOptions feature_options;
+  feature_options.lag_k = cv_options.lag_k;
+  feature_options.include_alt = config.include_alt;
+  data::FeatureBuilder builder(&panel, feature_options);
+
+  std::vector<ModelSpec> zoo = BuildModelZoo(panel.num_alt_channels);
+  if (!config.model_filter.empty()) {
+    std::vector<ModelSpec> filtered;
+    for (ModelSpec& spec : zoo) {
+      if (std::find(config.model_filter.begin(), config.model_filter.end(),
+                    spec.name) != config.model_filter.end()) {
+        filtered.push_back(std::move(spec));
+      }
+    }
+    zoo = std::move(filtered);
+    if (zoo.empty()) {
+      return Status::InvalidArgument("model filter matched nothing");
+    }
+  }
+  result.models.resize(zoo.size());
+  for (size_t m = 0; m < zoo.size(); ++m) result.models[m].name = zoo[m].name;
+
+  Rng seed_rng(config.seed ^ 0xA5A5A5A5ULL);
+  for (size_t f = 0; f < result.cv_folds.size(); ++f) {
+    const data::CvFold& fold = result.cv_folds[f];
+    AMS_ASSIGN_OR_RETURN(data::Dataset train,
+                         builder.Build(fold.train_quarters));
+    AMS_ASSIGN_OR_RETURN(data::Dataset valid,
+                         builder.Build({fold.valid_quarter}));
+    AMS_ASSIGN_OR_RETURN(data::Dataset test,
+                         builder.Build({fold.test_quarter}));
+    const data::Standardizer standardizer = data::Standardizer::Fit(train);
+    standardizer.Apply(&train);
+    standardizer.Apply(&valid);
+    standardizer.Apply(&test);
+    result.fold_test_meta.push_back(test.meta);
+
+    FitContext context;
+    context.train = &train;
+    context.valid = &valid;
+    context.panel = &panel;
+    context.last_train_quarter = fold.valid_quarter - 1;
+
+    // Models are independent given the fold's (read-only) datasets; fit
+    // them concurrently.
+    const uint64_t fold_seed = seed_rng.NextU64();
+    std::vector<Status> statuses(zoo.size());
+    std::vector<FoldOutcome> outcomes(zoo.size());
+    auto run_model = [&](size_t m) {
+      HpoOptions hpo;
+      hpo.trials = config.hpo_trials;
+      hpo.seed = fold_seed ^ (0x9E3779B97F4A7C15ULL * (m + 1));
+      auto best = RandomSearch(zoo[m], context, hpo);
+      if (!best.ok()) {
+        statuses[m] = best.status();
+        return;
+      }
+      auto pred_norm = best.ValueOrDie().model->PredictNorm(test);
+      if (!pred_norm.ok()) {
+        statuses[m] = pred_norm.status();
+        return;
+      }
+      auto eval = metrics::Evaluate(test, pred_norm.ValueOrDie());
+      if (!eval.ok()) {
+        statuses[m] = eval.status();
+        return;
+      }
+      FoldOutcome outcome;
+      outcome.test_quarter = fold.test_quarter;
+      outcome.eval = eval.MoveValue();
+      outcome.hpo_valid_rmse = best.ValueOrDie().valid_rmse;
+      const std::vector<double>& pred = pred_norm.ValueOrDie();
+      outcome.predicted_ur.resize(pred.size());
+      for (size_t i = 0; i < pred.size(); ++i) {
+        outcome.predicted_ur[i] = pred[i] * test.meta[i].scale;
+      }
+      outcomes[m] = std::move(outcome);
+    };
+    {
+      std::vector<std::thread> workers;
+      workers.reserve(zoo.size());
+      for (size_t m = 0; m < zoo.size(); ++m) {
+        workers.emplace_back(run_model, m);
+      }
+      for (std::thread& worker : workers) worker.join();
+    }
+    for (size_t m = 0; m < zoo.size(); ++m) {
+      AMS_RETURN_NOT_OK(statuses[m]);
+      result.models[m].folds.push_back(std::move(outcomes[m]));
+      if (config.verbose) {
+        AMS_LOG(Info) << "fold " << f + 1 << "/" << result.cv_folds.size()
+                      << " " << zoo[m].name << ": BA="
+                      << result.models[m].folds.back().eval.ba
+                      << " SR=" << result.models[m].folds.back().eval.sr;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ams::models
+
+namespace ams::models {
+namespace {
+
+std::string CacheKey(const ExperimentConfig& config) {
+  return std::string("exp_") +
+         (config.profile == data::DatasetProfile::kTransactionAmount ? "txn"
+                                                                     : "map") +
+         "_s" + std::to_string(config.seed) + "_t" +
+         std::to_string(config.hpo_trials) + "_a" +
+         (config.include_alt ? "1" : "0") + ".csv";
+}
+
+ExperimentResult FilterModels(ExperimentResult result,
+                              const std::vector<std::string>& filter) {
+  if (filter.empty()) return result;
+  std::vector<ModelOutcome> kept;
+  for (ModelOutcome& model : result.models) {
+    if (std::find(filter.begin(), filter.end(), model.name) !=
+        filter.end()) {
+      kept.push_back(std::move(model));
+    }
+  }
+  result.models = std::move(kept);
+  return result;
+}
+
+}  // namespace
+
+Result<ExperimentResult> RunExperimentCached(const ExperimentConfig& config,
+                                             const std::string& cache_dir) {
+  ExperimentConfig full_config = config;
+  full_config.model_filter.clear();
+
+  if (cache_dir.empty()) {
+    AMS_ASSIGN_OR_RETURN(ExperimentResult result,
+                         RunExperiment(full_config));
+    return FilterModels(std::move(result), config.model_filter);
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  const std::string path = cache_dir + "/" + CacheKey(config);
+
+  // Rebuild the deterministic context (panel, folds, metas) either way.
+  AMS_ASSIGN_OR_RETURN(
+      data::Panel panel,
+      data::GenerateMarket(
+          data::GeneratorConfig::Defaults(config.profile, config.seed)));
+
+  if (std::filesystem::exists(path)) {
+    auto table = ReadCsv(path);
+    if (table.ok()) {
+      // Reconstruct: header model,fold,sample,predicted_ur.
+      ExperimentResult result;
+      result.panel = panel;
+      const data::CvOptions cv_options =
+          data::DefaultCvOptions(panel.profile);
+      AMS_ASSIGN_OR_RETURN(
+          result.cv_folds,
+          data::TimeSeriesCvFolds(panel.num_quarters, cv_options));
+      data::FeatureOptions feature_options;
+      feature_options.lag_k = cv_options.lag_k;
+      feature_options.include_alt = config.include_alt;
+      data::FeatureBuilder builder(&panel, feature_options);
+      for (const data::CvFold& fold : result.cv_folds) {
+        AMS_ASSIGN_OR_RETURN(data::Dataset test,
+                             builder.Build({fold.test_quarter}));
+        result.fold_test_meta.push_back(test.meta);
+      }
+      std::map<std::string, std::map<int, std::vector<double>>> loaded;
+      std::vector<std::string> order;
+      for (const auto& row : table.ValueOrDie().rows) {
+        if (row.size() != 4) {
+          return Status::InvalidArgument("corrupt experiment cache: " + path);
+        }
+        if (loaded.find(row[0]) == loaded.end()) order.push_back(row[0]);
+        loaded[row[0]][std::atoi(row[1].c_str())].push_back(
+            std::atof(row[2 + 1].c_str()));
+      }
+      for (const std::string& name : order) {
+        ModelOutcome outcome;
+        outcome.name = name;
+        for (size_t f = 0; f < result.cv_folds.size(); ++f) {
+          auto it = loaded[name].find(static_cast<int>(f));
+          if (it == loaded[name].end()) {
+            return Status::InvalidArgument("incomplete experiment cache: " +
+                                           path);
+          }
+          FoldOutcome fold;
+          fold.test_quarter = result.cv_folds[f].test_quarter;
+          fold.predicted_ur = it->second;
+          std::vector<double> actual;
+          for (const data::SampleMeta& meta : result.fold_test_meta[f]) {
+            actual.push_back(meta.actual_ur);
+          }
+          AMS_ASSIGN_OR_RETURN(
+              fold.eval,
+              metrics::EvaluateAbsolute(fold.predicted_ur, actual));
+          outcome.folds.push_back(std::move(fold));
+        }
+        result.models.push_back(std::move(outcome));
+      }
+      AMS_LOG(Info) << "reusing cached experiment " << path;
+      return FilterModels(std::move(result), config.model_filter);
+    }
+  }
+
+  AMS_ASSIGN_OR_RETURN(ExperimentResult result,
+                       RunExperimentOnPanel(panel, full_config));
+  CsvTable table;
+  table.header = {"model", "fold", "sample", "predicted_ur"};
+  for (const ModelOutcome& model : result.models) {
+    for (size_t f = 0; f < model.folds.size(); ++f) {
+      for (size_t i = 0; i < model.folds[f].predicted_ur.size(); ++i) {
+        table.rows.push_back({model.name, std::to_string(f),
+                              std::to_string(i),
+                              std::to_string(model.folds[f].predicted_ur[i])});
+      }
+    }
+  }
+  Status write_status = WriteCsv(path, table);
+  if (!write_status.ok()) {
+    AMS_LOG(Warning) << "could not persist experiment cache: "
+                     << write_status;
+  }
+  return FilterModels(std::move(result), config.model_filter);
+}
+
+}  // namespace ams::models

@@ -1,0 +1,87 @@
+// End-to-end experiment harness: generates (or accepts) a panel, walks the
+// time-series cross-validation schedule, random-searches every model on each
+// fold's validation quarter, and collects per-fold test metrics and
+// predictions. Shared by all table/figure benches.
+#ifndef AMS_MODELS_EXPERIMENT_H_
+#define AMS_MODELS_EXPERIMENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/cv.h"
+#include "data/generator.h"
+#include "metrics/metrics.h"
+#include "models/zoo.h"
+
+namespace ams::models {
+
+struct ExperimentConfig {
+  data::DatasetProfile profile = data::DatasetProfile::kTransactionAmount;
+  uint64_t seed = 42;
+  /// false reproduces the "-na" (no alternative data) runs of Table III.
+  bool include_alt = true;
+  /// Random-search budget override; <= 0 uses each spec's default.
+  int hpo_trials = 0;
+  /// Restrict to these model names (empty = full zoo).
+  std::vector<std::string> model_filter;
+  /// Log per-fold progress.
+  bool verbose = false;
+};
+
+/// One model's results on one fold.
+struct FoldOutcome {
+  int test_quarter = 0;
+  metrics::EvalResult eval;
+  /// Absolute predicted unexpected revenue per test row.
+  std::vector<double> predicted_ur;
+  double hpo_valid_rmse = 0.0;
+};
+
+/// One model across all folds.
+struct ModelOutcome {
+  std::string name;
+  std::vector<FoldOutcome> folds;
+
+  /// Average of per-fold BA (%), matching the paper's "average of cross
+  /// validation results".
+  double MeanBa() const;
+  /// Average of per-fold mean SR.
+  double MeanSr() const;
+  std::vector<double> FoldBas() const;
+  std::vector<double> FoldSrs() const;
+};
+
+/// Everything a bench needs to print a table or drive the backtest.
+struct ExperimentResult {
+  data::Panel panel;
+  std::vector<data::CvFold> cv_folds;
+  /// Test-set sample metadata per fold (same order as each FoldOutcome's
+  /// predicted_ur).
+  std::vector<std::vector<data::SampleMeta>> fold_test_meta;
+  std::vector<ModelOutcome> models;
+
+  const ModelOutcome* Find(const std::string& name) const;
+};
+
+/// Runs the full protocol on a freshly generated panel.
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+/// Runs the full protocol on a provided panel (used by Table III to keep
+/// the with/without-alt runs on identical data).
+Result<ExperimentResult> RunExperimentOnPanel(const data::Panel& panel,
+                                              const ExperimentConfig& config);
+
+/// Disk-cached variant used by the bench binaries: the full model zoo is
+/// computed once per (profile, seed, hpo_trials, include_alt) and the
+/// per-fold predictions are persisted under `cache_dir`, so e.g. the
+/// Table II bench reuses the Table I experiment instead of re-training
+/// every model. `config.model_filter` is applied to the *returned* result
+/// only. Pass an empty cache_dir to disable caching.
+Result<ExperimentResult> RunExperimentCached(
+    const ExperimentConfig& config,
+    const std::string& cache_dir = "/tmp/ams_experiment_cache");
+
+}  // namespace ams::models
+
+#endif  // AMS_MODELS_EXPERIMENT_H_

@@ -1,0 +1,54 @@
+#include "models/hpo.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace ams::models {
+
+Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
+                                const FitContext& context,
+                                const HpoOptions& options) {
+  const int trials = options.trials > 0 ? options.trials
+                                        : spec.default_trials;
+  Rng rng(options.seed);
+  HpoOutcome outcome;
+  double best = std::numeric_limits<double>::infinity();
+  std::string last_error;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng trial_rng = rng.Fork();
+    std::unique_ptr<Regressor> model = spec.factory(&trial_rng);
+    FitContext trial_context = context;
+    trial_context.seed = trial_rng.NextU64();
+    ++outcome.trials_run;
+    Status fit_status = model->Fit(trial_context);
+    if (!fit_status.ok()) {
+      ++outcome.trials_failed;
+      last_error = fit_status.ToString();
+      continue;
+    }
+    auto rmse = ValidationRmse(*model, *context.valid);
+    if (!rmse.ok()) {
+      ++outcome.trials_failed;
+      last_error = rmse.status().ToString();
+      continue;
+    }
+    if (rmse.ValueOrDie() < best) {
+      best = rmse.ValueOrDie();
+      outcome.model = std::move(model);
+      outcome.valid_rmse = best;
+    }
+  }
+  if (outcome.model == nullptr) {
+    return Status::ComputeError("all " + std::to_string(trials) +
+                                " random-search trials for " + spec.name +
+                                " failed; last error: " + last_error);
+  }
+  if (outcome.trials_failed > 0) {
+    AMS_LOG(Warning) << spec.name << ": " << outcome.trials_failed << "/"
+                     << outcome.trials_run << " HPO trials failed";
+  }
+  return outcome;
+}
+
+}  // namespace ams::models

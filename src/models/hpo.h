@@ -1,0 +1,34 @@
+// Random-search hyperparameter optimization (Bergstra & Bengio, JMLR 2012)
+// on the fold's validation quarter, as in paper §IV-C.
+#ifndef AMS_MODELS_HPO_H_
+#define AMS_MODELS_HPO_H_
+
+#include <memory>
+
+#include "models/zoo.h"
+
+namespace ams::models {
+
+struct HpoOptions {
+  /// Number of sampled configurations; <= 0 means use the spec's default.
+  int trials = 0;
+  uint64_t seed = 7;
+};
+
+struct HpoOutcome {
+  std::unique_ptr<Regressor> model;  // fitted, best by validation RMSE
+  double valid_rmse = 0.0;
+  int trials_run = 0;
+  int trials_failed = 0;
+};
+
+/// Samples, fits and scores `trials` configurations; returns the best.
+/// Individual trial failures (e.g. divergence) are tolerated; fails only if
+/// every trial failed.
+Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
+                                const FitContext& context,
+                                const HpoOptions& options);
+
+}  // namespace ams::models
+
+#endif  // AMS_MODELS_HPO_H_

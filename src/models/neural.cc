@@ -1,0 +1,187 @@
+#include "models/neural.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "optim/optimizer.h"
+
+namespace ams::models {
+
+using la::Matrix;
+using tensor::Tensor;
+
+namespace {
+
+/// Full-batch Adam loop with early stopping on a validation loss; restores
+/// the best parameters before returning.
+Status TrainLoop(std::vector<Tensor> params,
+                 const std::function<Tensor()>& train_loss,
+                 const std::function<double()>& valid_loss,
+                 const NeuralTrainOptions& options) {
+  optim::Adam optimizer(params, options.learning_rate, 0.9, 0.999, 1e-8,
+                        options.weight_decay);
+  // Include the initial state as an early-stopping candidate.
+  double best = valid_loss();
+  std::vector<Matrix> best_params;
+  best_params.reserve(params.size());
+  for (const Tensor& p : params) best_params.push_back(p.value());
+  int since_best = 0;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    Tensor loss = train_loss();
+    if (!loss.value().AllFinite()) {
+      return Status::ComputeError("training diverged (non-finite loss)");
+    }
+    tensor::Backward(loss);
+    if (options.grad_clip > 0.0) optimizer.ClipGradNorm(options.grad_clip);
+    optimizer.Step();
+
+    const double v = valid_loss();
+    if (v < best - 1e-9) {
+      best = v;
+      for (size_t i = 0; i < params.size(); ++i) {
+        best_params[i] = params[i].value();
+      }
+      since_best = 0;
+    } else if (++since_best >= options.patience) {
+      break;
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = best_params[i];
+  }
+  return Status::OK();
+}
+
+double EvalMse(const std::vector<double>& pred, const std::vector<double>& y) {
+  double sse = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - y[i];
+    sse += d * d;
+  }
+  return pred.empty() ? 0.0 : sse / pred.size();
+}
+
+}  // namespace
+
+Status MlpRegressor::Fit(const FitContext& context) {
+  const data::Dataset& train = *context.train;
+  const data::Dataset& valid = *context.valid;
+  Rng rng(options_.seed);
+  Rng init_rng = rng.Fork();
+  Rng dropout_rng = rng.Fork();
+  mlp_ = std::make_unique<nn::Mlp>(train.num_features(), hidden_, 1,
+                                   nn::Activation::kRelu, &init_rng,
+                                   options_.dropout);
+  const Tensor x = Tensor::Constant(train.x);
+  const Tensor y = Tensor::Constant(train.TargetMatrix());
+
+  auto train_loss = [&]() {
+    Tensor pred = mlp_->Forward(x, /*training=*/true, &dropout_rng);
+    return tensor::MseLoss(pred, y);
+  };
+  auto valid_loss = [&]() {
+    auto pred = PredictNorm(valid);
+    return pred.ok() ? EvalMse(pred.ValueOrDie(), valid.y)
+                     : std::numeric_limits<double>::infinity();
+  };
+  return TrainLoop(mlp_->Parameters(), train_loss, valid_loss, options_);
+}
+
+Result<std::vector<double>> MlpRegressor::PredictNorm(
+    const data::Dataset& dataset) const {
+  if (mlp_ == nullptr) return Status::FailedPrecondition("not fitted");
+  if (dataset.num_features() != mlp_->in_features()) {
+    return Status::InvalidArgument("feature width mismatch");
+  }
+  Tensor pred = mlp_->Forward(Tensor::Constant(dataset.x));
+  std::vector<double> out(dataset.num_samples());
+  for (int r = 0; r < dataset.num_samples(); ++r) {
+    out[r] = pred.value()(r, 0);
+  }
+  return out;
+}
+
+Tensor RecurrentRegressor::Forward(const std::vector<Tensor>& steps,
+                                   const Tensor& static_features,
+                                   bool training, Rng* dropout_rng) const {
+  Tensor encoded = kind_ == CellKind::kLstm
+                       ? seq::EncodeSequence(*lstm_, steps)
+                       : seq::EncodeSequence(*gru_, steps);
+  if (options_.dropout > 0.0) {
+    encoded = tensor::Dropout(encoded, options_.dropout, training,
+                              dropout_rng);
+  }
+  Tensor joined = tensor::ConcatCols({encoded, static_features});
+  return head_->Forward(joined);
+}
+
+std::vector<Tensor> RecurrentRegressor::Parameters() const {
+  std::vector<Tensor> params = kind_ == CellKind::kLstm
+                                   ? lstm_->Parameters()
+                                   : gru_->Parameters();
+  for (const Tensor& p : head_->Parameters()) params.push_back(p);
+  return params;
+}
+
+Status RecurrentRegressor::Fit(const FitContext& context) {
+  const data::Dataset& train = *context.train;
+  const data::Dataset& valid = *context.valid;
+  Rng rng(options_.seed);
+  Rng init_rng = rng.Fork();
+  Rng dropout_rng = rng.Fork();
+
+  std::vector<Matrix> step_values;
+  Matrix static_values;
+  train.SequenceView(&step_values, &static_values);
+  const int step_width = train.lag_block_width;
+  if (kind_ == CellKind::kLstm) {
+    lstm_ = std::make_unique<seq::LstmCell>(step_width, hidden_size_,
+                                            &init_rng);
+  } else {
+    gru_ = std::make_unique<seq::GruCell>(step_width, hidden_size_,
+                                          &init_rng);
+  }
+  head_ = std::make_unique<nn::Dense>(hidden_size_ + static_values.cols(), 1,
+                                      nn::Activation::kNone, &init_rng);
+
+  std::vector<Tensor> steps;
+  for (const Matrix& step : step_values) {
+    steps.push_back(Tensor::Constant(step));
+  }
+  const Tensor statics = Tensor::Constant(static_values);
+  const Tensor y = Tensor::Constant(train.TargetMatrix());
+
+  auto train_loss = [&]() {
+    Tensor pred = Forward(steps, statics, /*training=*/true, &dropout_rng);
+    return tensor::MseLoss(pred, y);
+  };
+  auto valid_loss = [&]() {
+    auto pred = PredictNorm(valid);
+    return pred.ok() ? EvalMse(pred.ValueOrDie(), valid.y)
+                     : std::numeric_limits<double>::infinity();
+  };
+  return TrainLoop(Parameters(), train_loss, valid_loss, options_);
+}
+
+Result<std::vector<double>> RecurrentRegressor::PredictNorm(
+    const data::Dataset& dataset) const {
+  if (head_ == nullptr) return Status::FailedPrecondition("not fitted");
+  std::vector<Matrix> step_values;
+  Matrix static_values;
+  dataset.SequenceView(&step_values, &static_values);
+  std::vector<Tensor> steps;
+  for (const Matrix& step : step_values) {
+    steps.push_back(Tensor::Constant(step));
+  }
+  Tensor pred = Forward(steps, Tensor::Constant(static_values),
+                        /*training=*/false, nullptr);
+  std::vector<double> out(dataset.num_samples());
+  for (int r = 0; r < dataset.num_samples(); ++r) {
+    out[r] = pred.value()(r, 0);
+  }
+  return out;
+}
+
+}  // namespace ams::models

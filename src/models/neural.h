@@ -1,0 +1,78 @@
+// Neural baselines: MLP and the recurrent sequence models (LSTM, GRU),
+// trained with Adam + L2 + dropout + early stopping as in paper §IV-C.
+#ifndef AMS_MODELS_NEURAL_H_
+#define AMS_MODELS_NEURAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/regressor.h"
+#include "nn/dense.h"
+#include "seq/recurrent.h"
+
+namespace ams::models {
+
+/// Shared optimizer settings for the neural baselines.
+struct NeuralTrainOptions {
+  int max_epochs = 400;
+  double learning_rate = 2e-3;
+  double weight_decay = 1e-4;
+  double dropout = 0.1;
+  double grad_clip = 5.0;
+  int patience = 50;
+  uint64_t seed = 42;
+};
+
+/// Multilayer perceptron on the flat feature vector.
+class MlpRegressor : public Regressor {
+ public:
+  MlpRegressor(std::vector<int> hidden, NeuralTrainOptions options)
+      : hidden_(std::move(hidden)), options_(options) {}
+
+  std::string name() const override { return "MLP"; }
+  Status Fit(const FitContext& context) override;
+  Result<std::vector<double>> PredictNorm(
+      const data::Dataset& dataset) const override;
+
+ private:
+  std::vector<int> hidden_;
+  NeuralTrainOptions options_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+/// Recurrent baseline: an LSTM or GRU encodes the k lag blocks
+/// (time-major), the final hidden state is concatenated with the static
+/// features (VE_t, A_t, one-hots) and fed to a linear head.
+class RecurrentRegressor : public Regressor {
+ public:
+  enum class CellKind { kLstm, kGru };
+
+  RecurrentRegressor(CellKind kind, int hidden_size,
+                     NeuralTrainOptions options)
+      : kind_(kind), hidden_size_(hidden_size), options_(options) {}
+
+  std::string name() const override {
+    return kind_ == CellKind::kLstm ? "Lstm" : "GRU";
+  }
+  Status Fit(const FitContext& context) override;
+  Result<std::vector<double>> PredictNorm(
+      const data::Dataset& dataset) const override;
+
+ private:
+  tensor::Tensor Forward(const std::vector<tensor::Tensor>& steps,
+                         const tensor::Tensor& static_features, bool training,
+                         Rng* dropout_rng) const;
+  std::vector<tensor::Tensor> Parameters() const;
+
+  CellKind kind_;
+  int hidden_size_;
+  NeuralTrainOptions options_;
+  std::unique_ptr<seq::LstmCell> lstm_;
+  std::unique_ptr<seq::GruCell> gru_;
+  std::unique_ptr<nn::Dense> head_;
+};
+
+}  // namespace ams::models
+
+#endif  // AMS_MODELS_NEURAL_H_

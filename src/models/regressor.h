@@ -1,0 +1,56 @@
+// Unified interface every predictor in the evaluation implements (AMS and
+// the ten baselines of Tables I-V), plus the fit-time context a fold
+// provides.
+#ifndef AMS_MODELS_REGRESSOR_H_
+#define AMS_MODELS_REGRESSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/features.h"
+#include "data/panel.h"
+#include "util/status.h"
+
+namespace ams::models {
+
+/// Everything a model may use when fitting one cross-validation fold.
+/// All members outlive the Fit/Predict calls.
+struct FitContext {
+  const data::Dataset* train = nullptr;
+  const data::Dataset* valid = nullptr;
+  /// The full panel; models consuming raw series (ARIMA, QoQ, YoY) and the
+  /// correlation graph builder read it. When predicting quarter t they may
+  /// only use observations from quarters < t (plus quarter-t consensus and
+  /// alternative data, which are available before the announcement).
+  const data::Panel* panel = nullptr;
+  /// Last quarter index whose *revenue* may be used for structures fitted
+  /// once per fold (e.g. the correlation graph).
+  int last_train_quarter = 0;
+  uint64_t seed = 42;
+};
+
+/// A revenue-surprise regressor. Predictions are in normalized units
+/// (UR / R_{t-k}), matching data::Dataset::y.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Model name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  virtual Status Fit(const FitContext& context) = 0;
+
+  /// Normalized UR prediction per dataset row.
+  virtual Result<std::vector<double>> PredictNorm(
+      const data::Dataset& dataset) const = 0;
+};
+
+/// Validation RMSE on normalized targets — the score random search
+/// minimizes.
+Result<double> ValidationRmse(const Regressor& model,
+                              const data::Dataset& valid);
+
+}  // namespace ams::models
+
+#endif  // AMS_MODELS_REGRESSOR_H_

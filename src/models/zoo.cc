@@ -1,0 +1,178 @@
+#include "models/zoo.h"
+
+#include "models/ams_regressor.h"
+#include "models/baselines.h"
+#include "models/neural.h"
+
+namespace ams::models {
+
+namespace {
+
+NeuralTrainOptions SampleNeuralOptions(Rng* rng) {
+  NeuralTrainOptions options;
+  options.learning_rate = rng->LogUniform(5e-4, 5e-3);
+  options.weight_decay = rng->LogUniform(1e-5, 1e-3);
+  options.dropout = rng->Uniform(0.0, 0.3);
+  options.max_epochs = 200;
+  options.patience = 30;
+  options.seed = rng->NextU64();
+  return options;
+}
+
+std::vector<int> SampleHiddenLayers(Rng* rng) {
+  const int num_layers = 1 + static_cast<int>(rng->UniformInt(2));
+  static const int kWidths[] = {16, 32, 64, 96};
+  std::vector<int> hidden;
+  for (int i = 0; i < num_layers; ++i) {
+    hidden.push_back(kWidths[rng->UniformInt(4)]);
+  }
+  return hidden;
+}
+
+}  // namespace
+
+ModelSpec MakeAmsSpec() {
+  ModelSpec spec;
+  spec.name = "AMS";
+  spec.default_trials = 6;
+  spec.factory = [](Rng* rng) -> std::unique_ptr<Regressor> {
+    core::AmsConfig config;
+    static const int kDims[] = {16, 32, 48};
+    config.node_transform_layers = {
+        static_cast<int>(kDims[rng->UniformInt(3)] + 16),
+        kDims[rng->UniformInt(3)]};
+    config.gat.hidden_per_head = {kDims[rng->UniformInt(3)] / 2};
+    config.gat.num_heads = rng->Bernoulli(0.5) ? 4 : 2;
+    config.gat.out_features = kDims[rng->UniformInt(3)];
+    config.gat.attention_dropout = rng->Uniform(0.0, 0.2);
+    config.generator_hidden = {kDims[rng->UniformInt(3)]};
+    config.gamma = rng->Uniform(0.05, 0.45);
+    config.lambda_slg = rng->LogUniform(0.5, 5.0);
+    config.lambda_l2 = rng->LogUniform(1e-5, 1e-3);
+    // Anchor family: ~1/3 of trials keep the paper's pure-L2 anchor, the
+    // rest explore the elastic-net generalization.
+    if (rng->Bernoulli(0.35)) {
+      config.anchored_l1_ratio = 0.0;
+      config.anchored_alpha = rng->LogUniform(1e-3, 3.0);
+    } else {
+      config.anchored_l1_ratio = rng->Uniform(0.3, 1.0);
+      config.anchored_alpha = rng->LogUniform(1e-5, 3e-2);
+    }
+    config.learning_rate = rng->LogUniform(7e-4, 2.5e-3);
+    config.dropout = rng->Uniform(0.0, 0.2);
+    config.max_epochs = 350;
+    config.patience = 100;
+    const int top_k_choices[] = {3, 5, 8};
+    const int top_k = top_k_choices[rng->UniformInt(3)];
+    return std::make_unique<AmsRegressor>(std::move(config), top_k);
+  };
+  return spec;
+}
+
+std::vector<ModelSpec> BuildModelZoo(int num_alt_channels) {
+  std::vector<ModelSpec> zoo;
+  zoo.push_back(MakeAmsSpec());
+
+  zoo.push_back({"XGBoost",
+                 [](Rng* rng) -> std::unique_ptr<Regressor> {
+                   gbdt::GbdtOptions options;
+                   options.num_rounds =
+                       50 + static_cast<int>(rng->UniformInt(250));
+                   options.learning_rate = rng->LogUniform(0.02, 0.3);
+                   options.max_depth =
+                       2 + static_cast<int>(rng->UniformInt(4));
+                   options.min_child_weight = rng->Uniform(1.0, 5.0);
+                   options.reg_lambda = rng->LogUniform(0.1, 10.0);
+                   options.subsample = rng->Uniform(0.6, 1.0);
+                   options.colsample = rng->Uniform(0.5, 1.0);
+                   options.early_stopping_rounds = 20;
+                   options.seed = rng->NextU64();
+                   return std::make_unique<XgboostRegressor>(options);
+                 },
+                 6});
+
+  zoo.push_back({"MLP",
+                 [](Rng* rng) -> std::unique_ptr<Regressor> {
+                   return std::make_unique<MlpRegressor>(
+                       SampleHiddenLayers(rng), SampleNeuralOptions(rng));
+                 },
+                 5});
+
+  zoo.push_back({"Lasso",
+                 [](Rng* rng) -> std::unique_ptr<Regressor> {
+                   linear::LinearOptions options;
+                   options.alpha = rng->LogUniform(1e-5, 3e-2);
+                   options.l1_ratio = 1.0;
+                   return std::make_unique<LinearRegressor>("Lasso", options);
+                 },
+                 6});
+
+  zoo.push_back({"Ridge",
+                 [](Rng* rng) -> std::unique_ptr<Regressor> {
+                   linear::LinearOptions options;
+                   options.alpha = rng->LogUniform(1e-4, 10.0);
+                   options.l1_ratio = 0.0;
+                   return std::make_unique<LinearRegressor>("Ridge", options);
+                 },
+                 6});
+
+  zoo.push_back({"Elasticnet",
+                 [](Rng* rng) -> std::unique_ptr<Regressor> {
+                   linear::LinearOptions options;
+                   options.alpha = rng->LogUniform(1e-5, 3e-2);
+                   options.l1_ratio = rng->Uniform(0.1, 0.9);
+                   return std::make_unique<LinearRegressor>("Elasticnet",
+                                                            options);
+                 },
+                 6});
+
+  zoo.push_back({"Lstm",
+                 [](Rng* rng) -> std::unique_ptr<Regressor> {
+                   const int hidden =
+                       8 << rng->UniformInt(3);  // 8, 16, or 32
+                   return std::make_unique<RecurrentRegressor>(
+                       RecurrentRegressor::CellKind::kLstm, hidden,
+                       SampleNeuralOptions(rng));
+                 },
+                 4});
+
+  zoo.push_back({"GRU",
+                 [](Rng* rng) -> std::unique_ptr<Regressor> {
+                   const int hidden = 8 << rng->UniformInt(3);
+                   return std::make_unique<RecurrentRegressor>(
+                       RecurrentRegressor::CellKind::kGru, hidden,
+                       SampleNeuralOptions(rng));
+                 },
+                 4});
+
+  zoo.push_back({"ARIMA",
+                 [](Rng*) -> std::unique_ptr<Regressor> {
+                   return std::make_unique<ArimaRegressor>();
+                 },
+                 1});
+
+  for (int c = 0; c < num_alt_channels; ++c) {
+    zoo.push_back({c == 0 ? "YoY" : "YoY(ch" + std::to_string(c) + ")",
+                   [c](Rng*) -> std::unique_ptr<Regressor> {
+                     return std::make_unique<RatioRegressor>(
+                         RatioRegressor::Kind::kYoY, c);
+                   },
+                   1});
+  }
+  for (int c = 0; c < num_alt_channels; ++c) {
+    zoo.push_back({c == 0 ? "QoQ" : "QoQ(ch" + std::to_string(c) + ")",
+                   [c](Rng*) -> std::unique_ptr<Regressor> {
+                     return std::make_unique<RatioRegressor>(
+                         RatioRegressor::Kind::kQoQ, c);
+                   },
+                   1});
+  }
+  return zoo;
+}
+
+std::vector<std::string> LearnedModelNames() {
+  return {"AMS", "XGBoost", "MLP", "Lasso", "Ridge", "Elasticnet", "Lstm",
+          "GRU"};
+}
+
+}  // namespace ams::models

@@ -1,0 +1,43 @@
+// The model zoo: hyperparameter-sampling factories for AMS and every
+// baseline, in the order the paper's tables list them.
+#ifndef AMS_MODELS_ZOO_H_
+#define AMS_MODELS_ZOO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/regressor.h"
+#include "util/rng.h"
+
+namespace ams::models {
+
+/// Draws one hyperparameter configuration and constructs the model.
+using ModelFactory = std::function<std::unique_ptr<Regressor>(Rng*)>;
+
+struct ModelSpec {
+  std::string name;
+  ModelFactory factory;
+  /// Random-search budget; 1 for models with no hyperparameters.
+  int default_trials = 8;
+};
+
+/// All entries of Tables I/II for a panel with `num_alt_channels` channels
+/// (QoQ/YoY get one entry per channel, mirroring the two map-query rows).
+/// Order matches the paper: AMS, XGBoost, MLP, Lasso, Ridge, Elasticnet,
+/// Lstm, GRU, ARIMA, YoY..., QoQ....
+std::vector<ModelSpec> BuildModelZoo(int num_alt_channels);
+
+/// The subset that supports the Table III "-na" ablation (everything that
+/// learns from the feature matrix; ARIMA/QoQ/YoY are excluded as in the
+/// paper).
+std::vector<std::string> LearnedModelNames();
+
+/// Factory for AMS alone with an explicit config (used by the component
+/// ablation bench).
+ModelSpec MakeAmsSpec();
+
+}  // namespace ams::models
+
+#endif  // AMS_MODELS_ZOO_H_

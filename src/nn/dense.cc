@@ -1,0 +1,101 @@
+#include "nn/dense.h"
+
+#include "nn/init.h"
+
+namespace ams::nn {
+
+using tensor::Tensor;
+
+Tensor Activate(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return tensor::Relu(x);
+    case Activation::kLeakyRelu:
+      return tensor::LeakyRelu(x);
+    case Activation::kSigmoid:
+      return tensor::Sigmoid(x);
+    case Activation::kTanh:
+      return tensor::Tanh(x);
+  }
+  return x;
+}
+
+Dense::Dense(int in_features, int out_features, Activation act, Rng* rng,
+             bool use_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      act_(act),
+      use_bias_(use_bias) {
+  la::Matrix w;
+  if (act == Activation::kRelu || act == Activation::kLeakyRelu) {
+    w = HeNormal(out_features, in_features, in_features, rng);
+  } else {
+    w = XavierUniform(out_features, in_features, in_features, out_features,
+                      rng);
+  }
+  weight_ = Tensor::Parameter(std::move(w));
+  if (use_bias_) {
+    bias_ = Tensor::Parameter(la::Matrix::Zeros(1, out_features));
+  }
+}
+
+Tensor Dense::Forward(const Tensor& x) const {
+  AMS_DCHECK(x.cols() == in_features_, "Dense input width mismatch");
+  Tensor out = tensor::MatMul(x, tensor::Transpose(weight_));
+  if (use_bias_) out = tensor::Add(out, bias_);
+  return Activate(out, act_);
+}
+
+std::vector<Tensor> Dense::Parameters() const {
+  std::vector<Tensor> params = {weight_};
+  if (use_bias_) params.push_back(bias_);
+  return params;
+}
+
+void Dense::SetWeights(const la::Matrix& weight, const la::Matrix& bias) {
+  AMS_DCHECK(weight.rows() == out_features_ && weight.cols() == in_features_,
+             "SetWeights weight shape mismatch");
+  weight_.mutable_value() = weight;
+  if (use_bias_) {
+    AMS_DCHECK(bias.rows() == 1 && bias.cols() == out_features_,
+               "SetWeights bias shape mismatch");
+    bias_.mutable_value() = bias;
+  }
+}
+
+Mlp::Mlp(int in_features, const std::vector<int>& hidden, int out_features,
+         Activation hidden_act, Rng* rng, double dropout)
+    : in_features_(in_features),
+      out_features_(out_features),
+      dropout_(dropout) {
+  int width = in_features;
+  for (int h : hidden) {
+    layers_.emplace_back(width, h, hidden_act, rng);
+    width = h;
+  }
+  layers_.emplace_back(width, out_features, Activation::kNone, rng);
+}
+
+Tensor Mlp::Forward(const Tensor& x, bool training, Rng* dropout_rng) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    const bool is_hidden = i + 1 < layers_.size();
+    if (is_hidden && dropout_ > 0.0) {
+      h = tensor::Dropout(h, dropout_, training, dropout_rng);
+    }
+  }
+  return h;
+}
+
+std::vector<Tensor> Mlp::Parameters() const {
+  std::vector<Tensor> params;
+  for (const Dense& layer : layers_) {
+    for (const Tensor& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace ams::nn

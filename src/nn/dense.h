@@ -1,0 +1,81 @@
+// Fully-connected layers and a small MLP container.
+#ifndef AMS_NN_DENSE_H_
+#define AMS_NN_DENSE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ams::nn {
+
+/// Activation applied after a dense layer.
+enum class Activation { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// Applies `act` to `x` (identity for kNone).
+tensor::Tensor Activate(const tensor::Tensor& x, Activation act);
+
+/// One affine layer y = x W^T + b, with optional activation.
+///
+/// W has shape (out x in); inputs are batches of row vectors (N x in).
+class Dense {
+ public:
+  /// Initializes W per the activation (He for ReLU-family, Xavier otherwise)
+  /// and b to zero.
+  Dense(int in_features, int out_features, Activation act, Rng* rng,
+        bool use_bias = true);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  /// The trainable tensors of this layer (W, then b if present).
+  std::vector<tensor::Tensor> Parameters() const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const tensor::Tensor& weight() const { return weight_; }
+  const tensor::Tensor& bias() const { return bias_; }
+
+  /// Overwrites the layer's weights/bias (e.g. to start an output layer at a
+  /// known-good solution). Shapes must match; bias is ignored when the layer
+  /// has none.
+  void SetWeights(const la::Matrix& weight, const la::Matrix& bias);
+
+ private:
+  int in_features_;
+  int out_features_;
+  Activation act_;
+  bool use_bias_;
+  tensor::Tensor weight_;  // out x in
+  tensor::Tensor bias_;    // 1 x out (null if !use_bias_)
+};
+
+/// A stack of Dense layers with shared hidden activation, optional inverted
+/// dropout between hidden layers, and a linear output layer.
+class Mlp {
+ public:
+  /// `hidden` lists hidden-layer widths (may be empty = linear model).
+  Mlp(int in_features, const std::vector<int>& hidden, int out_features,
+      Activation hidden_act, Rng* rng, double dropout = 0.0);
+
+  /// Forward pass; dropout is active only when `training` is true.
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training = false,
+                         Rng* dropout_rng = nullptr) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const std::vector<Dense>& layers() const { return layers_; }
+  /// Mutable layer access (used to re-initialize the output layer).
+  std::vector<Dense>* mutable_layers() { return &layers_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  double dropout_;
+  std::vector<Dense> layers_;
+};
+
+}  // namespace ams::nn
+
+#endif  // AMS_NN_DENSE_H_

@@ -1,0 +1,30 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace ams::nn {
+
+la::Matrix XavierUniform(int rows, int cols, int fan_in, int fan_out,
+                         Rng* rng) {
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  la::Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Uniform(-bound, bound);
+  }
+  return m;
+}
+
+la::Matrix HeNormal(int rows, int cols, int fan_in, Rng* rng) {
+  const double stddev = std::sqrt(2.0 / fan_in);
+  return GaussianInit(rows, cols, stddev, rng);
+}
+
+la::Matrix GaussianInit(int rows, int cols, double stddev, Rng* rng) {
+  la::Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal(0.0, stddev);
+  }
+  return m;
+}
+
+}  // namespace ams::nn

@@ -1,0 +1,23 @@
+// Weight initialization schemes.
+#ifndef AMS_NN_INIT_H_
+#define AMS_NN_INIT_H_
+
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace ams::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// Suited to tanh/sigmoid/linear layers.
+la::Matrix XavierUniform(int rows, int cols, int fan_in, int fan_out,
+                         Rng* rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)). Suited to ReLU layers.
+la::Matrix HeNormal(int rows, int cols, int fan_in, Rng* rng);
+
+/// N(0, stddev).
+la::Matrix GaussianInit(int rows, int cols, double stddev, Rng* rng);
+
+}  // namespace ams::nn
+
+#endif  // AMS_NN_INIT_H_

@@ -1,0 +1,93 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace ams::optim {
+
+using la::Matrix;
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double total_sq = 0.0;
+  for (const auto& p : params_) {
+    const Matrix& g = p.grad();
+    for (int i = 0; i < g.size(); ++i) total_sq += g.data()[i] * g.data()[i];
+  }
+  const double norm = std::sqrt(total_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (auto& p : params_) {
+      // grad() lazily materializes; scale through the node's grad matrix.
+      Matrix scaled = p.grad() * scale;
+      p.ZeroGrad();
+      p.node()->AccumulateGrad(scaled);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<tensor::Tensor> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& value = params_[i].mutable_value();
+    const Matrix& grad = params_[i].grad();
+    for (int j = 0; j < value.size(); ++j) {
+      double g = grad.data()[j] + weight_decay_ * value.data()[j];
+      if (momentum_ > 0.0) {
+        velocity_[i].data()[j] = momentum_ * velocity_[i].data()[j] + g;
+        g = velocity_[i].data()[j];
+      }
+      value.data()[j] -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<tensor::Tensor> params, double lr, double beta1,
+           double beta2, double epsilon, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+    v_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Matrix& value = params_[i].mutable_value();
+    const Matrix& grad = params_[i].grad();
+    for (int j = 0; j < value.size(); ++j) {
+      const double g = grad.data()[j] + weight_decay_ * value.data()[j];
+      m_[i].data()[j] = beta1_ * m_[i].data()[j] + (1.0 - beta1_) * g;
+      v_[i].data()[j] = beta2_ * v_[i].data()[j] + (1.0 - beta2_) * g * g;
+      const double m_hat = m_[i].data()[j] / bc1;
+      const double v_hat = v_[i].data()[j] / bc2;
+      value.data()[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace ams::optim

@@ -1,0 +1,72 @@
+// First-order optimizers over tensor parameters.
+//
+// The paper trains AMS (and the neural baselines) with Adam (Kingma & Ba)
+// plus L2 weight decay; SGD with momentum is provided for tests/ablations.
+#ifndef AMS_OPTIM_OPTIMIZER_H_
+#define AMS_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ams::optim {
+
+/// Common interface: after Backward() populated gradients, Step() updates
+/// parameter values in place; ZeroGrad() clears gradients for the next pass.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+  void ZeroGrad();
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  double ClipGradNorm(double max_norm);
+
+  const std::vector<tensor::Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<tensor::Tensor> params_;
+};
+
+/// SGD with optional classical momentum and decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+  void Step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<la::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2014) with bias correction and L2 weight decay applied
+/// as a gradient term (classic, non-decoupled — matches common framework
+/// defaults the paper's PaddlePaddle implementation would have used).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<tensor::Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double epsilon = 1e-8,
+       double weight_decay = 0.0);
+  void Step() override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  double weight_decay_;
+  int t_ = 0;
+  std::vector<la::Matrix> m_;
+  std::vector<la::Matrix> v_;
+};
+
+}  // namespace ams::optim
+
+#endif  // AMS_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,120 @@
+#include "seq/recurrent.h"
+
+#include "nn/init.h"
+
+namespace ams::seq {
+
+using la::Matrix;
+using tensor::Tensor;
+
+namespace {
+
+Tensor GateLinear(const Tensor& x, const Tensor& h, const Tensor& w_x,
+                  const Tensor& w_h, const Tensor& b) {
+  Tensor pre = tensor::Add(tensor::MatMul(x, tensor::Transpose(w_x)),
+                           tensor::MatMul(h, tensor::Transpose(w_h)));
+  return tensor::Add(pre, b);
+}
+
+}  // namespace
+
+LstmCell::LstmCell(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  for (int g = 0; g < 4; ++g) {
+    w_x_[g] = Tensor::Parameter(nn::XavierUniform(
+        hidden_size, input_size, input_size + hidden_size, hidden_size, rng));
+    w_h_[g] = Tensor::Parameter(nn::XavierUniform(
+        hidden_size, hidden_size, input_size + hidden_size, hidden_size,
+        rng));
+    // Forget gate (index 1) biased open.
+    const double bias_init = g == 1 ? 1.0 : 0.0;
+    b_[g] = Tensor::Parameter(Matrix(1, hidden_size, bias_init));
+  }
+}
+
+LstmCell::State LstmCell::InitialState(int batch_size) const {
+  return {Tensor::Constant(Matrix::Zeros(batch_size, hidden_size_)),
+          Tensor::Constant(Matrix::Zeros(batch_size, hidden_size_))};
+}
+
+LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
+  AMS_DCHECK(x.cols() == input_size_, "LSTM input width mismatch");
+  const Tensor i =
+      tensor::Sigmoid(GateLinear(x, state.h, w_x_[0], w_h_[0], b_[0]));
+  const Tensor f =
+      tensor::Sigmoid(GateLinear(x, state.h, w_x_[1], w_h_[1], b_[1]));
+  const Tensor g =
+      tensor::Tanh(GateLinear(x, state.h, w_x_[2], w_h_[2], b_[2]));
+  const Tensor o =
+      tensor::Sigmoid(GateLinear(x, state.h, w_x_[3], w_h_[3], b_[3]));
+  State next;
+  next.c = tensor::Add(tensor::Mul(f, state.c), tensor::Mul(i, g));
+  next.h = tensor::Mul(o, tensor::Tanh(next.c));
+  return next;
+}
+
+std::vector<Tensor> LstmCell::Parameters() const {
+  std::vector<Tensor> params;
+  for (int g = 0; g < 4; ++g) {
+    params.push_back(w_x_[g]);
+    params.push_back(w_h_[g]);
+    params.push_back(b_[g]);
+  }
+  return params;
+}
+
+GruCell::GruCell(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  for (int g = 0; g < 3; ++g) {
+    w_x_[g] = Tensor::Parameter(nn::XavierUniform(
+        hidden_size, input_size, input_size + hidden_size, hidden_size, rng));
+    w_h_[g] = Tensor::Parameter(nn::XavierUniform(
+        hidden_size, hidden_size, input_size + hidden_size, hidden_size,
+        rng));
+    b_[g] = Tensor::Parameter(Matrix::Zeros(1, hidden_size));
+  }
+}
+
+Tensor GruCell::InitialState(int batch_size) const {
+  return Tensor::Constant(Matrix::Zeros(batch_size, hidden_size_));
+}
+
+Tensor GruCell::Step(const Tensor& x, const Tensor& h) const {
+  AMS_DCHECK(x.cols() == input_size_, "GRU input width mismatch");
+  const Tensor z = tensor::Sigmoid(GateLinear(x, h, w_x_[0], w_h_[0], b_[0]));
+  const Tensor r = tensor::Sigmoid(GateLinear(x, h, w_x_[1], w_h_[1], b_[1]));
+  // Candidate uses the reset-gated hidden state.
+  const Tensor gated_h = tensor::Mul(r, h);
+  const Tensor n =
+      tensor::Tanh(GateLinear(x, gated_h, w_x_[2], w_h_[2], b_[2]));
+  // h' = (1 - z) * n + z * h.
+  const Tensor one_minus_z = tensor::AddScalar(tensor::Scale(z, -1.0), 1.0);
+  return tensor::Add(tensor::Mul(one_minus_z, n), tensor::Mul(z, h));
+}
+
+std::vector<Tensor> GruCell::Parameters() const {
+  std::vector<Tensor> params;
+  for (int g = 0; g < 3; ++g) {
+    params.push_back(w_x_[g]);
+    params.push_back(w_h_[g]);
+    params.push_back(b_[g]);
+  }
+  return params;
+}
+
+Tensor EncodeSequence(const LstmCell& cell,
+                      const std::vector<Tensor>& steps) {
+  AMS_DCHECK(!steps.empty(), "empty sequence");
+  LstmCell::State state = cell.InitialState(steps[0].rows());
+  for (const Tensor& x : steps) state = cell.Step(x, state);
+  return state.h;
+}
+
+Tensor EncodeSequence(const GruCell& cell, const std::vector<Tensor>& steps) {
+  AMS_DCHECK(!steps.empty(), "empty sequence");
+  Tensor h = cell.InitialState(steps[0].rows());
+  for (const Tensor& x : steps) h = cell.Step(x, h);
+  return h;
+}
+
+}  // namespace ams::seq

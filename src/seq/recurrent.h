@@ -1,0 +1,82 @@
+// Recurrent cells (LSTM, GRU) built on the autograd engine; used by the
+// neural sequence baselines of Tables I-V.
+//
+// Sequences are time-major: a std::vector of (batch x features) tensors.
+#ifndef AMS_SEQ_RECURRENT_H_
+#define AMS_SEQ_RECURRENT_H_
+
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ams::seq {
+
+/// Long Short-Term Memory cell (Hochreiter & Schmidhuber, 1997) with the
+/// standard input/forget/cell/output gating; forget-gate bias initialized
+/// to 1 to ease gradient flow on short financial sequences.
+class LstmCell {
+ public:
+  LstmCell(int input_size, int hidden_size, Rng* rng);
+
+  struct State {
+    tensor::Tensor h;  // batch x hidden
+    tensor::Tensor c;  // batch x hidden
+  };
+
+  /// Zero state for a batch of the given size.
+  State InitialState(int batch_size) const;
+
+  /// One step: consumes x_t (batch x input) and the previous state.
+  State Step(const tensor::Tensor& x, const State& state) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  // Gate order: input, forget, cell(candidate), output.
+  tensor::Tensor w_x_[4];  // hidden x input
+  tensor::Tensor w_h_[4];  // hidden x hidden
+  tensor::Tensor b_[4];    // 1 x hidden
+};
+
+/// Gated Recurrent Unit (Cho et al., 2014): update/reset gates + candidate.
+class GruCell {
+ public:
+  GruCell(int input_size, int hidden_size, Rng* rng);
+
+  tensor::Tensor InitialState(int batch_size) const;
+
+  /// One step: h_t from x_t (batch x input) and h_{t-1} (batch x hidden).
+  tensor::Tensor Step(const tensor::Tensor& x, const tensor::Tensor& h) const;
+
+  std::vector<tensor::Tensor> Parameters() const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  // Gate order: update (z), reset (r), candidate (n).
+  tensor::Tensor w_x_[3];
+  tensor::Tensor w_h_[3];
+  tensor::Tensor b_[3];
+};
+
+/// Runs an LSTM over a time-major sequence, returning the final hidden state.
+tensor::Tensor EncodeSequence(const LstmCell& cell,
+                              const std::vector<tensor::Tensor>& steps);
+
+/// Runs a GRU over a time-major sequence, returning the final hidden state.
+tensor::Tensor EncodeSequence(const GruCell& cell,
+                              const std::vector<tensor::Tensor>& steps);
+
+}  // namespace ams::seq
+
+#endif  // AMS_SEQ_RECURRENT_H_

@@ -1,0 +1,482 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace ams::tensor {
+
+using la::Matrix;
+
+namespace internal {
+
+void Node::AccumulateGrad(const Matrix& g) {
+  if (grad.empty()) {
+    grad = g;
+  } else {
+    AMS_DCHECK(grad.same_shape(g), "gradient shape mismatch in " + op_name);
+    grad += g;
+  }
+}
+
+}  // namespace internal
+
+using internal::Node;
+
+Tensor::Tensor(Matrix value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->op_name = requires_grad ? "parameter" : "constant";
+}
+
+const Matrix& Tensor::value() const {
+  AMS_DCHECK(node_ != nullptr, "value() on null tensor");
+  return node_->value;
+}
+
+Matrix& Tensor::mutable_value() {
+  AMS_DCHECK(node_ != nullptr, "mutable_value() on null tensor");
+  return node_->value;
+}
+
+const Matrix& Tensor::grad() const {
+  AMS_DCHECK(node_ != nullptr, "grad() on null tensor");
+  if (node_->grad.empty() && !node_->value.empty()) {
+    // Expose a zero gradient of the right shape for untouched nodes.
+    node_->grad = Matrix::Zeros(node_->value.rows(), node_->value.cols());
+  }
+  return node_->grad;
+}
+
+bool Tensor::requires_grad() const {
+  return node_ != nullptr && node_->requires_grad;
+}
+
+void Tensor::ZeroGrad() {
+  AMS_DCHECK(node_ != nullptr, "ZeroGrad() on null tensor");
+  node_->grad = Matrix();
+}
+
+namespace {
+
+/// Builds a new op node over `parents` whose requires_grad is the OR of the
+/// parents' flags.
+Tensor MakeOp(Matrix value, std::vector<Tensor> parents, std::string op_name,
+              std::function<void(Node&)> backward_fn) {
+  bool needs_grad = false;
+  std::vector<std::shared_ptr<Node>> parent_nodes;
+  parent_nodes.reserve(parents.size());
+  for (const Tensor& p : parents) {
+    AMS_DCHECK(!p.is_null(), "null tensor input to " + op_name);
+    needs_grad = needs_grad || p.node()->requires_grad;
+    parent_nodes.push_back(p.node());
+  }
+  Tensor out(std::move(value), false);
+  auto node = out.node();
+  node->requires_grad = needs_grad;
+  node->op_name = std::move(op_name);
+  if (needs_grad) {
+    node->parents = std::move(parent_nodes);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+enum class BroadcastKind { kSame, kRow, kCol, kScalar };
+
+BroadcastKind ClassifyBroadcast(const Matrix& a, const Matrix& b,
+                                const char* op) {
+  if (a.rows() == b.rows() && a.cols() == b.cols()) return BroadcastKind::kSame;
+  if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
+  if (b.rows() == 1 && b.cols() == a.cols()) return BroadcastKind::kRow;
+  if (b.cols() == 1 && b.rows() == a.rows()) return BroadcastKind::kCol;
+  AMS_DCHECK(false, std::string("incompatible broadcast shapes in ") + op);
+  return BroadcastKind::kSame;
+}
+
+double BroadcastAt(const Matrix& b, BroadcastKind kind, int r, int c) {
+  switch (kind) {
+    case BroadcastKind::kSame:
+      return b(r, c);
+    case BroadcastKind::kRow:
+      return b(0, c);
+    case BroadcastKind::kCol:
+      return b(r, 0);
+    case BroadcastKind::kScalar:
+      return b(0, 0);
+  }
+  return 0.0;
+}
+
+/// Reduces a full-shaped gradient `g` back to the broadcast operand's shape.
+Matrix ReduceToBroadcastShape(const Matrix& g, BroadcastKind kind) {
+  switch (kind) {
+    case BroadcastKind::kSame:
+      return g;
+    case BroadcastKind::kRow:
+      return g.ColSums();
+    case BroadcastKind::kCol:
+      return g.RowSums();
+    case BroadcastKind::kScalar: {
+      Matrix out(1, 1);
+      out(0, 0) = g.Sum();
+      return out;
+    }
+  }
+  return g;
+}
+
+/// Elementwise unary op with derivative expressed in terms of (x, y).
+Tensor UnaryOp(const Tensor& a, const char* name,
+               const std::function<double(double)>& fwd,
+               const std::function<double(double, double)>& dydx) {
+  Matrix value = a.value().Map(fwd);
+  Matrix saved_in = a.value();
+  Matrix saved_out = value;
+  return MakeOp(std::move(value), {a}, name,
+                [saved_in, saved_out, dydx](Node& node) {
+                  Matrix g = node.grad;
+                  for (int r = 0; r < g.rows(); ++r) {
+                    for (int c = 0; c < g.cols(); ++c) {
+                      g(r, c) *= dydx(saved_in(r, c), saved_out(r, c));
+                    }
+                  }
+                  node.parents[0]->AccumulateGrad(g);
+                });
+}
+
+}  // namespace
+
+void Backward(const Tensor& root) {
+  AMS_DCHECK(!root.is_null(), "Backward on null tensor");
+  AMS_DCHECK(root.rows() == 1 && root.cols() == 1,
+             "Backward requires a 1x1 scalar root");
+  // Iterative post-order DFS to get a topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.node().get(), 0);
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    auto& [node, child_idx] = stack.back();
+    if (child_idx < node->parents.size()) {
+      Node* parent = node->parents[child_idx].get();
+      ++child_idx;
+      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // `order` is post-order: parents before children; walk it in reverse.
+  root.node()->AccumulateGrad(Matrix::Ones(1, 1));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Matrix value = a.value().MatMul(b.value());
+  Matrix a_val = a.value();
+  Matrix b_val = b.value();
+  return MakeOp(std::move(value), {a, b}, "matmul",
+                [a_val, b_val](Node& node) {
+                  const Matrix& g = node.grad;
+                  if (node.parents[0]->requires_grad) {
+                    node.parents[0]->AccumulateGrad(g.MatMulTranspose(b_val));
+                  }
+                  if (node.parents[1]->requires_grad) {
+                    node.parents[1]->AccumulateGrad(a_val.TransposeMatMul(g));
+                  }
+                });
+}
+
+Tensor Transpose(const Tensor& a) {
+  return MakeOp(a.value().Transposed(), {a}, "transpose", [](Node& node) {
+    node.parents[0]->AccumulateGrad(node.grad.Transposed());
+  });
+}
+
+namespace {
+
+Tensor AddLike(const Tensor& a, const Tensor& b, double sign,
+               const char* name) {
+  const BroadcastKind kind = ClassifyBroadcast(a.value(), b.value(), name);
+  Matrix value = a.value();
+  for (int r = 0; r < value.rows(); ++r) {
+    for (int c = 0; c < value.cols(); ++c) {
+      value(r, c) += sign * BroadcastAt(b.value(), kind, r, c);
+    }
+  }
+  return MakeOp(std::move(value), {a, b}, name, [kind, sign](Node& node) {
+    if (node.parents[0]->requires_grad) {
+      node.parents[0]->AccumulateGrad(node.grad);
+    }
+    if (node.parents[1]->requires_grad) {
+      Matrix gb = ReduceToBroadcastShape(node.grad, kind);
+      if (sign != 1.0) gb *= sign;
+      node.parents[1]->AccumulateGrad(gb);
+    }
+  });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) { return AddLike(a, b, 1.0, "add"); }
+Tensor Sub(const Tensor& a, const Tensor& b) { return AddLike(a, b, -1.0, "sub"); }
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  const BroadcastKind kind = ClassifyBroadcast(a.value(), b.value(), "mul");
+  Matrix value = a.value();
+  for (int r = 0; r < value.rows(); ++r) {
+    for (int c = 0; c < value.cols(); ++c) {
+      value(r, c) *= BroadcastAt(b.value(), kind, r, c);
+    }
+  }
+  Matrix a_val = a.value();
+  Matrix b_val = b.value();
+  return MakeOp(std::move(value), {a, b}, "mul",
+                [kind, a_val, b_val](Node& node) {
+                  const Matrix& g = node.grad;
+                  if (node.parents[0]->requires_grad) {
+                    Matrix ga = g;
+                    for (int r = 0; r < ga.rows(); ++r) {
+                      for (int c = 0; c < ga.cols(); ++c) {
+                        ga(r, c) *= BroadcastAt(b_val, kind, r, c);
+                      }
+                    }
+                    node.parents[0]->AccumulateGrad(ga);
+                  }
+                  if (node.parents[1]->requires_grad) {
+                    Matrix full = g.Hadamard(a_val);
+                    node.parents[1]->AccumulateGrad(
+                        ReduceToBroadcastShape(full, kind));
+                  }
+                });
+}
+
+Tensor Scale(const Tensor& a, double s) {
+  return MakeOp(a.value() * s, {a}, "scale", [s](Node& node) {
+    node.parents[0]->AccumulateGrad(node.grad * s);
+  });
+}
+
+Tensor AddScalar(const Tensor& a, double s) {
+  return MakeOp(a.value().Map([s](double v) { return v + s; }), {a},
+                "add_scalar", [](Node& node) {
+                  node.parents[0]->AccumulateGrad(node.grad);
+                });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, "relu", [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Tensor LeakyRelu(const Tensor& a, double alpha) {
+  return UnaryOp(
+      a, "leaky_relu",
+      [alpha](double x) { return x > 0.0 ? x : alpha * x; },
+      [alpha](double x, double) { return x > 0.0 ? 1.0 : alpha; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, "sigmoid",
+      [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, "tanh", [](double x) { return std::tanh(x); },
+      [](double, double y) { return 1.0 - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, "exp", [](double x) { return std::exp(x); },
+      [](double, double y) { return y; });
+}
+
+Tensor MaskedRowSoftmax(const Tensor& logits, const Matrix& mask) {
+  const Matrix& l = logits.value();
+  AMS_DCHECK(l.rows() == mask.rows() && l.cols() == mask.cols(),
+             "mask shape mismatch in MaskedRowSoftmax");
+  Matrix out(l.rows(), l.cols(), 0.0);
+  for (int r = 0; r < l.rows(); ++r) {
+    // Max-shift for numerical stability over the unmasked entries.
+    double row_max = -std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (int c = 0; c < l.cols(); ++c) {
+      if (mask(r, c) != 0.0) {
+        row_max = std::max(row_max, l(r, c));
+        any = true;
+      }
+    }
+    AMS_DCHECK(any, "MaskedRowSoftmax row with no unmasked entries");
+    double denom = 0.0;
+    for (int c = 0; c < l.cols(); ++c) {
+      if (mask(r, c) != 0.0) {
+        out(r, c) = std::exp(l(r, c) - row_max);
+        denom += out(r, c);
+      }
+    }
+    for (int c = 0; c < l.cols(); ++c) out(r, c) /= denom;
+  }
+  Matrix saved = out;
+  return MakeOp(std::move(out), {logits}, "masked_row_softmax",
+                [saved](Node& node) {
+                  const Matrix& g = node.grad;
+                  Matrix gl(g.rows(), g.cols(), 0.0);
+                  for (int r = 0; r < g.rows(); ++r) {
+                    double dot = 0.0;
+                    for (int c = 0; c < g.cols(); ++c) {
+                      dot += g(r, c) * saved(r, c);
+                    }
+                    for (int c = 0; c < g.cols(); ++c) {
+                      gl(r, c) = saved(r, c) * (g(r, c) - dot);
+                    }
+                  }
+                  node.parents[0]->AccumulateGrad(gl);
+                });
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  AMS_DCHECK(!parts.empty(), "ConcatCols of nothing");
+  Matrix value = parts[0].value();
+  std::vector<int> widths = {parts[0].cols()};
+  for (size_t i = 1; i < parts.size(); ++i) {
+    value = Matrix::HStack(value, parts[i].value());
+    widths.push_back(parts[i].cols());
+  }
+  return MakeOp(std::move(value), parts, "concat_cols", [widths](Node& node) {
+    int offset = 0;
+    for (size_t i = 0; i < node.parents.size(); ++i) {
+      if (node.parents[i]->requires_grad) {
+        node.parents[i]->AccumulateGrad(
+            node.grad.SliceCols(offset, offset + widths[i]));
+      }
+      offset += widths[i];
+    }
+  });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  AMS_DCHECK(!parts.empty(), "ConcatRows of nothing");
+  Matrix value = parts[0].value();
+  std::vector<int> heights = {parts[0].rows()};
+  for (size_t i = 1; i < parts.size(); ++i) {
+    value = Matrix::VStack(value, parts[i].value());
+    heights.push_back(parts[i].rows());
+  }
+  return MakeOp(std::move(value), parts, "concat_rows", [heights](Node& node) {
+    int offset = 0;
+    for (size_t i = 0; i < node.parents.size(); ++i) {
+      if (node.parents[i]->requires_grad) {
+        node.parents[i]->AccumulateGrad(
+            node.grad.SliceRows(offset, offset + heights[i]));
+      }
+      offset += heights[i];
+    }
+  });
+}
+
+Tensor SliceRows(const Tensor& a, int begin, int end) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  return MakeOp(a.value().SliceRows(begin, end), {a}, "slice_rows",
+                [begin, end, rows, cols](Node& node) {
+                  Matrix g(rows, cols, 0.0);
+                  for (int r = begin; r < end; ++r) {
+                    for (int c = 0; c < cols; ++c) {
+                      g(r, c) = node.grad(r - begin, c);
+                    }
+                  }
+                  node.parents[0]->AccumulateGrad(g);
+                });
+}
+
+Tensor Sum(const Tensor& a) {
+  Matrix value(1, 1);
+  value(0, 0) = a.value().Sum();
+  const int rows = a.rows();
+  const int cols = a.cols();
+  return MakeOp(std::move(value), {a}, "sum", [rows, cols](Node& node) {
+    node.parents[0]->AccumulateGrad(
+        Matrix(rows, cols, node.grad(0, 0)));
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  const int n = a.value().size();
+  AMS_DCHECK(n > 0, "Mean of empty tensor");
+  return Scale(Sum(a), 1.0 / n);
+}
+
+Tensor SumSquares(const Tensor& a) {
+  Matrix value(1, 1);
+  double acc = 0.0;
+  const double* p = a.value().data();
+  for (int i = 0; i < a.value().size(); ++i) acc += p[i] * p[i];
+  value(0, 0) = acc;
+  Matrix a_val = a.value();
+  return MakeOp(std::move(value), {a}, "sum_squares", [a_val](Node& node) {
+    node.parents[0]->AccumulateGrad(a_val * (2.0 * node.grad(0, 0)));
+  });
+}
+
+Tensor RowSums(const Tensor& a) {
+  const int cols = a.cols();
+  return MakeOp(a.value().RowSums(), {a}, "row_sums", [cols](Node& node) {
+    Matrix g(node.grad.rows(), cols);
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < cols; ++c) g(r, c) = node.grad(r, 0);
+    }
+    node.parents[0]->AccumulateGrad(g);
+  });
+}
+
+Tensor RowDot(const Tensor& a, const Tensor& b) {
+  AMS_DCHECK(a.value().same_shape(b.value()), "shape mismatch in RowDot");
+  return RowSums(Mul(a, b));
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  Tensor diff = Sub(pred, target);
+  return Mean(Mul(diff, diff));
+}
+
+Tensor Dropout(const Tensor& a, double p, bool training, Rng* rng) {
+  AMS_DCHECK(p >= 0.0 && p < 1.0, "dropout probability must be in [0, 1)");
+  if (!training || p == 0.0) return a;
+  AMS_DCHECK(rng != nullptr, "training-mode dropout needs an Rng");
+  const double keep = 1.0 - p;
+  Matrix mask(a.rows(), a.cols());
+  for (int r = 0; r < mask.rows(); ++r) {
+    for (int c = 0; c < mask.cols(); ++c) {
+      mask(r, c) = rng->Bernoulli(keep) ? 1.0 / keep : 0.0;
+    }
+  }
+  return Mul(a, Tensor::Constant(std::move(mask)));
+}
+
+double NumericalGradient(const std::function<double()>& forward, Tensor leaf,
+                         int r, int c, double eps) {
+  Matrix& v = leaf.mutable_value();
+  const double saved = v(r, c);
+  v(r, c) = saved + eps;
+  const double up = forward();
+  v(r, c) = saved - eps;
+  const double down = forward();
+  v(r, c) = saved;
+  return (up - down) / (2.0 * eps);
+}
+
+}  // namespace ams::tensor

@@ -1,0 +1,164 @@
+// Tape-based reverse-mode automatic differentiation over dense matrices.
+//
+// The dynamic-graph design mirrors PyTorch/PaddlePaddle semantics at a small
+// scale: every op builds a Node holding its value, its parents and a backward
+// closure; Backward() topologically sorts the graph from a scalar root and
+// accumulates gradients into every node with requires_grad set.
+//
+// All model code in this library (MLP, LSTM, GRU, GAT, and the AMS master
+// model) is written against this module.
+#ifndef AMS_TENSOR_TENSOR_H_
+#define AMS_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace ams::tensor {
+
+namespace internal {
+
+/// A vertex of the autodiff graph. Library users interact with Tensor.
+struct Node {
+  la::Matrix value;
+  la::Matrix grad;  // lazily allocated; empty until first accumulation
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates this node's grad into its parents' grads.
+  std::function<void(Node&)> backward_fn;
+  std::string op_name;  // for error messages / debugging
+
+  /// Adds `g` into this node's grad, allocating it on first use.
+  void AccumulateGrad(const la::Matrix& g);
+};
+
+}  // namespace internal
+
+/// A handle to a node of the autodiff graph (shared, cheap to copy).
+///
+/// Tensors are immutable through the op API; parameter values are updated
+/// in place by optimizers via mutable_value().
+class Tensor {
+ public:
+  /// Null tensor (no node). Most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// Wraps a value; `requires_grad` marks it as a trainable leaf.
+  explicit Tensor(la::Matrix value, bool requires_grad = false);
+
+  /// A non-trainable constant leaf.
+  static Tensor Constant(la::Matrix value) { return Tensor(std::move(value)); }
+  /// A trainable leaf (weights, biases).
+  static Tensor Parameter(la::Matrix value) {
+    return Tensor(std::move(value), /*requires_grad=*/true);
+  }
+
+  bool is_null() const { return node_ == nullptr; }
+  const la::Matrix& value() const;
+  /// Mutable access to the raw value (optimizer updates only).
+  la::Matrix& mutable_value();
+  /// The accumulated gradient. Zero-shaped until Backward touches this node.
+  const la::Matrix& grad() const;
+  bool requires_grad() const;
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  /// Clears the gradient (used by optimizers between steps).
+  void ZeroGrad();
+
+  /// Internal node access for the op implementations.
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+/// Runs backpropagation from `root`, which must be a 1x1 scalar.
+/// Gradients accumulate into every reachable node with requires_grad.
+void Backward(const Tensor& root);
+
+// --- Graph-building operations. Shapes are validated with AMS_DCHECK. ---
+
+/// Matrix product: (n x k) . (k x m) -> (n x m).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transposed copy.
+Tensor Transpose(const Tensor& a);
+
+/// Elementwise sum of equal shapes, or broadcast add where `b` is 1 x C
+/// (row bias), N x 1 (column bias) or 1 x 1 (scalar) against `a` of N x C.
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// a - b with the same broadcasting rules as Add.
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise (Hadamard) product of equal shapes, or broadcast where `b`
+/// is 1 x C, N x 1, or 1 x 1 against `a` of N x C.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Scalar multiply.
+Tensor Scale(const Tensor& a, double s);
+
+/// Adds a scalar constant elementwise.
+Tensor AddScalar(const Tensor& a, double s);
+
+/// max(x, 0).
+Tensor Relu(const Tensor& a);
+
+/// x > 0 ? x : alpha * x (GAT attention uses alpha = 0.2).
+Tensor LeakyRelu(const Tensor& a, double alpha = 0.2);
+
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+
+/// Row-wise softmax restricted to positions where mask(r, c) != 0; masked-out
+/// entries are exactly zero in the output. Every row must have at least one
+/// unmasked entry. Used for GAT attention over graph neighbourhoods.
+Tensor MaskedRowSoftmax(const Tensor& logits, const la::Matrix& mask);
+
+/// Concatenates along columns: [a | b | ...]. All inputs share a row count.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Concatenates along rows (stacks vertically). All inputs share a col count.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Rows [begin, end) of `a`.
+Tensor SliceRows(const Tensor& a, int begin, int end);
+
+/// Sum of all elements -> 1 x 1.
+Tensor Sum(const Tensor& a);
+
+/// Mean of all elements -> 1 x 1.
+Tensor Mean(const Tensor& a);
+
+/// Sum of squared elements -> 1 x 1 (L2 penalties).
+Tensor SumSquares(const Tensor& a);
+
+/// Row sums -> N x 1.
+Tensor RowSums(const Tensor& a);
+
+/// Per-row dot product of equal-shaped a and b -> N x 1.
+/// Used for slave-LR predictions: UR_i = <X_i, beta_i>.
+Tensor RowDot(const Tensor& a, const Tensor& b);
+
+/// Mean squared error between equal-shaped prediction and target -> 1 x 1.
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+
+/// Inverted dropout. In training mode zeroes each element with probability
+/// `p` and scales survivors by 1/(1-p); identity in eval mode.
+Tensor Dropout(const Tensor& a, double p, bool training, Rng* rng);
+
+/// Numerical gradient check helper: evaluates d loss / d leaf element (r, c)
+/// by central differences, where `forward` rebuilds the scalar loss from
+/// current leaf values. Used by tests.
+double NumericalGradient(const std::function<double()>& forward, Tensor leaf,
+                         int r, int c, double eps = 1e-5);
+
+}  // namespace ams::tensor
+
+#endif  // AMS_TENSOR_TENSOR_H_

@@ -1,0 +1,200 @@
+#include "ts/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "la/matrix.h"
+
+namespace ams::ts {
+
+using la::Matrix;
+
+std::vector<double> Difference(const std::vector<double>& series, int d) {
+  AMS_DCHECK(d >= 0, "negative differencing order");
+  std::vector<double> out = series;
+  for (int round = 0; round < d; ++round) {
+    AMS_DCHECK(out.size() >= 2, "series too short to difference");
+    std::vector<double> next(out.size() - 1);
+    for (size_t i = 1; i < out.size(); ++i) next[i - 1] = out[i] - out[i - 1];
+    out = std::move(next);
+  }
+  return out;
+}
+
+namespace {
+
+/// OLS via the shared ridge solver with negligible jitter.
+Result<Matrix> SolveOls(const Matrix& x, const Matrix& y) {
+  return la::RidgeSolve(x, y, /*lambda=*/1e-8);
+}
+
+}  // namespace
+
+Result<ArimaModel> ArimaModel::Fit(const std::vector<double>& series,
+                                   const ArimaOrder& order) {
+  if (order.p < 0 || order.d < 0 || order.q < 0) {
+    return Status::InvalidArgument("negative ARIMA order");
+  }
+  const int n = static_cast<int>(series.size());
+  if (n < order.d + 2) {
+    return Status::InvalidArgument("series too short for differencing");
+  }
+  for (double v : series) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite value in series");
+    }
+  }
+
+  ArimaModel model;
+  model.order_ = order;
+  model.series_ = series;
+  model.differenced_ = Difference(series, order.d);
+  const std::vector<double>& w = model.differenced_;
+  const int m = static_cast<int>(w.size());
+
+  // Stage 1: long-AR fit to estimate innovations (only needed when q > 0).
+  std::vector<double> eps(m, 0.0);
+  int stage1_lag = 0;
+  if (order.q > 0) {
+    stage1_lag = std::max(order.p, order.q) + 1;
+    // Keep enough rows for the stage-1 regression itself.
+    while (stage1_lag > 0 && m - stage1_lag < stage1_lag + 2) --stage1_lag;
+    if (stage1_lag < order.q) {
+      return Status::InvalidArgument(
+          "series too short for the requested MA order");
+    }
+    const int rows = m - stage1_lag;
+    Matrix x(rows, stage1_lag + 1);
+    Matrix y(rows, 1);
+    for (int t = stage1_lag; t < m; ++t) {
+      const int r = t - stage1_lag;
+      x(r, 0) = 1.0;
+      for (int lag = 1; lag <= stage1_lag; ++lag) x(r, lag) = w[t - lag];
+      y(r, 0) = w[t];
+    }
+    AMS_ASSIGN_OR_RETURN(Matrix ar_coef, SolveOls(x, y));
+    for (int t = stage1_lag; t < m; ++t) {
+      double pred = ar_coef(0, 0);
+      for (int lag = 1; lag <= stage1_lag; ++lag) {
+        pred += ar_coef(lag, 0) * w[t - lag];
+      }
+      eps[t] = w[t] - pred;
+    }
+  }
+
+  // Stage 2: regress w_t on its own lags and lagged innovations.
+  const int t0 = std::max(order.p, order.q > 0 ? stage1_lag + order.q : 0);
+  const int rows = m - t0;
+  const int num_params = 1 + order.p + order.q;
+  if (rows < num_params + 1) {
+    return Status::InvalidArgument("series too short for the ARIMA order");
+  }
+  Matrix x(rows, num_params);
+  Matrix y(rows, 1);
+  for (int t = t0; t < m; ++t) {
+    const int r = t - t0;
+    int c = 0;
+    x(r, c++) = 1.0;
+    for (int lag = 1; lag <= order.p; ++lag) x(r, c++) = w[t - lag];
+    for (int lag = 1; lag <= order.q; ++lag) x(r, c++) = eps[t - lag];
+    y(r, 0) = w[t];
+  }
+  AMS_ASSIGN_OR_RETURN(Matrix coef, SolveOls(x, y));
+
+  model.intercept_ = coef(0, 0);
+  model.phi_.assign(order.p, 0.0);
+  model.theta_.assign(order.q, 0.0);
+  for (int i = 0; i < order.p; ++i) model.phi_[i] = coef(1 + i, 0);
+  for (int j = 0; j < order.q; ++j) model.theta_[j] = coef(1 + order.p + j, 0);
+
+  // In-sample residuals under the final model, used as the innovation
+  // history for forecasting and for the AIC.
+  model.residuals_.assign(m, 0.0);
+  double rss = 0.0;
+  for (int t = t0; t < m; ++t) {
+    double pred = model.intercept_;
+    for (int i = 0; i < order.p; ++i) pred += model.phi_[i] * w[t - 1 - i];
+    for (int j = 0; j < order.q; ++j) {
+      pred += model.theta_[j] * model.residuals_[t - 1 - j];
+    }
+    model.residuals_[t] = w[t] - pred;
+    rss += model.residuals_[t] * model.residuals_[t];
+  }
+  const double sigma2 = std::max(rss / rows, 1e-300);
+  model.aic_ = rows * std::log(sigma2) + 2.0 * num_params;
+  return model;
+}
+
+Result<ArimaModel> ArimaModel::FitAuto(const std::vector<double>& series,
+                                       const ArimaOptions& options) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument("FitAuto needs >= 2 observations");
+  }
+  ArimaModel best;
+  double best_aic = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (int d = 0; d <= options.max_d; ++d) {
+    for (int p = 0; p <= options.max_p; ++p) {
+      for (int q = 0; q <= options.max_q; ++q) {
+        auto fit = Fit(series, ArimaOrder{p, d, q});
+        if (!fit.ok()) continue;
+        // Comparable AIC only within equal d (same effective sample);
+        // penalize differencing mildly to prefer parsimony on ties.
+        const double score = fit.ValueOrDie().aic() + 0.5 * d;
+        if (score < best_aic) {
+          best_aic = score;
+          best = fit.MoveValue();
+          found = true;
+        }
+      }
+    }
+  }
+  if (found) return best;
+  // Last resort: mean model ARIMA(0,0,0) always fits for n >= 2.
+  return Fit(series, ArimaOrder{0, 0, 0});
+}
+
+std::vector<double> ArimaModel::Forecast(int horizon) const {
+  AMS_DCHECK(horizon >= 1, "horizon must be positive");
+  const int p = order_.p;
+  const int q = order_.q;
+  // Forecast the differenced process with future innovations set to zero.
+  std::vector<double> w = differenced_;
+  std::vector<double> eps = residuals_;
+  std::vector<double> w_forecast(horizon);
+  for (int s = 0; s < horizon; ++s) {
+    const int t = static_cast<int>(w.size());
+    double pred = intercept_;
+    for (int i = 0; i < p; ++i) {
+      const int idx = t - 1 - i;
+      pred += phi_[i] * (idx >= 0 ? w[idx] : 0.0);
+    }
+    for (int j = 0; j < q; ++j) {
+      const int idx = t - 1 - j;
+      pred += theta_[j] * (idx >= 0 ? eps[idx] : 0.0);
+    }
+    w.push_back(pred);
+    eps.push_back(0.0);
+    w_forecast[s] = pred;
+  }
+
+  // Integrate back d times. Maintain the last value of each difference
+  // level from the original series.
+  std::vector<double> out = w_forecast;
+  std::vector<std::vector<double>> levels(order_.d + 1);
+  levels[0] = series_;
+  for (int lvl = 1; lvl <= order_.d; ++lvl) {
+    levels[lvl] = Difference(series_, lvl);
+  }
+  for (int lvl = order_.d - 1; lvl >= 0; --lvl) {
+    double last = levels[lvl].back();
+    for (int s = 0; s < horizon; ++s) {
+      last += out[s];
+      out[s] = last;
+    }
+  }
+  return out;
+}
+
+}  // namespace ams::ts

@@ -1,0 +1,70 @@
+// ARIMA(p, d, q) forecasting via Hannan-Rissanen two-stage least squares,
+// with AIC-based order selection — the statistical baseline of Tables I/II.
+//
+// Company revenue histories in this problem are very short (5-15 quarters),
+// so the implementation degrades gracefully: orders are clipped to what the
+// data supports and a drift forecast is the last resort.
+#ifndef AMS_TS_ARIMA_H_
+#define AMS_TS_ARIMA_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace ams::ts {
+
+struct ArimaOrder {
+  int p = 1;  // autoregressive terms
+  int d = 1;  // differencing
+  int q = 1;  // moving-average terms
+};
+
+struct ArimaOptions {
+  /// Candidate orders searched by FitAuto (each clipped to data length).
+  int max_p = 2;
+  int max_d = 1;
+  int max_q = 2;
+};
+
+/// Differences `series` `d` times.
+std::vector<double> Difference(const std::vector<double>& series, int d);
+
+/// A fitted ARIMA model.
+class ArimaModel {
+ public:
+  /// Fits a fixed order via Hannan-Rissanen. Fails if the (differenced)
+  /// series is too short for the requested order.
+  static Result<ArimaModel> Fit(const std::vector<double>& series,
+                                const ArimaOrder& order);
+
+  /// Order search by AIC over the grid in `options`; always succeeds for a
+  /// series with >= 3 points by falling back to simpler candidates
+  /// (ultimately a drift model).
+  static Result<ArimaModel> FitAuto(const std::vector<double>& series,
+                                    const ArimaOptions& options = {});
+
+  /// Forecasts `horizon` steps beyond the end of the training series.
+  std::vector<double> Forecast(int horizon) const;
+
+  const ArimaOrder& order() const { return order_; }
+  double aic() const { return aic_; }
+  const std::vector<double>& ar_coefficients() const { return phi_; }
+  const std::vector<double>& ma_coefficients() const { return theta_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  ArimaOrder order_;
+  double intercept_ = 0.0;
+  std::vector<double> phi_;    // p AR coefficients
+  std::vector<double> theta_;  // q MA coefficients
+  double aic_ = 0.0;
+  // Training context needed for forecasting.
+  std::vector<double> series_;      // original series
+  std::vector<double> differenced_; // after d differences
+  std::vector<double> residuals_;   // in-sample innovations (aligned to
+                                    // differenced_ tail)
+};
+
+}  // namespace ams::ts
+
+#endif  // AMS_TS_ARIMA_H_

@@ -1,0 +1,111 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ams {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void AppendRow(std::ostringstream* oss, const std::vector<std::string>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) *oss << ',';
+    *oss << QuoteField(row[i]);
+  }
+  *oss << '\n';
+}
+
+}  // namespace
+
+std::string CsvToString(const CsvTable& table) {
+  std::ostringstream oss;
+  AppendRow(&oss, table.header);
+  for (const auto& row : table.rows) AppendRow(&oss, row);
+  return oss.str();
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << CsvToString(table);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> all_rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&]() {
+    row.push_back(field);
+    field.clear();
+    row_has_content = true;
+  };
+  auto end_row = [&]() {
+    if (row_has_content || !field.empty() || !row.empty()) {
+      end_field();
+      all_rows.push_back(row);
+    }
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\n') {
+      end_row();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote in CSV");
+  end_row();
+
+  if (all_rows.empty()) return Status::InvalidArgument("empty CSV");
+  CsvTable table;
+  table.header = all_rows[0];
+  table.rows.assign(all_rows.begin() + 1, all_rows.end());
+  return table;
+}
+
+Result<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return ParseCsv(oss.str());
+}
+
+}  // namespace ams

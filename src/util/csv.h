@@ -1,0 +1,33 @@
+// Tiny CSV writer/reader used to export experiment outputs.
+#ifndef AMS_UTIL_CSV_H_
+#define AMS_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ams {
+
+/// In-memory CSV table: a header plus string rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Serializes a table to RFC-4180-ish CSV (quotes fields containing
+/// commas/quotes/newlines).
+std::string CsvToString(const CsvTable& table);
+
+/// Writes a table to `path`.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+/// Parses CSV text (supports quoted fields). First row becomes the header.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsv(const std::string& path);
+
+}  // namespace ams
+
+#endif  // AMS_UTIL_CSV_H_

@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr.
+#ifndef AMS_UTIL_LOGGING_H_
+#define AMS_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ams {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ams
+
+#define AMS_LOG(level)                                                \
+  ::ams::internal::LogMessage(::ams::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // AMS_UTIL_LOGGING_H_

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (data generation, weight init,
+// dropout, hyperparameter sampling, market simulation) draw from Rng
+// instances derived from a single root seed via SplitMix64, so every
+// experiment is reproducible from one --seed flag.
+#ifndef AMS_UTIL_RNG_H_
+#define AMS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ams {
+
+/// SplitMix64 step; used to expand one seed into many independent streams.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** generator with convenience samplers.
+///
+/// Not thread-safe; create one Rng per logical stream (see Fork()).
+class Rng {
+ public:
+  /// Seeds the four-word state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p);
+
+  /// Log-uniform sample in [lo, hi]; both bounds must be positive.
+  double LogUniform(double lo, double hi);
+
+  /// Derives an independent generator; deterministic for a given call order.
+  Rng Fork();
+
+  /// Fisher-Yates shuffle of indices [0, n), returned as a permutation.
+  std::vector<int> Permutation(int n);
+
+  /// Samples k distinct indices from [0, n) without replacement (k <= n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace ams
+
+#endif  // AMS_UTIL_RNG_H_

@@ -1,0 +1,46 @@
+#include "util/status.h"
+
+namespace ams {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kComputeError:
+      return "Compute error";
+    case StatusCode::kIoError:
+      return "IO error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::ostringstream oss;
+  oss << StatusCodeToString(code_) << ": " << msg_;
+  return oss.str();
+}
+
+void Status::Abort(const char* context) const {
+  if (ok()) return;
+  std::cerr << "Fatal status";
+  if (context != nullptr) std::cerr << " in " << context;
+  std::cerr << ": " << ToString() << std::endl;
+  std::abort();
+}
+
+}  // namespace ams

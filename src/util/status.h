@@ -1,0 +1,167 @@
+// Status / Result error-handling primitives, following the Arrow/RocksDB
+// idiom: fallible public APIs return Status (or Result<T>) instead of
+// throwing across library boundaries.
+#ifndef AMS_UTIL_STATUS_H_
+#define AMS_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace ams {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kComputeError,   // numerical failure (singular matrix, divergence, NaN)
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "Invalid argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (empty message). Use the AMS_RETURN_NOT_OK
+/// macro to propagate errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ComputeError(std::string msg) {
+    return Status(StatusCode::kComputeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. For use in
+  /// examples and benchmarks where errors are unrecoverable.
+  void Abort(const char* context = nullptr) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status.
+///
+/// Access the value with ValueOrDie() (aborts on error) or MoveValue() after
+/// checking ok(); propagate errors with AMS_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success case).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (error case).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  T& ValueOrDie() {
+    if (!ok()) status_.Abort("Result::ValueOrDie");
+    return *value_;
+  }
+  /// Moves the contained value out. Requires ok().
+  T MoveValue() {
+    if (!ok()) status_.Abort("Result::MoveValue");
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ams
+
+/// Propagates a non-OK Status from the current function.
+#define AMS_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::ams::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define AMS_CONCAT_IMPL(x, y) x##y
+#define AMS_CONCAT(x, y) AMS_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define AMS_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  AMS_ASSIGN_OR_RETURN_IMPL(AMS_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define AMS_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = result_name.MoveValue()
+
+/// Internal invariant check, active in all build types (cheap predicates only).
+#define AMS_DCHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::cerr << "AMS_DCHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " << (msg) << std::endl;                             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // AMS_UTIL_STATUS_H_

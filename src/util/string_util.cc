@@ -1,0 +1,103 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace ams {
+
+std::vector<std::string> SplitString(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string TrimString(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return std::string(buf);
+}
+
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  size_t cols = 0;
+  for (const auto& row : rows) cols = std::max(cols, row.size());
+  std::vector<size_t> width(cols, 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      oss << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+    }
+    oss << "|\n";
+  };
+  emit_row(rows[0]);
+  for (size_t c = 0; c < cols; ++c) {
+    oss << "|" << std::string(width[c] + 2, '-');
+  }
+  oss << "|\n";
+  for (size_t r = 1; r < rows.size(); ++r) emit_row(rows[r]);
+  return oss.str();
+}
+
+std::string GetFlag(int argc, char** argv, const std::string& key,
+                    const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+uint64_t GetFlagU64(int argc, char** argv, const std::string& key,
+                    uint64_t fallback) {
+  std::string v = GetFlag(argc, argv, key, "");
+  if (v.empty()) return fallback;
+  return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+int GetFlagInt(int argc, char** argv, const std::string& key, int fallback) {
+  std::string v = GetFlag(argc, argv, key, "");
+  if (v.empty()) return fallback;
+  return static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
+}
+
+}  // namespace ams

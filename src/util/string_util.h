@@ -1,0 +1,35 @@
+// Small string/formatting helpers shared by the CLI tools and benches.
+#ifndef AMS_UTIL_STRING_UTIL_H_
+#define AMS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace ams {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(const std::string& s, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string TrimString(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 4);
+
+/// Renders rows as an aligned plain-text table (first row = header).
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows);
+
+/// Parses "--key=value"-style flags from argv. Returns value or fallback.
+std::string GetFlag(int argc, char** argv, const std::string& key,
+                    const std::string& fallback);
+uint64_t GetFlagU64(int argc, char** argv, const std::string& key,
+                    uint64_t fallback);
+int GetFlagInt(int argc, char** argv, const std::string& key, int fallback);
+
+}  // namespace ams
+
+#endif  // AMS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,210 @@
+// Tests for the core AMS model: training contract, anchor behaviour,
+// regularizer switches, slave-coefficient extraction (interpretability) and
+// the dataset-layout requirements.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ams/ams_model.h"
+#include "data/cv.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "graph/company_graph.h"
+#include "linear/linear_model.h"
+
+namespace ams::core {
+namespace {
+
+class AmsModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::GeneratorConfig config = data::GeneratorConfig::Defaults(
+        data::DatasetProfile::kTransactionAmount, 42);
+    config.num_companies = 24;  // smaller panel keeps tests fast
+    config.num_sectors = 4;
+    panel_ = data::GenerateMarket(config).MoveValue();
+
+    data::FeatureBuilder builder(&panel_, data::FeatureOptions{});
+    train_ = builder.Build({4, 5, 6, 7, 8}).MoveValue();
+    valid_ = builder.Build({9}).MoveValue();
+    test_ = builder.Build({10}).MoveValue();
+    const data::Standardizer standardizer = data::Standardizer::Fit(train_);
+    standardizer.Apply(&train_);
+    standardizer.Apply(&valid_);
+    standardizer.Apply(&test_);
+
+    graph::CorrelationGraphOptions graph_options;
+    graph_options.top_k = 3;
+    graph_ = graph::CompanyGraph::BuildFromRevenue(
+                 panel_.RevenueHistories(8), graph_options)
+                 .MoveValue();
+  }
+
+  AmsConfig FastConfig() const {
+    AmsConfig config;
+    config.node_transform_layers = {16};
+    config.gat.hidden_per_head = {4};
+    config.gat.num_heads = 2;
+    config.gat.out_features = 8;
+    config.generator_hidden = {16};
+    config.max_epochs = 40;
+    config.patience = 10;
+    return config;
+  }
+
+  data::Panel panel_;
+  data::Dataset train_, valid_, test_;
+  graph::CompanyGraph graph_ = [] {
+    return graph::CompanyGraph::BuildFromRevenue(
+               {{1, 2, 3, 4}, {2, 3, 4, 5}},
+               graph::CorrelationGraphOptions{1, true, 3})
+        .MoveValue();
+  }();
+};
+
+TEST_F(AmsModelTest, FitAndPredictShapes) {
+  AmsModel model(FastConfig());
+  ASSERT_TRUE(model.Fit(train_, valid_, graph_).ok());
+  auto pred = model.Predict(test_);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred.ValueOrDie().size(),
+            static_cast<size_t>(test_.num_samples()));
+  for (double p : pred.ValueOrDie()) EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GT(model.epochs_run(), 0);
+}
+
+TEST_F(AmsModelTest, AnchoredCoefficientsMatchStandaloneRidge) {
+  AmsConfig config = FastConfig();
+  config.anchored_alpha = 0.25;
+  AmsModel model(config);
+  ASSERT_TRUE(model.Fit(train_, valid_, graph_).ok());
+  auto ridge = linear::LinearModel::FitRidge(train_.x, train_.TargetMatrix(),
+                                             0.25);
+  ASSERT_TRUE(ridge.ok());
+  const la::Matrix& anchor = model.anchored_coefficients();
+  for (int j = 0; j < train_.num_features(); ++j) {
+    EXPECT_NEAR(anchor(j, 0), ridge.ValueOrDie().coefficients()(j, 0),
+                1e-9);
+  }
+  EXPECT_NEAR(anchor(train_.num_features(), 0),
+              ridge.ValueOrDie().intercept(), 1e-9);
+}
+
+TEST_F(AmsModelTest, SlaveCoefficientsShapeAndUseInPrediction) {
+  AmsModel model(FastConfig());
+  ASSERT_TRUE(model.Fit(train_, valid_, graph_).ok());
+  auto coeffs = model.SlaveCoefficients(test_);
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_EQ(coeffs.ValueOrDie().rows(), test_.num_samples());
+  EXPECT_EQ(coeffs.ValueOrDie().cols(), test_.num_features() + 1);
+  // Predictions must equal X_i . beta_i + intercept_i exactly.
+  auto pred = model.Predict(test_).MoveValue();
+  for (int r = 0; r < test_.num_samples(); ++r) {
+    double acc = coeffs.ValueOrDie()(r, test_.num_features());
+    for (int c = 0; c < test_.num_features(); ++c) {
+      acc += test_.x(r, c) * coeffs.ValueOrDie()(r, c);
+    }
+    EXPECT_NEAR(pred[r], acc, 1e-9);
+  }
+}
+
+TEST_F(AmsModelTest, SlaveCoefficientsDifferAcrossCompanies) {
+  // The point of AMS (Fig. 8): per-company weights are not all identical.
+  AmsConfig config = FastConfig();
+  config.max_epochs = 120;
+  config.patience = 120;  // force adaptation
+  AmsModel model(config);
+  ASSERT_TRUE(model.Fit(train_, valid_, graph_).ok());
+  auto coeffs = model.SlaveCoefficients(test_).MoveValue();
+  double spread = 0.0;
+  for (int c = 0; c < coeffs.cols(); ++c) {
+    double lo = coeffs(0, c), hi = coeffs(0, c);
+    for (int r = 1; r < coeffs.rows(); ++r) {
+      lo = std::min(lo, coeffs(r, c));
+      hi = std::max(hi, coeffs(r, c));
+    }
+    spread += hi - lo;
+  }
+  EXPECT_GT(spread, 0.0);
+}
+
+TEST_F(AmsModelTest, DeterministicForSeed) {
+  AmsConfig config = FastConfig();
+  config.seed = 123;
+  AmsModel a(config), b(config);
+  ASSERT_TRUE(a.Fit(train_, valid_, graph_).ok());
+  ASSERT_TRUE(b.Fit(train_, valid_, graph_).ok());
+  auto pa = a.Predict(test_).MoveValue();
+  auto pb = b.Predict(test_).MoveValue();
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST_F(AmsModelTest, GammaOneDisablesAssembly) {
+  AmsConfig config = FastConfig();
+  config.gamma = 1.0;
+  AmsModel model(config);
+  ASSERT_TRUE(model.Fit(train_, valid_, graph_).ok());
+  EXPECT_TRUE(model.Predict(test_).ok());
+}
+
+TEST_F(AmsModelTest, NoGatVariantTrains) {
+  AmsConfig config = FastConfig();
+  config.use_gat = false;
+  AmsModel model(config);
+  ASSERT_TRUE(model.Fit(train_, valid_, graph_).ok());
+  EXPECT_TRUE(model.Predict(test_).ok());
+}
+
+TEST_F(AmsModelTest, ZeroLambdaSlgTrains) {
+  AmsConfig config = FastConfig();
+  config.lambda_slg = 0.0;
+  AmsModel model(config);
+  ASSERT_TRUE(model.Fit(train_, valid_, graph_).ok());
+}
+
+TEST_F(AmsModelTest, RejectsInvalidConfig) {
+  AmsConfig config = FastConfig();
+  config.gamma = 1.5;
+  EXPECT_FALSE(AmsModel(config).Fit(train_, valid_, graph_).ok());
+  config = FastConfig();
+  config.lambda_slg = -0.1;
+  EXPECT_FALSE(AmsModel(config).Fit(train_, valid_, graph_).ok());
+}
+
+TEST_F(AmsModelTest, RejectsPredictBeforeFit) {
+  AmsModel model(FastConfig());
+  EXPECT_FALSE(model.Predict(test_).ok());
+  EXPECT_FALSE(model.SlaveCoefficients(test_).ok());
+}
+
+TEST_F(AmsModelTest, RejectsMisalignedQuarterLayout) {
+  AmsModel model(FastConfig());
+  // Drop one sample: the quarter no longer has one row per company.
+  data::Dataset bad = train_;
+  bad.x = bad.x.SliceRows(0, bad.x.rows() - 1);
+  bad.y.pop_back();
+  bad.meta.pop_back();
+  EXPECT_FALSE(model.Fit(bad, valid_, graph_).ok());
+}
+
+TEST_F(AmsModelTest, AnchorGuardKeepsValidLossAtOrBelowAnchor) {
+  // best_valid_loss must never exceed the anchored LR's validation MSE
+  // (the initial state is an early-stopping candidate).
+  AmsConfig config = FastConfig();
+  config.anchored_alpha = 0.1;
+  AmsModel model(config);
+  ASSERT_TRUE(model.Fit(train_, valid_, graph_).ok());
+  auto ridge = linear::LinearModel::FitRidge(train_.x, train_.TargetMatrix(),
+                                             0.1)
+                   .MoveValue();
+  auto anchor_pred = ridge.Predict(valid_.x).MoveValue();
+  double anchor_mse = 0.0;
+  for (int r = 0; r < valid_.num_samples(); ++r) {
+    anchor_mse += std::pow(anchor_pred[r] - valid_.y[r], 2);
+  }
+  anchor_mse /= valid_.num_samples();
+  EXPECT_LE(model.best_valid_loss(), anchor_mse + 1e-9);
+}
+
+}  // namespace
+}  // namespace ams::core

@@ -1,0 +1,232 @@
+// Tests for the backtest engine: deterministic price paths, strategy
+// accounting, drawdown/Sharpe/AER math, and the "oracle beats anti-oracle"
+// sanity property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backtest/backtest.h"
+#include "data/generator.h"
+
+namespace ams::backtest {
+namespace {
+
+class BacktestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    panel_ = data::GenerateMarket(
+                 data::GeneratorConfig::Defaults(
+                     data::DatasetProfile::kTransactionAmount, 42))
+                 .MoveValue();
+    config_.seed = 42;
+  }
+
+  std::vector<data::SampleMeta> MetaForQuarter(int quarter) const {
+    std::vector<data::SampleMeta> meta;
+    for (int i = 0; i < panel_.num_companies(); ++i) {
+      data::SampleMeta m;
+      m.company = i;
+      m.quarter = quarter;
+      m.consensus = panel_.companies[i].quarters[quarter].consensus;
+      m.actual_revenue = panel_.companies[i].quarters[quarter].revenue;
+      m.actual_ur = panel_.companies[i].quarters[quarter].UnexpectedRevenue();
+      m.market_cap = panel_.companies[i].market_cap;
+      m.scale = 1.0;
+      meta.push_back(m);
+    }
+    return meta;
+  }
+
+  QuarterPositions OraclePositions(int quarter, double sign) const {
+    QuarterPositions positions;
+    positions.test_quarter = quarter;
+    positions.meta = MetaForQuarter(quarter);
+    for (const auto& m : positions.meta) {
+      positions.predicted_ur.push_back(sign * m.actual_ur);
+    }
+    return positions;
+  }
+
+  data::Panel panel_;
+  BacktestConfig config_;
+};
+
+TEST_F(BacktestTest, BucketRatios) {
+  Backtester backtester(&panel_, config_);
+  EXPECT_DOUBLE_EQ(backtester.BucketRatio(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(backtester.BucketRatio(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(backtester.BucketRatio(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(backtester.BucketRatio(1.0), 2.0);   // boundary
+  EXPECT_DOUBLE_EQ(backtester.BucketRatio(10.0), 3.0);  // boundary
+}
+
+TEST_F(BacktestTest, PricePathsDeterministicAndModelIndependent) {
+  Backtester a(&panel_, config_);
+  Backtester b(&panel_, config_);
+  auto path1 = a.CompanyPath(10, 3);
+  auto path2 = b.CompanyPath(10, 3);
+  EXPECT_EQ(path1, path2);
+  EXPECT_EQ(path1.size(), static_cast<size_t>(config_.holding_days));
+  // Different company/quarter -> different path.
+  EXPECT_NE(a.CompanyPath(10, 4), path1);
+  EXPECT_NE(a.CompanyPath(11, 3), path1);
+}
+
+TEST_F(BacktestTest, SurpriseJumpMovesPriceInUrDirection) {
+  // Average over companies: cumulative return should correlate with the
+  // sign of the actual UR (the announcement jump dominates drift).
+  Backtester backtester(&panel_, config_);
+  double positive_mean = 0.0, negative_mean = 0.0;
+  int positive_n = 0, negative_n = 0;
+  for (int i = 0; i < panel_.num_companies(); ++i) {
+    const auto& cq = panel_.companies[i].quarters[10];
+    auto path = backtester.CompanyPath(10, i);
+    double total = 0.0;
+    for (double r : path) total += r;
+    if (cq.UnexpectedRevenue() > 0) {
+      positive_mean += total;
+      ++positive_n;
+    } else {
+      negative_mean += total;
+      ++negative_n;
+    }
+  }
+  ASSERT_GT(positive_n, 0);
+  ASSERT_GT(negative_n, 0);
+  EXPECT_GT(positive_mean / positive_n, negative_mean / negative_n);
+}
+
+TEST_F(BacktestTest, OracleBeatsAntiOracle) {
+  Backtester backtester(&panel_, config_);
+  std::vector<QuarterPositions> oracle, anti;
+  for (int q : {9, 10, 11}) {
+    oracle.push_back(OraclePositions(q, +1.0));
+    anti.push_back(OraclePositions(q, -1.0));
+  }
+  auto oracle_result = backtester.Run(oracle);
+  auto anti_result = backtester.Run(anti);
+  ASSERT_TRUE(oracle_result.ok() && anti_result.ok());
+  EXPECT_GT(oracle_result.ValueOrDie().earning_pct, 0.0);
+  EXPECT_GT(oracle_result.ValueOrDie().earning_pct,
+            anti_result.ValueOrDie().earning_pct);
+  // Daily returns mirror exactly (weights identical, signs flipped).
+  for (size_t d = 0; d < oracle_result.ValueOrDie().daily_returns.size();
+       ++d) {
+    EXPECT_NEAR(oracle_result.ValueOrDie().daily_returns[d],
+                -anti_result.ValueOrDie().daily_returns[d], 1e-12);
+  }
+}
+
+TEST_F(BacktestTest, AssetCurveAccounting) {
+  Backtester backtester(&panel_, config_);
+  auto result = backtester.Run({OraclePositions(9, 1.0)});
+  ASSERT_TRUE(result.ok());
+  const BacktestResult& r = result.ValueOrDie();
+  EXPECT_EQ(r.asset_curve.size(),
+            static_cast<size_t>(config_.holding_days + 1));
+  EXPECT_DOUBLE_EQ(r.asset_curve.front(), 1.0);
+  // Curve is the cumulative product of daily returns.
+  double asset = 1.0;
+  for (size_t d = 0; d < r.daily_returns.size(); ++d) {
+    asset *= 1.0 + r.daily_returns[d];
+    EXPECT_NEAR(r.asset_curve[d + 1], asset, 1e-12);
+  }
+  EXPECT_NEAR(r.earning_pct, 100.0 * (asset - 1.0), 1e-9);
+  ASSERT_EQ(r.quarter_returns_pct.size(), 1u);
+  EXPECT_NEAR(r.quarter_returns_pct[0], r.earning_pct, 1e-9);
+}
+
+TEST_F(BacktestTest, MddIsMaxPeakToTroughPercent) {
+  Backtester backtester(&panel_, config_);
+  auto result = backtester.Run({OraclePositions(9, 1.0)});
+  ASSERT_TRUE(result.ok());
+  const auto& curve = result.ValueOrDie().asset_curve;
+  double peak = curve[0], mdd = 0.0;
+  for (double v : curve) {
+    peak = std::max(peak, v);
+    mdd = std::max(mdd, (peak - v) / peak);
+  }
+  EXPECT_NEAR(result.ValueOrDie().mdd_pct, 100.0 * mdd, 1e-9);
+  EXPECT_GE(result.ValueOrDie().mdd_pct, 0.0);
+}
+
+TEST_F(BacktestTest, RejectsBadInput) {
+  Backtester backtester(&panel_, config_);
+  EXPECT_FALSE(backtester.Run({}).ok());
+  QuarterPositions misaligned;
+  misaligned.test_quarter = 9;
+  misaligned.meta = MetaForQuarter(9);
+  misaligned.predicted_ur = {1.0};  // wrong size
+  EXPECT_FALSE(backtester.Run({misaligned}).ok());
+  QuarterPositions out_of_range = OraclePositions(9, 1.0);
+  out_of_range.test_quarter = 99;
+  EXPECT_FALSE(backtester.Run({out_of_range}).ok());
+}
+
+TEST(BacktestStatsTest, SharpeSignReflectsOutperformance) {
+  std::vector<double> better = {0.01, 0.02, 0.015, 0.01, 0.02};
+  std::vector<double> worse = {0.00, 0.01, 0.005, 0.00, 0.01};
+  auto sharpe = SharpeVsReference(worse, better);
+  ASSERT_TRUE(sharpe.ok());
+  EXPECT_LT(sharpe.ValueOrDie(), 0.0);
+  auto inverse = SharpeVsReference(better, worse);
+  ASSERT_TRUE(inverse.ok());
+  EXPECT_GT(inverse.ValueOrDie(), 0.0);
+}
+
+TEST(BacktestStatsTest, SharpeRejectsDegenerate) {
+  EXPECT_FALSE(SharpeVsReference({0.01}, {0.02}).ok());
+  EXPECT_FALSE(SharpeVsReference({0.01, 0.02}, {0.02}).ok());
+  // Identical series: zero variance.
+  std::vector<double> same = {0.01, 0.02, 0.03};
+  EXPECT_FALSE(SharpeVsReference(same, same).ok());
+}
+
+TEST(BacktestStatsTest, AverageExcessReturn) {
+  auto aer = AverageExcessReturn({1.0, 2.0, 3.0}, {2.0, 2.0, 2.0});
+  ASSERT_TRUE(aer.ok());
+  EXPECT_DOUBLE_EQ(aer.ValueOrDie(), 0.0);
+  auto negative = AverageExcessReturn({0.0, 0.0}, {1.0, 3.0});
+  ASSERT_TRUE(negative.ok());
+  EXPECT_DOUBLE_EQ(negative.ValueOrDie(), -2.0);
+  EXPECT_FALSE(AverageExcessReturn({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(AverageExcessReturn({}, {}).ok());
+}
+
+TEST_F(BacktestTest, CapWeightingTiltsExposure) {
+  // A quarter where only the largest-cap company has positive predicted UR:
+  // its weight must be 3 / total, the small caps 1 / total.
+  Backtester backtester(&panel_, config_);
+  QuarterPositions positions = OraclePositions(9, 1.0);
+  // Verify weights indirectly: two runs where we flip only a small-cap
+  // company's sign should differ less than flipping a large-cap company's.
+  int small_idx = -1, large_idx = -1;
+  for (size_t i = 0; i < positions.meta.size(); ++i) {
+    if (positions.meta[i].market_cap < 1.0 && small_idx < 0) {
+      small_idx = static_cast<int>(i);
+    }
+    if (positions.meta[i].market_cap > 10.0 && large_idx < 0) {
+      large_idx = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(small_idx, 0);
+  ASSERT_GE(large_idx, 0);
+  auto base = backtester.Run({positions}).MoveValue();
+  QuarterPositions flip_small = positions;
+  flip_small.predicted_ur[small_idx] *= -1.0;
+  QuarterPositions flip_large = positions;
+  flip_large.predicted_ur[large_idx] *= -1.0;
+  auto small_result = backtester.Run({flip_small}).MoveValue();
+  auto large_result = backtester.Run({flip_large}).MoveValue();
+  double small_diff = 0.0, large_diff = 0.0;
+  for (size_t d = 0; d < base.daily_returns.size(); ++d) {
+    small_diff += std::fabs(base.daily_returns[d] -
+                            small_result.daily_returns[d]);
+    large_diff += std::fabs(base.daily_returns[d] -
+                            large_result.daily_returns[d]);
+  }
+  EXPECT_GT(large_diff, small_diff);
+}
+
+}  // namespace
+}  // namespace ams::backtest

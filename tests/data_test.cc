@@ -1,0 +1,384 @@
+// Tests for the data layer: panel structure, synthetic generator
+// calibration, feature assembly, standardization and the time-series CV
+// splitter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/cv.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "la/stats.h"
+
+namespace ams::data {
+namespace {
+
+// --- Quarter ----------------------------------------------------------------
+
+TEST(QuarterTest, Arithmetic) {
+  Quarter q{2014, 3};
+  EXPECT_EQ(q.Plus(1).ToString(), "2014q4");
+  EXPECT_EQ(q.Plus(2).ToString(), "2015q1");
+  EXPECT_EQ(q.Plus(15).ToString(), "2018q2");
+  EXPECT_EQ(q.Plus(-3).ToString(), "2013q4");
+  EXPECT_EQ(q.Plus(6).Minus(q), 6);
+  EXPECT_EQ(q.EndMonth(), 9);
+  EXPECT_EQ(Quarter({2016, 1}).EndMonth(), 3);
+}
+
+// --- Generator --------------------------------------------------------------
+
+TEST(GeneratorTest, TransactionProfileMatchesPaperShape) {
+  auto panel = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 42));
+  ASSERT_TRUE(panel.ok());
+  const Panel& p = panel.ValueOrDie();
+  EXPECT_EQ(p.num_companies(), 71);
+  EXPECT_EQ(p.num_quarters, 16);
+  EXPECT_EQ(p.num_alt_channels, 1);
+  EXPECT_EQ(p.QuarterAt(0).ToString(), "2014q3");
+  EXPECT_EQ(p.QuarterAt(15).ToString(), "2018q2");
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(GeneratorTest, MapQueryProfileMatchesPaperShape) {
+  auto panel =
+      GenerateMarket(GeneratorConfig::Defaults(DatasetProfile::kMapQuery, 42));
+  ASSERT_TRUE(panel.ok());
+  const Panel& p = panel.ValueOrDie();
+  EXPECT_EQ(p.num_companies(), 62);
+  EXPECT_EQ(p.num_quarters, 9);
+  EXPECT_EQ(p.num_alt_channels, 2);
+  EXPECT_EQ(p.QuarterAt(0).ToString(), "2016q2");
+  EXPECT_EQ(p.QuarterAt(8).ToString(), "2018q2");
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  auto a = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 7));
+  auto b = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 7));
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < a.ValueOrDie().num_companies(); ++i) {
+    for (int t = 0; t < a.ValueOrDie().num_quarters; ++t) {
+      EXPECT_DOUBLE_EQ(a.ValueOrDie().companies[i].quarters[t].revenue,
+                       b.ValueOrDie().companies[i].quarters[t].revenue);
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 1));
+  auto b = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.ValueOrDie().companies[0].quarters[0].revenue,
+            b.ValueOrDie().companies[0].quarters[0].revenue);
+}
+
+TEST(GeneratorTest, EstimateOrderingHolds) {
+  auto panel = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 11));
+  ASSERT_TRUE(panel.ok());
+  for (const Company& company : panel.ValueOrDie().companies) {
+    for (const CompanyQuarter& cq : company.quarters) {
+      EXPECT_LE(cq.low_estimate, cq.consensus);
+      EXPECT_LE(cq.consensus, cq.high_estimate);
+    }
+  }
+}
+
+TEST(GeneratorTest, ConsensusIsUnbiasedOverall) {
+  // Across the panel, the mean relative surprise should be near zero: the
+  // analysts are collectively calibrated even though individual companies
+  // carry persistent bias.
+  auto panel = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 13));
+  ASSERT_TRUE(panel.ok());
+  double sum = 0.0;
+  int count = 0;
+  for (const Company& company : panel.ValueOrDie().companies) {
+    for (const CompanyQuarter& cq : company.quarters) {
+      sum += cq.UnexpectedRevenue() / cq.revenue;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(sum / count, 0.0, 0.02);
+}
+
+TEST(GeneratorTest, AltSignalCorrelatesWithRevenueShocks) {
+  // Year-over-year log changes of the alt signal must correlate positively
+  // with YoY log revenue changes (the alt channel tracks demand).
+  auto panel = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 17));
+  ASSERT_TRUE(panel.ok());
+  std::vector<double> alt_changes, rev_changes;
+  for (const Company& company : panel.ValueOrDie().companies) {
+    for (size_t t = 4; t < company.quarters.size(); ++t) {
+      alt_changes.push_back(std::log(company.quarters[t].alt[0] /
+                                     company.quarters[t - 4].alt[0]));
+      rev_changes.push_back(std::log(company.quarters[t].revenue /
+                                     company.quarters[t - 4].revenue));
+    }
+  }
+  EXPECT_GT(la::PearsonCorrelation(alt_changes, rev_changes), 0.5);
+}
+
+TEST(GeneratorTest, SameSectorRevenueMoreCorrelated) {
+  auto panel = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 19));
+  ASSERT_TRUE(panel.ok());
+  const Panel& p = panel.ValueOrDie();
+  auto log_changes = [&](int i) {
+    std::vector<double> out;
+    for (int t = 1; t < p.num_quarters; ++t) {
+      out.push_back(std::log(p.companies[i].quarters[t].revenue /
+                             p.companies[i].quarters[t - 1].revenue));
+    }
+    return out;
+  };
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (int i = 0; i < p.num_companies(); ++i) {
+    for (int j = i + 1; j < p.num_companies(); ++j) {
+      const double corr = la::PearsonCorrelation(log_changes(i),
+                                                 log_changes(j));
+      if (p.companies[i].sector == p.companies[j].sector) {
+        same += corr;
+        ++same_n;
+      } else {
+        cross += corr;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n + 0.1);
+}
+
+TEST(GeneratorTest, MarketCapsSpanAllBuckets) {
+  auto panel = GenerateMarket(
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 23));
+  ASSERT_TRUE(panel.ok());
+  int small = 0, mid = 0, large = 0;
+  for (const Company& company : panel.ValueOrDie().companies) {
+    if (company.market_cap < 1.0) {
+      ++small;
+    } else if (company.market_cap < 10.0) {
+      ++mid;
+    } else {
+      ++large;
+    }
+  }
+  EXPECT_GT(small, 0);
+  EXPECT_GT(mid, 0);
+  EXPECT_GT(large, 0);
+}
+
+TEST(GeneratorTest, RejectsInvalidConfig) {
+  GeneratorConfig config =
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 1);
+  config.num_companies = 1;
+  EXPECT_FALSE(GenerateMarket(config).ok());
+  config = GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 1);
+  config.alt_noise.clear();
+  EXPECT_FALSE(GenerateMarket(config).ok());
+  config = GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 1);
+  config.shock_persistence = 1.0;
+  EXPECT_FALSE(GenerateMarket(config).ok());
+}
+
+// --- Features ---------------------------------------------------------------
+
+class FeatureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    panel_ = GenerateMarket(GeneratorConfig::Defaults(
+                                DatasetProfile::kTransactionAmount, 42))
+                 .MoveValue();
+  }
+  Panel panel_;
+};
+
+TEST_F(FeatureTest, WidthMatchesLayout) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  // 4 lags x (4 + 1 alt) + 3 VE_t + 1 A_t + 4 quarter + 12 month + 8 sector.
+  EXPECT_EQ(builder.num_features(), 4 * 5 + 3 + 1 + 4 + 12 + 8);
+  FeatureOptions no_alt;
+  no_alt.include_alt = false;
+  FeatureBuilder builder_na(&panel_, no_alt);
+  EXPECT_EQ(builder_na.num_features(), 4 * 4 + 3 + 0 + 4 + 12 + 8);
+}
+
+TEST_F(FeatureTest, BuildProducesOneRowPerCompanyPerQuarter) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  auto dataset = builder.Build({5, 6});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset.ValueOrDie().num_samples(), 2 * 71);
+  // Rows ordered: quarter-major, company-minor.
+  EXPECT_EQ(dataset.ValueOrDie().meta[0].quarter, 5);
+  EXPECT_EQ(dataset.ValueOrDie().meta[0].company, 0);
+  EXPECT_EQ(dataset.ValueOrDie().meta[71].quarter, 6);
+  EXPECT_EQ(dataset.ValueOrDie().meta[72].company, 1);
+}
+
+TEST_F(FeatureTest, NormalizationByOldestQuarter) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  auto dataset = builder.Build({6}).MoveValue();
+  // Column 0 is revenue_dq4 = R_{t-4} / R_{t-4} = 1 for every sample.
+  EXPECT_EQ(dataset.feature_names[0], "revenue_dq4");
+  for (int r = 0; r < dataset.num_samples(); ++r) {
+    EXPECT_DOUBLE_EQ(dataset.x(r, 0), 1.0);
+  }
+  // Target is UR / R_{t-4}.
+  const SampleMeta& meta = dataset.meta[3];
+  EXPECT_NEAR(dataset.y[3], meta.actual_ur / meta.scale, 1e-12);
+  EXPECT_NEAR(meta.actual_ur, meta.actual_revenue - meta.consensus, 1e-9);
+}
+
+TEST_F(FeatureTest, OneHotsAreExclusive) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  auto dataset = builder.Build({7}).MoveValue();
+  const int onehot_begin = 4 * 5 + 3 + 1;
+  for (int r = 0; r < dataset.num_samples(); ++r) {
+    double quarter_sum = 0.0, month_sum = 0.0, sector_sum = 0.0;
+    for (int c = 0; c < 4; ++c) quarter_sum += dataset.x(r, onehot_begin + c);
+    for (int c = 0; c < 12; ++c) {
+      month_sum += dataset.x(r, onehot_begin + 4 + c);
+    }
+    for (int c = 0; c < 8; ++c) {
+      sector_sum += dataset.x(r, onehot_begin + 16 + c);
+    }
+    EXPECT_DOUBLE_EQ(quarter_sum, 1.0);
+    EXPECT_DOUBLE_EQ(month_sum, 1.0);
+    EXPECT_DOUBLE_EQ(sector_sum, 1.0);
+  }
+}
+
+TEST_F(FeatureTest, RejectsQuartersWithoutFullHistory) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  EXPECT_FALSE(builder.Build({3}).ok());   // needs k = 4 lags
+  EXPECT_FALSE(builder.Build({16}).ok());  // out of range
+  EXPECT_TRUE(builder.Build({4}).ok());
+}
+
+TEST_F(FeatureTest, SequenceViewSplitsLagBlocks) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  auto dataset = builder.Build({8}).MoveValue();
+  std::vector<la::Matrix> steps;
+  la::Matrix statics;
+  dataset.SequenceView(&steps, &statics);
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_EQ(steps[0].cols(), dataset.lag_block_width);
+  EXPECT_EQ(statics.cols(),
+            dataset.num_features() - 4 * dataset.lag_block_width);
+  // Step 0 column 0 equals feature column 0.
+  EXPECT_DOUBLE_EQ(steps[0](5, 0), dataset.x(5, 0));
+}
+
+TEST_F(FeatureTest, StandardizerZeroMeanUnitVarOnTrain) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  auto train = builder.Build({4, 5, 6, 7}).MoveValue();
+  Standardizer standardizer = Standardizer::Fit(train);
+  standardizer.Apply(&train);
+  // Pick a continuous column; after standardization mean ~0, var ~1.
+  const int col = 1;  // consensus_dq4
+  double mean = 0.0;
+  for (int r = 0; r < train.num_samples(); ++r) mean += train.x(r, col);
+  mean /= train.num_samples();
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  double var = 0.0;
+  for (int r = 0; r < train.num_samples(); ++r) {
+    var += std::pow(train.x(r, col) - mean, 2);
+  }
+  EXPECT_NEAR(var / train.num_samples(), 1.0, 1e-9);
+}
+
+TEST_F(FeatureTest, StandardizerLeavesOneHotsAlone) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  auto train = builder.Build({4, 5}).MoveValue();
+  Standardizer standardizer = Standardizer::Fit(train);
+  standardizer.Apply(&train);
+  for (int c = 0; c < train.num_features(); ++c) {
+    if (!train.is_onehot[c]) continue;
+    for (int r = 0; r < train.num_samples(); ++r) {
+      EXPECT_TRUE(train.x(r, c) == 0.0 || train.x(r, c) == 1.0);
+    }
+  }
+}
+
+TEST_F(FeatureTest, RowsByQuarterGroupsCorrectly) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  auto dataset = builder.Build({9, 10}).MoveValue();
+  auto groups = dataset.RowsByQuarter();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].first, 9);
+  EXPECT_EQ(groups[0].second.size(), 71u);
+  for (size_t i = 0; i < groups[1].second.size(); ++i) {
+    EXPECT_EQ(dataset.meta[groups[1].second[i]].company,
+              static_cast<int>(i));
+  }
+}
+
+// --- CV splitter -------------------------------------------------------------
+
+TEST(CvTest, TransactionScheduleMatchesPaper) {
+  auto folds = TimeSeriesCvFolds(
+      16, DefaultCvOptions(DatasetProfile::kTransactionAmount));
+  ASSERT_TRUE(folds.ok());
+  const auto& f = folds.ValueOrDie();
+  // Test quarters 2016q4..2018q2 -> panel indices 9..15 (7 folds).
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_EQ(f.front().test_quarter, 9);
+  EXPECT_EQ(f.front().valid_quarter, 8);
+  EXPECT_EQ(f.front().train_quarters.front(), 4);
+  EXPECT_EQ(f.front().train_quarters.back(), 7);
+  EXPECT_EQ(f.back().test_quarter, 15);
+  EXPECT_EQ(f.back().train_quarters.back(), 13);
+}
+
+TEST(CvTest, MapQueryScheduleMatchesPaper) {
+  auto folds =
+      TimeSeriesCvFolds(9, DefaultCvOptions(DatasetProfile::kMapQuery));
+  ASSERT_TRUE(folds.ok());
+  const auto& f = folds.ValueOrDie();
+  // Test quarters 2018q1, 2018q2 -> indices 7, 8.
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].test_quarter, 7);
+  EXPECT_EQ(f[0].valid_quarter, 6);
+  EXPECT_EQ(f[0].train_quarters, (std::vector<int>{4, 5}));
+  EXPECT_EQ(f[1].test_quarter, 8);
+  EXPECT_EQ(f[1].train_quarters, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(CvTest, NoLeakageTrainBeforeValidBeforeTest) {
+  auto folds = TimeSeriesCvFolds(
+      16, DefaultCvOptions(DatasetProfile::kTransactionAmount));
+  ASSERT_TRUE(folds.ok());
+  for (const CvFold& fold : folds.ValueOrDie()) {
+    for (int t : fold.train_quarters) EXPECT_LT(t, fold.valid_quarter);
+    EXPECT_LT(fold.valid_quarter, fold.test_quarter);
+  }
+}
+
+TEST(CvTest, ExpandingWindow) {
+  auto folds = TimeSeriesCvFolds(
+      16, DefaultCvOptions(DatasetProfile::kTransactionAmount));
+  ASSERT_TRUE(folds.ok());
+  const auto& f = folds.ValueOrDie();
+  for (size_t i = 1; i < f.size(); ++i) {
+    EXPECT_EQ(f[i].train_quarters.size(), f[i - 1].train_quarters.size() + 1);
+  }
+}
+
+TEST(CvTest, RejectsTooShortPanel) {
+  CvOptions options = DefaultCvOptions(DatasetProfile::kTransactionAmount);
+  EXPECT_FALSE(TimeSeriesCvFolds(9, options).ok());  // needs >= 10
+  EXPECT_TRUE(TimeSeriesCvFolds(10, options).ok());
+  options.lag_k = 0;
+  EXPECT_FALSE(TimeSeriesCvFolds(16, options).ok());
+}
+
+}  // namespace
+}  // namespace ams::data

@@ -1,0 +1,269 @@
+// Tests for the GBDT learner: single-tree behaviour, boosting convergence,
+// regularization effects, early stopping and input validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gbdt/gbdt.h"
+#include "util/rng.h"
+
+namespace ams::gbdt {
+namespace {
+
+using la::Matrix;
+
+double TrainMse(const GbdtRegressor& model, const Matrix& x,
+                const Matrix& y) {
+  auto pred = model.Predict(x);
+  EXPECT_TRUE(pred.ok());
+  double mse = 0.0;
+  for (int r = 0; r < x.rows(); ++r) {
+    mse += std::pow(pred.ValueOrDie()[r] - y(r, 0), 2);
+  }
+  return mse / x.rows();
+}
+
+TEST(RegressionTreeTest, SingleSplitStepFunction) {
+  // y = -1 for x < 0, +1 for x >= 0; gradients for first boosting round
+  // from base 0 are -y.
+  const int n = 50;
+  Matrix x(n, 1);
+  std::vector<double> grad(n), hess(n, 1.0);
+  std::vector<int> rows(n);
+  for (int r = 0; r < n; ++r) {
+    x(r, 0) = r < n / 2 ? -1.0 - r * 0.01 : 1.0 + r * 0.01;
+    grad[r] = r < n / 2 ? 1.0 : -1.0;  // g = pred - y with pred = 0
+    rows[r] = r;
+  }
+  GbdtOptions options;
+  options.max_depth = 1;
+  options.reg_lambda = 0.0;
+  RegressionTree tree =
+      RegressionTree::Grow(x, grad, hess, rows, {0}, options);
+  EXPECT_EQ(tree.num_leaves(), 2);
+  EXPECT_EQ(tree.Depth(), 1);
+  double left = -2.0, right = 2.0;
+  EXPECT_NEAR(tree.PredictRow(&left), -1.0, 1e-9);
+  EXPECT_NEAR(tree.PredictRow(&right), 1.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, RespectsMaxDepth) {
+  Rng rng(1);
+  const int n = 200;
+  Matrix x(n, 2);
+  std::vector<double> grad(n), hess(n, 1.0);
+  std::vector<int> rows(n);
+  for (int r = 0; r < n; ++r) {
+    x(r, 0) = rng.Normal();
+    x(r, 1) = rng.Normal();
+    grad[r] = rng.Normal();
+    rows[r] = r;
+  }
+  GbdtOptions options;
+  options.max_depth = 3;
+  options.min_child_weight = 1.0;
+  RegressionTree tree =
+      RegressionTree::Grow(x, grad, hess, rows, {0, 1}, options);
+  EXPECT_LE(tree.Depth(), 3);
+}
+
+TEST(RegressionTreeTest, PureNodeBecomesLeaf) {
+  // Constant gradients: no split can gain.
+  Matrix x(10, 1);
+  std::vector<double> grad(10, 2.0), hess(10, 1.0);
+  std::vector<int> rows(10);
+  for (int r = 0; r < 10; ++r) {
+    x(r, 0) = r;
+    rows[r] = r;
+  }
+  GbdtOptions options;
+  RegressionTree tree =
+      RegressionTree::Grow(x, grad, hess, rows, {0}, options);
+  EXPECT_EQ(tree.num_leaves(), 1);
+  // Leaf weight = -sum(g) / (sum(h) + lambda) = -20 / (10 + 1).
+  double probe = 5.0;
+  EXPECT_NEAR(tree.PredictRow(&probe), -20.0 / (10.0 + options.reg_lambda),
+              1e-12);
+}
+
+TEST(GbdtTest, FitsNonlinearFunction) {
+  Rng rng(2);
+  const int n = 400;
+  Matrix x(n, 2), y(n, 1);
+  for (int r = 0; r < n; ++r) {
+    x(r, 0) = rng.Uniform(-2, 2);
+    x(r, 1) = rng.Uniform(-2, 2);
+    y(r, 0) = std::sin(x(r, 0)) + 0.5 * x(r, 1) * x(r, 1);
+  }
+  GbdtOptions options;
+  options.num_rounds = 200;
+  options.learning_rate = 0.1;
+  options.max_depth = 4;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(TrainMse(model, x, y), 0.02);
+}
+
+TEST(GbdtTest, MoreRoundsReduceTrainError) {
+  Rng rng(3);
+  const int n = 300;
+  Matrix x(n, 3), y(n, 1);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < 3; ++c) x(r, c) = rng.Normal();
+    y(r, 0) = x(r, 0) * x(r, 1) + 0.3 * x(r, 2);
+  }
+  double previous = 1e18;
+  for (int rounds : {5, 25, 100}) {
+    GbdtOptions options;
+    options.num_rounds = rounds;
+    GbdtRegressor model(options);
+    ASSERT_TRUE(model.Fit(x, y).ok());
+    const double mse = TrainMse(model, x, y);
+    EXPECT_LT(mse, previous);
+    previous = mse;
+  }
+}
+
+TEST(GbdtTest, MinChildWeightLimitsLeafSize) {
+  Rng rng(4);
+  const int n = 100;
+  Matrix x(n, 1), y(n, 1);
+  for (int r = 0; r < n; ++r) {
+    x(r, 0) = rng.Normal();
+    y(r, 0) = rng.Normal();
+  }
+  GbdtOptions options;
+  options.num_rounds = 1;
+  options.max_depth = 10;
+  options.min_child_weight = 40.0;  // each child needs >= 40 samples
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  // With min 40 per child and 100 rows, at most 2 levels of splits fit.
+  EXPECT_LE(model.num_trees(), 1);
+}
+
+TEST(GbdtTest, EarlyStoppingTruncatesEnsemble) {
+  Rng rng(5);
+  const int n = 200;
+  Matrix x(n, 2), y(n, 1), vx(n, 2), vy(n, 1);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      x(r, c) = rng.Normal();
+      vx(r, c) = rng.Normal();
+    }
+    y(r, 0) = x(r, 0) + rng.Normal();   // mostly noise
+    vy(r, 0) = vx(r, 0) + rng.Normal();
+  }
+  GbdtOptions options;
+  options.num_rounds = 500;
+  options.early_stopping_rounds = 10;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Fit(x, y, &vx, &vy).ok());
+  EXPECT_LT(model.num_trees(), 500);
+}
+
+TEST(GbdtTest, EarlyStoppingRequiresValidation) {
+  GbdtOptions options;
+  options.early_stopping_rounds = 5;
+  GbdtRegressor model(options);
+  Matrix x(10, 1, 1.0), y(10, 1, 1.0);
+  EXPECT_FALSE(model.Fit(x, y).ok());
+}
+
+TEST(GbdtTest, SubsamplingStillLearns) {
+  Rng rng(6);
+  const int n = 400;
+  Matrix x(n, 2), y(n, 1);
+  for (int r = 0; r < n; ++r) {
+    x(r, 0) = rng.Normal();
+    x(r, 1) = rng.Normal();
+    y(r, 0) = 2.0 * x(r, 0);
+  }
+  GbdtOptions options;
+  options.num_rounds = 150;
+  options.subsample = 0.7;
+  options.colsample = 0.5;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_LT(TrainMse(model, x, y), 0.2);
+}
+
+TEST(GbdtTest, FeatureImportanceIdentifiesSignal) {
+  Rng rng(7);
+  const int n = 500;
+  Matrix x(n, 4), y(n, 1);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < 4; ++c) x(r, c) = rng.Normal();
+    y(r, 0) = 3.0 * x(r, 2) + 0.01 * rng.Normal();  // only feature 2 matters
+  }
+  GbdtOptions options;
+  options.num_rounds = 50;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  auto importance = model.FeatureImportance();
+  ASSERT_EQ(importance.size(), 4u);
+  for (int c = 0; c < 4; ++c) {
+    if (c != 2) EXPECT_GT(importance[2], importance[c] * 10.0);
+  }
+}
+
+TEST(GbdtTest, PredictValidation) {
+  GbdtRegressor unfitted;
+  EXPECT_FALSE(unfitted.Predict(Matrix(2, 2, 0.0)).ok());
+  Rng rng(8);
+  Matrix x(20, 2), y(20, 1);
+  for (int r = 0; r < 20; ++r) {
+    x(r, 0) = rng.Normal();
+    x(r, 1) = rng.Normal();
+    y(r, 0) = x(r, 0);
+  }
+  GbdtOptions options;
+  options.num_rounds = 3;
+  GbdtRegressor model(options);
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  EXPECT_FALSE(model.Predict(Matrix(2, 5, 0.0)).ok());
+}
+
+TEST(GbdtTest, RejectsInvalidOptions) {
+  Matrix x(10, 1, 1.0), y(10, 1, 1.0);
+  GbdtOptions options;
+  options.learning_rate = 0.0;
+  EXPECT_FALSE(GbdtRegressor(options).Fit(x, y).ok());
+  options = {};
+  options.subsample = 1.5;
+  EXPECT_FALSE(GbdtRegressor(options).Fit(x, y).ok());
+  options = {};
+  options.max_depth = 0;
+  EXPECT_FALSE(GbdtRegressor(options).Fit(x, y).ok());
+}
+
+// Parameterized: across depths the booster must be deterministic for a
+// fixed seed and train error must be monotone nonincreasing in depth.
+class GbdtDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GbdtDepthSweep, DeterministicForFixedSeed) {
+  Rng rng(9);
+  const int n = 150;
+  Matrix x(n, 3), y(n, 1);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < 3; ++c) x(r, c) = rng.Normal();
+    y(r, 0) = x(r, 0) * x(r, 1);
+  }
+  GbdtOptions options;
+  options.num_rounds = 20;
+  options.max_depth = GetParam();
+  options.subsample = 0.8;
+  GbdtRegressor a(options), b(options);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  auto pa = a.Predict(x), pb = b.Predict(x);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  for (int r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(pa.ValueOrDie()[r], pb.ValueOrDie()[r]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, GbdtDepthSweep, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace ams::gbdt

@@ -1,0 +1,131 @@
+// Property sweeps over the synthetic market generator: for every profile
+// and a range of seeds, the structural invariants that the experiments rely
+// on must hold (valid panel, calibrated consensus, informative alternative
+// data, sector correlation structure, graph buildability).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/cv.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "graph/company_graph.h"
+#include "la/stats.h"
+
+namespace ams::data {
+namespace {
+
+struct GeneratorCase {
+  DatasetProfile profile;
+  uint64_t seed;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GeneratorCase> {
+ protected:
+  void SetUp() override {
+    panel_ = GenerateMarket(
+                 GeneratorConfig::Defaults(GetParam().profile,
+                                           GetParam().seed))
+                 .MoveValue();
+  }
+  Panel panel_;
+};
+
+TEST_P(GeneratorSweep, PanelValidates) {
+  EXPECT_TRUE(panel_.Validate().ok());
+}
+
+TEST_P(GeneratorSweep, ConsensusCalibratedOverall) {
+  double sum = 0.0;
+  int count = 0;
+  for (const Company& company : panel_.companies) {
+    for (const CompanyQuarter& cq : company.quarters) {
+      sum += cq.UnexpectedRevenue() / cq.revenue;
+      ++count;
+    }
+  }
+  EXPECT_LT(std::fabs(sum / count), 0.03);
+}
+
+TEST_P(GeneratorSweep, SurprisesAreMaterialButBounded) {
+  // Typical |UR|/R must be a few percent: large enough that beating the
+  // consensus matters, small enough that analysts are credible.
+  double abs_sum = 0.0;
+  int count = 0;
+  for (const Company& company : panel_.companies) {
+    for (const CompanyQuarter& cq : company.quarters) {
+      abs_sum += std::fabs(cq.UnexpectedRevenue()) / cq.revenue;
+      ++count;
+    }
+  }
+  const double mean_abs = abs_sum / count;
+  EXPECT_GT(mean_abs, 0.02);
+  EXPECT_LT(mean_abs, 0.15);
+}
+
+TEST_P(GeneratorSweep, EveryAltChannelTracksRevenue) {
+  for (int c = 0; c < panel_.num_alt_channels; ++c) {
+    std::vector<double> alt_changes, rev_changes;
+    for (const Company& company : panel_.companies) {
+      for (size_t t = 4; t < company.quarters.size(); ++t) {
+        alt_changes.push_back(std::log(company.quarters[t].alt[c] /
+                                       company.quarters[t - 4].alt[c]));
+        rev_changes.push_back(std::log(company.quarters[t].revenue /
+                                       company.quarters[t - 4].revenue));
+      }
+    }
+    EXPECT_GT(la::PearsonCorrelation(alt_changes, rev_changes), 0.2)
+        << "channel " << c;
+  }
+}
+
+TEST_P(GeneratorSweep, CorrelationGraphBuildsOnTrainWindow) {
+  graph::CorrelationGraphOptions options;
+  auto g = graph::CompanyGraph::BuildFromRevenue(
+      panel_.RevenueHistories(panel_.num_quarters / 2), options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.ValueOrDie().num_nodes(), panel_.num_companies());
+  for (int i = 0; i < g.ValueOrDie().num_nodes(); ++i) {
+    EXPECT_GE(g.ValueOrDie().Degree(i), options.top_k);
+  }
+}
+
+TEST_P(GeneratorSweep, FullCvScheduleIsFeasible) {
+  auto folds = TimeSeriesCvFolds(panel_.num_quarters,
+                                 DefaultCvOptions(panel_.profile));
+  ASSERT_TRUE(folds.ok());
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  for (const CvFold& fold : folds.ValueOrDie()) {
+    EXPECT_TRUE(builder.Build(fold.train_quarters).ok());
+    EXPECT_TRUE(builder.Build({fold.valid_quarter}).ok());
+    EXPECT_TRUE(builder.Build({fold.test_quarter}).ok());
+  }
+}
+
+TEST_P(GeneratorSweep, FeaturesAreFiniteAndPositiveRatios) {
+  FeatureBuilder builder(&panel_, FeatureOptions{});
+  auto folds = TimeSeriesCvFolds(panel_.num_quarters,
+                                 DefaultCvOptions(panel_.profile))
+                   .MoveValue();
+  auto dataset = builder.Build({folds.back().test_quarter}).MoveValue();
+  EXPECT_TRUE(dataset.x.AllFinite());
+  // Ratio-normalized revenue/alt features are positive.
+  for (int r = 0; r < dataset.num_samples(); ++r) {
+    for (int c = 0; c < dataset.lag_k * dataset.lag_block_width; ++c) {
+      EXPECT_GT(dataset.x(r, c), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndSeeds, GeneratorSweep,
+    ::testing::Values(
+        GeneratorCase{DatasetProfile::kTransactionAmount, 1},
+        GeneratorCase{DatasetProfile::kTransactionAmount, 42},
+        GeneratorCase{DatasetProfile::kTransactionAmount, 777},
+        GeneratorCase{DatasetProfile::kMapQuery, 1},
+        GeneratorCase{DatasetProfile::kMapQuery, 42},
+        GeneratorCase{DatasetProfile::kMapQuery, 777}));
+
+}  // namespace
+}  // namespace ams::data

@@ -1,0 +1,279 @@
+// Tests for the GAT implementation: shapes, attention normalization,
+// locality (masked nodes cannot influence each other), permutation
+// behaviour, and end-to-end gradient flow.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/gat.h"
+#include "gnn/gcn.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ams::gnn {
+namespace {
+
+using la::Matrix;
+using tensor::Tensor;
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal();
+  }
+  return m;
+}
+
+Matrix RingMask(int n, int neighbors) {
+  Matrix mask(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    mask(i, i) = 1.0;
+    for (int k = 1; k <= neighbors; ++k) {
+      mask(i, (i + k) % n) = 1.0;
+      mask(i, (i - k + n) % n) = 1.0;
+    }
+  }
+  return mask;
+}
+
+TEST(GatLayerTest, OutputShapeConcatHeads) {
+  Rng rng(1);
+  GatLayer layer(8, 5, 3, nn::Activation::kRelu, &rng);
+  EXPECT_EQ(layer.out_features(), 15);
+  Tensor x = Tensor::Constant(RandomMatrix(6, 8, &rng));
+  Tensor out = layer.Forward(x, RingMask(6, 2));
+  EXPECT_EQ(out.rows(), 6);
+  EXPECT_EQ(out.cols(), 15);
+}
+
+TEST(GatLayerTest, OutputShapeAveragedHeads) {
+  Rng rng(2);
+  GatLayer layer(8, 5, 3, nn::Activation::kNone, &rng,
+                 /*average_heads=*/true);
+  EXPECT_EQ(layer.out_features(), 5);
+  Tensor x = Tensor::Constant(RandomMatrix(6, 8, &rng));
+  EXPECT_EQ(layer.Forward(x, RingMask(6, 2)).cols(), 5);
+}
+
+TEST(GatLayerTest, AttentionRowsSumToOneOverNeighborhood) {
+  Rng rng(3);
+  GatLayer layer(4, 4, 2, nn::Activation::kNone, &rng);
+  Tensor x = Tensor::Constant(RandomMatrix(5, 4, &rng));
+  Matrix mask = RingMask(5, 1);
+  layer.Forward(x, mask);
+  for (const Matrix& attention : layer.last_attention()) {
+    for (int i = 0; i < 5; ++i) {
+      double row_sum = 0.0;
+      for (int j = 0; j < 5; ++j) {
+        if (mask(i, j) == 0.0) {
+          EXPECT_DOUBLE_EQ(attention(i, j), 0.0);
+        }
+        row_sum += attention(i, j);
+      }
+      EXPECT_NEAR(row_sum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(GatLayerTest, MaskedNodesDoNotInfluenceOutput) {
+  // Two disconnected cliques: perturbing a node in one clique must not
+  // change outputs in the other.
+  Rng rng(4);
+  GatLayer layer(3, 4, 2, nn::Activation::kRelu, &rng);
+  Matrix mask(6, 6, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      mask(i, j) = 1.0;
+      mask(i + 3, j + 3) = 1.0;
+    }
+  }
+  Matrix features = RandomMatrix(6, 3, &rng);
+  Tensor out1 = layer.Forward(Tensor::Constant(features), mask);
+  features(0, 0) += 10.0;  // perturb clique A
+  Tensor out2 = layer.Forward(Tensor::Constant(features), mask);
+  for (int i = 3; i < 6; ++i) {  // clique B unchanged
+    for (int c = 0; c < out1.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(out1.value()(i, c), out2.value()(i, c));
+    }
+  }
+  // Clique A did change.
+  double diff = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    for (int c = 0; c < out1.cols(); ++c) {
+      diff += std::fabs(out1.value()(i, c) - out2.value()(i, c));
+    }
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(GatLayerTest, IsolatedNodeSelfLoopOnly) {
+  Rng rng(5);
+  GatLayer layer(3, 2, 1, nn::Activation::kNone, &rng);
+  Matrix mask = Matrix::Identity(4);  // every node isolated
+  Tensor x = Tensor::Constant(RandomMatrix(4, 3, &rng));
+  Tensor out = layer.Forward(x, mask);
+  // With only self-attention, attention weight is exactly 1 on the diagonal.
+  const Matrix& attention = layer.last_attention()[0];
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(attention(i, i), 1.0, 1e-12);
+}
+
+TEST(GatNetworkTest, StackShapesAndParameterCount) {
+  Rng rng(6);
+  GatConfig config;
+  config.hidden_per_head = {8, 4};
+  config.num_heads = 2;
+  config.out_features = 6;
+  GatNetwork network(10, config, &rng);
+  EXPECT_EQ(network.out_features(), 6);
+  EXPECT_EQ(network.layers().size(), 3u);  // 2 hidden + 1 output
+  // Each layer: heads * (W, a_src, a_dst); output layer has 1 head.
+  EXPECT_EQ(network.Parameters().size(), 2u * 3 + 2u * 3 + 1u * 3);
+  Tensor x = Tensor::Constant(RandomMatrix(7, 10, &rng));
+  Tensor out = network.Forward(x, RingMask(7, 2));
+  EXPECT_EQ(out.rows(), 7);
+  EXPECT_EQ(out.cols(), 6);
+}
+
+TEST(GatNetworkTest, GradientsFlowToAllParameters) {
+  Rng rng(7);
+  GatConfig config;
+  config.hidden_per_head = {4};
+  config.num_heads = 2;
+  config.out_features = 3;
+  GatNetwork network(5, config, &rng);
+  Tensor x = Tensor::Constant(RandomMatrix(6, 5, &rng));
+  Tensor out = network.Forward(x, RingMask(6, 2));
+  tensor::Backward(tensor::SumSquares(out));
+  for (const Tensor& p : network.Parameters()) {
+    EXPECT_GT(p.grad().Norm(), 0.0) << "dead parameter";
+  }
+}
+
+TEST(GatNetworkTest, LearnsNeighborAveraging) {
+  // Target for each node: mean of its neighbours' single feature. A GAT
+  // should fit this nearly exactly.
+  Rng rng(8);
+  const int n = 12;
+  Matrix features = RandomMatrix(n, 1, &rng);
+  Matrix mask = RingMask(n, 1);
+  Matrix target(n, 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    int count = 0;
+    for (int j = 0; j < n; ++j) {
+      if (mask(i, j) != 0.0) {
+        sum += features(j, 0);
+        ++count;
+      }
+    }
+    target(i, 0) = sum / count;
+  }
+  GatConfig config;
+  config.hidden_per_head = {4};
+  config.num_heads = 1;
+  config.out_features = 1;
+  GatNetwork network(1, config, &rng);
+  optim::Adam adam(network.Parameters(), 5e-3);
+  Tensor x = Tensor::Constant(features);
+  Tensor y = Tensor::Constant(target);
+  double final_loss = 1.0;
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    adam.ZeroGrad();
+    Tensor loss = tensor::MseLoss(network.Forward(x, mask), y);
+    tensor::Backward(loss);
+    adam.Step();
+    final_loss = loss.value()(0, 0);
+  }
+  EXPECT_LT(final_loss, 0.02);
+}
+
+TEST(GatLayerTest, AttentionDropoutOnlyInTraining) {
+  Rng rng(9);
+  GatLayer layer(4, 3, 1, nn::Activation::kNone, &rng);
+  Tensor x = Tensor::Constant(RandomMatrix(5, 4, &rng));
+  Matrix mask = RingMask(5, 2);
+  Tensor eval1 = layer.Forward(x, mask, /*training=*/false, 0.5, &rng);
+  Tensor eval2 = layer.Forward(x, mask, /*training=*/false, 0.5, &rng);
+  EXPECT_EQ(eval1.value(), eval2.value());
+}
+
+// --- GCN -----------------------------------------------------------------
+
+TEST(GcnTest, NormalizedAdjacencyRowsAndSymmetry) {
+  Matrix mask = RingMask(6, 1);
+  Matrix a_hat = NormalizedAdjacency(mask);
+  // Symmetric, zero where no edge, D^{-1/2}(A+I)D^{-1/2} values.
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_NEAR(a_hat(i, j), a_hat(j, i), 1e-12);
+      if (mask(i, j) == 0.0) EXPECT_DOUBLE_EQ(a_hat(i, j), 0.0);
+    }
+  }
+  // Ring with self-loop: every node has degree 3 -> entries are 1/3.
+  EXPECT_NEAR(a_hat(0, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a_hat(0, 1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(GcnTest, ForwardShapes) {
+  Rng rng(21);
+  GcnNetwork gcn(5, {8}, 3, &rng);
+  EXPECT_EQ(gcn.out_features(), 3);
+  Tensor x = Tensor::Constant(RandomMatrix(7, 5, &rng));
+  Tensor out = gcn.Forward(x, RingMask(7, 2));
+  EXPECT_EQ(out.rows(), 7);
+  EXPECT_EQ(out.cols(), 3);
+}
+
+TEST(GcnTest, GradientsFlowToAllParameters) {
+  Rng rng(22);
+  GcnNetwork gcn(4, {6}, 2, &rng);
+  Tensor x = Tensor::Constant(RandomMatrix(5, 4, &rng));
+  tensor::Backward(tensor::SumSquares(gcn.Forward(x, RingMask(5, 1))));
+  for (const Tensor& p : gcn.Parameters()) {
+    EXPECT_GT(p.grad().Norm(), 0.0);
+  }
+}
+
+TEST(GcnTest, DisconnectedComponentsStayIndependent) {
+  Rng rng(23);
+  GcnNetwork gcn(2, {4}, 2, &rng);
+  Matrix mask(4, 4, 0.0);
+  mask(0, 0) = mask(0, 1) = mask(1, 0) = mask(1, 1) = 1.0;
+  mask(2, 2) = mask(2, 3) = mask(3, 2) = mask(3, 3) = 1.0;
+  Matrix features = RandomMatrix(4, 2, &rng);
+  Tensor out1 = gcn.Forward(Tensor::Constant(features), mask);
+  features(0, 0) += 5.0;
+  Tensor out2 = gcn.Forward(Tensor::Constant(features), mask);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_DOUBLE_EQ(out1.value()(2, c), out2.value()(2, c));
+    EXPECT_DOUBLE_EQ(out1.value()(3, c), out2.value()(3, c));
+  }
+}
+
+TEST(GcnTest, LearnsNeighborAveraging) {
+  Rng rng(24);
+  const int n = 12;
+  Matrix features = RandomMatrix(n, 1, &rng);
+  Matrix mask = RingMask(n, 1);
+  Matrix a_hat = NormalizedAdjacency(mask);
+  // Target: the normalized-adjacency smoothing itself (a single GCN layer
+  // with W = 1 represents it exactly).
+  Matrix target = a_hat.MatMul(features);
+  GcnNetwork gcn(1, {}, 1, &rng);
+  optim::Adam adam(gcn.Parameters(), 1e-2);
+  Tensor x = Tensor::Constant(features);
+  Tensor y = Tensor::Constant(target);
+  double final_loss = 1.0;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    adam.ZeroGrad();
+    Tensor loss = tensor::MseLoss(gcn.Forward(x, mask), y);
+    tensor::Backward(loss);
+    adam.Step();
+    final_loss = loss.value()(0, 0);
+  }
+  EXPECT_LT(final_loss, 1e-4);
+}
+
+}  // namespace
+}  // namespace ams::gnn

@@ -1,0 +1,134 @@
+// Tests for the company correlation graph (paper §III-C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/company_graph.h"
+#include "util/rng.h"
+
+namespace ams::graph {
+namespace {
+
+std::vector<std::vector<double>> MakeHistories() {
+  // Companies 0/1 move together; 2/3 move together (inverted vs 0/1);
+  // 4 is noise-ish but closer to 0/1.
+  return {
+      {10, 12, 11, 14, 13, 16},   // 0
+      {20, 24, 22, 28, 26, 32},   // 1: exactly 2x company 0 -> corr 1
+      {30, 28, 29, 26, 27, 24},   // 2: inverted
+      {15, 14, 14.5, 13, 13.5, 12},  // 3: tracks 2
+      {5, 6, 5.5, 7, 6.5, 8},     // 4: tracks 0
+  };
+}
+
+TEST(CompanyGraphTest, TopOneLinksPerfectlyCorrelatedPair) {
+  CorrelationGraphOptions options;
+  options.top_k = 1;
+  auto graph = CompanyGraph::BuildFromRevenue(MakeHistories(), options);
+  ASSERT_TRUE(graph.ok());
+  const CompanyGraph& g = graph.ValueOrDie();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_NEAR(g.Correlation(0, 1), 1.0, 1e-9);
+  EXPECT_LT(g.Correlation(0, 2), 0.0);
+}
+
+TEST(CompanyGraphTest, SymmetricEdges) {
+  CorrelationGraphOptions options;
+  options.top_k = 2;
+  auto graph = CompanyGraph::BuildFromRevenue(MakeHistories(), options);
+  ASSERT_TRUE(graph.ok());
+  const CompanyGraph& g = graph.ValueOrDie();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int j : g.Neighbors(i)) {
+      EXPECT_TRUE(g.HasEdge(j, i)) << i << " <-> " << j;
+    }
+  }
+}
+
+TEST(CompanyGraphTest, DegreeAtLeastTopK) {
+  CorrelationGraphOptions options;
+  options.top_k = 2;
+  auto graph = CompanyGraph::BuildFromRevenue(MakeHistories(), options);
+  ASSERT_TRUE(graph.ok());
+  // Symmetrization can only add edges beyond each node's own top-k.
+  for (int i = 0; i < graph.ValueOrDie().num_nodes(); ++i) {
+    EXPECT_GE(graph.ValueOrDie().Degree(i), 2);
+  }
+}
+
+TEST(CompanyGraphTest, AttentionMaskHasSelfLoops) {
+  CorrelationGraphOptions options;
+  options.top_k = 1;
+  auto graph = CompanyGraph::BuildFromRevenue(MakeHistories(), options);
+  ASSERT_TRUE(graph.ok());
+  la::Matrix mask = graph.ValueOrDie().AttentionMask();
+  for (int i = 0; i < mask.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(mask(i, i), 1.0);
+    // Mask row mirrors adjacency + self.
+    double row_sum = 0;
+    for (int j = 0; j < mask.cols(); ++j) row_sum += mask(i, j);
+    EXPECT_DOUBLE_EQ(row_sum, 1.0 + graph.ValueOrDie().Degree(i));
+  }
+}
+
+TEST(CompanyGraphTest, TopKClippedToNodeCount) {
+  CorrelationGraphOptions options;
+  options.top_k = 100;  // more than peers available
+  auto graph = CompanyGraph::BuildFromRevenue(MakeHistories(), options);
+  ASSERT_TRUE(graph.ok());
+  // Complete graph: every node connected to all 4 others.
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(graph.ValueOrDie().Degree(i), 4);
+}
+
+TEST(CompanyGraphTest, RejectsDegenerateInput) {
+  CorrelationGraphOptions options;
+  EXPECT_FALSE(CompanyGraph::BuildFromRevenue({}, options).ok());
+  EXPECT_FALSE(
+      CompanyGraph::BuildFromRevenue({{1, 2, 3}}, options).ok());
+  options.top_k = 0;
+  EXPECT_FALSE(
+      CompanyGraph::BuildFromRevenue(MakeHistories(), options).ok());
+  options.top_k = 1;
+  options.min_overlap = 1;
+  EXPECT_FALSE(
+      CompanyGraph::BuildFromRevenue(MakeHistories(), options).ok());
+}
+
+TEST(CompanyGraphTest, HandlesShortOverlap) {
+  // One company has a very short history: correlations with it default to 0
+  // but the build still succeeds.
+  std::vector<std::vector<double>> histories = MakeHistories();
+  histories.push_back({42.0, 43.0});
+  CorrelationGraphOptions options;
+  options.top_k = 1;
+  auto graph = CompanyGraph::BuildFromRevenue(histories, options);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.ValueOrDie().num_nodes(), 6);
+}
+
+TEST(CompanyGraphTest, NumEdgesCountsUndirected) {
+  CorrelationGraphOptions options;
+  options.top_k = 1;
+  auto graph = CompanyGraph::BuildFromRevenue(MakeHistories(), options);
+  ASSERT_TRUE(graph.ok());
+  int degree_sum = 0;
+  for (int i = 0; i < 5; ++i) degree_sum += graph.ValueOrDie().Degree(i);
+  EXPECT_EQ(graph.ValueOrDie().NumEdges(), degree_sum / 2);
+}
+
+TEST(CompanyGraphTest, DeterministicTieBreak) {
+  // Identical data -> identical graphs.
+  CorrelationGraphOptions options;
+  options.top_k = 2;
+  auto g1 = CompanyGraph::BuildFromRevenue(MakeHistories(), options);
+  auto g2 = CompanyGraph::BuildFromRevenue(MakeHistories(), options);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(g1.ValueOrDie().Neighbors(i), g2.ValueOrDie().Neighbors(i));
+  }
+}
+
+}  // namespace
+}  // namespace ams::graph

@@ -1,0 +1,212 @@
+// End-to-end integration tests: the full experiment pipeline on a reduced
+// panel, cross-module invariants (no leakage, alignment), and a miniature
+// backtest driven by real model predictions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+
+#include "backtest/backtest.h"
+#include "graph/company_graph.h"
+#include "models/experiment.h"
+
+namespace ams {
+namespace {
+
+// A reduced experiment configuration that exercises every stage quickly:
+// 20 companies, full CV schedule, 2 HPO trials, linear + naive models only.
+models::ExperimentConfig SmallConfig() {
+  models::ExperimentConfig config;
+  config.profile = data::DatasetProfile::kTransactionAmount;
+  config.seed = 42;
+  config.hpo_trials = 2;
+  config.model_filter = {"Ridge", "Lasso", "ARIMA", "QoQ", "YoY"};
+  return config;
+}
+
+data::Panel SmallPanel(uint64_t seed) {
+  data::GeneratorConfig config = data::GeneratorConfig::Defaults(
+      data::DatasetProfile::kTransactionAmount, seed);
+  config.num_companies = 20;
+  config.num_sectors = 4;
+  return data::GenerateMarket(config).MoveValue();
+}
+
+TEST(IntegrationTest, ExperimentPipelineRunsEndToEnd) {
+  auto result = models::RunExperimentOnPanel(SmallPanel(42), SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const models::ExperimentResult& experiment = result.ValueOrDie();
+  EXPECT_EQ(experiment.cv_folds.size(), 7u);
+  EXPECT_EQ(experiment.models.size(), 5u);
+  for (const models::ModelOutcome& model : experiment.models) {
+    ASSERT_EQ(model.folds.size(), 7u) << model.name;
+    for (const models::FoldOutcome& fold : model.folds) {
+      EXPECT_EQ(fold.eval.num_samples, 20);
+      EXPECT_EQ(fold.predicted_ur.size(), 20u);
+      for (double ur : fold.predicted_ur) EXPECT_TRUE(std::isfinite(ur));
+    }
+    EXPECT_GE(model.MeanBa(), 0.0);
+    EXPECT_LE(model.MeanBa(), 100.0);
+    EXPECT_GE(model.MeanSr(), 0.0);
+  }
+  // fold_test_meta aligns with CV schedule.
+  ASSERT_EQ(experiment.fold_test_meta.size(), 7u);
+  for (size_t f = 0; f < 7; ++f) {
+    for (const data::SampleMeta& meta : experiment.fold_test_meta[f]) {
+      EXPECT_EQ(meta.quarter, experiment.cv_folds[f].test_quarter);
+    }
+  }
+}
+
+TEST(IntegrationTest, ExperimentDeterministicForSeed) {
+  auto a = models::RunExperimentOnPanel(SmallPanel(42), SmallConfig());
+  auto b = models::RunExperimentOnPanel(SmallPanel(42), SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t m = 0; m < a.ValueOrDie().models.size(); ++m) {
+    EXPECT_DOUBLE_EQ(a.ValueOrDie().models[m].MeanBa(),
+                     b.ValueOrDie().models[m].MeanBa());
+    EXPECT_DOUBLE_EQ(a.ValueOrDie().models[m].MeanSr(),
+                     b.ValueOrDie().models[m].MeanSr());
+  }
+}
+
+TEST(IntegrationTest, LearnedModelsBeatArimaAndNaive) {
+  // The robust ordering the paper reports: feature-based linear models far
+  // above ARIMA / QoQ / YoY on BA.
+  auto result = models::RunExperimentOnPanel(SmallPanel(42), SmallConfig());
+  ASSERT_TRUE(result.ok());
+  const auto& experiment = result.ValueOrDie();
+  const double ridge_ba = experiment.Find("Ridge")->MeanBa();
+  EXPECT_GT(ridge_ba, experiment.Find("ARIMA")->MeanBa() + 10.0);
+  EXPECT_GT(ridge_ba, experiment.Find("QoQ")->MeanBa() + 5.0);
+  EXPECT_GT(ridge_ba, experiment.Find("YoY")->MeanBa() + 5.0);
+  // Ridge beats the consensus; ARIMA is far worse than the consensus.
+  EXPECT_LT(experiment.Find("Ridge")->MeanSr(), 1.0);
+  EXPECT_GT(experiment.Find("ARIMA")->MeanSr(), 1.5);
+}
+
+TEST(IntegrationTest, ModelFilterValidation) {
+  models::ExperimentConfig config = SmallConfig();
+  config.model_filter = {"NoSuchModel"};
+  EXPECT_FALSE(models::RunExperimentOnPanel(SmallPanel(42), config).ok());
+}
+
+TEST(IntegrationTest, AltAblationDegradesLinearModels) {
+  // Table III's direction on a small panel: removing alternative features
+  // must not improve Ridge's SR (alt data carries real signal).
+  data::Panel panel = SmallPanel(42);
+  models::ExperimentConfig config = SmallConfig();
+  config.model_filter = {"Ridge"};
+  auto with_alt = models::RunExperimentOnPanel(panel, config);
+  config.include_alt = false;
+  auto without_alt = models::RunExperimentOnPanel(panel, config);
+  ASSERT_TRUE(with_alt.ok() && without_alt.ok());
+  EXPECT_GT(without_alt.ValueOrDie().Find("Ridge")->MeanSr(),
+            with_alt.ValueOrDie().Find("Ridge")->MeanSr());
+}
+
+TEST(IntegrationTest, BacktestFromExperimentPredictions) {
+  data::Panel panel = SmallPanel(42);
+  models::ExperimentConfig config = SmallConfig();
+  config.model_filter = {"Ridge", "ARIMA"};
+  auto result = models::RunExperimentOnPanel(panel, config);
+  ASSERT_TRUE(result.ok());
+  const auto& experiment = result.ValueOrDie();
+
+  backtest::BacktestConfig bt_config;
+  bt_config.seed = 42;
+  backtest::Backtester backtester(&panel, bt_config);
+  std::vector<double> earnings;
+  for (const models::ModelOutcome& model : experiment.models) {
+    std::vector<backtest::QuarterPositions> quarters;
+    for (size_t f = 0; f < model.folds.size(); ++f) {
+      backtest::QuarterPositions positions;
+      positions.test_quarter = model.folds[f].test_quarter;
+      positions.predicted_ur = model.folds[f].predicted_ur;
+      positions.meta = experiment.fold_test_meta[f];
+      quarters.push_back(std::move(positions));
+    }
+    auto bt = backtester.Run(quarters);
+    ASSERT_TRUE(bt.ok()) << model.name;
+    earnings.push_back(bt.ValueOrDie().earning_pct);
+    EXPECT_EQ(bt.ValueOrDie().asset_curve.size(),
+              1u + 7 * bt_config.holding_days);
+    EXPECT_GE(bt.ValueOrDie().mdd_pct, 0.0);
+  }
+  // The better predictor (Ridge) should out-earn ARIMA in the simulated
+  // market, which rewards correct surprise signs.
+  EXPECT_GT(earnings[0], earnings[1]);
+}
+
+TEST(IntegrationTest, NoLeakageGraphUsesOnlyTrainQuarters) {
+  // Corrupting post-training revenue must not change the correlation graph
+  // the AMS regressor builds.
+  data::Panel panel = SmallPanel(42);
+  data::Panel corrupted = panel;
+  for (auto& company : corrupted.companies) {
+    for (size_t t = 9; t < company.quarters.size(); ++t) {
+      company.quarters[t].revenue *= 10.0;  // future data
+    }
+  }
+  auto histories_a = panel.RevenueHistories(8);
+  auto histories_b = corrupted.RevenueHistories(8);
+  graph::CorrelationGraphOptions options;
+  auto ga = graph::CompanyGraph::BuildFromRevenue(histories_a, options);
+  auto gb = graph::CompanyGraph::BuildFromRevenue(histories_b, options);
+  ASSERT_TRUE(ga.ok() && gb.ok());
+  for (int i = 0; i < ga.ValueOrDie().num_nodes(); ++i) {
+    EXPECT_EQ(ga.ValueOrDie().Neighbors(i), gb.ValueOrDie().Neighbors(i));
+  }
+}
+
+TEST(IntegrationTest, CachedExperimentMatchesDirectRun) {
+  // First call computes and persists; second call loads. Both must agree
+  // exactly with each other on every fold metric.
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "ams_cache_test").string();
+  std::filesystem::remove_all(cache_dir);
+  models::ExperimentConfig config;
+  config.profile = data::DatasetProfile::kTransactionAmount;
+  config.seed = 4242;
+  config.hpo_trials = 1;
+  config.model_filter = {"Ridge", "QoQ"};
+  auto first = models::RunExperimentCached(config, cache_dir);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = models::RunExperimentCached(config, cache_dir);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_EQ(first.ValueOrDie().models.size(),
+            second.ValueOrDie().models.size());
+  for (size_t m = 0; m < first.ValueOrDie().models.size(); ++m) {
+    const auto& a = first.ValueOrDie().models[m];
+    const auto& b = second.ValueOrDie().models[m];
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.folds.size(), b.folds.size());
+    for (size_t f = 0; f < a.folds.size(); ++f) {
+      EXPECT_NEAR(a.folds[f].eval.ba, b.folds[f].eval.ba, 1e-9);
+      EXPECT_NEAR(a.folds[f].eval.sr, b.folds[f].eval.sr, 1e-6);
+    }
+  }
+  // The filter applies to the returned view, not the cache: a different
+  // filter over the same key must load, not recompute.
+  config.model_filter = {"Lasso"};
+  auto third = models::RunExperimentCached(config, cache_dir);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.ValueOrDie().models.size(), 1u);
+  EXPECT_EQ(third.ValueOrDie().models[0].name, "Lasso");
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST(IntegrationTest, CachedExperimentEmptyDirDisablesCache) {
+  models::ExperimentConfig config;
+  config.profile = data::DatasetProfile::kTransactionAmount;
+  config.seed = 77;
+  config.hpo_trials = 1;
+  config.model_filter = {"QoQ"};
+  auto result = models::RunExperimentCached(config, "");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().models.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ams

@@ -1,0 +1,337 @@
+// Tests for src/la: Matrix kernels, Cholesky/ridge solvers, statistics and
+// significance tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/matrix.h"
+#include "la/stats.h"
+#include "util/rng.h"
+
+namespace ams::la {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = rng->Normal();
+  }
+  return m;
+}
+
+// --- Matrix basics ----------------------------------------------------------
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6);
+}
+
+TEST(MatrixTest, IdentityAndVectors) {
+  Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+  Matrix col = Matrix::ColumnVector({1, 2, 3});
+  EXPECT_EQ(col.rows(), 3);
+  EXPECT_EQ(col.cols(), 1);
+  Matrix row = Matrix::RowVector({1, 2});
+  EXPECT_EQ(row.rows(), 1);
+  EXPECT_EQ(row.cols(), 2);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 0), 33);
+  Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 1), 18);
+  Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 1), 8);
+  Matrix had = a.Hadamard(b);
+  EXPECT_DOUBLE_EQ(had(0, 0), 10);
+  EXPECT_DOUBLE_EQ(had(1, 1), 160);
+}
+
+TEST(MatrixTest, MatMulMatchesHandComputed) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix b{{7, 8}, {9, 10}, {11, 12}};
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposeMatMulAgreesWithExplicitTranspose) {
+  Rng rng(1);
+  Matrix a = RandomMatrix(7, 4, &rng);
+  Matrix b = RandomMatrix(7, 5, &rng);
+  Matrix direct = a.TransposeMatMul(b);
+  Matrix reference = a.Transposed().MatMul(b);
+  EXPECT_LT(direct.MaxAbsDiff(reference), 1e-12);
+}
+
+TEST(MatrixTest, MatMulTransposeAgreesWithExplicitTranspose) {
+  Rng rng(2);
+  Matrix a = RandomMatrix(6, 4, &rng);
+  Matrix b = RandomMatrix(5, 4, &rng);
+  Matrix direct = a.MatMulTranspose(b);
+  Matrix reference = a.MatMul(b.Transposed());
+  EXPECT_LT(direct.MaxAbsDiff(reference), 1e-12);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(3);
+  Matrix a = RandomMatrix(4, 9, &rng);
+  EXPECT_EQ(a.Transposed().Transposed(), a);
+}
+
+TEST(MatrixTest, SliceRowsAndCols) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix rows = a.SliceRows(1, 3);
+  EXPECT_EQ(rows.rows(), 2);
+  EXPECT_DOUBLE_EQ(rows(0, 0), 4);
+  Matrix cols = a.SliceCols(2, 3);
+  EXPECT_EQ(cols.cols(), 1);
+  EXPECT_DOUBLE_EQ(cols(1, 0), 6);
+}
+
+TEST(MatrixTest, StackingRoundTrip) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}};
+  Matrix v = Matrix::VStack(a, b);
+  EXPECT_EQ(v.rows(), 3);
+  EXPECT_DOUBLE_EQ(v(2, 1), 6);
+  Matrix left{{1}, {2}};
+  Matrix right{{3, 4}, {5, 6}};
+  Matrix h = Matrix::HStack(left, right);
+  EXPECT_EQ(h.cols(), 3);
+  EXPECT_DOUBLE_EQ(h(1, 2), 6);
+}
+
+TEST(MatrixTest, StackWithEmptyOperandIsIdentityOp) {
+  Matrix a{{1, 2}};
+  EXPECT_EQ(Matrix::VStack(Matrix(), a), a);
+  EXPECT_EQ(Matrix::HStack(a, Matrix()), a);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix a{{1, -2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(a.Sum(), 6);
+  EXPECT_DOUBLE_EQ(a.Mean(), 1.5);
+  EXPECT_DOUBLE_EQ(a.Min(), -2);
+  EXPECT_DOUBLE_EQ(a.Max(), 4);
+  EXPECT_DOUBLE_EQ(a.Norm(), std::sqrt(1.0 + 4 + 9 + 16));
+  Matrix cs = a.ColSums();
+  EXPECT_DOUBLE_EQ(cs(0, 0), 4);
+  EXPECT_DOUBLE_EQ(cs(0, 1), 2);
+  Matrix rs = a.RowSums();
+  EXPECT_DOUBLE_EQ(rs(0, 0), -1);
+  EXPECT_DOUBLE_EQ(rs(1, 0), 7);
+}
+
+TEST(MatrixTest, AllFiniteDetectsNan) {
+  Matrix a{{1, 2}};
+  EXPECT_TRUE(a.AllFinite());
+  a(0, 1) = std::nan("");
+  EXPECT_FALSE(a.AllFinite());
+}
+
+TEST(MatrixTest, DotProduct) {
+  Matrix a = Matrix::ColumnVector({1, 2, 3});
+  Matrix b = Matrix::ColumnVector({4, 5, 6});
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32);
+}
+
+// --- Solvers ----------------------------------------------------------------
+
+TEST(CholeskyTest, FactorReconstructsMatrix) {
+  Matrix a{{4, 2}, {2, 3}};
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix rebuilt = l.ValueOrDie().MatMulTranspose(l.ValueOrDie());
+  EXPECT_LT(rebuilt.MaxAbsDiff(a), 1e-12);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Rng rng(4);
+  Matrix base = RandomMatrix(6, 6, &rng);
+  Matrix spd = base.TransposeMatMul(base) + Matrix::Identity(6) * 0.5;
+  Matrix x_true = RandomMatrix(6, 2, &rng);
+  Matrix b = spd.MatMul(x_true);
+  auto x = CholeskySolve(spd, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(x.ValueOrDie().MaxAbsDiff(x_true), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a{{1, 2}, {2, 1}};  // indefinite
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+  Matrix rect(2, 3);
+  EXPECT_FALSE(CholeskyFactor(rect).ok());
+}
+
+TEST(RidgeSolveTest, ZeroLambdaMatchesOls) {
+  Rng rng(5);
+  Matrix x = RandomMatrix(40, 3, &rng);
+  Matrix beta_true = Matrix::ColumnVector({1.0, -2.0, 0.5});
+  Matrix y = x.MatMul(beta_true);
+  auto beta = RidgeSolve(x, y, 0.0);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_LT(beta.ValueOrDie().MaxAbsDiff(beta_true), 1e-6);
+}
+
+TEST(RidgeSolveTest, LargeLambdaShrinksTowardZero) {
+  Rng rng(6);
+  Matrix x = RandomMatrix(40, 3, &rng);
+  Matrix y = RandomMatrix(40, 1, &rng);
+  auto beta = RidgeSolve(x, y, 1e6);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_LT(std::fabs(beta.ValueOrDie().Max()), 1e-3);
+}
+
+TEST(RidgeSolveTest, UnpenalizedColumnStaysLarge) {
+  Rng rng(7);
+  const int n = 200;
+  Matrix x(n, 2);
+  Matrix y(n, 1);
+  for (int r = 0; r < n; ++r) {
+    x(r, 0) = rng.Normal();
+    x(r, 1) = 1.0;  // intercept column
+    y(r, 0) = 5.0 + 0.1 * x(r, 0);
+  }
+  auto beta = RidgeSolve(x, y, 1e4, /*unpenalized_col=*/1);
+  ASSERT_TRUE(beta.ok());
+  // Slope is crushed by the penalty; the unpenalized intercept is not.
+  EXPECT_LT(std::fabs(beta.ValueOrDie()(0, 0)), 0.01);
+  EXPECT_NEAR(beta.ValueOrDie()(1, 0), 5.0, 0.1);
+}
+
+// --- Statistics -------------------------------------------------------------
+
+TEST(StatsTest, MeanAndVariance) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(PopulationStdDev(v), 2.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSeriesIsZero) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(StatsTest, PearsonNearZeroForIndependent) {
+  Rng rng(8);
+  std::vector<double> a(5000), b(5000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+  }
+  EXPECT_NEAR(PearsonCorrelation(a, b), 0.0, 0.05);
+}
+
+TEST(StatsTest, LogGammaMatchesKnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(M_PI)), 1e-10);
+}
+
+TEST(StatsTest, IncompleteBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.37), 0.37, 1e-10);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, 0.3),
+              1.0 - RegularizedIncompleteBeta(4.0, 2.5, 0.7), 1e-10);
+}
+
+TEST(StatsTest, StudentTCdfReferenceValues) {
+  // Known quantiles: t(0.975; 10) = 2.228.
+  EXPECT_NEAR(StudentTCdf(2.228, 10), 0.975, 1e-3);
+  EXPECT_NEAR(StudentTCdf(0.0, 5), 0.5, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(StudentTCdf(-1.3, 7), 1.0 - StudentTCdf(1.3, 7), 1e-12);
+  // Large dof approaches the normal.
+  EXPECT_NEAR(StudentTCdf(1.96, 10000), NormalCdf(1.96), 1e-3);
+}
+
+TEST(StatsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.6449), 0.95, 1e-4);
+}
+
+TEST(TTestTest, PairedDetectsShift) {
+  Rng rng(9);
+  std::vector<double> a(30), b(30);
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.Normal();
+    a[i] = base + 1.0 + 0.1 * rng.Normal();
+    b[i] = base;
+  }
+  auto result = PairedTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.ValueOrDie().p_value, 1e-6);
+  EXPECT_GT(result.ValueOrDie().t_statistic, 10.0);
+}
+
+TEST(TTestTest, PairedNoDifferenceHighP) {
+  Rng rng(10);
+  std::vector<double> a(50), b(50);
+  for (int i = 0; i < 50; ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+  }
+  auto result = PairedTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.ValueOrDie().p_value, 0.01);
+}
+
+TEST(TTestTest, ZeroVarianceDiffHandled) {
+  auto same = PairedTTest({1, 2, 3}, {1, 2, 3});
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(same.ValueOrDie().p_value, 1.0);
+  auto shifted = PairedTTest({2, 3, 4}, {1, 2, 3});
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_DOUBLE_EQ(shifted.ValueOrDie().p_value, 0.0);
+}
+
+TEST(TTestTest, RejectsBadInput) {
+  EXPECT_FALSE(PairedTTest({1}, {1}).ok());
+  EXPECT_FALSE(PairedTTest({1, 2}, {1}).ok());
+}
+
+TEST(TTestTest, OneSampleAgainstMean) {
+  auto result = OneSampleTTest({0.9, 1.1, 0.95, 1.05, 1.0}, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.ValueOrDie().p_value, 0.5);
+  auto shifted = OneSampleTTest({1.9, 2.1, 1.95, 2.05, 2.0}, 1.0);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_LT(shifted.ValueOrDie().p_value, 1e-4);
+}
+
+}  // namespace
+}  // namespace ams::la

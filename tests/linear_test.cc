@@ -1,0 +1,199 @@
+// Tests for the linear model family: OLS/Ridge closed form, ElasticNet
+// coordinate descent, sparsity behaviour and parameterized regularization
+// sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linear/linear_model.h"
+#include "util/rng.h"
+
+namespace ams::linear {
+namespace {
+
+using la::Matrix;
+
+struct SyntheticRegression {
+  Matrix x;
+  Matrix y;
+  std::vector<double> beta_true;
+  double intercept_true;
+};
+
+SyntheticRegression MakeProblem(int n, int p, double noise, uint64_t seed,
+                                int active = -1) {
+  Rng rng(seed);
+  SyntheticRegression problem;
+  problem.x = Matrix(n, p);
+  problem.y = Matrix(n, 1);
+  problem.beta_true.assign(p, 0.0);
+  const int num_active = active < 0 ? p : active;
+  for (int j = 0; j < num_active; ++j) {
+    problem.beta_true[j] = (j % 2 == 0 ? 1.0 : -1.0) * (1.0 + j * 0.25);
+  }
+  problem.intercept_true = 0.7;
+  for (int r = 0; r < n; ++r) {
+    double acc = problem.intercept_true;
+    for (int c = 0; c < p; ++c) {
+      problem.x(r, c) = rng.Normal();
+      acc += problem.x(r, c) * problem.beta_true[c];
+    }
+    problem.y(r, 0) = acc + noise * rng.Normal();
+  }
+  return problem;
+}
+
+TEST(OlsTest, RecoversNoiselessCoefficients) {
+  auto problem = MakeProblem(100, 4, 0.0, 1);
+  auto model = LinearModel::FitOls(problem.x, problem.y);
+  ASSERT_TRUE(model.ok());
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(model.ValueOrDie().coefficients()(j, 0),
+                problem.beta_true[j], 1e-6);
+  }
+  EXPECT_NEAR(model.ValueOrDie().intercept(), problem.intercept_true, 1e-6);
+}
+
+TEST(OlsTest, NoInterceptVariant) {
+  auto problem = MakeProblem(80, 3, 0.0, 2);
+  auto model =
+      LinearModel::FitOls(problem.x, problem.y, /*fit_intercept=*/false);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model.ValueOrDie().intercept(), 0.0);
+}
+
+TEST(RidgeTest, ShrinkageMonotoneInAlpha) {
+  auto problem = MakeProblem(60, 5, 0.5, 3);
+  double previous_norm = 1e9;
+  for (double alpha : {0.0, 0.1, 1.0, 10.0, 100.0}) {
+    auto model = LinearModel::FitRidge(problem.x, problem.y, alpha);
+    ASSERT_TRUE(model.ok());
+    const double norm = model.ValueOrDie().coefficients().Norm();
+    EXPECT_LE(norm, previous_norm + 1e-9);
+    previous_norm = norm;
+  }
+}
+
+TEST(RidgeTest, HandlesRankDeficientDesign) {
+  Rng rng(4);
+  Matrix x(30, 3);
+  Matrix y(30, 1);
+  for (int r = 0; r < 30; ++r) {
+    x(r, 0) = rng.Normal();
+    x(r, 1) = 2.0 * x(r, 0);  // perfectly collinear
+    x(r, 2) = rng.Normal();
+    y(r, 0) = x(r, 0) + x(r, 2);
+  }
+  auto model = LinearModel::FitRidge(x, y, 0.01);
+  ASSERT_TRUE(model.ok());
+  auto pred = model.ValueOrDie().Predict(x);
+  ASSERT_TRUE(pred.ok());
+}
+
+TEST(RidgeTest, RejectsBadInput) {
+  Matrix x(3, 2, 1.0);
+  Matrix y(2, 1, 1.0);
+  EXPECT_FALSE(LinearModel::FitRidge(x, y, 1.0).ok());  // row mismatch
+  Matrix y3(3, 1, 1.0);
+  EXPECT_FALSE(LinearModel::FitRidge(x, y3, -1.0).ok());  // negative alpha
+  Matrix empty;
+  EXPECT_FALSE(LinearModel::FitRidge(empty, y3, 1.0).ok());
+  Matrix x_nan = x;
+  x_nan(0, 0) = std::nan("");
+  EXPECT_FALSE(LinearModel::FitRidge(x_nan, y3, 1.0).ok());
+}
+
+TEST(ElasticNetTest, LassoRecoversSparseSupport) {
+  // 8 features, only 2 active; Lasso should zero most inactive ones.
+  auto problem = MakeProblem(200, 8, 0.1, 5, /*active=*/2);
+  LinearOptions options;
+  options.alpha = 0.05;
+  options.l1_ratio = 1.0;
+  auto model = LinearModel::FitElasticNet(problem.x, problem.y, options);
+  ASSERT_TRUE(model.ok());
+  const LinearModel& m = model.ValueOrDie();
+  EXPECT_GE(m.NumZeroCoefficients(1e-8), 4);
+  // Active coefficients survive with roughly the right values.
+  EXPECT_NEAR(m.coefficients()(0, 0), problem.beta_true[0], 0.2);
+  EXPECT_NEAR(m.coefficients()(1, 0), problem.beta_true[1], 0.2);
+}
+
+TEST(ElasticNetTest, ZeroAlphaMatchesOls) {
+  auto problem = MakeProblem(100, 4, 0.2, 6);
+  LinearOptions options;
+  options.alpha = 0.0;
+  options.l1_ratio = 0.5;
+  options.max_iterations = 5000;
+  auto enet = LinearModel::FitElasticNet(problem.x, problem.y, options);
+  auto ols = LinearModel::FitOls(problem.x, problem.y);
+  ASSERT_TRUE(enet.ok() && ols.ok());
+  EXPECT_LT(enet.ValueOrDie().coefficients().MaxAbsDiff(
+                ols.ValueOrDie().coefficients()),
+            1e-4);
+}
+
+TEST(ElasticNetTest, HugeAlphaZeroesEverything) {
+  auto problem = MakeProblem(100, 4, 0.2, 7);
+  LinearOptions options;
+  options.alpha = 1e4;
+  options.l1_ratio = 1.0;
+  auto model = LinearModel::FitElasticNet(problem.x, problem.y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.ValueOrDie().NumZeroCoefficients(), 4);
+  // Prediction falls back to the mean of y.
+  auto pred = model.ValueOrDie().Predict(problem.x);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred.ValueOrDie()[0], problem.y.Mean(), 1e-9);
+}
+
+TEST(ElasticNetTest, RejectsBadHyperparameters) {
+  auto problem = MakeProblem(20, 2, 0.1, 8);
+  LinearOptions options;
+  options.alpha = -1.0;
+  EXPECT_FALSE(
+      LinearModel::FitElasticNet(problem.x, problem.y, options).ok());
+  options.alpha = 1.0;
+  options.l1_ratio = 1.5;
+  EXPECT_FALSE(
+      LinearModel::FitElasticNet(problem.x, problem.y, options).ok());
+}
+
+TEST(LinearModelTest, PredictValidation) {
+  LinearModel unfitted;
+  EXPECT_FALSE(unfitted.Predict(Matrix(2, 2, 1.0)).ok());
+  auto problem = MakeProblem(30, 3, 0.1, 9);
+  auto model = LinearModel::FitOls(problem.x, problem.y);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model.ValueOrDie().Predict(Matrix(2, 5, 1.0)).ok());
+}
+
+// Parameterized sweep: ElasticNet across the l1_ratio grid must always
+// produce finite coefficients and train MSE no worse than the null model.
+class ElasticNetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ElasticNetSweep, TrainMseBeatsNullModel) {
+  auto problem = MakeProblem(150, 6, 0.3, 10);
+  LinearOptions options;
+  options.alpha = 0.01;
+  options.l1_ratio = GetParam();
+  auto model = LinearModel::FitElasticNet(problem.x, problem.y, options);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model.ValueOrDie().coefficients().AllFinite());
+  auto pred = model.ValueOrDie().Predict(problem.x);
+  ASSERT_TRUE(pred.ok());
+  const double y_mean = problem.y.Mean();
+  double mse = 0.0;
+  double null_mse = 0.0;
+  for (int r = 0; r < problem.y.rows(); ++r) {
+    mse += std::pow(pred.ValueOrDie()[r] - problem.y(r, 0), 2);
+    null_mse += std::pow(y_mean - problem.y(r, 0), 2);
+  }
+  EXPECT_LT(mse, null_mse);
+}
+
+INSTANTIATE_TEST_SUITE_P(L1RatioGrid, ElasticNetSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace ams::linear

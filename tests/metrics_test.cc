@@ -1,0 +1,165 @@
+// Tests for the paper's metrics (BC/BA, SR) including the properties proved
+// in Lemma II.1 and the aggregation conventions documented in DESIGN.md.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/features.h"
+#include "metrics/metrics.h"
+#include "util/rng.h"
+
+namespace ams::metrics {
+namespace {
+
+TEST(BoundedCorrectionTest, Definition) {
+  // BC = 1 iff |UR_hat - UR| < |UR|.
+  EXPECT_EQ(BoundedCorrection(1.5, 1.0), 1);   // error 0.5 < 1
+  EXPECT_EQ(BoundedCorrection(2.5, 1.0), 0);   // error 1.5 > 1
+  EXPECT_EQ(BoundedCorrection(0.5, 1.0), 1);
+  EXPECT_EQ(BoundedCorrection(-0.5, 1.0), 0);  // wrong direction
+  EXPECT_EQ(BoundedCorrection(-1.5, -1.0), 1);
+  EXPECT_EQ(BoundedCorrection(0.0, 1.0), 0);   // boundary: not strict
+  EXPECT_EQ(BoundedCorrection(2.0, 1.0), 0);   // boundary
+}
+
+TEST(BoundedCorrectionTest, LemmaSameDirection) {
+  // Lemma II.1: BC = 1 implies sign agreement. Exhaustive fuzz.
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double ur = rng.Normal() * 5.0;
+    const double pred = rng.Normal() * 5.0;
+    if (ur == 0.0) continue;
+    if (BoundedCorrection(pred, ur) == 1) {
+      EXPECT_GT(pred * ur, 0.0) << "pred " << pred << " ur " << ur;
+      // ...and the model beats the consensus in absolute error:
+      // |R_hat - R| = |pred - ur| < |ur| = |E - R|.
+      EXPECT_LT(std::fabs(pred - ur), std::fabs(ur));
+    }
+  }
+}
+
+TEST(SurpriseRatioTest, Definition) {
+  EXPECT_DOUBLE_EQ(SurpriseRatio(1.5, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(SurpriseRatio(0.0, 2.0), 1.0);  // consensus-equivalent
+  EXPECT_DOUBLE_EQ(SurpriseRatio(3.0, 1.0), 2.0);
+}
+
+TEST(SurpriseRatioTest, CapAppliesNearZeroUr) {
+  EXPECT_DOUBLE_EQ(SurpriseRatio(1.0, 1e-12), 20.0);
+  EXPECT_DOUBLE_EQ(SurpriseRatio(1.0, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(SurpriseRatio(1.0, 1e-12, /*cap=*/5.0), 5.0);
+}
+
+TEST(EvaluateAbsoluteTest, PerfectPrediction) {
+  std::vector<double> ur = {1.0, -2.0, 0.5};
+  auto eval = EvaluateAbsolute(ur, ur);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval.ValueOrDie().ba, 100.0);
+  EXPECT_DOUBLE_EQ(eval.ValueOrDie().sr, 0.0);
+}
+
+TEST(EvaluateAbsoluteTest, ZeroPredictionIsConsensus) {
+  // Predicting UR = 0 is exactly the analysts' consensus: BA = 0, SR = 1.
+  std::vector<double> pred = {0.0, 0.0, 0.0};
+  std::vector<double> actual = {1.0, -2.0, 0.5};
+  auto eval = EvaluateAbsolute(pred, actual);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval.ValueOrDie().ba, 0.0);
+  EXPECT_DOUBLE_EQ(eval.ValueOrDie().sr, 1.0);
+  EXPECT_DOUBLE_EQ(eval.ValueOrDie().sr_mean_capped, 1.0);
+}
+
+TEST(EvaluateAbsoluteTest, WeightedSrIsRatioOfSums) {
+  // err = {0.5, 3.0}; |UR| = {1.0, 2.0} -> weighted SR = 3.5 / 3.0.
+  std::vector<double> pred = {1.5, -5.0};
+  std::vector<double> actual = {1.0, -2.0};
+  auto eval = EvaluateAbsolute(pred, actual);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval.ValueOrDie().sr, 3.5 / 3.0, 1e-12);
+  // Unweighted mean of per-sample ratios: (0.5 + 1.5) / 2.
+  EXPECT_NEAR(eval.ValueOrDie().sr_mean_capped, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(eval.ValueOrDie().ba, 50.0);
+}
+
+TEST(EvaluateAbsoluteTest, WeightedSrRobustToTinyUrSample) {
+  // One near-zero |UR| sample must not dominate the aggregate.
+  std::vector<double> pred = {0.9, 0.01};
+  std::vector<double> actual = {1.0, 1e-9};
+  auto eval = EvaluateAbsolute(pred, actual);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_LT(eval.ValueOrDie().sr, 0.2);
+  // ...while the capped unweighted mean shows the blowup.
+  EXPECT_GT(eval.ValueOrDie().sr_mean_capped, 5.0);
+}
+
+TEST(EvaluateAbsoluteTest, RejectsBadInput) {
+  EXPECT_FALSE(EvaluateAbsolute({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(EvaluateAbsolute({}, {}).ok());
+}
+
+TEST(EvaluateTest, DenormalizesWithScale) {
+  data::Dataset dataset;
+  dataset.x = la::Matrix(2, 1, 0.0);
+  dataset.y = {0.1, -0.2};
+  data::SampleMeta meta0;
+  meta0.scale = 100.0;
+  meta0.actual_ur = 10.0;  // = y * scale
+  data::SampleMeta meta1;
+  meta1.scale = 50.0;
+  meta1.actual_ur = -10.0;
+  dataset.meta = {meta0, meta1};
+  // Normalized predictions exactly equal to normalized targets.
+  auto eval = Evaluate(dataset, {0.1, -0.2});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval.ValueOrDie().ba, 100.0);
+  EXPECT_DOUBLE_EQ(eval.ValueOrDie().sr, 0.0);
+  // Half-off predictions.
+  auto eval2 = Evaluate(dataset, {0.05, -0.1});
+  ASSERT_TRUE(eval2.ok());
+  EXPECT_DOUBLE_EQ(eval2.ValueOrDie().ba, 100.0);
+  EXPECT_DOUBLE_EQ(eval2.ValueOrDie().sr, 0.5);
+  EXPECT_FALSE(Evaluate(dataset, {0.1}).ok());
+}
+
+TEST(EvaluateTest, BaMatchesManualCount) {
+  Rng rng(2);
+  const int n = 500;
+  std::vector<double> pred(n), actual(n);
+  int manual = 0;
+  for (int i = 0; i < n; ++i) {
+    actual[i] = rng.Normal();
+    pred[i] = actual[i] + rng.Normal() * 0.8;
+    if (std::fabs(pred[i] - actual[i]) < std::fabs(actual[i])) ++manual;
+  }
+  auto eval = EvaluateAbsolute(pred, actual);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval.ValueOrDie().ba, 100.0 * manual / n, 1e-9);
+}
+
+// Property sweep: scaling both predictions and actuals by any positive
+// constant leaves BA and SR unchanged (both metrics are scale-free).
+class MetricScaleInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(MetricScaleInvariance, BaSrScaleFree) {
+  Rng rng(3);
+  const int n = 200;
+  std::vector<double> pred(n), actual(n), pred_s(n), actual_s(n);
+  const double scale = GetParam();
+  for (int i = 0; i < n; ++i) {
+    actual[i] = rng.Normal();
+    pred[i] = actual[i] * 0.6 + rng.Normal() * 0.3;
+    pred_s[i] = pred[i] * scale;
+    actual_s[i] = actual[i] * scale;
+  }
+  auto a = EvaluateAbsolute(pred, actual);
+  auto b = EvaluateAbsolute(pred_s, actual_s);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a.ValueOrDie().ba, b.ValueOrDie().ba, 1e-9);
+  EXPECT_NEAR(a.ValueOrDie().sr, b.ValueOrDie().sr, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MetricScaleInvariance,
+                         ::testing::Values(0.01, 0.5, 1.0, 37.0, 1e6));
+
+}  // namespace
+}  // namespace ams::metrics

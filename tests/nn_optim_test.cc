@@ -1,0 +1,226 @@
+// Tests for src/nn (init, Dense, Mlp) and src/optim (SGD, Adam).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.h"
+#include "nn/init.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ams {
+namespace {
+
+using la::Matrix;
+using tensor::Tensor;
+
+// --- init -------------------------------------------------------------------
+
+TEST(InitTest, XavierWithinBound) {
+  Rng rng(1);
+  const int fan_in = 30, fan_out = 20;
+  Matrix w = nn::XavierUniform(fan_out, fan_in, fan_in, fan_out, &rng);
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  for (int r = 0; r < w.rows(); ++r) {
+    for (int c = 0; c < w.cols(); ++c) {
+      EXPECT_LE(std::fabs(w(r, c)), bound);
+    }
+  }
+  // Not degenerate.
+  EXPECT_GT(w.Norm(), 0.0);
+}
+
+TEST(InitTest, HeNormalVarianceRoughlyTwoOverFanIn) {
+  Rng rng(2);
+  const int fan_in = 64;
+  Matrix w = nn::HeNormal(200, fan_in, fan_in, &rng);
+  double sq = 0.0;
+  for (int r = 0; r < w.rows(); ++r) {
+    for (int c = 0; c < w.cols(); ++c) sq += w(r, c) * w(r, c);
+  }
+  EXPECT_NEAR(sq / w.size(), 2.0 / fan_in, 0.005);
+}
+
+// --- Dense / Mlp ------------------------------------------------------------
+
+TEST(DenseTest, ForwardShapeAndBias) {
+  Rng rng(3);
+  nn::Dense layer(4, 3, nn::Activation::kNone, &rng);
+  Tensor x = Tensor::Constant(Matrix::Ones(5, 4));
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+  EXPECT_EQ(layer.Parameters().size(), 2u);  // W and b
+}
+
+TEST(DenseTest, NoBiasVariant) {
+  Rng rng(4);
+  nn::Dense layer(4, 3, nn::Activation::kNone, &rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(DenseTest, ReluClampsNegative) {
+  Rng rng(5);
+  nn::Dense layer(2, 2, nn::Activation::kRelu, &rng);
+  Tensor x = Tensor::Constant(Matrix{{-100.0, -100.0}});
+  Tensor y = layer.Forward(x);
+  for (int c = 0; c < 2; ++c) EXPECT_GE(y.value()(0, c), 0.0);
+}
+
+TEST(DenseTest, SetWeightsOverrides) {
+  Rng rng(6);
+  nn::Dense layer(2, 1, nn::Activation::kNone, &rng);
+  layer.SetWeights(Matrix{{2.0, 3.0}}, Matrix{{1.0}});
+  Tensor x = Tensor::Constant(Matrix{{10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(layer.Forward(x).value()(0, 0), 321.0);
+}
+
+TEST(MlpTest, ParameterCount) {
+  Rng rng(7);
+  nn::Mlp mlp(10, {8, 4}, 1, nn::Activation::kRelu, &rng);
+  // Three Dense layers, each with W + b.
+  EXPECT_EQ(mlp.Parameters().size(), 6u);
+  EXPECT_EQ(mlp.in_features(), 10);
+  EXPECT_EQ(mlp.out_features(), 1);
+}
+
+TEST(MlpTest, EmptyHiddenIsLinear) {
+  Rng rng(8);
+  nn::Mlp mlp(3, {}, 2, nn::Activation::kRelu, &rng);
+  EXPECT_EQ(mlp.Parameters().size(), 2u);
+  Tensor x = Tensor::Constant(Matrix::Ones(1, 3));
+  EXPECT_EQ(mlp.Forward(x).cols(), 2);
+}
+
+TEST(MlpTest, LearnsLinearFunction) {
+  Rng rng(9);
+  const int n = 256;
+  Matrix x(n, 2), y(n, 1);
+  for (int r = 0; r < n; ++r) {
+    x(r, 0) = rng.Normal();
+    x(r, 1) = rng.Normal();
+    y(r, 0) = 2.0 * x(r, 0) - 1.0 * x(r, 1) + 0.5;
+  }
+  nn::Mlp mlp(2, {16}, 1, nn::Activation::kRelu, &rng);
+  optim::Adam adam(mlp.Parameters(), 1e-2);
+  Tensor xt = Tensor::Constant(x);
+  Tensor yt = Tensor::Constant(y);
+  double loss_value = 0.0;
+  for (int epoch = 0; epoch < 500; ++epoch) {
+    adam.ZeroGrad();
+    Tensor loss = tensor::MseLoss(mlp.Forward(xt), yt);
+    tensor::Backward(loss);
+    adam.Step();
+    loss_value = loss.value()(0, 0);
+  }
+  EXPECT_LT(loss_value, 1e-2);
+}
+
+// --- Optimizers -------------------------------------------------------------
+
+TEST(SgdTest, QuadraticConverges) {
+  // Minimize (w - 3)^2.
+  Tensor w = Tensor::Parameter(Matrix{{0.0}});
+  optim::Sgd sgd({w}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    sgd.ZeroGrad();
+    Tensor loss = tensor::SumSquares(tensor::AddScalar(w, -3.0));
+    tensor::Backward(loss);
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.value()(0, 0), 3.0, 1e-6);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Tensor w1 = Tensor::Parameter(Matrix{{0.0}});
+  Tensor w2 = Tensor::Parameter(Matrix{{0.0}});
+  optim::Sgd plain({w1}, 0.01);
+  optim::Sgd momentum({w2}, 0.01, 0.9);
+  for (int i = 0; i < 50; ++i) {
+    plain.ZeroGrad();
+    Tensor loss1 = tensor::SumSquares(tensor::AddScalar(w1, -3.0));
+    tensor::Backward(loss1);
+    plain.Step();
+    momentum.ZeroGrad();
+    Tensor loss2 = tensor::SumSquares(tensor::AddScalar(w2, -3.0));
+    tensor::Backward(loss2);
+    momentum.Step();
+  }
+  EXPECT_LT(std::fabs(w2.value()(0, 0) - 3.0),
+            std::fabs(w1.value()(0, 0) - 3.0));
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::Parameter(Matrix{{5.0}});
+  optim::Sgd sgd({w}, 0.1, 0.0, /*weight_decay=*/0.5);
+  // Zero data gradient: only decay acts.
+  for (int i = 0; i < 10; ++i) {
+    sgd.ZeroGrad();
+    Tensor loss = tensor::Scale(tensor::Sum(w), 0.0);
+    tensor::Backward(loss);
+    sgd.Step();
+  }
+  EXPECT_LT(w.value()(0, 0), 5.0 * std::pow(0.96, 10));
+}
+
+TEST(AdamTest, QuadraticConverges) {
+  Tensor w = Tensor::Parameter(Matrix{{-4.0}});
+  optim::Adam adam({w}, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    adam.ZeroGrad();
+    Tensor loss = tensor::SumSquares(tensor::AddScalar(w, -1.5));
+    tensor::Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(w.value()(0, 0), 1.5, 1e-4);
+}
+
+TEST(AdamTest, RosenbrockMakesProgress) {
+  // f(x, y) = (1-x)^2 + 100 (y - x^2)^2, minimum at (1, 1).
+  Tensor x = Tensor::Parameter(Matrix{{-1.0}});
+  Tensor y = Tensor::Parameter(Matrix{{1.0}});
+  optim::Adam adam({x, y}, 0.02);
+  auto loss_fn = [&]() {
+    Tensor one_minus_x = tensor::AddScalar(tensor::Scale(x, -1.0), 1.0);
+    Tensor y_minus_x2 = tensor::Sub(y, tensor::Mul(x, x));
+    return tensor::Add(tensor::SumSquares(one_minus_x),
+                       tensor::Scale(tensor::SumSquares(y_minus_x2), 100.0));
+  };
+  const double initial = loss_fn().value()(0, 0);
+  for (int i = 0; i < 2000; ++i) {
+    adam.ZeroGrad();
+    Tensor loss = loss_fn();
+    tensor::Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(loss_fn().value()(0, 0), initial / 100.0);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Tensor w = Tensor::Parameter(Matrix{{3.0, 4.0}});
+  optim::Sgd sgd({w}, 1.0);
+  Tensor loss = tensor::Sum(tensor::Mul(
+      w, Tensor::Constant(Matrix{{3.0, 4.0}})));
+  tensor::Backward(loss);
+  // Gradient is (3, 4) with norm 5.
+  const double pre = sgd.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-12);
+  EXPECT_NEAR(w.grad().Norm(), 1.0, 1e-9);
+  // Below the threshold: untouched.
+  const double pre2 = sgd.ClipGradNorm(10.0);
+  EXPECT_NEAR(pre2, 1.0, 1e-9);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Tensor w = Tensor::Parameter(Matrix{{1.0}});
+  optim::Adam adam({w}, 0.1);
+  Tensor loss = tensor::SumSquares(w);
+  tensor::Backward(loss);
+  EXPECT_NE(w.grad()(0, 0), 0.0);
+  adam.ZeroGrad();
+  EXPECT_DOUBLE_EQ(w.grad()(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ams

@@ -1,0 +1,164 @@
+// Tests for panel CSV export/import (the interchange format for plugging in
+// real alternative data).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/generator.h"
+#include "data/features.h"
+#include "data/panel_io.h"
+
+namespace ams::data {
+namespace {
+
+Panel SmallPanel() {
+  GeneratorConfig config =
+      GeneratorConfig::Defaults(DatasetProfile::kTransactionAmount, 42);
+  config.num_companies = 6;
+  config.num_quarters = 5;
+  config.num_sectors = 3;
+  return GenerateMarket(config).MoveValue();
+}
+
+TEST(PanelIoTest, CsvShape) {
+  Panel panel = SmallPanel();
+  CsvTable table = PanelToCsv(panel);
+  EXPECT_EQ(table.header.size(), 9u + 1u);  // one alt channel
+  EXPECT_EQ(table.header.back(), "alt0");
+  EXPECT_EQ(table.rows.size(), 6u * 5u);
+}
+
+TEST(PanelIoTest, RoundTripPreservesEverything) {
+  Panel panel = SmallPanel();
+  auto restored = PanelFromCsv(PanelToCsv(panel),
+                               DatasetProfile::kTransactionAmount);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const Panel& r = restored.ValueOrDie();
+  EXPECT_EQ(r.num_companies(), panel.num_companies());
+  EXPECT_EQ(r.num_quarters, panel.num_quarters);
+  EXPECT_EQ(r.num_alt_channels, panel.num_alt_channels);
+  EXPECT_EQ(r.num_sectors, panel.num_sectors);
+  EXPECT_TRUE(r.start == panel.start);
+  for (int i = 0; i < panel.num_companies(); ++i) {
+    EXPECT_EQ(r.companies[i].name, panel.companies[i].name);
+    EXPECT_EQ(r.companies[i].sector, panel.companies[i].sector);
+    EXPECT_NEAR(r.companies[i].market_cap, panel.companies[i].market_cap,
+                1e-5);
+    for (int t = 0; t < panel.num_quarters; ++t) {
+      const CompanyQuarter& a = panel.companies[i].quarters[t];
+      const CompanyQuarter& b = r.companies[i].quarters[t];
+      EXPECT_NEAR(b.revenue, a.revenue, 1e-4);
+      EXPECT_NEAR(b.consensus, a.consensus, 1e-4);
+      EXPECT_NEAR(b.low_estimate, a.low_estimate, 1e-4);
+      EXPECT_NEAR(b.high_estimate, a.high_estimate, 1e-4);
+      EXPECT_NEAR(b.alt[0], a.alt[0], 1e-4);
+    }
+  }
+}
+
+TEST(PanelIoTest, RoundTripThroughFile) {
+  Panel panel = SmallPanel();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ams_panel_io_test.csv")
+          .string();
+  ASSERT_TRUE(WritePanelCsv(path, panel).ok());
+  auto restored = ReadPanelCsv(path, DatasetProfile::kTransactionAmount);
+  std::remove(path.c_str());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.ValueOrDie().num_companies(), 6);
+}
+
+TEST(PanelIoTest, RowOrderIndependent) {
+  Panel panel = SmallPanel();
+  CsvTable table = PanelToCsv(panel);
+  // Reverse the rows: import must reorder quarters within each company
+  // (company order follows first appearance, so look up by name).
+  std::reverse(table.rows.begin(), table.rows.end());
+  auto restored = PanelFromCsv(table, DatasetProfile::kTransactionAmount);
+  ASSERT_TRUE(restored.ok());
+  const std::string& target = panel.companies.back().name;
+  const Company* found = nullptr;
+  for (const Company& company : restored.ValueOrDie().companies) {
+    if (company.name == target) found = &company;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_NEAR(found->quarters[0].revenue,
+              panel.companies.back().quarters[0].revenue, 1e-4);
+}
+
+TEST(PanelIoTest, MultiChannelRoundTrip) {
+  GeneratorConfig config =
+      GeneratorConfig::Defaults(DatasetProfile::kMapQuery, 7);
+  config.num_companies = 4;
+  config.num_quarters = 5;
+  config.num_sectors = 2;
+  Panel panel = GenerateMarket(config).MoveValue();
+  auto restored =
+      PanelFromCsv(PanelToCsv(panel), DatasetProfile::kMapQuery);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.ValueOrDie().num_alt_channels, 2);
+  EXPECT_NEAR(restored.ValueOrDie().companies[1].quarters[2].alt[1],
+              panel.companies[1].quarters[2].alt[1], 1e-4);
+}
+
+TEST(PanelIoTest, RejectsBadHeader) {
+  Panel panel = SmallPanel();
+  CsvTable table = PanelToCsv(panel);
+  table.header[0] = "firm";
+  EXPECT_FALSE(
+      PanelFromCsv(table, DatasetProfile::kTransactionAmount).ok());
+  CsvTable no_alt = PanelToCsv(panel);
+  no_alt.header.pop_back();
+  for (auto& row : no_alt.rows) row.pop_back();
+  EXPECT_FALSE(
+      PanelFromCsv(no_alt, DatasetProfile::kTransactionAmount).ok());
+}
+
+TEST(PanelIoTest, RejectsMisalignedQuarters) {
+  Panel panel = SmallPanel();
+  CsvTable table = PanelToCsv(panel);
+  table.rows.pop_back();  // one company now misses a quarter
+  EXPECT_FALSE(
+      PanelFromCsv(table, DatasetProfile::kTransactionAmount).ok());
+}
+
+TEST(PanelIoTest, RejectsNonContiguousQuarters) {
+  Panel panel = SmallPanel();
+  CsvTable table = PanelToCsv(panel);
+  // Shift one row's quarter far into the future.
+  table.rows[2][3] = "2030";
+  EXPECT_FALSE(
+      PanelFromCsv(table, DatasetProfile::kTransactionAmount).ok());
+}
+
+TEST(PanelIoTest, RejectsGarbageNumbers) {
+  Panel panel = SmallPanel();
+  CsvTable table = PanelToCsv(panel);
+  table.rows[0][5] = "not-a-number";
+  EXPECT_FALSE(
+      PanelFromCsv(table, DatasetProfile::kTransactionAmount).ok());
+}
+
+TEST(PanelIoTest, RejectsEmptyTable) {
+  CsvTable table;
+  table.header = {"company", "sector",    "market_cap",   "year",
+                  "quarter", "revenue",   "consensus",    "low_estimate",
+                  "high_estimate", "alt0"};
+  EXPECT_FALSE(
+      PanelFromCsv(table, DatasetProfile::kTransactionAmount).ok());
+}
+
+TEST(PanelIoTest, ImportedPanelWorksWithFeatureBuilder) {
+  Panel panel = SmallPanel();
+  auto restored = PanelFromCsv(PanelToCsv(panel),
+                               DatasetProfile::kTransactionAmount)
+                      .MoveValue();
+  data::FeatureBuilder builder(&restored, data::FeatureOptions{});
+  auto dataset = builder.Build({4});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset.ValueOrDie().num_samples(), 6);
+}
+
+}  // namespace
+}  // namespace ams::data

@@ -1,0 +1,259 @@
+// Tests for the recurrent cells (LSTM/GRU) and the ARIMA implementation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.h"
+#include "optim/optimizer.h"
+#include "seq/recurrent.h"
+#include "ts/arima.h"
+#include "util/rng.h"
+
+namespace ams {
+namespace {
+
+using la::Matrix;
+using tensor::Tensor;
+
+// --- LSTM / GRU -------------------------------------------------------------
+
+TEST(LstmTest, StateShapes) {
+  Rng rng(1);
+  seq::LstmCell cell(3, 5, &rng);
+  auto state = cell.InitialState(4);
+  EXPECT_EQ(state.h.rows(), 4);
+  EXPECT_EQ(state.h.cols(), 5);
+  Tensor x = Tensor::Constant(Matrix::Ones(4, 3));
+  auto next = cell.Step(x, state);
+  EXPECT_EQ(next.h.rows(), 4);
+  EXPECT_EQ(next.c.cols(), 5);
+  EXPECT_EQ(cell.Parameters().size(), 12u);  // 4 gates x (Wx, Wh, b)
+}
+
+TEST(GruTest, StateShapes) {
+  Rng rng(2);
+  seq::GruCell cell(3, 5, &rng);
+  Tensor h = cell.InitialState(2);
+  Tensor x = Tensor::Constant(Matrix::Ones(2, 3));
+  Tensor next = cell.Step(x, h);
+  EXPECT_EQ(next.rows(), 2);
+  EXPECT_EQ(next.cols(), 5);
+  EXPECT_EQ(cell.Parameters().size(), 9u);  // 3 gates x (Wx, Wh, b)
+}
+
+TEST(RecurrentTest, HiddenStateBounded) {
+  // tanh-bounded dynamics: hidden values stay in (-1, 1) whatever the input.
+  Rng rng(3);
+  seq::LstmCell lstm(2, 4, &rng);
+  seq::GruCell gru(2, 4, &rng);
+  std::vector<Tensor> steps;
+  for (int t = 0; t < 10; ++t) {
+    steps.push_back(Tensor::Constant(Matrix(3, 2, 100.0)));
+  }
+  Tensor hl = seq::EncodeSequence(lstm, steps);
+  Tensor hg = seq::EncodeSequence(gru, steps);
+  EXPECT_LE(hl.value().Max(), 1.0);
+  EXPECT_GE(hl.value().Min(), -1.0);
+  EXPECT_LE(hg.value().Max(), 1.0);
+  EXPECT_GE(hg.value().Min(), -1.0);
+}
+
+TEST(RecurrentTest, GradientsFlowThroughTime) {
+  Rng rng(4);
+  seq::GruCell cell(2, 3, &rng);
+  std::vector<Tensor> steps;
+  for (int t = 0; t < 6; ++t) {
+    Matrix m(2, 2);
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) m(r, c) = rng.Normal();
+    }
+    steps.push_back(Tensor::Constant(m));
+  }
+  Tensor h = seq::EncodeSequence(cell, steps);
+  tensor::Backward(tensor::SumSquares(h));
+  for (const Tensor& p : cell.Parameters()) {
+    EXPECT_GT(p.grad().Norm(), 0.0);
+  }
+}
+
+TEST(RecurrentTest, LstmLearnsLastStepSign) {
+  // Task: output the first feature of the final step (requires gating, not
+  // just averaging).
+  Rng rng(5);
+  const int batch = 64;
+  const int steps_count = 4;
+  std::vector<Matrix> step_values(steps_count, Matrix(batch, 1));
+  Matrix target(batch, 1);
+  for (int b = 0; b < batch; ++b) {
+    for (int t = 0; t < steps_count; ++t) {
+      step_values[t](b, 0) = rng.Normal();
+    }
+    target(b, 0) = step_values[steps_count - 1](b, 0);
+  }
+  seq::LstmCell cell(1, 8, &rng);
+  nn::Dense head(8, 1, nn::Activation::kNone, &rng);
+  std::vector<Tensor> params = cell.Parameters();
+  for (auto& p : head.Parameters()) params.push_back(p);
+  optim::Adam adam(params, 1e-2);
+  std::vector<Tensor> steps;
+  for (const Matrix& m : step_values) steps.push_back(Tensor::Constant(m));
+  Tensor y = Tensor::Constant(target);
+  double final_loss = 1.0;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    adam.ZeroGrad();
+    Tensor pred = head.Forward(seq::EncodeSequence(cell, steps));
+    Tensor loss = tensor::MseLoss(pred, y);
+    tensor::Backward(loss);
+    adam.Step();
+    final_loss = loss.value()(0, 0);
+  }
+  EXPECT_LT(final_loss, 0.05);
+}
+
+// --- ARIMA ------------------------------------------------------------------
+
+TEST(ArimaTest, DifferenceOperator) {
+  std::vector<double> s = {1, 3, 6, 10};
+  auto d1 = ts::Difference(s, 1);
+  ASSERT_EQ(d1.size(), 3u);
+  EXPECT_DOUBLE_EQ(d1[0], 2);
+  EXPECT_DOUBLE_EQ(d1[2], 4);
+  auto d2 = ts::Difference(s, 2);
+  ASSERT_EQ(d2.size(), 2u);
+  EXPECT_DOUBLE_EQ(d2[0], 1);
+  auto d0 = ts::Difference(s, 0);
+  EXPECT_EQ(d0, s);
+}
+
+TEST(ArimaTest, MeanModelForecastsMean) {
+  std::vector<double> s = {5, 7, 6, 8, 4, 6};
+  auto model = ts::ArimaModel::Fit(s, ts::ArimaOrder{0, 0, 0});
+  ASSERT_TRUE(model.ok());
+  auto forecast = model.ValueOrDie().Forecast(3);
+  for (double f : forecast) EXPECT_NEAR(f, 6.0, 1e-6);
+}
+
+TEST(ArimaTest, DriftModelExtrapolatesLinearTrend) {
+  std::vector<double> s;
+  for (int t = 0; t < 12; ++t) s.push_back(10.0 + 3.0 * t);
+  auto model = ts::ArimaModel::Fit(s, ts::ArimaOrder{0, 1, 0});
+  ASSERT_TRUE(model.ok());
+  auto forecast = model.ValueOrDie().Forecast(2);
+  EXPECT_NEAR(forecast[0], 10.0 + 3.0 * 12, 1e-6);
+  EXPECT_NEAR(forecast[1], 10.0 + 3.0 * 13, 1e-6);
+}
+
+TEST(ArimaTest, Ar1RecoversCoefficient) {
+  Rng rng(6);
+  std::vector<double> s = {0.0};
+  const double phi = 0.7;
+  for (int t = 1; t < 400; ++t) {
+    s.push_back(phi * s.back() + rng.Normal() * 0.5);
+  }
+  auto model = ts::ArimaModel::Fit(s, ts::ArimaOrder{1, 0, 0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model.ValueOrDie().ar_coefficients()[0], phi, 0.1);
+}
+
+TEST(ArimaTest, ForecastOfAr1DecaysTowardMean) {
+  Rng rng(7);
+  std::vector<double> s = {5.0};
+  for (int t = 1; t < 300; ++t) {
+    s.push_back(0.8 * s.back() + rng.Normal() * 0.2);
+  }
+  auto model = ts::ArimaModel::Fit(s, ts::ArimaOrder{1, 0, 0});
+  ASSERT_TRUE(model.ok());
+  auto forecast = model.ValueOrDie().Forecast(20);
+  // |forecast| decays (the AR(1) pulls toward its unconditional mean).
+  EXPECT_LT(std::fabs(forecast[19] - forecast[18]),
+            std::fabs(forecast[1] - forecast[0]) + 1e-9);
+}
+
+TEST(ArimaTest, RejectsImpossibleOrders) {
+  std::vector<double> tiny = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(ts::ArimaModel::Fit(tiny, ts::ArimaOrder{3, 0, 3}).ok());
+  EXPECT_FALSE(ts::ArimaModel::Fit(tiny, ts::ArimaOrder{-1, 0, 0}).ok());
+  EXPECT_FALSE(ts::ArimaModel::Fit({1.0}, ts::ArimaOrder{0, 1, 0}).ok());
+}
+
+TEST(ArimaTest, FitAutoAlwaysSucceedsForShortSeries) {
+  // Down to 2 observations FitAuto must return something usable.
+  for (int length = 2; length <= 10; ++length) {
+    std::vector<double> s;
+    for (int t = 0; t < length; ++t) s.push_back(100.0 + 5.0 * t);
+    auto model = ts::ArimaModel::FitAuto(s);
+    ASSERT_TRUE(model.ok()) << "length " << length;
+    auto forecast = model.ValueOrDie().Forecast(1);
+    EXPECT_TRUE(std::isfinite(forecast[0]));
+  }
+}
+
+TEST(ArimaTest, FitAutoPrefersDifferencingForTrendedSeries) {
+  Rng rng(8);
+  std::vector<double> s;
+  double level = 100.0;
+  for (int t = 0; t < 60; ++t) {
+    level += 5.0 + rng.Normal() * 0.5;
+    s.push_back(level);
+  }
+  auto model = ts::ArimaModel::FitAuto(s);
+  ASSERT_TRUE(model.ok());
+  // A strongly trended series forecast must continue upward.
+  auto forecast = model.ValueOrDie().Forecast(1);
+  EXPECT_GT(forecast[0], s.back());
+}
+
+TEST(ArimaTest, RejectsNonFiniteInput) {
+  std::vector<double> s = {1.0, 2.0, std::nan(""), 4.0, 5.0, 6.0};
+  EXPECT_FALSE(ts::ArimaModel::Fit(s, ts::ArimaOrder{1, 0, 0}).ok());
+}
+
+TEST(ArimaTest, MaModelFitsMaProcess) {
+  Rng rng(9);
+  const double theta = 0.6;
+  std::vector<double> eps = {rng.Normal()};
+  std::vector<double> s;
+  for (int t = 1; t < 500; ++t) {
+    eps.push_back(rng.Normal());
+    s.push_back(eps[t] + theta * eps[t - 1]);
+  }
+  auto model = ts::ArimaModel::Fit(s, ts::ArimaOrder{0, 0, 1});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model.ValueOrDie().ma_coefficients()[0], theta, 0.15);
+}
+
+// Parameterized sweep over ARIMA orders on a seasonal-ish revenue series:
+// the fit must always succeed on a 15-quarter history and produce a finite
+// positive forecast (the usage pattern of the ARIMA baseline).
+struct OrderCase {
+  int p, d, q;
+};
+
+class ArimaOrderSweep : public ::testing::TestWithParam<OrderCase> {};
+
+TEST_P(ArimaOrderSweep, FitsFifteenQuarterRevenueHistory) {
+  Rng rng(10);
+  std::vector<double> s;
+  double base = 400.0;
+  for (int t = 0; t < 15; ++t) {
+    const double season = 1.0 + 0.2 * std::sin(t * M_PI / 2.0);
+    base *= 1.02;
+    s.push_back(base * season * (1.0 + 0.03 * rng.Normal()));
+  }
+  const OrderCase order = GetParam();
+  auto model =
+      ts::ArimaModel::Fit(s, ts::ArimaOrder{order.p, order.d, order.q});
+  ASSERT_TRUE(model.ok());
+  auto forecast = model.ValueOrDie().Forecast(1);
+  EXPECT_TRUE(std::isfinite(forecast[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, ArimaOrderSweep,
+    ::testing::Values(OrderCase{0, 0, 0}, OrderCase{1, 0, 0},
+                      OrderCase{2, 0, 0}, OrderCase{0, 1, 0},
+                      OrderCase{1, 1, 0}, OrderCase{1, 1, 1},
+                      OrderCase{2, 1, 1}));
+
+}  // namespace
+}  // namespace ams

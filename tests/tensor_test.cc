@@ -1,0 +1,358 @@
+// Tests for the autograd engine: forward values, analytic-vs-numerical
+// gradient checks for every op, and graph-structure behaviours.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ams::tensor {
+namespace {
+
+using la::Matrix;
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng, double scale = 1.0) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) m(r, c) = scale * rng->Normal();
+  }
+  return m;
+}
+
+/// Checks d(loss)/d(leaf) against central differences on every element.
+void CheckGradient(const std::function<Tensor()>& build_loss, Tensor leaf,
+                   double tol = 1e-6) {
+  Tensor loss = build_loss();
+  Backward(loss);
+  const Matrix analytic = leaf.grad();
+  auto forward = [&]() { return build_loss().value()(0, 0); };
+  for (int r = 0; r < leaf.rows(); ++r) {
+    for (int c = 0; c < leaf.cols(); ++c) {
+      const double numeric = NumericalGradient(forward, leaf, r, c);
+      EXPECT_NEAR(analytic(r, c), numeric, tol)
+          << "grad mismatch at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+// --- Forward values ---------------------------------------------------------
+
+TEST(TensorTest, ConstantAndParameterFlags) {
+  Tensor c = Tensor::Constant(Matrix{{1, 2}});
+  Tensor p = Tensor::Parameter(Matrix{{1, 2}});
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(TensorTest, MatMulForward) {
+  Tensor a = Tensor::Constant(Matrix{{1, 2}, {3, 4}});
+  Tensor b = Tensor::Constant(Matrix{{5}, {6}});
+  Tensor c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.value()(0, 0), 17);
+  EXPECT_DOUBLE_EQ(c.value()(1, 0), 39);
+}
+
+TEST(TensorTest, BroadcastAddRowColScalar) {
+  Tensor a = Tensor::Constant(Matrix{{1, 2}, {3, 4}});
+  Tensor row = Tensor::Constant(Matrix{{10, 20}});
+  Tensor col = Tensor::Constant(Matrix{{100}, {200}});
+  Tensor scalar = Tensor::Constant(Matrix{{1000}});
+  EXPECT_DOUBLE_EQ(Add(a, row).value()(1, 1), 24);
+  EXPECT_DOUBLE_EQ(Add(a, col).value()(1, 0), 203);
+  EXPECT_DOUBLE_EQ(Add(a, scalar).value()(0, 0), 1001);
+  EXPECT_DOUBLE_EQ(Sub(a, row).value()(0, 1), -18);
+}
+
+TEST(TensorTest, ActivationsForward) {
+  Tensor x = Tensor::Constant(Matrix{{-1.0, 0.0, 2.0}});
+  EXPECT_DOUBLE_EQ(Relu(x).value()(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Relu(x).value()(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(LeakyRelu(x, 0.1).value()(0, 0), -0.1);
+  EXPECT_NEAR(Sigmoid(x).value()(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(Tanh(x).value()(0, 2), std::tanh(2.0), 1e-12);
+  EXPECT_NEAR(Exp(x).value()(0, 0), std::exp(-1.0), 1e-12);
+}
+
+TEST(TensorTest, ReductionsForward) {
+  Tensor x = Tensor::Constant(Matrix{{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(Sum(x).value()(0, 0), 10);
+  EXPECT_DOUBLE_EQ(Mean(x).value()(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(SumSquares(x).value()(0, 0), 30);
+  EXPECT_DOUBLE_EQ(RowSums(x).value()(1, 0), 7);
+}
+
+TEST(TensorTest, RowDotForward) {
+  Tensor a = Tensor::Constant(Matrix{{1, 2}, {3, 4}});
+  Tensor b = Tensor::Constant(Matrix{{5, 6}, {7, 8}});
+  Tensor d = RowDot(a, b);
+  EXPECT_DOUBLE_EQ(d.value()(0, 0), 17);
+  EXPECT_DOUBLE_EQ(d.value()(1, 0), 53);
+}
+
+TEST(TensorTest, ConcatForward) {
+  Tensor a = Tensor::Constant(Matrix{{1}, {2}});
+  Tensor b = Tensor::Constant(Matrix{{3}, {4}});
+  Tensor cols = ConcatCols({a, b});
+  EXPECT_EQ(cols.cols(), 2);
+  EXPECT_DOUBLE_EQ(cols.value()(1, 1), 4);
+  Tensor rows = ConcatRows({a, b});
+  EXPECT_EQ(rows.rows(), 4);
+  EXPECT_DOUBLE_EQ(rows.value()(2, 0), 3);
+}
+
+TEST(TensorTest, MaskedRowSoftmaxForward) {
+  Tensor logits = Tensor::Constant(Matrix{{1.0, 2.0, 3.0}});
+  Matrix mask{{1, 0, 1}};
+  Tensor sm = MaskedRowSoftmax(logits, mask);
+  EXPECT_DOUBLE_EQ(sm.value()(0, 1), 0.0);
+  const double e1 = std::exp(1.0), e3 = std::exp(3.0);
+  EXPECT_NEAR(sm.value()(0, 0), e1 / (e1 + e3), 1e-12);
+  EXPECT_NEAR(sm.value()(0, 2), e3 / (e1 + e3), 1e-12);
+  // Rows sum to 1 over the mask.
+  EXPECT_NEAR(sm.value().RowSums()(0, 0), 1.0, 1e-12);
+}
+
+TEST(TensorTest, MaskedRowSoftmaxStableForLargeLogits) {
+  Tensor logits = Tensor::Constant(Matrix{{1000.0, 1001.0}});
+  Matrix mask{{1, 1}};
+  Tensor sm = MaskedRowSoftmax(logits, mask);
+  EXPECT_TRUE(sm.value().AllFinite());
+  EXPECT_NEAR(sm.value()(0, 0) + sm.value()(0, 1), 1.0, 1e-12);
+}
+
+// --- Gradient checks --------------------------------------------------------
+
+TEST(TensorGradTest, MatMulBothOperands) {
+  Rng rng(1);
+  Tensor a = Tensor::Parameter(RandomMatrix(3, 4, &rng));
+  Tensor b = Tensor::Parameter(RandomMatrix(4, 2, &rng));
+  auto loss = [&]() { return SumSquares(MatMul(a, b)); };
+  CheckGradient(loss, a);
+  a.ZeroGrad();
+  b.ZeroGrad();
+  CheckGradient(loss, b);
+}
+
+TEST(TensorGradTest, TransposeChain) {
+  Rng rng(2);
+  Tensor a = Tensor::Parameter(RandomMatrix(3, 5, &rng));
+  auto loss = [&]() { return SumSquares(Transpose(a)); };
+  CheckGradient(loss, a);
+}
+
+TEST(TensorGradTest, BroadcastAddRow) {
+  Rng rng(3);
+  Tensor a = Tensor::Parameter(RandomMatrix(4, 3, &rng));
+  Tensor bias = Tensor::Parameter(RandomMatrix(1, 3, &rng));
+  auto loss = [&]() { return SumSquares(Add(a, bias)); };
+  CheckGradient(loss, bias);
+  bias.ZeroGrad();
+  a.ZeroGrad();
+  CheckGradient(loss, a);
+}
+
+TEST(TensorGradTest, BroadcastAddColAndScalar) {
+  Rng rng(4);
+  Tensor a = Tensor::Parameter(RandomMatrix(4, 3, &rng));
+  Tensor col = Tensor::Parameter(RandomMatrix(4, 1, &rng));
+  Tensor scalar = Tensor::Parameter(RandomMatrix(1, 1, &rng));
+  auto loss = [&]() {
+    return SumSquares(Add(Add(a, col), scalar));
+  };
+  CheckGradient(loss, col);
+  col.ZeroGrad();
+  scalar.ZeroGrad();
+  a.ZeroGrad();
+  CheckGradient(loss, scalar);
+}
+
+TEST(TensorGradTest, SubBroadcast) {
+  Rng rng(5);
+  Tensor a = Tensor::Parameter(RandomMatrix(3, 3, &rng));
+  Tensor row = Tensor::Parameter(RandomMatrix(1, 3, &rng));
+  auto loss = [&]() { return SumSquares(Sub(a, row)); };
+  CheckGradient(loss, row);
+}
+
+TEST(TensorGradTest, MulElementwiseAndBroadcast) {
+  Rng rng(6);
+  Tensor a = Tensor::Parameter(RandomMatrix(3, 4, &rng));
+  Tensor b = Tensor::Parameter(RandomMatrix(3, 4, &rng));
+  auto loss = [&]() { return Sum(Mul(a, b)); };
+  CheckGradient(loss, a);
+  a.ZeroGrad();
+  b.ZeroGrad();
+  CheckGradient(loss, b);
+
+  Tensor col = Tensor::Parameter(RandomMatrix(3, 1, &rng));
+  auto loss2 = [&]() { return SumSquares(Mul(a, col)); };
+  a.ZeroGrad();
+  CheckGradient(loss2, col);
+}
+
+TEST(TensorGradTest, ScaleAndAddScalar) {
+  Rng rng(7);
+  Tensor a = Tensor::Parameter(RandomMatrix(2, 3, &rng));
+  auto loss = [&]() { return SumSquares(AddScalar(Scale(a, 2.5), -1.0)); };
+  CheckGradient(loss, a);
+}
+
+TEST(TensorGradTest, Activations) {
+  Rng rng(8);
+  // Shift away from 0 to avoid the ReLU kink in the numerical check.
+  Matrix init = RandomMatrix(3, 3, &rng);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (std::fabs(init(r, c)) < 0.05) init(r, c) = 0.1;
+    }
+  }
+  Tensor a = Tensor::Parameter(init);
+  CheckGradient([&]() { return SumSquares(Relu(a)); }, a);
+  a.ZeroGrad();
+  CheckGradient([&]() { return SumSquares(LeakyRelu(a, 0.2)); }, a);
+  a.ZeroGrad();
+  CheckGradient([&]() { return SumSquares(Sigmoid(a)); }, a);
+  a.ZeroGrad();
+  CheckGradient([&]() { return SumSquares(Tanh(a)); }, a);
+  a.ZeroGrad();
+  CheckGradient([&]() { return SumSquares(Exp(a)); }, a, 1e-4);
+}
+
+TEST(TensorGradTest, MaskedRowSoftmax) {
+  Rng rng(9);
+  Tensor logits = Tensor::Parameter(RandomMatrix(4, 4, &rng));
+  Matrix mask(4, 4, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    mask(i, i) = 1.0;
+    mask(i, (i + 1) % 4) = 1.0;
+    mask(i, (i + 2) % 4) = 1.0;
+  }
+  Tensor weights = Tensor::Constant(RandomMatrix(4, 4, &rng));
+  auto loss = [&]() {
+    return SumSquares(Mul(MaskedRowSoftmax(logits, mask), weights));
+  };
+  CheckGradient(loss, logits, 1e-5);
+}
+
+TEST(TensorGradTest, ConcatColsAndRows) {
+  Rng rng(10);
+  Tensor a = Tensor::Parameter(RandomMatrix(3, 2, &rng));
+  Tensor b = Tensor::Parameter(RandomMatrix(3, 4, &rng));
+  auto loss = [&]() { return SumSquares(ConcatCols({a, b})); };
+  CheckGradient(loss, a);
+  a.ZeroGrad();
+  b.ZeroGrad();
+  CheckGradient(loss, b);
+
+  Tensor c = Tensor::Parameter(RandomMatrix(2, 3, &rng));
+  Tensor d = Tensor::Parameter(RandomMatrix(4, 3, &rng));
+  auto loss2 = [&]() { return SumSquares(ConcatRows({c, d})); };
+  CheckGradient(loss2, c);
+  c.ZeroGrad();
+  d.ZeroGrad();
+  CheckGradient(loss2, d);
+}
+
+TEST(TensorGradTest, SliceRows) {
+  Rng rng(11);
+  Tensor a = Tensor::Parameter(RandomMatrix(5, 3, &rng));
+  auto loss = [&]() { return SumSquares(SliceRows(a, 1, 4)); };
+  CheckGradient(loss, a);
+}
+
+TEST(TensorGradTest, ReductionsAndRowDot) {
+  Rng rng(12);
+  Tensor a = Tensor::Parameter(RandomMatrix(4, 3, &rng));
+  Tensor b = Tensor::Parameter(RandomMatrix(4, 3, &rng));
+  CheckGradient([&]() { return Mean(a); }, a);
+  a.ZeroGrad();
+  CheckGradient([&]() { return SumSquares(RowSums(a)); }, a);
+  a.ZeroGrad();
+  CheckGradient([&]() { return SumSquares(RowDot(a, b)); }, a);
+  a.ZeroGrad();
+  b.ZeroGrad();
+  CheckGradient([&]() { return SumSquares(RowDot(a, b)); }, b);
+}
+
+TEST(TensorGradTest, MseLoss) {
+  Rng rng(13);
+  Tensor pred = Tensor::Parameter(RandomMatrix(6, 1, &rng));
+  Tensor target = Tensor::Constant(RandomMatrix(6, 1, &rng));
+  CheckGradient([&]() { return MseLoss(pred, target); }, pred);
+}
+
+TEST(TensorGradTest, SharedSubexpressionAccumulates) {
+  // loss = sum((a + a)^2): d/da = 8a.
+  Tensor a = Tensor::Parameter(Matrix{{1.0, -2.0}});
+  Tensor loss = SumSquares(Add(a, a));
+  Backward(loss);
+  EXPECT_NEAR(a.grad()(0, 0), 8.0, 1e-12);
+  EXPECT_NEAR(a.grad()(0, 1), -16.0, 1e-12);
+}
+
+TEST(TensorGradTest, DiamondGraph) {
+  // b = 2a; c = 3a; loss = sum(b * c) = sum(6 a^2): d/da = 12a.
+  Tensor a = Tensor::Parameter(Matrix{{2.0}});
+  Tensor loss = Sum(Mul(Scale(a, 2.0), Scale(a, 3.0)));
+  Backward(loss);
+  EXPECT_NEAR(a.grad()(0, 0), 24.0, 1e-12);
+}
+
+TEST(TensorGradTest, ConstantsReceiveNoParents) {
+  Tensor a = Tensor::Constant(Matrix{{1.0}});
+  Tensor b = Tensor::Constant(Matrix{{2.0}});
+  Tensor c = Mul(a, b);
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(c.node()->parents.empty());
+}
+
+TEST(TensorGradTest, GradAccumulatesAcrossBackwardCalls) {
+  Tensor a = Tensor::Parameter(Matrix{{3.0}});
+  Tensor loss1 = SumSquares(a);
+  Backward(loss1);
+  EXPECT_NEAR(a.grad()(0, 0), 6.0, 1e-12);
+  Tensor loss2 = SumSquares(a);
+  Backward(loss2);
+  EXPECT_NEAR(a.grad()(0, 0), 12.0, 1e-12);
+  a.ZeroGrad();
+  EXPECT_NEAR(a.grad()(0, 0), 0.0, 1e-12);
+}
+
+// --- Dropout ----------------------------------------------------------------
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(14);
+  Tensor a = Tensor::Parameter(RandomMatrix(5, 5, &rng));
+  Tensor out = Dropout(a, 0.5, /*training=*/false, nullptr);
+  EXPECT_EQ(out.value(), a.value());
+}
+
+TEST(DropoutTest, TrainingZeroesAndRescales) {
+  Rng rng(15);
+  Tensor a = Tensor::Constant(Matrix(50, 50, 1.0));
+  Tensor out = Dropout(a, 0.4, /*training=*/true, &rng);
+  int zeros = 0;
+  for (int r = 0; r < 50; ++r) {
+    for (int c = 0; c < 50; ++c) {
+      const double v = out.value()(r, c);
+      if (v == 0.0) {
+        ++zeros;
+      } else {
+        EXPECT_NEAR(v, 1.0 / 0.6, 1e-12);
+      }
+    }
+  }
+  EXPECT_NEAR(zeros / 2500.0, 0.4, 0.05);
+}
+
+TEST(DropoutTest, ExpectationPreserved) {
+  Rng rng(16);
+  Tensor a = Tensor::Constant(Matrix(200, 200, 1.0));
+  Tensor out = Dropout(a, 0.3, /*training=*/true, &rng);
+  EXPECT_NEAR(out.value().Mean(), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace ams::tensor
