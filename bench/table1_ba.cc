@@ -3,9 +3,14 @@
 // transaction-amount cross-validation folds.
 //
 // Usage: table1_ba [--seed=42] [--trials=N] [--profile=txn|map|both]
+//
+// Telemetry: AMS_TELEMETRY=text|json prints a metrics report on stderr at
+// exit (per-fold/per-trial timings, epoch counts, GBDT split counters);
+// AMS_TRACE_FILE=path writes a Chrome trace-event timeline.
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "obs/report.h"
 
 using namespace ams;
 
@@ -59,6 +64,7 @@ void RunProfile(data::DatasetProfile profile, int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::InstallExitReporter();
   const std::string profile = GetFlag(argc, argv, "profile", "both");
   if (profile == "txn" || profile == "both") {
     RunProfile(data::DatasetProfile::kTransactionAmount, argc, argv);

@@ -1,8 +1,12 @@
 // Quickstart: generate the synthetic transaction-amount market, train the
 // AMS model on one cross-validation fold, and compare its BA/SR against the
-// analysts' consensus and a Ridge baseline.
+// analysts' consensus, a Ridge baseline and an XGBoost-style GBDT.
 //
 // Usage: quickstart [--seed=42]
+//
+// Telemetry: AMS_TELEMETRY=text (or json) prints a metrics report on stderr
+// at exit; AMS_TRACE_FILE=/tmp/trace.json additionally writes a Chrome
+// trace-event timeline (load in chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
 
 #include "data/cv.h"
@@ -11,11 +15,13 @@
 #include "metrics/metrics.h"
 #include "models/ams_regressor.h"
 #include "models/baselines.h"
+#include "obs/report.h"
 #include "util/string_util.h"
 
 using namespace ams;
 
 int main(int argc, char** argv) {
+  obs::InstallExitReporter();
   const uint64_t seed = GetFlagU64(argc, argv, "seed", 42);
 
   // 1. Generate the synthetic market (substitute for the closed UnionPay
@@ -56,7 +62,8 @@ int main(int argc, char** argv) {
   context.last_train_quarter = fold.valid_quarter - 1;
   context.seed = seed;
 
-  // 3. Train AMS (paper defaults) and a Ridge baseline.
+  // 3. Train AMS (paper defaults), a Ridge baseline, and an XGBoost-style
+  //    GBDT baseline.
   models::AmsRegressor ams_model(core::AmsConfig{}, /*graph_top_k=*/5);
   ams_model.Fit(context).Abort("fit AMS");
 
@@ -66,15 +73,22 @@ int main(int argc, char** argv) {
   models::LinearRegressor ridge("Ridge", ridge_options);
   ridge.Fit(context).Abort("fit Ridge");
 
+  gbdt::GbdtOptions gbdt_options;
+  gbdt_options.early_stopping_rounds = 20;
+  gbdt_options.seed = seed;
+  models::XgboostRegressor gbdt_model(gbdt_options);
+  gbdt_model.Fit(context).Abort("fit XGBoost");
+
   // 4. Evaluate on the held-out quarter.
   for (const models::Regressor* model :
        {static_cast<const models::Regressor*>(&ams_model),
-        static_cast<const models::Regressor*>(&ridge)}) {
+        static_cast<const models::Regressor*>(&ridge),
+        static_cast<const models::Regressor*>(&gbdt_model)}) {
     auto pred = model->PredictNorm(test);
     pred.status().Abort("predict");
     auto eval = metrics::Evaluate(test, pred.ValueOrDie());
     eval.status().Abort("evaluate");
-    std::printf("%-6s BA = %6.2f%%   SR = %.4f   (n = %d)\n",
+    std::printf("%-8s BA = %6.2f%%   SR = %.4f   (n = %d)\n",
                 model->name().c_str(), eval.ValueOrDie().ba,
                 eval.ValueOrDie().sr, eval.ValueOrDie().num_samples);
   }

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "linear/linear_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 #include "tensor/tensor.h"
 #include "util/logging.h"
@@ -126,6 +128,7 @@ Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
   if (config_.lambda_slg < 0.0 || config_.lambda_l2 < 0.0) {
     return Status::InvalidArgument("negative regularization strength");
   }
+  AMS_TRACE_SPAN("ams/train/fit");
 
   num_features_ = train.num_features();
   num_companies_ = graph.num_nodes();
@@ -229,23 +232,37 @@ Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
   std::vector<Tensor> params = Parameters();
   optim::Adam optimizer(params, config_.learning_rate);
 
-  auto forward_loss = [&](bool training) {
+  // Per-epoch telemetry: the loss split mirrors Gamma_master's structure, so
+  // the reported SLG share shows how strongly the master-slave regularizer
+  // (Eq. 7-9 adaptive weighting) steers each epoch relative to the data term.
+  struct LossParts {
+    double data = 0.0;  // scaled data term
+    double slg = 0.0;   // scaled supervised-LR-generation term
+  };
+
+  auto forward_loss = [&](bool training, LossParts* parts) {
     // Data term + supervised-LR-generation term of Gamma_master (Eq. 11).
-    Tensor total = Tensor::Constant(Matrix::Zeros(1, 1));
+    Tensor data_term = Tensor::Constant(Matrix::Zeros(1, 1));
+    Tensor slg_term = Tensor::Constant(Matrix::Zeros(1, 1));
     for (auto& [x, xa, y] : train_inputs) {
       MasterOutput master = MasterForward(x, training, &dropout_rng);
       Tensor pred = tensor::RowDot(xa, master.assembled);
       Tensor err = tensor::Sub(pred, y);
-      total = tensor::Add(total, tensor::SumSquares(err));
+      data_term = tensor::Add(data_term, tensor::SumSquares(err));
       if (config_.lambda_slg > 0.0) {
         // Supervised LR generation (Eq. 8): pull M(g(X_i)) toward B_acr.
         Tensor deviation = tensor::Sub(master.generated, b_acr_row);
-        total = tensor::Add(
-            total,
-            tensor::Scale(tensor::SumSquares(deviation), config_.lambda_slg));
+        slg_term = tensor::Add(slg_term, tensor::SumSquares(deviation));
       }
     }
-    total = tensor::Scale(total, 1.0 / (2.0 * n_train));
+    const double scale = 1.0 / (2.0 * n_train);
+    Tensor total = tensor::Scale(
+        tensor::Add(data_term, tensor::Scale(slg_term, config_.lambda_slg)),
+        scale);
+    if (parts != nullptr) {
+      parts->data = data_term.value()(0, 0) * scale;
+      parts->slg = slg_term.value()(0, 0) * config_.lambda_slg * scale;
+    }
     if (config_.lambda_l2 > 0.0) {
       Tensor l2 = Tensor::Constant(Matrix::Zeros(1, 1));
       for (const Tensor& p : params) {
@@ -282,18 +299,40 @@ Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
   std::vector<Matrix> best_params = SnapshotParams(params);
   int since_best = 0;
   epochs_run_ = 0;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Counter& epoch_counter = registry.GetCounter("ams/train/epochs");
+  obs::Gauge& loss_gauge = registry.GetGauge("ams/train/loss");
+  obs::Gauge& valid_gauge = registry.GetGauge("ams/train/valid_mse");
+  obs::Gauge& grad_norm_gauge = registry.GetGauge("ams/train/grad_norm");
+  // Eq. 7-9: weight of the master-slave (supervised LR generation)
+  // regularizer — both the configured lambda and its realized share of the
+  // epoch loss, which adapts as the generated slave-LRs drift from B_acr.
+  obs::Gauge& slg_lambda_gauge = registry.GetGauge("ams/train/reg/lambda_slg");
+  obs::Gauge& slg_share_gauge = registry.GetGauge("ams/train/reg/slg_share");
+  slg_lambda_gauge.Set(config_.lambda_slg);
+
   for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    AMS_TRACE_SPAN("ams/train/epoch");
     optimizer.ZeroGrad();
-    Tensor loss = forward_loss(/*training=*/true);
+    LossParts parts;
+    Tensor loss = forward_loss(/*training=*/true, &parts);
     if (!loss.value().AllFinite()) {
       return Status::ComputeError("AMS training diverged (non-finite loss)");
     }
     tensor::Backward(loss);
-    if (config_.grad_clip > 0.0) optimizer.ClipGradNorm(config_.grad_clip);
+    if (config_.grad_clip > 0.0) {
+      grad_norm_gauge.Set(optimizer.ClipGradNorm(config_.grad_clip));
+    }
     optimizer.Step();
     ++epochs_run_;
+    epoch_counter.Increment();
+    loss_gauge.Set(loss.value()(0, 0));
+    const double parts_total = parts.data + parts.slg;
+    slg_share_gauge.Set(parts_total > 0.0 ? parts.slg / parts_total : 0.0);
 
     const double v = valid.num_samples() > 0 ? valid_loss() : 0.0;
+    valid_gauge.Set(v);
     if (config_.log_every > 0 && epoch % config_.log_every == 0) {
       AMS_LOG(Info) << "epoch " << epoch << " train_loss="
                     << loss.value()(0, 0) << " valid_mse=" << v;
@@ -308,6 +347,7 @@ Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
   }
   RestoreParams(&params, best_params);
   best_valid_loss_ = best;
+  registry.GetGauge("ams/train/best_valid_mse").Set(best);
   fitted_ = true;
   return Status::OK();
 }

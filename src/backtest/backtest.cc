@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "la/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace ams::backtest {
@@ -66,7 +68,10 @@ Result<BacktestResult> Backtester::Run(
   double asset = 1.0;
   double peak = 1.0;
 
+  obs::Counter& turnover_counter =
+      obs::MetricsRegistry::Get().GetCounter("backtest/turnover_positions");
   for (const QuarterPositions& quarter : quarters) {
+    AMS_TRACE_SPAN("backtest/quarter");
     if (quarter.predicted_ur.size() != quarter.meta.size() ||
         quarter.meta.empty()) {
       return Status::InvalidArgument("misaligned quarter positions");
@@ -93,6 +98,8 @@ Result<BacktestResult> Backtester::Run(
     for (size_t i = 0; i < n; ++i) {
       paths[i] = CompanyPath(quarter.test_quarter, quarter.meta[i].company);
     }
+    // Every quarterly rebalance enters/exits each book position once.
+    turnover_counter.Add(static_cast<uint64_t>(n));
 
     const double quarter_start_asset = asset;
     for (int d = 0; d < config_.holding_days; ++d) {

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ams::gbdt {
 
 using la::Matrix;
@@ -51,6 +54,7 @@ int RegressionTree::GrowNode(const Matrix& x, const std::vector<double>& grad,
       ScoreTerm(grad_sum, hess_sum, options.reg_lambda);
 
   BestSplit best;
+  uint64_t splits_evaluated = 0;
   std::vector<int> sorted = *rows;
   for (int feature : feature_subset) {
     std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
@@ -71,6 +75,7 @@ int RegressionTree::GrowNode(const Matrix& x, const std::vector<double>& grad,
           right_hess < options.min_child_weight) {
         continue;
       }
+      ++splits_evaluated;
       const double gain =
           0.5 * (ScoreTerm(left_grad, left_hess, options.reg_lambda) +
                  ScoreTerm(right_grad, right_hess, options.reg_lambda) -
@@ -83,6 +88,12 @@ int RegressionTree::GrowNode(const Matrix& x, const std::vector<double>& grad,
       }
     }
   }
+
+  // One amortized registry update per node keeps the candidate scan free of
+  // atomics.
+  static obs::Counter& split_counter =
+      obs::MetricsRegistry::Get().GetCounter("gbdt/splits_evaluated");
+  split_counter.Add(splits_evaluated);
 
   if (best.feature < 0 || best.gain <= 0.0) return node_index;
 
@@ -177,6 +188,7 @@ Status GbdtRegressor::Fit(const Matrix& x, const Matrix& y,
       options_.colsample > 1.0) {
     return Status::InvalidArgument("invalid GBDT hyperparameters");
   }
+  AMS_TRACE_SPAN("gbdt/fit");
   const bool has_valid = valid_x != nullptr && valid_y != nullptr &&
                          valid_x->rows() > 0;
   if (options_.early_stopping_rounds > 0 && !has_valid) {
@@ -226,8 +238,13 @@ Status GbdtRegressor::Fit(const Matrix& x, const Matrix& y,
               }()
             : rng.SampleWithoutReplacement(num_features_, cols_per_tree);
 
-    RegressionTree tree =
-        RegressionTree::Grow(x, grad, hess, rows, features, options_);
+    RegressionTree tree = [&] {
+      AMS_TRACE_SPAN("gbdt/tree_fit");
+      return RegressionTree::Grow(x, grad, hess, rows, features, options_);
+    }();
+    static obs::Counter& tree_counter =
+        obs::MetricsRegistry::Get().GetCounter("gbdt/trees_grown");
+    tree_counter.Increment();
     for (int r = 0; r < n; ++r) {
       pred[r] += options_.learning_rate * tree.PredictRow(x.row_data(r));
     }

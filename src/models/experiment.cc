@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "models/hpo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/logging.h"
 
@@ -85,8 +87,10 @@ Result<ExperimentResult> RunExperimentOnPanel(const data::Panel& panel,
   result.models.resize(zoo.size());
   for (size_t m = 0; m < zoo.size(); ++m) result.models[m].name = zoo[m].name;
 
+  AMS_TRACE_SPAN("exp/run");
   Rng seed_rng(config.seed ^ 0xA5A5A5A5ULL);
   for (size_t f = 0; f < result.cv_folds.size(); ++f) {
+    AMS_TRACE_SPAN("exp/fold");
     const data::CvFold& fold = result.cv_folds[f];
     AMS_ASSIGN_OR_RETURN(data::Dataset train,
                          builder.Build(fold.train_quarters));
@@ -112,6 +116,8 @@ Result<ExperimentResult> RunExperimentOnPanel(const data::Panel& panel,
     std::vector<Status> statuses(zoo.size());
     std::vector<FoldOutcome> outcomes(zoo.size());
     auto run_model = [&](size_t m) {
+      AMS_TRACE_SPAN("exp/model_fit");
+      obs::MetricsRegistry::Get().GetCounter("exp/models_fit").Increment();
       HpoOptions hpo;
       hpo.trials = config.hpo_trials;
       hpo.seed = fold_seed ^ (0x9E3779B97F4A7C15ULL * (m + 1));

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ams::models {
@@ -15,21 +17,28 @@ Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
   HpoOutcome outcome;
   double best = std::numeric_limits<double>::infinity();
   std::string last_error;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Counter& trial_counter = registry.GetCounter("hpo/trials");
+  obs::Counter& failed_counter = registry.GetCounter("hpo/trials_failed");
   for (int trial = 0; trial < trials; ++trial) {
+    AMS_TRACE_SPAN("hpo/trial");
     Rng trial_rng = rng.Fork();
     std::unique_ptr<Regressor> model = spec.factory(&trial_rng);
     FitContext trial_context = context;
     trial_context.seed = trial_rng.NextU64();
     ++outcome.trials_run;
+    trial_counter.Increment();
     Status fit_status = model->Fit(trial_context);
     if (!fit_status.ok()) {
       ++outcome.trials_failed;
+      failed_counter.Increment();
       last_error = fit_status.ToString();
       continue;
     }
     auto rmse = ValidationRmse(*model, *context.valid);
     if (!rmse.ok()) {
       ++outcome.trials_failed;
+      failed_counter.Increment();
       last_error = rmse.status().ToString();
       continue;
     }

@@ -4,6 +4,8 @@
 #include <functional>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 
 namespace ams::models {
@@ -27,7 +29,11 @@ Status TrainLoop(std::vector<Tensor> params,
   best_params.reserve(params.size());
   for (const Tensor& p : params) best_params.push_back(p.value());
   int since_best = 0;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Counter& epoch_counter = registry.GetCounter("nn/train/epochs");
+  obs::Gauge& loss_gauge = registry.GetGauge("nn/train/loss");
   for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    AMS_TRACE_SPAN("nn/train/epoch");
     optimizer.ZeroGrad();
     Tensor loss = train_loss();
     if (!loss.value().AllFinite()) {
@@ -36,6 +42,8 @@ Status TrainLoop(std::vector<Tensor> params,
     tensor::Backward(loss);
     if (options.grad_clip > 0.0) optimizer.ClipGradNorm(options.grad_clip);
     optimizer.Step();
+    epoch_counter.Increment();
+    loss_gauge.Set(loss.value()(0, 0));
 
     const double v = valid_loss();
     if (v < best - 1e-9) {

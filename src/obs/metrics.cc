@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace ams::obs {
+
+Histogram::Histogram(std::string name, std::vector<double> bucket_bounds)
+    : name_(std::move(name)),
+      bounds_([&] {
+        if (bucket_bounds.empty()) bucket_bounds = ExponentialBounds();
+        std::sort(bucket_bounds.begin(), bucket_bounds.end());
+        return bucket_bounds;
+      }()),
+      buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::ExponentialBounds(double base, double growth,
+                                                 int count) {
+  AMS_DCHECK(base > 0.0 && growth > 1.0 && count > 0,
+             "invalid histogram bounds spec");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double edge = base;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= growth;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& counter : counters_) {
+    if (counter.name() == name) return counter;
+  }
+  return counters_.emplace_back(name);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Gauge& gauge : gauges_) {
+    if (gauge.name() == name) return gauge;
+  }
+  return gauges_.emplace_back(name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bucket_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Histogram& histogram : histograms_) {
+    if (histogram.name() == name) return histogram;
+  }
+  return histograms_.emplace_back(name, std::move(bucket_bounds));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const Counter& counter : counters_) {
+    snapshot.counters.push_back({counter.name(), counter.value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const Gauge& gauge : gauges_) {
+    snapshot.gauges.push_back({gauge.name(), gauge.value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const Histogram& histogram : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = histogram.name();
+    value.count = histogram.count();
+    value.sum = histogram.sum();
+    value.bucket_bounds = histogram.bucket_bounds();
+    value.bucket_counts = histogram.bucket_counts();
+    snapshot.histograms.push_back(std::move(value));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& counter : counters_) counter.Reset();
+  for (Gauge& gauge : gauges_) gauge.Reset();
+  for (Histogram& histogram : histograms_) histogram.Reset();
+}
+
+}  // namespace ams::obs

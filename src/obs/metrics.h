@@ -1,0 +1,164 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms with a lock-free fast path.
+//
+// Instruments are registered lazily and live for the life of the process, so
+// call sites cache the returned reference once and then update it with plain
+// std::atomic operations:
+//
+//   static obs::Counter& splits =
+//       obs::MetricsRegistry::Get().GetCounter("gbdt/splits_evaluated");
+//   splits.Add(n);
+//
+// The registry lock is only taken on first registration and when taking a
+// snapshot; increments never contend. `MetricsRegistry::Snapshot()` returns a
+// plain-struct copy suitable for serialization (see obs/report.h).
+#ifndef AMS_OBS_METRICS_H_
+#define AMS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ams::obs {
+
+/// Monotonically increasing integer (events, items processed).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins floating point value (loss, learning rate, norm).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  const std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over doubles. Bucket i counts observations with
+/// value <= bounds[i]; one implicit overflow bucket catches the rest. The
+/// running sum uses a compare-exchange loop (no atomic<double>::fetch_add
+/// before C++20 on all targets), which is still wait-free in practice for
+/// our contention levels.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bucket_bounds);
+
+  void Observe(double value);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Per-bucket counts, length bounds.size() + 1 (last = overflow).
+  std::vector<uint64_t> bucket_counts() const;
+
+  void Reset();
+
+  /// Exponential bounds {base, base*growth, ...} with `count` entries;
+  /// the default suits millisecond-scale timings (0.01 ms .. ~5 s).
+  static std::vector<double> ExponentialBounds(double base = 0.01,
+                                               double growth = 2.0,
+                                               int count = 20);
+
+ private:
+  const std::string name_;
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Plain-data view of the registry at one instant.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> bucket_bounds;
+    std::vector<uint64_t> bucket_counts;  // bounds.size() + 1
+    double mean() const { return count > 0 ? sum / count : 0.0; }
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Process-wide instrument owner. Thread-safe; instruments returned by the
+/// Get*() accessors remain valid until process exit (Reset() zeroes values
+/// but never invalidates references).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. Requesting an existing name with a different instrument kind is a
+  /// programming error and aborts in debug builds; in release the existing
+  /// instrument of the requested kind is shadowed by a fresh one.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bucket_bounds` is only consulted on first registration.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bucket_bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument (references stay valid). Intended
+  /// for tests and for benchmarks that reuse the process.
+  void ResetAll();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // Deques: stable addresses across growth, so returned references outlive
+  // later registrations.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace ams::obs
+
+#endif  // AMS_OBS_METRICS_H_

@@ -1,0 +1,176 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <mutex>
+
+#include "obs/trace.h"
+#include "util/string_util.h"
+
+namespace ams::obs {
+
+namespace {
+
+/// Shortest round-trippable double representation, valid JSON (no bare
+/// "inf"/"nan" — those serialize as null).
+std::string JsonNumber(double value) {
+  if (!(value == value)) return "null";
+  if (value == std::numeric_limits<double>::infinity()) return "null";
+  if (value == -std::numeric_limits<double>::infinity()) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest form that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    if (std::strtod(candidate, nullptr) == value) {
+      return candidate;
+    }
+  }
+  return buf;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+/// Human-friendly quantity for the text table: full precision is noise
+/// there, four significant decimals are plenty.
+std::string TextNumber(double value) { return FormatDouble(value, 4); }
+
+}  // namespace
+
+TelemetryMode TelemetryModeFromEnv() {
+  const char* env = std::getenv("AMS_TELEMETRY");
+  if (env == nullptr) return TelemetryMode::kOff;
+  const std::string mode(env);
+  if (mode == "text") return TelemetryMode::kText;
+  if (mode == "json") return TelemetryMode::kJson;
+  return TelemetryMode::kOff;
+}
+
+void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& out) {
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << JsonString(snapshot.counters[i].name) << ":"
+        << snapshot.counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << JsonString(snapshot.gauges[i].name) << ":"
+        << JsonNumber(snapshot.gauges[i].value);
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) out << ",";
+    out << JsonString(h.name) << ":{\"count\":" << h.count
+        << ",\"sum\":" << JsonNumber(h.sum)
+        << ",\"mean\":" << JsonNumber(h.mean()) << ",\"buckets\":[";
+    bool first = true;
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (h.bucket_counts[b] == 0) continue;  // sparse: drop empty buckets
+      if (!first) out << ",";
+      first = false;
+      out << "{\"le\":"
+          << (b < h.bucket_bounds.size() ? JsonNumber(h.bucket_bounds[b])
+                                         : std::string("null"))
+          << ",\"count\":" << h.bucket_counts[b] << "}";
+    }
+    out << "]}";
+  }
+  out << "}}\n";
+}
+
+void WriteTextReport(const MetricsSnapshot& snapshot, std::ostream& out) {
+  out << "--- telemetry report ---\n";
+  if (!snapshot.counters.empty()) {
+    std::vector<std::vector<std::string>> rows = {{"counter", "value"}};
+    for (const auto& counter : snapshot.counters) {
+      rows.push_back({counter.name, std::to_string(counter.value)});
+    }
+    out << RenderTable(rows);
+  }
+  if (!snapshot.gauges.empty()) {
+    std::vector<std::vector<std::string>> rows = {{"gauge", "value"}};
+    for (const auto& gauge : snapshot.gauges) {
+      rows.push_back({gauge.name, TextNumber(gauge.value)});
+    }
+    out << RenderTable(rows);
+  }
+  if (!snapshot.histograms.empty()) {
+    std::vector<std::vector<std::string>> rows = {
+        {"histogram", "count", "mean", "sum"}};
+    for (const auto& h : snapshot.histograms) {
+      rows.push_back({h.name, std::to_string(h.count), TextNumber(h.mean()),
+                      TextNumber(h.sum)});
+    }
+    out << RenderTable(rows);
+  }
+  out << "------------------------\n";
+}
+
+void FlushReport(TelemetryMode mode, std::ostream& out) {
+  if (mode == TelemetryMode::kOff) return;
+  const MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+  if (snapshot.empty()) return;
+  if (mode == TelemetryMode::kJson) {
+    WriteJsonReport(snapshot, out);
+  } else {
+    WriteTextReport(snapshot, out);
+  }
+  out.flush();
+}
+
+namespace {
+
+void ExitReporter() {
+  FlushReport(TelemetryModeFromEnv(), std::cerr);
+  const char* trace_path = std::getenv("AMS_TRACE_FILE");
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    std::ofstream out(trace_path);
+    if (out) {
+      TraceExporter::WriteJson(out);
+    } else {
+      std::cerr << "telemetry: cannot open AMS_TRACE_FILE " << trace_path
+                << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+void InstallExitReporter() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* trace_path = std::getenv("AMS_TRACE_FILE");
+    if (trace_path != nullptr && trace_path[0] != '\0') {
+      TraceBuffer::Get().SetEnabled(true);
+    }
+    std::atexit(ExitReporter);
+  });
+}
+
+}  // namespace ams::obs

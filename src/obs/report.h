@@ -1,0 +1,57 @@
+// Telemetry reporting: serialize a MetricsSnapshot as JSON or as an
+// aligned-column text table, and optionally flush one report at process
+// exit.
+//
+// Behavior is controlled by environment variables:
+//   AMS_TELEMETRY=text   human-readable table on stderr at exit
+//   AMS_TELEMETRY=json   one JSON object on stderr at exit
+//   AMS_TELEMETRY=off    (or unset) no output — zero telemetry bytes
+//   AMS_TRACE_FILE=path  enable the span buffer and write Chrome trace-event
+//                        JSON to `path` at exit (independent of the above)
+//
+// Binaries opt in with one call at the top of main():
+//
+//   int main(...) {
+//     ams::obs::InstallExitReporter();
+//     ...
+//   }
+//
+// Reports go to stderr so instrumented CLIs keep their stdout byte-identical
+// to the uninstrumented build.
+#ifndef AMS_OBS_REPORT_H_
+#define AMS_OBS_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ams::obs {
+
+enum class TelemetryMode { kOff, kText, kJson };
+
+/// Parses AMS_TELEMETRY ("off" | "text" | "json", case-sensitive; unset or
+/// unrecognized values mean kOff).
+TelemetryMode TelemetryModeFromEnv();
+
+/// Serializes `snapshot` as a single JSON object:
+///   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
+///    buckets:[{le,count},...]}}}
+void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Serializes `snapshot` as aligned-column text tables (one section per
+/// instrument kind; empty sections are omitted).
+void WriteTextReport(const MetricsSnapshot& snapshot, std::ostream& out);
+
+/// Takes a registry snapshot and writes it to `out` in `mode`; no-op when
+/// mode is kOff or the snapshot is empty.
+void FlushReport(TelemetryMode mode, std::ostream& out);
+
+/// Registers an atexit hook that (a) flushes a report to stderr per
+/// AMS_TELEMETRY and (b) writes Chrome trace JSON to AMS_TRACE_FILE if that
+/// variable is set (enabling the span buffer immediately). Idempotent.
+void InstallExitReporter();
+
+}  // namespace ams::obs
+
+#endif  // AMS_OBS_REPORT_H_

@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace ams::obs {
+
+namespace {
+
+/// Process-wide time origin so span timestamps from all threads share one
+/// axis.
+std::chrono::steady_clock::time_point ProcessOrigin() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return origin;
+}
+
+uint64_t MicrosSince(std::chrono::steady_clock::time_point origin,
+                     std::chrono::steady_clock::time_point t) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(t - origin)
+          .count();
+  return us > 0 ? static_cast<uint64_t>(us) : 0;
+}
+
+thread_local uint32_t t_span_depth = 0;
+
+}  // namespace
+
+TraceBuffer& TraceBuffer::Get() {
+  static TraceBuffer* buffer = new TraceBuffer();  // never freed
+  return *buffer;
+}
+
+void TraceBuffer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, capacity);
+  if (spans_.size() > capacity_) {
+    dropped_ += spans_.size() - capacity_;
+    spans_.erase(spans_.begin(),
+                 spans_.begin() + (spans_.size() - capacity_));
+  }
+}
+
+void TraceBuffer::Record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    spans_.erase(spans_.begin());
+    ++dropped_;
+  }
+  spans_.push_back(span);
+}
+
+std::vector<SpanRecord> TraceBuffer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.swap(spans_);
+  return out;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+uint32_t TraceBuffer::CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(name),
+      // Pin the process origin before reading the clock so the first span's
+      // start is never earlier than the origin.
+      start_((ProcessOrigin(), std::chrono::steady_clock::now())),
+      histogram_(&MetricsRegistry::Get().GetHistogram(std::string(name) +
+                                                      "/ms")) {
+  ++t_span_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  const auto end = std::chrono::steady_clock::now();
+  --t_span_depth;
+  const double ms =
+      std::chrono::duration<double, std::milli>(end - start_).count();
+  histogram_->Observe(ms);
+  TraceBuffer& buffer = TraceBuffer::Get();
+  if (buffer.enabled()) {
+    SpanRecord span;
+    span.name = name_;
+    span.start_us = MicrosSince(ProcessOrigin(), start_);
+    span.duration_us = MicrosSince(start_, end);
+    span.thread_id = TraceBuffer::CurrentThreadId();
+    span.depth = t_span_depth;
+    buffer.Record(span);
+  }
+}
+
+void TraceExporter::WriteJson(const std::vector<SpanRecord>& spans,
+                              std::ostream& out) {
+  // Chrome trace-event format: an object with a "traceEvents" array of
+  // complete events (ph == "X"). Span names come from AMS_TRACE_SPAN string
+  // literals, so no JSON escaping is required beyond what we emit.
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << (span.name != nullptr ? span.name : "?")
+        << "\",\"cat\":\"ams\",\"ph\":\"X\",\"ts\":" << span.start_us
+        << ",\"dur\":" << span.duration_us
+        << ",\"pid\":0,\"tid\":" << span.thread_id << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceExporter::WriteJson(std::ostream& out) {
+  WriteJson(TraceBuffer::Get().Snapshot(), out);
+}
+
+namespace internal {
+uint32_t CurrentSpanDepth() { return t_span_depth; }
+}  // namespace internal
+
+}  // namespace ams::obs

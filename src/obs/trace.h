@@ -1,0 +1,124 @@
+// Scoped trace spans: wall-time instrumentation of code regions.
+//
+//   void Fit(...) {
+//     AMS_TRACE_SPAN("ams/train/fit");
+//     for (...) {
+//       AMS_TRACE_SPAN("ams/train/epoch");
+//       ...
+//     }
+//   }
+//
+// Every span records its duration (milliseconds) into the histogram
+// "<name>/ms" in the MetricsRegistry, so timing statistics are always
+// available in reports. Additionally, when the in-memory trace buffer is
+// enabled (TraceBuffer::SetEnabled, or AMS_TRACE_FILE via obs/report.h),
+// each span appends a begin/duration record that TraceExporter::WriteJson
+// serializes in Chrome trace-event format — load the file in
+// chrome://tracing or https://ui.perfetto.dev to see the nested timeline.
+//
+// Spans nest naturally (the RAII object tracks a thread-local depth) and are
+// cheap when the buffer is disabled: one steady_clock read on entry and one
+// on exit plus a histogram observe.
+#ifndef AMS_OBS_TRACE_H_
+#define AMS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ams::obs {
+
+/// One completed span. Times are microseconds relative to an arbitrary
+/// process-wide origin (steady clock), as Chrome trace events expect.
+struct SpanRecord {
+  const char* name = nullptr;  // static string from AMS_TRACE_SPAN
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint32_t thread_id = 0;  // small dense id, stable per thread
+  uint32_t depth = 0;      // nesting depth at entry, 0 = outermost
+};
+
+/// Global bounded buffer of completed spans. Disabled by default; when
+/// disabled, ScopedSpan skips it entirely (one relaxed atomic load).
+class TraceBuffer {
+ public:
+  static TraceBuffer& Get();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops the oldest spans once the buffer holds `capacity` records.
+  void SetCapacity(size_t capacity);
+
+  void Record(const SpanRecord& span);
+  std::vector<SpanRecord> Drain();
+  std::vector<SpanRecord> Snapshot() const;
+  void Clear();
+
+  /// Dense id for the calling thread (0 for the first thread seen).
+  static uint32_t CurrentThreadId();
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+ private:
+  TraceBuffer() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  size_t capacity_ = 1 << 20;
+  size_t dropped_ = 0;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span. Prefer the AMS_TRACE_SPAN macro; `name` must outlive the
+/// process (string literal).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  Histogram* histogram_;  // "<name>/ms", cached per call site is overkill —
+                          // the registry lookup is one mutex + short scan.
+};
+
+/// Serializes spans as Chrome trace-event JSON ("traceEvents" array of
+/// complete "X" events). The output loads in chrome://tracing / Perfetto.
+class TraceExporter {
+ public:
+  /// Writes `spans` (e.g. TraceBuffer::Get().Snapshot()) to `out`.
+  static void WriteJson(const std::vector<SpanRecord>& spans,
+                        std::ostream& out);
+  /// Convenience: snapshot of the global buffer.
+  static void WriteJson(std::ostream& out);
+};
+
+namespace internal {
+/// Current span nesting depth on this thread (for tests / exporters).
+uint32_t CurrentSpanDepth();
+}  // namespace internal
+
+}  // namespace ams::obs
+
+#define AMS_OBS_CONCAT_INNER(a, b) a##b
+#define AMS_OBS_CONCAT(a, b) AMS_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope under `name` (a string literal).
+#define AMS_TRACE_SPAN(name) \
+  ::ams::obs::ScopedSpan AMS_OBS_CONCAT(ams_trace_span_, __LINE__)(name)
+
+#endif  // AMS_OBS_TRACE_H_

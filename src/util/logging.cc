@@ -1,8 +1,17 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+
 namespace ams {
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<bool> g_timestamps{false};
+std::atomic<std::ostream*> g_sink{nullptr};  // nullptr = stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -17,26 +26,64 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Small dense per-thread id (0 for the first logging thread).
+uint32_t LoggingThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogTimestamps(bool enabled) {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+void SetLogSink(std::ostream* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
 
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level) {
-  if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p != '\0'; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+bool LogEnabled(LogLevel level) {
+  return level >= g_level.load(std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) {
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+    const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            now.time_since_epoch())
+                            .count() %
+                        1000;
+    std::tm tm_buf{};
+    localtime_r(&seconds, &tm_buf);
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                  tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+    stream_ << stamp << " t" << LoggingThreadId() << " ";
   }
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  stream_ << "\n";
+  std::ostream* sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) sink = &std::cerr;
+  // One operator<< call so concurrent log lines don't interleave mid-line.
+  *sink << stream_.str() << std::flush;
 }
 
 }  // namespace internal

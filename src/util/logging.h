@@ -1,10 +1,9 @@
-// Minimal leveled logging to stderr.
+// Minimal leveled logging (default sink: stderr).
 #ifndef AMS_UTIL_LOGGING_H_
 #define AMS_UTIL_LOGGING_H_
 
-#include <iostream>
+#include <ostream>
 #include <sstream>
-#include <string>
 
 namespace ams {
 
@@ -14,29 +13,53 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// When enabled, each line is additionally prefixed with a wall-clock
+/// timestamp ("HH:MM:SS.mmm") and a small dense id of the logging thread.
+/// Off by default (keeps existing output stable).
+void SetLogTimestamps(bool enabled);
+
+/// Redirects log output; pass nullptr to restore stderr. The sink must
+/// outlive all logging from it. Each message is written with a single
+/// operator<< call, but the sink itself is not locked — swap sinks only in
+/// quiescent phases (e.g. test setup), not while other threads log.
+void SetLogSink(std::ostream* sink);
+
 namespace internal {
 
-/// Accumulates one log line and flushes it to stderr on destruction.
+/// True when `level` clears the active threshold (used by AMS_LOG to skip
+/// message construction entirely).
+bool LogEnabled(LogLevel level);
+
+/// Accumulates one log line and flushes it to the sink on destruction.
+/// Only constructed for enabled levels — see AMS_LOG.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
   ~LogMessage();
 
-  template <typename T>
-  LogMessage& operator<<(const T& value) {
-    if (enabled_) stream_ << value;
-    return *this;
-  }
+  std::ostream& stream() { return stream_; }
 
  private:
-  bool enabled_;
   std::ostringstream stream_;
+};
+
+/// Lowers the streamed expression to void inside AMS_LOG's conditional.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
 };
 
 }  // namespace internal
 }  // namespace ams
 
-#define AMS_LOG(level)                                                \
-  ::ams::internal::LogMessage(::ams::LogLevel::k##level, __FILE__, __LINE__)
+/// Leveled log line: AMS_LOG(Info) << "x = " << x;
+/// When `level` is below the active threshold the streamed arguments are
+/// NOT evaluated — do not rely on side effects inside log statements.
+#define AMS_LOG(level)                                                   \
+  !::ams::internal::LogEnabled(::ams::LogLevel::k##level)                \
+      ? (void)0                                                          \
+      : ::ams::internal::LogVoidify() &                                  \
+            ::ams::internal::LogMessage(::ams::LogLevel::k##level,       \
+                                        __FILE__, __LINE__)              \
+                .stream()
 
 #endif  // AMS_UTIL_LOGGING_H_

@@ -1,0 +1,433 @@
+// Unit tests for the telemetry subsystem (src/obs) and the logging
+// satellites: instrument semantics, concurrent exactness, span nesting,
+// report shapes, AMS_TELEMETRY=off silence, and AMS_LOG short-circuiting.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace ams::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Instrument semantics.
+
+TEST(CounterTest, IncrementAndAdd) {
+  Counter counter("test/counter");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge("test/gauge");
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(3.5);
+  gauge.Set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(HistogramTest, BucketPlacement) {
+  Histogram histogram("test/hist", {1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0 (<= 1)
+  histogram.Observe(1.0);    // bucket 0 (boundary is inclusive)
+  histogram.Observe(5.0);    // bucket 1
+  histogram.Observe(50.0);   // bucket 2
+  histogram.Observe(1e6);    // overflow bucket
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 5.0 + 50.0 + 1e6);
+  const std::vector<uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, ExponentialBoundsAreSortedAndPositive) {
+  const std::vector<double> bounds = Histogram::ExponentialBounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_GT(bounds.front(), 0.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(RegistryTest, LazyRegistrationReturnsSameInstrument) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  Counter& a = registry.GetCounter("registry_test/lazy");
+  Counter& b = registry.GetCounter("registry_test/lazy");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.value(), 7u);
+
+  Histogram& h1 = registry.GetHistogram("registry_test/hist", {1.0, 2.0});
+  Histogram& h2 = registry.GetHistogram("registry_test/hist", {9.0});
+  EXPECT_EQ(&h1, &h2);  // bounds only consulted on first registration
+  EXPECT_EQ(h2.bucket_bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotContainsRegisteredInstruments) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetCounter("snapshot_test/counter").Add(3);
+  registry.GetGauge("snapshot_test/gauge").Set(2.5);
+  registry.GetHistogram("snapshot_test/hist", {1.0}).Observe(0.5);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  bool found_counter = false;
+  bool found_gauge = false;
+  bool found_hist = false;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "snapshot_test/counter") {
+      found_counter = true;
+      EXPECT_EQ(counter.value, 3u);
+    }
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "snapshot_test/gauge") {
+      found_gauge = true;
+      EXPECT_EQ(gauge.value, 2.5);
+    }
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == "snapshot_test/hist") {
+      found_hist = true;
+      EXPECT_EQ(histogram.count, 1u);
+      EXPECT_EQ(histogram.bucket_counts.size(),
+                histogram.bucket_bounds.size() + 1);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+  EXPECT_TRUE(found_gauge);
+  EXPECT_TRUE(found_hist);
+  // Snapshots are sorted by name for stable reports.
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LE(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: exact totals under parallel mutation (run under
+// -DAMS_SANITIZE=thread to validate the lock-free fast path).
+
+TEST(RegistryTest, ConcurrentCounterIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  Counter& counter = registry.GetCounter("concurrent_test/counter");
+  counter.Reset();
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      // Half the threads also exercise lazy lookup to stress registration.
+      Counter& same =
+          MetricsRegistry::Get().GetCounter("concurrent_test/counter");
+      for (int i = 0; i < kIncrementsPerThread; ++i) same.Increment();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(RegistryTest, ConcurrentHistogramObservationsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kObservationsPerThread = 5000;
+  Histogram& histogram = MetricsRegistry::Get().GetHistogram(
+      "concurrent_test/hist", {0.5, 1.5, 2.5});
+  histogram.Reset();
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&histogram, t] {
+      for (int i = 0; i < kObservationsPerThread; ++i) {
+        histogram.Observe(static_cast<double>(t % 4));  // buckets 0..3
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const uint64_t expected =
+      static_cast<uint64_t>(kThreads) * kObservationsPerThread;
+  EXPECT_EQ(histogram.count(), expected);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : histogram.bucket_counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, expected);
+  // Sum is CAS-accumulated: every observation lands exactly once.
+  // Each thread contributes kObservationsPerThread * (t % 4).
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<double>(t % 4) * kObservationsPerThread;
+  }
+  EXPECT_DOUBLE_EQ(histogram.sum(), expected_sum);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+
+TEST(TraceTest, SpanRecordsHistogramAndNesting) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  Histogram& outer_hist =
+      MetricsRegistry::Get().GetHistogram(std::string("trace_test/outer") +
+                                          "/ms");
+  outer_hist.Reset();
+
+  {
+    AMS_TRACE_SPAN("trace_test/outer");
+    {
+      AMS_TRACE_SPAN("trace_test/inner");
+    }
+    {
+      AMS_TRACE_SPAN("trace_test/inner");
+    }
+  }
+  buffer.SetEnabled(false);
+
+  EXPECT_EQ(outer_hist.count(), 1u);
+
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);  // spans complete innermost-first
+  EXPECT_STREQ(spans[0].name, "trace_test/inner");
+  EXPECT_STREQ(spans[1].name, "trace_test/inner");
+  EXPECT_STREQ(spans[2].name, "trace_test/outer");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].depth, 0u);
+  // Children are contained in the parent's [start, start + duration].
+  for (int child : {0, 1}) {
+    EXPECT_GE(spans[child].start_us, spans[2].start_us);
+    EXPECT_LE(spans[child].start_us + spans[child].duration_us,
+              spans[2].start_us + spans[2].duration_us);
+  }
+  EXPECT_EQ(internal::CurrentSpanDepth(), 0u);
+}
+
+TEST(TraceTest, DisabledBufferRecordsNothing) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(false);
+  {
+    AMS_TRACE_SPAN("trace_test/disabled");
+  }
+  EXPECT_TRUE(buffer.Snapshot().empty());
+  // The timing histogram still records (always-on metrics path).
+  EXPECT_GE(MetricsRegistry::Get()
+                .GetHistogram("trace_test/disabled/ms")
+                .count(),
+            1u);
+}
+
+TEST(TraceTest, BufferCapacityDropsOldest) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetCapacity(2);
+  buffer.SetEnabled(true);
+  for (int i = 0; i < 5; ++i) {
+    AMS_TRACE_SPAN("trace_test/capacity");
+  }
+  buffer.SetEnabled(false);
+  EXPECT_EQ(buffer.Snapshot().size(), 2u);
+  buffer.SetCapacity(1 << 20);
+  buffer.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// JSON well-formedness. A minimal structural validator: balanced
+// brackets/braces outside strings, no trailing garbage.
+
+bool JsonIsBalanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(TraceTest, ChromeTraceJsonShape) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  {
+    AMS_TRACE_SPAN("trace_test/json_outer");
+    AMS_TRACE_SPAN("trace_test/json_inner");
+  }
+  buffer.SetEnabled(false);
+
+  std::ostringstream out;
+  TraceExporter::WriteJson(out);
+  const std::string json = out.str();
+
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  // Chrome trace-event format essentials: a traceEvents array of complete
+  // ("X") events carrying ts/dur/pid/tid.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("trace_test/json_outer"), std::string::npos);
+  EXPECT_NE(json.find("trace_test/json_inner"), std::string::npos);
+  buffer.Clear();
+}
+
+TEST(ReportTest, JsonSnapshotRoundTripShape) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetCounter("report_test/counter").Add(11);
+  registry.GetGauge("report_test/gauge").Set(0.5);
+  registry.GetHistogram("report_test/hist", {1.0, 2.0}).Observe(1.5);
+
+  std::ostringstream out;
+  WriteJsonReport(registry.Snapshot(), out);
+  const std::string json = out.str();
+
+  EXPECT_TRUE(JsonIsBalanced(json)) << json;
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"report_test/counter\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"report_test/gauge\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"report_test/hist\":{\"count\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"le\":2,\"count\":1"), std::string::npos);
+}
+
+TEST(ReportTest, TextReportContainsInstruments) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetCounter("text_report_test/counter").Add(5);
+  std::ostringstream out;
+  WriteTextReport(registry.Snapshot(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("telemetry report"), std::string::npos);
+  EXPECT_NE(text.find("text_report_test/counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// AMS_TELEMETRY env handling and off-mode silence.
+
+TEST(ReportTest, TelemetryModeFromEnv) {
+  ::setenv("AMS_TELEMETRY", "text", 1);
+  EXPECT_EQ(TelemetryModeFromEnv(), TelemetryMode::kText);
+  ::setenv("AMS_TELEMETRY", "json", 1);
+  EXPECT_EQ(TelemetryModeFromEnv(), TelemetryMode::kJson);
+  ::setenv("AMS_TELEMETRY", "off", 1);
+  EXPECT_EQ(TelemetryModeFromEnv(), TelemetryMode::kOff);
+  ::setenv("AMS_TELEMETRY", "bogus", 1);
+  EXPECT_EQ(TelemetryModeFromEnv(), TelemetryMode::kOff);
+  ::unsetenv("AMS_TELEMETRY");
+  EXPECT_EQ(TelemetryModeFromEnv(), TelemetryMode::kOff);
+}
+
+TEST(ReportTest, OffModeEmitsNothing) {
+  // Even with registered, non-zero instruments, kOff must write zero bytes.
+  MetricsRegistry::Get().GetCounter("off_test/counter").Add(1);
+  std::ostringstream out;
+  FlushReport(TelemetryMode::kOff, out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Logging satellites.
+
+TEST(LoggingTest, SinkCapturesOutput) {
+  std::ostringstream capture;
+  SetLogSink(&capture);
+  AMS_LOG(Warning) << "captured " << 42;
+  SetLogSink(nullptr);
+  const std::string line = capture.str();
+  EXPECT_NE(line.find("[WARN"), std::string::npos);
+  EXPECT_NE(line.find("captured 42"), std::string::npos);
+  EXPECT_NE(line.find("obs_test.cc"), std::string::npos);
+}
+
+TEST(LoggingTest, TimestampPrefixIsOptional) {
+  std::ostringstream capture;
+  SetLogSink(&capture);
+  AMS_LOG(Warning) << "plain";
+  const std::string plain = capture.str();
+  EXPECT_EQ(plain.find("[WARN"), 0u);  // no prefix before the level tag
+
+  capture.str("");
+  SetLogTimestamps(true);
+  AMS_LOG(Warning) << "stamped";
+  SetLogTimestamps(false);
+  SetLogSink(nullptr);
+  const std::string stamped = capture.str();
+  // "HH:MM:SS.mmm tN [WARN ...": the level tag no longer leads the line.
+  EXPECT_GT(stamped.find("[WARN"), 0u);
+  EXPECT_EQ(stamped[2], ':');
+  EXPECT_EQ(stamped[5], ':');
+  EXPECT_EQ(stamped[8], '.');
+  EXPECT_NE(stamped.find(" t"), std::string::npos);
+}
+
+TEST(LoggingTest, DisabledLevelSkipsArgumentEvaluation) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  std::ostringstream capture;
+  SetLogSink(&capture);
+  int evaluations = 0;
+  auto side_effect = [&evaluations] {
+    ++evaluations;
+    return "evaluated";
+  };
+  AMS_LOG(Debug) << side_effect();  // below threshold: must not evaluate
+  AMS_LOG(Info) << side_effect();   // below threshold: must not evaluate
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(capture.str().empty());
+
+  AMS_LOG(Error) << side_effect();  // enabled: evaluates and logs
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(capture.str().find("evaluated"), std::string::npos);
+  SetLogSink(nullptr);
+  SetLogLevel(saved);
+}
+
+}  // namespace
+}  // namespace ams::obs
