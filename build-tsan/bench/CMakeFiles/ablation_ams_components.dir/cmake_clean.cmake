@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ams_components.dir/ablation_ams_components.cc.o"
+  "CMakeFiles/ablation_ams_components.dir/ablation_ams_components.cc.o.d"
+  "ablation_ams_components"
+  "ablation_ams_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ams_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

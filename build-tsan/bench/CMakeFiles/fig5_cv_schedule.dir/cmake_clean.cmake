@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cv_schedule.dir/fig5_cv_schedule.cc.o"
+  "CMakeFiles/fig5_cv_schedule.dir/fig5_cv_schedule.cc.o.d"
+  "fig5_cv_schedule"
+  "fig5_cv_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cv_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

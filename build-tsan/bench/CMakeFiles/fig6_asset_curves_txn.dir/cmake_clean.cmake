@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_asset_curves_txn.dir/fig6_asset_curves_txn.cc.o"
+  "CMakeFiles/fig6_asset_curves_txn.dir/fig6_asset_curves_txn.cc.o.d"
+  "fig6_asset_curves_txn"
+  "fig6_asset_curves_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_asset_curves_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

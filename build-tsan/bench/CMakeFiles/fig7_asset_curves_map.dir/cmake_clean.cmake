@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_asset_curves_map.dir/fig7_asset_curves_map.cc.o"
+  "CMakeFiles/fig7_asset_curves_map.dir/fig7_asset_curves_map.cc.o.d"
+  "fig7_asset_curves_map"
+  "fig7_asset_curves_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_asset_curves_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_interpretability.dir/fig8_interpretability.cc.o"
+  "CMakeFiles/fig8_interpretability.dir/fig8_interpretability.cc.o.d"
+  "fig8_interpretability"
+  "fig8_interpretability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interpretability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ba.dir/table1_ba.cc.o"
+  "CMakeFiles/table1_ba.dir/table1_ba.cc.o.d"
+  "table1_ba"
+  "table1_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sr.dir/table2_sr.cc.o"
+  "CMakeFiles/table2_sr.dir/table2_sr.cc.o.d"
+  "table2_sr"
+  "table2_sr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_backtest_txn.dir/table4_backtest_txn.cc.o"
+  "CMakeFiles/table4_backtest_txn.dir/table4_backtest_txn.cc.o.d"
+  "table4_backtest_txn"
+  "table4_backtest_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_backtest_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

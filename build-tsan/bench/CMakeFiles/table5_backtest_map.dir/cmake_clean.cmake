@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_backtest_map.dir/table5_backtest_map.cc.o"
+  "CMakeFiles/table5_backtest_map.dir/table5_backtest_map.cc.o.d"
+  "table5_backtest_map"
+  "table5_backtest_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_backtest_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_backtest_map.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_data_value.dir/alt_data_value.cc.o"
+  "CMakeFiles/alt_data_value.dir/alt_data_value.cc.o.d"
+  "alt_data_value"
+  "alt_data_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_data_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("la")
+subdirs("tensor")
+subdirs("nn")
+subdirs("optim")
+subdirs("graph")
+subdirs("gnn")
+subdirs("linear")
+subdirs("gbdt")
+subdirs("seq")
+subdirs("ts")
+subdirs("data")
+subdirs("metrics")
+subdirs("backtest")
+subdirs("ams")
+subdirs("models")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_core.dir/ams_model.cc.o"
+  "CMakeFiles/ams_core.dir/ams_model.cc.o.d"
+  "libams_core.a"
+  "libams_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_backtest.dir/backtest.cc.o"
+  "CMakeFiles/ams_backtest.dir/backtest.cc.o.d"
+  "libams_backtest.a"
+  "libams_backtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_backtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

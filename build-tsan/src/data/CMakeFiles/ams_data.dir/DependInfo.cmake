@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cv.cc" "src/data/CMakeFiles/ams_data.dir/cv.cc.o" "gcc" "src/data/CMakeFiles/ams_data.dir/cv.cc.o.d"
+  "/root/repo/src/data/features.cc" "src/data/CMakeFiles/ams_data.dir/features.cc.o" "gcc" "src/data/CMakeFiles/ams_data.dir/features.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/ams_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/ams_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/panel.cc" "src/data/CMakeFiles/ams_data.dir/panel.cc.o" "gcc" "src/data/CMakeFiles/ams_data.dir/panel.cc.o.d"
+  "/root/repo/src/data/panel_io.cc" "src/data/CMakeFiles/ams_data.dir/panel_io.cc.o" "gcc" "src/data/CMakeFiles/ams_data.dir/panel_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/la/CMakeFiles/ams_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_data.dir/cv.cc.o"
+  "CMakeFiles/ams_data.dir/cv.cc.o.d"
+  "CMakeFiles/ams_data.dir/features.cc.o"
+  "CMakeFiles/ams_data.dir/features.cc.o.d"
+  "CMakeFiles/ams_data.dir/generator.cc.o"
+  "CMakeFiles/ams_data.dir/generator.cc.o.d"
+  "CMakeFiles/ams_data.dir/panel.cc.o"
+  "CMakeFiles/ams_data.dir/panel.cc.o.d"
+  "CMakeFiles/ams_data.dir/panel_io.cc.o"
+  "CMakeFiles/ams_data.dir/panel_io.cc.o.d"
+  "libams_data.a"
+  "libams_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

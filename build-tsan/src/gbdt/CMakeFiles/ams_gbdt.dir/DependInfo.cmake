@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbdt/gbdt.cc" "src/gbdt/CMakeFiles/ams_gbdt.dir/gbdt.cc.o" "gcc" "src/gbdt/CMakeFiles/ams_gbdt.dir/gbdt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/la/CMakeFiles/ams_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/ams_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_gbdt.dir/gbdt.cc.o"
+  "CMakeFiles/ams_gbdt.dir/gbdt.cc.o.d"
+  "libams_gbdt.a"
+  "libams_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

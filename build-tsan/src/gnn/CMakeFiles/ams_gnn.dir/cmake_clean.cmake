@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_gnn.dir/gat.cc.o"
+  "CMakeFiles/ams_gnn.dir/gat.cc.o.d"
+  "CMakeFiles/ams_gnn.dir/gcn.cc.o"
+  "CMakeFiles/ams_gnn.dir/gcn.cc.o.d"
+  "libams_gnn.a"
+  "libams_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_graph.dir/company_graph.cc.o"
+  "CMakeFiles/ams_graph.dir/company_graph.cc.o.d"
+  "libams_graph.a"
+  "libams_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_la.dir/matrix.cc.o"
+  "CMakeFiles/ams_la.dir/matrix.cc.o.d"
+  "CMakeFiles/ams_la.dir/stats.cc.o"
+  "CMakeFiles/ams_la.dir/stats.cc.o.d"
+  "libams_la.a"
+  "libams_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_linear.dir/linear_model.cc.o"
+  "CMakeFiles/ams_linear.dir/linear_model.cc.o.d"
+  "libams_linear.a"
+  "libams_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

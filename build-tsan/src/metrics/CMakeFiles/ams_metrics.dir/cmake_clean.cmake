@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_metrics.dir/metrics.cc.o"
+  "CMakeFiles/ams_metrics.dir/metrics.cc.o.d"
+  "libams_metrics.a"
+  "libams_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

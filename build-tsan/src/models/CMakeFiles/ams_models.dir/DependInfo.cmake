@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/ams_regressor.cc" "src/models/CMakeFiles/ams_models.dir/ams_regressor.cc.o" "gcc" "src/models/CMakeFiles/ams_models.dir/ams_regressor.cc.o.d"
+  "/root/repo/src/models/baselines.cc" "src/models/CMakeFiles/ams_models.dir/baselines.cc.o" "gcc" "src/models/CMakeFiles/ams_models.dir/baselines.cc.o.d"
+  "/root/repo/src/models/experiment.cc" "src/models/CMakeFiles/ams_models.dir/experiment.cc.o" "gcc" "src/models/CMakeFiles/ams_models.dir/experiment.cc.o.d"
+  "/root/repo/src/models/hpo.cc" "src/models/CMakeFiles/ams_models.dir/hpo.cc.o" "gcc" "src/models/CMakeFiles/ams_models.dir/hpo.cc.o.d"
+  "/root/repo/src/models/neural.cc" "src/models/CMakeFiles/ams_models.dir/neural.cc.o" "gcc" "src/models/CMakeFiles/ams_models.dir/neural.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/models/CMakeFiles/ams_models.dir/zoo.cc.o" "gcc" "src/models/CMakeFiles/ams_models.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ams/CMakeFiles/ams_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/ams_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gbdt/CMakeFiles/ams_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linear/CMakeFiles/ams_linear.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/metrics/CMakeFiles/ams_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/ams_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/ams_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optim/CMakeFiles/ams_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/seq/CMakeFiles/ams_seq.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ts/CMakeFiles/ams_ts.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gnn/CMakeFiles/ams_gnn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/ams_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/ams_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/ams_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

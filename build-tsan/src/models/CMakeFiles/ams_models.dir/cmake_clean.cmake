@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_models.dir/ams_regressor.cc.o"
+  "CMakeFiles/ams_models.dir/ams_regressor.cc.o.d"
+  "CMakeFiles/ams_models.dir/baselines.cc.o"
+  "CMakeFiles/ams_models.dir/baselines.cc.o.d"
+  "CMakeFiles/ams_models.dir/experiment.cc.o"
+  "CMakeFiles/ams_models.dir/experiment.cc.o.d"
+  "CMakeFiles/ams_models.dir/hpo.cc.o"
+  "CMakeFiles/ams_models.dir/hpo.cc.o.d"
+  "CMakeFiles/ams_models.dir/neural.cc.o"
+  "CMakeFiles/ams_models.dir/neural.cc.o.d"
+  "CMakeFiles/ams_models.dir/zoo.cc.o"
+  "CMakeFiles/ams_models.dir/zoo.cc.o.d"
+  "libams_models.a"
+  "libams_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_nn.dir/dense.cc.o"
+  "CMakeFiles/ams_nn.dir/dense.cc.o.d"
+  "CMakeFiles/ams_nn.dir/init.cc.o"
+  "CMakeFiles/ams_nn.dir/init.cc.o.d"
+  "libams_nn.a"
+  "libams_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_obs.dir/metrics.cc.o"
+  "CMakeFiles/ams_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/ams_obs.dir/report.cc.o"
+  "CMakeFiles/ams_obs.dir/report.cc.o.d"
+  "CMakeFiles/ams_obs.dir/trace.cc.o"
+  "CMakeFiles/ams_obs.dir/trace.cc.o.d"
+  "libams_obs.a"
+  "libams_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_optim.dir/optimizer.cc.o"
+  "CMakeFiles/ams_optim.dir/optimizer.cc.o.d"
+  "libams_optim.a"
+  "libams_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

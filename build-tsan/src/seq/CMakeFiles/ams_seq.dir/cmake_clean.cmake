@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_seq.dir/recurrent.cc.o"
+  "CMakeFiles/ams_seq.dir/recurrent.cc.o.d"
+  "libams_seq.a"
+  "libams_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

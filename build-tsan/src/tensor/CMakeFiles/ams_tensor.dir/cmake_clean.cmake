@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ams_tensor.dir/tensor.cc.o.d"
+  "libams_tensor.a"
+  "libams_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

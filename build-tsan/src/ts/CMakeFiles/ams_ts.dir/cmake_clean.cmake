@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_ts.dir/arima.cc.o"
+  "CMakeFiles/ams_ts.dir/arima.cc.o.d"
+  "libams_ts.a"
+  "libams_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_util.dir/csv.cc.o"
+  "CMakeFiles/ams_util.dir/csv.cc.o.d"
+  "CMakeFiles/ams_util.dir/logging.cc.o"
+  "CMakeFiles/ams_util.dir/logging.cc.o.d"
+  "CMakeFiles/ams_util.dir/rng.cc.o"
+  "CMakeFiles/ams_util.dir/rng.cc.o.d"
+  "CMakeFiles/ams_util.dir/status.cc.o"
+  "CMakeFiles/ams_util.dir/status.cc.o.d"
+  "CMakeFiles/ams_util.dir/string_util.cc.o"
+  "CMakeFiles/ams_util.dir/string_util.cc.o.d"
+  "libams_util.a"
+  "libams_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_model_test.dir/ams_model_test.cc.o"
+  "CMakeFiles/ams_model_test.dir/ams_model_test.cc.o.d"
+  "ams_model_test"
+  "ams_model_test.pdb"
+  "ams_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_property_test.dir/autograd_property_test.cc.o"
+  "CMakeFiles/autograd_property_test.dir/autograd_property_test.cc.o.d"
+  "autograd_property_test"
+  "autograd_property_test.pdb"
+  "autograd_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_property_test.dir/generator_property_test.cc.o"
+  "CMakeFiles/generator_property_test.dir/generator_property_test.cc.o.d"
+  "generator_property_test"
+  "generator_property_test.pdb"
+  "generator_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

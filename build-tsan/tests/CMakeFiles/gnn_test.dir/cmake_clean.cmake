@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_test.dir/gnn_test.cc.o"
+  "CMakeFiles/gnn_test.dir/gnn_test.cc.o.d"
+  "gnn_test"
+  "gnn_test.pdb"
+  "gnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/models/CMakeFiles/ams_models.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/backtest/CMakeFiles/ams_backtest.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ams/CMakeFiles/ams_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gnn/CMakeFiles/ams_gnn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/gbdt/CMakeFiles/ams_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/seq/CMakeFiles/ams_seq.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ts/CMakeFiles/ams_ts.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/ams_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/linear/CMakeFiles/ams_linear.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/metrics/CMakeFiles/ams_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/ams_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optim/CMakeFiles/ams_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/ams_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/ams_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/ams_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/la/CMakeFiles/ams_la.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/ams_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

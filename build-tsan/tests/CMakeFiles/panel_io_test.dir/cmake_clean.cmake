@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panel_io_test.dir/panel_io_test.cc.o"
+  "CMakeFiles/panel_io_test.dir/panel_io_test.cc.o.d"
+  "panel_io_test"
+  "panel_io_test.pdb"
+  "panel_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panel_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_ts_test.dir/seq_ts_test.cc.o"
+  "CMakeFiles/seq_ts_test.dir/seq_ts_test.cc.o.d"
+  "seq_ts_test"
+  "seq_ts_test.pdb"
+  "seq_ts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_ts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/la_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/nn_optim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/graph_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/gnn_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/linear_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/gbdt_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/seq_ts_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/data_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/backtest_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ams_model_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/models_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/obs_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/panel_io_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/autograd_property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/generator_property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
