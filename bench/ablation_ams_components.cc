@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "obs/report.h"
 #include "data/cv.h"
 #include "data/generator.h"
 #include "models/ams_regressor.h"
@@ -30,6 +31,7 @@ struct Variant {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::InstallExitReporter();
   const uint64_t seed = GetFlagU64(argc, argv, "seed", 42);
   auto panel_result = data::GenerateMarket(data::GeneratorConfig::Defaults(
       data::DatasetProfile::kTransactionAmount, seed));

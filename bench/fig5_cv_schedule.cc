@@ -5,12 +5,14 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "obs/report.h"
 #include "data/cv.h"
 #include "data/generator.h"
 
 using namespace ams;
 
 int main(int argc, char** argv) {
+  obs::InstallExitReporter();
   const uint64_t seed = GetFlagU64(argc, argv, "seed", 42);
   for (data::DatasetProfile profile :
        {data::DatasetProfile::kTransactionAmount,

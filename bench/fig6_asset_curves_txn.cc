@@ -3,8 +3,10 @@
 //
 // Usage: fig6_asset_curves_txn [--seed=42] [--trials=N]
 #include "bench/backtest_common.h"
+#include "obs/report.h"
 
 int main(int argc, char** argv) {
+  ams::obs::InstallExitReporter();
   auto run = ams::bench::RunBacktests(
       ams::data::DatasetProfile::kTransactionAmount, argc, argv);
   ams::bench::PrintAssetCurves(

@@ -3,8 +3,10 @@
 //
 // Usage: fig7_asset_curves_map [--seed=42] [--trials=N]
 #include "bench/backtest_common.h"
+#include "obs/report.h"
 
 int main(int argc, char** argv) {
+  ams::obs::InstallExitReporter();
   auto run = ams::bench::RunBacktests(ams::data::DatasetProfile::kMapQuery,
                                       argc, argv);
   ams::bench::PrintAssetCurves(

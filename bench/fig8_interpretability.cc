@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "obs/report.h"
 #include "data/cv.h"
 #include "data/generator.h"
 #include "models/ams_regressor.h"
@@ -103,6 +104,7 @@ void RunProfile(data::DatasetProfile profile, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::InstallExitReporter();
   const uint64_t seed = GetFlagU64(argc, argv, "seed", 42);
   RunProfile(data::DatasetProfile::kTransactionAmount, seed);
   RunProfile(data::DatasetProfile::kMapQuery, seed);

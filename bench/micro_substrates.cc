@@ -1,15 +1,28 @@
 // Google-Benchmark microbenchmarks of the substrates: dense matmul, one
 // autograd training step, a GAT forward/backward, GBDT fitting, correlation-
-// graph construction, ARIMA order search and market generation.
+// graph construction, ARIMA order search, market generation, and the shared
+// thread-pool layer (pool dispatch overhead, blocked parallel GEMM, parallel
+// random-search HPO).
+//
+// The */threads:N cases resize the default pool around the workload; run
+//   micro_substrates --benchmark_filter='Pool|Parallel|MatMul'
+//     --benchmark_format=json
+// to regenerate BENCH_par.json, the perf baseline later PRs diff against.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
+#include "data/features.h"
 #include "data/generator.h"
 #include "gbdt/gbdt.h"
 #include "gnn/gat.h"
 #include "graph/company_graph.h"
 #include "la/matrix.h"
+#include "models/hpo.h"
+#include "models/zoo.h"
 #include "nn/dense.h"
 #include "optim/optimizer.h"
+#include "par/thread_pool.h"
 #include "tensor/tensor.h"
 #include "ts/arima.h"
 #include "util/rng.h"
@@ -132,6 +145,109 @@ void BM_GenerateMarket(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenerateMarket);
+
+// ---------------------------------------------------------------------------
+// Thread-pool layer. Arg(0) is the pool parallelism so a single JSON run
+// contains the serial baseline next to the parallel case.
+
+void BM_PoolParallelFor(benchmark::State& state) {
+  par::SetDefaultParallelism(static_cast<int>(state.range(0)));
+  constexpr int64_t kIterations = 1 << 14;
+  std::atomic<int64_t> sink{0};
+  for (auto _ : state) {
+    par::ParallelFor(kIterations, /*grain=*/256,
+                     [&](int64_t begin, int64_t end) {
+                       int64_t acc = 0;
+                       for (int64_t i = begin; i < end; ++i) acc += i;
+                       sink.fetch_add(acc, std::memory_order_relaxed);
+                     });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * kIterations);
+  par::SetDefaultParallelism(0);
+}
+BENCHMARK(BM_PoolParallelFor)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_PoolSubmitDrain(benchmark::State& state) {
+  par::SetDefaultParallelism(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::future<int>> futures;
+    futures.reserve(128);
+    for (int i = 0; i < 128; ++i) {
+      futures.push_back(par::DefaultPool().Submit([i] { return i; }));
+    }
+    int total = 0;
+    for (auto& f : futures) total += f.get();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+  par::SetDefaultParallelism(0);
+}
+BENCHMARK(BM_PoolSubmitDrain)->Arg(2)->Arg(4);
+
+void BM_MatMulParallel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  par::SetDefaultParallelism(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  la::Matrix a = RandomMatrix(n, n, &rng);
+  la::Matrix b = RandomMatrix(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+  par::SetDefaultParallelism(0);
+}
+BENCHMARK(BM_MatMulParallel)
+    ->ArgNames({"n", "threads"})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
+
+void BM_ParallelHpo(benchmark::State& state) {
+  par::SetDefaultParallelism(static_cast<int>(state.range(0)));
+  // One fold's worth of real pipeline data, built once per benchmark.
+  static const auto* setup = [] {
+    struct Setup {
+      data::Panel panel;
+      data::Dataset train, valid;
+      models::FitContext context;
+      models::ModelSpec spec;
+    };
+    auto config = data::GeneratorConfig::Defaults(
+        data::DatasetProfile::kTransactionAmount, 42);
+    config.num_companies = 20;
+    config.num_sectors = 4;
+    auto* s = new Setup();
+    s->panel = data::GenerateMarket(config).MoveValue();
+    data::FeatureBuilder builder(&s->panel, data::FeatureOptions{});
+    s->train = builder.Build({4, 5, 6, 7}).MoveValue();
+    s->valid = builder.Build({8}).MoveValue();
+    const data::Standardizer standardizer = data::Standardizer::Fit(s->train);
+    standardizer.Apply(&s->train);
+    standardizer.Apply(&s->valid);
+    s->context.train = &s->train;
+    s->context.valid = &s->valid;
+    s->context.panel = &s->panel;
+    s->context.last_train_quarter = 7;
+    for (models::ModelSpec& spec :
+         models::BuildModelZoo(s->panel.num_alt_channels)) {
+      if (spec.name == "XGBoost") s->spec = std::move(spec);
+    }
+    return s;
+  }();
+  models::HpoOptions options;
+  options.trials = 8;
+  options.seed = 7;
+  for (auto _ : state) {
+    auto outcome = models::RandomSearch(setup->spec, setup->context, options);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations() * options.trials);
+  par::SetDefaultParallelism(0);
+}
+BENCHMARK(BM_ParallelHpo)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "obs/report.h"
 
 using namespace ams;
 
@@ -57,6 +58,7 @@ void RunProfile(data::DatasetProfile profile, int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::InstallExitReporter();
   const std::string profile = GetFlag(argc, argv, "profile", "both");
   if (profile == "txn" || profile == "both") {
     RunProfile(data::DatasetProfile::kTransactionAmount, argc, argv);

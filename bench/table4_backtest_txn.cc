@@ -4,8 +4,10 @@
 //
 // Usage: table4_backtest_txn [--seed=42] [--trials=N]
 #include "bench/backtest_common.h"
+#include "obs/report.h"
 
 int main(int argc, char** argv) {
+  ams::obs::InstallExitReporter();
   auto run = ams::bench::RunBacktests(
       ams::data::DatasetProfile::kTransactionAmount, argc, argv);
   ams::bench::PrintBacktestTable(

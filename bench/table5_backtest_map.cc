@@ -3,8 +3,10 @@
 //
 // Usage: table5_backtest_map [--seed=42] [--trials=N]
 #include "bench/backtest_common.h"
+#include "obs/report.h"
 
 int main(int argc, char** argv) {
+  ams::obs::InstallExitReporter();
   auto run = ams::bench::RunBacktests(ams::data::DatasetProfile::kMapQuery,
                                       argc, argv);
   ams::bench::PrintBacktestTable(

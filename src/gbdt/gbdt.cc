@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 
 namespace ams::gbdt {
 
@@ -28,6 +29,59 @@ struct BestSplit {
   double threshold = 0.0;
   double gain = -std::numeric_limits<double>::infinity();
 };
+
+/// Nodes whose rows x candidate-features product is below this scan their
+/// features on the calling thread; deep small nodes dominate tree growth
+/// and would drown in pool handoffs.
+constexpr int64_t kParallelSplitWork = 8192;
+
+/// Best split and split count for one candidate feature. The row order is
+/// fixed by (value, row index), so the scan — and its floating-point
+/// prefix sums — is identical no matter which thread runs it or what state
+/// any shared scratch buffer was left in.
+BestSplit ScanFeature(const Matrix& x, const std::vector<double>& grad,
+                      const std::vector<double>& hess,
+                      const std::vector<int>& rows, int feature,
+                      double grad_sum, double hess_sum, double parent_score,
+                      const GbdtOptions& options,
+                      uint64_t* splits_evaluated) {
+  std::vector<int> sorted = rows;
+  std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+    const double xa = x(a, feature);
+    const double xb = x(b, feature);
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+  BestSplit best;
+  double left_grad = 0.0;
+  double left_hess = 0.0;
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    const int r = sorted[i];
+    left_grad += grad[r];
+    left_hess += hess[r];
+    const double cur = x(r, feature);
+    const double next = x(sorted[i + 1], feature);
+    if (cur == next) continue;  // cannot split between equal values
+    const double right_grad = grad_sum - left_grad;
+    const double right_hess = hess_sum - left_hess;
+    if (left_hess < options.min_child_weight ||
+        right_hess < options.min_child_weight) {
+      continue;
+    }
+    ++*splits_evaluated;
+    const double gain =
+        0.5 * (ScoreTerm(left_grad, left_hess, options.reg_lambda) +
+               ScoreTerm(right_grad, right_hess, options.reg_lambda) -
+               parent_score) -
+        options.min_split_gain;
+    if (gain > best.gain) {
+      best.feature = feature;
+      best.threshold = 0.5 * (cur + next);
+      best.gain = gain;
+    }
+  }
+  return best;
+}
 
 }  // namespace
 
@@ -53,40 +107,34 @@ int RegressionTree::GrowNode(const Matrix& x, const std::vector<double>& grad,
   const double parent_score =
       ScoreTerm(grad_sum, hess_sum, options.reg_lambda);
 
+  // Per-feature scans are independent; fan them out when the node is big
+  // enough. The reduction below walks features in feature_subset order with
+  // a strict >, which reproduces the serial scan's winner (first feature,
+  // then first threshold within it, to reach the maximum gain) exactly.
+  const size_t num_features = feature_subset.size();
+  std::vector<BestSplit> feature_best(num_features);
+  std::vector<uint64_t> feature_splits(num_features, 0);
+  auto scan_range = [&](int64_t f0, int64_t f1) {
+    for (int64_t fi = f0; fi < f1; ++fi) {
+      feature_best[fi] = ScanFeature(
+          x, grad, hess, *rows, feature_subset[fi], grad_sum, hess_sum,
+          parent_score, options, &feature_splits[fi]);
+    }
+  };
+  const int64_t scan_work =
+      static_cast<int64_t>(rows->size()) * static_cast<int64_t>(num_features);
+  if (scan_work >= kParallelSplitWork) {
+    par::DefaultPool().ParallelFor(0, static_cast<int64_t>(num_features),
+                                   /*grain=*/1, scan_range);
+  } else {
+    scan_range(0, static_cast<int64_t>(num_features));
+  }
+
   BestSplit best;
   uint64_t splits_evaluated = 0;
-  std::vector<int> sorted = *rows;
-  for (int feature : feature_subset) {
-    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
-      return x(a, feature) < x(b, feature);
-    });
-    double left_grad = 0.0;
-    double left_hess = 0.0;
-    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
-      const int r = sorted[i];
-      left_grad += grad[r];
-      left_hess += hess[r];
-      const double cur = x(r, feature);
-      const double next = x(sorted[i + 1], feature);
-      if (cur == next) continue;  // cannot split between equal values
-      const double right_grad = grad_sum - left_grad;
-      const double right_hess = hess_sum - left_hess;
-      if (left_hess < options.min_child_weight ||
-          right_hess < options.min_child_weight) {
-        continue;
-      }
-      ++splits_evaluated;
-      const double gain =
-          0.5 * (ScoreTerm(left_grad, left_hess, options.reg_lambda) +
-                 ScoreTerm(right_grad, right_hess, options.reg_lambda) -
-                 parent_score) -
-          options.min_split_gain;
-      if (gain > best.gain) {
-        best.feature = feature;
-        best.threshold = 0.5 * (cur + next);
-        best.gain = gain;
-      }
-    }
+  for (size_t fi = 0; fi < num_features; ++fi) {
+    splits_evaluated += feature_splits[fi];
+    if (feature_best[fi].gain > best.gain) best = feature_best[fi];
   }
 
   // One amortized registry update per node keeps the candidate scan free of

@@ -6,7 +6,32 @@
 #include <limits>
 #include <sstream>
 
+#include "par/thread_pool.h"
+
 namespace ams::la {
+
+namespace {
+
+// GEMM dispatch constants. Determinism contract: for a fixed problem shape
+// the per-element floating-point addition order is always k-ascending —
+// identical to the historical single-threaded i-k-j kernel — and row-range
+// boundaries never depend on the worker count, so every thread count
+// produces bit-identical results.
+//
+// Products below kParallelFlops run entirely on the calling thread: the
+// autograd/GAT stack issues thousands of small GEMMs where a pool handoff
+// would cost more than the multiply.
+constexpr int64_t kParallelFlops = int64_t{1} << 18;
+// Rows per pool chunk; small enough to balance ragged tails, large enough
+// that chunk claiming is noise.
+constexpr int64_t kRowGrain = 16;
+// Tile sizes for the blocked kernel: a kBlockK x kBlockJ panel of B
+// (64 * 256 * 8 bytes = 128 KiB) plus the live output row segments stay
+// cache-resident while a row range streams through them.
+constexpr int kBlockK = 64;
+constexpr int kBlockJ = 256;
+
+}  // namespace
 
 Matrix::Matrix(int rows, int cols, double fill)
     : rows_(rows), cols_(cols),
@@ -100,53 +125,114 @@ Matrix Matrix::Transposed() const {
   return out;
 }
 
+namespace {
+
+/// out rows [r0, r1) of A * B, cache-blocked over (k, j). Per output
+/// element the k blocks advance in ascending order, so the addition order
+/// matches the plain i-k-j kernel exactly.
+void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, int64_t r0,
+                int64_t r1) {
+  const int inner = a.cols();
+  const int out_cols = b.cols();
+  for (int kk = 0; kk < inner; kk += kBlockK) {
+    const int k_end = std::min(kk + kBlockK, inner);
+    for (int jj = 0; jj < out_cols; jj += kBlockJ) {
+      const int j_end = std::min(jj + kBlockJ, out_cols);
+      for (int64_t i = r0; i < r1; ++i) {
+        double* out_row = out->row_data(static_cast<int>(i));
+        const double* a_row = a.row_data(static_cast<int>(i));
+        for (int k = kk; k < k_end; ++k) {
+          const double a_ik = a_row[k];
+          if (a_ik == 0.0) continue;
+          const double* b_row = b.row_data(k);
+          for (int j = jj; j < j_end; ++j) out_row[j] += a_ik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+/// out rows [i0, i1) of A^T * B (i indexes A's columns). k (A/B rows)
+/// ascends per element, matching the historical kernel.
+void TransposeMatMulRows(const Matrix& a, const Matrix& b, Matrix* out,
+                         int64_t i0, int64_t i1) {
+  const int out_cols = b.cols();
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.row_data(k);
+    const double* b_row = b.row_data(k);
+    for (int64_t i = i0; i < i1; ++i) {
+      const double a_ki = a_row[i];
+      if (a_ki == 0.0) continue;
+      double* out_row = out->row_data(static_cast<int>(i));
+      for (int j = 0; j < out_cols; ++j) out_row[j] += a_ki * b_row[j];
+    }
+  }
+}
+
+/// out rows [r0, r1) of A * B^T: independent row dot products.
+void MatMulTransposeRows(const Matrix& a, const Matrix& b, Matrix* out,
+                         int64_t r0, int64_t r1) {
+  const int inner = a.cols();
+  for (int64_t i = r0; i < r1; ++i) {
+    const double* a_row = a.row_data(static_cast<int>(i));
+    double* out_row = out->row_data(static_cast<int>(i));
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.row_data(j);
+      double acc = 0.0;
+      for (int k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+}
+
+/// Runs `rows` output rows through `kernel`, on the pool when the product
+/// is large enough to amortize the handoff.
+template <typename Kernel>
+void DispatchGemm(int64_t flops, int64_t rows, const Kernel& kernel) {
+  if (flops < kParallelFlops) {
+    kernel(0, rows);
+    return;
+  }
+  par::ThreadPool& pool = par::DefaultPool();
+  if (pool.parallelism() == 1) {
+    kernel(0, rows);
+    return;
+  }
+  pool.ParallelFor(0, rows, kRowGrain, kernel);
+}
+
+}  // namespace
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   AMS_DCHECK(cols_ == other.rows_, "inner dimension mismatch in MatMul");
   Matrix out(rows_, other.cols_, 0.0);
-  // i-k-j loop order: streams through `other` rows; cache-friendly for
-  // row-major storage.
-  for (int i = 0; i < rows_; ++i) {
-    double* out_row = out.row_data(i);
-    const double* a_row = row_data(i);
-    for (int k = 0; k < cols_; ++k) {
-      const double a_ik = a_row[k];
-      if (a_ik == 0.0) continue;
-      const double* b_row = other.row_data(k);
-      for (int j = 0; j < other.cols_; ++j) out_row[j] += a_ik * b_row[j];
-    }
-  }
+  const int64_t flops =
+      int64_t{rows_} * cols_ * other.cols_;
+  DispatchGemm(flops, rows_, [&](int64_t r0, int64_t r1) {
+    MatMulRows(*this, other, &out, r0, r1);
+  });
   return out;
 }
 
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   AMS_DCHECK(rows_ == other.rows_, "row mismatch in TransposeMatMul");
   Matrix out(cols_, other.cols_, 0.0);
-  for (int k = 0; k < rows_; ++k) {
-    const double* a_row = row_data(k);
-    const double* b_row = other.row_data(k);
-    for (int i = 0; i < cols_; ++i) {
-      const double a_ki = a_row[i];
-      if (a_ki == 0.0) continue;
-      double* out_row = out.row_data(i);
-      for (int j = 0; j < other.cols_; ++j) out_row[j] += a_ki * b_row[j];
-    }
-  }
+  const int64_t flops =
+      int64_t{rows_} * cols_ * other.cols_;
+  DispatchGemm(flops, cols_, [&](int64_t i0, int64_t i1) {
+    TransposeMatMulRows(*this, other, &out, i0, i1);
+  });
   return out;
 }
 
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   AMS_DCHECK(cols_ == other.cols_, "column mismatch in MatMulTranspose");
   Matrix out(rows_, other.rows_, 0.0);
-  for (int i = 0; i < rows_; ++i) {
-    const double* a_row = row_data(i);
-    double* out_row = out.row_data(i);
-    for (int j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.row_data(j);
-      double acc = 0.0;
-      for (int k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
-    }
-  }
+  const int64_t flops =
+      int64_t{rows_} * cols_ * other.rows_;
+  DispatchGemm(flops, rows_, [&](int64_t r0, int64_t r1) {
+    MatMulTransposeRows(*this, other, &out, r0, r1);
+  });
   return out;
 }
 

@@ -4,11 +4,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
-#include <thread>
 
 #include "models/hpo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 #include "util/csv.h"
 #include "util/logging.h"
 
@@ -111,7 +111,12 @@ Result<ExperimentResult> RunExperimentOnPanel(const data::Panel& panel,
     context.last_train_quarter = fold.valid_quarter - 1;
 
     // Models are independent given the fold's (read-only) datasets; fit
-    // them concurrently.
+    // them on the shared pool. Per-model seeds derive from the model index,
+    // so concurrency never moves a model onto a different RNG stream, and
+    // the pool bounds total concurrency once globally — the per-trial and
+    // per-GEMM parallelism below shares the same workers instead of
+    // oversubscribing the machine the way one unbounded thread per model
+    // did.
     const uint64_t fold_seed = seed_rng.NextU64();
     std::vector<Status> statuses(zoo.size());
     std::vector<FoldOutcome> outcomes(zoo.size());
@@ -147,14 +152,11 @@ Result<ExperimentResult> RunExperimentOnPanel(const data::Panel& panel,
       }
       outcomes[m] = std::move(outcome);
     };
-    {
-      std::vector<std::thread> workers;
-      workers.reserve(zoo.size());
-      for (size_t m = 0; m < zoo.size(); ++m) {
-        workers.emplace_back(run_model, m);
-      }
-      for (std::thread& worker : workers) worker.join();
-    }
+    par::DefaultPool().ParallelFor(
+        0, static_cast<int64_t>(zoo.size()), /*grain=*/1,
+        [&](int64_t m0, int64_t m1) {
+          for (int64_t m = m0; m < m1; ++m) run_model(static_cast<size_t>(m));
+        });
     for (size_t m = 0; m < zoo.size(); ++m) {
       AMS_RETURN_NOT_OK(statuses[m]);
       result.models[m].folds.push_back(std::move(outcomes[m]));
@@ -240,15 +242,26 @@ Result<ExperimentResult> RunExperimentCached(const ExperimentConfig& config,
                              builder.Build({fold.test_quarter}));
         result.fold_test_meta.push_back(test.meta);
       }
-      std::map<std::string, std::map<int, std::vector<double>>> loaded;
+      // Rows carry an explicit sample index; place each prediction by it
+      // rather than trusting on-disk row order, and reject duplicate or
+      // missing indices so a truncated/hand-edited cache cannot silently
+      // misalign predictions with fold_test_meta.
+      std::map<std::string, std::map<int, std::map<int, double>>> loaded;
       std::vector<std::string> order;
       for (const auto& row : table.ValueOrDie().rows) {
         if (row.size() != 4) {
           return Status::InvalidArgument("corrupt experiment cache: " + path);
         }
         if (loaded.find(row[0]) == loaded.end()) order.push_back(row[0]);
-        loaded[row[0]][std::atoi(row[1].c_str())].push_back(
-            std::atof(row[2 + 1].c_str()));
+        const int fold_index = std::atoi(row[1].c_str());
+        const int sample_index = std::atoi(row[2].c_str());
+        auto& fold_preds = loaded[row[0]][fold_index];
+        if (!fold_preds.emplace(sample_index, std::atof(row[3].c_str()))
+                 .second) {
+          return Status::InvalidArgument(
+              "duplicate sample index " + row[2] + " in experiment cache: " +
+              path);
+        }
       }
       for (const std::string& name : order) {
         ModelOutcome outcome;
@@ -261,7 +274,19 @@ Result<ExperimentResult> RunExperimentCached(const ExperimentConfig& config,
           }
           FoldOutcome fold;
           fold.test_quarter = result.cv_folds[f].test_quarter;
-          fold.predicted_ur = it->second;
+          fold.predicted_ur.reserve(it->second.size());
+          int expected_index = 0;
+          for (const auto& [sample_index, prediction] : it->second) {
+            if (sample_index != expected_index) {
+              return Status::InvalidArgument(
+                  "gap in sample indices (expected " +
+                  std::to_string(expected_index) + ", found " +
+                  std::to_string(sample_index) + ") in experiment cache: " +
+                  path);
+            }
+            fold.predicted_ur.push_back(prediction);
+            ++expected_index;
+          }
           std::vector<double> actual;
           for (const data::SampleMeta& meta : result.fold_test_meta[f]) {
             actual.push_back(meta.actual_ur);

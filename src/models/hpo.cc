@@ -1,50 +1,90 @@
 #include "models/hpo.h"
 
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 #include "util/logging.h"
 
 namespace ams::models {
+
+namespace {
+
+/// Everything one trial produces; reduced sequentially after the parallel
+/// fit phase so the winner is independent of scheduling.
+struct TrialResult {
+  std::unique_ptr<Regressor> model;  // null when the trial failed
+  double valid_rmse = 0.0;
+  std::string error;
+};
+
+}  // namespace
 
 Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
                                 const FitContext& context,
                                 const HpoOptions& options) {
   const int trials = options.trials > 0 ? options.trials
                                         : spec.default_trials;
+  // Pre-fork one RNG stream per trial on the calling thread, in trial
+  // order. Trial t therefore samples the same hyperparameters and fit seed
+  // no matter how many pool workers exist or how trials interleave.
   Rng rng(options.seed);
-  HpoOutcome outcome;
-  double best = std::numeric_limits<double>::infinity();
-  std::string last_error;
+  std::vector<Rng> trial_rngs;
+  trial_rngs.reserve(trials);
+  for (int trial = 0; trial < trials; ++trial) {
+    trial_rngs.push_back(rng.Fork());
+  }
+
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
   obs::Counter& trial_counter = registry.GetCounter("hpo/trials");
   obs::Counter& failed_counter = registry.GetCounter("hpo/trials_failed");
+
+  std::vector<TrialResult> results(trials);
+  par::DefaultPool().ParallelFor(
+      0, trials, /*grain=*/1, [&](int64_t t0, int64_t t1) {
+        for (int64_t t = t0; t < t1; ++t) {
+          AMS_TRACE_SPAN("hpo/trial");
+          Rng& trial_rng = trial_rngs[t];
+          std::unique_ptr<Regressor> model = spec.factory(&trial_rng);
+          FitContext trial_context = context;
+          trial_context.seed = trial_rng.NextU64();
+          trial_counter.Increment();
+          Status fit_status = model->Fit(trial_context);
+          if (!fit_status.ok()) {
+            failed_counter.Increment();
+            results[t].error = fit_status.ToString();
+            continue;
+          }
+          auto rmse = ValidationRmse(*model, *context.valid);
+          if (!rmse.ok()) {
+            failed_counter.Increment();
+            results[t].error = rmse.status().ToString();
+            continue;
+          }
+          results[t].model = std::move(model);
+          results[t].valid_rmse = rmse.ValueOrDie();
+        }
+      });
+
+  // Sequential reduce in trial order: strict < keeps the lowest-index trial
+  // on RMSE ties, exactly like the serial loop did.
+  HpoOutcome outcome;
+  outcome.trials_run = trials;
+  double best = std::numeric_limits<double>::infinity();
+  std::string last_error;
   for (int trial = 0; trial < trials; ++trial) {
-    AMS_TRACE_SPAN("hpo/trial");
-    Rng trial_rng = rng.Fork();
-    std::unique_ptr<Regressor> model = spec.factory(&trial_rng);
-    FitContext trial_context = context;
-    trial_context.seed = trial_rng.NextU64();
-    ++outcome.trials_run;
-    trial_counter.Increment();
-    Status fit_status = model->Fit(trial_context);
-    if (!fit_status.ok()) {
+    TrialResult& result = results[trial];
+    if (result.model == nullptr) {
       ++outcome.trials_failed;
-      failed_counter.Increment();
-      last_error = fit_status.ToString();
+      last_error = result.error;
       continue;
     }
-    auto rmse = ValidationRmse(*model, *context.valid);
-    if (!rmse.ok()) {
-      ++outcome.trials_failed;
-      failed_counter.Increment();
-      last_error = rmse.status().ToString();
-      continue;
-    }
-    if (rmse.ValueOrDie() < best) {
-      best = rmse.ValueOrDie();
-      outcome.model = std::move(model);
+    if (result.valid_rmse < best) {
+      best = result.valid_rmse;
+      outcome.model = std::move(result.model);
       outcome.valid_rmse = best;
     }
   }

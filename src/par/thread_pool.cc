@@ -1,0 +1,194 @@
+#include "par/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ams::par {
+
+namespace {
+
+/// Shared state of one ParallelFor call. Heap-allocated and owned jointly by
+/// the caller and the helper tasks (shared_ptr): helpers that only get
+/// scheduled after every chunk is done still touch it safely, and the caller
+/// never has to wait for a queued-but-unstarted helper — that wait is exactly
+/// the nested-pool deadlock this design exists to avoid.
+struct ForState {
+  std::function<void(int64_t, int64_t)> body;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t total_chunks = 0;
+  std::atomic<int64_t> next_{0};
+  std::atomic<int64_t> chunks_done_{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first (by claim order) exception; under mu
+
+  /// Claims and runs chunks until the range is exhausted. Safe to call from
+  /// any number of threads concurrently; each chunk runs exactly once.
+  void RunChunks() {
+    for (;;) {
+      const int64_t chunk_begin =
+          next_.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk_begin >= end) return;
+      const int64_t chunk_end = std::min(chunk_begin + grain, end);
+      try {
+        body(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      const int64_t done =
+          chunks_done_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (done == total_chunks) {
+        // Wake the caller; take the lock so the notify cannot slip between
+        // the caller's predicate check and its wait.
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int parallelism)
+    : parallelism_(std::max(1, parallelism)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  tasks_run_ = &registry.GetCounter("par/tasks_run");
+  parallel_fors_ = &registry.GetCounter("par/parallel_for_ranges");
+  worker_busy_us_ = &registry.GetCounter("par/worker_busy_us");
+  queue_depth_ = &registry.GetGauge("par/queue_depth");
+  workers_.reserve(parallelism_ - 1);
+  for (int i = 0; i < parallelism_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // With no workers (parallelism 1) tasks can still be queued via Submit;
+  // honor the drain guarantee by running them here.
+  while (!queue_.empty()) {
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  queue_depth_->Set(static_cast<double>(depth));
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    task();
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    tasks_run_->Increment();
+    worker_busy_us_->Add(static_cast<uint64_t>(elapsed.count()));
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  AMS_DCHECK(grain > 0, "ParallelFor grain must be positive");
+  if (begin >= end) return;
+  const int64_t span = end - begin;
+  const int64_t total_chunks = (span + grain - 1) / grain;
+  if (parallelism_ == 1 || total_chunks == 1) {
+    // Reference execution: same chunk boundaries, caller's thread only.
+    for (int64_t b = begin; b < end; b += grain) {
+      body(b, std::min(b + grain, end));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->body = body;
+  state->end = end;
+  state->grain = grain;
+  state->total_chunks = total_chunks;
+  state->next_.store(begin, std::memory_order_relaxed);
+
+  parallel_fors_->Increment();
+  const int64_t helpers =
+      std::min<int64_t>(parallelism_ - 1, total_chunks - 1);
+  for (int64_t h = 0; h < helpers; ++h) {
+    Enqueue([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] {
+      return state->chunks_done_.load(std::memory_order_acquire) ==
+             state->total_chunks;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+int ParallelismFromEnv() {
+  if (const char* env = std::getenv("AMS_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+std::mutex g_default_pool_mu;
+std::unique_ptr<ThreadPool> g_default_pool;  // guarded by g_default_pool_mu
+
+}  // namespace
+
+ThreadPool& DefaultPool() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  if (!g_default_pool) {
+    g_default_pool = std::make_unique<ThreadPool>(ParallelismFromEnv());
+  }
+  return *g_default_pool;
+}
+
+void SetDefaultParallelism(int parallelism) {
+  std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(
+      parallelism > 0 ? parallelism : ParallelismFromEnv());
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  g_default_pool.swap(pool);
+  // `pool` (the old one) joins its workers on destruction here, outside any
+  // caller-visible state but still under the swap lock so a concurrent
+  // DefaultPool() cannot observe a half-torn-down pool.
+}
+
+}  // namespace ams::par

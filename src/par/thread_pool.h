@@ -1,0 +1,121 @@
+// Shared fixed-size thread pool: the one place the process decides how many
+// threads do CPU work.
+//
+// Design constraints, in order:
+//   1. Determinism. Callers split work into index ranges whose boundaries
+//      never depend on the thread count; any rounding/reduction order is the
+//      caller's, so results are bit-identical for AMS_THREADS=1 and =N.
+//   2. No nested-wait deadlocks. ParallelFor never blocks on a task that is
+//      still sitting in the queue: chunks are claimed from a shared atomic
+//      cursor and the *calling* thread claims chunks too, so every chunk is
+//      executed by a thread that is actually running. A pool task may itself
+//      call ParallelFor (experiment -> HPO trial -> GEMM all share one pool).
+//   3. Bounded concurrency. One global DefaultPool(), sized once from
+//      AMS_THREADS (falling back to hardware_concurrency), replaces ad-hoc
+//      thread spawning so the hot loops never oversubscribe the machine.
+//
+// Instrumented with ams_obs: "par/tasks_run", "par/parallel_for_ranges",
+// "par/worker_busy_us" counters and a "par/queue_depth" gauge.
+#ifndef AMS_PAR_THREAD_POOL_H_
+#define AMS_PAR_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ams::obs {
+class Counter;
+class Gauge;
+}  // namespace ams::obs
+
+namespace ams::par {
+
+/// Fixed-size task-queue thread pool.
+///
+/// `parallelism` counts the calling thread: a pool with parallelism P runs
+/// P-1 worker threads, because ParallelFor callers execute chunks themselves
+/// while waiting. parallelism 1 means no workers at all — every ParallelFor
+/// runs inline on the caller, which is the reference execution the
+/// determinism guarantee is stated against.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int parallelism);
+  /// Joins workers after draining the queue: every task submitted before
+  /// destruction runs to completion.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int parallelism() const { return parallelism_; }
+
+  /// Runs `body(chunk_begin, chunk_end)` over [begin, end) in chunks of at
+  /// most `grain` indices. Chunk boundaries depend only on (begin, end,
+  /// grain), never on the thread count. The calling thread participates, so
+  /// this is safe to call from inside a pool task. Blocks until every chunk
+  /// has finished; the first exception thrown by `body` (by claim order) is
+  /// rethrown on the caller after all chunks complete.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions are
+  /// captured into the future. Do NOT block on the returned future from
+  /// inside another pool task (that can deadlock a full pool) — inside tasks,
+  /// use ParallelFor, which cannot.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  const int parallelism_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  obs::Counter* tasks_run_;        // tasks dequeued and executed by workers
+  obs::Counter* parallel_fors_;    // ParallelFor calls that used the pool
+  obs::Counter* worker_busy_us_;   // summed wall time inside worker tasks
+  obs::Gauge* queue_depth_;        // queued (not yet running) tasks
+};
+
+/// Parallelism from the environment: AMS_THREADS if set to a positive
+/// integer, otherwise std::thread::hardware_concurrency() (minimum 1).
+int ParallelismFromEnv();
+
+/// The process-wide pool, created on first use with ParallelismFromEnv().
+/// All library hot loops (GEMM, GBDT split search, HPO trials, the
+/// experiment's model loop) share it, so total concurrency is bounded once.
+ThreadPool& DefaultPool();
+
+/// Replaces the default pool with one of the given parallelism (<= 0 means
+/// re-read the environment). Joins the old pool first. For tests and
+/// benchmarks only; must not race with in-flight DefaultPool() users.
+void SetDefaultParallelism(int parallelism);
+
+/// Convenience: DefaultPool().ParallelFor(0, n, grain, body).
+inline void ParallelFor(int64_t n, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& body) {
+  DefaultPool().ParallelFor(0, n, grain, body);
+}
+
+}  // namespace ams::par
+
+#endif  // AMS_PAR_THREAD_POOL_H_
