@@ -1,0 +1,175 @@
+// Microbenchmarks of the robustness layer's hot-path costs: the per-epoch
+// gradient guard (the only robust:: code inside training loops — target
+// overhead < 2% of an epoch), rollback snapshots, CRC32 throughput, atomic
+// file writes, fault-spec parsing and checkpoint (de)serialization.
+// `BENCH_robust.json` in the repo root is the committed baseline.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "optim/optimizer.h"
+#include "robust/atomic_io.h"
+#include "robust/checkpoint.h"
+#include "robust/faults.h"
+#include "robust/guard.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ams;
+
+/// Parameter set sized like the AMS master network's (a few dense layers).
+std::vector<tensor::Tensor> MakeParams(Rng* rng) {
+  std::vector<tensor::Tensor> params;
+  const int shapes[][2] = {{64, 48}, {1, 48}, {48, 32}, {1, 32}, {33, 1}};
+  for (const auto& shape : shapes) {
+    la::Matrix m(shape[0], shape[1]);
+    for (int r = 0; r < m.rows(); ++r) {
+      for (int c = 0; c < m.cols(); ++c) m(r, c) = rng->Normal() * 0.1;
+    }
+    params.push_back(tensor::Tensor::Parameter(std::move(m)));
+  }
+  return params;
+}
+
+void FillGrads(const std::vector<tensor::Tensor>& params) {
+  for (tensor::Tensor p : params) {  // copies share the underlying node
+    p.ZeroGrad();
+    p.node()->AccumulateGrad(la::Matrix::Zeros(p.rows(), p.cols()));
+  }
+}
+
+/// The guard's steady-state cost under the default abort policy: one
+/// AllFinite scan of every gradient per epoch.
+void BM_GuardStepFiniteScan(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<tensor::Tensor> params = MakeParams(&rng);
+  optim::Adam optimizer(params, 1e-3);
+  robust::GuardOptions options;  // abort policy: no snapshots
+  robust::TrainGuard guard(options, &optimizer, nullptr);
+  FillGrads(params);
+  int64_t epoch = 0;
+  for (auto _ : state) {
+    guard.BeginEpoch(epoch);
+    benchmark::DoNotOptimize(guard.GuardStep(epoch, /*loss_finite=*/true));
+    ++epoch;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardStepFiniteScan);
+
+/// Rollback adds a full parameter + optimizer-state snapshot per epoch.
+void BM_GuardRollbackSnapshot(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<tensor::Tensor> params = MakeParams(&rng);
+  optim::Adam optimizer(params, 1e-3);
+  robust::GuardOptions options;
+  options.policy = robust::GuardPolicy::kRollback;
+  Rng dropout_rng(11);
+  robust::TrainGuard guard(options, &optimizer, &dropout_rng);
+  FillGrads(params);
+  int64_t epoch = 0;
+  for (auto _ : state) {
+    guard.BeginEpoch(epoch);
+    benchmark::DoNotOptimize(guard.GuardStep(epoch, /*loss_finite=*/true));
+    ++epoch;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardRollbackSnapshot);
+
+void BM_Crc32(benchmark::State& state) {
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust::Crc32(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_AtomicWriteFile(benchmark::State& state) {
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  const std::string path = "/tmp/ams_bench_atomic_write.dat";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust::AtomicWriteFile(path, payload));
+  }
+  std::remove(path.c_str());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AtomicWriteFile)->Arg(1 << 16);
+
+void BM_ParseFaultSpec(benchmark::State& state) {
+  const std::string spec =
+      "nan_grad@epoch=3;task_throw@index=7;io_truncate@write=2";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust::ParseFaultSpec(spec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseFaultSpec);
+
+/// The disarmed-injector query that sits inside every guarded epoch and
+/// atomic write: must be a relaxed atomic load and nothing more.
+void BM_InjectorDisarmedQuery(benchmark::State& state) {
+  robust::FaultInjector::Get().Disarm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        robust::FaultInjector::Get().ShouldCorruptGradient(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InjectorDisarmedQuery);
+
+robust::Checkpoint MakeCheckpoint() {
+  Rng rng(7);
+  robust::Checkpoint ckpt;
+  ckpt.strings["fingerprint"] = "bench|fingerprint";
+  ckpt.scalars["next_epoch"] = 25;
+  int index = 0;
+  for (const auto& p : MakeParams(&rng)) {
+    ckpt.tensors["param/" + std::to_string(index++)] = p.value();
+  }
+  ckpt.PutRngState("rng", rng.SaveState());
+  return ckpt;
+}
+
+void BM_CheckpointSerialize(benchmark::State& state) {
+  const robust::Checkpoint ckpt = MakeCheckpoint();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string blob = robust::SerializeCheckpoint(ckpt);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_CheckpointSerialize);
+
+void BM_CheckpointDeserialize(benchmark::State& state) {
+  const std::string blob = robust::SerializeCheckpoint(MakeCheckpoint());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust::DeserializeCheckpoint(blob));
+  }
+  state.SetBytesProcessed(state.iterations() * blob.size());
+}
+BENCHMARK(BM_CheckpointDeserialize);
+
+void BM_CheckpointSaveLoadDisk(benchmark::State& state) {
+  const robust::Checkpoint ckpt = MakeCheckpoint();
+  const std::string path = "/tmp/ams_bench_ckpt.bin";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust::SaveCheckpoint(path, ckpt));
+    benchmark::DoNotOptimize(robust::LoadCheckpoint(path));
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckpointSaveLoadDisk);
+
+}  // namespace
+
+BENCHMARK_MAIN();

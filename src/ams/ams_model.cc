@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
+#include <sstream>
 
 #include "linear/linear_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/optimizer.h"
+#include "robust/checkpoint.h"
+#include "robust/faults.h"
 #include "tensor/tensor.h"
 #include "util/logging.h"
 
@@ -38,6 +43,42 @@ void RestoreParams(std::vector<Tensor>* params,
   for (size_t i = 0; i < params->size(); ++i) {
     (*params)[i].mutable_value() = snapshot[i];
   }
+}
+
+/// Everything that determines the training trajectory, rendered to a string:
+/// a checkpoint is only resumed when this matches, so a config/data change
+/// silently invalidates stale checkpoints instead of corrupting a run.
+std::string TrainFingerprint(const AmsConfig& config, int num_features,
+                             int num_companies, int num_train_samples) {
+  std::ostringstream oss;
+  oss << "ams1|s" << config.seed << "|f" << num_features << "|c"
+      << num_companies << "|n" << num_train_samples << "|e"
+      << config.max_epochs << "|p" << config.patience << "|lr"
+      << config.learning_rate << "|g" << config.gamma << "|slg"
+      << config.lambda_slg << "|l2" << config.lambda_l2 << "|do"
+      << config.dropout << "|gc" << config.grad_clip << "|aa"
+      << config.anchored_alpha << "|al" << config.anchored_l1_ratio << "|lb"
+      << config.learn_beta_c << "|gat" << config.use_gat << "|k"
+      << static_cast<int>(config.gnn_kind) << "|nt";
+  for (int w : config.node_transform_layers) oss << "_" << w;
+  oss << "|gh";
+  for (int w : config.generator_hidden) oss << "_" << w;
+  oss << "|gat" << config.gat.num_heads << "_" << config.gat.out_features;
+  for (int w : config.gat.hidden_per_head) oss << "_" << w;
+  return oss.str();
+}
+
+/// FNV-1a, for the checkpoint filename under AMS_CHECKPOINT_DIR.
+std::string HashHex(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
 }
 
 }  // namespace
@@ -231,6 +272,7 @@ Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
 
   std::vector<Tensor> params = Parameters();
   optim::Adam optimizer(params, config_.learning_rate);
+  robust::TrainGuard train_guard(config_.guard, &optimizer, &dropout_rng);
 
   // Per-epoch telemetry: the loss split mirrors Gamma_master's structure, so
   // the reported SLG share shows how strongly the master-slave regularizer
@@ -300,6 +342,94 @@ Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
   int since_best = 0;
   epochs_run_ = 0;
 
+  // --- Checkpoint/resume. A checkpoint captures parameters, optimizer
+  //     moments, the dropout RNG and the early-stopping state after a
+  //     committed epoch; restoring all of them makes the resumed trajectory
+  //     bit-identical to an uninterrupted run. ---
+  const std::string fingerprint = TrainFingerprint(
+      config_, num_features_, num_companies_, train.num_samples());
+  std::string ckpt_path = config_.checkpoint_path;
+  if (ckpt_path.empty()) {
+    const std::string dir = robust::CheckpointDirFromEnv();
+    if (!dir.empty()) {
+      ckpt_path = dir + "/ams_" + HashHex(fingerprint) + ".ckpt";
+    }
+  }
+  int start_epoch = 0;
+  if (!ckpt_path.empty() && std::filesystem::exists(ckpt_path)) {
+    auto loaded = robust::LoadCheckpoint(ckpt_path);
+    bool restored = false;
+    if (loaded.ok()) {
+      robust::Checkpoint& ckpt = loaded.ValueOrDie();
+      auto rng_state = ckpt.GetRngState("rng/dropout");
+      optim::OptimizerState opt_state;
+      opt_state.learning_rate = ckpt.scalars["opt/lr"];
+      opt_state.step_count = static_cast<int64_t>(ckpt.scalars["opt/t"]);
+      bool complete = ckpt.strings["fingerprint"] == fingerprint &&
+                      rng_state.ok();
+      for (size_t i = 0; complete && i < params.size(); ++i) {
+        complete = ckpt.tensors.count("param/" + std::to_string(i)) > 0 &&
+                   ckpt.tensors.count("best/" + std::to_string(i)) > 0;
+      }
+      for (size_t i = 0; complete && i < 2 * params.size(); ++i) {
+        auto it = ckpt.tensors.find("opt/" + std::to_string(i));
+        if (it == ckpt.tensors.end()) {
+          complete = false;
+        } else {
+          opt_state.slots.push_back(it->second);
+        }
+      }
+      if (complete) {
+        for (size_t i = 0; i < params.size(); ++i) {
+          params[i].mutable_value() =
+              ckpt.tensors["param/" + std::to_string(i)];
+          best_params[i] = ckpt.tensors["best/" + std::to_string(i)];
+        }
+        complete = optimizer.RestoreState(opt_state).ok();
+      }
+      if (complete) {
+        dropout_rng.LoadState(rng_state.ValueOrDie());
+        best = ckpt.scalars["best"];
+        since_best = static_cast<int>(ckpt.scalars["since_best"]);
+        epochs_run_ = static_cast<int>(ckpt.scalars["epochs_run"]);
+        start_epoch = static_cast<int>(ckpt.scalars["next_epoch"]);
+        restored = true;
+        AMS_LOG(Info) << "resuming AMS training from " << ckpt_path
+                      << " at epoch " << start_epoch;
+      }
+    }
+    if (!restored) {
+      AMS_LOG(Warning) << "ignoring stale/corrupt AMS checkpoint "
+                       << ckpt_path << (loaded.ok()
+                                            ? " (fingerprint mismatch)"
+                                            : ": " +
+                                                  loaded.status().ToString());
+    }
+  }
+  auto save_checkpoint = [&](int next_epoch) {
+    robust::Checkpoint ckpt;
+    ckpt.strings["fingerprint"] = fingerprint;
+    ckpt.scalars["next_epoch"] = next_epoch;
+    ckpt.scalars["since_best"] = since_best;
+    ckpt.scalars["best"] = best;
+    ckpt.scalars["epochs_run"] = epochs_run_;
+    const optim::OptimizerState opt_state = optimizer.SaveState();
+    ckpt.scalars["opt/lr"] = opt_state.learning_rate;
+    ckpt.scalars["opt/t"] = static_cast<double>(opt_state.step_count);
+    for (size_t i = 0; i < opt_state.slots.size(); ++i) {
+      ckpt.tensors["opt/" + std::to_string(i)] = opt_state.slots[i];
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      ckpt.tensors["param/" + std::to_string(i)] = params[i].value();
+      ckpt.tensors["best/" + std::to_string(i)] = best_params[i];
+    }
+    ckpt.PutRngState("rng/dropout", dropout_rng.SaveState());
+    Status save_status = robust::SaveCheckpoint(ckpt_path, ckpt);
+    if (!save_status.ok()) {
+      AMS_LOG(Warning) << "could not save AMS checkpoint: " << save_status;
+    }
+  };
+
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
   obs::Counter& epoch_counter = registry.GetCounter("ams/train/epochs");
   obs::Gauge& loss_gauge = registry.GetGauge("ams/train/loss");
@@ -312,19 +442,28 @@ Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
   obs::Gauge& slg_share_gauge = registry.GetGauge("ams/train/reg/slg_share");
   slg_lambda_gauge.Set(config_.lambda_slg);
 
-  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.max_epochs;) {
     AMS_TRACE_SPAN("ams/train/epoch");
+    train_guard.BeginEpoch(epoch);
     optimizer.ZeroGrad();
     LossParts parts;
     Tensor loss = forward_loss(/*training=*/true, &parts);
-    if (!loss.value().AllFinite()) {
-      return Status::ComputeError("AMS training diverged (non-finite loss)");
+    const bool loss_finite = loss.value().AllFinite();
+    if (loss_finite) tensor::Backward(loss);
+    switch (train_guard.GuardStep(epoch, loss_finite)) {
+      case robust::TrainGuard::Action::kAbort:
+        return train_guard.AbortStatus();
+      case robust::TrainGuard::Action::kRetryEpoch:
+        continue;  // state rolled back; re-run this epoch
+      case robust::TrainGuard::Action::kSkipStep:
+        break;  // epoch still advances, its update is dropped
+      case robust::TrainGuard::Action::kProceed:
+        if (config_.grad_clip > 0.0) {
+          grad_norm_gauge.Set(optimizer.ClipGradNorm(config_.grad_clip));
+        }
+        optimizer.Step();
+        break;
     }
-    tensor::Backward(loss);
-    if (config_.grad_clip > 0.0) {
-      grad_norm_gauge.Set(optimizer.ClipGradNorm(config_.grad_clip));
-    }
-    optimizer.Step();
     ++epochs_run_;
     epoch_counter.Increment();
     loss_gauge.Set(loss.value()(0, 0));
@@ -337,15 +476,32 @@ Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
       AMS_LOG(Info) << "epoch " << epoch << " train_loss="
                     << loss.value()(0, 0) << " valid_mse=" << v;
     }
+    bool stop = false;
     if (v < best - 1e-9) {
       best = v;
       best_params = SnapshotParams(params);
       since_best = 0;
     } else if (++since_best >= config_.patience) {
-      break;
+      stop = true;
     }
+    ++epoch;
+    if (!ckpt_path.empty() && config_.checkpoint_every > 0 &&
+        epoch % config_.checkpoint_every == 0) {
+      save_checkpoint(epoch);
+    }
+    // The injected crash fires after the checkpoint write, simulating a
+    // process kill between epochs; a follow-up Fit resumes from it.
+    if (robust::FaultInjector::Get().ShouldCrashTraining(epoch - 1)) {
+      return Status::Internal("injected training crash after epoch " +
+                              std::to_string(epoch - 1));
+    }
+    if (stop) break;
   }
   RestoreParams(&params, best_params);
+  if (!ckpt_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(ckpt_path, ec);
+  }
   best_valid_loss_ = best;
   registry.GetGauge("ams/train/best_valid_mse").Set(best);
   fitted_ = true;

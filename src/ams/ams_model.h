@@ -23,6 +23,7 @@
 #include "graph/company_graph.h"
 #include "la/matrix.h"
 #include "nn/dense.h"
+#include "robust/guard.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -84,6 +85,17 @@ struct AmsConfig {
   int log_every = 0;
 
   uint64_t seed = 42;
+
+  // --- Robustness (see src/robust). ---
+  /// Non-finite loss/gradient handling; defaults to AMS_GUARD_POLICY.
+  robust::GuardOptions guard = robust::GuardOptions::FromEnv();
+  /// Checkpoint file for resumable training. Empty means "derive from
+  /// AMS_CHECKPOINT_DIR" (still empty -> checkpointing off). A checkpoint
+  /// is written every `checkpoint_every` committed epochs and removed on
+  /// successful completion; Fit resumes from a matching checkpoint
+  /// bit-identically.
+  std::string checkpoint_path;
+  int checkpoint_every = 25;
 };
 
 /// A fitted AMS model (master + anchored LR); generates and applies a

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "robust/atomic_io.h"
 #include "util/string_util.h"
 
 namespace ams::data {
@@ -65,7 +66,9 @@ CsvTable PanelToCsv(const Panel& panel) {
 }
 
 Status WritePanelCsv(const std::string& path, const Panel& panel) {
-  return WriteCsv(path, PanelToCsv(panel));
+  // Atomic tmp+rename with a CRC32 footer: a crash mid-write leaves the
+  // previous file (or nothing), never a torn panel.
+  return robust::WriteCsvAtomic(path, PanelToCsv(panel));
 }
 
 Result<Panel> PanelFromCsv(const CsvTable& table, DatasetProfile profile) {
@@ -173,7 +176,9 @@ Result<Panel> PanelFromCsv(const CsvTable& table, DatasetProfile profile) {
 }
 
 Result<Panel> ReadPanelCsv(const std::string& path, DatasetProfile profile) {
-  AMS_ASSIGN_OR_RETURN(CsvTable table, ReadCsv(path));
+  // Lenient: verifies the CRC footer when present, but still accepts
+  // hand-written panels without one.
+  AMS_ASSIGN_OR_RETURN(CsvTable table, robust::ReadCsvLenient(path));
   return PanelFromCsv(table, profile);
 }
 

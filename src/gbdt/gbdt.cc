@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -15,13 +16,24 @@ using la::Matrix;
 namespace {
 
 /// Leaf weight under the second-order objective: -G / (H + lambda).
+/// A non-finite statistic (overflowed gradients, lambda = -H) yields a
+/// neutral 0.0 leaf instead of poisoning every later prediction.
 double LeafWeight(double grad_sum, double hess_sum, double reg_lambda) {
-  return -grad_sum / (hess_sum + reg_lambda);
+  const double w = -grad_sum / (hess_sum + reg_lambda);
+  if (!std::isfinite(w)) {
+    static obs::Counter& nan_counter =
+        obs::MetricsRegistry::Get().GetCounter("robust/nan_detected");
+    nan_counter.Increment();
+    return 0.0;
+  }
+  return w;
 }
 
-/// Score term G^2 / (H + lambda) used in the gain formula.
+/// Score term G^2 / (H + lambda) used in the gain formula. Non-finite
+/// terms score 0.0 so a poisoned partition cannot win the split search.
 double ScoreTerm(double grad_sum, double hess_sum, double reg_lambda) {
-  return grad_sum * grad_sum / (hess_sum + reg_lambda);
+  const double s = grad_sum * grad_sum / (hess_sum + reg_lambda);
+  return std::isfinite(s) ? s : 0.0;
 }
 
 struct BestSplit {
@@ -267,7 +279,18 @@ Status GbdtRegressor::Fit(const Matrix& x, const Matrix& y,
 
   for (int round = 0; round < options_.num_rounds; ++round) {
     // Squared-error objective: g = pred - y, h = 1.
-    for (int r = 0; r < n; ++r) grad[r] = pred[r] - y(r, 0);
+    bool grads_finite = true;
+    for (int r = 0; r < n; ++r) {
+      grad[r] = pred[r] - y(r, 0);
+      grads_finite = grads_finite && std::isfinite(grad[r]);
+    }
+    if (!grads_finite) {
+      obs::MetricsRegistry::Get().GetCounter("robust/nan_detected")
+          .Increment();
+      return Status::ComputeError(
+          "GBDT training diverged: non-finite gradient at round " +
+          std::to_string(round));
+    }
 
     std::vector<int> rows =
         rows_per_tree == n

@@ -6,14 +6,14 @@
 namespace ams::la {
 
 double Mean(const std::vector<double>& values) {
-  AMS_DCHECK(!values.empty(), "Mean of empty vector");
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   double s = 0.0;
   for (double v : values) s += v;
   return s / static_cast<double>(values.size());
 }
 
 double SampleVariance(const std::vector<double>& values) {
-  AMS_DCHECK(values.size() >= 2, "SampleVariance needs >= 2 values");
+  if (values.size() < 2) return std::numeric_limits<double>::quiet_NaN();
   const double mu = Mean(values);
   double s = 0.0;
   for (double v : values) s += (v - mu) * (v - mu);
@@ -25,7 +25,7 @@ double SampleStdDev(const std::vector<double>& values) {
 }
 
 double PopulationStdDev(const std::vector<double>& values) {
-  AMS_DCHECK(!values.empty(), "PopulationStdDev of empty vector");
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   const double mu = Mean(values);
   double s = 0.0;
   for (double v : values) s += (v - mu) * (v - mu);
@@ -35,7 +35,7 @@ double PopulationStdDev(const std::vector<double>& values) {
 double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b) {
   AMS_DCHECK(a.size() == b.size(), "PearsonCorrelation size mismatch");
-  AMS_DCHECK(a.size() >= 2, "PearsonCorrelation needs >= 2 points");
+  if (a.size() < 2) return 0.0;
   const double ma = Mean(a);
   const double mb = Mean(b);
   double cov = 0.0, va = 0.0, vb = 0.0;

@@ -9,20 +9,22 @@
 
 namespace ams::la {
 
-/// Arithmetic mean. Requires non-empty input.
+/// Arithmetic mean. NaN for empty input (the mean is undefined; callers
+/// that need a hard failure should check emptiness themselves).
 double Mean(const std::vector<double>& values);
 
-/// Sample variance (divides by n-1). Requires at least two values.
+/// Sample variance (divides by n-1). NaN for fewer than two values.
 double SampleVariance(const std::vector<double>& values);
 
-/// Sample standard deviation (sqrt of SampleVariance).
+/// Sample standard deviation (sqrt of SampleVariance; NaN for n < 2).
 double SampleStdDev(const std::vector<double>& values);
 
-/// Population standard deviation (divides by n).
+/// Population standard deviation (divides by n). NaN for empty input.
 double PopulationStdDev(const std::vector<double>& values);
 
 /// Pearson correlation coefficient of two equally-sized series.
-/// Returns 0 when either series is constant (correlation undefined).
+/// Returns 0 when either series is constant or shorter than two points
+/// (correlation undefined).
 double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b);
 

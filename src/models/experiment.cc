@@ -9,6 +9,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
+#include "robust/atomic_io.h"
+#include "robust/retry.h"
 #include "util/csv.h"
 #include "util/logging.h"
 
@@ -152,10 +154,17 @@ Result<ExperimentResult> RunExperimentOnPanel(const data::Panel& panel,
       }
       outcomes[m] = std::move(outcome);
     };
+    // Each model fit is retry-wrapped: a task that throws (injected or
+    // genuine) is re-run from scratch — the fit is deterministic given the
+    // fold seed, so a recovered fit equals an undisturbed one.
     par::DefaultPool().ParallelFor(
         0, static_cast<int64_t>(zoo.size()), /*grain=*/1,
         [&](int64_t m0, int64_t m1) {
-          for (int64_t m = m0; m < m1; ++m) run_model(static_cast<size_t>(m));
+          for (int64_t m = m0; m < m1; ++m) {
+            Status task_status = robust::RunWithRetry(
+                [&, m]() { run_model(static_cast<size_t>(m)); });
+            if (!task_status.ok()) statuses[m] = task_status;
+          }
         });
     for (size_t m = 0; m < zoo.size(); ++m) {
       AMS_RETURN_NOT_OK(statuses[m]);
@@ -222,85 +231,97 @@ Result<ExperimentResult> RunExperimentCached(const ExperimentConfig& config,
       data::GenerateMarket(
           data::GeneratorConfig::Defaults(config.profile, config.seed)));
 
-  if (std::filesystem::exists(path)) {
-    auto table = ReadCsv(path);
-    if (table.ok()) {
-      // Reconstruct: header model,fold,sample,predicted_ur.
-      ExperimentResult result;
-      result.panel = panel;
-      const data::CvOptions cv_options =
-          data::DefaultCvOptions(panel.profile);
-      AMS_ASSIGN_OR_RETURN(
-          result.cv_folds,
-          data::TimeSeriesCvFolds(panel.num_quarters, cv_options));
-      data::FeatureOptions feature_options;
-      feature_options.lag_k = cv_options.lag_k;
-      feature_options.include_alt = config.include_alt;
-      data::FeatureBuilder builder(&panel, feature_options);
-      for (const data::CvFold& fold : result.cv_folds) {
-        AMS_ASSIGN_OR_RETURN(data::Dataset test,
-                             builder.Build({fold.test_quarter}));
-        result.fold_test_meta.push_back(test.meta);
-      }
-      // Rows carry an explicit sample index; place each prediction by it
-      // rather than trusting on-disk row order, and reject duplicate or
-      // missing indices so a truncated/hand-edited cache cannot silently
-      // misalign predictions with fold_test_meta.
-      std::map<std::string, std::map<int, std::map<int, double>>> loaded;
-      std::vector<std::string> order;
-      for (const auto& row : table.ValueOrDie().rows) {
-        if (row.size() != 4) {
-          return Status::InvalidArgument("corrupt experiment cache: " + path);
-        }
-        if (loaded.find(row[0]) == loaded.end()) order.push_back(row[0]);
-        const int fold_index = std::atoi(row[1].c_str());
-        const int sample_index = std::atoi(row[2].c_str());
-        auto& fold_preds = loaded[row[0]][fold_index];
-        if (!fold_preds.emplace(sample_index, std::atof(row[3].c_str()))
-                 .second) {
-          return Status::InvalidArgument(
-              "duplicate sample index " + row[2] + " in experiment cache: " +
-              path);
-        }
-      }
-      for (const std::string& name : order) {
-        ModelOutcome outcome;
-        outcome.name = name;
-        for (size_t f = 0; f < result.cv_folds.size(); ++f) {
-          auto it = loaded[name].find(static_cast<int>(f));
-          if (it == loaded[name].end()) {
-            return Status::InvalidArgument("incomplete experiment cache: " +
-                                           path);
-          }
-          FoldOutcome fold;
-          fold.test_quarter = result.cv_folds[f].test_quarter;
-          fold.predicted_ur.reserve(it->second.size());
-          int expected_index = 0;
-          for (const auto& [sample_index, prediction] : it->second) {
-            if (sample_index != expected_index) {
-              return Status::InvalidArgument(
-                  "gap in sample indices (expected " +
-                  std::to_string(expected_index) + ", found " +
-                  std::to_string(sample_index) + ") in experiment cache: " +
-                  path);
-            }
-            fold.predicted_ur.push_back(prediction);
-            ++expected_index;
-          }
-          std::vector<double> actual;
-          for (const data::SampleMeta& meta : result.fold_test_meta[f]) {
-            actual.push_back(meta.actual_ur);
-          }
-          AMS_ASSIGN_OR_RETURN(
-              fold.eval,
-              metrics::EvaluateAbsolute(fold.predicted_ur, actual));
-          outcome.folds.push_back(std::move(fold));
-        }
-        result.models.push_back(std::move(outcome));
-      }
-      AMS_LOG(Info) << "reusing cached experiment " << path;
-      return FilterModels(std::move(result), config.model_filter);
+  // The loader verifies the CRC footer and validates the reconstruction;
+  // ANY failure — truncated file, checksum mismatch, malformed rows —
+  // falls back to regeneration below instead of failing the caller.
+  auto load_cache = [&]() -> Result<ExperimentResult> {
+    AMS_ASSIGN_OR_RETURN(CsvTable table, robust::ReadCsvVerified(path));
+    // Reconstruct: header model,fold,sample,predicted_ur.
+    ExperimentResult result;
+    result.panel = panel;
+    const data::CvOptions cv_options = data::DefaultCvOptions(panel.profile);
+    AMS_ASSIGN_OR_RETURN(
+        result.cv_folds,
+        data::TimeSeriesCvFolds(panel.num_quarters, cv_options));
+    data::FeatureOptions feature_options;
+    feature_options.lag_k = cv_options.lag_k;
+    feature_options.include_alt = config.include_alt;
+    data::FeatureBuilder builder(&panel, feature_options);
+    for (const data::CvFold& fold : result.cv_folds) {
+      AMS_ASSIGN_OR_RETURN(data::Dataset test,
+                           builder.Build({fold.test_quarter}));
+      result.fold_test_meta.push_back(test.meta);
     }
+    // Rows carry an explicit sample index; place each prediction by it
+    // rather than trusting on-disk row order, and reject duplicate or
+    // missing indices so a truncated/hand-edited cache cannot silently
+    // misalign predictions with fold_test_meta.
+    std::map<std::string, std::map<int, std::map<int, double>>> loaded;
+    std::vector<std::string> order;
+    for (const auto& row : table.rows) {
+      if (row.size() != 4) {
+        return Status::InvalidArgument("corrupt experiment cache: " + path);
+      }
+      if (loaded.find(row[0]) == loaded.end()) order.push_back(row[0]);
+      const int fold_index = std::atoi(row[1].c_str());
+      const int sample_index = std::atoi(row[2].c_str());
+      auto& fold_preds = loaded[row[0]][fold_index];
+      if (!fold_preds.emplace(sample_index, std::atof(row[3].c_str()))
+               .second) {
+        return Status::InvalidArgument(
+            "duplicate sample index " + row[2] + " in experiment cache: " +
+            path);
+      }
+    }
+    for (const std::string& name : order) {
+      ModelOutcome outcome;
+      outcome.name = name;
+      for (size_t f = 0; f < result.cv_folds.size(); ++f) {
+        auto it = loaded[name].find(static_cast<int>(f));
+        if (it == loaded[name].end()) {
+          return Status::InvalidArgument("incomplete experiment cache: " +
+                                         path);
+        }
+        FoldOutcome fold;
+        fold.test_quarter = result.cv_folds[f].test_quarter;
+        fold.predicted_ur.reserve(it->second.size());
+        int expected_index = 0;
+        for (const auto& [sample_index, prediction] : it->second) {
+          if (sample_index != expected_index) {
+            return Status::InvalidArgument(
+                "gap in sample indices (expected " +
+                std::to_string(expected_index) + ", found " +
+                std::to_string(sample_index) + ") in experiment cache: " +
+                path);
+          }
+          fold.predicted_ur.push_back(prediction);
+          ++expected_index;
+        }
+        std::vector<double> actual;
+        for (const data::SampleMeta& meta : result.fold_test_meta[f]) {
+          actual.push_back(meta.actual_ur);
+        }
+        AMS_ASSIGN_OR_RETURN(
+            fold.eval,
+            metrics::EvaluateAbsolute(fold.predicted_ur, actual));
+        outcome.folds.push_back(std::move(fold));
+      }
+      result.models.push_back(std::move(outcome));
+    }
+    return result;
+  };
+
+  if (std::filesystem::exists(path)) {
+    auto cached = load_cache();
+    if (cached.ok()) {
+      AMS_LOG(Info) << "reusing cached experiment " << path;
+      return FilterModels(cached.MoveValue(), config.model_filter);
+    }
+    obs::MetricsRegistry::Get()
+        .GetCounter("robust/cache_regenerated")
+        .Increment();
+    AMS_LOG(Warning) << "invalid experiment cache (" << cached.status()
+                     << "); regenerating";
   }
 
   AMS_ASSIGN_OR_RETURN(ExperimentResult result,
@@ -316,7 +337,7 @@ Result<ExperimentResult> RunExperimentCached(const ExperimentConfig& config,
       }
     }
   }
-  Status write_status = WriteCsv(path, table);
+  Status write_status = robust::WriteCsvAtomic(path, table);
   if (!write_status.ok()) {
     AMS_LOG(Warning) << "could not persist experiment cache: "
                      << write_status;

@@ -1,12 +1,18 @@
 #include "models/hpo.h"
 
+#include <atomic>
+#include <filesystem>
 #include <limits>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
+#include "robust/checkpoint.h"
+#include "robust/faults.h"
+#include "robust/retry.h"
 #include "util/logging.h"
 
 namespace ams::models {
@@ -16,10 +22,23 @@ namespace {
 /// Everything one trial produces; reduced sequentially after the parallel
 /// fit phase so the winner is independent of scheduling.
 struct TrialResult {
-  std::unique_ptr<Regressor> model;  // null when the trial failed
+  std::unique_ptr<Regressor> model;  // null when the trial failed OR when
+                                     // the trial was resumed from disk
   double valid_rmse = 0.0;
   std::string error;
+  bool done = false;  // completed (ok or failed) this run or via resume
+  bool ok = false;
 };
+
+std::string SanitizeForFilename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!keep) c = '_';
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -30,7 +49,9 @@ Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
                                         : spec.default_trials;
   // Pre-fork one RNG stream per trial on the calling thread, in trial
   // order. Trial t therefore samples the same hyperparameters and fit seed
-  // no matter how many pool workers exist or how trials interleave.
+  // no matter how many pool workers exist or how trials interleave — and a
+  // retried or resumed trial t re-runs from a copy of the same stream,
+  // reproducing its result exactly.
   Rng rng(options.seed);
   std::vector<Rng> trial_rngs;
   trial_rngs.reserve(trials);
@@ -41,61 +62,179 @@ Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
   obs::Counter& trial_counter = registry.GetCounter("hpo/trials");
   obs::Counter& failed_counter = registry.GetCounter("hpo/trials_failed");
+  obs::Counter& resumed_counter =
+      registry.GetCounter("robust/hpo_trials_resumed");
+
+  // --- Per-trial progress checkpoint. ---
+  std::string ckpt_dir = options.checkpoint_dir;
+  if (ckpt_dir.empty()) {
+    ckpt_dir = robust::CheckpointDirFromEnv();
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(ckpt_dir, ec);
+  }
+  const std::string fingerprint = "hpo1|" + spec.name + "|t" +
+                                  std::to_string(trials) + "|s" +
+                                  std::to_string(options.seed);
+  std::string ckpt_path;
+  if (!ckpt_dir.empty()) {
+    ckpt_path = ckpt_dir + "/hpo_" + SanitizeForFilename(spec.name) + "_s" +
+                std::to_string(options.seed) + "_t" + std::to_string(trials) +
+                ".ckpt";
+  }
 
   std::vector<TrialResult> results(trials);
+  robust::Checkpoint ckpt;
+  int trials_resumed = 0;
+  if (!ckpt_path.empty() && std::filesystem::exists(ckpt_path)) {
+    auto loaded = robust::LoadCheckpoint(ckpt_path);
+    if (loaded.ok() &&
+        loaded.ValueOrDie().strings["fingerprint"] == fingerprint) {
+      ckpt = std::move(loaded.ValueOrDie());
+      for (int t = 0; t < trials; ++t) {
+        const std::string key = "trial/" + std::to_string(t);
+        auto ok_it = ckpt.scalars.find(key + "/ok");
+        if (ok_it == ckpt.scalars.end()) continue;
+        results[t].done = true;
+        results[t].ok = ok_it->second != 0.0;
+        auto rmse_it = ckpt.scalars.find(key + "/rmse");
+        if (rmse_it != ckpt.scalars.end()) {
+          results[t].valid_rmse = rmse_it->second;
+        }
+        auto error_it = ckpt.strings.find(key + "/error");
+        if (error_it != ckpt.strings.end()) {
+          results[t].error = error_it->second;
+        }
+        ++trials_resumed;
+        resumed_counter.Increment();
+      }
+      AMS_LOG(Info) << spec.name << ": resumed " << trials_resumed << "/"
+                    << trials << " HPO trials from " << ckpt_path;
+    } else {
+      AMS_LOG(Warning) << "ignoring stale/corrupt HPO checkpoint "
+                       << ckpt_path;
+      ckpt = robust::Checkpoint();
+    }
+  }
+  ckpt.strings["fingerprint"] = fingerprint;
+
+  std::mutex ckpt_mu;  // serializes record updates + checkpoint rewrites
+  int64_t completed = trials_resumed;
+  std::atomic<bool> crashed{false};
+
   par::DefaultPool().ParallelFor(
       0, trials, /*grain=*/1, [&](int64_t t0, int64_t t1) {
         for (int64_t t = t0; t < t1; ++t) {
+          if (results[t].done) continue;  // resumed from checkpoint
+          if (crashed.load(std::memory_order_relaxed)) continue;
           AMS_TRACE_SPAN("hpo/trial");
-          Rng& trial_rng = trial_rngs[t];
-          std::unique_ptr<Regressor> model = spec.factory(&trial_rng);
-          FitContext trial_context = context;
-          trial_context.seed = trial_rng.NextU64();
           trial_counter.Increment();
-          Status fit_status = model->Fit(trial_context);
-          if (!fit_status.ok()) {
-            failed_counter.Increment();
-            results[t].error = fit_status.ToString();
-            continue;
+          // The whole trial is retry-wrapped: a thrown task (injected or
+          // real) re-runs from a fresh copy of the trial's RNG stream, so
+          // a recovered trial is indistinguishable from an undisturbed one.
+          // Status-level fit failures are deterministic and NOT retried.
+          Status trial_status = robust::RunWithRetry([&, t]() {
+            Rng trial_rng = trial_rngs[t];
+            std::unique_ptr<Regressor> model = spec.factory(&trial_rng);
+            FitContext trial_context = context;
+            trial_context.seed = trial_rng.NextU64();
+            Status fit_status = model->Fit(trial_context);
+            if (!fit_status.ok()) {
+              results[t].error = fit_status.ToString();
+              return;
+            }
+            auto rmse = ValidationRmse(*model, *context.valid);
+            if (!rmse.ok()) {
+              results[t].error = rmse.status().ToString();
+              return;
+            }
+            results[t].model = std::move(model);
+            results[t].valid_rmse = rmse.ValueOrDie();
+            results[t].ok = true;
+          });
+          if (!trial_status.ok()) {
+            results[t].error = trial_status.ToString();
+            results[t].ok = false;
           }
-          auto rmse = ValidationRmse(*model, *context.valid);
-          if (!rmse.ok()) {
-            failed_counter.Increment();
-            results[t].error = rmse.status().ToString();
-            continue;
+          results[t].done = true;
+          if (!results[t].ok) failed_counter.Increment();
+
+          std::lock_guard<std::mutex> lock(ckpt_mu);
+          const std::string key = "trial/" + std::to_string(t);
+          ckpt.scalars[key + "/ok"] = results[t].ok ? 1.0 : 0.0;
+          ckpt.scalars[key + "/rmse"] = results[t].valid_rmse;
+          if (!results[t].error.empty()) {
+            ckpt.strings[key + "/error"] = results[t].error;
           }
-          results[t].model = std::move(model);
-          results[t].valid_rmse = rmse.ValueOrDie();
+          ++completed;
+          if (!ckpt_path.empty()) {
+            Status save_status = robust::SaveCheckpoint(ckpt_path, ckpt);
+            if (!save_status.ok()) {
+              AMS_LOG(Warning) << "could not save HPO checkpoint: "
+                               << save_status;
+            }
+          }
+          // Simulated mid-run kill: fires after the completed trial was
+          // checkpointed, so a rerun resumes exactly past this point.
+          if (robust::FaultInjector::Get().ShouldCrashHpo(completed)) {
+            crashed.store(true, std::memory_order_relaxed);
+          }
         }
       });
+
+  if (crashed.load()) {
+    return Status::Internal("injected HPO crash for " + spec.name);
+  }
 
   // Sequential reduce in trial order: strict < keeps the lowest-index trial
   // on RMSE ties, exactly like the serial loop did.
   HpoOutcome outcome;
   outcome.trials_run = trials;
+  outcome.trials_resumed = trials_resumed;
   double best = std::numeric_limits<double>::infinity();
+  int best_trial = -1;
   std::string last_error;
   for (int trial = 0; trial < trials; ++trial) {
     TrialResult& result = results[trial];
-    if (result.model == nullptr) {
+    if (!result.ok) {
       ++outcome.trials_failed;
       last_error = result.error;
       continue;
     }
     if (result.valid_rmse < best) {
       best = result.valid_rmse;
-      outcome.model = std::move(result.model);
+      best_trial = trial;
       outcome.valid_rmse = best;
     }
   }
-  if (outcome.model == nullptr) {
+  if (best_trial < 0) {
     return Status::ComputeError("all " + std::to_string(trials) +
                                 " random-search trials for " + spec.name +
                                 " failed; last error: " + last_error);
   }
+  outcome.model = std::move(results[best_trial].model);
+  if (outcome.model == nullptr) {
+    // The winner was resumed from the checkpoint record, which stores its
+    // score but not the fitted model; re-fit it from the same pre-forked
+    // RNG stream, which reproduces it exactly.
+    Rng trial_rng = trial_rngs[best_trial];
+    std::unique_ptr<Regressor> model = spec.factory(&trial_rng);
+    FitContext trial_context = context;
+    trial_context.seed = trial_rng.NextU64();
+    Status fit_status = model->Fit(trial_context);
+    if (!fit_status.ok()) {
+      return Status::ComputeError(
+          "re-fit of resumed winning trial failed: " + fit_status.ToString());
+    }
+    outcome.model = std::move(model);
+  }
   if (outcome.trials_failed > 0) {
     AMS_LOG(Warning) << spec.name << ": " << outcome.trials_failed << "/"
                      << outcome.trials_run << " HPO trials failed";
+  }
+  if (!ckpt_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(ckpt_path, ec);
   }
   return outcome;
 }

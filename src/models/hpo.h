@@ -4,6 +4,7 @@
 #define AMS_MODELS_HPO_H_
 
 #include <memory>
+#include <string>
 
 #include "models/zoo.h"
 
@@ -13,6 +14,12 @@ struct HpoOptions {
   /// Number of sampled configurations; <= 0 means use the spec's default.
   int trials = 0;
   uint64_t seed = 7;
+  /// Directory for per-trial resume checkpoints. Empty means "use
+  /// AMS_CHECKPOINT_DIR" (still empty -> checkpointing off). After every
+  /// completed trial the progress file is atomically rewritten; a search
+  /// restarted after a mid-run crash skips the recorded trials and
+  /// reproduces the uninterrupted result bit-identically.
+  std::string checkpoint_dir;
 };
 
 struct HpoOutcome {
@@ -20,11 +27,13 @@ struct HpoOutcome {
   double valid_rmse = 0.0;
   int trials_run = 0;
   int trials_failed = 0;
+  int trials_resumed = 0;  // completed trials skipped via checkpoint
 };
 
 /// Samples, fits and scores `trials` configurations; returns the best.
 /// Individual trial failures (e.g. divergence) are tolerated; fails only if
-/// every trial failed.
+/// every trial failed. Trials that throw (injected or genuine) are retried
+/// with bounded backoff before being recorded as failures.
 Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
                                 const FitContext& context,
                                 const HpoOptions& options);

@@ -16,13 +16,15 @@ using tensor::Tensor;
 namespace {
 
 /// Full-batch Adam loop with early stopping on a validation loss; restores
-/// the best parameters before returning.
+/// the best parameters before returning. `dropout_rng` is the training-time
+/// noise stream, rewound by the rollback guard policy (may be null).
 Status TrainLoop(std::vector<Tensor> params,
                  const std::function<Tensor()>& train_loss,
                  const std::function<double()>& valid_loss,
-                 const NeuralTrainOptions& options) {
+                 const NeuralTrainOptions& options, Rng* dropout_rng) {
   optim::Adam optimizer(params, options.learning_rate, 0.9, 0.999, 1e-8,
                         options.weight_decay);
+  robust::TrainGuard guard(options.guard, &optimizer, dropout_rng);
   // Include the initial state as an early-stopping candidate.
   double best = valid_loss();
   std::vector<Matrix> best_params;
@@ -32,16 +34,25 @@ Status TrainLoop(std::vector<Tensor> params,
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
   obs::Counter& epoch_counter = registry.GetCounter("nn/train/epochs");
   obs::Gauge& loss_gauge = registry.GetGauge("nn/train/loss");
-  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+  for (int epoch = 0; epoch < options.max_epochs;) {
     AMS_TRACE_SPAN("nn/train/epoch");
+    guard.BeginEpoch(epoch);
     optimizer.ZeroGrad();
     Tensor loss = train_loss();
-    if (!loss.value().AllFinite()) {
-      return Status::ComputeError("training diverged (non-finite loss)");
+    const bool loss_finite = loss.value().AllFinite();
+    if (loss_finite) tensor::Backward(loss);
+    switch (guard.GuardStep(epoch, loss_finite)) {
+      case robust::TrainGuard::Action::kAbort:
+        return guard.AbortStatus();
+      case robust::TrainGuard::Action::kRetryEpoch:
+        continue;
+      case robust::TrainGuard::Action::kSkipStep:
+        break;
+      case robust::TrainGuard::Action::kProceed:
+        if (options.grad_clip > 0.0) optimizer.ClipGradNorm(options.grad_clip);
+        optimizer.Step();
+        break;
     }
-    tensor::Backward(loss);
-    if (options.grad_clip > 0.0) optimizer.ClipGradNorm(options.grad_clip);
-    optimizer.Step();
     epoch_counter.Increment();
     loss_gauge.Set(loss.value()(0, 0));
 
@@ -55,6 +66,7 @@ Status TrainLoop(std::vector<Tensor> params,
     } else if (++since_best >= options.patience) {
       break;
     }
+    ++epoch;
   }
   for (size_t i = 0; i < params.size(); ++i) {
     params[i].mutable_value() = best_params[i];
@@ -94,7 +106,8 @@ Status MlpRegressor::Fit(const FitContext& context) {
     return pred.ok() ? EvalMse(pred.ValueOrDie(), valid.y)
                      : std::numeric_limits<double>::infinity();
   };
-  return TrainLoop(mlp_->Parameters(), train_loss, valid_loss, options_);
+  return TrainLoop(mlp_->Parameters(), train_loss, valid_loss, options_,
+                   &dropout_rng);
 }
 
 Result<std::vector<double>> MlpRegressor::PredictNorm(
@@ -170,7 +183,8 @@ Status RecurrentRegressor::Fit(const FitContext& context) {
     return pred.ok() ? EvalMse(pred.ValueOrDie(), valid.y)
                      : std::numeric_limits<double>::infinity();
   };
-  return TrainLoop(Parameters(), train_loss, valid_loss, options_);
+  return TrainLoop(Parameters(), train_loss, valid_loss, options_,
+                   &dropout_rng);
 }
 
 Result<std::vector<double>> RecurrentRegressor::PredictNorm(

@@ -9,6 +9,7 @@
 
 #include "models/regressor.h"
 #include "nn/dense.h"
+#include "robust/guard.h"
 #include "seq/recurrent.h"
 
 namespace ams::models {
@@ -22,6 +23,8 @@ struct NeuralTrainOptions {
   double grad_clip = 5.0;
   int patience = 50;
   uint64_t seed = 42;
+  /// Non-finite loss/gradient handling; defaults to AMS_GUARD_POLICY.
+  robust::GuardOptions guard = robust::GuardOptions::FromEnv();
 };
 
 /// Multilayer perceptron on the flat feature vector.

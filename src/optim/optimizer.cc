@@ -1,6 +1,8 @@
 #include "optim/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace ams::optim {
 
@@ -29,10 +31,43 @@ double Optimizer::ClipGradNorm(double max_norm) {
   return norm;
 }
 
+OptimizerState Optimizer::SaveState() const {
+  OptimizerState state;
+  state.learning_rate = lr_;
+  return state;
+}
+
+Status Optimizer::RestoreState(const OptimizerState& state) {
+  AMS_RETURN_NOT_OK(CheckSlots(state, 0));
+  lr_ = state.learning_rate;
+  return Status::OK();
+}
+
+Status Optimizer::CheckSlots(const OptimizerState& state,
+                             size_t expected) const {
+  if (state.slots.size() != expected) {
+    return Status::InvalidArgument(
+        "optimizer state has " + std::to_string(state.slots.size()) +
+        " slots, expected " + std::to_string(expected));
+  }
+  // Slots are laid out per parameter, in parameter order, possibly in
+  // several groups (Adam keeps two).
+  const size_t groups = params_.empty() ? 0 : expected / params_.size();
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t i = 0; i < params_.size(); ++i) {
+      const la::Matrix& slot = state.slots[g * params_.size() + i];
+      if (slot.rows() != params_[i].rows() ||
+          slot.cols() != params_[i].cols()) {
+        return Status::InvalidArgument("optimizer state slot shape mismatch");
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Sgd::Sgd(std::vector<tensor::Tensor> params, double lr, double momentum,
          double weight_decay)
-    : Optimizer(std::move(params)),
-      lr_(lr),
+    : Optimizer(std::move(params), lr),
       momentum_(momentum),
       weight_decay_(weight_decay) {
   velocity_.reserve(params_.size());
@@ -56,10 +91,23 @@ void Sgd::Step() {
   }
 }
 
+OptimizerState Sgd::SaveState() const {
+  OptimizerState state;
+  state.learning_rate = lr_;
+  state.slots = velocity_;
+  return state;
+}
+
+Status Sgd::RestoreState(const OptimizerState& state) {
+  AMS_RETURN_NOT_OK(CheckSlots(state, velocity_.size()));
+  lr_ = state.learning_rate;
+  velocity_ = state.slots;
+  return Status::OK();
+}
+
 Adam::Adam(std::vector<tensor::Tensor> params, double lr, double beta1,
            double beta2, double epsilon, double weight_decay)
-    : Optimizer(std::move(params)),
-      lr_(lr),
+    : Optimizer(std::move(params), lr),
       beta1_(beta1),
       beta2_(beta2),
       epsilon_(epsilon),
@@ -88,6 +136,24 @@ void Adam::Step() {
       value.data()[j] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
     }
   }
+}
+
+OptimizerState Adam::SaveState() const {
+  OptimizerState state;
+  state.learning_rate = lr_;
+  state.step_count = t_;
+  state.slots = m_;
+  state.slots.insert(state.slots.end(), v_.begin(), v_.end());
+  return state;
+}
+
+Status Adam::RestoreState(const OptimizerState& state) {
+  AMS_RETURN_NOT_OK(CheckSlots(state, m_.size() + v_.size()));
+  lr_ = state.learning_rate;
+  t_ = static_cast<int>(state.step_count);
+  std::copy(state.slots.begin(), state.slots.begin() + m_.size(), m_.begin());
+  std::copy(state.slots.begin() + m_.size(), state.slots.end(), v_.begin());
+  return Status::OK();
 }
 
 }  // namespace ams::optim

@@ -5,18 +5,30 @@
 #ifndef AMS_OPTIM_OPTIMIZER_H_
 #define AMS_OPTIM_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace ams::optim {
+
+/// Serializable optimizer state: the learning rate, the step counter (Adam's
+/// bias-correction t) and the per-parameter moment/velocity slots, in a
+/// derived-class-defined order. Used by checkpoint/resume and by the epoch
+/// rollback guard, both of which need bit-exact restoration.
+struct OptimizerState {
+  double learning_rate = 0.0;
+  int64_t step_count = 0;
+  std::vector<la::Matrix> slots;
+};
 
 /// Common interface: after Backward() populated gradients, Step() updates
 /// parameter values in place; ZeroGrad() clears gradients for the next pass.
 class Optimizer {
  public:
-  explicit Optimizer(std::vector<tensor::Tensor> params)
-      : params_(std::move(params)) {}
+  Optimizer(std::vector<tensor::Tensor> params, double lr)
+      : params_(std::move(params)), lr_(lr) {}
   virtual ~Optimizer() = default;
 
   virtual void Step() = 0;
@@ -26,10 +38,22 @@ class Optimizer {
   /// Returns the pre-clip norm.
   double ClipGradNorm(double max_norm);
 
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+  /// Snapshot / restore of the full internal state (not parameter values —
+  /// those live in the tensors). RestoreState rejects a state whose slot
+  /// count or shapes do not match this optimizer.
+  virtual OptimizerState SaveState() const;
+  virtual Status RestoreState(const OptimizerState& state);
+
   const std::vector<tensor::Tensor>& params() const { return params_; }
 
  protected:
+  Status CheckSlots(const OptimizerState& state, size_t expected) const;
+
   std::vector<tensor::Tensor> params_;
+  double lr_;
 };
 
 /// SGD with optional classical momentum and decoupled L2 weight decay.
@@ -38,9 +62,10 @@ class Sgd : public Optimizer {
   Sgd(std::vector<tensor::Tensor> params, double lr, double momentum = 0.0,
       double weight_decay = 0.0);
   void Step() override;
+  OptimizerState SaveState() const override;
+  Status RestoreState(const OptimizerState& state) override;
 
  private:
-  double lr_;
   double momentum_;
   double weight_decay_;
   std::vector<la::Matrix> velocity_;
@@ -55,9 +80,10 @@ class Adam : public Optimizer {
        double beta2 = 0.999, double epsilon = 1e-8,
        double weight_decay = 0.0);
   void Step() override;
+  OptimizerState SaveState() const override;
+  Status RestoreState(const OptimizerState& state) override;
 
  private:
-  double lr_;
   double beta1_;
   double beta2_;
   double epsilon_;

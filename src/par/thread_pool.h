@@ -70,6 +70,15 @@ class ThreadPool {
   /// captured into the future. Do NOT block on the returned future from
   /// inside another pool task (that can deadlock a full pool) — inside tasks,
   /// use ParallelFor, which cannot.
+  ///
+  /// Shutdown interaction: the destructor drains the queue, so a task
+  /// submitted before destruction still runs — on a worker, or inline on
+  /// the destroying thread once the workers have joined. Either way a
+  /// throwing task never escapes into the pool machinery: packaged_task
+  /// stores the exception, and future::get() rethrows it even after the
+  /// pool itself is gone. Callers that want retries instead of a stored
+  /// exception should wrap the body with robust::RunWithRetry (which also
+  /// counts "robust/task_throws").
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;

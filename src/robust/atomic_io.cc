@@ -1,0 +1,172 @@
+#include "robust/atomic_io.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "robust/faults.h"
+#include "util/logging.h"
+
+namespace ams::robust {
+
+namespace {
+
+constexpr size_t kFooterSize = 16;  // "#crc32:XXXXXXXX\n"
+constexpr char kFooterPrefix[] = "#crc32:";
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+obs::Counter& CrcFailureCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Get().GetCounter("robust/crc_failures");
+  return counter;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return oss.str();
+}
+
+/// True when `contents` ends with a well-formed footer (hex validity is
+/// checked by the CRC comparison).
+bool HasFooter(const std::string& contents) {
+  return contents.size() >= kFooterSize &&
+         contents.compare(contents.size() - kFooterSize,
+                          sizeof(kFooterPrefix) - 1, kFooterPrefix) == 0 &&
+         contents.back() == '\n';
+}
+
+/// Verifies and strips the footer in place.
+Status StripFooter(std::string* contents, const std::string& path) {
+  const size_t payload_size = contents->size() - kFooterSize;
+  const std::string hex = contents->substr(
+      payload_size + sizeof(kFooterPrefix) - 1, 8);
+  uint32_t stored = 0;
+  for (char c : hex) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else {
+      CrcFailureCounter().Increment();
+      return Status::IoError("malformed CRC footer in " + path);
+    }
+    stored = (stored << 4) | static_cast<uint32_t>(digit);
+  }
+  const uint32_t actual =
+      Crc32(std::string_view(contents->data(), payload_size));
+  if (actual != stored) {
+    CrcFailureCounter().Increment();
+    return Status::IoError("CRC mismatch in " + path +
+                           " (file truncated or corrupt)");
+  }
+  contents->resize(payload_size);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32(data.data(), data.size()); }
+
+std::string CrcFooter(std::string_view payload) {
+  char buf[kFooterSize + 1];
+  std::snprintf(buf, sizeof(buf), "#crc32:%08x\n", Crc32(payload));
+  return std::string(buf, kFooterSize);
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view payload) {
+  static obs::Counter& write_counter =
+      obs::MetricsRegistry::Get().GetCounter("robust/atomic_writes");
+  write_counter.Increment();
+
+  // The footer is computed over the full payload before any injected
+  // truncation, exactly like a real torn write: the checksum promises more
+  // bytes than the file holds, so readers reject it.
+  const std::string footer = CrcFooter(payload);
+  std::string_view to_write = payload;
+  if (FaultInjector::Get().ShouldTruncateWrite()) {
+    to_write = payload.substr(0, payload.size() / 2);
+  }
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp_path);
+    out.write(to_write.data(), static_cast<std::streamsize>(to_write.size()));
+    out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Status::IoError("write failed: " + tmp_path);
+    }
+    out.close();
+    if (out.fail()) {
+      std::remove(tmp_path.c_str());
+      return Status::IoError("close failed: " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("rename failed: " + tmp_path + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileVerified(const std::string& path) {
+  AMS_ASSIGN_OR_RETURN(std::string contents, ReadWholeFile(path));
+  if (!HasFooter(contents)) {
+    CrcFailureCounter().Increment();
+    return Status::IoError("missing CRC footer in " + path);
+  }
+  AMS_RETURN_NOT_OK(StripFooter(&contents, path));
+  return contents;
+}
+
+Result<std::string> ReadFileLenient(const std::string& path) {
+  AMS_ASSIGN_OR_RETURN(std::string contents, ReadWholeFile(path));
+  if (HasFooter(contents)) {
+    AMS_RETURN_NOT_OK(StripFooter(&contents, path));
+  }
+  return contents;
+}
+
+Status WriteCsvAtomic(const std::string& path, const CsvTable& table) {
+  return AtomicWriteFile(path, CsvToString(table));
+}
+
+Result<CsvTable> ReadCsvVerified(const std::string& path) {
+  AMS_ASSIGN_OR_RETURN(std::string contents, ReadFileVerified(path));
+  return ParseCsv(contents);
+}
+
+Result<CsvTable> ReadCsvLenient(const std::string& path) {
+  AMS_ASSIGN_OR_RETURN(std::string contents, ReadFileLenient(path));
+  return ParseCsv(contents);
+}
+
+}  // namespace ams::robust

@@ -1,0 +1,54 @@
+// Crash-safe file artifacts: atomic writes with a CRC32 footer.
+//
+// AtomicWriteFile stages the contents in a temp file next to the target,
+// flushes, close-checks, then renames into place, so readers never observe
+// a half-written file under the final name (POSIX rename atomicity within a
+// filesystem). A trailing CRC32 footer covers the payload so that torn
+// writes that do slip through (power loss between write and rename of a
+// reused name, manual truncation, bit rot) are detected at read time, and
+// callers fall back to regeneration instead of consuming garbage.
+//
+// Footer format: the last 16 bytes of the file are "#crc32:XXXXXXXX\n"
+// with the IEEE CRC-32 of every preceding byte in lowercase hex. The '#'
+// prefix keeps the footer inert for CSV-style line parsers.
+#ifndef AMS_ROBUST_ATOMIC_IO_H_
+#define AMS_ROBUST_ATOMIC_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace ams::robust {
+
+/// IEEE 802.3 CRC-32 (the zlib/PNG polynomial), table-driven.
+uint32_t Crc32(const void* data, size_t size);
+uint32_t Crc32(std::string_view data);
+
+/// The 16-byte footer for `payload`.
+std::string CrcFooter(std::string_view payload);
+
+/// Writes payload + CRC footer to `path` via temp file + flush +
+/// close-check + rename. An armed io_truncate fault halves the payload
+/// before writing (the footer then fails verification at read time).
+Status AtomicWriteFile(const std::string& path, std::string_view payload);
+
+/// Reads `path`, verifies and strips the CRC footer. kIoError when the
+/// footer is missing or the checksum mismatches.
+Result<std::string> ReadFileVerified(const std::string& path);
+
+/// Like ReadFileVerified, but a file without a footer is returned as-is
+/// (for artifacts that predate the footer or come from external tools);
+/// a present-but-mismatching footer is still an error.
+Result<std::string> ReadFileLenient(const std::string& path);
+
+/// CSV conveniences over the atomic writer / verified readers.
+Status WriteCsvAtomic(const std::string& path, const CsvTable& table);
+Result<CsvTable> ReadCsvVerified(const std::string& path);
+Result<CsvTable> ReadCsvLenient(const std::string& path);
+
+}  // namespace ams::robust
+
+#endif  // AMS_ROBUST_ATOMIC_IO_H_

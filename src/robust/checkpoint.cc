@@ -1,0 +1,229 @@
+#include "robust/checkpoint.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/metrics.h"
+#include "robust/atomic_io.h"
+#include "util/logging.h"
+
+namespace ams::robust {
+
+namespace {
+
+constexpr char kMagic[] = "AMSCKPT1";
+constexpr size_t kMagicSize = sizeof(kMagic) - 1;
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked reader over the serialized blob.
+class Reader {
+ public:
+  explicit Reader(const std::string& blob) : blob_(blob) {}
+
+  Result<uint32_t> U32() {
+    AMS_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(blob_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    AMS_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(blob_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> Double() {
+    AMS_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> String() {
+    AMS_ASSIGN_OR_RETURN(uint32_t size, U32());
+    AMS_RETURN_NOT_OK(Need(size));
+    std::string s = blob_.substr(pos_, size);
+    pos_ += size;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == blob_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > blob_.size()) {
+      return Status::InvalidArgument("truncated checkpoint blob");
+    }
+    return Status::OK();
+  }
+
+  const std::string& blob_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Checkpoint::PutRngState(const std::string& key, const RngState& state) {
+  la::Matrix m(1, 6);
+  for (int i = 0; i < 4; ++i) {
+    double d;
+    std::memcpy(&d, &state.s[i], sizeof(d));
+    m(0, i) = d;
+  }
+  m(0, 4) = state.has_cached_normal ? 1.0 : 0.0;
+  m(0, 5) = state.cached_normal;
+  tensors[key] = std::move(m);
+}
+
+Result<RngState> Checkpoint::GetRngState(const std::string& key) const {
+  auto it = tensors.find(key);
+  if (it == tensors.end()) {
+    return Status::NotFound("checkpoint has no RNG state '" + key + "'");
+  }
+  const la::Matrix& m = it->second;
+  if (m.rows() != 1 || m.cols() != 6) {
+    return Status::InvalidArgument("malformed RNG state '" + key + "'");
+  }
+  RngState state;
+  for (int i = 0; i < 4; ++i) {
+    double d = m(0, i);
+    std::memcpy(&state.s[i], &d, sizeof(d));
+  }
+  state.has_cached_normal = m(0, 4) != 0.0;
+  state.cached_normal = m(0, 5);
+  return state;
+}
+
+std::string SerializeCheckpoint(const Checkpoint& checkpoint) {
+  std::string out(kMagic, kMagicSize);
+  AppendU32(&out, static_cast<uint32_t>(checkpoint.strings.size()));
+  for (const auto& [key, value] : checkpoint.strings) {
+    AppendString(&out, key);
+    AppendString(&out, value);
+  }
+  AppendU32(&out, static_cast<uint32_t>(checkpoint.scalars.size()));
+  for (const auto& [key, value] : checkpoint.scalars) {
+    AppendString(&out, key);
+    AppendDouble(&out, value);
+  }
+  AppendU32(&out, static_cast<uint32_t>(checkpoint.tensors.size()));
+  for (const auto& [key, value] : checkpoint.tensors) {
+    AppendString(&out, key);
+    AppendU32(&out, static_cast<uint32_t>(value.rows()));
+    AppendU32(&out, static_cast<uint32_t>(value.cols()));
+    for (int i = 0; i < value.size(); ++i) {
+      AppendDouble(&out, value.data()[i]);
+    }
+  }
+  return out;
+}
+
+Result<Checkpoint> DeserializeCheckpoint(const std::string& blob) {
+  if (blob.size() < kMagicSize ||
+      blob.compare(0, kMagicSize, kMagic) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  const std::string body = blob.substr(kMagicSize);
+  Reader reader(body);
+  Checkpoint checkpoint;
+  AMS_ASSIGN_OR_RETURN(uint32_t num_strings, reader.U32());
+  for (uint32_t i = 0; i < num_strings; ++i) {
+    AMS_ASSIGN_OR_RETURN(std::string key, reader.String());
+    AMS_ASSIGN_OR_RETURN(std::string value, reader.String());
+    checkpoint.strings[std::move(key)] = std::move(value);
+  }
+  AMS_ASSIGN_OR_RETURN(uint32_t num_scalars, reader.U32());
+  for (uint32_t i = 0; i < num_scalars; ++i) {
+    AMS_ASSIGN_OR_RETURN(std::string key, reader.String());
+    AMS_ASSIGN_OR_RETURN(double value, reader.Double());
+    checkpoint.scalars[std::move(key)] = value;
+  }
+  AMS_ASSIGN_OR_RETURN(uint32_t num_tensors, reader.U32());
+  for (uint32_t i = 0; i < num_tensors; ++i) {
+    AMS_ASSIGN_OR_RETURN(std::string key, reader.String());
+    AMS_ASSIGN_OR_RETURN(uint32_t rows, reader.U32());
+    AMS_ASSIGN_OR_RETURN(uint32_t cols, reader.U32());
+    if (rows > (1u << 24) || cols > (1u << 24)) {
+      return Status::InvalidArgument("implausible tensor shape in checkpoint");
+    }
+    la::Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+    for (int j = 0; j < m.size(); ++j) {
+      AMS_ASSIGN_OR_RETURN(double value, reader.Double());
+      m.data()[j] = value;
+    }
+    checkpoint.tensors[std::move(key)] = std::move(m);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint");
+  }
+  return checkpoint;
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const Checkpoint& checkpoint) {
+  obs::MetricsRegistry::Get().GetCounter("robust/checkpoint_writes")
+      .Increment();
+  return AtomicWriteFile(path, SerializeCheckpoint(checkpoint));
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  auto contents = ReadFileVerified(path);
+  if (!contents.ok()) {
+    if (std::filesystem::exists(path)) {
+      obs::MetricsRegistry::Get().GetCounter("robust/checkpoint_corrupt")
+          .Increment();
+    }
+    return contents.status();
+  }
+  auto checkpoint = DeserializeCheckpoint(contents.ValueOrDie());
+  if (!checkpoint.ok()) {
+    obs::MetricsRegistry::Get().GetCounter("robust/checkpoint_corrupt")
+        .Increment();
+    return checkpoint.status();
+  }
+  obs::MetricsRegistry::Get().GetCounter("robust/checkpoint_loads")
+      .Increment();
+  return checkpoint;
+}
+
+std::string CheckpointDirFromEnv() {
+  const char* env = std::getenv("AMS_CHECKPOINT_DIR");
+  if (env == nullptr || env[0] == '\0') return "";
+  std::error_code ec;
+  std::filesystem::create_directories(env, ec);
+  return env;
+}
+
+}  // namespace ams::robust

@@ -1,0 +1,50 @@
+// Generic binary checkpoints for resumable training and HPO.
+//
+// A Checkpoint is three typed key-value maps (strings, doubles, matrices)
+// serialized to a length-prefixed binary blob and persisted through the
+// atomic writer, so a checkpoint file is either a complete, CRC-verified
+// snapshot or it is rejected at load time — a kill at any point leaves at
+// worst the previous checkpoint on disk. Doubles and matrix payloads are
+// stored as raw little-endian IEEE-754 bytes, which makes save/load an
+// exact bit-level round-trip (required for bit-identical resume).
+#ifndef AMS_ROBUST_CHECKPOINT_H_
+#define AMS_ROBUST_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ams::robust {
+
+struct Checkpoint {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> scalars;
+  std::map<std::string, la::Matrix> tensors;
+
+  /// RNG state round-trip: the four 64-bit state words are stored bit-cast
+  /// as doubles in a 1x6 matrix under `key` (exact, since matrix payloads
+  /// are raw bytes).
+  void PutRngState(const std::string& key, const RngState& state);
+  Result<RngState> GetRngState(const std::string& key) const;
+};
+
+/// Serialization to/from the in-memory blob (exposed for tests).
+std::string SerializeCheckpoint(const Checkpoint& checkpoint);
+Result<Checkpoint> DeserializeCheckpoint(const std::string& blob);
+
+/// Atomic, CRC-protected persistence. LoadCheckpoint fails (rather than
+/// returning partial data) on a missing, truncated or corrupt file; callers
+/// treat that as "no checkpoint" and start fresh.
+Status SaveCheckpoint(const std::string& path, const Checkpoint& checkpoint);
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+/// AMS_CHECKPOINT_DIR, or "" when checkpointing is off. Creates the
+/// directory on first use.
+std::string CheckpointDirFromEnv();
+
+}  // namespace ams::robust
+
+#endif  // AMS_ROBUST_CHECKPOINT_H_

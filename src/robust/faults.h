@@ -1,0 +1,121 @@
+// Deterministic fault injection for exercising the recovery paths in CI.
+//
+// Faults are armed from the AMS_FAULTS environment variable (or
+// programmatically in tests) using a small grammar:
+//
+//   AMS_FAULTS="nan_grad@epoch=3;task_throw@index=7;io_truncate@write=2"
+//
+// Each entry is `<kind>@<key>=<ordinal>` and fires exactly once, at the
+// matching point of the process's execution:
+//
+//   nan_grad@epoch=N     corrupt a gradient in the N-th guarded training
+//                        epoch (see robust::TrainGuard)
+//   task_throw@index=N   throw InjectedFault from the N-th retry-wrapped
+//                        task entry (see robust::RunWithRetry)
+//   io_truncate@write=N  truncate the payload of the N-th atomic file
+//                        write (see robust::AtomicWriteFile)
+//   train_crash@epoch=N  abort AMS training right after epoch N commits
+//                        (and after its checkpoint is saved)
+//   hpo_crash@trial=N    abort RandomSearch after N trials have completed
+//                        and been checkpointed
+//
+// Ordinals are deterministic given single-run determinism of the call
+// sites: epoch/trial ordinals are supplied by the caller, while task/write
+// ordinals count process-wide calls in order. Every injected fault bumps
+// the `robust/faults_injected` counter so a run that silently recovered is
+// still visible in AMS_TELEMETRY reports.
+#ifndef AMS_ROBUST_FAULTS_H_
+#define AMS_ROBUST_FAULTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ams::robust {
+
+enum class FaultKind {
+  kNanGrad,
+  kTaskThrow,
+  kIoTruncate,
+  kTrainCrash,
+  kHpoCrash,
+};
+
+/// The key each kind expects after the '@'; used for parse validation and
+/// error messages.
+const char* FaultKindName(FaultKind kind);
+const char* FaultKindKey(FaultKind kind);
+
+struct Fault {
+  FaultKind kind = FaultKind::kNanGrad;
+  int64_t at = 0;
+};
+
+/// Parses the AMS_FAULTS grammar. Rejects unknown kinds, wrong keys,
+/// missing '@'/'=', non-numeric or negative ordinals, and empty entries.
+Result<std::vector<Fault>> ParseFaultSpec(const std::string& spec);
+
+/// Exception thrown by injected task faults (distinguishable from genuine
+/// task exceptions in logs by its message prefix).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error("injected fault: " + what) {}
+};
+
+/// Process-wide injector. Thread-safe; each armed fault fires at most once.
+class FaultInjector {
+ public:
+  /// Lazily initialized from AMS_FAULTS on first access. A malformed spec
+  /// disables injection with a warning rather than failing the run.
+  static FaultInjector& Get();
+
+  /// Replaces the armed fault set (tests). Resets call counters.
+  Status Configure(const std::string& spec);
+
+  /// Clears all armed faults and counters (tests).
+  void Disarm();
+
+  /// True when any fault of any kind is still armed (cheap pre-check for
+  /// hot loops).
+  bool AnyArmed() const { return armed_count_.load(std::memory_order_relaxed) > 0; }
+
+  // Query points, one per fault kind. Epoch/trial ordinals are supplied by
+  // the caller; task/write ordinals are process-wide call counts.
+  bool ShouldCorruptGradient(int64_t epoch) { return Fire(FaultKind::kNanGrad, epoch); }
+  bool ShouldTruncateWrite() { return FireCounted(FaultKind::kIoTruncate, &write_calls_); }
+  bool ShouldCrashTraining(int64_t epoch) { return Fire(FaultKind::kTrainCrash, epoch); }
+  bool ShouldCrashHpo(int64_t completed_trials) {
+    return Fire(FaultKind::kHpoCrash, completed_trials);
+  }
+
+  /// Throws InjectedFault when a task_throw fault matches this (process-wide
+  /// ordinal-counted) task entry.
+  void MaybeThrowTask();
+
+ private:
+  FaultInjector() = default;
+
+  struct ArmedFault {
+    Fault fault;
+    bool fired = false;
+  };
+
+  bool Fire(FaultKind kind, int64_t ordinal);
+  bool FireCounted(FaultKind kind, std::atomic<int64_t>* counter);
+
+  mutable std::mutex mu_;
+  std::vector<ArmedFault> faults_;
+  std::atomic<int64_t> armed_count_{0};
+  std::atomic<int64_t> task_calls_{0};
+  std::atomic<int64_t> write_calls_{0};
+};
+
+}  // namespace ams::robust
+
+#endif  // AMS_ROBUST_FAULTS_H_

@@ -1,0 +1,138 @@
+#include "robust/guard.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "obs/metrics.h"
+#include "robust/faults.h"
+#include "util/logging.h"
+
+namespace ams::robust {
+
+using la::Matrix;
+
+Result<GuardPolicy> ParseGuardPolicy(const std::string& name) {
+  if (name == "abort") return GuardPolicy::kAbort;
+  if (name == "skip") return GuardPolicy::kSkipStep;
+  if (name == "rollback") return GuardPolicy::kRollback;
+  return Status::InvalidArgument("unknown guard policy: '" + name +
+                                 "' (want abort|skip|rollback)");
+}
+
+GuardOptions GuardOptions::FromEnv() {
+  static GuardPolicy env_policy = [] {
+    const char* env = std::getenv("AMS_GUARD_POLICY");
+    if (env == nullptr || env[0] == '\0') return GuardPolicy::kAbort;
+    auto parsed = ParseGuardPolicy(env);
+    if (!parsed.ok()) {
+      AMS_LOG(Warning) << "ignoring malformed AMS_GUARD_POLICY: "
+                       << parsed.status();
+      return GuardPolicy::kAbort;
+    }
+    return parsed.ValueOrDie();
+  }();
+  GuardOptions options;
+  options.policy = env_policy;
+  return options;
+}
+
+TrainGuard::TrainGuard(const GuardOptions& options,
+                       optim::Optimizer* optimizer, Rng* rng)
+    : options_(options), optimizer_(optimizer), rng_(rng) {}
+
+void TrainGuard::BeginEpoch(int64_t epoch) {
+  if (options_.policy != GuardPolicy::kRollback) return;
+  if (epoch == snapshot_epoch_) return;  // retry: snapshot still current
+  snapshot_epoch_ = epoch;
+  retries_this_epoch_ = 0;
+  Snapshot();
+}
+
+void TrainGuard::Snapshot() {
+  snapshot_params_.clear();
+  snapshot_params_.reserve(optimizer_->params().size());
+  for (const auto& p : optimizer_->params()) {
+    snapshot_params_.push_back(p.value());
+  }
+  snapshot_opt_state_ = optimizer_->SaveState();
+  if (rng_ != nullptr) snapshot_rng_state_ = rng_->SaveState();
+}
+
+void TrainGuard::Restore() {
+  // Tensor copies share their node, so writing through a copied handle
+  // restores the optimizer's actual parameters.
+  std::vector<tensor::Tensor> params = optimizer_->params();
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = snapshot_params_[i];
+  }
+  Status status = optimizer_->RestoreState(snapshot_opt_state_);
+  AMS_DCHECK(status.ok(), "rollback restore failed");
+  if (rng_ != nullptr) rng_->LoadState(snapshot_rng_state_);
+}
+
+TrainGuard::Action TrainGuard::GuardStep(int64_t epoch, bool loss_finite) {
+  if (loss_finite && FaultInjector::Get().ShouldCorruptGradient(epoch)) {
+    // Poison one gradient entry the way a real overflow would: the guard
+    // below must catch it before the optimizer consumes it.
+    for (const auto& p : optimizer_->params()) {
+      if (p.rows() == 0 || p.cols() == 0) continue;
+      Matrix poison = Matrix::Zeros(p.rows(), p.cols());
+      poison(0, 0) = std::numeric_limits<double>::quiet_NaN();
+      p.node()->AccumulateGrad(poison);
+      break;
+    }
+  }
+
+  bool finite = loss_finite;
+  if (finite) {
+    for (const auto& p : optimizer_->params()) {
+      if (!p.grad().AllFinite()) {
+        finite = false;
+        break;
+      }
+    }
+  }
+  if (finite) return Action::kProceed;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  registry.GetCounter("robust/nan_detected").Increment();
+
+  switch (options_.policy) {
+    case GuardPolicy::kAbort:
+      abort_message_ = "training diverged (non-finite loss/gradient at epoch " +
+                       std::to_string(epoch) + ")";
+      return Action::kAbort;
+    case GuardPolicy::kSkipStep:
+      registry.GetCounter("robust/skipped_steps").Increment();
+      AMS_LOG(Warning) << "non-finite gradient at epoch " << epoch
+                       << ": skipping step";
+      return Action::kSkipStep;
+    case GuardPolicy::kRollback:
+      break;
+  }
+
+  if (retries_this_epoch_ >= options_.max_retries) {
+    registry.GetCounter("robust/retries_exhausted").Increment();
+    abort_message_ = "training diverged at epoch " + std::to_string(epoch) +
+                     "; " + std::to_string(options_.max_retries) +
+                     " rollback retries exhausted";
+    return Action::kAbort;
+  }
+  ++retries_this_epoch_;
+  Restore();
+  // The first retry replays the epoch unchanged (enough to recover from a
+  // transient one-shot fault bit-identically); a second failure at the same
+  // epoch means the step itself is unstable, so decay the LR.
+  if (retries_this_epoch_ >= 2) {
+    optimizer_->set_learning_rate(optimizer_->learning_rate() *
+                                  options_.retry_lr_decay);
+  }
+  registry.GetCounter("robust/rollbacks").Increment();
+  AMS_LOG(Warning) << "non-finite gradient at epoch " << epoch
+                   << ": rolled back (retry " << retries_this_epoch_ << "/"
+                   << options_.max_retries << ", lr="
+                   << optimizer_->learning_rate() << ")";
+  return Action::kRetryEpoch;
+}
+
+}  // namespace ams::robust

@@ -1,0 +1,97 @@
+// Guarded training: non-finite loss/gradient detection with a configurable
+// recovery policy, shared by AMS training, the neural TrainLoop and (in
+// spirit) GBDT's per-round checks.
+//
+// Policies (AMS_GUARD_POLICY=abort|skip|rollback, default abort):
+//   abort     return an error, preserving the historical behavior;
+//   skip      drop this epoch's update and move on (the optimizer never
+//             steps on the poisoned gradient);
+//   rollback  restore the last-good snapshot — parameter values, optimizer
+//             moments and the dropout RNG stream — and re-run the epoch.
+//             Because the RNG is rewound too, a retry after a one-shot
+//             injected fault recomputes the exact gradient the fault-free
+//             run would have produced, keeping training bit-identical.
+//             Persistent divergence (a genuinely unstable step) halves the
+//             learning rate from the second retry of the same epoch on, and
+//             aborts once `max_retries` is exhausted.
+//
+// Counters: robust/nan_detected, robust/skipped_steps, robust/rollbacks,
+// robust/retries_exhausted.
+#ifndef AMS_ROBUST_GUARD_H_
+#define AMS_ROBUST_GUARD_H_
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "optim/optimizer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ams::robust {
+
+enum class GuardPolicy { kAbort, kSkipStep, kRollback };
+
+/// "abort" | "skip" | "rollback".
+Result<GuardPolicy> ParseGuardPolicy(const std::string& name);
+
+struct GuardOptions {
+  GuardPolicy policy = GuardPolicy::kAbort;
+  /// Rollback retries per epoch before giving up.
+  int max_retries = 3;
+  /// LR multiplier applied from the second retry of the same epoch on.
+  double retry_lr_decay = 0.5;
+
+  /// Policy from AMS_GUARD_POLICY (parsed once per process); unset or
+  /// malformed values keep the abort default.
+  static GuardOptions FromEnv();
+};
+
+/// Per-Fit guard. Call BeginEpoch at the top of every (possibly retried)
+/// epoch and GuardStep after the backward pass; act on the returned Action.
+class TrainGuard {
+ public:
+  /// `optimizer` owns the guarded parameters; `rng` is the training-time
+  /// noise stream (dropout) to rewind on rollback, or nullptr when training
+  /// is noise-free.
+  TrainGuard(const GuardOptions& options, optim::Optimizer* optimizer,
+             Rng* rng);
+
+  enum class Action {
+    kProceed,     // gradients are finite: clip + step as usual
+    kSkipStep,    // drop the update, advance to the next epoch
+    kRetryEpoch,  // state rolled back: re-run the same epoch
+    kAbort,       // unrecoverable: return AbortStatus()
+  };
+
+  /// Snapshots last-good state when entering `epoch` for the first time
+  /// (no-op for non-rollback policies and for retries of the same epoch,
+  /// whose state was just restored from that snapshot).
+  void BeginEpoch(int64_t epoch);
+
+  /// Applies any armed nan_grad fault for `epoch`, then validates the loss
+  /// and every parameter gradient. `loss_finite` is the caller's check on
+  /// the forward value (when it is false the backward pass was skipped).
+  Action GuardStep(int64_t epoch, bool loss_finite);
+
+  /// The error to return when GuardStep said kAbort.
+  Status AbortStatus() const { return Status::ComputeError(abort_message_); }
+
+ private:
+  void Snapshot();
+  void Restore();
+
+  GuardOptions options_;
+  optim::Optimizer* optimizer_;
+  Rng* rng_;
+  int64_t snapshot_epoch_ = -1;
+  int retries_this_epoch_ = 0;
+  std::vector<la::Matrix> snapshot_params_;
+  optim::OptimizerState snapshot_opt_state_;
+  RngState snapshot_rng_state_;
+  std::string abort_message_;
+};
+
+}  // namespace ams::robust
+
+#endif  // AMS_ROBUST_GUARD_H_

@@ -1,0 +1,45 @@
+#include "robust/retry.h"
+
+#include <chrono>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "robust/faults.h"
+#include "util/logging.h"
+
+namespace ams::robust {
+
+Status RunWithRetry(const std::function<void()>& fn,
+                    const RetryOptions& options) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  std::string last_error;
+  const int attempts = options.max_attempts > 0 ? options.max_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      registry.GetCounter("robust/task_retries").Increment();
+      const auto backoff = std::chrono::milliseconds(
+          static_cast<int64_t>(options.base_backoff_ms) << (attempt - 1));
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+    try {
+      FaultInjector::Get().MaybeThrowTask();
+      fn();
+      return Status::OK();
+    } catch (const std::exception& e) {
+      registry.GetCounter("robust/task_throws").Increment();
+      last_error = e.what();
+      AMS_LOG(Warning) << "task attempt " << attempt + 1 << "/" << attempts
+                       << " threw: " << last_error;
+    } catch (...) {
+      registry.GetCounter("robust/task_throws").Increment();
+      last_error = "unknown exception";
+    }
+  }
+  registry.GetCounter("robust/retries_exhausted").Increment();
+  return Status::Internal("task failed after " + std::to_string(attempts) +
+                          " attempts; last error: " + last_error);
+}
+
+}  // namespace ams::robust

@@ -1,0 +1,50 @@
+// Bounded retry-with-backoff for throwing tasks.
+//
+// Wraps a unit of work (an HPO trial, an experiment model fit) so that a
+// transient exception — injected via task_throw or genuine — is retried a
+// bounded number of times with exponential backoff instead of killing the
+// whole run. Deterministic work retried after a transient failure produces
+// the same result it would have produced without the failure, so recovery
+// is invisible in the output.
+//
+// Counters: robust/task_throws (every caught exception),
+// robust/task_retries (every re-attempt), robust/retries_exhausted.
+#ifndef AMS_ROBUST_RETRY_H_
+#define AMS_ROBUST_RETRY_H_
+
+#include <functional>
+#include <future>
+#include <utility>
+
+#include "par/thread_pool.h"
+#include "util/status.h"
+
+namespace ams::robust {
+
+struct RetryOptions {
+  /// Total attempts (first try included).
+  int max_attempts = 3;
+  /// Sleep before attempt k (1-based retries) is base_backoff_ms * 2^(k-1).
+  int base_backoff_ms = 1;
+};
+
+/// Runs `fn`, retrying on any thrown exception. Each entry (including
+/// retries) passes through the fault injector's task_throw point. Returns
+/// OK on the first successful attempt, or an Internal status carrying the
+/// last exception's message once attempts are exhausted.
+Status RunWithRetry(const std::function<void()>& fn,
+                    const RetryOptions& options = RetryOptions());
+
+/// Submits a retry-wrapped task to `pool`; the future resolves to the
+/// RunWithRetry status (never throws).
+template <typename Fn>
+std::future<Status> SubmitWithRetry(par::ThreadPool& pool, Fn fn,
+                                    RetryOptions options = RetryOptions()) {
+  return pool.Submit([fn = std::move(fn), options]() {
+    return RunWithRetry(fn, options);
+  });
+}
+
+}  // namespace ams::robust
+
+#endif  // AMS_ROBUST_RETRY_H_

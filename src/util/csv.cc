@@ -42,7 +42,14 @@ Status WriteCsv(const std::string& path, const CsvTable& table) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out << CsvToString(table);
+  // Flush and close-check: a full disk surfaces as a failed flush (or a
+  // failed close when the OS buffered the shortfall), which the plain
+  // stream destructor would have swallowed, returning OK for a silently
+  // truncated file.
+  out.flush();
   if (!out) return Status::IoError("write failed: " + path);
+  out.close();
+  if (out.fail()) return Status::IoError("close failed: " + path);
   return Status::OK();
 }
 

@@ -15,6 +15,14 @@ namespace ams {
 /// SplitMix64 step; used to expand one seed into many independent streams.
 uint64_t SplitMix64(uint64_t* state);
 
+/// Complete serializable state of an Rng, including the cached Box-Muller
+/// deviate, so a restored generator replays the exact same draw sequence.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// xoshiro256** generator with convenience samplers.
 ///
 /// Not thread-safe; create one Rng per logical stream (see Fork()).
@@ -55,6 +63,11 @@ class Rng {
 
   /// Samples k distinct indices from [0, n) without replacement (k <= n).
   std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Snapshot / restore of the full generator state (checkpointing and
+  /// epoch rollback both rely on bit-exact draw replay).
+  RngState SaveState() const;
+  void LoadState(const RngState& state);
 
  private:
   uint64_t s_[4];
