@@ -31,6 +31,18 @@ void BM_CounterLookupAndIncrement(benchmark::State& state) {
 }
 BENCHMARK(BM_CounterLookupAndIncrement);
 
+void BM_LabeledCounterLookupAndIncrement(benchmark::State& state) {
+  // Labeled lookup pays the canonical-name encode + hash probe each call;
+  // a cached reference (as in BM_CounterIncrement) pays it once.
+  for (auto _ : state) {
+    obs::MetricsRegistry::Get()
+        .GetCounter("bench/counter_labeled", {{"model", "AMS"}})
+        .Increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LabeledCounterLookupAndIncrement);
+
 void BM_GaugeSet(benchmark::State& state) {
   obs::Gauge& gauge = obs::MetricsRegistry::Get().GetGauge("bench/gauge");
   double value = 0.0;
@@ -53,6 +65,28 @@ void BM_HistogramObserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HistogramObserve)->ThreadRange(1, 8);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  // Report-time cost, not hot-path: interpolating p50/p95/p99 from a
+  // populated default-bounds histogram snapshot.
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::Get().GetHistogram("bench/hist_pct");
+  for (int i = 0; i < 4096; ++i) {
+    histogram.Observe(0.01 * static_cast<double>(i));
+  }
+  ams::obs::MetricsSnapshot::HistogramValue view;
+  view.count = histogram.count();
+  view.sum = histogram.sum();
+  view.bucket_bounds = histogram.bucket_bounds();
+  view.bucket_counts = histogram.bucket_counts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.Percentile(0.50));
+    benchmark::DoNotOptimize(view.Percentile(0.95));
+    benchmark::DoNotOptimize(view.Percentile(0.99));
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_HistogramPercentile);
 
 void BM_SpanEnterExit(benchmark::State& state) {
   obs::TraceBuffer::Get().SetEnabled(false);

@@ -5,8 +5,11 @@
 // Usage: quickstart [--seed=42]
 //
 // Telemetry: AMS_TELEMETRY=text (or json) prints a metrics report on stderr
-// at exit; AMS_TRACE_FILE=/tmp/trace.json additionally writes a Chrome
-// trace-event timeline (load in chrome://tracing or ui.perfetto.dev).
+// at exit; AMS_TELEMETRY_INTERVAL_MS=50 streams JSONL delta snapshots while
+// training runs (to stderr, or to AMS_TELEMETRY_FILE); AMS_RUN_LEDGER=dir
+// writes a per-run manifest for tools/bench_diff; AMS_TRACE_FILE=/tmp/t.json
+// additionally writes a Chrome trace-event timeline (load in
+// chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
 
 #include "data/cv.h"
@@ -15,7 +18,9 @@
 #include "metrics/metrics.h"
 #include "models/ams_regressor.h"
 #include "models/baselines.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 using namespace ams;
@@ -63,21 +68,37 @@ int main(int argc, char** argv) {
   context.seed = seed;
 
   // 3. Train AMS (paper defaults), a Ridge baseline, and an XGBoost-style
-  //    GBDT baseline.
+  //    GBDT baseline. Each fit is counted under a per-model label so live
+  //    telemetry can tell the three apart.
+  auto count_fit = [](const std::string& model_name) {
+    obs::MetricsRegistry::Get()
+        .GetCounter("quickstart/model_fit", {{"model", model_name}})
+        .Increment();
+  };
+
   models::AmsRegressor ams_model(core::AmsConfig{}, /*graph_top_k=*/5);
-  ams_model.Fit(context).Abort("fit AMS");
+  count_fit(ams_model.name());
+  {
+    AMS_TRACE_SPAN("quickstart/fit_ams");
+    ams_model.Fit(context).Abort("fit AMS");
+  }
 
   linear::LinearOptions ridge_options;
   ridge_options.alpha = 0.1;
   ridge_options.l1_ratio = 0.0;
   models::LinearRegressor ridge("Ridge", ridge_options);
+  count_fit(ridge.name());
   ridge.Fit(context).Abort("fit Ridge");
 
   gbdt::GbdtOptions gbdt_options;
   gbdt_options.early_stopping_rounds = 20;
   gbdt_options.seed = seed;
   models::XgboostRegressor gbdt_model(gbdt_options);
-  gbdt_model.Fit(context).Abort("fit XGBoost");
+  count_fit(gbdt_model.name());
+  {
+    AMS_TRACE_SPAN("quickstart/fit_gbdt");
+    gbdt_model.Fit(context).Abort("fit XGBoost");
+  }
 
   // 4. Evaluate on the held-out quarter.
   for (const models::Regressor* model :
@@ -88,6 +109,13 @@ int main(int argc, char** argv) {
     pred.status().Abort("predict");
     auto eval = metrics::Evaluate(test, pred.ValueOrDie());
     eval.status().Abort("evaluate");
+    const obs::Labels model_label = {{"model", model->name()}};
+    obs::MetricsRegistry::Get()
+        .GetGauge("quickstart/ba", model_label)
+        .Set(eval.ValueOrDie().ba);
+    obs::MetricsRegistry::Get()
+        .GetGauge("quickstart/sr", model_label)
+        .Set(eval.ValueOrDie().sr);
     std::printf("%-8s BA = %6.2f%%   SR = %.4f   (n = %d)\n",
                 model->name().c_str(), eval.ValueOrDie().ba,
                 eval.ValueOrDie().sr, eval.ValueOrDie().num_samples);

@@ -1,6 +1,7 @@
 #include "gbdt/gbdt.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -46,6 +47,27 @@ struct BestSplit {
 /// features on the calling thread; deep small nodes dominate tree growth
 /// and would drown in pool handoffs.
 constexpr int64_t kParallelSplitWork = 8192;
+
+/// Per-depth breakdown of "gbdt/splits_evaluated". Depths >= kDepthBuckets
+/// share one "8+" bucket to bound label cardinality; the pointer array is
+/// interned once (thread-safe static init) so the per-node update stays a
+/// single cached atomic add.
+constexpr int kDepthBuckets = 8;
+
+obs::Counter& SplitCounterForDepth(int depth) {
+  static const std::array<obs::Counter*, kDepthBuckets + 1> by_depth = [] {
+    std::array<obs::Counter*, kDepthBuckets + 1> counters{};
+    for (int d = 0; d <= kDepthBuckets; ++d) {
+      const std::string label =
+          d < kDepthBuckets ? std::to_string(d)
+                            : std::to_string(kDepthBuckets) + "+";
+      counters[d] = &obs::MetricsRegistry::Get().GetCounter(
+          "gbdt/splits_evaluated", {{"depth", label}});
+    }
+    return counters;
+  }();
+  return *by_depth[std::min(std::max(depth, 0), kDepthBuckets)];
+}
 
 /// Best split and split count for one candidate feature. The row order is
 /// fixed by (value, row index), so the scan — and its floating-point
@@ -149,11 +171,12 @@ int RegressionTree::GrowNode(const Matrix& x, const std::vector<double>& grad,
     if (feature_best[fi].gain > best.gain) best = feature_best[fi];
   }
 
-  // One amortized registry update per node keeps the candidate scan free of
-  // atomics.
+  // One amortized registry update per node (total + per-depth label) keeps
+  // the candidate scan free of atomics.
   static obs::Counter& split_counter =
       obs::MetricsRegistry::Get().GetCounter("gbdt/splits_evaluated");
   split_counter.Add(splits_evaluated);
+  SplitCounterForDepth(depth).Add(splits_evaluated);
 
   if (best.feature < 0 || best.gain <= 0.0) return node_index;
 

@@ -124,7 +124,10 @@ Result<ExperimentResult> RunExperimentOnPanel(const data::Panel& panel,
     std::vector<FoldOutcome> outcomes(zoo.size());
     auto run_model = [&](size_t m) {
       AMS_TRACE_SPAN("exp/model_fit");
-      obs::MetricsRegistry::Get().GetCounter("exp/models_fit").Increment();
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+      registry.GetCounter("exp/models_fit").Increment();
+      registry.GetCounter("exp/models_fit", {{"model", zoo[m].name}})
+          .Increment();
       HpoOptions hpo;
       hpo.trials = config.hpo_trials;
       hpo.seed = fold_seed ^ (0x9E3779B97F4A7C15ULL * (m + 1));
@@ -147,6 +150,12 @@ Result<ExperimentResult> RunExperimentOnPanel(const data::Panel& panel,
       outcome.test_quarter = fold.test_quarter;
       outcome.eval = eval.MoveValue();
       outcome.hpo_valid_rmse = best.ValueOrDie().valid_rmse;
+      // Per-model fold breakdown (last-write-wins per fold).
+      const obs::Labels model_label = {{"model", zoo[m].name}};
+      registry.GetGauge("exp/fold_ba", model_label).Set(outcome.eval.ba);
+      registry.GetGauge("exp/fold_sr", model_label).Set(outcome.eval.sr);
+      registry.GetGauge("exp/hpo_valid_rmse", model_label)
+          .Set(outcome.hpo_valid_rmse);
       const std::vector<double>& pred = pred_norm.ValueOrDie();
       outcome.predicted_ur.resize(pred.size());
       for (size_t i = 0; i < pred.size(); ++i) {

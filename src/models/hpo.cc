@@ -64,6 +64,13 @@ Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
   obs::Counter& failed_counter = registry.GetCounter("hpo/trials_failed");
   obs::Counter& resumed_counter =
       registry.GetCounter("robust/hpo_trials_resumed");
+  // Per-outcome breakdown of the same events, for the labeled reports.
+  obs::Counter& outcome_ok =
+      registry.GetCounter("hpo/trials", {{"outcome", "ok"}});
+  obs::Counter& outcome_failed =
+      registry.GetCounter("hpo/trials", {{"outcome", "failed"}});
+  obs::Counter& outcome_resumed =
+      registry.GetCounter("hpo/trials", {{"outcome", "resumed"}});
 
   // --- Per-trial progress checkpoint. ---
   std::string ckpt_dir = options.checkpoint_dir;
@@ -107,6 +114,7 @@ Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
         }
         ++trials_resumed;
         resumed_counter.Increment();
+        outcome_resumed.Increment();
       }
       AMS_LOG(Info) << spec.name << ": resumed " << trials_resumed << "/"
                     << trials << " HPO trials from " << ckpt_path;
@@ -158,6 +166,7 @@ Result<HpoOutcome> RandomSearch(const ModelSpec& spec,
           }
           results[t].done = true;
           if (!results[t].ok) failed_counter.Increment();
+          (results[t].ok ? outcome_ok : outcome_failed).Increment();
 
           std::lock_guard<std::mutex> lock(ckpt_mu);
           const std::string key = "trial/" + std::to_string(t);

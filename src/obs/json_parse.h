@@ -1,0 +1,48 @@
+// Minimal JSON parser for the observability tooling: validates and loads the
+// telemetry reports, JSONL delta snapshots, run ledgers, and Google-benchmark
+// result files that the repo's own serializers and benches emit.
+//
+// Scope: full JSON grammar (null/bool/number/string/array/object) with
+// string escape decoding (\uXXXX for the Basic Multilingual Plane; surrogate
+// pairs are rejected — nothing in this repo emits them). Objects preserve
+// insertion order and allow duplicate keys (Find returns the first). Numbers
+// are doubles. This is a reader for trusted local files, not a hardened
+// network-facing parser.
+#ifndef AMS_OBS_JSON_PARSE_H_
+#define AMS_OBS_JSON_PARSE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ams::obs::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+};
+
+/// Parses exactly one JSON document; trailing non-whitespace is an error.
+Result<Value> Parse(const std::string& text);
+
+}  // namespace ams::obs::json
+
+#endif  // AMS_OBS_JSON_PARSE_H_

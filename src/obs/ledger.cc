@@ -1,0 +1,148 @@
+#include "obs/ledger.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/report.h"
+
+namespace ams::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point& ProcessStart() {
+  static std::chrono::steady_clock::time_point start;
+  return start;
+}
+
+std::once_flag g_start_once;
+
+}  // namespace
+
+void MarkProcessStart() {
+  std::call_once(g_start_once,
+                 [] { ProcessStart() = std::chrono::steady_clock::now(); });
+}
+
+const std::vector<std::string>& RunLedgerEnvKeys() {
+  static const std::vector<std::string>* keys = new std::vector<std::string>{
+      "AMS_THREADS",        "AMS_FAULTS",
+      "AMS_GUARD_POLICY",   "AMS_CHECKPOINT_DIR",
+      "AMS_TELEMETRY",      "AMS_TELEMETRY_INTERVAL_MS",
+      "AMS_TELEMETRY_FILE", "AMS_TRACE_FILE",
+      "AMS_LOG",            "AMS_RUN_LEDGER",
+  };
+  return *keys;
+}
+
+std::string ConfigFingerprint(const std::string& binary_name) {
+  // FNV-1a 64-bit over "binary\0key=value\0..." in the fixed key order.
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](const std::string& s) {
+    for (unsigned char c : s) {
+      hash ^= c;
+      hash *= 0x100000001b3ULL;
+    }
+    hash ^= 0xff;  // separator distinct from any byte value
+    hash *= 0x100000001b3ULL;
+  };
+  mix(binary_name);
+  for (const std::string& key : RunLedgerEnvKeys()) {
+    const char* value = std::getenv(key.c_str());
+    mix(key + "=" + (value != nullptr ? value : "<unset>"));
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string CurrentBinaryName() {
+  std::string name;
+  std::ifstream comm("/proc/self/comm");
+  if (comm) std::getline(comm, name);
+  if (name.empty()) name = "ams_process";
+  for (char& c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    if (!keep) c = '_';
+  }
+  return name;
+}
+
+void WriteRunLedgerJson(const std::string& binary_name, int pid,
+                        double wall_time_ms, const MetricsSnapshot& snapshot,
+                        std::ostream& out) {
+  out << "{\"schema\":\"ams-run-ledger-v1\",\"schema_version\":"
+      << kRunLedgerSchemaVersion << ",\"binary\":" << JsonEscape(binary_name)
+      << ",\"pid\":" << pid
+      << ",\"config_fingerprint\":" << JsonEscape(ConfigFingerprint(binary_name))
+      << ",\"wall_time_ms\":" << JsonNumber(wall_time_ms) << ",\"env\":{";
+  bool first = true;
+  for (const std::string& key : RunLedgerEnvKeys()) {
+    if (!first) out << ",";
+    first = false;
+    const char* value = std::getenv(key.c_str());
+    out << JsonEscape(key) << ":"
+        << (value != nullptr ? JsonEscape(value) : std::string("null"));
+  }
+  out << "},\"metrics\":";
+  std::ostringstream metrics;
+  WriteJsonReport(snapshot, metrics);
+  std::string metrics_json = metrics.str();
+  while (!metrics_json.empty() && metrics_json.back() == '\n') {
+    metrics_json.pop_back();
+  }
+  out << metrics_json << "}\n";
+}
+
+Status WriteRunLedger(const std::string& dir, const std::string& binary_name,
+                      double wall_time_ms,
+                      const MetricsSnapshot& snapshot) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const int pid = static_cast<int>(::getpid());
+  const std::string path =
+      dir + "/run_" + binary_name + "_" + std::to_string(pid) + ".json";
+  // Temp + rename so a crash mid-write never leaves a half manifest behind
+  // (obs cannot depend on robust/atomic_io — robust already links obs).
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open run ledger " + tmp_path);
+    }
+    WriteRunLedgerJson(binary_name, pid, wall_time_ms, snapshot, out);
+    out.flush();
+    if (!out) {
+      return Status::IoError("short write to run ledger " + tmp_path);
+    }
+  }
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    return Status::IoError("cannot rename run ledger into place: " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status WriteRunLedgerFromEnv() {
+  const char* dir = std::getenv("AMS_RUN_LEDGER");
+  if (dir == nullptr || dir[0] == '\0') return Status::OK();
+  MarkProcessStart();  // degenerate wall time if the reporter never ran
+  const double wall_time_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - ProcessStart())
+          .count();
+  return WriteRunLedger(dir, CurrentBinaryName(), wall_time_ms,
+                        MetricsRegistry::Get().Snapshot());
+}
+
+}  // namespace ams::obs

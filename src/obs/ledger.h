@@ -1,0 +1,69 @@
+// Run ledger: one JSON manifest per instrumented process run, so perf and
+// behaviour changes can be compared against a *recorded* baseline instead of
+// anecdote (tools/bench_diff consumes these files and BENCH_*.json alike).
+//
+// Enable with AMS_RUN_LEDGER=<dir>: at process exit (via
+// obs::InstallExitReporter) a manifest is written to
+// <dir>/run_<binary>_<pid>.json containing:
+//
+//   {"schema":"ams-run-ledger-v1","schema_version":1,
+//    "binary":"quickstart","pid":12345,
+//    "config_fingerprint":"9f3a...",       // FNV-1a over binary + env below
+//    "wall_time_ms":1234.5,                // since InstallExitReporter
+//    "env":{"AMS_THREADS":"8","AMS_FAULTS":null,...},
+//    "metrics":{...final obs::WriteJsonReport snapshot...}}
+//
+// The env block captures every AMS_* variable that changes behaviour
+// (threads, faults, guard policy, checkpoints, telemetry); unset variables
+// serialize as null so two ledgers always have comparable keys. Non-finite
+// gauge values in the metrics block serialize as null (valid JSON) exactly
+// like the exit report.
+#ifndef AMS_OBS_LEDGER_H_
+#define AMS_OBS_LEDGER_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ams::obs {
+
+/// Bumped whenever the manifest layout changes incompatibly.
+inline constexpr int kRunLedgerSchemaVersion = 1;
+
+/// The AMS_* environment variables captured into the manifest (and hashed
+/// into the fingerprint), null when unset.
+const std::vector<std::string>& RunLedgerEnvKeys();
+
+/// FNV-1a hex digest over the binary name and the captured environment:
+/// two runs with equal fingerprints ran the same configuration.
+std::string ConfigFingerprint(const std::string& binary_name);
+
+/// Serializes the manifest (no trailing newline handling needed; one JSON
+/// object). Exposed for tests; production use goes through
+/// WriteRunLedgerFromEnv.
+void WriteRunLedgerJson(const std::string& binary_name, int pid,
+                        double wall_time_ms, const MetricsSnapshot& snapshot,
+                        std::ostream& out);
+
+/// Writes <dir>/run_<binary>_<pid>.json atomically (temp file + rename).
+Status WriteRunLedger(const std::string& dir, const std::string& binary_name,
+                      double wall_time_ms, const MetricsSnapshot& snapshot);
+
+/// No-op unless AMS_RUN_LEDGER is set; then snapshots the registry and
+/// writes the manifest for this process. `wall_time_ms` is measured from
+/// MarkProcessStart() (InstallExitReporter calls it).
+Status WriteRunLedgerFromEnv();
+
+/// Records the process start instant for wall_time_ms. Idempotent; the
+/// first call wins.
+void MarkProcessStart();
+
+/// Best-effort short binary name (/proc/self/comm on Linux), "ams_process"
+/// when unavailable; sanitized for use in file names.
+std::string CurrentBinaryName();
+
+}  // namespace ams::obs
+
+#endif  // AMS_OBS_LEDGER_H_

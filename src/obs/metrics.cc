@@ -1,10 +1,42 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/status.h"
 
 namespace ams::obs {
+
+std::string EncodeLabeledName(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out = name;
+  out += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += "=\"";
+    out += sorted[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Histogram input guard drops (NaN) and clamps (negative) land here; the
+/// counter lives in the registry so reports surface silent data loss.
+Counter& DroppedObservationsCounter() {
+  static Counter& counter =
+      MetricsRegistry::Get().GetCounter("obs/dropped_observations");
+  return counter;
+}
+
+}  // namespace
 
 Histogram::Histogram(std::string name, std::vector<double> bucket_bounds)
     : name_(std::move(name)),
@@ -16,6 +48,17 @@ Histogram::Histogram(std::string name, std::vector<double> bucket_bounds)
       buckets_(bounds_.size() + 1) {}
 
 void Histogram::Observe(double value) {
+  if (!(value >= 0.0)) {  // single branch covers both NaN and negative
+    DroppedObservationsCounter().Increment();
+    if (std::isnan(value)) {
+      // NaN cannot be ordered into a bucket; dropping it keeps count/sum and
+      // bucket totals consistent (a NaN sum would poison every later mean).
+      return;
+    }
+    // Negative durations (clock adjustments, guarded math) clamp to zero so
+    // the observation still counts without inventing a negative bucket.
+    value = 0.0;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const size_t bucket = static_cast<size_t>(it - bounds_.begin());
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
@@ -54,6 +97,34 @@ std::vector<double> Histogram::ExponentialBounds(double base, double growth,
   return bounds;
 }
 
+double MetricsSnapshot::HistogramValue::Percentile(double q) const {
+  if (count == 0 || bucket_counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in (0, count]; rank r is satisfied once the cumulative
+  // bucket count reaches r.
+  const double rank = std::max(q * static_cast<double>(count), 1e-12);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i >= bucket_bounds.size()) {
+        // Overflow bucket: no finite upper edge to interpolate toward.
+        return bucket_bounds.empty() ? 0.0 : bucket_bounds.back();
+      }
+      const double upper = bucket_bounds[i];
+      const double lower =
+          i == 0 ? std::min(0.0, upper) : bucket_bounds[i - 1];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bucket_bounds.empty() ? 0.0 : bucket_bounds.back();
+}
+
 MetricsRegistry& MetricsRegistry::Get() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never freed
   return *registry;
@@ -61,27 +132,48 @@ MetricsRegistry& MetricsRegistry::Get() {
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (Counter& counter : counters_) {
-    if (counter.name() == name) return counter;
-  }
-  return counters_.emplace_back(name);
+  auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return *it->second;
+  Counter& counter = counters_.emplace_back(name);
+  counter_index_.emplace(name, &counter);
+  return counter;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (Gauge& gauge : gauges_) {
-    if (gauge.name() == name) return gauge;
-  }
-  return gauges_.emplace_back(name);
+  auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return *it->second;
+  Gauge& gauge = gauges_.emplace_back(name);
+  gauge_index_.emplace(name, &gauge);
+  return gauge;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bucket_bounds) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (Histogram& histogram : histograms_) {
-    if (histogram.name() == name) return histogram;
-  }
-  return histograms_.emplace_back(name, std::move(bucket_bounds));
+  auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return *it->second;
+  Histogram& histogram =
+      histograms_.emplace_back(name, std::move(bucket_bounds));
+  histogram_index_.emplace(name, &histogram);
+  return histogram;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  return GetCounter(EncodeLabeledName(name, labels));
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  return GetGauge(EncodeLabeledName(name, labels));
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         std::vector<double> bucket_bounds) {
+  return GetHistogram(EncodeLabeledName(name, labels),
+                      std::move(bucket_bounds));
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

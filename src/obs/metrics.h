@@ -1,5 +1,5 @@
 // Process-wide metrics registry: named counters, gauges, and fixed-bucket
-// histograms with a lock-free fast path.
+// histograms with a lock-free fast path, optionally broken down by labels.
 //
 // Instruments are registered lazily and live for the life of the process, so
 // call sites cache the returned reference once and then update it with plain
@@ -9,9 +9,21 @@
 //       obs::MetricsRegistry::Get().GetCounter("gbdt/splits_evaluated");
 //   splits.Add(n);
 //
-// The registry lock is only taken on first registration and when taking a
+// Labeled instruments attach key/value pairs to a base name. Each distinct
+// label set is interned once: the registry canonicalizes the labels into an
+// encoded identity (`name{k1="v1",k2="v2"}`, keys sorted) and indexes it in a
+// hash map, so a labeled lookup is one mutex + one hash probe and the
+// returned instrument's update path is the same plain atomic as the
+// unlabeled case. Hot loops should still cache the reference per label value
+// (see gbdt.cc's per-depth counter array):
+//
+//   obs::Counter& ams_fits = obs::MetricsRegistry::Get().GetCounter(
+//       "exp/models_fit", {{"model", "AMS"}});
+//
+// The registry lock is only taken on registration/lookup and when taking a
 // snapshot; increments never contend. `MetricsRegistry::Snapshot()` returns a
-// plain-struct copy suitable for serialization (see obs/report.h).
+// plain-struct copy suitable for serialization (see obs/report.h) and can
+// interpolate p50/p95/p99 from histogram bucket counts.
 #ifndef AMS_OBS_METRICS_H_
 #define AMS_OBS_METRICS_H_
 
@@ -20,9 +32,21 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ams::obs {
+
+/// Label set for one instrument: key/value pairs, order-insensitive
+/// (canonicalized by key at interning time).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical encoded identity of a labeled instrument:
+/// `name{k1="v1",k2="v2"}` with keys sorted (stable for equal keys). With no
+/// labels this is just `name`. Label values are embedded raw; JSON reports
+/// escape them at serialization time (see obs/report.h).
+std::string EncodeLabeledName(const std::string& name, const Labels& labels);
 
 /// Monotonically increasing integer (events, items processed).
 class Counter {
@@ -64,6 +88,10 @@ class Gauge {
 /// running sum uses a compare-exchange loop (no atomic<double>::fetch_add
 /// before C++20 on all targets), which is still wait-free in practice for
 /// our contention levels.
+///
+/// Observe() guards its input: NaN observations are dropped and negative
+/// ones clamped to zero (both counted in "obs/dropped_observations"), so
+/// clock adjustments or guarded math can never corrupt bucket counts.
 class Histogram {
  public:
   Histogram(std::string name, std::vector<double> bucket_bounds);
@@ -111,6 +139,12 @@ struct MetricsSnapshot {
     std::vector<double> bucket_bounds;
     std::vector<uint64_t> bucket_counts;  // bounds.size() + 1
     double mean() const { return count > 0 ? sum / count : 0.0; }
+    /// Interpolated quantile (q in [0,1]) from the bucket counts: linear
+    /// within the containing bucket, assuming the first bucket starts at 0
+    /// (or at its bound when that is negative). Observations that landed in
+    /// the overflow bucket report the largest finite bound — the estimate
+    /// cannot extrapolate past it. Returns 0 for an empty histogram.
+    double Percentile(double q) const;
   };
 
   std::vector<CounterValue> counters;
@@ -139,6 +173,16 @@ class MetricsRegistry {
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> bucket_bounds = {});
 
+  /// Labeled variants: `GetCounter("exp/models_fit", {{"model", "AMS"}})`.
+  /// The (name, labels) pair is interned into one canonical instrument —
+  /// label order does not matter, and every call with an equal label set
+  /// returns the same reference. An empty label set is identical to the
+  /// unlabeled accessor.
+  Counter& GetCounter(const std::string& name, const Labels& labels);
+  Gauge& GetGauge(const std::string& name, const Labels& labels);
+  Histogram& GetHistogram(const std::string& name, const Labels& labels,
+                          std::vector<double> bucket_bounds = {});
+
   MetricsSnapshot Snapshot() const;
 
   /// Zeroes every registered instrument (references stay valid). Intended
@@ -153,10 +197,14 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   // Deques: stable addresses across growth, so returned references outlive
-  // later registrations.
+  // later registrations. The index maps the canonical (encoded) name to the
+  // interned instrument so lookups stay O(1) as labeled cardinality grows.
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;
   std::deque<Histogram> histograms_;
+  std::unordered_map<std::string, Counter*> counter_index_;
+  std::unordered_map<std::string, Gauge*> gauge_index_;
+  std::unordered_map<std::string, Histogram*> histogram_index_;
 };
 
 }  // namespace ams::obs

@@ -1,0 +1,239 @@
+#include "obs/periodic.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "obs/report.h"
+
+namespace ams::obs {
+
+namespace {
+
+/// Exact counter names summed into the robust/fault_rate gauge. Labeled
+/// breakdowns (e.g. robust/faults_injected{kind="nan_grad"}) are excluded by
+/// exact-name matching so events are never double-counted.
+constexpr const char* kFaultEventCounters[] = {
+    "robust/faults_injected",    "robust/task_throws",
+    "robust/crc_failures",       "robust/checkpoint_corrupt",
+    "robust/nan_detected",       "robust/retries_exhausted",
+};
+
+uint64_t FindCounter(const MetricsSnapshot& snapshot,
+                     const std::string& name) {
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
+double FindGauge(const MetricsSnapshot& snapshot, const std::string& name,
+                 double fallback) {
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == name) return gauge.value;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+PeriodicReporter::PeriodicReporter(Options options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()),
+      last_emit_(start_) {
+  if (!options_.file_path.empty()) {
+    file_.open(options_.file_path, std::ios::trunc);
+    if (!file_) {
+      std::cerr << "telemetry: cannot open AMS_TELEMETRY_FILE "
+                << options_.file_path << "; falling back to stderr\n";
+    }
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicReporter::~PeriodicReporter() { Stop(); }
+
+std::ostream& PeriodicReporter::Sink() {
+  if (file_.is_open() && file_) return file_;
+  if (options_.out != nullptr) return *options_.out;
+  return std::cerr;
+}
+
+void PeriodicReporter::Loop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(1, options_.interval_ms));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      return;  // final line is emitted by Stop() after the join
+    }
+    lock.unlock();
+    EmitLine(/*final_line=*/false);
+    lock.lock();
+  }
+}
+
+void PeriodicReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  EmitLine(/*final_line=*/true);
+  Sink().flush();
+}
+
+int PeriodicReporter::lines_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void PeriodicReporter::EmitLine(bool final_line) {
+  const auto now = std::chrono::steady_clock::now();
+  const double uptime_ms =
+      std::chrono::duration<double, std::milli>(now - start_).count();
+  const double interval_ms =
+      std::chrono::duration<double, std::milli>(now - last_emit_).count();
+  last_emit_ = now;
+
+  MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
+
+  // --- Derived gauges from counter deltas over this tick. ---
+  const double elapsed_us = std::max(interval_ms, 1e-3) * 1000.0;
+  const uint64_t busy_now = FindCounter(snapshot, "par/worker_busy_us");
+  const uint64_t busy_before = FindCounter(previous_, "par/worker_busy_us");
+  const double busy_delta =
+      static_cast<double>(busy_now - std::min(busy_now, busy_before));
+  const int workers = std::max(
+      0, static_cast<int>(FindGauge(snapshot, "par/pool_size", 1.0)) - 1);
+  const double utilization =
+      workers > 0
+          ? std::clamp(busy_delta / (elapsed_us * workers), 0.0, 1.0)
+          : 0.0;
+
+  uint64_t fault_delta = 0;
+  for (const char* name : kFaultEventCounters) {
+    const uint64_t now_value = FindCounter(snapshot, name);
+    const uint64_t before = FindCounter(previous_, name);
+    fault_delta += now_value - std::min(now_value, before);
+  }
+  const double fault_rate =
+      static_cast<double>(fault_delta) / (elapsed_us / 1e6);
+
+  // Publish into the registry (visible to the exit report) and upsert into
+  // the local snapshot so this very line carries them too.
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetGauge("par/pool_utilization").Set(utilization);
+  registry.GetGauge("robust/fault_rate").Set(fault_rate);
+  auto upsert = [&](const std::string& name, double value) {
+    for (auto& gauge : snapshot.gauges) {
+      if (gauge.name == name) {
+        gauge.value = value;
+        return;
+      }
+    }
+    snapshot.gauges.push_back({name, value});
+  };
+  upsert("par/pool_utilization", utilization);
+  upsert("robust/fault_rate", fault_rate);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+
+  // --- One self-contained JSONL line. ---
+  std::ostream& out = Sink();
+  int seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = ++seq_;
+  }
+  out << "{\"schema\":\"ams-telemetry-delta-v1\",\"seq\":" << seq
+      << ",\"uptime_ms\":" << JsonNumber(uptime_ms)
+      << ",\"interval_ms\":" << JsonNumber(interval_ms)
+      << ",\"final\":" << (final_line ? "true" : "false");
+
+  out << ",\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& counter = snapshot.counters[i];
+    const uint64_t before = FindCounter(previous_, counter.name);
+    if (i > 0) out << ",";
+    out << JsonEscape(counter.name) << ":{\"total\":" << counter.value
+        << ",\"delta\":" << (counter.value - std::min(counter.value, before))
+        << "}";
+  }
+
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << JsonEscape(snapshot.gauges[i].name) << ":"
+        << JsonNumber(snapshot.gauges[i].value);
+  }
+
+  out << "},\"histograms\":{";
+  bool first = true;
+  for (const auto& histogram : snapshot.histograms) {
+    uint64_t count_before = 0;
+    for (const auto& prev : previous_.histograms) {
+      if (prev.name == histogram.name) {
+        count_before = prev.count;
+        break;
+      }
+    }
+    if (!first) out << ",";
+    first = false;
+    out << JsonEscape(histogram.name) << ":{\"count\":" << histogram.count
+        << ",\"delta\":"
+        << (histogram.count - std::min(histogram.count, count_before))
+        << ",\"sum\":" << JsonNumber(histogram.sum)
+        << ",\"p50\":" << JsonNumber(histogram.Percentile(0.50))
+        << ",\"p95\":" << JsonNumber(histogram.Percentile(0.95))
+        << ",\"p99\":" << JsonNumber(histogram.Percentile(0.99)) << "}";
+  }
+  out << "}}\n";
+  out.flush();
+
+  previous_ = std::move(snapshot);
+}
+
+PeriodicReporter::Options PeriodicReporter::OptionsFromEnv() {
+  Options options;
+  options.interval_ms = 0;
+  if (const char* env = std::getenv("AMS_TELEMETRY_INTERVAL_MS")) {
+    options.interval_ms = std::atoi(env);
+  }
+  if (const char* path = std::getenv("AMS_TELEMETRY_FILE")) {
+    options.file_path = path;
+  }
+  return options;
+}
+
+namespace {
+
+std::mutex g_global_mu;
+PeriodicReporter* g_global_reporter = nullptr;  // leaked; stopped at exit
+bool g_global_started = false;
+
+}  // namespace
+
+PeriodicReporter* PeriodicReporter::StartFromEnv() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_started) return g_global_reporter;
+  g_global_started = true;
+  const Options options = OptionsFromEnv();
+  if (options.interval_ms <= 0) return nullptr;
+  g_global_reporter = new PeriodicReporter(options);
+  return g_global_reporter;
+}
+
+void PeriodicReporter::ShutdownGlobal() {
+  PeriodicReporter* reporter;
+  {
+    std::lock_guard<std::mutex> lock(g_global_mu);
+    reporter = g_global_reporter;
+  }
+  if (reporter != nullptr) reporter->Stop();
+}
+
+}  // namespace ams::obs

@@ -1,0 +1,109 @@
+// PeriodicReporter: a background thread that emits JSONL delta snapshots of
+// the metrics registry at a fixed interval, for long-running processes where
+// one exit report is not enough.
+//
+// Environment wiring (via obs::InstallExitReporter or StartFromEnv):
+//   AMS_TELEMETRY_INTERVAL_MS=<n>  enable, one snapshot line every n ms
+//   AMS_TELEMETRY_FILE=path        write lines to `path` (truncated at
+//                                  start) instead of stderr
+//
+// Each line is one self-contained JSON object:
+//
+//   {"schema":"ams-telemetry-delta-v1","seq":3,"uptime_ms":150.2,
+//    "interval_ms":50.1,"final":false,
+//    "counters":{"exp/models_fit{model=\"AMS\"}":{"total":4,"delta":1},...},
+//    "gauges":{"par/pool_utilization":0.81,...},
+//    "histograms":{"exp/fold/ms":{"count":6,"delta":2,"sum":312.5,
+//                  "p50":48.1,"p95":60.2,"p99":61.0},...}}
+//
+// Counters and histograms carry both the running total and the delta since
+// the previous line; gauges are last-write-wins values. Every registered
+// instrument appears on every line (registration order is irrelevant), so
+// any single line is a complete picture of the process.
+//
+// Two gauges are derived from deltas each tick and also written back into
+// the registry (so the exit report sees their final values):
+//   par/pool_utilization  delta(par/worker_busy_us) spread over the tick's
+//                         wall time and the worker count (par/pool_size - 1;
+//                         the pool's calling thread is not counted because
+//                         worker_busy_us only measures queued tasks).
+//   robust/fault_rate     fault events (robust/faults_injected, task_throws,
+//                         crc_failures, checkpoint_corrupt, nan_detected,
+//                         retries_exhausted) per second over the tick.
+//
+// Stop() (and the destructor) joins the thread and emits one final delta
+// line flagged "final":true, so short-lived processes still get at least one
+// snapshot; it is idempotent and safe to call from the exit reporter.
+#ifndef AMS_OBS_PERIODIC_H_
+#define AMS_OBS_PERIODIC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace ams::obs {
+
+class PeriodicReporter {
+ public:
+  struct Options {
+    int interval_ms = 1000;
+    std::string file_path;   // empty: write to *out (or stderr)
+    std::ostream* out = nullptr;  // test hook; ignored when file_path set
+  };
+
+  /// Starts the reporter thread immediately.
+  explicit PeriodicReporter(Options options);
+  ~PeriodicReporter();
+
+  /// Joins the thread and emits the final delta line. Idempotent.
+  void Stop();
+
+  /// Lines emitted so far (including the final one after Stop).
+  int lines_emitted() const;
+
+  /// Options from AMS_TELEMETRY_INTERVAL_MS / AMS_TELEMETRY_FILE;
+  /// interval_ms <= 0 when the interval variable is unset or invalid.
+  static Options OptionsFromEnv();
+
+  /// Starts the process-global reporter from the environment (once);
+  /// returns nullptr when AMS_TELEMETRY_INTERVAL_MS is not set. The global
+  /// instance is stopped by ShutdownGlobal(), which InstallExitReporter's
+  /// atexit hook calls before flushing the exit report.
+  static PeriodicReporter* StartFromEnv();
+  static void ShutdownGlobal();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+ private:
+  void Loop();
+  /// Snapshots the registry, computes deltas and derived gauges, and writes
+  /// one JSONL line. Only called from the reporter thread, or from Stop()
+  /// after the thread has joined — never concurrently.
+  void EmitLine(bool final_line);
+  std::ostream& Sink();
+
+  const Options options_;
+  std::ofstream file_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_emit_;
+  MetricsSnapshot previous_;
+  int seq_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ams::obs
+
+#endif  // AMS_OBS_PERIODIC_H_

@@ -2,20 +2,19 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <mutex>
 
+#include "obs/ledger.h"
+#include "obs/periodic.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace ams::obs {
 
-namespace {
-
-/// Shortest round-trippable double representation, valid JSON (no bare
-/// "inf"/"nan" — those serialize as null).
 std::string JsonNumber(double value) {
   if (!(value == value)) return "null";
   if (value == std::numeric_limits<double>::infinity()) return "null";
@@ -33,10 +32,11 @@ std::string JsonNumber(double value) {
   return buf;
 }
 
-std::string JsonString(const std::string& s) {
+std::string JsonEscape(const std::string& s) {
   std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
+  for (char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
       case '"':
         out += "\\\"";
         break;
@@ -46,13 +46,33 @@ std::string JsonString(const std::string& s) {
       case '\n':
         out += "\\n";
         break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       default:
-        out += c;
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
     }
   }
   out += "\"";
   return out;
 }
+
+namespace {
 
 /// Human-friendly quantity for the text table: full precision is noise
 /// there, four significant decimals are plenty.
@@ -73,22 +93,25 @@ void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& out) {
   out << "{\"counters\":{";
   for (size_t i = 0; i < snapshot.counters.size(); ++i) {
     if (i > 0) out << ",";
-    out << JsonString(snapshot.counters[i].name) << ":"
+    out << JsonEscape(snapshot.counters[i].name) << ":"
         << snapshot.counters[i].value;
   }
   out << "},\"gauges\":{";
   for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
     if (i > 0) out << ",";
-    out << JsonString(snapshot.gauges[i].name) << ":"
+    out << JsonEscape(snapshot.gauges[i].name) << ":"
         << JsonNumber(snapshot.gauges[i].value);
   }
   out << "},\"histograms\":{";
   for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
     const auto& h = snapshot.histograms[i];
     if (i > 0) out << ",";
-    out << JsonString(h.name) << ":{\"count\":" << h.count
+    out << JsonEscape(h.name) << ":{\"count\":" << h.count
         << ",\"sum\":" << JsonNumber(h.sum)
-        << ",\"mean\":" << JsonNumber(h.mean()) << ",\"buckets\":[";
+        << ",\"mean\":" << JsonNumber(h.mean())
+        << ",\"p50\":" << JsonNumber(h.Percentile(0.50))
+        << ",\"p95\":" << JsonNumber(h.Percentile(0.95))
+        << ",\"p99\":" << JsonNumber(h.Percentile(0.99)) << ",\"buckets\":[";
     bool first = true;
     for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
       if (h.bucket_counts[b] == 0) continue;  // sparse: drop empty buckets
@@ -122,10 +145,12 @@ void WriteTextReport(const MetricsSnapshot& snapshot, std::ostream& out) {
   }
   if (!snapshot.histograms.empty()) {
     std::vector<std::vector<std::string>> rows = {
-        {"histogram", "count", "mean", "sum"}};
+        {"histogram", "count", "mean", "p50", "p95", "p99", "sum"}};
     for (const auto& h : snapshot.histograms) {
       rows.push_back({h.name, std::to_string(h.count), TextNumber(h.mean()),
-                      TextNumber(h.sum)});
+                      TextNumber(h.Percentile(0.50)),
+                      TextNumber(h.Percentile(0.95)),
+                      TextNumber(h.Percentile(0.99)), TextNumber(h.sum)});
     }
     out << RenderTable(rows);
   }
@@ -147,6 +172,10 @@ void FlushReport(TelemetryMode mode, std::ostream& out) {
 namespace {
 
 void ExitReporter() {
+  // Stop the periodic reporter first: it joins its thread, emits the final
+  // delta line, and folds the last worker_busy_us / fault deltas into the
+  // derived gauges so the exit report below sees their final values.
+  PeriodicReporter::ShutdownGlobal();
   FlushReport(TelemetryModeFromEnv(), std::cerr);
   const char* trace_path = std::getenv("AMS_TRACE_FILE");
   if (trace_path != nullptr && trace_path[0] != '\0') {
@@ -158,6 +187,11 @@ void ExitReporter() {
                 << "\n";
     }
   }
+  const Status ledger_status = WriteRunLedgerFromEnv();
+  if (!ledger_status.ok()) {
+    std::cerr << "telemetry: run ledger failed: " << ledger_status.ToString()
+              << "\n";
+  }
 }
 
 }  // namespace
@@ -165,10 +199,12 @@ void ExitReporter() {
 void InstallExitReporter() {
   static std::once_flag once;
   std::call_once(once, [] {
+    MarkProcessStart();
     const char* trace_path = std::getenv("AMS_TRACE_FILE");
     if (trace_path != nullptr && trace_path[0] != '\0') {
       TraceBuffer::Get().SetEnabled(true);
     }
+    PeriodicReporter::StartFromEnv();
     std::atexit(ExitReporter);
   });
 }

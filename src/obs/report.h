@@ -6,8 +6,14 @@
 //   AMS_TELEMETRY=text   human-readable table on stderr at exit
 //   AMS_TELEMETRY=json   one JSON object on stderr at exit
 //   AMS_TELEMETRY=off    (or unset) no output — zero telemetry bytes
+//   AMS_TELEMETRY_INTERVAL_MS=n  periodic JSONL delta snapshots every n ms
+//                        while the process runs (see obs/periodic.h)
+//   AMS_TELEMETRY_FILE=path  periodic snapshots go to `path`, not stderr
 //   AMS_TRACE_FILE=path  enable the span buffer and write Chrome trace-event
 //                        JSON to `path` at exit (independent of the above)
+//   AMS_RUN_LEDGER=dir   write a per-run manifest (config fingerprint, env,
+//                        wall time, final metrics) to `dir` at exit
+//                        (see obs/ledger.h)
 //
 // Binaries opt in with one call at the top of main():
 //
@@ -34,22 +40,36 @@ enum class TelemetryMode { kOff, kText, kJson };
 /// unrecognized values mean kOff).
 TelemetryMode TelemetryModeFromEnv();
 
+/// Shortest round-trippable JSON number for `value`; NaN and +/-Inf
+/// serialize as `null` (bare `nan`/`inf` would be invalid JSON — guarded
+/// la::stats math can legitimately set such gauges).
+std::string JsonNumber(double value);
+
+/// `s` as a quoted JSON string: quotes, backslashes, and all control
+/// characters escaped (\n, \t, ... and \u00XX for the rest), so hostile
+/// instrument or span names can never break report well-formedness.
+std::string JsonEscape(const std::string& s);
+
 /// Serializes `snapshot` as a single JSON object:
 ///   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
-///    buckets:[{le,count},...]}}}
+///    p50,p95,p99,buckets:[{le,count},...]}}}
 void WriteJsonReport(const MetricsSnapshot& snapshot, std::ostream& out);
 
 /// Serializes `snapshot` as aligned-column text tables (one section per
-/// instrument kind; empty sections are omitted).
+/// instrument kind; empty sections are omitted). Histogram rows include
+/// interpolated p50/p95/p99.
 void WriteTextReport(const MetricsSnapshot& snapshot, std::ostream& out);
 
 /// Takes a registry snapshot and writes it to `out` in `mode`; no-op when
 /// mode is kOff or the snapshot is empty.
 void FlushReport(TelemetryMode mode, std::ostream& out);
 
-/// Registers an atexit hook that (a) flushes a report to stderr per
-/// AMS_TELEMETRY and (b) writes Chrome trace JSON to AMS_TRACE_FILE if that
-/// variable is set (enabling the span buffer immediately). Idempotent.
+/// Registers an atexit hook that (a) stops the periodic reporter (final
+/// delta snapshot), (b) flushes a report to stderr per AMS_TELEMETRY,
+/// (c) writes Chrome trace JSON to AMS_TRACE_FILE if that variable is set
+/// (enabling the span buffer immediately), and (d) writes the run ledger if
+/// AMS_RUN_LEDGER is set. Starts the periodic reporter immediately when
+/// AMS_TELEMETRY_INTERVAL_MS is set. Idempotent.
 void InstallExitReporter();
 
 }  // namespace ams::obs

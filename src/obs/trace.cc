@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/report.h"
+
 namespace ams::obs {
 
 namespace {
@@ -31,40 +33,61 @@ TraceBuffer& TraceBuffer::Get() {
   return *buffer;
 }
 
+std::vector<SpanRecord> TraceBuffer::UnrolledLocked() const {
+  std::vector<SpanRecord> out;
+  out.reserve(spans_.size());
+  out.insert(out.end(), spans_.begin() + static_cast<ptrdiff_t>(head_),
+             spans_.end());
+  out.insert(out.end(), spans_.begin(),
+             spans_.begin() + static_cast<ptrdiff_t>(head_));
+  return out;
+}
+
 void TraceBuffer::SetCapacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> ordered = UnrolledLocked();
   capacity_ = std::max<size_t>(1, capacity);
-  if (spans_.size() > capacity_) {
-    dropped_ += spans_.size() - capacity_;
-    spans_.erase(spans_.begin(),
-                 spans_.begin() + (spans_.size() - capacity_));
+  if (ordered.size() > capacity_) {
+    dropped_ += ordered.size() - capacity_;
+    ordered.erase(ordered.begin(),
+                  ordered.begin() +
+                      static_cast<ptrdiff_t>(ordered.size() - capacity_));
   }
+  spans_ = std::move(ordered);
+  head_ = 0;
 }
 
 void TraceBuffer::Record(const SpanRecord& span) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (spans_.size() >= capacity_) {
-    spans_.erase(spans_.begin());
-    ++dropped_;
+  if (spans_.size() < capacity_) {
+    spans_.push_back(span);
+    return;
   }
-  spans_.push_back(span);
+  // Full: overwrite the oldest slot and advance the ring head. This keeps
+  // a saturated buffer O(1) per span (the old erase-front was O(capacity),
+  // which made span-heavy runs quadratic once the buffer filled).
+  spans_[head_] = span;
+  head_ = (head_ + 1) % spans_.size();
+  ++dropped_;
 }
 
 std::vector<SpanRecord> TraceBuffer::Drain() {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<SpanRecord> out;
-  out.swap(spans_);
+  std::vector<SpanRecord> out = UnrolledLocked();
+  spans_.clear();
+  head_ = 0;
   return out;
 }
 
 std::vector<SpanRecord> TraceBuffer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return spans_;
+  return UnrolledLocked();
 }
 
 void TraceBuffer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
+  head_ = 0;
   dropped_ = 0;
 }
 
@@ -106,15 +129,17 @@ ScopedSpan::~ScopedSpan() {
 void TraceExporter::WriteJson(const std::vector<SpanRecord>& spans,
                               std::ostream& out) {
   // Chrome trace-event format: an object with a "traceEvents" array of
-  // complete events (ph == "X"). Span names come from AMS_TRACE_SPAN string
-  // literals, so no JSON escaping is required beyond what we emit.
+  // complete events (ph == "X"). Span names are usually tame string
+  // literals, but nothing enforces that — escape them like every other
+  // serialized name so a quote or control character cannot break the file.
   out << "{\"traceEvents\":[";
   bool first = true;
   for (const SpanRecord& span : spans) {
     if (!first) out << ",";
     first = false;
-    out << "{\"name\":\"" << (span.name != nullptr ? span.name : "?")
-        << "\",\"cat\":\"ams\",\"ph\":\"X\",\"ts\":" << span.start_us
+    out << "{\"name\":"
+        << JsonEscape(span.name != nullptr ? span.name : "?")
+        << ",\"cat\":\"ams\",\"ph\":\"X\",\"ts\":" << span.start_us
         << ",\"dur\":" << span.duration_us
         << ",\"pid\":0,\"tid\":" << span.thread_id << "}";
   }

@@ -58,6 +58,8 @@ class TraceBuffer {
   /// Drops the oldest spans once the buffer holds `capacity` records.
   void SetCapacity(size_t capacity);
 
+  /// O(1) at any fill level: once full, the buffer is a ring and the newest
+  /// record overwrites the oldest slot in place.
   void Record(const SpanRecord& span);
   std::vector<SpanRecord> Drain();
   std::vector<SpanRecord> Snapshot() const;
@@ -72,10 +74,16 @@ class TraceBuffer {
  private:
   TraceBuffer() = default;
 
+  /// Oldest-to-newest copy of the ring contents; mu_ must be held.
+  std::vector<SpanRecord> UnrolledLocked() const;
+
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   size_t capacity_ = 1 << 20;
   size_t dropped_ = 0;
+  // spans_ grows until capacity_; from then on it is a ring and head_ marks
+  // the oldest slot (head_ == 0 while still growing).
+  size_t head_ = 0;
   std::vector<SpanRecord> spans_;
 };
 

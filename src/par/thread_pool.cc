@@ -65,6 +65,10 @@ ThreadPool::ThreadPool(int parallelism)
   parallel_fors_ = &registry.GetCounter("par/parallel_for_ranges");
   worker_busy_us_ = &registry.GetCounter("par/worker_busy_us");
   queue_depth_ = &registry.GetGauge("par/queue_depth");
+  // The periodic reporter derives par/pool_utilization from worker_busy_us
+  // deltas spread over (pool_size - 1) workers; last-constructed pool wins,
+  // which matches DefaultPool()/SetDefaultParallelism usage.
+  registry.GetGauge("par/pool_size").Set(static_cast<double>(parallelism_));
   workers_.reserve(parallelism_ - 1);
   for (int i = 0; i < parallelism_ - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

@@ -15,7 +15,9 @@
 //      thread spawning so the hot loops never oversubscribe the machine.
 //
 // Instrumented with ams_obs: "par/tasks_run", "par/parallel_for_ranges",
-// "par/worker_busy_us" counters and a "par/queue_depth" gauge.
+// "par/worker_busy_us" counters and "par/queue_depth" / "par/pool_size"
+// gauges; the periodic reporter (obs/periodic.h) folds worker_busy_us
+// deltas into a live "par/pool_utilization" gauge.
 #ifndef AMS_PAR_THREAD_POOL_H_
 #define AMS_PAR_THREAD_POOL_H_
 

@@ -143,6 +143,9 @@ bool FaultInjector::Fire(FaultKind kind, int64_t ordinal) {
     armed.fired = true;
     armed_count_.fetch_sub(1, std::memory_order_relaxed);
     InjectedCounter().Increment();
+    obs::MetricsRegistry::Get()
+        .GetCounter("robust/faults_injected", {{"kind", FaultKindName(kind)}})
+        .Increment();
     AMS_LOG(Warning) << "injecting fault " << FaultKindName(kind) << "@"
                      << FaultKindKey(kind) << "=" << ordinal;
     return true;

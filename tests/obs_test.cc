@@ -1,15 +1,27 @@
 // Unit tests for the telemetry subsystem (src/obs) and the logging
-// satellites: instrument semantics, concurrent exactness, span nesting,
-// report shapes, AMS_TELEMETRY=off silence, and AMS_LOG short-circuiting.
+// satellites: instrument semantics (labeled and not), percentile
+// estimation, concurrent exactness, span nesting, report shapes and JSON
+// hardening, the periodic JSONL reporter, the run ledger, AMS_TELEMETRY=off
+// silence, and AMS_LOG short-circuiting.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/json_parse.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/periodic.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -72,8 +84,8 @@ TEST(RegistryTest, LazyRegistrationReturnsSameInstrument) {
   a.Add(7);
   EXPECT_EQ(b.value(), 7u);
 
-  Histogram& h1 = registry.GetHistogram("registry_test/hist", {1.0, 2.0});
-  Histogram& h2 = registry.GetHistogram("registry_test/hist", {9.0});
+  Histogram& h1 = registry.GetHistogram("registry_test/hist", std::vector<double>{1.0, 2.0});
+  Histogram& h2 = registry.GetHistogram("registry_test/hist", std::vector<double>{9.0});
   EXPECT_EQ(&h1, &h2);  // bounds only consulted on first registration
   EXPECT_EQ(h2.bucket_bounds().size(), 2u);
 }
@@ -82,7 +94,7 @@ TEST(RegistryTest, SnapshotContainsRegisteredInstruments) {
   MetricsRegistry& registry = MetricsRegistry::Get();
   registry.GetCounter("snapshot_test/counter").Add(3);
   registry.GetGauge("snapshot_test/gauge").Set(2.5);
-  registry.GetHistogram("snapshot_test/hist", {1.0}).Observe(0.5);
+  registry.GetHistogram("snapshot_test/hist", std::vector<double>{1.0}).Observe(0.5);
 
   const MetricsSnapshot snapshot = registry.Snapshot();
   bool found_counter = false;
@@ -115,6 +127,143 @@ TEST(RegistryTest, SnapshotContainsRegisteredInstruments) {
   for (size_t i = 1; i < snapshot.counters.size(); ++i) {
     EXPECT_LE(snapshot.counters[i - 1].name, snapshot.counters[i].name);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Labeled instruments.
+
+TEST(LabelsTest, EncodeLabeledNameIsCanonical) {
+  EXPECT_EQ(EncodeLabeledName("hits", {}), "hits");
+  EXPECT_EQ(EncodeLabeledName("hits", {{"model", "AMS"}}),
+            "hits{model=\"AMS\"}");
+  // Keys sort; insertion order of the label set does not matter.
+  EXPECT_EQ(EncodeLabeledName("hits", {{"b", "2"}, {"a", "1"}}),
+            EncodeLabeledName("hits", {{"a", "1"}, {"b", "2"}}));
+  EXPECT_EQ(EncodeLabeledName("hits", {{"b", "2"}, {"a", "1"}}),
+            "hits{a=\"1\",b=\"2\"}");
+}
+
+TEST(LabelsTest, SameLabelSetInternsToSameInstrument) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  Counter& a = registry.GetCounter("labels_test/hits", {{"model", "AMS"}});
+  Counter& b = registry.GetCounter("labels_test/hits", {{"model", "AMS"}});
+  Counter& other =
+      registry.GetCounter("labels_test/hits", {{"model", "Ridge"}});
+  Counter& plain = registry.GetCounter("labels_test/hits");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  EXPECT_NE(&a, &plain);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(other.value(), 0u);
+
+  // Order-insensitive across multiple keys; empty labels == unlabeled.
+  Gauge& g1 = registry.GetGauge("labels_test/gauge",
+                                {{"k1", "v1"}, {"k2", "v2"}});
+  Gauge& g2 = registry.GetGauge("labels_test/gauge",
+                                {{"k2", "v2"}, {"k1", "v1"}});
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_EQ(&registry.GetCounter("labels_test/hits", Labels{}), &plain);
+}
+
+TEST(LabelsTest, LabeledInstrumentsAppearInSnapshotUnderEncodedName) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetCounter("labels_snap/hits", {{"model", "XGBoost"}}).Add(5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  bool found = false;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "labels_snap/hits{model=\"XGBoost\"}") {
+      found = true;
+      EXPECT_EQ(counter.value, 5u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Percentile estimation from bucket counts.
+
+TEST(PercentileTest, InterpolatesWithinBuckets) {
+  MetricsSnapshot::HistogramValue h;
+  h.bucket_bounds = {10.0, 20.0, 30.0, 40.0};
+  h.bucket_counts = {10, 10, 10, 10, 0};  // ~uniform over (0, 40]
+  h.count = 40;
+  EXPECT_NEAR(h.Percentile(0.50), 20.0, 1e-9);
+  EXPECT_NEAR(h.Percentile(0.95), 38.0, 1e-9);
+  EXPECT_NEAR(h.Percentile(0.99), 39.6, 1e-9);
+  // Quantiles never decrease in q.
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double value = h.Percentile(q);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+TEST(PercentileTest, EdgeCases) {
+  MetricsSnapshot::HistogramValue empty;
+  empty.bucket_bounds = {1.0};
+  empty.bucket_counts = {0, 0};
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+
+  // Everything in the overflow bucket: the estimate cannot extrapolate past
+  // the largest finite bound.
+  MetricsSnapshot::HistogramValue overflow;
+  overflow.bucket_bounds = {1.0, 2.0};
+  overflow.bucket_counts = {0, 0, 7};
+  overflow.count = 7;
+  EXPECT_EQ(overflow.Percentile(0.5), 2.0);
+  EXPECT_EQ(overflow.Percentile(0.99), 2.0);
+
+  // Single bucket with a negative bound: the lower edge follows the bound.
+  MetricsSnapshot::HistogramValue negative;
+  negative.bucket_bounds = {-5.0};
+  negative.bucket_counts = {4, 0};
+  negative.count = 4;
+  EXPECT_LE(negative.Percentile(0.5), -0.0);
+  EXPECT_GE(negative.Percentile(0.5), -5.0);
+}
+
+TEST(PercentileTest, LiveHistogramMatchesKnownData) {
+  Histogram histogram("percentile_live", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) {
+    histogram.Observe(0.5);  // all land in bucket 0
+  }
+  MetricsSnapshot::HistogramValue view;
+  view.count = histogram.count();
+  view.sum = histogram.sum();
+  view.bucket_bounds = histogram.bucket_bounds();
+  view.bucket_counts = histogram.bucket_counts();
+  // All mass in (0, 1]: p50 interpolates to the middle of that bucket.
+  EXPECT_NEAR(view.Percentile(0.5), 0.5, 1e-9);
+  EXPECT_LE(view.Percentile(0.99), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram input hardening: NaN dropped, negatives clamped, both counted.
+
+TEST(HistogramTest, NanAndNegativeObservationsDoNotCorruptBuckets) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  Counter& dropped = registry.GetCounter("obs/dropped_observations");
+  const uint64_t dropped_before = dropped.value();
+
+  Histogram histogram("guard_test", {1.0, 10.0});
+  histogram.Observe(std::numeric_limits<double>::quiet_NaN());  // dropped
+  histogram.Observe(-3.0);  // clamped to 0, still counted
+  histogram.Observe(5.0);   // normal
+
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 5.0);  // clamp contributes 0
+  EXPECT_FALSE(std::isnan(histogram.sum()));
+  const std::vector<uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);  // the clamped -3 -> 0
+  EXPECT_EQ(counts[1], 1u);  // the 5
+  EXPECT_EQ(counts[2], 0u);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, histogram.count());
+  EXPECT_EQ(dropped.value(), dropped_before + 2);
 }
 
 // ---------------------------------------------------------------------------
@@ -321,7 +470,7 @@ TEST(ReportTest, JsonSnapshotRoundTripShape) {
   MetricsRegistry& registry = MetricsRegistry::Get();
   registry.GetCounter("report_test/counter").Add(11);
   registry.GetGauge("report_test/gauge").Set(0.5);
-  registry.GetHistogram("report_test/hist", {1.0, 2.0}).Observe(1.5);
+  registry.GetHistogram("report_test/hist", std::vector<double>{1.0, 2.0}).Observe(1.5);
 
   std::ostringstream out;
   WriteJsonReport(registry.Snapshot(), out);
@@ -346,6 +495,327 @@ TEST(ReportTest, TextReportContainsInstruments) {
   const std::string text = out.str();
   EXPECT_NE(text.find("telemetry report"), std::string::npos);
   EXPECT_NE(text.find("text_report_test/counter"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (src/obs/json_parse): the validator behind bench_diff and the
+// round-trip tests below.
+
+TEST(JsonParseTest, ParsesScalarsAndContainers) {
+  auto result = json::Parse(
+      R"({"a":1.5,"b":[true,false,null],"c":{"nested":"x"},"d":-2e3})");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const json::Value& root = result.ValueOrDie();
+  ASSERT_TRUE(root.is_object());
+  ASSERT_NE(root.Find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(root.Find("a")->number, 1.5);
+  ASSERT_TRUE(root.Find("b")->is_array());
+  EXPECT_EQ(root.Find("b")->array.size(), 3u);
+  EXPECT_TRUE(root.Find("b")->array[0].bool_value);
+  EXPECT_TRUE(root.Find("b")->array[2].is_null());
+  EXPECT_EQ(root.Find("c")->Find("nested")->string_value, "x");
+  EXPECT_DOUBLE_EQ(root.Find("d")->number, -2000.0);
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, DecodesStringEscapes) {
+  auto result = json::Parse(R"(["q\"b\\n\nuA\t"])");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().array[0].string_value, "q\"b\\n\nuA\t");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(json::Parse("").ok());
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(json::Parse("[1,]").ok());
+  EXPECT_FALSE(json::Parse("nul").ok());
+  EXPECT_FALSE(json::Parse("{} trailing").ok());
+  EXPECT_FALSE(json::Parse("\"unterminated").ok());
+}
+
+// ---------------------------------------------------------------------------
+// JSON hardening: non-finite gauges serialize as null, hostile instrument
+// and span names round-trip through the escaper and back through the parser.
+
+TEST(ReportTest, NonFiniteGaugesSerializeAsNull) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetGauge("nonfinite_test/nan")
+      .Set(std::numeric_limits<double>::quiet_NaN());
+  registry.GetGauge("nonfinite_test/inf")
+      .Set(std::numeric_limits<double>::infinity());
+  registry.GetGauge("nonfinite_test/finite").Set(1.25);
+
+  std::ostringstream out;
+  WriteJsonReport(registry.Snapshot(), out);
+  auto result = json::Parse(out.str());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const json::Value* gauges = result.ValueOrDie().Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->Find("nonfinite_test/nan"), nullptr);
+  EXPECT_TRUE(gauges->Find("nonfinite_test/nan")->is_null());
+  EXPECT_TRUE(gauges->Find("nonfinite_test/inf")->is_null());
+  ASSERT_TRUE(gauges->Find("nonfinite_test/finite")->is_number());
+  EXPECT_DOUBLE_EQ(gauges->Find("nonfinite_test/finite")->number, 1.25);
+}
+
+TEST(ReportTest, HostileInstrumentNamesRoundTrip) {
+  // Quotes, backslashes, newlines and a control byte — all legal label
+  // values, all must survive serialize -> parse exactly.
+  const std::string hostile = "evil\"name\\with\nnewline\x01!";
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetCounter(hostile).Add(9);
+  registry.GetCounter("hostile/labeled", {{"k", "va\"l\\ue"}}).Add(2);
+
+  std::ostringstream out;
+  WriteJsonReport(registry.Snapshot(), out);
+  auto result = json::Parse(out.str());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const json::Value* counters = result.ValueOrDie().Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find(hostile), nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find(hostile)->number, 9.0);
+  const std::string labeled = "hostile/labeled{k=\"va\"l\\ue\"}";
+  ASSERT_NE(counters->Find(labeled), nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find(labeled)->number, 2.0);
+}
+
+TEST(TraceTest, HostileSpanNamesRoundTripThroughChromeTrace) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  {
+    AMS_TRACE_SPAN("trace_test/evil\"quote\\back\nline");
+  }
+  buffer.SetEnabled(false);
+
+  std::ostringstream out;
+  TraceExporter::WriteJson(out);
+  auto result = json::Parse(out.str());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const json::Value* events = result.ValueOrDie().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool found = false;
+  for (const json::Value& event : events->array) {
+    const json::Value* name = event.Find("name");
+    if (name != nullptr &&
+        name->string_value == "trace_test/evil\"quote\\back\nline") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  buffer.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicReporter: JSONL delta snapshots, derived gauges, clean shutdown —
+// exercised while other threads hammer labeled instruments (the interesting
+// part under -DAMS_SANITIZE=thread).
+
+TEST(PeriodicReporterTest, EmitsValidSelfContainedJsonlUnderConcurrency) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+
+  std::ostringstream stream;
+  PeriodicReporter::Options options;
+  options.interval_ms = 5;
+  options.out = &stream;
+  auto reporter = std::make_unique<PeriodicReporter>(options);
+
+  std::atomic<bool> keep_running{true};
+  std::vector<std::thread> workers;
+  const char* kModels[] = {"AMS", "Ridge", "XGBoost"};
+  for (const char* model : kModels) {
+    workers.emplace_back([model, &keep_running] {
+      MetricsRegistry& reg = MetricsRegistry::Get();
+      Counter& fits =
+          reg.GetCounter("periodic_test/model_fit", {{"model", model}});
+      Histogram& lat = reg.GetHistogram("periodic_test/lat_ms");
+      int i = 0;
+      while (keep_running.load(std::memory_order_relaxed)) {
+        fits.Increment();
+        reg.GetGauge("periodic_test/loss", {{"model", model}})
+            .Set(1.0 / (1 + i));
+        lat.Observe(static_cast<double>(i % 16));
+        ++i;
+      }
+    });
+  }
+
+  // Let the reporter tick a few times while the workers run; generous
+  // deadline for slow or sanitized builds.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (reporter->lines_emitted() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  keep_running.store(false);
+  for (std::thread& worker : workers) worker.join();
+  reporter->Stop();
+  const int lines_emitted = reporter->lines_emitted();
+  ASSERT_GE(lines_emitted, 3);
+
+  // Every line parses; sequence numbers increase; the last line is final;
+  // the derived gauges and the labeled counters appear on every line.
+  std::istringstream lines(stream.str());
+  std::string line;
+  int parsed_lines = 0;
+  double last_seq = -1.0;
+  bool saw_final = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto result = json::Parse(line);
+    ASSERT_TRUE(result.ok())
+        << result.status().ToString() << " in line: " << line;
+    const json::Value& root = result.ValueOrDie();
+    ++parsed_lines;
+    ASSERT_NE(root.Find("schema"), nullptr);
+    EXPECT_EQ(root.Find("schema")->string_value, "ams-telemetry-delta-v1");
+    ASSERT_NE(root.Find("seq"), nullptr);
+    EXPECT_GT(root.Find("seq")->number, last_seq);
+    last_seq = root.Find("seq")->number;
+    ASSERT_NE(root.Find("final"), nullptr);
+    saw_final = root.Find("final")->bool_value;  // true only on the last
+
+    const json::Value* gauges = root.Find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_NE(gauges->Find("par/pool_utilization"), nullptr);
+    EXPECT_NE(gauges->Find("robust/fault_rate"), nullptr);
+
+    const json::Value* counters = root.Find("counters");
+    ASSERT_NE(counters, nullptr);
+    const json::Value* labeled =
+        counters->Find("periodic_test/model_fit{model=\"AMS\"}");
+    ASSERT_NE(labeled, nullptr);
+    ASSERT_NE(labeled->Find("total"), nullptr);
+    ASSERT_NE(labeled->Find("delta"), nullptr);
+    EXPECT_GE(labeled->Find("total")->number,
+              labeled->Find("delta")->number);
+
+    const json::Value* histograms = root.Find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    const json::Value* lat = histograms->Find("periodic_test/lat_ms");
+    ASSERT_NE(lat, nullptr);
+    for (const char* field : {"count", "delta", "sum", "p50", "p95", "p99"}) {
+      EXPECT_NE(lat->Find(field), nullptr) << field;
+    }
+  }
+  EXPECT_EQ(parsed_lines, lines_emitted);
+  EXPECT_TRUE(saw_final);
+
+  // The derived gauges were folded back into the registry for exit reports.
+  const double utilization =
+      registry.GetGauge("par/pool_utilization").value();
+  EXPECT_GE(utilization, 0.0);
+  EXPECT_LE(utilization, 1.0);
+
+  // Stop is idempotent and emits nothing further.
+  reporter->Stop();
+  EXPECT_EQ(reporter->lines_emitted(), lines_emitted);
+}
+
+TEST(PeriodicReporterTest, OptionsFromEnvParsesIntervalAndFile) {
+  ::setenv("AMS_TELEMETRY_INTERVAL_MS", "250", 1);
+  ::setenv("AMS_TELEMETRY_FILE", "/tmp/t.jsonl", 1);
+  PeriodicReporter::Options options = PeriodicReporter::OptionsFromEnv();
+  EXPECT_EQ(options.interval_ms, 250);
+  EXPECT_EQ(options.file_path, "/tmp/t.jsonl");
+  ::setenv("AMS_TELEMETRY_INTERVAL_MS", "bogus", 1);
+  EXPECT_LE(PeriodicReporter::OptionsFromEnv().interval_ms, 0);
+  ::unsetenv("AMS_TELEMETRY_INTERVAL_MS");
+  EXPECT_LE(PeriodicReporter::OptionsFromEnv().interval_ms, 0);
+  ::unsetenv("AMS_TELEMETRY_FILE");
+}
+
+TEST(PeriodicReporterTest, WritesToFileAndShortRunStillGetsFinalLine) {
+  const std::string path = ::testing::TempDir() + "periodic_test.jsonl";
+  {
+    PeriodicReporter::Options options;
+    options.interval_ms = 60'000;  // never ticks on its own
+    options.file_path = path;
+    PeriodicReporter reporter(options);
+    MetricsRegistry::Get().GetCounter("periodic_file_test/events").Add(4);
+    reporter.Stop();
+    EXPECT_EQ(reporter.lines_emitted(), 1);  // the final flush
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto result = json::Parse(line);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.ValueOrDie().Find("final")->bool_value);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Run ledger.
+
+TEST(LedgerTest, ManifestShapeAndFingerprint) {
+  MetricsRegistry::Get().GetCounter("ledger_test/events").Add(2);
+  std::ostringstream out;
+  WriteRunLedgerJson("unit_test", 4242, 123.5,
+                     MetricsRegistry::Get().Snapshot(), out);
+  auto result = json::Parse(out.str());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const json::Value& root = result.ValueOrDie();
+  EXPECT_EQ(root.Find("schema")->string_value, "ams-run-ledger-v1");
+  EXPECT_DOUBLE_EQ(root.Find("schema_version")->number,
+                   kRunLedgerSchemaVersion);
+  EXPECT_EQ(root.Find("binary")->string_value, "unit_test");
+  EXPECT_DOUBLE_EQ(root.Find("pid")->number, 4242.0);
+  EXPECT_DOUBLE_EQ(root.Find("wall_time_ms")->number, 123.5);
+
+  // Fingerprint: 16 hex chars, deterministic, environment-sensitive.
+  const std::string fingerprint =
+      root.Find("config_fingerprint")->string_value;
+  EXPECT_EQ(fingerprint.size(), 16u);
+  EXPECT_EQ(fingerprint.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_EQ(ConfigFingerprint("unit_test"), fingerprint);
+  EXPECT_NE(ConfigFingerprint("other_binary"), fingerprint);
+  ::setenv("AMS_THREADS", "7", 1);
+  EXPECT_NE(ConfigFingerprint("unit_test"), fingerprint);
+  ::unsetenv("AMS_THREADS");
+  EXPECT_EQ(ConfigFingerprint("unit_test"), fingerprint);
+
+  // Every behaviour-relevant env key appears (null when unset), and the
+  // metrics block embeds the full report.
+  const json::Value* env = root.Find("env");
+  ASSERT_NE(env, nullptr);
+  for (const std::string& key : RunLedgerEnvKeys()) {
+    EXPECT_NE(env->Find(key), nullptr) << key;
+  }
+  const json::Value* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->Find("counters"), nullptr);
+  EXPECT_NE(metrics->Find("counters")->Find("ledger_test/events"), nullptr);
+}
+
+TEST(LedgerTest, WriteRunLedgerCreatesParseableFile) {
+  const std::string dir = ::testing::TempDir() + "ams_ledger_test";
+  std::filesystem::remove_all(dir);
+  Status status = WriteRunLedger(dir, "ledger_unit", 10.0,
+                                 MetricsRegistry::Get().Snapshot());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const std::string path =
+      dir + "/run_ledger_unit_" + std::to_string(::getpid()) + ".json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto result = json::Parse(buffer.str());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().Find("binary")->string_value, "ledger_unit");
+  // No leftover temp file from the atomic write.
+  int entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1);
+  std::filesystem::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 
 #include "la/matrix.h"
 #include "models/experiment.h"
+#include "obs/metrics.h"
 #include "par/thread_pool.h"
 #include "util/rng.h"
 
@@ -101,6 +102,13 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
     }
   }  // destructor joins after the queue is drained
   EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ConstructionPublishesPoolSizeGauge) {
+  // The periodic reporter derives par/pool_utilization from this gauge.
+  ThreadPool pool(3);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Get().GetGauge("par/pool_size").value(), 3.0);
 }
 
 TEST(ThreadPoolTest, SerialPoolRunsInline) {

@@ -1,0 +1,299 @@
+// bench_diff: the perf regression gate. Compares two recorded measurement
+// files and exits nonzero when the candidate regressed beyond a threshold,
+// so "did this PR slow the hot path down?" is answered by a recorded
+// baseline instead of anecdote.
+//
+// Usage:
+//   bench_diff <baseline.json> <candidate.json> [--threshold=0.10]
+//              [--metric=real_time] [--strict-missing]
+//       Compare two files; exit 1 if any shared metric regressed by more
+//       than threshold (fraction, e.g. 0.10 = +10%). Metrics are
+//       lower-is-better (times). --strict-missing also fails when a
+//       baseline metric is absent from the candidate.
+//   bench_diff --check <file.json>
+//       Parse + self-compare (the gate's smoke mode): exit 0 iff the file
+//       is valid and yields at least one metric.
+//   bench_diff --lint-jsonl <file> [--require=substr]... [--min-lines=1]
+//       Validate a JSONL telemetry stream: every non-empty line must parse
+//       as JSON, the file must have at least --min-lines lines, and every
+//       --require substring must appear in at least one line.
+//
+// Accepted file shapes (auto-detected):
+//   * Google-benchmark JSON (BENCH_*.json): benchmarks[].name -> metric
+//     field (default real_time; aggregates skipped)
+//   * ams run ledger (obs/ledger.h): metrics.histograms.*.{mean,p50,p95,p99}
+//   * raw obs::WriteJsonReport output: histograms.*.{mean,p50,p95,p99}
+//
+// Exit codes: 0 pass, 1 regression / lint failure, 2 usage or parse error.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.h"
+#include "util/string_util.h"
+
+namespace {
+
+using ams::obs::json::Value;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff <baseline.json> <candidate.json> "
+      "[--threshold=0.10] [--metric=real_time] [--strict-missing]\n"
+      "       bench_diff --check <file.json>\n"
+      "       bench_diff --lint-jsonl <file> [--require=substr]... "
+      "[--min-lines=1]\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Flat name -> value metric map extracted from any accepted file shape.
+using MetricMap = std::map<std::string, double>;
+
+void ExtractHistogramMetrics(const Value& histograms, MetricMap* out) {
+  if (!histograms.is_object()) return;
+  for (const auto& [name, h] : histograms.object) {
+    const Value* count = h.Find("count");
+    if (count == nullptr || !count->is_number() || count->number <= 0) {
+      continue;
+    }
+    for (const char* field : {"mean", "p50", "p95", "p99"}) {
+      const Value* v = h.Find(field);
+      if (v != nullptr && v->is_number()) {
+        (*out)[name + "/" + field] = v->number;
+      }
+    }
+  }
+}
+
+bool ExtractMetrics(const Value& root, const std::string& metric_field,
+                    MetricMap* out, std::string* error) {
+  if (!root.is_object()) {
+    *error = "top-level JSON value is not an object";
+    return false;
+  }
+  if (const Value* benchmarks = root.Find("benchmarks")) {
+    if (!benchmarks->is_array()) {
+      *error = "\"benchmarks\" is not an array";
+      return false;
+    }
+    for (const Value& bench : benchmarks->array) {
+      const Value* name = bench.Find("name");
+      const Value* value = bench.Find(metric_field);
+      const Value* run_type = bench.Find("run_type");
+      if (run_type != nullptr && run_type->is_string() &&
+          run_type->string_value == "aggregate") {
+        continue;
+      }
+      if (name != nullptr && name->is_string() && value != nullptr &&
+          value->is_number()) {
+        (*out)[name->string_value] = value->number;
+      }
+    }
+    return true;
+  }
+  const Value* metrics = root.Find("metrics");
+  const Value* histograms =
+      metrics != nullptr ? metrics->Find("histograms") : root.Find("histograms");
+  if (histograms != nullptr) {
+    ExtractHistogramMetrics(*histograms, out);
+    return true;
+  }
+  *error =
+      "unrecognized file shape (expected benchmarks[], metrics.histograms, "
+      "or histograms)";
+  return false;
+}
+
+bool LoadMetrics(const std::string& path, const std::string& metric_field,
+                 MetricMap* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  auto parsed = ams::obs::json::Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  std::string error;
+  if (!ExtractMetrics(parsed.ValueOrDie(), metric_field, out, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "bench_diff: %s: no comparable metrics found\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int RunDiff(const std::string& baseline_path,
+            const std::string& candidate_path, double threshold,
+            const std::string& metric_field, bool strict_missing) {
+  MetricMap baseline;
+  MetricMap candidate;
+  if (!LoadMetrics(baseline_path, metric_field, &baseline) ||
+      !LoadMetrics(candidate_path, metric_field, &candidate)) {
+    return 2;
+  }
+
+  std::vector<std::vector<std::string>> rows = {
+      {"metric", "baseline", "candidate", "delta", "verdict"}};
+  int regressions = 0;
+  int missing = 0;
+  for (const auto& [name, base_value] : baseline) {
+    const auto it = candidate.find(name);
+    if (it == candidate.end()) {
+      ++missing;
+      rows.push_back({name, ams::FormatDouble(base_value, 3), "-", "-",
+                      strict_missing ? "MISSING" : "missing"});
+      continue;
+    }
+    const double cand_value = it->second;
+    std::string delta = "-";
+    std::string verdict = "ok";
+    if (base_value > 0.0) {
+      const double ratio = cand_value / base_value - 1.0;
+      delta = (ratio >= 0 ? "+" : "") + ams::FormatDouble(ratio * 100.0, 1) +
+              "%";
+      if (ratio > threshold) {
+        verdict = "REGRESSED";
+        ++regressions;
+      } else if (ratio < -threshold) {
+        verdict = "improved";
+      }
+    }
+    rows.push_back({name, ams::FormatDouble(base_value, 3),
+                    ams::FormatDouble(cand_value, 3), delta, verdict});
+  }
+  std::cout << ams::RenderTable(rows);
+  std::cout << "threshold: " << ams::FormatDouble(threshold * 100.0, 1)
+            << "%  regressions: " << regressions << "  missing: " << missing
+            << "\n";
+  if (regressions > 0) return 1;
+  if (strict_missing && missing > 0) return 1;
+  return 0;
+}
+
+int RunLint(const std::string& path,
+            const std::vector<std::string>& required, int min_lines) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::vector<bool> seen(required.size(), false);
+  std::string line;
+  int line_number = 0;
+  int non_empty = 0;
+  int bad = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    ++non_empty;
+    auto parsed = ams::obs::json::Parse(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_diff: %s:%d: invalid JSON: %s\n",
+                   path.c_str(), line_number,
+                   parsed.status().ToString().c_str());
+      ++bad;
+      continue;
+    }
+    for (size_t i = 0; i < required.size(); ++i) {
+      if (!seen[i] && line.find(required[i]) != std::string::npos) {
+        seen[i] = true;
+      }
+    }
+  }
+  int failures = bad;
+  if (non_empty < min_lines) {
+    std::fprintf(stderr,
+                 "bench_diff: %s: expected at least %d JSONL lines, got %d\n",
+                 path.c_str(), min_lines, non_empty);
+    ++failures;
+  }
+  for (size_t i = 0; i < required.size(); ++i) {
+    if (!seen[i]) {
+      std::fprintf(stderr,
+                   "bench_diff: %s: required substring \"%s\" not found\n",
+                   path.c_str(), required[i].c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("bench_diff: %s: %d JSONL lines ok\n", path.c_str(),
+                non_empty);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::vector<std::string> required;
+  bool check_mode = false;
+  bool lint_mode = false;
+  bool strict_missing = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_mode = true;
+    } else if (arg == "--lint-jsonl") {
+      lint_mode = true;
+    } else if (arg == "--strict-missing") {
+      strict_missing = true;
+    } else if (arg.rfind("--require=", 0) == 0) {
+      required.push_back(arg.substr(std::string("--require=").size()));
+    } else if (arg.rfind("--", 0) == 0) {
+      // --threshold / --metric / --min-lines handled via GetFlag below.
+      continue;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string threshold_flag =
+      ams::GetFlag(argc, argv, "threshold", "0.10");
+  const double threshold = std::atof(threshold_flag.c_str());
+  const std::string metric_field =
+      ams::GetFlag(argc, argv, "metric", "real_time");
+  const int min_lines = ams::GetFlagInt(argc, argv, "min-lines", 1);
+
+  if (lint_mode) {
+    if (positional.size() != 1) return Usage();
+    return RunLint(positional[0], required, min_lines);
+  }
+  if (check_mode) {
+    if (positional.size() != 1) return Usage();
+    // Self-compare: exercises parse + extract + diff; identical inputs can
+    // never regress, so any nonzero exit means the file (or the gate
+    // itself) is broken.
+    return RunDiff(positional[0], positional[0], threshold, metric_field,
+                   /*strict_missing=*/true);
+  }
+  if (positional.size() != 2) return Usage();
+  if (threshold <= 0.0) {
+    std::fprintf(stderr, "bench_diff: --threshold must be positive\n");
+    return 2;
+  }
+  return RunDiff(positional[0], positional[1], threshold, metric_field,
+                 strict_missing);
+}

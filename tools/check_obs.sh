@@ -1,0 +1,17 @@
+#!/bin/sh
+# Observability gate: run the obs-labeled test suite, then verify that the
+# recorded benchmark baselines in the repo root still parse and self-compare
+# cleanly through bench_diff (the same code path the regression gate uses).
+#
+# Usage: check_obs.sh BUILD_DIR REPO_DIR
+set -eu
+BUILD_DIR=${1:?usage: check_obs.sh BUILD_DIR REPO_DIR}
+REPO_DIR=${2:?usage: check_obs.sh BUILD_DIR REPO_DIR}
+BENCH_DIFF="$BUILD_DIR/tools/bench_diff"
+
+cd "$BUILD_DIR"
+ctest -L obs --output-on-failure
+
+"$BENCH_DIFF" --check "$REPO_DIR/BENCH_robust.json"
+"$BENCH_DIFF" --check "$REPO_DIR/BENCH_obs.json"
+echo "check_obs: OK"

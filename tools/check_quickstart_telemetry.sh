@@ -1,0 +1,34 @@
+#!/bin/sh
+# Live-telemetry acceptance smoke: run the quickstart with a 50 ms periodic
+# reporter and a run ledger, then verify that
+#   * the JSONL stream has >= 2 delta snapshots, every line valid JSON,
+#   * the derived gauges (par/pool_utilization, robust/fault_rate) and at
+#     least one per-model labeled instrument appear in the stream,
+#   * the run ledger was written and parses as a bench_diff input.
+#
+# Usage: check_quickstart_telemetry.sh QUICKSTART_BINARY BENCH_DIFF_BINARY
+set -eu
+QUICKSTART=${1:?usage: check_quickstart_telemetry.sh QUICKSTART BENCH_DIFF}
+BENCH_DIFF=${2:?usage: check_quickstart_telemetry.sh QUICKSTART BENCH_DIFF}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+AMS_TELEMETRY=json AMS_TELEMETRY_INTERVAL_MS=50 \
+AMS_TELEMETRY_FILE="$TMP/telemetry.jsonl" AMS_RUN_LEDGER="$TMP/ledger" \
+  "$QUICKSTART" > "$TMP/stdout.txt" 2> "$TMP/stderr.txt" || {
+    echo "check_quickstart_telemetry: quickstart failed" >&2
+    cat "$TMP/stderr.txt" >&2
+    exit 1
+  }
+
+# In the JSONL stream a labeled counter name serializes with its quotes
+# escaped, so the literal bytes to look for are: model=\"
+"$BENCH_DIFF" --lint-jsonl "$TMP/telemetry.jsonl" --min-lines=2 \
+  --require=ams-telemetry-delta-v1 \
+  --require=par/pool_utilization \
+  --require=robust/fault_rate \
+  --require='model=\"'
+
+LEDGER=$(ls "$TMP"/ledger/run_*.json | head -1)
+"$BENCH_DIFF" --check "$LEDGER"
+echo "check_quickstart_telemetry: OK"

@@ -1,0 +1,63 @@
+#!/bin/sh
+# bench_diff self-test: identical inputs pass, an injected 20% regression
+# fails with exit 1 at the default 10% threshold, a widened threshold
+# passes again, and malformed input exits 2.
+#
+# Usage: test_bench_diff.sh BENCH_DIFF_BINARY
+set -eu
+BENCH_DIFF=${1:?usage: test_bench_diff.sh BENCH_DIFF_BINARY}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+cat > "$TMP/base.json" <<'EOF'
+{"benchmarks":[
+  {"name":"BM_A","run_type":"iteration","real_time":100.0,"cpu_time":99.0},
+  {"name":"BM_B","run_type":"iteration","real_time":50.0,"cpu_time":49.0},
+  {"name":"BM_A_mean","run_type":"aggregate","real_time":100.0}
+]}
+EOF
+
+# Identical inputs must pass, in both compare and --check mode.
+"$BENCH_DIFF" "$TMP/base.json" "$TMP/base.json" > /dev/null
+"$BENCH_DIFF" --check "$TMP/base.json" > /dev/null
+
+# A 20% regression on BM_A must fail with exit 1 at the default threshold.
+cat > "$TMP/regressed.json" <<'EOF'
+{"benchmarks":[
+  {"name":"BM_A","run_type":"iteration","real_time":120.0,"cpu_time":119.0},
+  {"name":"BM_B","run_type":"iteration","real_time":50.0,"cpu_time":49.0}
+]}
+EOF
+rc=0
+"$BENCH_DIFF" "$TMP/base.json" "$TMP/regressed.json" > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "test_bench_diff: FAIL - expected exit 1 on 20% regression, got $rc" >&2
+  exit 1
+fi
+
+# Widening the threshold past the regression must pass again.
+"$BENCH_DIFF" "$TMP/base.json" "$TMP/regressed.json" --threshold=0.25 \
+  > /dev/null
+
+# Malformed JSON must exit 2 (parse error, not a regression verdict).
+printf '{"benchmarks":' > "$TMP/bad.json"
+rc=0
+"$BENCH_DIFF" --check "$TMP/bad.json" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "test_bench_diff: FAIL - expected exit 2 on malformed JSON, got $rc" >&2
+  exit 1
+fi
+
+# JSONL lint: valid stream passes, a corrupt line fails.
+printf '{"seq":0}\n{"seq":1,"k":"v"}\n' > "$TMP/good.jsonl"
+"$BENCH_DIFF" --lint-jsonl "$TMP/good.jsonl" --min-lines=2 --require=seq \
+  > /dev/null
+printf '{"seq":0}\nnot json\n' > "$TMP/bad.jsonl"
+rc=0
+"$BENCH_DIFF" --lint-jsonl "$TMP/bad.jsonl" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "test_bench_diff: FAIL - expected exit 1 on corrupt JSONL, got $rc" >&2
+  exit 1
+fi
+
+echo "test_bench_diff: OK"
