@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <limits>
 #include <sstream>
@@ -68,6 +69,82 @@ std::string TrainFingerprint(const AmsConfig& config, int num_features,
   return oss.str();
 }
 
+/// Everything that determines prediction behaviour of a *fitted* model,
+/// rendered to a string; its hash is the artifact fingerprint.
+std::string ModelConfigString(const AmsConfig& config, int num_features,
+                              int num_companies) {
+  std::ostringstream oss;
+  oss << "amsmodel1|f" << num_features << "|c" << num_companies << "|s"
+      << config.seed << "|g" << config.gamma << "|slg" << config.lambda_slg
+      << "|l2" << config.lambda_l2 << "|aa" << config.anchored_alpha << "|al"
+      << config.anchored_l1_ratio << "|lb" << config.learn_beta_c << "|do"
+      << config.dropout << "|gat" << config.use_gat << "|k"
+      << static_cast<int>(config.gnn_kind) << "|nt";
+  for (int w : config.node_transform_layers) oss << "_" << w;
+  oss << "|gh";
+  for (int w : config.generator_hidden) oss << "_" << w;
+  oss << "|gch";
+  for (int w : config.gcn_hidden) oss << "_" << w;
+  oss << "|gatc" << config.gat.num_heads << "_" << config.gat.out_features
+      << "_" << static_cast<int>(config.gat.hidden_activation) << "_"
+      << config.gat.attention_dropout << "_" << config.gat.leaky_relu_alpha;
+  for (int w : config.gat.hidden_per_head) oss << "_" << w;
+  return oss.str();
+}
+
+std::string JoinWidths(const std::vector<int>& widths) {
+  std::ostringstream oss;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    if (i > 0) oss << ",";
+    oss << widths[i];
+  }
+  return oss.str();
+}
+
+/// Layer widths from "48,32". Bounded so corrupted artifacts can never
+/// request absurd allocations; an empty string is an empty list.
+Result<std::vector<int>> ParseWidths(const std::string& csv,
+                                     const char* what) {
+  std::vector<int> widths;
+  if (csv.empty()) return widths;
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string field = csv.substr(pos, comma - pos);
+    if (field.empty() || field.size() > 5 ||
+        field.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument(std::string("malformed ") + what +
+                                     " list: '" + csv + "'");
+    }
+    const int width = std::atoi(field.c_str());
+    if (width < 1 || width > 4096) {
+      return Status::InvalidArgument(std::string(what) + " width out of " +
+                                     "range [1, 4096]: " + field);
+    }
+    widths.push_back(width);
+    if (widths.size() > 64) {
+      return Status::InvalidArgument(std::string("too many ") + what +
+                                     " layers");
+    }
+    pos = comma + 1;
+  }
+  return widths;
+}
+
+/// Range-checked double -> int conversion for deserialized scalars (a raw
+/// cast of a corrupted/huge double is undefined behaviour).
+Result<int> ScalarToInt(double value, const char* what, int min_value,
+                        int max_value) {
+  if (!(value >= min_value && value <= max_value)) {
+    std::ostringstream oss;
+    oss << what << " out of range [" << min_value << ", " << max_value
+        << "]: " << value;
+    return Status::InvalidArgument(oss.str());
+  }
+  return static_cast<int>(value);
+}
+
 /// FNV-1a, for the checkpoint filename under AMS_CHECKPOINT_DIR.
 std::string HashHex(const std::string& s) {
   uint64_t h = 1469598103934665603ULL;
@@ -106,6 +183,31 @@ Result<std::vector<AmsModel::QuarterBatch>> AmsModel::SplitQuarters(
     batches.push_back(std::move(batch));
   }
   return batches;
+}
+
+void AmsModel::BuildMasterModules(Rng* init_rng) {
+  node_transform_.clear();
+  int width = num_features_;
+  for (int out : config_.node_transform_layers) {
+    node_transform_.emplace_back(width, out, nn::Activation::kRelu, init_rng);
+    width = out;
+  }
+  int generator_in = width;
+  gat_.reset();
+  gcn_.reset();
+  if (config_.use_gat) {
+    if (config_.gnn_kind == AmsConfig::GnnKind::kGat) {
+      gat_ = std::make_unique<gnn::GatNetwork>(width, config_.gat, init_rng);
+      generator_in = gat_->out_features();
+    } else {
+      gcn_ = std::make_unique<gnn::GcnNetwork>(
+          width, config_.gcn_hidden, config_.gat.out_features, init_rng);
+      generator_in = gcn_->out_features();
+    }
+  }
+  generator_ = std::make_unique<nn::Mlp>(
+      generator_in, config_.generator_hidden, num_features_ + 1,
+      nn::Activation::kRelu, init_rng, config_.dropout);
 }
 
 AmsModel::MasterOutput AmsModel::MasterForward(const Tensor& x, bool training,
@@ -206,29 +308,7 @@ Status AmsModel::Fit(const data::Dataset& train, const data::Dataset& valid,
   Rng init_rng = rng.Fork();
   Rng dropout_rng = rng.Fork();
 
-  node_transform_.clear();
-  int width = num_features_;
-  for (int out : config_.node_transform_layers) {
-    node_transform_.emplace_back(width, out, nn::Activation::kRelu,
-                                 &init_rng);
-    width = out;
-  }
-  int generator_in = width;
-  gat_.reset();
-  gcn_.reset();
-  if (config_.use_gat) {
-    if (config_.gnn_kind == AmsConfig::GnnKind::kGat) {
-      gat_ = std::make_unique<gnn::GatNetwork>(width, config_.gat, &init_rng);
-      generator_in = gat_->out_features();
-    } else {
-      gcn_ = std::make_unique<gnn::GcnNetwork>(
-          width, config_.gcn_hidden, config_.gat.out_features, &init_rng);
-      generator_in = gcn_->out_features();
-    }
-  }
-  generator_ = std::make_unique<nn::Mlp>(
-      generator_in, config_.generator_hidden, num_features_ + 1,
-      nn::Activation::kRelu, &init_rng, config_.dropout);
+  BuildMasterModules(&init_rng);
   // Start the generation head at the anchor: zero output weights and a bias
   // equal to B_acr make M(g(X)) == B_acr at initialization, so training
   // begins at the anchored LR and explores the "near-optimal parameter
@@ -548,6 +628,225 @@ Result<Matrix> AmsModel::SlaveCoefficients(
     }
   }
   return out;
+}
+
+namespace {
+
+Result<double> FindScalar(const robust::Checkpoint& state,
+                          const std::string& key) {
+  auto it = state.scalars.find(key);
+  if (it == state.scalars.end()) {
+    return Status::InvalidArgument("artifact missing scalar '" + key + "'");
+  }
+  if (!std::isfinite(it->second)) {
+    return Status::InvalidArgument("non-finite scalar '" + key +
+                                   "' in artifact");
+  }
+  return it->second;
+}
+
+Result<std::string> FindString(const robust::Checkpoint& state,
+                               const std::string& key) {
+  auto it = state.strings.find(key);
+  if (it == state.strings.end()) {
+    return Status::InvalidArgument("artifact missing string '" + key + "'");
+  }
+  return it->second;
+}
+
+Result<la::Matrix> FindTensor(const robust::Checkpoint& state,
+                              const std::string& key, int rows, int cols) {
+  auto it = state.tensors.find(key);
+  if (it == state.tensors.end()) {
+    return Status::InvalidArgument("artifact missing tensor '" + key + "'");
+  }
+  if (it->second.rows() != rows || it->second.cols() != cols) {
+    std::ostringstream oss;
+    oss << "artifact tensor '" << key << "' has shape " << it->second.rows()
+        << "x" << it->second.cols() << ", expected " << rows << "x" << cols;
+    return Status::InvalidArgument(oss.str());
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<std::string> AmsModel::ModelFingerprint() const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("cannot fingerprint an unfitted model");
+  }
+  return HashHex(
+      ModelConfigString(config_, num_features_, num_companies_));
+}
+
+Result<robust::Checkpoint> AmsModel::ExportState() const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("cannot export an unfitted AMS model");
+  }
+  robust::Checkpoint state;
+  state.strings["kind"] = "ams";
+  state.strings["fingerprint"] =
+      HashHex(ModelConfigString(config_, num_features_, num_companies_));
+  state.strings["cfg/node_transform_layers"] =
+      JoinWidths(config_.node_transform_layers);
+  state.strings["cfg/generator_hidden"] = JoinWidths(config_.generator_hidden);
+  state.strings["cfg/gcn_hidden"] = JoinWidths(config_.gcn_hidden);
+  state.strings["cfg/gat_hidden_per_head"] =
+      JoinWidths(config_.gat.hidden_per_head);
+  state.strings["cfg/seed"] = std::to_string(config_.seed);
+  state.scalars["cfg/gamma"] = config_.gamma;
+  state.scalars["cfg/lambda_slg"] = config_.lambda_slg;
+  state.scalars["cfg/lambda_l2"] = config_.lambda_l2;
+  state.scalars["cfg/anchored_alpha"] = config_.anchored_alpha;
+  state.scalars["cfg/anchored_l1_ratio"] = config_.anchored_l1_ratio;
+  state.scalars["cfg/learn_beta_c"] = config_.learn_beta_c ? 1.0 : 0.0;
+  state.scalars["cfg/dropout"] = config_.dropout;
+  state.scalars["cfg/use_gat"] = config_.use_gat ? 1.0 : 0.0;
+  state.scalars["cfg/gnn_kind"] = static_cast<double>(config_.gnn_kind);
+  state.scalars["cfg/gat_num_heads"] = config_.gat.num_heads;
+  state.scalars["cfg/gat_out_features"] = config_.gat.out_features;
+  state.scalars["cfg/gat_hidden_activation"] =
+      static_cast<double>(config_.gat.hidden_activation);
+  state.scalars["cfg/gat_attention_dropout"] = config_.gat.attention_dropout;
+  state.scalars["cfg/gat_leaky_alpha"] = config_.gat.leaky_relu_alpha;
+  state.scalars["dim/num_features"] = num_features_;
+  state.scalars["dim/num_companies"] = num_companies_;
+  state.scalars["diag/epochs_run"] = epochs_run_;
+  state.scalars["diag/best_valid_loss"] = best_valid_loss_;
+  state.tensors["mask"] = attention_mask_;
+  state.tensors["b_acr"] = b_acr_;
+  const std::vector<Tensor> params = Parameters();
+  state.scalars["num_params"] = static_cast<double>(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    state.tensors["param/" + std::to_string(i)] = params[i].value();
+  }
+  return state;
+}
+
+Result<AmsModel> AmsModel::FromState(const robust::Checkpoint& state) {
+  AMS_ASSIGN_OR_RETURN(std::string kind, FindString(state, "kind"));
+  if (kind != "ams") {
+    return Status::InvalidArgument("artifact kind is '" + kind +
+                                   "', expected 'ams'");
+  }
+
+  AmsConfig config;
+  AMS_ASSIGN_OR_RETURN(std::string widths_csv,
+                       FindString(state, "cfg/node_transform_layers"));
+  AMS_ASSIGN_OR_RETURN(config.node_transform_layers,
+                       ParseWidths(widths_csv, "node transform"));
+  AMS_ASSIGN_OR_RETURN(widths_csv, FindString(state, "cfg/generator_hidden"));
+  AMS_ASSIGN_OR_RETURN(config.generator_hidden,
+                       ParseWidths(widths_csv, "generator hidden"));
+  AMS_ASSIGN_OR_RETURN(widths_csv, FindString(state, "cfg/gcn_hidden"));
+  AMS_ASSIGN_OR_RETURN(config.gcn_hidden,
+                       ParseWidths(widths_csv, "GCN hidden"));
+  AMS_ASSIGN_OR_RETURN(widths_csv,
+                       FindString(state, "cfg/gat_hidden_per_head"));
+  AMS_ASSIGN_OR_RETURN(config.gat.hidden_per_head,
+                       ParseWidths(widths_csv, "GAT hidden"));
+  AMS_ASSIGN_OR_RETURN(std::string seed_str, FindString(state, "cfg/seed"));
+  if (seed_str.empty() || seed_str.size() > 20 ||
+      seed_str.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("malformed seed in artifact: '" +
+                                   seed_str + "'");
+  }
+  config.seed = std::strtoull(seed_str.c_str(), nullptr, 10);
+
+  AMS_ASSIGN_OR_RETURN(config.gamma, FindScalar(state, "cfg/gamma"));
+  AMS_ASSIGN_OR_RETURN(config.lambda_slg,
+                       FindScalar(state, "cfg/lambda_slg"));
+  AMS_ASSIGN_OR_RETURN(config.lambda_l2, FindScalar(state, "cfg/lambda_l2"));
+  AMS_ASSIGN_OR_RETURN(config.anchored_alpha,
+                       FindScalar(state, "cfg/anchored_alpha"));
+  AMS_ASSIGN_OR_RETURN(config.anchored_l1_ratio,
+                       FindScalar(state, "cfg/anchored_l1_ratio"));
+  AMS_ASSIGN_OR_RETURN(double flag, FindScalar(state, "cfg/learn_beta_c"));
+  config.learn_beta_c = flag != 0.0;
+  AMS_ASSIGN_OR_RETURN(config.dropout, FindScalar(state, "cfg/dropout"));
+  AMS_ASSIGN_OR_RETURN(flag, FindScalar(state, "cfg/use_gat"));
+  config.use_gat = flag != 0.0;
+  AMS_ASSIGN_OR_RETURN(double raw, FindScalar(state, "cfg/gnn_kind"));
+  AMS_ASSIGN_OR_RETURN(int gnn_kind, ScalarToInt(raw, "gnn_kind", 0, 1));
+  config.gnn_kind = static_cast<AmsConfig::GnnKind>(gnn_kind);
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "cfg/gat_num_heads"));
+  AMS_ASSIGN_OR_RETURN(config.gat.num_heads,
+                       ScalarToInt(raw, "gat_num_heads", 1, 256));
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "cfg/gat_out_features"));
+  AMS_ASSIGN_OR_RETURN(config.gat.out_features,
+                       ScalarToInt(raw, "gat_out_features", 1, 4096));
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "cfg/gat_hidden_activation"));
+  AMS_ASSIGN_OR_RETURN(int activation,
+                       ScalarToInt(raw, "gat_hidden_activation", 0, 4));
+  config.gat.hidden_activation = static_cast<nn::Activation>(activation);
+  AMS_ASSIGN_OR_RETURN(config.gat.attention_dropout,
+                       FindScalar(state, "cfg/gat_attention_dropout"));
+  AMS_ASSIGN_OR_RETURN(config.gat.leaky_relu_alpha,
+                       FindScalar(state, "cfg/gat_leaky_alpha"));
+
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "dim/num_features"));
+  AMS_ASSIGN_OR_RETURN(int num_features,
+                       ScalarToInt(raw, "num_features", 1, 65536));
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "dim/num_companies"));
+  AMS_ASSIGN_OR_RETURN(int num_companies,
+                       ScalarToInt(raw, "num_companies", 1, 65536));
+
+  // The fingerprint must match what the parsed config hashes to; any skew
+  // between the writer's and this reader's field encoding is rejected here
+  // rather than producing a subtly different network.
+  AMS_ASSIGN_OR_RETURN(std::string fingerprint,
+                       FindString(state, "fingerprint"));
+  const std::string expected =
+      HashHex(ModelConfigString(config, num_features, num_companies));
+  if (fingerprint != expected) {
+    return Status::InvalidArgument(
+        "artifact fingerprint mismatch: stored " + fingerprint +
+        ", config hashes to " + expected);
+  }
+
+  AmsModel model(config);
+  model.num_features_ = num_features;
+  model.num_companies_ = num_companies;
+  AMS_ASSIGN_OR_RETURN(
+      model.attention_mask_,
+      FindTensor(state, "mask", num_companies, num_companies));
+  AMS_ASSIGN_OR_RETURN(model.b_acr_,
+                       FindTensor(state, "b_acr", num_features + 1, 1));
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "diag/epochs_run"));
+  AMS_ASSIGN_OR_RETURN(model.epochs_run_,
+                       ScalarToInt(raw, "epochs_run", 0, 1 << 30));
+  AMS_ASSIGN_OR_RETURN(model.best_valid_loss_,
+                       FindScalar(state, "diag/best_valid_loss"));
+
+  // Rebuild the architecture (initial values are irrelevant — every
+  // parameter tensor is overwritten below), then load the fitted values.
+  Rng init_rng(config.seed);
+  model.BuildMasterModules(&init_rng);
+  model.beta_c_ = config.learn_beta_c ? Tensor::Parameter(model.b_acr_)
+                                      : Tensor::Constant(model.b_acr_);
+  std::vector<Tensor> params = model.Parameters();
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "num_params"));
+  AMS_ASSIGN_OR_RETURN(int num_params,
+                       ScalarToInt(raw, "num_params", 0, 1 << 20));
+  if (num_params != static_cast<int>(params.size())) {
+    return Status::InvalidArgument(
+        "artifact carries " + std::to_string(num_params) +
+        " parameter tensors, architecture expects " +
+        std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    AMS_ASSIGN_OR_RETURN(
+        la::Matrix value,
+        FindTensor(state, "param/" + std::to_string(i), params[i].rows(),
+                   params[i].cols()));
+    if (!value.AllFinite()) {
+      return Status::InvalidArgument("non-finite parameter tensor param/" +
+                                     std::to_string(i) + " in artifact");
+    }
+    params[i].mutable_value() = std::move(value);
+  }
+  model.fitted_ = true;
+  return model;
 }
 
 }  // namespace ams::core

@@ -23,6 +23,7 @@
 #include "graph/company_graph.h"
 #include "la/matrix.h"
 #include "nn/dense.h"
+#include "robust/checkpoint.h"
 #include "robust/guard.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -128,6 +129,31 @@ class AmsModel {
   int epochs_run() const { return epochs_run_; }
   double best_valid_loss() const { return best_valid_loss_; }
 
+  /// Fitted dimensions (0 until Fit/FromState succeeds). The serving layer
+  /// validates request shapes against these before admission.
+  int num_features() const { return num_features_; }
+  int num_companies() const { return num_companies_; }
+  bool fitted() const { return fitted_; }
+
+  // --- Serialization (the AMSMODEL1 serving artifact, see src/serve). ---
+
+  /// Hash of the model's architecture/config and fitted dimensions. Stored
+  /// inside exported artifacts; FromState recomputes it from the carried
+  /// config and rejects a mismatch (field-encoding skew between writer and
+  /// reader that a payload CRC cannot see).
+  Result<std::string> ModelFingerprint() const;
+
+  /// Serializes the fitted model — config, anchored LR, attention mask and
+  /// every parameter tensor — into a checkpoint. Matrix payloads are raw
+  /// IEEE-754 bytes, so export -> FromState is a bit-exact round trip and
+  /// the restored model's Predict is bit-identical to this one's.
+  Result<robust::Checkpoint> ExportState() const;
+
+  /// Rebuilds a fitted model from ExportState output. Every field is
+  /// bounds-checked (widths, shapes, parameter count) before any network is
+  /// constructed, so arbitrary corrupted input yields an error Status.
+  static Result<AmsModel> FromState(const robust::Checkpoint& state);
+
  private:
   struct QuarterBatch {
     int quarter = 0;
@@ -146,6 +172,10 @@ class AmsModel {
   /// Master forward pass for one quarter's company block (n x F features).
   MasterOutput MasterForward(const tensor::Tensor& x, bool training,
                              Rng* dropout_rng) const;
+
+  /// Constructs node_transform_/gat_/gcn_/generator_ from config_ and
+  /// num_features_ (shared by Fit and FromState).
+  void BuildMasterModules(Rng* init_rng);
 
   /// Collects all trainable parameters.
   std::vector<tensor::Tensor> Parameters() const;

@@ -221,6 +221,38 @@ RegressionTree RegressionTree::Grow(const Matrix& x,
   return tree;
 }
 
+Result<RegressionTree> RegressionTree::FromNodes(std::vector<Node> nodes,
+                                                 int num_features) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("tree node array is empty");
+  }
+  const int n = static_cast<int>(nodes.size());
+  for (int i = 0; i < n; ++i) {
+    const Node& node = nodes[i];
+    if (node.is_leaf) {
+      if (!std::isfinite(node.weight)) {
+        return Status::InvalidArgument("non-finite leaf weight in tree");
+      }
+      continue;
+    }
+    if (node.feature < 0 || node.feature >= num_features) {
+      return Status::InvalidArgument("tree split feature out of range");
+    }
+    if (!std::isfinite(node.threshold)) {
+      return Status::InvalidArgument("non-finite split threshold in tree");
+    }
+    // Children strictly after the parent: in-bounds and acyclic, so
+    // PredictRow's descent loop always terminates.
+    if (node.left <= i || node.left >= n || node.right <= i ||
+        node.right >= n) {
+      return Status::InvalidArgument("tree child index out of range");
+    }
+  }
+  RegressionTree tree;
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
 double RegressionTree::PredictRow(const double* row) const {
   AMS_DCHECK(!nodes_.empty(), "predict on empty tree");
   int index = 0;
@@ -381,6 +413,27 @@ Result<std::vector<double>> GbdtRegressor::Predict(const Matrix& x) const {
     out[r] = acc;
   }
   return out;
+}
+
+Result<GbdtRegressor> GbdtRegressor::FromParts(
+    GbdtOptions options, double base_score, int num_features,
+    std::vector<RegressionTree> trees) {
+  if (num_features < 1) {
+    return Status::InvalidArgument("num_features must be positive");
+  }
+  if (!std::isfinite(base_score) || !std::isfinite(options.learning_rate)) {
+    return Status::InvalidArgument("non-finite GBDT scoring parameters");
+  }
+  for (const RegressionTree& tree : trees) {
+    if (tree.num_nodes() == 0) {
+      return Status::InvalidArgument("empty tree in ensemble");
+    }
+  }
+  GbdtRegressor model(options);
+  model.base_score_ = base_score;
+  model.num_features_ = num_features;
+  model.trees_ = std::move(trees);
+  return model;
 }
 
 std::vector<double> GbdtRegressor::FeatureImportance() const {

@@ -60,6 +60,14 @@ class RegressionTree {
                              const std::vector<int>& feature_subset,
                              const GbdtOptions& options);
 
+  /// Rebuilds a tree from a node array (artifact loading, see src/serve).
+  /// Rejects arrays where any split node's feature is outside
+  /// [0, num_features) or whose children do not point strictly forward in
+  /// the array — the invariant Grow maintains, and what guarantees
+  /// PredictRow terminates and stays in bounds on untrusted input.
+  static Result<RegressionTree> FromNodes(std::vector<Node> nodes,
+                                          int num_features);
+
   double PredictRow(const double* row) const;
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int num_leaves() const;
@@ -89,7 +97,16 @@ class GbdtRegressor {
 
   int num_trees() const { return static_cast<int>(trees_.size()); }
   double base_score() const { return base_score_; }
+  int num_features() const { return num_features_; }
   const GbdtOptions& options() const { return options_; }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+
+  /// Reassembles a fitted ensemble from its serialized parts (artifact
+  /// loading); trees must already have passed RegressionTree::FromNodes
+  /// validation against the same `num_features`.
+  static Result<GbdtRegressor> FromParts(GbdtOptions options,
+                                         double base_score, int num_features,
+                                         std::vector<RegressionTree> trees);
 
   /// Total split-gain importance per feature (sums over all trees). Requires
   /// a fitted model.

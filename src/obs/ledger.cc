@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -23,6 +24,17 @@ std::chrono::steady_clock::time_point& ProcessStart() {
 
 std::once_flag g_start_once;
 
+std::mutex& ComponentsMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, std::string>& ComponentsLocked() {
+  static std::map<std::string, std::string>* components =
+      new std::map<std::string, std::string>();
+  return *components;
+}
+
 }  // namespace
 
 void MarkProcessStart() {
@@ -41,8 +53,25 @@ const std::vector<std::string>& RunLedgerEnvKeys() {
   return *keys;
 }
 
+void SetLedgerComponent(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(ComponentsMutex());
+  ComponentsLocked()[key] = value;
+}
+
+std::vector<std::pair<std::string, std::string>> LedgerComponents() {
+  std::lock_guard<std::mutex> lock(ComponentsMutex());
+  const auto& components = ComponentsLocked();
+  return {components.begin(), components.end()};
+}
+
+void ClearLedgerComponents() {
+  std::lock_guard<std::mutex> lock(ComponentsMutex());
+  ComponentsLocked().clear();
+}
+
 std::string ConfigFingerprint(const std::string& binary_name) {
-  // FNV-1a 64-bit over "binary\0key=value\0..." in the fixed key order.
+  // FNV-1a 64-bit over "binary\0key=value\0..." in the fixed key order,
+  // followed by the registered components in sorted key order.
   uint64_t hash = 0xcbf29ce484222325ULL;
   auto mix = [&hash](const std::string& s) {
     for (unsigned char c : s) {
@@ -56,6 +85,9 @@ std::string ConfigFingerprint(const std::string& binary_name) {
   for (const std::string& key : RunLedgerEnvKeys()) {
     const char* value = std::getenv(key.c_str());
     mix(key + "=" + (value != nullptr ? value : "<unset>"));
+  }
+  for (const auto& [key, value] : LedgerComponents()) {
+    mix(key + "=" + value);
   }
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",
@@ -92,6 +124,13 @@ void WriteRunLedgerJson(const std::string& binary_name, int pid,
     const char* value = std::getenv(key.c_str());
     out << JsonEscape(key) << ":"
         << (value != nullptr ? JsonEscape(value) : std::string("null"));
+  }
+  out << "},\"components\":{";
+  first = true;
+  for (const auto& [key, value] : LedgerComponents()) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonEscape(key) << ":" << JsonEscape(value);
   }
   out << "},\"metrics\":";
   std::ostringstream metrics;

@@ -36,6 +36,19 @@ inline constexpr int kRunLedgerSchemaVersion = 1;
 /// into the fingerprint), null when unset.
 const std::vector<std::string>& RunLedgerEnvKeys();
 
+/// Registers a named component identity — e.g. the serving layer calls
+/// SetLedgerComponent("serve_model_fingerprint", <fp>) after every model
+/// (re)load — folded into ConfigFingerprint and emitted as the manifest's
+/// "components" object, so two ledgers only fingerprint-match when they also
+/// served the same model. Last write per key wins; thread-safe.
+void SetLedgerComponent(const std::string& key, const std::string& value);
+
+/// Sorted snapshot of the registered components (tests / manifest writer).
+std::vector<std::pair<std::string, std::string>> LedgerComponents();
+
+/// Clears all registered components (tests only).
+void ClearLedgerComponents();
+
 /// FNV-1a hex digest over the binary name and the captured environment:
 /// two runs with equal fingerprints ran the same configuration.
 std::string ConfigFingerprint(const std::string& binary_name);

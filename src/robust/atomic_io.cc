@@ -40,7 +40,15 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   std::ostringstream oss;
   oss << in.rdbuf();
   if (in.bad()) return Status::IoError("read failed: " + path);
-  return oss.str();
+  std::string contents = oss.str();
+  // Injected read-side faults corrupt the bytes as if the medium (or a
+  // torn page) had; the CRC footer checks downstream must detect both.
+  const FaultInjector::ReadFaults faults = FaultInjector::Get().OnRead();
+  if (faults.partial) contents.resize(contents.size() / 2);
+  if (faults.bit_flip && !contents.empty()) {
+    contents[contents.size() / 2] ^= 0x01;
+  }
+  return contents;
 }
 
 /// True when `contents` ends with a well-formed footer (hex validity is

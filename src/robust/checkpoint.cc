@@ -80,6 +80,7 @@ class Reader {
   }
 
   bool AtEnd() const { return pos_ == blob_.size(); }
+  size_t Remaining() const { return blob_.size() - pos_; }
 
  private:
   Status Need(size_t n) {
@@ -177,6 +178,11 @@ Result<Checkpoint> DeserializeCheckpoint(const std::string& blob) {
     AMS_ASSIGN_OR_RETURN(uint32_t cols, reader.U32());
     if (rows > (1u << 24) || cols > (1u << 24)) {
       return Status::InvalidArgument("implausible tensor shape in checkpoint");
+    }
+    // Bound the allocation by the bytes actually present: a corrupted shape
+    // field must not make the reader try to materialize terabytes.
+    if (static_cast<uint64_t>(rows) * cols * 8 > reader.Remaining()) {
+      return Status::InvalidArgument("truncated tensor payload in checkpoint");
     }
     la::Matrix m(static_cast<int>(rows), static_cast<int>(cols));
     for (int j = 0; j < m.size(); ++j) {

@@ -20,6 +20,8 @@ constexpr struct {
     {FaultKind::kIoTruncate, "io_truncate", "write"},
     {FaultKind::kTrainCrash, "train_crash", "epoch"},
     {FaultKind::kHpoCrash, "hpo_crash", "trial"},
+    {FaultKind::kBitFlipRead, "bit_flip", "read"},
+    {FaultKind::kPartialRead, "partial_read", "read"},
 };
 
 obs::Counter& InjectedCounter() {
@@ -123,6 +125,7 @@ Status FaultInjector::Configure(const std::string& spec) {
                      std::memory_order_relaxed);
   task_calls_.store(0, std::memory_order_relaxed);
   write_calls_.store(0, std::memory_order_relaxed);
+  read_calls_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -132,6 +135,7 @@ void FaultInjector::Disarm() {
   armed_count_.store(0, std::memory_order_relaxed);
   task_calls_.store(0, std::memory_order_relaxed);
   write_calls_.store(0, std::memory_order_relaxed);
+  read_calls_.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::Fire(FaultKind kind, int64_t ordinal) {
@@ -159,6 +163,16 @@ bool FaultInjector::FireCounted(FaultKind kind,
   // the same write whether or not other faults are configured.
   const int64_t ordinal = counter->fetch_add(1, std::memory_order_relaxed);
   return Fire(kind, ordinal);
+}
+
+FaultInjector::ReadFaults FaultInjector::OnRead() {
+  // One shared ordinal for both read kinds, advanced on every call (armed or
+  // not) so "the N-th read" is stable across fault configurations.
+  const int64_t ordinal = read_calls_.fetch_add(1, std::memory_order_relaxed);
+  ReadFaults faults;
+  faults.bit_flip = Fire(FaultKind::kBitFlipRead, ordinal);
+  faults.partial = Fire(FaultKind::kPartialRead, ordinal);
+  return faults;
 }
 
 void FaultInjector::MaybeThrowTask() {

@@ -18,6 +18,11 @@
 //                        (and after its checkpoint is saved)
 //   hpo_crash@trial=N    abort RandomSearch after N trials have completed
 //                        and been checkpointed
+//   bit_flip@read=N      flip one payload bit in the N-th verified file
+//                        read (see robust::ReadFileVerified) — the CRC
+//                        footer must catch it
+//   partial_read@read=N  drop the second half of the N-th verified file
+//                        read, simulating a short read / torn page
 //
 // Ordinals are deterministic given single-run determinism of the call
 // sites: epoch/trial ordinals are supplied by the caller, while task/write
@@ -44,6 +49,8 @@ enum class FaultKind {
   kIoTruncate,
   kTrainCrash,
   kHpoCrash,
+  kBitFlipRead,
+  kPartialRead,
 };
 
 /// The key each kind expects after the '@'; used for parse validation and
@@ -89,6 +96,17 @@ class FaultInjector {
   // the caller; task/write ordinals are process-wide call counts.
   bool ShouldCorruptGradient(int64_t epoch) { return Fire(FaultKind::kNanGrad, epoch); }
   bool ShouldTruncateWrite() { return FireCounted(FaultKind::kIoTruncate, &write_calls_); }
+
+  /// Read-side faults fired at one shared process-wide read ordinal, so
+  /// "the N-th read" means the same read for both kinds.
+  struct ReadFaults {
+    bool bit_flip = false;
+    bool partial = false;
+  };
+  /// Called once per verified file read (robust::ReadFileVerified /
+  /// ReadFileLenient); always advances the read ordinal.
+  ReadFaults OnRead();
+
   bool ShouldCrashTraining(int64_t epoch) { return Fire(FaultKind::kTrainCrash, epoch); }
   bool ShouldCrashHpo(int64_t completed_trials) {
     return Fire(FaultKind::kHpoCrash, completed_trials);
@@ -114,6 +132,7 @@ class FaultInjector {
   std::atomic<int64_t> armed_count_{0};
   std::atomic<int64_t> task_calls_{0};
   std::atomic<int64_t> write_calls_{0};
+  std::atomic<int64_t> read_calls_{0};
 };
 
 }  // namespace ams::robust

@@ -1,0 +1,287 @@
+#include "serve/artifact.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "robust/atomic_io.h"
+
+namespace ams::serve {
+
+namespace {
+
+constexpr size_t kMagicSize = sizeof(kArtifactMagic) - 1;
+
+obs::Counter& LoadFailureCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Get().GetCounter(
+      "serve/artifact_load_failures");
+  return counter;
+}
+
+/// FNV-1a hex digest (same construction as the AMS checkpoint fingerprint).
+std::string HashHex(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+/// Everything that determines a GBDT ensemble's scoring behaviour.
+std::string GbdtConfigString(const gbdt::GbdtOptions& options,
+                             int num_features, int num_trees) {
+  std::ostringstream oss;
+  oss << "gbdtmodel1|f" << num_features << "|t" << num_trees << "|lr"
+      << options.learning_rate << "|d" << options.max_depth << "|mcw"
+      << options.min_child_weight << "|l" << options.reg_lambda << "|msg"
+      << options.min_split_gain << "|ss" << options.subsample << "|cs"
+      << options.colsample << "|es" << options.early_stopping_rounds << "|r"
+      << options.num_rounds << "|s" << options.seed;
+  return oss.str();
+}
+
+Result<double> FindScalar(const robust::Checkpoint& state,
+                          const std::string& key) {
+  auto it = state.scalars.find(key);
+  if (it == state.scalars.end()) {
+    return Status::InvalidArgument("artifact missing scalar '" + key + "'");
+  }
+  if (!std::isfinite(it->second)) {
+    return Status::InvalidArgument("non-finite scalar '" + key +
+                                   "' in artifact");
+  }
+  return it->second;
+}
+
+/// Range-checked double -> int for deserialized fields (a raw cast of a
+/// corrupted double is undefined behaviour).
+Result<int> ScalarToInt(double value, const char* what, int min_value,
+                        int max_value) {
+  if (!(value >= min_value && value <= max_value)) {
+    std::ostringstream oss;
+    oss << what << " out of range [" << min_value << ", " << max_value
+        << "]: " << value;
+    return Status::InvalidArgument(oss.str());
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::string EncodeArtifact(const robust::Checkpoint& state) {
+  std::string out(kArtifactMagic, kMagicSize);
+  out += robust::SerializeCheckpoint(state);
+  return out;
+}
+
+Result<robust::Checkpoint> DecodeArtifact(const std::string& bytes) {
+  if (bytes.size() < kMagicSize ||
+      bytes.compare(0, kMagicSize, kArtifactMagic) != 0) {
+    return Status::InvalidArgument("bad artifact magic (not an AMSMODEL1 "
+                                   "file)");
+  }
+  return robust::DeserializeCheckpoint(bytes.substr(kMagicSize));
+}
+
+Result<robust::Checkpoint> GbdtToState(const gbdt::GbdtRegressor& model) {
+  if (model.num_trees() == 0 && model.num_features() == 0) {
+    return Status::FailedPrecondition("cannot export an unfitted GBDT model");
+  }
+  const gbdt::GbdtOptions& options = model.options();
+  robust::Checkpoint state;
+  state.strings["kind"] = "gbdt";
+  state.strings["fingerprint"] = HashHex(GbdtConfigString(
+      options, model.num_features(), model.num_trees()));
+  state.strings["cfg/seed"] = std::to_string(options.seed);
+  state.scalars["cfg/learning_rate"] = options.learning_rate;
+  state.scalars["cfg/num_rounds"] = options.num_rounds;
+  state.scalars["cfg/max_depth"] = options.max_depth;
+  state.scalars["cfg/min_child_weight"] = options.min_child_weight;
+  state.scalars["cfg/reg_lambda"] = options.reg_lambda;
+  state.scalars["cfg/min_split_gain"] = options.min_split_gain;
+  state.scalars["cfg/subsample"] = options.subsample;
+  state.scalars["cfg/colsample"] = options.colsample;
+  state.scalars["cfg/early_stopping_rounds"] = options.early_stopping_rounds;
+  state.scalars["base_score"] = model.base_score();
+  state.scalars["dim/num_features"] = model.num_features();
+  state.scalars["num_trees"] = model.num_trees();
+  // One matrix per tree, one row per node:
+  // [feature, threshold, left, right, weight, gain, is_leaf].
+  for (int t = 0; t < model.num_trees(); ++t) {
+    const auto& nodes = model.trees()[t].nodes();
+    la::Matrix m(static_cast<int>(nodes.size()), 7);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const auto& node = nodes[i];
+      const int r = static_cast<int>(i);
+      m(r, 0) = node.feature;
+      m(r, 1) = node.threshold;
+      m(r, 2) = node.left;
+      m(r, 3) = node.right;
+      m(r, 4) = node.weight;
+      m(r, 5) = node.gain;
+      m(r, 6) = node.is_leaf ? 1.0 : 0.0;
+    }
+    state.tensors["tree/" + std::to_string(t)] = std::move(m);
+  }
+  return state;
+}
+
+Result<gbdt::GbdtRegressor> GbdtFromState(const robust::Checkpoint& state) {
+  auto kind = state.strings.find("kind");
+  if (kind == state.strings.end() || kind->second != "gbdt") {
+    return Status::InvalidArgument("artifact kind is not 'gbdt'");
+  }
+  gbdt::GbdtOptions options;
+  auto seed = state.strings.find("cfg/seed");
+  if (seed == state.strings.end() || seed->second.empty() ||
+      seed->second.size() > 20 ||
+      seed->second.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("malformed seed in GBDT artifact");
+  }
+  options.seed = std::strtoull(seed->second.c_str(), nullptr, 10);
+  AMS_ASSIGN_OR_RETURN(options.learning_rate,
+                       FindScalar(state, "cfg/learning_rate"));
+  double raw;
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "cfg/num_rounds"));
+  AMS_ASSIGN_OR_RETURN(options.num_rounds,
+                       ScalarToInt(raw, "num_rounds", 0, 1 << 20));
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "cfg/max_depth"));
+  AMS_ASSIGN_OR_RETURN(options.max_depth,
+                       ScalarToInt(raw, "max_depth", 0, 64));
+  AMS_ASSIGN_OR_RETURN(options.min_child_weight,
+                       FindScalar(state, "cfg/min_child_weight"));
+  AMS_ASSIGN_OR_RETURN(options.reg_lambda,
+                       FindScalar(state, "cfg/reg_lambda"));
+  AMS_ASSIGN_OR_RETURN(options.min_split_gain,
+                       FindScalar(state, "cfg/min_split_gain"));
+  AMS_ASSIGN_OR_RETURN(options.subsample, FindScalar(state, "cfg/subsample"));
+  AMS_ASSIGN_OR_RETURN(options.colsample, FindScalar(state, "cfg/colsample"));
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "cfg/early_stopping_rounds"));
+  AMS_ASSIGN_OR_RETURN(options.early_stopping_rounds,
+                       ScalarToInt(raw, "early_stopping_rounds", 0, 1 << 20));
+
+  AMS_ASSIGN_OR_RETURN(double base_score, FindScalar(state, "base_score"));
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "dim/num_features"));
+  AMS_ASSIGN_OR_RETURN(int num_features,
+                       ScalarToInt(raw, "num_features", 1, 65536));
+  AMS_ASSIGN_OR_RETURN(raw, FindScalar(state, "num_trees"));
+  AMS_ASSIGN_OR_RETURN(int num_trees,
+                       ScalarToInt(raw, "num_trees", 0, 1 << 20));
+
+  auto fingerprint = state.strings.find("fingerprint");
+  const std::string expected =
+      HashHex(GbdtConfigString(options, num_features, num_trees));
+  if (fingerprint == state.strings.end() || fingerprint->second != expected) {
+    return Status::InvalidArgument("GBDT artifact fingerprint mismatch");
+  }
+
+  std::vector<gbdt::RegressionTree> trees;
+  trees.reserve(num_trees);
+  for (int t = 0; t < num_trees; ++t) {
+    auto it = state.tensors.find("tree/" + std::to_string(t));
+    if (it == state.tensors.end()) {
+      return Status::InvalidArgument("artifact missing tree/" +
+                                     std::to_string(t));
+    }
+    const la::Matrix& m = it->second;
+    if (m.cols() != 7 || m.rows() < 1) {
+      return Status::InvalidArgument("malformed tree matrix in artifact");
+    }
+    std::vector<gbdt::RegressionTree::Node> nodes(m.rows());
+    for (int r = 0; r < m.rows(); ++r) {
+      gbdt::RegressionTree::Node& node = nodes[r];
+      node.is_leaf = m(r, 6) != 0.0;
+      node.threshold = m(r, 1);
+      node.weight = m(r, 4);
+      node.gain = m(r, 5);
+      AMS_ASSIGN_OR_RETURN(node.feature,
+                           ScalarToInt(m(r, 0), "node feature", -1, 65535));
+      AMS_ASSIGN_OR_RETURN(
+          node.left, ScalarToInt(m(r, 2), "node child", -1, m.rows() - 1));
+      AMS_ASSIGN_OR_RETURN(
+          node.right, ScalarToInt(m(r, 3), "node child", -1, m.rows() - 1));
+    }
+    AMS_ASSIGN_OR_RETURN(
+        gbdt::RegressionTree tree,
+        gbdt::RegressionTree::FromNodes(std::move(nodes), num_features));
+    trees.push_back(std::move(tree));
+  }
+  return gbdt::GbdtRegressor::FromParts(options, base_score, num_features,
+                                        std::move(trees));
+}
+
+Result<robust::Checkpoint> LoadArtifactState(const std::string& path) {
+  auto bytes = robust::ReadFileVerified(path);
+  if (!bytes.ok()) {
+    LoadFailureCounter().Increment();
+    return bytes.status();
+  }
+  auto state = DecodeArtifact(bytes.ValueOrDie());
+  if (!state.ok()) {
+    LoadFailureCounter().Increment();
+    return state.status();
+  }
+  return state;
+}
+
+Result<ArtifactInfo> ProbeArtifact(const std::string& path) {
+  AMS_ASSIGN_OR_RETURN(robust::Checkpoint state, LoadArtifactState(path));
+  ArtifactInfo info;
+  auto kind = state.strings.find("kind");
+  auto fingerprint = state.strings.find("fingerprint");
+  if (kind == state.strings.end() || fingerprint == state.strings.end()) {
+    LoadFailureCounter().Increment();
+    return Status::InvalidArgument("artifact payload missing kind or "
+                                   "fingerprint");
+  }
+  info.kind = kind->second;
+  info.fingerprint = fingerprint->second;
+  return info;
+}
+
+Status SaveAmsArtifact(const std::string& path, const core::AmsModel& model) {
+  AMS_ASSIGN_OR_RETURN(robust::Checkpoint state, model.ExportState());
+  obs::MetricsRegistry::Get().GetCounter("serve/artifact_saves").Increment();
+  return robust::AtomicWriteFile(path, EncodeArtifact(state));
+}
+
+Result<core::AmsModel> LoadAmsArtifact(const std::string& path) {
+  AMS_ASSIGN_OR_RETURN(robust::Checkpoint state, LoadArtifactState(path));
+  auto model = core::AmsModel::FromState(state);
+  if (!model.ok()) {
+    LoadFailureCounter().Increment();
+    return model.status();
+  }
+  obs::MetricsRegistry::Get()
+      .GetCounter("serve/artifact_loads", {{"kind", "ams"}})
+      .Increment();
+  return model;
+}
+
+Status SaveGbdtArtifact(const std::string& path,
+                        const gbdt::GbdtRegressor& model) {
+  AMS_ASSIGN_OR_RETURN(robust::Checkpoint state, GbdtToState(model));
+  obs::MetricsRegistry::Get().GetCounter("serve/artifact_saves").Increment();
+  return robust::AtomicWriteFile(path, EncodeArtifact(state));
+}
+
+Result<gbdt::GbdtRegressor> LoadGbdtArtifact(const std::string& path) {
+  AMS_ASSIGN_OR_RETURN(robust::Checkpoint state, LoadArtifactState(path));
+  auto model = GbdtFromState(state);
+  if (!model.ok()) {
+    LoadFailureCounter().Increment();
+    return model.status();
+  }
+  obs::MetricsRegistry::Get()
+      .GetCounter("serve/artifact_loads", {{"kind", "gbdt"}})
+      .Increment();
+  return model;
+}
+
+}  // namespace ams::serve

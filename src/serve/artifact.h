@@ -1,0 +1,75 @@
+// AMSMODEL1: the versioned model-artifact format of the serving layer.
+//
+// An artifact is the literal magic "AMSMODEL1" followed by a serialized
+// robust::Checkpoint carrying the model kind ("ams" or "gbdt"), a
+// model-config fingerprint, and every tensor/scalar needed to reconstruct
+// the fitted model bit-exactly (matrix payloads are raw IEEE-754 bytes).
+// Files are written through robust::AtomicWriteFile — temp + flush + rename
+// with a trailing CRC32 footer — and read through robust::ReadFileVerified,
+// so a serving process can never observe a half-written artifact, and torn
+// writes, bit rot, or injected read faults (bit_flip@read / partial_read@read
+// in AMS_FAULTS) surface as a clean error Status instead of silent
+// mis-scoring.
+//
+// Three layers of rejection, outermost first:
+//   1. CRC footer (robust/atomic_io): truncation and byte corruption.
+//   2. Bounds-checked checkpoint decode (robust/checkpoint): structural
+//      damage, implausible shapes, allocation bombs.
+//   3. Model validation (AmsModel::FromState / GbdtFromState): shape and
+//      range checks on every field, plus a fingerprint recomputed from the
+//      carried config — a writer/reader encoding skew is refused rather
+//      than deserialized into a subtly different model.
+#ifndef AMS_SERVE_ARTIFACT_H_
+#define AMS_SERVE_ARTIFACT_H_
+
+#include <string>
+
+#include "ams/ams_model.h"
+#include "gbdt/gbdt.h"
+#include "robust/checkpoint.h"
+#include "util/status.h"
+
+namespace ams::serve {
+
+/// Artifact file magic (versioned; bump for incompatible layout changes).
+inline constexpr char kArtifactMagic[] = "AMSMODEL1";
+
+/// Payload identity of an artifact without fully rebuilding the model.
+struct ArtifactInfo {
+  std::string kind;         // "ams" | "gbdt"
+  std::string fingerprint;  // model-config hash stored in the payload
+};
+
+// --- Byte-level encode/decode (exposed for tests and fuzzing). ---
+
+/// Magic + serialized checkpoint (no CRC footer; the atomic writer adds it).
+std::string EncodeArtifact(const robust::Checkpoint& state);
+
+/// Strips and validates the magic, then decodes the checkpoint. Never
+/// throws on arbitrary input; every malformed byte stream yields a Status.
+Result<robust::Checkpoint> DecodeArtifact(const std::string& bytes);
+
+/// GBDT ensemble <-> checkpoint state (AmsModel has its own ExportState /
+/// FromState; these are the baseline-model equivalents).
+Result<robust::Checkpoint> GbdtToState(const gbdt::GbdtRegressor& model);
+Result<gbdt::GbdtRegressor> GbdtFromState(const robust::Checkpoint& state);
+
+// --- File-level API. ---
+
+/// Reads `path`, verifies the CRC footer, and decodes the artifact payload.
+Result<robust::Checkpoint> LoadArtifactState(const std::string& path);
+
+/// Kind + fingerprint of the artifact at `path` (used by the server's
+/// reload-on-change check).
+Result<ArtifactInfo> ProbeArtifact(const std::string& path);
+
+Status SaveAmsArtifact(const std::string& path, const core::AmsModel& model);
+Result<core::AmsModel> LoadAmsArtifact(const std::string& path);
+
+Status SaveGbdtArtifact(const std::string& path,
+                        const gbdt::GbdtRegressor& model);
+Result<gbdt::GbdtRegressor> LoadGbdtArtifact(const std::string& path);
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_ARTIFACT_H_

@@ -1,0 +1,301 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "data/features.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/artifact.h"
+
+namespace ams::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int EnvInt(const char* name, int fallback, int min_value, int max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < min_value || value > max_value) {
+    return fallback;
+  }
+  return static_cast<int>(value);
+}
+
+double EnvDouble(const char* name, double fallback, double min_value,
+                 double max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || !(value >= min_value) ||
+      !(value <= max_value)) {
+    return fallback;
+  }
+  return value;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::FromEnv() {
+  ServerOptions options;
+  options.max_batch = EnvInt("AMS_SERVE_BATCH", options.max_batch, 1, 4096);
+  options.max_wait_ms =
+      EnvDouble("AMS_SERVE_MAX_WAIT_MS", options.max_wait_ms, 0.0, 60000.0);
+  return options;
+}
+
+InferenceServer::InferenceServer(ServerOptions options)
+    : options_(options) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  requests_ok_ = &registry.GetCounter("serve/requests", {{"outcome", "ok"}});
+  requests_rejected_ =
+      &registry.GetCounter("serve/requests", {{"outcome", "rejected"}});
+  requests_error_ =
+      &registry.GetCounter("serve/requests", {{"outcome", "error"}});
+  batches_ = &registry.GetCounter("serve/batches");
+  reloads_ = &registry.GetCounter("serve/reloads");
+  queue_depth_ = &registry.GetGauge("serve/queue_depth");
+  model_version_gauge_ = &registry.GetGauge("serve/model_version");
+  batch_size_ = &registry.GetHistogram(
+      "serve/batch_size", obs::Histogram::ExponentialBounds(1.0, 2.0, 13));
+  latency_ms_ = &registry.GetHistogram("serve/latency_ms",
+                                       obs::Histogram::ExponentialBounds());
+  batcher_ = std::thread([this] { BatchLoop(); });
+}
+
+InferenceServer::~InferenceServer() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  batcher_.join();
+}
+
+Status InferenceServer::InstallModel(core::AmsModel model) {
+  if (!model.fitted()) {
+    return Status::FailedPrecondition(
+        "InferenceServer requires a fitted model");
+  }
+  AMS_ASSIGN_OR_RETURN(std::string fingerprint, model.ModelFingerprint());
+  std::shared_ptr<LoadedModel> loaded(
+      new LoadedModel{std::move(model), fingerprint, 0});
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    loaded->version = ++next_version_;
+    model_version_gauge_->Set(loaded->version);
+    model_ = std::move(loaded);
+  }
+  reloads_->Increment();
+  obs::SetLedgerComponent("serve_model_fingerprint", fingerprint);
+  return Status::OK();
+}
+
+Status InferenceServer::LoadModel(core::AmsModel model) {
+  return InstallModel(std::move(model));
+}
+
+Status InferenceServer::LoadArtifact(const std::string& path) {
+  AMS_ASSIGN_OR_RETURN(core::AmsModel model, LoadAmsArtifact(path));
+  return InstallModel(std::move(model));
+}
+
+Status InferenceServer::ReloadIfChanged(const std::string& path) {
+  AMS_ASSIGN_OR_RETURN(ArtifactInfo info, ProbeArtifact(path));
+  if (info.kind != "ams") {
+    return Status::InvalidArgument("artifact at " + path +
+                                   " is not an AMS model (kind '" +
+                                   info.kind + "')");
+  }
+  if (info.fingerprint == model_fingerprint()) return Status::OK();
+  return LoadArtifact(path);
+}
+
+int InferenceServer::model_version() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_ != nullptr ? model_->version : 0;
+}
+
+std::string InferenceServer::model_fingerprint() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_ != nullptr ? model_->fingerprint : std::string();
+}
+
+std::future<Result<std::vector<double>>> InferenceServer::Admit(
+    const la::Matrix& features, Status* rejected) {
+  std::shared_ptr<const LoadedModel> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    snapshot = model_;
+  }
+  if (snapshot == nullptr) {
+    *rejected = Status::FailedPrecondition("no model loaded");
+    requests_rejected_->Increment();
+    return {};
+  }
+  const core::AmsModel& model = snapshot->model;
+  if (features.rows() != model.num_companies() ||
+      features.cols() != model.num_features()) {
+    *rejected = Status::InvalidArgument(
+        "request shape " + std::to_string(features.rows()) + "x" +
+        std::to_string(features.cols()) + " does not match model " +
+        std::to_string(model.num_companies()) + "x" +
+        std::to_string(model.num_features()));
+    requests_rejected_->Increment();
+    return {};
+  }
+  Pending pending;
+  pending.features = &features;
+  pending.model = std::move(snapshot);
+  pending.admitted = Clock::now();
+  std::future<Result<std::vector<double>>> future =
+      pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      *rejected = Status::FailedPrecondition("server is shutting down");
+      requests_rejected_->Increment();
+      return {};
+    }
+    queue_.push_back(std::move(pending));
+    queue_depth_->Set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+Result<std::vector<double>> InferenceServer::Score(
+    const la::Matrix& features) {
+  AMS_TRACE_SPAN("serve/request");
+  Status rejected;
+  std::future<Result<std::vector<double>>> future = Admit(features, &rejected);
+  if (!future.valid()) return rejected;
+  return future.get();
+}
+
+std::vector<Result<std::vector<double>>> InferenceServer::ScoreBatch(
+    const std::vector<la::Matrix>& blocks) {
+  AMS_TRACE_SPAN("serve/request");
+  std::vector<Status> rejected(blocks.size());
+  std::vector<std::future<Result<std::vector<double>>>> futures;
+  futures.reserve(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    futures.push_back(Admit(blocks[i], &rejected[i]));
+  }
+  std::vector<Result<std::vector<double>>> results;
+  results.reserve(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (futures[i].valid()) {
+      results.push_back(futures[i].get());
+    } else {
+      results.push_back(rejected[i]);
+    }
+  }
+  return results;
+}
+
+void InferenceServer::BatchLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and fully drained
+
+    // The oldest request defines the batch's model and its deadline; only
+    // consecutive requests admitted under the same model snapshot may join
+    // (drain-on-old-model across hot reloads).
+    const LoadedModel* batch_model = queue_.front().model.get();
+    const auto deadline =
+        queue_.front().admitted +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(options_.max_wait_ms));
+    auto same_model_prefix = [this, batch_model] {
+      size_t n = 0;
+      while (n < queue_.size() && queue_[n].model.get() == batch_model) ++n;
+      return n;
+    };
+    while (!stopping_ &&
+           same_model_prefix() < static_cast<size_t>(options_.max_batch)) {
+      if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+
+    const size_t take =
+        std::min(same_model_prefix(), static_cast<size_t>(options_.max_batch));
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    queue_depth_->Set(static_cast<double>(queue_.size()));
+    lock.unlock();
+    ExecuteBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
+  AMS_TRACE_SPAN("serve/batch");
+  if (batch.empty()) return;
+  batches_->Increment();
+  batch_size_->Observe(static_cast<double>(batch.size()));
+
+  const core::AmsModel& model = batch.front().model->model;
+  const int num_companies = model.num_companies();
+  const int num_features = model.num_features();
+  const int k = static_cast<int>(batch.size());
+
+  // One synthetic quarter per request: AmsModel forwards quarters
+  // independently, so packing K blocks is bit-identical to K single calls.
+  data::Dataset dataset;
+  dataset.x = la::Matrix(k * num_companies, num_features);
+  dataset.y.assign(static_cast<size_t>(k) * num_companies, 0.0);
+  dataset.meta.resize(static_cast<size_t>(k) * num_companies);
+  for (int b = 0; b < k; ++b) {
+    const la::Matrix& block = *batch[b].features;
+    std::memcpy(dataset.x.row_data(b * num_companies), block.data(),
+                static_cast<size_t>(num_companies) * num_features *
+                    sizeof(double));
+    for (int i = 0; i < num_companies; ++i) {
+      data::SampleMeta& meta = dataset.meta[b * num_companies + i];
+      meta.company = i;
+      meta.quarter = b;
+    }
+  }
+
+  Result<std::vector<double>> predictions = [&] {
+    AMS_TRACE_SPAN("serve/batch/predict");
+    // Executed inline on the batcher thread: AmsModel::Predict is not safe
+    // for concurrent calls on one instance (GAT/GCN forward caches), and
+    // the GEMMs inside already parallelize on the default pool.
+    return model.Predict(dataset);
+  }();
+
+  const auto now = Clock::now();
+  for (int b = 0; b < k; ++b) {
+    latency_ms_->Observe(std::chrono::duration<double, std::milli>(
+                             now - batch[b].admitted)
+                             .count());
+    if (!predictions.ok()) {
+      requests_error_->Increment();
+      batch[b].promise.set_value(predictions.status());
+      continue;
+    }
+    const std::vector<double>& all = predictions.ValueOrDie();
+    std::vector<double> scores(
+        all.begin() + static_cast<size_t>(b) * num_companies,
+        all.begin() + static_cast<size_t>(b + 1) * num_companies);
+    requests_ok_->Increment();
+    batch[b].promise.set_value(std::move(scores));
+  }
+}
+
+}  // namespace ams::serve

@@ -1,0 +1,160 @@
+// In-process batched inference server over a fitted AMS model.
+//
+// Callers score one quarter block at a time — an (num_companies x
+// num_features) feature matrix, rows ordered by company index, exactly the
+// per-quarter layout data::FeatureBuilder produces and AmsModel::Predict
+// consumes. Requests are admitted onto a queue and a single batcher thread
+// micro-batches them: up to `max_batch` consecutive requests against the
+// same model version are packed into one multi-quarter Dataset (one synthetic
+// quarter per request) and scored with a single AmsModel::Predict call.
+//
+// Because the master forward pass processes quarters independently and the
+// underlying GEMMs are bit-deterministic across AMS_THREADS (see src/par),
+// the scores returned for a request are bit-identical to calling
+// AmsModel::Predict on that block alone — at every batch size and thread
+// count. The golden-parity suite in tests/serve_test.cc enforces this.
+//
+// Hot reload: LoadArtifact / LoadModel atomically swap in a new model. Every
+// request snapshots the current model at admission, and a batch only groups
+// requests that share a snapshot, so in-flight requests always score on the
+// model that admitted them ("drain on the old model") and a swap is never
+// observed mid-batch. The old model is freed when its last in-flight
+// request completes.
+//
+// Observability: serve/requests{outcome=...}, serve/batches, serve/reloads
+// counters; serve/batch_size and serve/latency_ms histograms (the latter
+// feeds the p50/p95/p99 exit report); serve/queue_depth and
+// serve/model_version gauges; trace spans serve/request (admission to
+// completion) and serve/batch -> serve/batch/predict on the batcher thread.
+#ifndef AMS_SERVE_SERVER_H_
+#define AMS_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ams/ams_model.h"
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace ams::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace ams::obs
+
+namespace ams::serve {
+
+struct ServerOptions {
+  /// Maximum requests packed into one Predict call (AMS_SERVE_BATCH).
+  int max_batch = 8;
+  /// How long the batcher holds an admitted request open for co-batching
+  /// before executing a partial batch (AMS_SERVE_MAX_WAIT_MS).
+  double max_wait_ms = 1.0;
+
+  /// Reads AMS_SERVE_BATCH / AMS_SERVE_MAX_WAIT_MS, keeping the defaults
+  /// for unset or unparseable values.
+  static ServerOptions FromEnv();
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerOptions options = ServerOptions::FromEnv());
+  /// Drains every admitted request (scored on its admission-time model),
+  /// then joins the batcher thread.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Atomically swaps in a fitted model. In-flight requests drain on the
+  /// model they were admitted under; new admissions see the new model.
+  Status LoadModel(core::AmsModel model);
+
+  /// Loads an AMSMODEL1 artifact (CRC-verified, bounds-checked) and swaps
+  /// it in. On any load error the current model keeps serving.
+  Status LoadArtifact(const std::string& path);
+
+  /// Probes the artifact's fingerprint and reloads only when it differs
+  /// from the loaded model's (cheap periodic-poll reload).
+  Status ReloadIfChanged(const std::string& path);
+
+  /// Scores one quarter block (num_companies x num_features, rows ordered
+  /// by company index). Blocks until the batcher has executed the request;
+  /// returns one normalized-UR score per company. `features` must stay
+  /// alive until this returns.
+  Result<std::vector<double>> Score(const la::Matrix& features);
+
+  /// Admits every block, then waits for all of them; result i corresponds
+  /// to blocks[i]. Shape errors are reported per block, not globally.
+  std::vector<Result<std::vector<double>>> ScoreBatch(
+      const std::vector<la::Matrix>& blocks);
+
+  /// Monotone version of the loaded model (0 = none loaded yet).
+  int model_version() const;
+  /// Config fingerprint of the loaded model ("" = none loaded yet).
+  std::string model_fingerprint() const;
+  bool has_model() const { return model_version() > 0; }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct LoadedModel {
+    core::AmsModel model;
+    std::string fingerprint;
+    int version = 0;
+  };
+
+  struct Pending {
+    const la::Matrix* features = nullptr;
+    std::shared_ptr<const LoadedModel> model;
+    std::chrono::steady_clock::time_point admitted;
+    std::promise<Result<std::vector<double>>> promise;
+  };
+
+  Status InstallModel(core::AmsModel model);
+
+  /// Validates and enqueues one request; the returned future is fulfilled
+  /// by the batcher. An invalid future (valid() == false) means the request
+  /// was rejected at admission and `*rejected` holds why.
+  std::future<Result<std::vector<double>>> Admit(const la::Matrix& features,
+                                                 Status* rejected);
+
+  void BatchLoop();
+  /// Scores one batch of same-model requests on the batcher thread and
+  /// fulfills their promises. Never throws.
+  void ExecuteBatch(std::vector<Pending> batch);
+
+  const ServerOptions options_;
+
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const LoadedModel> model_;  // guarded by model_mu_
+  int next_version_ = 0;                      // guarded by model_mu_
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;  // guarded by queue_mu_
+  bool stopping_ = false;      // guarded by queue_mu_
+
+  obs::Counter* requests_ok_;
+  obs::Counter* requests_rejected_;
+  obs::Counter* requests_error_;
+  obs::Counter* batches_;
+  obs::Counter* reloads_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* model_version_gauge_;
+  obs::Histogram* batch_size_;
+  obs::Histogram* latency_ms_;
+
+  std::thread batcher_;  // last: started after every member is ready
+};
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_SERVER_H_

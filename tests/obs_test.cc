@@ -793,6 +793,47 @@ TEST(LedgerTest, ManifestShapeAndFingerprint) {
   EXPECT_NE(metrics->Find("counters")->Find("ledger_test/events"), nullptr);
 }
 
+TEST(LedgerTest, ComponentsFoldIntoFingerprintAndManifest) {
+  ClearLedgerComponents();
+  const std::string base = ConfigFingerprint("unit_test");
+
+  // Registering a component changes the fingerprint (same env, different
+  // served model => different configuration identity).
+  SetLedgerComponent("serve_model_fingerprint", "abc123");
+  const std::string with_component = ConfigFingerprint("unit_test");
+  EXPECT_NE(with_component, base);
+
+  // Last write per key wins; a second key changes the hash again.
+  SetLedgerComponent("serve_model_fingerprint", "def456");
+  EXPECT_NE(ConfigFingerprint("unit_test"), with_component);
+  SetLedgerComponent("dataset", "synthetic-v1");
+  auto components = LedgerComponents();
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].first, "dataset");  // sorted by key
+  EXPECT_EQ(components[1].first, "serve_model_fingerprint");
+  EXPECT_EQ(components[1].second, "def456");
+
+  // The manifest carries the components object, and its fingerprint is the
+  // component-aware one.
+  std::ostringstream out;
+  WriteRunLedgerJson("unit_test", 1, 1.0, MetricsRegistry::Get().Snapshot(),
+                     out);
+  auto result = json::Parse(out.str());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const json::Value& root = result.ValueOrDie();
+  const json::Value* manifest_components = root.Find("components");
+  ASSERT_NE(manifest_components, nullptr);
+  ASSERT_NE(manifest_components->Find("serve_model_fingerprint"), nullptr);
+  EXPECT_EQ(manifest_components->Find("serve_model_fingerprint")->string_value,
+            "def456");
+  EXPECT_EQ(root.Find("config_fingerprint")->string_value,
+            ConfigFingerprint("unit_test"));
+
+  // Clearing restores the component-free fingerprint.
+  ClearLedgerComponents();
+  EXPECT_EQ(ConfigFingerprint("unit_test"), base);
+}
+
 TEST(LedgerTest, WriteRunLedgerCreatesParseableFile) {
   const std::string dir = ::testing::TempDir() + "ams_ledger_test";
   std::filesystem::remove_all(dir);

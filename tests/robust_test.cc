@@ -20,6 +20,7 @@
 #include "la/stats.h"
 #include "metrics/metrics.h"
 #include "models/baselines.h"
+#include "obs/metrics.h"
 #include "models/experiment.h"
 #include "models/hpo.h"
 #include "par/thread_pool.h"
@@ -156,6 +157,77 @@ TEST_F(RobustTest, InjectedTruncationIsCaughtAtReadTime) {
   ASSERT_TRUE(
       robust::AtomicWriteFile(path, "0123456789abcdef0123456789abcdef").ok());
   EXPECT_FALSE(robust::ReadFileVerified(path).ok());
+}
+
+// --- Read-side faults (bit rot / short reads at load time). ---
+
+TEST_F(RobustTest, ParsesReadFaultKinds) {
+  auto faults = robust::ParseFaultSpec("bit_flip@read=2;partial_read@read=0");
+  ASSERT_TRUE(faults.ok()) << faults.status();
+  ASSERT_EQ(faults.ValueOrDie().size(), 2u);
+  EXPECT_EQ(faults.ValueOrDie()[0].kind, robust::FaultKind::kBitFlipRead);
+  EXPECT_EQ(faults.ValueOrDie()[0].at, 2);
+  EXPECT_EQ(faults.ValueOrDie()[1].kind, robust::FaultKind::kPartialRead);
+  // Read faults only accept the 'read' key.
+  EXPECT_FALSE(robust::ParseFaultSpec("bit_flip@write=1").ok());
+  EXPECT_FALSE(robust::ParseFaultSpec("partial_read@epoch=1").ok());
+}
+
+TEST_F(RobustTest, InjectedBitFlipIsCaughtByCrc) {
+  auto& injector = robust::FaultInjector::Get();
+  const std::string path = TempPath("bitflip.txt");
+  const std::string payload = "0123456789abcdef0123456789abcdef";
+  ASSERT_TRUE(robust::AtomicWriteFile(path, payload).ok());
+
+  obs::Counter& injected = obs::MetricsRegistry::Get().GetCounter(
+      "robust/faults_injected", {{"kind", "bit_flip"}});
+  const uint64_t before = injected.value();
+  ASSERT_TRUE(injector.Configure("bit_flip@read=0").ok());
+  EXPECT_FALSE(robust::ReadFileVerified(path).ok());
+  EXPECT_EQ(injected.value(), before + 1);
+
+  // The fault fired once; the file itself is untouched.
+  auto clean = robust::ReadFileVerified(path);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean.ValueOrDie(), payload);
+}
+
+TEST_F(RobustTest, InjectedPartialReadIsCaughtByCrc) {
+  auto& injector = robust::FaultInjector::Get();
+  const std::string path = TempPath("partialread.txt");
+  const std::string payload = "0123456789abcdef0123456789abcdef";
+  ASSERT_TRUE(robust::AtomicWriteFile(path, payload).ok());
+
+  obs::Counter& injected = obs::MetricsRegistry::Get().GetCounter(
+      "robust/faults_injected", {{"kind", "partial_read"}});
+  const uint64_t before = injected.value();
+  ASSERT_TRUE(injector.Configure("partial_read@read=0").ok());
+  EXPECT_FALSE(robust::ReadFileVerified(path).ok());
+  EXPECT_EQ(injected.value(), before + 1);
+
+  auto clean = robust::ReadFileVerified(path);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean.ValueOrDie(), payload);
+}
+
+TEST_F(RobustTest, ReadOrdinalCountsEveryVerifiedRead) {
+  auto& injector = robust::FaultInjector::Get();
+  const std::string path = TempPath("readordinal.txt");
+  ASSERT_TRUE(robust::AtomicWriteFile(path, "payload bytes here").ok());
+  ASSERT_TRUE(injector.Configure("bit_flip@read=1").ok());
+  EXPECT_TRUE(robust::ReadFileVerified(path).ok());   // read 0: clean
+  EXPECT_FALSE(robust::ReadFileVerified(path).ok());  // read 1: flipped
+  EXPECT_TRUE(robust::ReadFileVerified(path).ok());   // fired once only
+}
+
+TEST_F(RobustTest, LenientReadAlsoSubjectToReadFaults) {
+  auto& injector = robust::FaultInjector::Get();
+  const std::string path = TempPath("lenientfault.txt");
+  ASSERT_TRUE(robust::AtomicWriteFile(path, "lenient payload data").ok());
+  // A bit flip under a valid footer must fail even through the lenient
+  // reader (present-but-mismatching footers are always an error).
+  ASSERT_TRUE(injector.Configure("bit_flip@read=0").ok());
+  EXPECT_FALSE(robust::ReadFileLenient(path).ok());
 }
 
 TEST_F(RobustTest, CsvRoundTripAndFooterInertForPlainReader) {

@@ -1,0 +1,367 @@
+// Fuzz / property tests for the untrusted-input surfaces of the serving
+// stack: the AMSMODEL1 artifact loader and the obs JSON parser.
+//
+// Deterministic (fixed-seed) mutation fuzzing, run under
+// -DAMS_SANITIZE=address in tools/check_serve.sh: every mutated input must
+// produce either a clean error Status or a well-formed value — never a
+// crash, hang, overflow, or sanitizer report.
+//
+// Two mutation regimes for artifacts:
+//   * raw mutations leave the CRC32 footer stale, so layer 1 (atomic_io)
+//     must reject everything;
+//   * re-footered mutations recompute the footer over the mutated payload,
+//     deliberately bypassing the CRC to exercise the bounds-checked
+//     checkpoint decoder and the model validators underneath.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ams/ams_model.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "gbdt/gbdt.h"
+#include "graph/company_graph.h"
+#include "obs/json_parse.h"
+#include "obs/report.h"
+#include "robust/atomic_io.h"
+#include "serve/artifact.h"
+#include "util/rng.h"
+
+namespace ams::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / ("ams_serve_fuzz_" + name)).string();
+}
+
+std::string ReadRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// One deterministic mutation: bit flip, byte splice, truncation, or
+/// duplication, chosen and located by `rng`.
+std::string Mutate(const std::string& input, Rng* rng) {
+  std::string bytes = input;
+  switch (rng->UniformInt(4)) {
+    case 0: {  // flip 1-8 random bits
+      const int flips = 1 + static_cast<int>(rng->UniformInt(8));
+      for (int i = 0; i < flips && !bytes.empty(); ++i) {
+        const size_t pos = rng->UniformInt(bytes.size());
+        bytes[pos] ^= static_cast<char>(1u << rng->UniformInt(8));
+      }
+      break;
+    }
+    case 1: {  // overwrite a random run with random bytes
+      if (bytes.empty()) break;
+      const size_t pos = rng->UniformInt(bytes.size());
+      const size_t len =
+          std::min(bytes.size() - pos, rng->UniformInt(64) + size_t{1});
+      for (size_t i = 0; i < len; ++i) {
+        bytes[pos + i] = static_cast<char>(rng->UniformInt(256));
+      }
+      break;
+    }
+    case 2:  // truncate to a random prefix
+      bytes.resize(rng->UniformInt(bytes.size() + 1));
+      break;
+    default: {  // duplicate a random slice into the middle
+      if (bytes.empty()) break;
+      const size_t pos = rng->UniformInt(bytes.size());
+      const size_t len =
+          std::min(bytes.size() - pos, rng->UniformInt(32) + size_t{1});
+      bytes.insert(pos, bytes.substr(pos, len));
+      break;
+    }
+  }
+  return bytes;
+}
+
+/// A small fitted AMS model (1 training epoch — the loader only cares about
+/// structure, not quality).
+const core::AmsModel& TinyAmsModel() {
+  static const core::AmsModel* model = [] {
+    data::GeneratorConfig config = data::GeneratorConfig::Defaults(
+        data::DatasetProfile::kTransactionAmount, 42);
+    config.num_companies = 12;
+    config.num_sectors = 3;
+    data::Panel panel = data::GenerateMarket(config).MoveValue();
+    data::FeatureBuilder builder(&panel, data::FeatureOptions{});
+    data::Dataset train = builder.Build({4, 5}).MoveValue();
+    data::Dataset valid = builder.Build({6}).MoveValue();
+    const data::Standardizer standardizer = data::Standardizer::Fit(train);
+    standardizer.Apply(&train);
+    standardizer.Apply(&valid);
+    graph::CorrelationGraphOptions graph_options;
+    graph_options.top_k = 3;
+    graph::CompanyGraph graph =
+        graph::CompanyGraph::BuildFromRevenue(panel.RevenueHistories(4),
+                                              graph_options)
+            .MoveValue();
+    core::AmsConfig cfg;
+    cfg.node_transform_layers = {8};
+    cfg.gat.hidden_per_head = {4};
+    cfg.gat.num_heads = 2;
+    cfg.gat.out_features = 4;
+    cfg.generator_hidden = {8};
+    cfg.max_epochs = 1;
+    cfg.patience = 1;
+    auto* m = new core::AmsModel(cfg);
+    m->Fit(train, valid, graph).Abort("fit tiny AMS model");
+    return m;
+  }();
+  return *model;
+}
+
+const std::string& AmsArtifactBytes() {
+  static const std::string* bytes = [] {
+    const std::string path = TempPath("ams_base.bin");
+    SaveAmsArtifact(path, TinyAmsModel()).Abort("save AMS artifact");
+    auto* b = new std::string(ReadRaw(path));
+    fs::remove(path);
+    return b;
+  }();
+  return *bytes;
+}
+
+const std::string& GbdtArtifactBytes() {
+  static const std::string* bytes = [] {
+    const int n = 120, f = 4;
+    la::Matrix x(n, f), y(n, 1);
+    Rng rng(11);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < f; ++c) x(r, c) = rng.Uniform(-1.0, 1.0);
+      y(r, 0) = x(r, 1) - 0.5 * x(r, 3);
+    }
+    gbdt::GbdtOptions options;
+    options.num_rounds = 10;
+    gbdt::GbdtRegressor model(options);
+    model.Fit(x, y).Abort("fit tiny GBDT");
+    const std::string path = TempPath("gbdt_base.bin");
+    SaveGbdtArtifact(path, model).Abort("save GBDT artifact");
+    auto* b = new std::string(ReadRaw(path));
+    fs::remove(path);
+    return b;
+  }();
+  return *bytes;
+}
+
+/// Loads a mutated AMS artifact; on (rare, CRC-bypassing) success the model
+/// must still be fully usable — a half-validated model would be worse than
+/// a rejection.
+void CheckAmsLoad(const std::string& path) {
+  auto model = LoadAmsArtifact(path);
+  if (model.ok()) {
+    EXPECT_TRUE(model.ValueOrDie().fitted());
+    EXPECT_GT(model.ValueOrDie().num_features(), 0);
+    EXPECT_GT(model.ValueOrDie().num_companies(), 0);
+  }
+}
+
+TEST(ServeFuzz, RawAmsMutationsAlwaysRejectedCleanly) {
+  const std::string path = TempPath("ams_raw.bin");
+  for (uint64_t seed = 0; seed < 150; ++seed) {
+    Rng rng(seed);
+    const std::string mutated = Mutate(AmsArtifactBytes(), &rng);
+    if (mutated == AmsArtifactBytes()) continue;
+    WriteRaw(path, mutated);
+    // Stale CRC footer: layer 1 must reject every raw mutation.
+    EXPECT_FALSE(LoadAmsArtifact(path).ok()) << "seed " << seed;
+  }
+  fs::remove(path);
+}
+
+TEST(ServeFuzz, RefooteredAmsMutationsAreStatusNeverUb) {
+  const std::string& base = AmsArtifactBytes();
+  ASSERT_GT(base.size(), 16u);
+  const std::string payload = base.substr(0, base.size() - 16);
+  const std::string path = TempPath("ams_refooter.bin");
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(1000 + seed);
+    std::string mutated = Mutate(payload, &rng);
+    // Valid footer over a mutated payload: the CRC passes and the decoder
+    // plus model validators must absorb arbitrary structural damage.
+    WriteRaw(path, mutated + robust::CrcFooter(mutated));
+    CheckAmsLoad(path);
+  }
+  fs::remove(path);
+}
+
+TEST(ServeFuzz, RefooteredGbdtMutationsAreStatusNeverUb) {
+  const std::string& base = GbdtArtifactBytes();
+  ASSERT_GT(base.size(), 16u);
+  const std::string payload = base.substr(0, base.size() - 16);
+  const std::string path = TempPath("gbdt_refooter.bin");
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(2000 + seed);
+    std::string mutated = Mutate(payload, &rng);
+    WriteRaw(path, mutated + robust::CrcFooter(mutated));
+    auto model = LoadGbdtArtifact(path);
+    if (model.ok()) {
+      // Survivors must predict without walking out of their node arrays.
+      la::Matrix probe(1, model.ValueOrDie().num_features(), 0.5);
+      auto pred = model.ValueOrDie().Predict(probe);
+      EXPECT_TRUE(pred.ok());
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(ServeFuzz, DecodeArtifactHandlesArbitraryShortInputs) {
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    Rng rng(3000 + seed);
+    std::string bytes(rng.UniformInt(96), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.UniformInt(256));
+    auto result = DecodeArtifact(bytes);  // must not crash or hang
+    if (bytes.size() < 9 || bytes.compare(0, 9, "AMSMODEL1") != 0) {
+      EXPECT_FALSE(result.ok());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// obs/json_parse: random bytes + serialize/parse round-trip property.
+// ---------------------------------------------------------------------------
+
+TEST(ServeFuzz, JsonParserSurvivesRandomBytes) {
+  const std::string alphabet = "{}[]\",:0123456789.eE+-truefalsn \t\n\\u\x01";
+  for (uint64_t seed = 0; seed < 2000; ++seed) {
+    Rng rng(4000 + seed);
+    std::string text(rng.UniformInt(48), ' ');
+    // Half the corpus from a JSON-ish alphabet (deeper parser penetration),
+    // half fully random bytes.
+    for (char& c : text) {
+      c = seed % 2 == 0
+              ? alphabet[rng.UniformInt(alphabet.size())]
+              : static_cast<char>(rng.UniformInt(256));
+    }
+    auto result = obs::json::Parse(text);  // Status or Value, never UB
+    (void)result;
+  }
+}
+
+TEST(ServeFuzz, JsonParserSurvivesMutatedValidDocuments) {
+  const std::string valid =
+      R"({"schema":"x","n":-12.75e-2,"a":[1,true,null,"sA"],)"
+      R"("o":{"k":"v","empty":{}}})";
+  ASSERT_TRUE(obs::json::Parse(valid).ok());
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(5000 + seed);
+    auto result = obs::json::Parse(Mutate(valid, &rng));
+    (void)result;
+  }
+}
+
+/// Random JSON value built from the same serialization helpers the obs
+/// reports use (JsonEscape / JsonNumber), so the property doubles as a
+/// writer/reader compatibility check.
+std::string RandomJson(Rng* rng, int depth, obs::json::Value* expect) {
+  const uint64_t kind = rng->UniformInt(depth >= 3 ? 4 : 6);
+  switch (kind) {
+    case 0:
+      expect->kind = obs::json::Value::Kind::kNull;
+      return "null";
+    case 1:
+      expect->kind = obs::json::Value::Kind::kBool;
+      expect->bool_value = rng->Bernoulli(0.5);
+      return expect->bool_value ? "true" : "false";
+    case 2: {
+      expect->kind = obs::json::Value::Kind::kNumber;
+      // %.17g round-trips doubles exactly; avoid non-finite (serialized as
+      // null by design, which is covered by case 0).
+      expect->number = rng->Uniform(-1e6, 1e6);
+      return obs::JsonNumber(expect->number);
+    }
+    case 3: {
+      expect->kind = obs::json::Value::Kind::kString;
+      std::string s(rng->UniformInt(12), ' ');
+      for (char& c : s) c = static_cast<char>(rng->UniformInt(128));
+      expect->string_value = s;
+      return obs::JsonEscape(s);
+    }
+    case 4: {
+      expect->kind = obs::json::Value::Kind::kArray;
+      std::string out = "[";
+      const uint64_t n = rng->UniformInt(4);
+      for (uint64_t i = 0; i < n; ++i) {
+        if (i > 0) out += ",";
+        expect->array.emplace_back();
+        out += RandomJson(rng, depth + 1, &expect->array.back());
+      }
+      return out + "]";
+    }
+    default: {
+      expect->kind = obs::json::Value::Kind::kObject;
+      std::string out = "{";
+      const uint64_t n = rng->UniformInt(4);
+      for (uint64_t i = 0; i < n; ++i) {
+        if (i > 0) out += ",";
+        std::string key = "k" + std::to_string(i);
+        expect->object.emplace_back(key, obs::json::Value{});
+        out += obs::JsonEscape(key) + ":" +
+               RandomJson(rng, depth + 1, &expect->object.back().second);
+      }
+      return out + "}";
+    }
+  }
+}
+
+void ExpectSameValue(const obs::json::Value& expect,
+                     const obs::json::Value& got) {
+  ASSERT_EQ(static_cast<int>(expect.kind), static_cast<int>(got.kind));
+  switch (expect.kind) {
+    case obs::json::Value::Kind::kBool:
+      EXPECT_EQ(expect.bool_value, got.bool_value);
+      break;
+    case obs::json::Value::Kind::kNumber:
+      EXPECT_EQ(expect.number, got.number);  // %.17g exact round-trip
+      break;
+    case obs::json::Value::Kind::kString:
+      EXPECT_EQ(expect.string_value, got.string_value);
+      break;
+    case obs::json::Value::Kind::kArray:
+      ASSERT_EQ(expect.array.size(), got.array.size());
+      for (size_t i = 0; i < expect.array.size(); ++i) {
+        ExpectSameValue(expect.array[i], got.array[i]);
+      }
+      break;
+    case obs::json::Value::Kind::kObject:
+      ASSERT_EQ(expect.object.size(), got.object.size());
+      for (size_t i = 0; i < expect.object.size(); ++i) {
+        EXPECT_EQ(expect.object[i].first, got.object[i].first);
+        ExpectSameValue(expect.object[i].second, got.object[i].second);
+      }
+      break;
+    case obs::json::Value::Kind::kNull:
+      break;
+  }
+}
+
+TEST(ServeFuzz, JsonSerializeParseRoundTripProperty) {
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    Rng rng(6000 + seed);
+    obs::json::Value expected;
+    const std::string text = RandomJson(&rng, 0, &expected);
+    auto parsed = obs::json::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed << ": " << text << " -> "
+                             << parsed.status();
+    ExpectSameValue(expected, parsed.ValueOrDie());
+  }
+}
+
+}  // namespace
+}  // namespace ams::serve

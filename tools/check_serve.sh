@@ -1,0 +1,18 @@
+#!/bin/sh
+# Serving gate: run the serve-labeled test suite (golden parity, artifact
+# round-trips, loader fuzzing, hot reload under load), then verify the
+# recorded serving benchmark baseline still parses and self-compares through
+# bench_diff. For the full guarantee, also run this from builds configured
+# with -DAMS_SANITIZE=thread (reload-under-load data races) and
+# -DAMS_SANITIZE=address (fuzzed loader memory safety).
+#
+# Usage: check_serve.sh BUILD_DIR REPO_DIR
+set -eu
+BUILD_DIR=${1:?usage: check_serve.sh BUILD_DIR REPO_DIR}
+REPO_DIR=${2:?usage: check_serve.sh BUILD_DIR REPO_DIR}
+cd "$BUILD_DIR"
+BENCH_DIFF="$(pwd)/tools/bench_diff"
+ctest -L serve --output-on-failure
+
+"$BENCH_DIFF" --check "$REPO_DIR/BENCH_serve.json"
+echo "check_serve: OK"
