@@ -1,10 +1,15 @@
 // Microbenchmarks of the telemetry layer's hot-path costs: counter
-// increments, gauge sets, histogram observes, and span enter/exit with the
-// trace buffer on and off. Later PRs use these to prove instrumentation in
-// hot loops stays cheap.
+// increments, gauge sets, histogram observes, span enter/exit with the
+// trace buffer on and off, trace-context capture/handoff, span enter/exit
+// with the sampling profiler live, and SLO evaluation. Later PRs use these
+// to prove instrumentation in hot loops stays cheap.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace {
@@ -107,6 +112,73 @@ void BM_SpanEnterExitBufferEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpanEnterExitBufferEnabled);
+
+void BM_CurrentTraceContext(benchmark::State& state) {
+  // The per-request capture cost serve pays on every Admit.
+  AMS_TRACE_SPAN("bench/ctx_root");
+  for (auto _ : state) {
+    obs::TraceContext ctx = obs::CurrentTraceContext();
+    benchmark::DoNotOptimize(ctx);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CurrentTraceContext);
+
+void BM_TraceContextScope(benchmark::State& state) {
+  // The per-task install cost the thread pool pays on every Enqueue'd task.
+  AMS_TRACE_SPAN("bench/ctx_root");
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  for (auto _ : state) {
+    obs::TraceContextScope scope(ctx);
+    benchmark::DoNotOptimize(&scope);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceContextScope);
+
+void BM_SpanEnterExitUnderProfiler(benchmark::State& state) {
+  // Steady-state profiler overhead on instrumented code: the sampler wakes
+  // at the default 97 Hz while this thread opens and closes spans. Compare
+  // against BM_SpanEnterExit to read the overhead directly.
+  obs::TraceBuffer::Get().SetEnabled(false);
+  std::ostringstream sink;
+  obs::WallProfiler::Options options;
+  options.hz = 97.0;
+  options.out = &sink;
+  obs::WallProfiler profiler(options);
+  for (auto _ : state) {
+    AMS_TRACE_SPAN("bench/span_profiled");
+  }
+  profiler.Stop();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnterExitUnderProfiler);
+
+void BM_ProfilerSampleThreadStacks(benchmark::State& state) {
+  // One sampler tick: snapshot every registered thread's span stack. This
+  // is the sampler thread's per-wakeup cost, not a hot-path cost.
+  AMS_TRACE_SPAN("bench/sampled_outer");
+  AMS_TRACE_SPAN("bench/sampled_inner");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::internal::SampleThreadStacks());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerSampleThreadStacks);
+
+void BM_HealthEvaluate(benchmark::State& state) {
+  // One reporter-tick SLO evaluation against a populated registry snapshot.
+  auto targets = obs::HealthMonitor::ParseSpec(
+      "bench/hist:p99<1e9;bench/gauge:<1e9;bench/counter>0");
+  obs::HealthMonitor monitor(targets.MoveValue());
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Get().Snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.Evaluate(snapshot));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HealthEvaluate);
 
 }  // namespace
 

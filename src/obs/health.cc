@@ -1,0 +1,222 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+namespace ams::obs {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kFailing:
+      return "failing";
+  }
+  return "ok";
+}
+
+namespace {
+
+bool IsKnownAggregate(const std::string& agg) {
+  return agg == "value" || agg == "p50" || agg == "p95" || agg == "p99" ||
+         agg == "mean" || agg == "count";
+}
+
+/// Looks `target` up in `snapshot`. Histogram aggregates only match
+/// histograms; "value" prefers a gauge, then a counter, then a histogram's
+/// count (so "serve/requests:>100"-style targets work on any kind).
+bool LookupMetric(const MetricsSnapshot& snapshot, const SloTarget& target,
+                  double* observed) {
+  if (target.aggregate != "value") {
+    for (const auto& h : snapshot.histograms) {
+      if (h.name != target.metric) continue;
+      if (target.aggregate == "p50") *observed = h.Percentile(0.50);
+      if (target.aggregate == "p95") *observed = h.Percentile(0.95);
+      if (target.aggregate == "p99") *observed = h.Percentile(0.99);
+      if (target.aggregate == "mean") *observed = h.mean();
+      if (target.aggregate == "count") {
+        *observed = static_cast<double>(h.count);
+      }
+      return true;
+    }
+    return false;
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == target.metric) {
+      *observed = gauge.value;
+      return true;
+    }
+  }
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == target.metric) {
+      *observed = static_cast<double>(counter.value);
+      return true;
+    }
+  }
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == target.metric) {
+      *observed = static_cast<double>(h.count);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<SloTarget>> HealthMonitor::ParseSpec(
+    const std::string& spec) {
+  std::vector<SloTarget> targets;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t sep = spec.find(';', pos);
+    const std::string item = spec.substr(
+        pos, sep == std::string::npos ? std::string::npos : sep - pos);
+    pos = sep == std::string::npos ? spec.size() + 1 : sep + 1;
+    if (item.empty()) continue;
+
+    const size_t cmp_pos = item.find_first_of("<>");
+    if (cmp_pos == std::string::npos || cmp_pos == 0) {
+      return Status::InvalidArgument("AMS_SLO target \"" + item +
+                                     "\": expected <metric>[:agg]<cmp><value>");
+    }
+    SloTarget target;
+    target.spec = item;
+    target.less_than = item[cmp_pos] == '<';
+    size_t value_pos = cmp_pos + 1;
+    if (value_pos < item.size() && item[value_pos] == '=') {
+      target.or_equal = true;
+      ++value_pos;
+    }
+    const std::string value_text = item.substr(value_pos);
+    char* end = nullptr;
+    target.threshold = std::strtod(value_text.c_str(), &end);
+    if (value_text.empty() || end == value_text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("AMS_SLO target \"" + item +
+                                     "\": threshold \"" + value_text +
+                                     "\" is not a number");
+    }
+
+    std::string head = item.substr(0, cmp_pos);
+    // Metric names contain '/' but never ':'; the last ':' (if any)
+    // separates the optional aggregate. A trailing bare ':' ("m:<0.1")
+    // means the instrument's value.
+    const size_t colon = head.rfind(':');
+    if (colon != std::string::npos) {
+      target.aggregate = head.substr(colon + 1);
+      head = head.substr(0, colon);
+      if (target.aggregate.empty()) target.aggregate = "value";
+    } else {
+      target.aggregate = "value";
+    }
+    if (!IsKnownAggregate(target.aggregate)) {
+      return Status::InvalidArgument(
+          "AMS_SLO target \"" + item + "\": unknown aggregate \"" +
+          target.aggregate + "\" (want p50|p95|p99|mean|count|value)");
+    }
+    if (head.empty()) {
+      return Status::InvalidArgument("AMS_SLO target \"" + item +
+                                     "\": empty metric name");
+    }
+    target.metric = head;
+    targets.push_back(std::move(target));
+  }
+  return targets;
+}
+
+HealthMonitor::HealthMonitor(std::vector<SloTarget> targets, int fail_after)
+    : targets_(std::move(targets)),
+      fail_after_(std::max(1, fail_after)),
+      streaks_(targets_.size(), 0) {}
+
+HealthState HealthMonitor::Evaluate(const MetricsSnapshot& snapshot) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  last_.clear();
+  last_.reserve(targets_.size());
+  bool any_violated = false;
+  bool any_failing = false;
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    const SloTarget& target = targets_[i];
+    SloResult result;
+    result.target = target;
+    result.missing = !LookupMetric(snapshot, target, &result.observed);
+    if (!result.missing) {
+      const double v = result.observed;
+      const double t = target.threshold;
+      const bool healthy = target.less_than
+                               ? (target.or_equal ? v <= t : v < t)
+                               : (target.or_equal ? v >= t : v > t);
+      result.violated = !healthy;
+    }
+    streaks_[i] = result.violated ? streaks_[i] + 1 : 0;
+    result.streak = streaks_[i];
+    any_violated |= result.violated;
+    any_failing |= streaks_[i] >= fail_after_;
+    registry.GetGauge("obs/slo_violation", {{"slo", target.spec}})
+        .Set(result.violated ? 1.0 : 0.0);
+    last_.push_back(std::move(result));
+  }
+  state_ = any_failing   ? HealthState::kFailing
+           : any_violated ? HealthState::kDegraded
+                          : HealthState::kOk;
+  registry.GetCounter("obs/slo_evaluations").Increment();
+  registry.GetGauge("obs/health_state")
+      .Set(static_cast<double>(static_cast<int>(state_)));
+  return state_;
+}
+
+HealthState HealthMonitor::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::vector<SloResult> HealthMonitor::last_results() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+namespace {
+
+std::mutex g_health_mu;
+HealthMonitor* g_health = nullptr;  // leaked; swapped by ConfigureGlobal
+bool g_health_env_read = false;
+
+}  // namespace
+
+Status HealthMonitor::ConfigureGlobal(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_health_mu);
+  g_health_env_read = true;  // explicit configuration overrides the env
+  if (spec.empty()) {
+    g_health = nullptr;  // old monitor leaks: the reporter thread may still
+                         // hold a pointer, and one monitor is tiny
+    return Status::OK();
+  }
+  Result<std::vector<SloTarget>> targets = ParseSpec(spec);
+  if (!targets.ok()) return targets.status();
+  g_health = new HealthMonitor(targets.MoveValue());
+  return Status::OK();
+}
+
+HealthMonitor* HealthMonitor::Global() {
+  std::lock_guard<std::mutex> lock(g_health_mu);
+  if (!g_health_env_read) {
+    g_health_env_read = true;
+    const char* spec = std::getenv("AMS_SLO");
+    if (spec != nullptr && spec[0] != '\0') {
+      Result<std::vector<SloTarget>> targets = ParseSpec(spec);
+      if (targets.ok()) {
+        g_health = new HealthMonitor(targets.MoveValue());
+      } else {
+        std::cerr << "telemetry: ignoring AMS_SLO: "
+                  << targets.status().ToString() << "\n";
+      }
+    }
+  }
+  return g_health;
+}
+
+}  // namespace ams::obs

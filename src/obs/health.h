@@ -1,0 +1,114 @@
+// SLO health monitor: declarative targets over registry metrics, evaluated
+// on every PeriodicReporter tick, producing one machine-readable process
+// health state — the hook a load shedder or champion/challenger promoter
+// consumes instead of re-deriving "is this process healthy" from raw
+// series.
+//
+// Targets come from one environment variable:
+//
+//   AMS_SLO="serve/latency_ms:p99<50;robust/fault_rate:<0.01"
+//
+// Grammar, ';'-separated targets:  <metric>[:<agg>]<cmp><threshold>
+//   metric  registry instrument name (counter, gauge, or histogram)
+//   agg     histogram aggregate p50 | p95 | p99 | mean | count; omitted
+//           (or the bare ':' form above) means the instrument's value —
+//           gauge value or counter total
+//   cmp     < <= > >=
+// Malformed targets are rejected at parse time (the whole spec is refused,
+// with a stderr diagnostic, rather than silently monitoring half of it).
+//
+// State machine per evaluation (one Evaluate() call = one reporter tick):
+//   ok        no target is currently violated
+//   degraded  >= 1 target violated, none persistently
+//   failing   >= 1 target violated for `fail_after` consecutive
+//             evaluations (default 3 — hysteresis so one slow tick cannot
+//             flip a process into failing)
+// A target whose metric is not registered (yet) is "missing", never
+// violated: SLOs can be declared before the serving path starts.
+//
+// The state is exported three ways:
+//   * gauges: obs/health_state (0 ok / 1 degraded / 2 failing) and one
+//     obs/slo_violation{slo="<target>"} per target (1 = currently violated)
+//   * JSONL:  every periodic delta line carries "health":"ok|degraded|
+//     failing" when AMS_SLO is set (see obs/periodic.h)
+//   * ledger: the run manifest gains a "health" object with the final state
+//     and per-target observations (see obs/ledger.h)
+#ifndef AMS_OBS_HEALTH_H_
+#define AMS_OBS_HEALTH_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace ams::obs {
+
+enum class HealthState { kOk = 0, kDegraded = 1, kFailing = 2 };
+
+/// "ok" | "degraded" | "failing".
+const char* HealthStateName(HealthState state);
+
+/// One parsed SLO target.
+struct SloTarget {
+  std::string metric;     // instrument name
+  std::string aggregate;  // "value" | "p50" | "p95" | "p99" | "mean" | "count"
+  bool less_than = true;  // direction of the healthy region
+  bool or_equal = false;
+  double threshold = 0.0;
+  std::string spec;       // original "metric:agg<thr" text (labels, ledger)
+};
+
+/// One target's outcome from the latest evaluation.
+struct SloResult {
+  SloTarget target;
+  double observed = 0.0;
+  bool missing = false;   // metric not registered; never a violation
+  bool violated = false;
+  int streak = 0;         // consecutive evaluations violated
+};
+
+class HealthMonitor {
+ public:
+  /// Parses an AMS_SLO spec string. Empty spec -> empty target list (ok).
+  static Result<std::vector<SloTarget>> ParseSpec(const std::string& spec);
+
+  explicit HealthMonitor(std::vector<SloTarget> targets, int fail_after = 3);
+
+  /// Evaluates every target against `snapshot`, updates violation streaks,
+  /// publishes the obs/health_state and obs/slo_violation{...} gauges, and
+  /// returns the new state. Thread-safe (reporter tick vs. exit path).
+  HealthState Evaluate(const MetricsSnapshot& snapshot);
+
+  HealthState state() const;
+  std::vector<SloResult> last_results() const;
+  const std::vector<SloTarget>& targets() const { return targets_; }
+
+  /// (Re)builds the process-global monitor from `spec`; empty spec clears
+  /// it (Global() returns nullptr again). Returns the parse error on a
+  /// malformed spec, leaving the previous global untouched. Tests use this
+  /// directly; production wiring goes through Global()'s lazy AMS_SLO read.
+  static Status ConfigureGlobal(const std::string& spec);
+
+  /// The process-global monitor, lazily built from AMS_SLO on first call;
+  /// nullptr when AMS_SLO is unset/empty or failed to parse (the parse
+  /// error is reported to stderr once).
+  static HealthMonitor* Global();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+ private:
+  const std::vector<SloTarget> targets_;
+  const int fail_after_;
+
+  mutable std::mutex mu_;
+  std::vector<int> streaks_;        // per target, guarded by mu_
+  std::vector<SloResult> last_;     // guarded by mu_
+  HealthState state_ = HealthState::kOk;  // guarded by mu_
+};
+
+}  // namespace ams::obs
+
+#endif  // AMS_OBS_HEALTH_H_

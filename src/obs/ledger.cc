@@ -11,6 +11,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/health.h"
 #include "obs/report.h"
 
 namespace ams::obs {
@@ -47,8 +48,10 @@ const std::vector<std::string>& RunLedgerEnvKeys() {
       "AMS_THREADS",        "AMS_FAULTS",
       "AMS_GUARD_POLICY",   "AMS_CHECKPOINT_DIR",
       "AMS_TELEMETRY",      "AMS_TELEMETRY_INTERVAL_MS",
-      "AMS_TELEMETRY_FILE", "AMS_TRACE_FILE",
-      "AMS_LOG",            "AMS_RUN_LEDGER",
+      "AMS_TELEMETRY_FILE", "AMS_TELEMETRY_MAX_SERIES",
+      "AMS_TRACE_FILE",     "AMS_LOG",
+      "AMS_RUN_LEDGER",     "AMS_SLO",
+      "AMS_PROFILE_FILE",   "AMS_PROFILE_HZ",
   };
   return *keys;
 }
@@ -132,7 +135,26 @@ void WriteRunLedgerJson(const std::string& binary_name, int pid,
     first = false;
     out << JsonEscape(key) << ":" << JsonEscape(value);
   }
-  out << "},\"metrics\":";
+  out << "},\"health\":";
+  if (HealthMonitor* health = HealthMonitor::Global()) {
+    // Re-evaluate against this very snapshot so the ledger's health block
+    // matches the metrics block even when no periodic reporter ever ticked.
+    const HealthState state = health->Evaluate(snapshot);
+    out << "{\"state\":\"" << HealthStateName(state) << "\",\"targets\":[";
+    bool first_target = true;
+    for (const SloResult& result : health->last_results()) {
+      if (!first_target) out << ",";
+      first_target = false;
+      out << "{\"slo\":" << JsonEscape(result.target.spec)
+          << ",\"observed\":" << JsonNumber(result.observed)
+          << ",\"violated\":" << (result.violated ? "true" : "false")
+          << ",\"missing\":" << (result.missing ? "true" : "false") << "}";
+    }
+    out << "]}";
+  } else {
+    out << "null";
+  }
+  out << ",\"metrics\":";
   std::ostringstream metrics;
   WriteJsonReport(snapshot, metrics);
   std::string metrics_json = metrics.str();

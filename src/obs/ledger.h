@@ -11,6 +11,9 @@
 //    "config_fingerprint":"9f3a...",       // FNV-1a over binary + env below
 //    "wall_time_ms":1234.5,                // since InstallExitReporter
 //    "env":{"AMS_THREADS":"8","AMS_FAULTS":null,...},
+//    "health":{"state":"ok","targets":[{"slo":"serve/latency_ms:p99<50",
+//              "observed":12.3,"violated":false,"missing":false}]},
+//              // null when AMS_SLO is unset (see obs/health.h)
 //    "metrics":{...final obs::WriteJsonReport snapshot...}}
 //
 // The env block captures every AMS_* variable that changes behaviour

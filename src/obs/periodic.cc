@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
+#include "obs/health.h"
 #include "obs/report.h"
 
 namespace ams::obs {
@@ -33,6 +35,10 @@ double FindGauge(const MetricsSnapshot& snapshot, const std::string& name,
     if (gauge.name == name) return gauge.value;
   }
   return fallback;
+}
+
+bool IsLabeledName(const std::string& name) {
+  return name.find('{') != std::string::npos;
 }
 
 }  // namespace
@@ -100,35 +106,9 @@ void PeriodicReporter::EmitLine(bool final_line) {
   last_emit_ = now;
 
   MetricsSnapshot snapshot = MetricsRegistry::Get().Snapshot();
-
-  // --- Derived gauges from counter deltas over this tick. ---
-  const double elapsed_us = std::max(interval_ms, 1e-3) * 1000.0;
-  const uint64_t busy_now = FindCounter(snapshot, "par/worker_busy_us");
-  const uint64_t busy_before = FindCounter(previous_, "par/worker_busy_us");
-  const double busy_delta =
-      static_cast<double>(busy_now - std::min(busy_now, busy_before));
-  const int workers = std::max(
-      0, static_cast<int>(FindGauge(snapshot, "par/pool_size", 1.0)) - 1);
-  const double utilization =
-      workers > 0
-          ? std::clamp(busy_delta / (elapsed_us * workers), 0.0, 1.0)
-          : 0.0;
-
-  uint64_t fault_delta = 0;
-  for (const char* name : kFaultEventCounters) {
-    const uint64_t now_value = FindCounter(snapshot, name);
-    const uint64_t before = FindCounter(previous_, name);
-    fault_delta += now_value - std::min(now_value, before);
-  }
-  const double fault_rate =
-      static_cast<double>(fault_delta) / (elapsed_us / 1e6);
-
-  // Publish into the registry (visible to the exit report) and upsert into
-  // the local snapshot so this very line carries them too.
   MetricsRegistry& registry = MetricsRegistry::Get();
-  registry.GetGauge("par/pool_utilization").Set(utilization);
-  registry.GetGauge("robust/fault_rate").Set(fault_rate);
   auto upsert = [&](const std::string& name, double value) {
+    registry.GetGauge(name).Set(value);
     for (auto& gauge : snapshot.gauges) {
       if (gauge.name == name) {
         gauge.value = value;
@@ -137,64 +117,159 @@ void PeriodicReporter::EmitLine(bool final_line) {
     }
     snapshot.gauges.push_back({name, value});
   };
+
+  // --- Derived gauges from counter deltas over this tick. ---
+  const double elapsed_us = std::max(interval_ms, 1e-3) * 1000.0;
+  // One utilization gauge per pool: pair each par/worker_busy_us{pool="N"}
+  // counter with its par/pool_size{pool="N"} gauge, plus one unlabeled
+  // aggregate (total busy delta over total worker wall time across pools).
+  const std::string busy_prefix = "par/worker_busy_us{";
+  double busy_delta_total = 0.0;
+  double worker_time_total = 0.0;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name.rfind(busy_prefix, 0) != 0) continue;
+    const std::string label_part = counter.name.substr(busy_prefix.size() - 1);
+    const uint64_t before = FindCounter(previous_tick_, counter.name);
+    const double busy_delta =
+        static_cast<double>(counter.value - std::min(counter.value, before));
+    const int workers = std::max(
+        0,
+        static_cast<int>(FindGauge(snapshot, "par/pool_size" + label_part,
+                                   1.0)) -
+            1);
+    const double utilization =
+        workers > 0
+            ? std::clamp(busy_delta / (elapsed_us * workers), 0.0, 1.0)
+            : 0.0;
+    // Labels are already canonically encoded in the counter name; reuse
+    // them verbatim on the derived gauge so the series line up.
+    upsert("par/pool_utilization" + label_part, utilization);
+    busy_delta_total += busy_delta;
+    worker_time_total += elapsed_us * workers;
+  }
+  const double utilization =
+      worker_time_total > 0.0
+          ? std::clamp(busy_delta_total / worker_time_total, 0.0, 1.0)
+          : 0.0;
+
+  uint64_t fault_delta = 0;
+  for (const char* name : kFaultEventCounters) {
+    const uint64_t now_value = FindCounter(snapshot, name);
+    const uint64_t before = FindCounter(previous_tick_, name);
+    fault_delta += now_value - std::min(now_value, before);
+  }
+  const double fault_rate =
+      static_cast<double>(fault_delta) / (elapsed_us / 1e6);
+
   upsert("par/pool_utilization", utilization);
   upsert("robust/fault_rate", fault_rate);
+
+  // --- SLO health evaluation (publishes obs/health_state & co). ---
+  const char* health_name = nullptr;
+  if (HealthMonitor* health = HealthMonitor::Global()) {
+    const HealthState state = health->Evaluate(snapshot);
+    health_name = HealthStateName(state);
+    upsert("obs/health_state", static_cast<double>(static_cast<int>(state)));
+    for (const SloResult& result : health->last_results()) {
+      upsert(EncodeLabeledName("obs/slo_violation",
+                               {{"slo", result.target.spec}}),
+             result.violated ? 1.0 : 0.0);
+    }
+  }
   std::sort(snapshot.gauges.begin(), snapshot.gauges.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
 
   // --- One self-contained JSONL line. ---
-  std::ostream& out = Sink();
+  // Interior lines omit unchanged series; the first and final lines are
+  // full snapshots. Labeled series beyond the cap are dropped (counted in
+  // obs/dropped_series — an unlabeled counter, so the drop is itself always
+  // visible on the next line it changes).
   int seq;
   {
     std::lock_guard<std::mutex> lock(mu_);
     seq = ++seq_;
   }
-  out << "{\"schema\":\"ams-telemetry-delta-v1\",\"seq\":" << seq
+  const bool full = final_line || seq == 1;
+  static Counter& dropped_series =
+      MetricsRegistry::Get().GetCounter("obs/dropped_series");
+  const int max_labeled = std::max(0, options_.max_labeled_series);
+  int labeled_emitted = 0;
+  uint64_t dropped_this_line = 0;
+  auto admit = [&](const std::string& name, bool changed) {
+    if (!full && !changed) return false;
+    if (IsLabeledName(name)) {
+      if (labeled_emitted >= max_labeled) {
+        ++dropped_this_line;
+        return false;
+      }
+      ++labeled_emitted;
+    }
+    return true;
+  };
+
+  std::ostream& out = Sink();
+  out << "{\"schema\":\"ams-telemetry-delta-v2\",\"seq\":" << seq
       << ",\"uptime_ms\":" << JsonNumber(uptime_ms)
       << ",\"interval_ms\":" << JsonNumber(interval_ms)
-      << ",\"final\":" << (final_line ? "true" : "false");
+      << ",\"final\":" << (final_line ? "true" : "false")
+      << ",\"full\":" << (full ? "true" : "false");
+  if (health_name != nullptr) {
+    out << ",\"health\":\"" << health_name << "\"";
+  }
 
   out << ",\"counters\":{";
-  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
-    const auto& counter = snapshot.counters[i];
-    const uint64_t before = FindCounter(previous_, counter.name);
-    if (i > 0) out << ",";
+  bool first = true;
+  for (const auto& counter : snapshot.counters) {
+    const auto it = emitted_counters_.find(counter.name);
+    const uint64_t before = it != emitted_counters_.end() ? it->second : 0;
+    const uint64_t delta = counter.value - std::min(counter.value, before);
+    const bool changed = it == emitted_counters_.end() || delta > 0;
+    if (!admit(counter.name, changed)) continue;
+    if (!first) out << ",";
+    first = false;
     out << JsonEscape(counter.name) << ":{\"total\":" << counter.value
-        << ",\"delta\":" << (counter.value - std::min(counter.value, before))
-        << "}";
+        << ",\"delta\":" << delta << "}";
+    emitted_counters_[counter.name] = counter.value;
   }
 
   out << "},\"gauges\":{";
-  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
-    if (i > 0) out << ",";
-    out << JsonEscape(snapshot.gauges[i].name) << ":"
-        << JsonNumber(snapshot.gauges[i].value);
+  first = true;
+  for (const auto& gauge : snapshot.gauges) {
+    const auto it = emitted_gauges_.find(gauge.name);
+    const bool changed =
+        it == emitted_gauges_.end() || it->second != gauge.value;
+    if (!admit(gauge.name, changed)) continue;
+    if (!first) out << ",";
+    first = false;
+    out << JsonEscape(gauge.name) << ":" << JsonNumber(gauge.value);
+    emitted_gauges_[gauge.name] = gauge.value;
   }
 
   out << "},\"histograms\":{";
-  bool first = true;
+  first = true;
   for (const auto& histogram : snapshot.histograms) {
-    uint64_t count_before = 0;
-    for (const auto& prev : previous_.histograms) {
-      if (prev.name == histogram.name) {
-        count_before = prev.count;
-        break;
-      }
-    }
+    const auto it = emitted_histogram_counts_.find(histogram.name);
+    const uint64_t before =
+        it != emitted_histogram_counts_.end() ? it->second : 0;
+    const uint64_t delta =
+        histogram.count - std::min(histogram.count, before);
+    const bool changed = it == emitted_histogram_counts_.end() || delta > 0;
+    if (!admit(histogram.name, changed)) continue;
     if (!first) out << ",";
     first = false;
     out << JsonEscape(histogram.name) << ":{\"count\":" << histogram.count
-        << ",\"delta\":"
-        << (histogram.count - std::min(histogram.count, count_before))
+        << ",\"delta\":" << delta
         << ",\"sum\":" << JsonNumber(histogram.sum)
         << ",\"p50\":" << JsonNumber(histogram.Percentile(0.50))
         << ",\"p95\":" << JsonNumber(histogram.Percentile(0.95))
         << ",\"p99\":" << JsonNumber(histogram.Percentile(0.99)) << "}";
+    emitted_histogram_counts_[histogram.name] = histogram.count;
   }
   out << "}}\n";
   out.flush();
+  if (dropped_this_line > 0) dropped_series.Add(dropped_this_line);
 
-  previous_ = std::move(snapshot);
+  previous_tick_ = std::move(snapshot);
 }
 
 PeriodicReporter::Options PeriodicReporter::OptionsFromEnv() {
@@ -205,6 +280,10 @@ PeriodicReporter::Options PeriodicReporter::OptionsFromEnv() {
   }
   if (const char* path = std::getenv("AMS_TELEMETRY_FILE")) {
     options.file_path = path;
+  }
+  if (const char* cap = std::getenv("AMS_TELEMETRY_MAX_SERIES")) {
+    const int parsed = std::atoi(cap);
+    if (parsed > 0) options.max_labeled_series = parsed;
   }
   return options;
 }

@@ -6,40 +6,62 @@
 //   AMS_TELEMETRY_INTERVAL_MS=<n>  enable, one snapshot line every n ms
 //   AMS_TELEMETRY_FILE=path        write lines to `path` (truncated at
 //                                  start) instead of stderr
+//   AMS_TELEMETRY_MAX_SERIES=<n>   labeled-series cap per line (default 512)
 //
 // Each line is one self-contained JSON object:
 //
-//   {"schema":"ams-telemetry-delta-v1","seq":3,"uptime_ms":150.2,
-//    "interval_ms":50.1,"final":false,
+//   {"schema":"ams-telemetry-delta-v2","seq":3,"uptime_ms":150.2,
+//    "interval_ms":50.1,"final":false,"full":false,"health":"ok",
 //    "counters":{"exp/models_fit{model=\"AMS\"}":{"total":4,"delta":1},...},
 //    "gauges":{"par/pool_utilization":0.81,...},
 //    "histograms":{"exp/fold/ms":{"count":6,"delta":2,"sum":312.5,
 //                  "p50":48.1,"p95":60.2,"p99":61.0},...}}
 //
 // Counters and histograms carry both the running total and the delta since
-// the previous line; gauges are last-write-wins values. Every registered
-// instrument appears on every line (registration order is irrelevant), so
-// any single line is a complete picture of the process.
+// the line they last appeared on; gauges are last-write-wins values.
 //
-// Two gauges are derived from deltas each tick and also written back into
-// the registry (so the exit report sees their final values):
-//   par/pool_utilization  delta(par/worker_busy_us) spread over the tick's
-//                         wall time and the worker count (par/pool_size - 1;
-//                         the pool's calling thread is not counted because
+// Emit-on-change: interior lines ("full":false) omit series that have not
+// changed since they were last emitted — a counter/histogram with zero
+// delta, a gauge with a bit-identical value. The first line and the final
+// line are full snapshots ("full":true): every registered instrument
+// appears, so any consumer that keeps the latest full line plus subsequent
+// deltas always has a complete picture.
+//
+// Cardinality cap: at most `max_labeled_series` labeled instruments
+// (name{k="v"}) are emitted per line (sorted name order, unlabeled series
+// always emitted); series dropped past the cap are counted in the
+// obs/dropped_series counter. This bounds line size when label cardinality
+// runs away (e.g. per-entity labels).
+//
+// Derived gauges written back into the registry each tick (so the exit
+// report sees final values):
+//   par/pool_utilization{pool=N}  delta(par/worker_busy_us{pool=N}) spread
+//                         over the tick's wall time and that pool's worker
+//                         count (par/pool_size{pool=N} - 1; the pool's
+//                         calling thread is not counted because
 //                         worker_busy_us only measures queued tasks).
+//   par/pool_utilization  the same, aggregated over every pool with
+//                         workers (total busy delta / total worker-time).
 //   robust/fault_rate     fault events (robust/faults_injected, task_throws,
 //                         crc_failures, checkpoint_corrupt, nan_detected,
 //                         retries_exhausted) per second over the tick.
 //
-// Stop() (and the destructor) joins the thread and emits one final delta
-// line flagged "final":true, so short-lived processes still get at least one
+// SLO health: when HealthMonitor::Global() is configured (AMS_SLO), every
+// tick evaluates it against the snapshot and each line carries
+// "health":"ok|degraded|failing" (plus the obs/health_state gauge the
+// evaluation publishes — see obs/health.h).
+//
+// Stop() (and the destructor) joins the thread and emits one final line
+// flagged "final":true, so short-lived processes still get at least one
 // snapshot; it is idempotent and safe to call from the exit reporter.
 #ifndef AMS_OBS_PERIODIC_H_
 #define AMS_OBS_PERIODIC_H_
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -56,6 +78,7 @@ class PeriodicReporter {
     int interval_ms = 1000;
     std::string file_path;   // empty: write to *out (or stderr)
     std::ostream* out = nullptr;  // test hook; ignored when file_path set
+    int max_labeled_series = 512;  // per line; overflow -> obs/dropped_series
   };
 
   /// Starts the reporter thread immediately.
@@ -68,8 +91,9 @@ class PeriodicReporter {
   /// Lines emitted so far (including the final one after Stop).
   int lines_emitted() const;
 
-  /// Options from AMS_TELEMETRY_INTERVAL_MS / AMS_TELEMETRY_FILE;
-  /// interval_ms <= 0 when the interval variable is unset or invalid.
+  /// Options from AMS_TELEMETRY_INTERVAL_MS / AMS_TELEMETRY_FILE /
+  /// AMS_TELEMETRY_MAX_SERIES; interval_ms <= 0 when the interval variable
+  /// is unset or invalid.
   static Options OptionsFromEnv();
 
   /// Starts the process-global reporter from the environment (once);
@@ -94,7 +118,11 @@ class PeriodicReporter {
   std::ofstream file_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_emit_;
-  MetricsSnapshot previous_;
+  MetricsSnapshot previous_tick_;  // last tick's snapshot (derived gauges)
+  // Values as of the line each series last appeared on (emit-on-change).
+  std::map<std::string, uint64_t> emitted_counters_;
+  std::map<std::string, double> emitted_gauges_;
+  std::map<std::string, uint64_t> emitted_histogram_counts_;
   int seq_ = 0;
 
   mutable std::mutex mu_;

@@ -1,0 +1,160 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ams::obs {
+
+namespace {
+
+/// Folded-stack frames are ';'-separated and the count is space-separated,
+/// so those bytes (and newlines) inside a span name would corrupt the
+/// output line structure. Span names are string literals in practice, but
+/// nothing enforces that — sanitize defensively.
+std::string SanitizeFrame(const char* name) {
+  std::string frame = name != nullptr ? name : "?";
+  for (char& c : frame) {
+    if (c == ';' || c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return frame;
+}
+
+}  // namespace
+
+WallProfiler::WallProfiler(Options options) : options_(std::move(options)) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+WallProfiler::~WallProfiler() { Stop(); }
+
+void WallProfiler::Loop() {
+  const double hz = std::clamp(options_.hz, 1.0, 10000.0);
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+      1.0 / hz));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void WallProfiler::SampleOnce() {
+  const std::vector<internal::ThreadStackSample> stacks =
+      internal::SampleThreadStacks();
+  static Counter& sample_counter =
+      MetricsRegistry::Get().GetCounter("obs/profile_samples");
+  static Gauge& threads_gauge =
+      MetricsRegistry::Get().GetGauge("obs/profile_threads");
+  sample_counter.Add(stacks.size());
+  threads_gauge.Set(static_cast<double>(stacks.size()));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ += stacks.size();
+  for (const internal::ThreadStackSample& stack : stacks) {
+    if (stack.frames.empty()) {
+      ++counts_["(idle)"];
+      continue;
+    }
+    std::string folded;
+    for (size_t i = 0; i < stack.frames.size(); ++i) {
+      if (i > 0) folded += ';';
+      folded += SanitizeFrame(stack.frames[i]);
+    }
+    ++counts_[folded];
+  }
+}
+
+void WallProfiler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // One last sample so short-lived processes still get a data point even
+  // when they exit inside the first tick.
+  SampleOnce();
+  if (!options_.file_path.empty()) {
+    std::ofstream out(options_.file_path, std::ios::trunc);
+    if (out) {
+      WriteFolded(out);
+    } else {
+      std::cerr << "telemetry: cannot open AMS_PROFILE_FILE "
+                << options_.file_path << "\n";
+    }
+  } else if (options_.out != nullptr) {
+    WriteFolded(*options_.out);
+  }
+}
+
+uint64_t WallProfiler::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::vector<std::pair<std::string, uint64_t>> WallProfiler::FoldedCounts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counts_.begin(), counts_.end()};
+}
+
+void WallProfiler::WriteFolded(std::ostream& out) const {
+  for (const auto& [stack, count] : FoldedCounts()) {
+    out << stack << " " << count << "\n";
+  }
+  out.flush();
+}
+
+WallProfiler::Options WallProfiler::OptionsFromEnv() {
+  Options options;
+  if (const char* path = std::getenv("AMS_PROFILE_FILE")) {
+    options.file_path = path;
+  }
+  if (const char* hz = std::getenv("AMS_PROFILE_HZ")) {
+    const double parsed = std::atof(hz);
+    if (parsed > 0.0) options.hz = parsed;
+  }
+  return options;
+}
+
+namespace {
+
+std::mutex g_profiler_mu;
+WallProfiler* g_profiler = nullptr;  // leaked; stopped at exit
+bool g_profiler_started = false;
+
+}  // namespace
+
+WallProfiler* WallProfiler::StartFromEnv() {
+  std::lock_guard<std::mutex> lock(g_profiler_mu);
+  if (g_profiler_started) return g_profiler;
+  g_profiler_started = true;
+  const Options options = OptionsFromEnv();
+  if (options.file_path.empty()) return nullptr;
+  g_profiler = new WallProfiler(options);
+  return g_profiler;
+}
+
+void WallProfiler::ShutdownGlobal() {
+  WallProfiler* profiler;
+  {
+    std::lock_guard<std::mutex> lock(g_profiler_mu);
+    profiler = g_profiler;
+  }
+  if (profiler != nullptr) profiler->Stop();
+}
+
+}  // namespace ams::obs

@@ -10,6 +10,7 @@
 
 #include "obs/ledger.h"
 #include "obs/periodic.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 
@@ -172,9 +173,12 @@ void FlushReport(TelemetryMode mode, std::ostream& out) {
 namespace {
 
 void ExitReporter() {
-  // Stop the periodic reporter first: it joins its thread, emits the final
-  // delta line, and folds the last worker_busy_us / fault deltas into the
-  // derived gauges so the exit report below sees their final values.
+  // Stop the profiler first (writes AMS_PROFILE_FILE; finalizes
+  // obs/profile_samples), then the periodic reporter: it joins its thread,
+  // emits the final delta line, and folds the last worker_busy_us / fault
+  // deltas into the derived gauges so the exit report below sees their
+  // final values.
+  WallProfiler::ShutdownGlobal();
   PeriodicReporter::ShutdownGlobal();
   FlushReport(TelemetryModeFromEnv(), std::cerr);
   const char* trace_path = std::getenv("AMS_TRACE_FILE");
@@ -205,6 +209,7 @@ void InstallExitReporter() {
       TraceBuffer::Get().SetEnabled(true);
     }
     PeriodicReporter::StartFromEnv();
+    WallProfiler::StartFromEnv();
     std::atexit(ExitReporter);
   });
 }

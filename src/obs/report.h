@@ -12,8 +12,13 @@
 //   AMS_TRACE_FILE=path  enable the span buffer and write Chrome trace-event
 //                        JSON to `path` at exit (independent of the above)
 //   AMS_RUN_LEDGER=dir   write a per-run manifest (config fingerprint, env,
-//                        wall time, final metrics) to `dir` at exit
-//                        (see obs/ledger.h)
+//                        wall time, final metrics, SLO health) to `dir` at
+//                        exit (see obs/ledger.h)
+//   AMS_PROFILE_FILE=path  run the sampling wall-clock profiler and write
+//                        folded stacks to `path` at exit (AMS_PROFILE_HZ
+//                        sets the rate; see obs/profiler.h)
+//   AMS_SLO="m:p99<50;..."  evaluate SLO targets on every periodic tick and
+//                        export a process health state (see obs/health.h)
 //
 // Binaries opt in with one call at the top of main():
 //

@@ -24,9 +24,109 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point origin,
   return us > 0 ? static_cast<uint64_t>(us) : 0;
 }
 
+/// One counter mints both span ids and trace ids (a root span's trace_id is
+/// its own span_id), so every recorded id is process-unique and nonzero.
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread span stack. Two views of the same stack:
+//   * t_context_stack: {trace_id, span_id} frames, owner-thread only —
+//     parent resolution for new spans and CurrentTraceContext().
+//     TraceContextScope pushes borrowed frames here without a name.
+//   * SamplingStack: span-name frames published through atomics so the
+//     profiler's sampler thread can read any thread's stack without
+//     stopping it. Only ScopedSpan frames appear here (borrowed contexts
+//     carry no name and burn no wall time of their own).
+// ---------------------------------------------------------------------------
+
+struct ContextFrame {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+thread_local std::vector<ContextFrame> t_context_stack;
+
+constexpr uint32_t kMaxSampledDepth = 48;
+
+std::mutex& SamplingRegistryMutex() {
+  static std::mutex* mu = new std::mutex();  // leaked: outlives TLS dtors
+  return *mu;
+}
+
+struct SamplingStack;
+
+std::vector<SamplingStack*>& SamplingRegistryLocked() {
+  static std::vector<SamplingStack*>* stacks =
+      new std::vector<SamplingStack*>();
+  return *stacks;
+}
+
+/// Registered on first span of a thread, unregistered when the thread
+/// exits (TLS destructor). Push order: write the frame slot, then publish
+/// the new depth with release; the sampler pairs it with an acquire load,
+/// so it never reads an unwritten slot. Beyond kMaxSampledDepth the
+/// published depth saturates (deep frames invisible to the profiler, spans
+/// themselves unaffected).
+struct SamplingStack {
+  std::atomic<uint32_t> depth{0};
+  std::atomic<const char*> frames[kMaxSampledDepth];
+  uint32_t thread_id;
+
+  SamplingStack() : thread_id(TraceBuffer::CurrentThreadId()) {
+    for (auto& frame : frames) {
+      frame.store(nullptr, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(SamplingRegistryMutex());
+    SamplingRegistryLocked().push_back(this);
+  }
+
+  ~SamplingStack() {
+    std::lock_guard<std::mutex> lock(SamplingRegistryMutex());
+    auto& stacks = SamplingRegistryLocked();
+    stacks.erase(std::remove(stacks.begin(), stacks.end(), this),
+                 stacks.end());
+  }
+
+  void Push(const char* name, uint32_t span_depth) {
+    if (span_depth < kMaxSampledDepth) {
+      frames[span_depth].store(name, std::memory_order_relaxed);
+      depth.store(span_depth + 1, std::memory_order_release);
+    }
+  }
+
+  void Pop(uint32_t span_depth) {
+    if (span_depth < kMaxSampledDepth) {
+      depth.store(span_depth, std::memory_order_release);
+    }
+  }
+};
+
 thread_local uint32_t t_span_depth = 0;
 
+SamplingStack& ThreadSamplingStack() {
+  thread_local SamplingStack stack;
+  return stack;
+}
+
 }  // namespace
+
+TraceContext CurrentTraceContext() {
+  if (t_context_stack.empty()) return {};
+  const ContextFrame& top = t_context_stack.back();
+  return {top.trace_id, top.span_id};
+}
+
+TraceContextScope::TraceContextScope(TraceContext ctx)
+    : pushed_(ctx.valid()) {
+  if (pushed_) t_context_stack.push_back({ctx.trace_id, ctx.span_id});
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (pushed_) t_context_stack.pop_back();
+}
 
 TraceBuffer& TraceBuffer::Get() {
   static TraceBuffer* buffer = new TraceBuffer();  // never freed
@@ -98,6 +198,21 @@ uint32_t TraceBuffer::CurrentThreadId() {
   return id;
 }
 
+void ScopedSpan::Enter(const TraceContext* explicit_parent) {
+  ContextFrame parent{};
+  if (explicit_parent != nullptr && explicit_parent->valid()) {
+    parent = {explicit_parent->trace_id, explicit_parent->span_id};
+  } else if (!t_context_stack.empty()) {
+    parent = t_context_stack.back();
+  }
+  span_id_ = NextSpanId();
+  trace_id_ = parent.trace_id != 0 ? parent.trace_id : span_id_;
+  parent_id_ = parent.span_id;
+  t_context_stack.push_back({trace_id_, span_id_});
+  ThreadSamplingStack().Push(name_, t_span_depth);
+  ++t_span_depth;
+}
+
 ScopedSpan::ScopedSpan(const char* name)
     : name_(name),
       // Pin the process origin before reading the clock so the first span's
@@ -105,12 +220,22 @@ ScopedSpan::ScopedSpan(const char* name)
       start_((ProcessOrigin(), std::chrono::steady_clock::now())),
       histogram_(&MetricsRegistry::Get().GetHistogram(std::string(name) +
                                                       "/ms")) {
-  ++t_span_depth;
+  Enter(nullptr);
+}
+
+ScopedSpan::ScopedSpan(const char* name, TraceContext parent)
+    : name_(name),
+      start_((ProcessOrigin(), std::chrono::steady_clock::now())),
+      histogram_(&MetricsRegistry::Get().GetHistogram(std::string(name) +
+                                                      "/ms")) {
+  Enter(&parent);
 }
 
 ScopedSpan::~ScopedSpan() {
   const auto end = std::chrono::steady_clock::now();
   --t_span_depth;
+  ThreadSamplingStack().Pop(t_span_depth);
+  t_context_stack.pop_back();
   const double ms =
       std::chrono::duration<double, std::milli>(end - start_).count();
   histogram_->Observe(ms);
@@ -122,8 +247,31 @@ ScopedSpan::~ScopedSpan() {
     span.duration_us = MicrosSince(start_, end);
     span.thread_id = TraceBuffer::CurrentThreadId();
     span.depth = t_span_depth;
+    span.trace_id = trace_id_;
+    span.span_id = span_id_;
+    span.parent_id = parent_id_;
     buffer.Record(span);
   }
+}
+
+TraceContext RecordSpanWithParent(const char* name, TraceContext parent,
+                                  std::chrono::steady_clock::time_point start,
+                                  std::chrono::steady_clock::time_point end,
+                                  uint64_t arg) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  if (!buffer.enabled()) return {};
+  SpanRecord span;
+  span.name = name;
+  span.start_us = MicrosSince(ProcessOrigin(), start);
+  span.duration_us = MicrosSince(start, end);
+  span.thread_id = TraceBuffer::CurrentThreadId();
+  span.depth = t_span_depth;
+  span.span_id = NextSpanId();
+  span.trace_id = parent.valid() ? parent.trace_id : span.span_id;
+  span.parent_id = parent.span_id;
+  span.arg = arg;
+  buffer.Record(span);
+  return {span.trace_id, span.span_id};
 }
 
 void TraceExporter::WriteJson(const std::vector<SpanRecord>& spans,
@@ -132,15 +280,61 @@ void TraceExporter::WriteJson(const std::vector<SpanRecord>& spans,
   // complete events (ph == "X"). Span names are usually tame string
   // literals, but nothing enforces that — escape them like every other
   // serialized name so a quote or control character cannot break the file.
+  //
+  // For every parent->child edge that crosses threads, a flow-event pair
+  // binds the two lanes: ph "s" anchored inside the parent slice, ph "f"
+  // (bp "e": bind to enclosing slice) at the child's start. Perfetto draws
+  // these as arrows, which is what makes one serving request readable as
+  // one trace across the caller and batcher lanes.
   out << "{\"traceEvents\":[";
   bool first = true;
-  for (const SpanRecord& span : spans) {
+  auto emit = [&](const SpanRecord& span) {
     if (!first) out << ",";
     first = false;
     out << "{\"name\":"
         << JsonEscape(span.name != nullptr ? span.name : "?")
         << ",\"cat\":\"ams\",\"ph\":\"X\",\"ts\":" << span.start_us
         << ",\"dur\":" << span.duration_us
+        << ",\"pid\":0,\"tid\":" << span.thread_id;
+    if (span.span_id != 0) {
+      out << ",\"args\":{\"trace_id\":" << span.trace_id
+          << ",\"span_id\":" << span.span_id
+          << ",\"parent_id\":" << span.parent_id;
+      if (span.arg != 0) out << ",\"v\":" << span.arg;
+      out << "}";
+    }
+    out << "}";
+  };
+  // span_id -> index for parent lookups (ids are unique; 0 never recorded).
+  std::vector<std::pair<uint64_t, size_t>> index;
+  index.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].span_id != 0) index.emplace_back(spans[i].span_id, i);
+  }
+  std::sort(index.begin(), index.end());
+  auto find_span = [&](uint64_t span_id) -> const SpanRecord* {
+    auto it = std::lower_bound(
+        index.begin(), index.end(), std::make_pair(span_id, size_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it == index.end() || it->first != span_id) return nullptr;
+    return &spans[it->second];
+  };
+  for (const SpanRecord& span : spans) {
+    emit(span);
+    if (span.parent_id == 0) continue;
+    const SpanRecord* parent = find_span(span.parent_id);
+    if (parent == nullptr || parent->thread_id == span.thread_id) continue;
+    // Flow start must sit inside the source slice; the parent may have
+    // closed before the child started (batcher picks up after Score's
+    // admission), so clamp into [parent.start, parent.end].
+    const uint64_t src_ts =
+        std::min(std::max(span.start_us, parent->start_us),
+                 parent->start_us + parent->duration_us);
+    out << ",{\"name\":\"trace\",\"cat\":\"ams.flow\",\"ph\":\"s\",\"id\":"
+        << span.span_id << ",\"ts\":" << src_ts
+        << ",\"pid\":0,\"tid\":" << parent->thread_id << "}"
+        << ",{\"name\":\"trace\",\"cat\":\"ams.flow\",\"ph\":\"f\",\"bp\":"
+        << "\"e\",\"id\":" << span.span_id << ",\"ts\":" << span.start_us
         << ",\"pid\":0,\"tid\":" << span.thread_id << "}";
   }
   out << "],\"displayTimeUnit\":\"ms\"}\n";
@@ -151,7 +345,33 @@ void TraceExporter::WriteJson(std::ostream& out) {
 }
 
 namespace internal {
+
 uint32_t CurrentSpanDepth() { return t_span_depth; }
+
+uint64_t MicrosSinceOrigin(std::chrono::steady_clock::time_point t) {
+  return MicrosSince(ProcessOrigin(), t);
+}
+
+std::vector<ThreadStackSample> SampleThreadStacks() {
+  std::vector<ThreadStackSample> out;
+  std::lock_guard<std::mutex> lock(SamplingRegistryMutex());
+  const auto& stacks = SamplingRegistryLocked();
+  out.reserve(stacks.size());
+  for (const SamplingStack* stack : stacks) {
+    ThreadStackSample sample;
+    sample.thread_id = stack->thread_id;
+    const uint32_t n = stack->depth.load(std::memory_order_acquire);
+    sample.frames.reserve(n);
+    for (uint32_t i = 0; i < n && i < kMaxSampledDepth; ++i) {
+      const char* name = stack->frames[i].load(std::memory_order_relaxed);
+      if (name == nullptr) break;  // racing push; truncate benignly
+      sample.frames.push_back(name);
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
 }  // namespace internal
 
 }  // namespace ams::obs

@@ -1,4 +1,5 @@
-// Scoped trace spans: wall-time instrumentation of code regions.
+// Scoped trace spans: wall-time instrumentation of code regions, with
+// request-causal trace context.
 //
 //   void Fit(...) {
 //     AMS_TRACE_SPAN("ams/train/fit");
@@ -16,9 +17,32 @@
 // serializes in Chrome trace-event format — load the file in
 // chrome://tracing or https://ui.perfetto.dev to see the nested timeline.
 //
-// Spans nest naturally (the RAII object tracks a thread-local depth) and are
-// cheap when the buffer is disabled: one steady_clock read on entry and one
-// on exit plus a histogram observe.
+// Trace context. Each thread keeps a TLS stack of active spans. A span
+// opened while another is active becomes its child (same trace_id,
+// parent_id = enclosing span_id); a span opened with the stack empty roots
+// a new trace (trace_id = its own span_id). The stack crosses thread
+// boundaries explicitly:
+//
+//   TraceContext ctx = CurrentTraceContext();      // producer thread
+//   ...
+//   TraceContextScope scope(ctx);                  // consumer thread:
+//   AMS_TRACE_SPAN("serve/compute");               //   child of ctx
+//
+// or in one step: ScopedSpan span("name", ctx). src/par's ThreadPool
+// applies this contract automatically — every enqueued task (Submit and
+// ParallelFor helpers) inherits the submitting thread's context — and
+// src/serve carries a TraceContext per request across the batcher hop.
+// TraceExporter emits Chrome flow events ("s"/"f" pairs) for every
+// parent->child edge that crosses threads, so one request renders as one
+// connected trace across lanes.
+//
+// The span stack doubles as the sampling profiler's "backtrace": the
+// per-thread frame names are published through relaxed atomics that
+// obs/profiler.h's sampler thread reads (see internal::SampleThreadStacks).
+//
+// Spans nest naturally and are cheap when the buffer is disabled: two
+// steady_clock reads, a histogram observe, a TLS stack push/pop, and two
+// relaxed atomic stores for the profiler.
 #ifndef AMS_OBS_TRACE_H_
 #define AMS_OBS_TRACE_H_
 
@@ -42,6 +66,39 @@ struct SpanRecord {
   uint64_t duration_us = 0;
   uint32_t thread_id = 0;  // small dense id, stable per thread
   uint32_t depth = 0;      // nesting depth at entry, 0 = outermost
+  uint64_t trace_id = 0;   // root span's span_id; all spans of one request
+  uint64_t span_id = 0;    // unique per span, never 0 for recorded spans
+  uint64_t parent_id = 0;  // 0 = trace root
+  uint64_t arg = 0;        // optional payload (e.g. model version); 0 = none
+};
+
+/// Handoff token for continuing a trace on another thread: identifies the
+/// span that should become the parent of whatever runs next. Default
+/// (trace_id 0) means "no active trace" and makes TraceContextScope a
+/// no-op.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The innermost active context on this thread ({0,0} when no span or
+/// borrowed scope is active). Capture it before crossing a thread boundary.
+TraceContext CurrentTraceContext();
+
+/// Installs `ctx` as this thread's current context for the scope's
+/// lifetime, without opening a span: spans opened inside become children of
+/// ctx.span_id. Invalid contexts install nothing (no-op).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  bool pushed_;
 };
 
 /// Global bounded buffer of completed spans. Disabled by default; when
@@ -92,20 +149,47 @@ class TraceBuffer {
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
+  /// Explicit cross-thread handoff: the span joins `parent`'s trace as a
+  /// child of parent.span_id, ignoring whatever is on this thread's stack.
+  /// An invalid parent behaves exactly like the plain constructor.
+  ScopedSpan(const char* name, TraceContext parent);
   ~ScopedSpan();
+
+  /// This span's own context — what CurrentTraceContext() returns while the
+  /// span is innermost. Hand it to another thread to parent work there.
+  TraceContext context() const { return {trace_id_, span_id_}; }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
+  void Enter(const TraceContext* explicit_parent);
+
   const char* name_;
   std::chrono::steady_clock::time_point start_;
   Histogram* histogram_;  // "<name>/ms", cached per call site is overkill —
                           // the registry lookup is one mutex + short scan.
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
 };
 
+/// Records an already-completed interval as a span with an explicit parent,
+/// on the calling thread's lane. Used where one piece of work (the serve
+/// batcher's shared compute) must be attributed to several request traces:
+/// the caller replays the same interval once per request. Only writes when
+/// the trace buffer is enabled; does NOT observe a "<name>/ms" histogram
+/// (callers own their phase histograms). Returns the new span's context.
+TraceContext RecordSpanWithParent(const char* name, TraceContext parent,
+                                  std::chrono::steady_clock::time_point start,
+                                  std::chrono::steady_clock::time_point end,
+                                  uint64_t arg = 0);
+
 /// Serializes spans as Chrome trace-event JSON ("traceEvents" array of
-/// complete "X" events). The output loads in chrome://tracing / Perfetto.
+/// complete "X" events). Every recorded parent->child edge whose endpoints
+/// sit on different threads additionally emits a flow-event pair
+/// (ph "s" at the parent, ph "f" at the child, id = child span_id), so
+/// cross-thread traces render connected in chrome://tracing / Perfetto.
 class TraceExporter {
  public:
   /// Writes `spans` (e.g. TraceBuffer::Get().Snapshot()) to `out`.
@@ -118,6 +202,25 @@ class TraceExporter {
 namespace internal {
 /// Current span nesting depth on this thread (for tests / exporters).
 uint32_t CurrentSpanDepth();
+
+/// Microseconds between the process-wide trace origin and `t` (clamped at
+/// 0). The origin is pinned on first use; span records and manual
+/// RecordSpanWithParent intervals share it.
+uint64_t MicrosSinceOrigin(std::chrono::steady_clock::time_point t);
+
+/// One thread's span stack as seen by the sampling profiler: outermost
+/// frame first. Frame names are the static span-name strings.
+struct ThreadStackSample {
+  uint32_t thread_id = 0;
+  std::vector<const char*> frames;
+};
+
+/// Snapshot of every registered thread's current span stack. A thread
+/// registers the first time it opens a span and unregisters at thread
+/// exit. Reads race benignly with concurrent push/pop (frame slots and the
+/// depth are atomics; a sample can be stale by one frame, never torn into
+/// invalid pointers).
+std::vector<ThreadStackSample> SampleThreadStacks();
 }  // namespace internal
 
 }  // namespace ams::obs
@@ -128,5 +231,9 @@ uint32_t CurrentSpanDepth();
 /// Times the enclosing scope under `name` (a string literal).
 #define AMS_TRACE_SPAN(name) \
   ::ams::obs::ScopedSpan AMS_OBS_CONCAT(ams_trace_span_, __LINE__)(name)
+
+/// Times the enclosing scope as a child of `ctx` (cross-thread handoff).
+#define AMS_TRACE_SPAN_CTX(name, ctx) \
+  ::ams::obs::ScopedSpan AMS_OBS_CONCAT(ams_trace_span_, __LINE__)(name, ctx)
 
 #endif  // AMS_OBS_TRACE_H_

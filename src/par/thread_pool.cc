@@ -8,6 +8,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace ams::par {
@@ -58,17 +59,32 @@ struct ForState {
 
 }  // namespace
 
+namespace {
+
+/// Monotone id per constructed pool — the label that keeps each pool's
+/// busy/size/utilization series distinct (SetDefaultParallelism replaces
+/// the default pool, so one process can legitimately construct several).
+int NextPoolId() {
+  static std::atomic<int> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(int parallelism)
-    : parallelism_(std::max(1, parallelism)) {
+    : parallelism_(std::max(1, parallelism)), pool_id_(NextPoolId()) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  const obs::Labels pool_label = {{"pool", std::to_string(pool_id_)}};
   tasks_run_ = &registry.GetCounter("par/tasks_run");
   parallel_fors_ = &registry.GetCounter("par/parallel_for_ranges");
-  worker_busy_us_ = &registry.GetCounter("par/worker_busy_us");
-  queue_depth_ = &registry.GetGauge("par/queue_depth");
-  // The periodic reporter derives par/pool_utilization from worker_busy_us
-  // deltas spread over (pool_size - 1) workers; last-constructed pool wins,
-  // which matches DefaultPool()/SetDefaultParallelism usage.
-  registry.GetGauge("par/pool_size").Set(static_cast<double>(parallelism_));
+  // Per-pool series: the periodic reporter pairs each
+  // par/worker_busy_us{pool=N} delta with its par/pool_size{pool=N} to
+  // derive par/pool_utilization{pool=N} (plus an aggregate across pools),
+  // so concurrently-live pools no longer clobber one shared gauge.
+  worker_busy_us_ = &registry.GetCounter("par/worker_busy_us", pool_label);
+  queue_depth_ = &registry.GetGauge("par/queue_depth", pool_label);
+  registry.GetGauge("par/pool_size", pool_label)
+      .Set(static_cast<double>(parallelism_));
   workers_.reserve(parallelism_ - 1);
   for (int i = 0; i < parallelism_ - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -92,6 +108,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  // Capture the submitter's trace context here (still on the submitting
+  // thread) and install it around the task body on whichever worker runs
+  // it: spans opened inside a pool task parent under the span that
+  // submitted the work, exactly as if it had run inline.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.valid()) {
+    task = [ctx, inner = std::move(task)] {
+      obs::TraceContextScope scope(ctx);
+      inner();
+    };
+  }
   size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -14,10 +14,17 @@
 //      AMS_THREADS (falling back to hardware_concurrency), replaces ad-hoc
 //      thread spawning so the hot loops never oversubscribe the machine.
 //
-// Instrumented with ams_obs: "par/tasks_run", "par/parallel_for_ranges",
-// "par/worker_busy_us" counters and "par/queue_depth" / "par/pool_size"
-// gauges; the periodic reporter (obs/periodic.h) folds worker_busy_us
-// deltas into a live "par/pool_utilization" gauge.
+// Instrumented with ams_obs: process-wide "par/tasks_run" /
+// "par/parallel_for_ranges" counters, plus per-pool labeled series keyed by
+// a monotone pool id — par/worker_busy_us{pool=N}, par/queue_depth{pool=N},
+// par/pool_size{pool=N}. The periodic reporter (obs/periodic.h) folds each
+// pool's worker_busy_us delta into a live par/pool_utilization{pool=N}
+// gauge and an unlabeled aggregate across pools.
+//
+// Trace context: Enqueue captures the submitting thread's
+// obs::CurrentTraceContext() and installs it around the task on the worker
+// (Submit and ParallelFor helpers alike), so spans opened inside pool tasks
+// stay parented under the span that submitted the work.
 #ifndef AMS_PAR_THREAD_POOL_H_
 #define AMS_PAR_THREAD_POOL_H_
 
@@ -58,6 +65,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int parallelism() const { return parallelism_; }
+  /// Monotone construction id — the {"pool", id} label on this pool's
+  /// worker_busy_us / queue_depth / pool_size / pool_utilization series.
+  int pool_id() const { return pool_id_; }
 
   /// Runs `body(chunk_begin, chunk_end)` over [begin, end) in chunks of at
   /// most `grain` indices. Chunk boundaries depend only on (begin, end,
@@ -95,6 +105,7 @@ class ThreadPool {
   void WorkerLoop();
 
   const int parallelism_;
+  const int pool_id_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
@@ -103,8 +114,8 @@ class ThreadPool {
 
   obs::Counter* tasks_run_;        // tasks dequeued and executed by workers
   obs::Counter* parallel_fors_;    // ParallelFor calls that used the pool
-  obs::Counter* worker_busy_us_;   // summed wall time inside worker tasks
-  obs::Gauge* queue_depth_;        // queued (not yet running) tasks
+  obs::Counter* worker_busy_us_;   // {pool=N}: wall time inside worker tasks
+  obs::Gauge* queue_depth_;        // {pool=N}: queued (not yet running)
 };
 
 /// Parallelism from the environment: AMS_THREADS if set to a positive

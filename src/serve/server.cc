@@ -67,6 +67,12 @@ InferenceServer::InferenceServer(ServerOptions options)
       "serve/batch_size", obs::Histogram::ExponentialBounds(1.0, 2.0, 13));
   latency_ms_ = &registry.GetHistogram("serve/latency_ms",
                                        obs::Histogram::ExponentialBounds());
+  queue_ms_ = &registry.GetHistogram("serve/queue_ms",
+                                     obs::Histogram::ExponentialBounds());
+  batch_form_ms_ = &registry.GetHistogram(
+      "serve/batch_form_ms", obs::Histogram::ExponentialBounds());
+  compute_ms_ = &registry.GetHistogram("serve/compute_ms",
+                                       obs::Histogram::ExponentialBounds());
   batcher_ = std::thread([this] { BatchLoop(); });
 }
 
@@ -155,6 +161,9 @@ std::future<Result<std::vector<double>>> InferenceServer::Admit(
   pending.features = &features;
   pending.model = std::move(snapshot);
   pending.admitted = Clock::now();
+  // The caller's innermost span (Score/ScoreBatch's serve/request) becomes
+  // the parent of this request's phase spans on the batcher thread.
+  pending.trace = obs::CurrentTraceContext();
   std::future<Result<std::vector<double>>> future =
       pending.promise.get_future();
   {
@@ -237,12 +246,14 @@ void InferenceServer::BatchLoop() {
     }
     queue_depth_->Set(static_cast<double>(queue_.size()));
     lock.unlock();
-    ExecuteBatch(std::move(batch));
+    ExecuteBatch(std::move(batch), Clock::now());
     lock.lock();
   }
 }
 
-void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
+void InferenceServer::ExecuteBatch(
+    std::vector<Pending> batch, std::chrono::steady_clock::time_point
+                                    batch_start) {
   AMS_TRACE_SPAN("serve/batch");
   if (batch.empty()) return;
   batches_->Increment();
@@ -271,6 +282,7 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
     }
   }
 
+  const auto predict_start = Clock::now();
   Result<std::vector<double>> predictions = [&] {
     AMS_TRACE_SPAN("serve/batch/predict");
     // Executed inline on the batcher thread: AmsModel::Predict is not safe
@@ -278,12 +290,35 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
     // the GEMMs inside already parallelize on the default pool.
     return model.Predict(dataset);
   }();
+  const auto predict_end = Clock::now();
 
+  // Per-request phase attribution. Batch formation and compute are shared
+  // work, but latency is a per-request quantity, so each request observes
+  // the full shared interval — then queue + batch_form + compute sums to
+  // latency minus only the response fan-out below. When tracing is on, the
+  // same intervals are replayed as spans parented under each request's
+  // serve/request span (tagged with the model version), which is what links
+  // the caller and batcher lanes into one trace per request.
+  const bool tracing = obs::TraceBuffer::Get().enabled();
+  const auto ms = [](Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration<double, std::milli>(to - from).count();
+  };
+  const uint64_t version =
+      static_cast<uint64_t>(batch.front().model->version);
   const auto now = Clock::now();
   for (int b = 0; b < k; ++b) {
-    latency_ms_->Observe(std::chrono::duration<double, std::milli>(
-                             now - batch[b].admitted)
-                             .count());
+    queue_ms_->Observe(ms(batch[b].admitted, batch_start));
+    batch_form_ms_->Observe(ms(batch_start, predict_start));
+    compute_ms_->Observe(ms(predict_start, predict_end));
+    if (tracing) {
+      obs::RecordSpanWithParent("serve/queue", batch[b].trace,
+                                batch[b].admitted, batch_start, version);
+      obs::RecordSpanWithParent("serve/batch_form", batch[b].trace,
+                                batch_start, predict_start, version);
+      obs::RecordSpanWithParent("serve/compute", batch[b].trace,
+                                predict_start, predict_end, version);
+    }
+    latency_ms_->Observe(ms(batch[b].admitted, now));
     if (!predictions.ok()) {
       requests_error_->Increment();
       batch[b].promise.set_value(predictions.status());

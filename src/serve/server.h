@@ -26,6 +26,17 @@
 // feeds the p50/p95/p99 exit report); serve/queue_depth and
 // serve/model_version gauges; trace spans serve/request (admission to
 // completion) and serve/batch -> serve/batch/predict on the batcher thread.
+//
+// Request causality: Admit captures the caller's obs::CurrentTraceContext()
+// into the pending request, and after the batch executes the batcher
+// replays per-request phase spans — serve/queue (admission -> batch
+// pickup), serve/batch_form (pickup -> predict start), serve/compute
+// (predict) — each parented under that request's serve/request span and
+// tagged with the serving model version, so every request renders as one
+// connected trace across the caller and batcher lanes (Chrome flow
+// events). The same intervals feed per-request phase histograms
+// serve/queue_ms / serve/batch_form_ms / serve/compute_ms, which sum to
+// serve/latency_ms minus the (tiny) response fan-out.
 #ifndef AMS_SERVE_SERVER_H_
 #define AMS_SERVE_SERVER_H_
 
@@ -41,6 +52,7 @@
 
 #include "ams/ams_model.h"
 #include "la/matrix.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace ams::obs {
@@ -115,6 +127,7 @@ class InferenceServer {
     const la::Matrix* features = nullptr;
     std::shared_ptr<const LoadedModel> model;
     std::chrono::steady_clock::time_point admitted;
+    obs::TraceContext trace;  // caller's context at admission
     std::promise<Result<std::vector<double>>> promise;
   };
 
@@ -128,8 +141,10 @@ class InferenceServer {
 
   void BatchLoop();
   /// Scores one batch of same-model requests on the batcher thread and
-  /// fulfills their promises. Never throws.
-  void ExecuteBatch(std::vector<Pending> batch);
+  /// fulfills their promises. `batch_start` is when the batcher took the
+  /// batch off the queue (end of each request's queue phase). Never throws.
+  void ExecuteBatch(std::vector<Pending> batch,
+                    std::chrono::steady_clock::time_point batch_start);
 
   const ServerOptions options_;
 
@@ -151,6 +166,9 @@ class InferenceServer {
   obs::Gauge* model_version_gauge_;
   obs::Histogram* batch_size_;
   obs::Histogram* latency_ms_;
+  obs::Histogram* queue_ms_;       // admission -> batcher pickup
+  obs::Histogram* batch_form_ms_;  // pickup -> predict start
+  obs::Histogram* compute_ms_;     // predict
 
   std::thread batcher_;  // last: started after every member is ready
 };

@@ -18,10 +18,12 @@
 #include <thread>
 #include <vector>
 
+#include "obs/health.h"
 #include "obs/json_parse.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/periodic.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -397,6 +399,217 @@ TEST(TraceTest, BufferCapacityDropsOldest) {
 }
 
 // ---------------------------------------------------------------------------
+// Trace context: parent links, cross-thread handoff, flow events.
+
+/// Finds the single span named `name` in `spans`; fails the test on 0 or >1.
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  const SpanRecord* found = nullptr;
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) {
+      if (found != nullptr) return nullptr;
+      found = &span;
+    }
+  }
+  return found;
+}
+
+TEST(TraceContextTest, NestingAssignsParentAndTraceIds) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  {
+    AMS_TRACE_SPAN("ctx_test/root");
+    const TraceContext root_ctx = CurrentTraceContext();
+    EXPECT_TRUE(root_ctx.valid());
+    {
+      AMS_TRACE_SPAN("ctx_test/child");
+      const TraceContext child_ctx = CurrentTraceContext();
+      EXPECT_EQ(child_ctx.trace_id, root_ctx.trace_id);
+      EXPECT_NE(child_ctx.span_id, root_ctx.span_id);
+    }
+    // Context pops back to the root when the child closes.
+    EXPECT_EQ(CurrentTraceContext().span_id, root_ctx.span_id);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  buffer.SetEnabled(false);
+
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  const SpanRecord* root = FindSpan(spans, "ctx_test/root");
+  const SpanRecord* child = FindSpan(spans, "ctx_test/child");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_NE(root->span_id, 0u);
+  EXPECT_EQ(root->trace_id, root->span_id);  // a root roots its own trace
+  EXPECT_EQ(root->parent_id, 0u);
+  EXPECT_EQ(child->trace_id, root->trace_id);
+  EXPECT_EQ(child->parent_id, root->span_id);
+  EXPECT_NE(child->span_id, root->span_id);
+  buffer.Clear();
+}
+
+TEST(TraceContextTest, ExplicitHandoffCrossesThreads) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  {
+    AMS_TRACE_SPAN("ctx_test/producer");
+    const TraceContext ctx = CurrentTraceContext();
+    std::thread consumer([ctx] {
+      // Fresh thread: empty stack, so without the handoff this span would
+      // root a new trace.
+      AMS_TRACE_SPAN_CTX("ctx_test/consumer", ctx);
+    });
+    consumer.join();
+  }
+  buffer.SetEnabled(false);
+
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  const SpanRecord* producer = FindSpan(spans, "ctx_test/producer");
+  const SpanRecord* consumer = FindSpan(spans, "ctx_test/consumer");
+  ASSERT_NE(producer, nullptr);
+  ASSERT_NE(consumer, nullptr);
+  EXPECT_EQ(consumer->trace_id, producer->trace_id);
+  EXPECT_EQ(consumer->parent_id, producer->span_id);
+  EXPECT_NE(consumer->thread_id, producer->thread_id);
+  buffer.Clear();
+}
+
+TEST(TraceContextTest, ContextScopeParentsSpansWithoutOpeningOne) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  TraceContext ctx;
+  {
+    AMS_TRACE_SPAN("ctx_test/origin");
+    ctx = CurrentTraceContext();
+  }
+  {
+    TraceContextScope scope(ctx);  // borrowed context, no span of its own
+    EXPECT_EQ(CurrentTraceContext().span_id, ctx.span_id);
+    AMS_TRACE_SPAN("ctx_test/borrowed_child");
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  {
+    TraceContextScope noop{TraceContext{}};  // invalid context: no-op
+    EXPECT_FALSE(CurrentTraceContext().valid());
+  }
+  buffer.SetEnabled(false);
+
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  const SpanRecord* origin = FindSpan(spans, "ctx_test/origin");
+  const SpanRecord* child = FindSpan(spans, "ctx_test/borrowed_child");
+  ASSERT_NE(origin, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->trace_id, origin->trace_id);
+  EXPECT_EQ(child->parent_id, origin->span_id);
+  buffer.Clear();
+}
+
+TEST(TraceContextTest, RecordSpanWithParentReplaysIntervalWithArg) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  TraceContext parent;
+  {
+    AMS_TRACE_SPAN("ctx_test/request");
+    parent = CurrentTraceContext();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = start + std::chrono::microseconds(1500);
+  const TraceContext recorded =
+      RecordSpanWithParent("ctx_test/phase", parent, start, end, /*arg=*/7);
+  EXPECT_TRUE(recorded.valid());
+  EXPECT_EQ(recorded.trace_id, parent.trace_id);
+  buffer.SetEnabled(false);
+
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  const SpanRecord* phase = FindSpan(spans, "ctx_test/phase");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->trace_id, parent.trace_id);
+  EXPECT_EQ(phase->parent_id, parent.span_id);
+  EXPECT_EQ(phase->arg, 7u);
+  EXPECT_GE(phase->duration_us, 1400u);
+  EXPECT_LE(phase->duration_us, 1600u);
+  // No "<name>/ms" histogram: callers own their phase histograms.
+  EXPECT_EQ(MetricsRegistry::Get().GetHistogram("ctx_test/phase/ms").count(),
+            0u);
+  buffer.Clear();
+
+  // Disabled buffer: no record, invalid context back.
+  EXPECT_FALSE(
+      RecordSpanWithParent("ctx_test/phase", parent, start, end).valid());
+  EXPECT_TRUE(buffer.Snapshot().empty());
+}
+
+TEST(TraceContextTest, ExporterEmitsFlowEventsForCrossThreadEdges) {
+  TraceBuffer& buffer = TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  {
+    AMS_TRACE_SPAN("flow_test/root");
+    const TraceContext ctx = CurrentTraceContext();
+    std::thread worker([ctx] { AMS_TRACE_SPAN_CTX("flow_test/hop", ctx); });
+    worker.join();
+  }
+  buffer.SetEnabled(false);
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  const SpanRecord* root = FindSpan(spans, "flow_test/root");
+  const SpanRecord* hop = FindSpan(spans, "flow_test/hop");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(hop, nullptr);
+
+  std::ostringstream out;
+  TraceExporter::WriteJson(spans, out);
+  auto parsed = json::Parse(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* events = parsed.ValueOrDie().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // One "s"/"f" pair keyed by the child span id, start on the parent's
+  // thread lane, finish on the child's; "X" events carry the ids in args.
+  bool saw_start = false;
+  bool saw_finish = false;
+  bool saw_ids_on_complete_event = false;
+  for (const json::Value& event : events->array) {
+    const json::Value* ph = event.Find("ph");
+    const json::Value* id = event.Find("id");
+    if (ph != nullptr && id != nullptr &&
+        id->number == static_cast<double>(hop->span_id)) {
+      if (ph->string_value == "s") {
+        saw_start = true;
+        EXPECT_EQ(event.Find("tid")->number,
+                  static_cast<double>(root->thread_id));
+      }
+      if (ph->string_value == "f") {
+        saw_finish = true;
+        EXPECT_EQ(event.Find("bp")->string_value, "e");
+        EXPECT_EQ(event.Find("tid")->number,
+                  static_cast<double>(hop->thread_id));
+      }
+    }
+    const json::Value* name = event.Find("name");
+    if (name != nullptr && name->string_value == "flow_test/hop" &&
+        ph != nullptr && ph->string_value == "X") {
+      const json::Value* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->Find("span_id")->number,
+                static_cast<double>(hop->span_id));
+      EXPECT_EQ(args->Find("trace_id")->number,
+                static_cast<double>(hop->trace_id));
+      EXPECT_EQ(args->Find("parent_id")->number,
+                static_cast<double>(hop->parent_id));
+      saw_ids_on_complete_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_finish);
+  EXPECT_TRUE(saw_ids_on_complete_event);
+  buffer.Clear();
+}
+
+// ---------------------------------------------------------------------------
 // JSON well-formedness. A minimal structural validator: balanced
 // brackets/braces outside strings, no trailing garbage.
 
@@ -656,8 +869,10 @@ TEST(PeriodicReporterTest, EmitsValidSelfContainedJsonlUnderConcurrency) {
   const int lines_emitted = reporter->lines_emitted();
   ASSERT_GE(lines_emitted, 3);
 
-  // Every line parses; sequence numbers increase; the last line is final;
-  // the derived gauges and the labeled counters appear on every line.
+  // Every line parses; sequence numbers increase; the last line is final.
+  // Full lines (first and final) carry the derived gauges and every live
+  // series; interior lines are emit-on-change so a series may be absent —
+  // but when present its shape must still be self-consistent.
   std::istringstream lines(stream.str());
   std::string line;
   int parsed_lines = 0;
@@ -671,34 +886,43 @@ TEST(PeriodicReporterTest, EmitsValidSelfContainedJsonlUnderConcurrency) {
     const json::Value& root = result.ValueOrDie();
     ++parsed_lines;
     ASSERT_NE(root.Find("schema"), nullptr);
-    EXPECT_EQ(root.Find("schema")->string_value, "ams-telemetry-delta-v1");
+    EXPECT_EQ(root.Find("schema")->string_value, "ams-telemetry-delta-v2");
     ASSERT_NE(root.Find("seq"), nullptr);
     EXPECT_GT(root.Find("seq")->number, last_seq);
     last_seq = root.Find("seq")->number;
     ASSERT_NE(root.Find("final"), nullptr);
     saw_final = root.Find("final")->bool_value;  // true only on the last
+    ASSERT_NE(root.Find("full"), nullptr);
+    const bool full = root.Find("full")->bool_value;
+    EXPECT_EQ(full, saw_final || root.Find("seq")->number == 1.0);
 
     const json::Value* gauges = root.Find("gauges");
     ASSERT_NE(gauges, nullptr);
-    EXPECT_NE(gauges->Find("par/pool_utilization"), nullptr);
-    EXPECT_NE(gauges->Find("robust/fault_rate"), nullptr);
-
     const json::Value* counters = root.Find("counters");
     ASSERT_NE(counters, nullptr);
-    const json::Value* labeled =
-        counters->Find("periodic_test/model_fit{model=\"AMS\"}");
-    ASSERT_NE(labeled, nullptr);
-    ASSERT_NE(labeled->Find("total"), nullptr);
-    ASSERT_NE(labeled->Find("delta"), nullptr);
-    EXPECT_GE(labeled->Find("total")->number,
-              labeled->Find("delta")->number);
-
     const json::Value* histograms = root.Find("histograms");
     ASSERT_NE(histograms, nullptr);
+    if (full) {
+      EXPECT_NE(gauges->Find("par/pool_utilization"), nullptr);
+      EXPECT_NE(gauges->Find("robust/fault_rate"), nullptr);
+      ASSERT_NE(counters->Find("periodic_test/model_fit{model=\"AMS\"}"),
+                nullptr);
+      ASSERT_NE(histograms->Find("periodic_test/lat_ms"), nullptr);
+    }
+    const json::Value* labeled =
+        counters->Find("periodic_test/model_fit{model=\"AMS\"}");
+    if (labeled != nullptr) {
+      ASSERT_NE(labeled->Find("total"), nullptr);
+      ASSERT_NE(labeled->Find("delta"), nullptr);
+      EXPECT_GE(labeled->Find("total")->number,
+                labeled->Find("delta")->number);
+    }
     const json::Value* lat = histograms->Find("periodic_test/lat_ms");
-    ASSERT_NE(lat, nullptr);
-    for (const char* field : {"count", "delta", "sum", "p50", "p95", "p99"}) {
-      EXPECT_NE(lat->Find(field), nullptr) << field;
+    if (lat != nullptr) {
+      for (const char* field :
+           {"count", "delta", "sum", "p50", "p95", "p99"}) {
+        EXPECT_NE(lat->Find(field), nullptr) << field;
+      }
     }
   }
   EXPECT_EQ(parsed_lines, lines_emitted);
@@ -749,6 +973,294 @@ TEST(PeriodicReporterTest, WritesToFileAndShortRunStillGetsFinalLine) {
   std::filesystem::remove(path);
 }
 
+TEST(PeriodicReporterTest, EmitOnChangeOmitsUnchangedSeries) {
+  // A gauge set once before the reporter starts appears on the first (full)
+  // line and the final (full) line, but on no interior line: it never
+  // changes after its first emission.
+  MetricsRegistry::Get().GetGauge("eoc_test/static").Set(42.0);
+
+  std::ostringstream stream;
+  PeriodicReporter::Options options;
+  options.interval_ms = 5;
+  options.out = &stream;
+  PeriodicReporter reporter(options);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (reporter.lines_emitted() < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  reporter.Stop();
+  ASSERT_GE(reporter.lines_emitted(), 4);
+
+  std::istringstream lines(stream.str());
+  std::string line;
+  int static_appearances = 0;
+  int full_lines = 0;
+  int interior_lines_with_static = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto result = json::Parse(line);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const json::Value& root = result.ValueOrDie();
+    const bool full = root.Find("full")->bool_value;
+    const json::Value* gauges = root.Find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    const bool has_static = gauges->Find("eoc_test/static") != nullptr;
+    if (full) {
+      ++full_lines;
+      EXPECT_TRUE(has_static);
+    } else if (has_static) {
+      ++interior_lines_with_static;
+    }
+    if (has_static) ++static_appearances;
+  }
+  EXPECT_EQ(full_lines, 2);  // first and final
+  EXPECT_EQ(interior_lines_with_static, 0);
+  EXPECT_EQ(static_appearances, 2);
+}
+
+TEST(PeriodicReporterTest, LabeledCardinalityCapDropsAndCounts) {
+  // Far more labeled series than the cap admits: each line carries at most
+  // `max_labeled_series` labeled names and the overflow lands in the
+  // obs/dropped_series counter (itself unlabeled, so never capped).
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  for (int i = 0; i < 32; ++i) {
+    registry
+        .GetCounter("cap_test/events", {{"shard", std::to_string(i)}})
+        .Add(static_cast<uint64_t>(i + 1));
+  }
+  const uint64_t dropped_before =
+      registry.GetCounter("obs/dropped_series").value();
+
+  std::ostringstream stream;
+  PeriodicReporter::Options options;
+  options.interval_ms = 60'000;  // never ticks on its own
+  options.out = &stream;
+  options.max_labeled_series = 4;
+  PeriodicReporter reporter(options);
+  reporter.Stop();  // emits the one final (full) line
+
+  auto result = json::Parse(stream.str().substr(0, stream.str().find('\n')));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const json::Value& root = result.ValueOrDie();
+  int labeled_emitted = 0;
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const json::Value* object = root.Find(section);
+    ASSERT_NE(object, nullptr);
+    for (const auto& [name, value] : object->object) {
+      if (name.find('{') != std::string::npos) ++labeled_emitted;
+    }
+  }
+  EXPECT_LE(labeled_emitted, 4);
+  EXPECT_GT(registry.GetCounter("obs/dropped_series").value(),
+            dropped_before);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling wall-clock profiler.
+
+TEST(ProfilerTest, CapturesKnownStackInFoldedOutput) {
+  WallProfiler::Options options;
+  options.hz = 2000.0;  // fast so the test finishes quickly
+  std::ostringstream folded;
+  options.out = &folded;
+  WallProfiler profiler(options);
+  {
+    AMS_TRACE_SPAN("prof_test/outer");
+    AMS_TRACE_SPAN("prof_test/inner");
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (profiler.samples() < 20 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  profiler.Stop();
+  ASSERT_GE(profiler.samples(), 20u);
+
+  // The two-frame stack dominates this thread's samples.
+  bool found_stack = false;
+  for (const auto& [stack, count] : profiler.FoldedCounts()) {
+    if (stack == "prof_test/outer;prof_test/inner") {
+      found_stack = count > 0;
+    }
+  }
+  EXPECT_TRUE(found_stack);
+
+  // Folded lines are flamegraph-consumable: "frame[;frame...] count".
+  std::istringstream lines(folded.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++parsed;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    const std::string count_text = line.substr(space + 1);
+    char* end = nullptr;
+    const unsigned long long count =
+        std::strtoull(count_text.c_str(), &end, 10);
+    EXPECT_NE(end, count_text.c_str()) << line;
+    EXPECT_EQ(*end, '\0') << line;
+    EXPECT_GT(count, 0ull) << line;
+  }
+  EXPECT_GE(parsed, 1);
+
+  // Stop is idempotent; the sample counter froze.
+  const uint64_t samples = profiler.samples();
+  profiler.Stop();
+  EXPECT_EQ(profiler.samples(), samples);
+}
+
+TEST(ProfilerTest, SanitizesHostileFrameNames) {
+  WallProfiler::Options options;
+  options.hz = 2000.0;
+  WallProfiler profiler(options);
+  {
+    AMS_TRACE_SPAN("prof;evil test\tname");
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (profiler.samples() < 10 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  profiler.Stop();
+  bool found = false;
+  for (const auto& [stack, count] : profiler.FoldedCounts()) {
+    EXPECT_EQ(stack.find(' '), std::string::npos) << stack;
+    EXPECT_EQ(stack.find('\t'), std::string::npos) << stack;
+    if (stack == "prof_evil_test_name") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProfilerTest, OptionsFromEnvParsesFileAndHz) {
+  ::setenv("AMS_PROFILE_FILE", "/tmp/p.folded", 1);
+  ::setenv("AMS_PROFILE_HZ", "250", 1);
+  WallProfiler::Options options = WallProfiler::OptionsFromEnv();
+  EXPECT_EQ(options.file_path, "/tmp/p.folded");
+  EXPECT_EQ(options.hz, 250.0);
+  ::unsetenv("AMS_PROFILE_HZ");
+  EXPECT_EQ(WallProfiler::OptionsFromEnv().hz, 97.0);  // prime default
+  ::unsetenv("AMS_PROFILE_FILE");
+  EXPECT_TRUE(WallProfiler::OptionsFromEnv().file_path.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SLO health monitor.
+
+TEST(HealthTest, ParseSpecAcceptsGrammar) {
+  auto result = HealthMonitor::ParseSpec(
+      "serve/latency_ms:p99<50;robust/fault_rate:<0.01;"
+      "serve/requests:count>=100;train/loss<=0.5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::vector<SloTarget>& targets = result.ValueOrDie();
+  ASSERT_EQ(targets.size(), 4u);
+  EXPECT_EQ(targets[0].metric, "serve/latency_ms");
+  EXPECT_EQ(targets[0].aggregate, "p99");
+  EXPECT_TRUE(targets[0].less_than);
+  EXPECT_FALSE(targets[0].or_equal);
+  EXPECT_DOUBLE_EQ(targets[0].threshold, 50.0);
+  EXPECT_EQ(targets[1].aggregate, "value");  // trailing bare ':'
+  EXPECT_DOUBLE_EQ(targets[1].threshold, 0.01);
+  EXPECT_EQ(targets[2].aggregate, "count");
+  EXPECT_FALSE(targets[2].less_than);
+  EXPECT_TRUE(targets[2].or_equal);
+  EXPECT_EQ(targets[3].metric, "train/loss");
+  EXPECT_EQ(targets[3].aggregate, "value");  // no ':' at all
+  EXPECT_TRUE(targets[3].or_equal);
+  // Empty spec: no targets, no error. Empty items are skipped.
+  EXPECT_TRUE(HealthMonitor::ParseSpec("").ValueOrDie().empty());
+  EXPECT_EQ(HealthMonitor::ParseSpec(";;a<1;").ValueOrDie().size(), 1u);
+}
+
+TEST(HealthTest, ParseSpecRejectsMalformed) {
+  for (const char* spec :
+       {"nonsense", "m:p42<5", "m<", "<5", "m<abc", "m<1junk", ":p99<5",
+        "good<1;bad"}) {
+    EXPECT_FALSE(HealthMonitor::ParseSpec(spec).ok()) << spec;
+  }
+}
+
+TEST(HealthTest, EvaluateHysteresisAndRecovery) {
+  auto targets = HealthMonitor::ParseSpec("health_test/g:<5");
+  ASSERT_TRUE(targets.ok());
+  HealthMonitor monitor(targets.MoveValue(), /*fail_after=*/3);
+
+  MetricsSnapshot snapshot;
+  snapshot.gauges.push_back({"health_test/g", 1.0});
+  EXPECT_EQ(monitor.Evaluate(snapshot), HealthState::kOk);
+
+  snapshot.gauges[0].value = 10.0;  // violated
+  EXPECT_EQ(monitor.Evaluate(snapshot), HealthState::kDegraded);
+  EXPECT_EQ(monitor.last_results()[0].streak, 1);
+  EXPECT_EQ(monitor.Evaluate(snapshot), HealthState::kDegraded);
+  EXPECT_EQ(monitor.Evaluate(snapshot), HealthState::kFailing);
+  EXPECT_EQ(monitor.last_results()[0].streak, 3);
+  EXPECT_EQ(monitor.state(), HealthState::kFailing);
+
+  snapshot.gauges[0].value = 1.0;  // recovery resets the streak
+  EXPECT_EQ(monitor.Evaluate(snapshot), HealthState::kOk);
+  EXPECT_EQ(monitor.last_results()[0].streak, 0);
+
+  // The evaluation published the health gauges.
+  EXPECT_EQ(MetricsRegistry::Get().GetGauge("obs/health_state").value(), 0.0);
+  EXPECT_EQ(MetricsRegistry::Get()
+                .GetGauge("obs/slo_violation", {{"slo", "health_test/g:<5"}})
+                .value(),
+            0.0);
+}
+
+TEST(HealthTest, MissingMetricIsNeverViolated) {
+  auto targets =
+      HealthMonitor::ParseSpec("health_test/not_registered_anywhere<1");
+  ASSERT_TRUE(targets.ok());
+  HealthMonitor monitor(targets.MoveValue());
+  EXPECT_EQ(monitor.Evaluate(MetricsSnapshot{}), HealthState::kOk);
+  ASSERT_EQ(monitor.last_results().size(), 1u);
+  EXPECT_TRUE(monitor.last_results()[0].missing);
+  EXPECT_FALSE(monitor.last_results()[0].violated);
+}
+
+TEST(HealthTest, HistogramAggregatesAndValueFallback) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  Histogram& lat = registry.GetHistogram("health_hist_test/lat");
+  lat.Reset();
+  for (int i = 0; i < 100; ++i) lat.Observe(static_cast<double>(i));
+  registry.GetCounter("health_hist_test/reqs").Add(7);
+
+  auto targets = HealthMonitor::ParseSpec(
+      "health_hist_test/lat:p99<10;health_hist_test/lat:count>=100;"
+      "health_hist_test/reqs>5");
+  ASSERT_TRUE(targets.ok());
+  HealthMonitor monitor(targets.MoveValue());
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(monitor.Evaluate(snapshot), HealthState::kDegraded);
+  const std::vector<SloResult> results = monitor.last_results();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].violated);   // p99 of 0..99 is way above 10
+  EXPECT_GT(results[0].observed, 10.0);
+  EXPECT_FALSE(results[1].violated);  // count == 100 >= 100
+  EXPECT_FALSE(results[2].violated);  // counter total 7 > 5
+  EXPECT_DOUBLE_EQ(results[2].observed, 7.0);
+}
+
+TEST(HealthTest, ConfigureGlobalSwapsAndClears) {
+  ASSERT_TRUE(HealthMonitor::ConfigureGlobal("health_global_test/g<1").ok());
+  ASSERT_NE(HealthMonitor::Global(), nullptr);
+  EXPECT_EQ(HealthMonitor::Global()->targets().size(), 1u);
+  // A malformed spec is refused and leaves the previous monitor in place.
+  EXPECT_FALSE(HealthMonitor::ConfigureGlobal("broken").ok());
+  ASSERT_NE(HealthMonitor::Global(), nullptr);
+  EXPECT_EQ(HealthMonitor::Global()->targets()[0].metric,
+            "health_global_test/g");
+  ASSERT_TRUE(HealthMonitor::ConfigureGlobal("").ok());
+  EXPECT_EQ(HealthMonitor::Global(), nullptr);
+}
+
 // ---------------------------------------------------------------------------
 // Run ledger.
 
@@ -791,6 +1303,36 @@ TEST(LedgerTest, ManifestShapeAndFingerprint) {
   ASSERT_NE(metrics, nullptr);
   ASSERT_NE(metrics->Find("counters"), nullptr);
   EXPECT_NE(metrics->Find("counters")->Find("ledger_test/events"), nullptr);
+
+  // With no global monitor, the health block is null (AMS_SLO unset).
+  ASSERT_NE(root.Find("health"), nullptr);
+  EXPECT_TRUE(root.Find("health")->is_null());
+}
+
+TEST(LedgerTest, HealthBlockReflectsGlobalMonitor) {
+  MetricsRegistry::Get().GetGauge("ledger_health_test/g").Set(10.0);
+  ASSERT_TRUE(
+      HealthMonitor::ConfigureGlobal("ledger_health_test/g<5").ok());
+
+  std::ostringstream out;
+  WriteRunLedgerJson("unit_test", 4242, 1.0,
+                     MetricsRegistry::Get().Snapshot(), out);
+  HealthMonitor::ConfigureGlobal("");  // clear before any assertion can bail
+
+  auto result = json::Parse(out.str());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const json::Value* health = result.ValueOrDie().Find("health");
+  ASSERT_NE(health, nullptr);
+  ASSERT_TRUE(health->is_object());
+  EXPECT_EQ(health->Find("state")->string_value, "degraded");
+  const json::Value* targets = health->Find("targets");
+  ASSERT_NE(targets, nullptr);
+  ASSERT_EQ(targets->array.size(), 1u);
+  const json::Value& target = targets->array[0];
+  EXPECT_EQ(target.Find("slo")->string_value, "ledger_health_test/g<5");
+  EXPECT_DOUBLE_EQ(target.Find("observed")->number, 10.0);
+  EXPECT_TRUE(target.Find("violated")->bool_value);
+  EXPECT_FALSE(target.Find("missing")->bool_value);
 }
 
 TEST(LedgerTest, ComponentsFoldIntoFingerprintAndManifest) {

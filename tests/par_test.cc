@@ -19,6 +19,7 @@
 #include "la/matrix.h"
 #include "models/experiment.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "util/rng.h"
 
@@ -105,10 +106,22 @@ TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
 }
 
 TEST(ThreadPoolTest, ConstructionPublishesPoolSizeGauge) {
-  // The periodic reporter derives par/pool_utilization from this gauge.
+  // The periodic reporter derives par/pool_utilization{pool=N} from this
+  // per-pool labeled gauge; two pools no longer clobber each other.
   ThreadPool pool(3);
-  EXPECT_EQ(
-      obs::MetricsRegistry::Get().GetGauge("par/pool_size").value(), 3.0);
+  ThreadPool other(2);
+  EXPECT_NE(pool.pool_id(), other.pool_id());
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  EXPECT_EQ(registry
+                .GetGauge("par/pool_size",
+                          {{"pool", std::to_string(pool.pool_id())}})
+                .value(),
+            3.0);
+  EXPECT_EQ(registry
+                .GetGauge("par/pool_size",
+                          {{"pool", std::to_string(other.pool_id())}})
+                .value(),
+            2.0);
 }
 
 TEST(ThreadPoolTest, SerialPoolRunsInline) {
@@ -131,6 +144,39 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlockSaturatedPool) {
     });
   });
   EXPECT_EQ(inner_iterations.load(), 64);
+}
+
+TEST(ThreadPoolTest, TasksInheritSubmitterTraceContext) {
+  // Every task enqueued while a span is active joins that span's trace —
+  // the cross-thread half of request-causal tracing. Validated under
+  // -DAMS_SANITIZE=thread like the rest of this file.
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  ThreadPool pool(4);
+  obs::TraceContext submit_ctx;
+  {
+    AMS_TRACE_SPAN("par_ctx_test/submit");
+    submit_ctx = obs::CurrentTraceContext();
+    pool.ParallelFor(0, 16, /*grain=*/1, [](int64_t, int64_t) {
+      AMS_TRACE_SPAN("par_ctx_test/chunk");
+    });
+    pool.Submit([] { AMS_TRACE_SPAN("par_ctx_test/task"); }).get();
+  }
+  buffer.SetEnabled(false);
+
+  int linked = 0;
+  for (const obs::SpanRecord& span : buffer.Snapshot()) {
+    const std::string name = span.name;
+    if (name != "par_ctx_test/chunk" && name != "par_ctx_test/task") {
+      continue;
+    }
+    EXPECT_EQ(span.trace_id, submit_ctx.trace_id) << name;
+    EXPECT_EQ(span.parent_id, submit_ctx.span_id) << name;
+    ++linked;
+  }
+  EXPECT_EQ(linked, 17);  // 16 chunks + 1 submitted task
+  buffer.Clear();
 }
 
 TEST(ThreadPoolTest, ParallelismFromEnvPrefersAmsThreads) {

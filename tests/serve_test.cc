@@ -23,6 +23,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -35,6 +37,7 @@
 #include "graph/company_graph.h"
 #include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "robust/atomic_io.h"
 #include "robust/faults.h"
@@ -555,6 +558,166 @@ TEST(ServeServer, HotReloadUnderLoadDrainsOnOldModel) {
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_GT(scored.load(), 0);
   EXPECT_EQ(server.model_version(), 1 + kReloads);
+}
+
+// ---------------------------------------------------------------------------
+// Request-causal tracing across the batcher hop.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTrace, RequestTraceLinksAcrossBatcherHop) {
+  const Fixture& fx = GetFixture();
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+  {
+    InferenceServer server{ServerOptions{}};
+    ASSERT_TRUE(server.LoadModel(ModelA()).ok());
+    auto result = server.Score(fx.blocks[0]);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  buffer.SetEnabled(false);
+
+  const std::vector<obs::SpanRecord> spans = buffer.Snapshot();
+  const obs::SpanRecord* request = nullptr;
+  for (const obs::SpanRecord& span : spans) {
+    if (std::string(span.name) == "serve/request") {
+      ASSERT_EQ(request, nullptr) << "one Score call, one serve/request";
+      request = &span;
+    }
+  }
+  ASSERT_NE(request, nullptr);
+  EXPECT_EQ(request->parent_id, 0u);  // the request roots its trace
+
+  // The queue/batch_form/compute phase spans parent directly under the
+  // request span, run on the batcher thread, and carry the model version.
+  int phases = 0;
+  for (const obs::SpanRecord& span : spans) {
+    const std::string name(span.name);
+    if (name != "serve/queue" && name != "serve/batch_form" &&
+        name != "serve/compute") {
+      continue;
+    }
+    EXPECT_EQ(span.trace_id, request->trace_id) << name;
+    EXPECT_EQ(span.parent_id, request->span_id) << name;
+    EXPECT_EQ(span.arg, 1u) << name;  // first loaded model => version 1
+    EXPECT_NE(span.thread_id, request->thread_id) << name;
+    ++phases;
+  }
+  EXPECT_EQ(phases, 3);
+
+  // The exporter binds the caller and batcher lanes with flow events.
+  std::ostringstream out;
+  obs::TraceExporter::WriteJson(spans, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\""), std::string::npos);
+  buffer.Clear();
+}
+
+TEST(ServeTrace, PhaseHistogramsSumToLatencyWithinFivePercent) {
+  const Fixture& fx = GetFixture();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Histogram& latency = registry.GetHistogram("serve/latency_ms");
+  obs::Histogram& queue = registry.GetHistogram("serve/queue_ms");
+  obs::Histogram& form = registry.GetHistogram("serve/batch_form_ms");
+  obs::Histogram& compute = registry.GetHistogram("serve/compute_ms");
+  latency.Reset();
+  queue.Reset();
+  form.Reset();
+  compute.Reset();
+
+  InferenceServer server{ServerOptions{}};
+  ASSERT_TRUE(server.LoadModel(ModelA()).ok());
+  for (int i = 0; i < 8; ++i) {
+    auto results = server.ScoreBatch(
+        {fx.blocks[0], fx.blocks[1], fx.blocks[2]});
+    for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.status();
+  }
+
+  // Every request observes all three phases exactly once, and the phases
+  // partition admission -> compute-done: only the response fan-out (a few
+  // promise writes) separates their sum from end-to-end latency.
+  const uint64_t n = latency.count();
+  EXPECT_EQ(n, 24u);
+  EXPECT_EQ(queue.count(), n);
+  EXPECT_EQ(form.count(), n);
+  EXPECT_EQ(compute.count(), n);
+  const double phase_sum = queue.sum() + form.sum() + compute.sum();
+  EXPECT_LE(phase_sum, latency.sum());
+  EXPECT_GT(phase_sum, 0.95 * latency.sum());
+}
+
+TEST(ServeTrace, HotReloadUnderLoadKeepsVersionAttribution) {
+  const Fixture& fx = GetFixture();
+  core::AmsModel model_a = ModelA();
+  core::AmsModel model_b = ModelB();
+  const auto pred_a =
+      model_a.Predict(BlockDataset(fx.blocks[0])).MoveValue();
+  const auto pred_b =
+      model_b.Predict(BlockDataset(fx.blocks[0])).MoveValue();
+  ASSERT_FALSE(BitIdentical(pred_a, pred_b));
+
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Get();
+  buffer.Clear();
+  buffer.SetEnabled(true);
+
+  // Hammer threads tag each call with its own root span and record which
+  // model's output the response was, keyed by trace id; the compute spans
+  // recorded by the batcher must agree about the serving version.
+  ServerOptions options;
+  options.max_batch = 4;
+  options.max_wait_ms = 0.2;
+  std::mutex map_mu;
+  std::map<uint64_t, uint64_t> version_by_trace;
+  std::atomic<bool> stop{false};
+  std::atomic<int> unattributable{0};
+  {
+    InferenceServer server(options);
+    ASSERT_TRUE(server.LoadModel(ModelA()).ok());  // version 1
+    std::vector<std::thread> hammers;
+    for (int i = 0; i < 4; ++i) {
+      hammers.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          obs::ScopedSpan root("serve_trace_test/client_call");
+          const uint64_t trace_id = root.context().trace_id;
+          auto result = server.Score(fx.blocks[0]);
+          if (!result.ok()) {
+            unattributable.fetch_add(1);
+            continue;
+          }
+          const std::vector<double>& scores = result.ValueOrDie();
+          uint64_t version = 0;
+          if (BitIdentical(scores, pred_a)) version = 1;
+          if (BitIdentical(scores, pred_b)) version = 2;
+          if (version == 0) {
+            unattributable.fetch_add(1);
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(map_mu);
+          version_by_trace[trace_id] = version;
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(server.LoadModel(ModelB()).ok());  // version 2
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true);
+    for (auto& t : hammers) t.join();
+  }
+  buffer.SetEnabled(false);
+  EXPECT_EQ(unattributable.load(), 0);
+  ASSERT_FALSE(version_by_trace.empty());
+
+  int checked = 0;
+  for (const obs::SpanRecord& span : buffer.Snapshot()) {
+    if (std::string(span.name) != "serve/compute") continue;
+    const auto it = version_by_trace.find(span.trace_id);
+    if (it == version_by_trace.end()) continue;  // raced the stop flag
+    EXPECT_EQ(span.arg, it->second) << "trace " << span.trace_id;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+  buffer.Clear();
 }
 
 TEST(ServeServer, OptionsFromEnvParsesAndClamps) {

@@ -1,17 +1,61 @@
 #!/bin/sh
-# Observability gate: run the obs-labeled test suite, then verify that the
+# Observability gate: run the obs-labeled test suite, verify that the
 # recorded benchmark baselines in the repo root still parse and self-compare
-# cleanly through bench_diff (the same code path the regression gate uses).
+# cleanly through bench_diff (the same code path the regression gate uses),
+# then smoke the live observability stack end to end: run the quickstart
+# with the sampling profiler (97 Hz), an SLO spec, and the periodic
+# reporter, and validate
+#   * the folded-stack profiler output is flamegraph-consumable (every line
+#     "frames count" with a positive integer count) and sampled at least
+#     one real ams span frame,
+#   * the JSONL telemetry stream parses, carries the v2 delta schema, the
+#     per-tick "health" state driven by AMS_SLO, and the sampler's
+#     obs/profile_samples counter.
 #
 # Usage: check_obs.sh BUILD_DIR REPO_DIR
 set -eu
 BUILD_DIR=${1:?usage: check_obs.sh BUILD_DIR REPO_DIR}
 REPO_DIR=${2:?usage: check_obs.sh BUILD_DIR REPO_DIR}
 BENCH_DIFF="$BUILD_DIR/tools/bench_diff"
+QUICKSTART="$BUILD_DIR/examples/quickstart"
 
 cd "$BUILD_DIR"
 ctest -L obs --output-on-failure
 
 "$BENCH_DIFF" --check "$REPO_DIR/BENCH_robust.json"
 "$BENCH_DIFF" --check "$REPO_DIR/BENCH_obs.json"
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# A lax SLO (never violated) still forces per-tick health evaluation, so
+# every JSONL line carries the "health" field.
+AMS_PROFILE_FILE="$TMP/profile.folded" AMS_PROFILE_HZ=97 \
+AMS_SLO="robust/fault_rate:<1e12" \
+AMS_TELEMETRY_INTERVAL_MS=50 AMS_TELEMETRY_FILE="$TMP/telemetry.jsonl" \
+  "$QUICKSTART" > "$TMP/stdout.txt" 2> "$TMP/stderr.txt" || {
+    echo "check_obs: quickstart failed" >&2
+    cat "$TMP/stderr.txt" >&2
+    exit 1
+  }
+
+# Folded stacks: non-empty; every line is "frames count" (frame names are
+# sanitized on record, so whitespace only ever separates stack from count).
+awk '
+  NF != 2 { print "check_obs: bad folded line: " $0; bad = 1 }
+  $2 !~ /^[0-9]+$/ || $2 == "0" { print "check_obs: bad count: " $0; bad = 1 }
+  END { if (NR == 0) { print "check_obs: empty profile"; exit 1 }
+        exit bad }
+' "$TMP/profile.folded"
+grep -q 'ams/' "$TMP/profile.folded" || {
+  echo "check_obs: no ams span frame ever sampled" >&2
+  cat "$TMP/profile.folded" >&2
+  exit 1
+}
+
+"$BENCH_DIFF" --lint-jsonl "$TMP/telemetry.jsonl" --min-lines=2 \
+  --require=ams-telemetry-delta-v2 \
+  --require='"health":"ok"' \
+  --require=obs/profile_samples
+
 echo "check_obs: OK"

@@ -1,9 +1,9 @@
 #!/bin/sh
 # Live-telemetry acceptance smoke: run the quickstart with a 50 ms periodic
 # reporter and a run ledger, then verify that
-#   * the JSONL stream has >= 2 delta snapshots, every line valid JSON,
-#   * the derived gauges (par/pool_utilization, robust/fault_rate) and at
-#     least one per-model labeled instrument appear in the stream,
+#   * the JSONL stream has >= 2 v2 delta snapshots, every line valid JSON,
+#   * the derived gauges (per-pool par/pool_utilization, robust/fault_rate)
+#     and at least one per-model labeled instrument appear in the stream,
 #   * the run ledger was written and parses as a bench_diff input.
 #
 # Usage: check_quickstart_telemetry.sh QUICKSTART_BINARY BENCH_DIFF_BINARY
@@ -24,7 +24,7 @@ AMS_TELEMETRY_FILE="$TMP/telemetry.jsonl" AMS_RUN_LEDGER="$TMP/ledger" \
 # In the JSONL stream a labeled counter name serializes with its quotes
 # escaped, so the literal bytes to look for are: model=\"
 "$BENCH_DIFF" --lint-jsonl "$TMP/telemetry.jsonl" --min-lines=2 \
-  --require=ams-telemetry-delta-v1 \
+  --require=ams-telemetry-delta-v2 \
   --require=par/pool_utilization \
   --require=robust/fault_rate \
   --require='model=\"'
