@@ -10,19 +10,25 @@
 // to regenerate BENCH_par.json, the perf baseline later PRs diff against.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <string>
+#include <thread>
 
 #include "data/features.h"
 #include "data/generator.h"
 #include "gbdt/gbdt.h"
 #include "gnn/gat.h"
 #include "graph/company_graph.h"
+#include "la/gemm_kernels.h"
 #include "la/matrix.h"
+#include "la/pool.h"
 #include "models/hpo.h"
 #include "models/zoo.h"
 #include "nn/dense.h"
 #include "optim/optimizer.h"
 #include "par/thread_pool.h"
+#include "tensor/fusion.h"
 #include "tensor/tensor.h"
 #include "ts/arima.h"
 #include "util/rng.h"
@@ -50,6 +56,98 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+// Raw GEMM microkernels, scalar vs AVX2, bypassing ParallelFor dispatch so
+// the two arms isolate the SIMD speedup on any host. simd:1 is skipped
+// (with error) where AVX2 is unavailable.
+void BM_MatMulSimd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool use_avx2 = state.range(1) != 0;
+  const la::internal::GemmKernels* kernels =
+      use_avx2 ? la::internal::Avx2GemmKernels()
+               : &la::internal::ScalarGemmKernels();
+  if (use_avx2 && (kernels == nullptr || !la::internal::CpuSupportsAvx2())) {
+    state.SkipWithError("AVX2 unavailable on this build/host");
+    return;
+  }
+  Rng rng(1);
+  la::Matrix a = RandomMatrix(n, n, &rng);
+  la::Matrix b = RandomMatrix(n, n, &rng);
+  la::Matrix c(n, n);
+  for (auto _ : state) {
+    std::fill_n(c.data(), static_cast<size_t>(n) * n, 0.0);
+    kernels->matmul_rows(a.data(), b.data(), c.data(), 0, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMulSimd)
+    ->ArgNames({"n", "simd"})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+// The pooled arena against the system allocator on a tape-like size mix
+// (a few small nodes and buffers up to a mid-sized activation).
+void BM_PoolAllocVsMalloc(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  constexpr size_t kSizes[] = {256, 2048, 8192, 24576, 73728};
+  constexpr int kLive = 8;
+  la::BufferPool& pool = la::BufferPool::Global();
+  for (auto _ : state) {
+    // No DoNotOptimize on ptrs[i]: Allocate / operator new are opaque calls
+    // the compiler cannot elide, and GCC's "+m,r" asm constraint can spill
+    // an indexed element to a temp, dead-storing the real array slot.
+    void* ptrs[kLive];
+    for (int i = 0; i < kLive; ++i) {
+      const size_t bytes = kSizes[i % 5];
+      ptrs[i] = pooled ? pool.Allocate(bytes) : ::operator new(bytes);
+    }
+    benchmark::ClobberMemory();
+    for (int i = 0; i < kLive; ++i) {
+      if (pooled) {
+        la::BufferPool::Free(ptrs[i]);
+      } else {
+        ::operator delete(ptrs[i]);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kLive);
+}
+BENCHMARK(BM_PoolAllocVsMalloc)->ArgName("pooled")->Arg(0)->Arg(1);
+
+// A bias+sigmoid+gate+scale block, op-per-op vs one fused tape node,
+// forward and backward (the shape dense/LSTM layers record per step).
+void BM_FusedSigmoidChain(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  const int n = 256;
+  Rng rng(9);
+  tensor::Tensor x = tensor::Tensor::Parameter(RandomMatrix(n, n, &rng));
+  tensor::Tensor bias = tensor::Tensor::Parameter(RandomMatrix(1, n, &rng));
+  tensor::Tensor gate = tensor::Tensor::Parameter(RandomMatrix(n, n, &rng));
+  for (auto _ : state) {
+    tensor::Tensor out;
+    if (fused) {
+      out = tensor::ElementwiseChain()
+                .Add(bias)
+                .Sigmoid()
+                .Mul(gate)
+                .Scale(0.5)
+                .Apply(x);
+    } else {
+      out = tensor::Scale(
+          tensor::Mul(tensor::Sigmoid(tensor::Add(x, bias)), gate), 0.5);
+    }
+    tensor::Backward(tensor::Sum(out));
+    x.ZeroGrad();
+    bias.ZeroGrad();
+    gate.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * 4);
+}
+BENCHMARK(BM_FusedSigmoidChain)->ArgName("fused")->Arg(0)->Arg(1);
 
 void BM_AutogradStep(benchmark::State& state) {
   const int batch = 512;
@@ -166,7 +264,7 @@ void BM_PoolParallelFor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kIterations);
   par::SetDefaultParallelism(0);
 }
-BENCHMARK(BM_PoolParallelFor)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_PoolParallelFor)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 
 void BM_PoolSubmitDrain(benchmark::State& state) {
   par::SetDefaultParallelism(static_cast<int>(state.range(0)));
@@ -183,7 +281,7 @@ void BM_PoolSubmitDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 128);
   par::SetDefaultParallelism(0);
 }
-BENCHMARK(BM_PoolSubmitDrain)->Arg(2)->Arg(4);
+BENCHMARK(BM_PoolSubmitDrain)->ArgName("threads")->Arg(2)->Arg(4);
 
 void BM_MatMulParallel(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -251,4 +349,20 @@ BENCHMARK(BM_ParallelHpo)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so every JSON report carries the host's core count in its
+// context block. tools/bench_diff reads context.num_cpus (the native
+// google-benchmark field) and refuses to compare thread-scaling metrics
+// across hosts with different core counts; ams_simd records which GEMM
+// kernels the run dispatched to.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "ams_hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext("ams_simd",
+                              ams::la::internal::ActiveGemmKernels().name);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

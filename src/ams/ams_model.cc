@@ -14,6 +14,7 @@
 #include "optim/optimizer.h"
 #include "robust/checkpoint.h"
 #include "robust/faults.h"
+#include "tensor/fusion.h"
 #include "tensor/tensor.h"
 #include "util/logging.h"
 
@@ -234,9 +235,11 @@ AmsModel::MasterOutput AmsModel::MasterForward(const Tensor& x, bool training,
     out.assembled = out.generated;
   } else {
     Tensor global_row = tensor::Transpose(beta_c_);  // 1 x (F+1)
-    out.assembled =
-        tensor::Add(tensor::Scale(out.generated, config_.gamma),
-                    tensor::Scale(global_row, 1.0 - config_.gamma));
+    // gamma * generated + (1 - gamma) * beta_c as one fused node.
+    out.assembled = tensor::ElementwiseChain()
+                        .Scale(config_.gamma)
+                        .AddScaled(global_row, 1.0 - config_.gamma)
+                        .Apply(out.generated);
   }
   return out;
 }

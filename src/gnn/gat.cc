@@ -1,6 +1,7 @@
 #include "gnn/gat.h"
 
 #include "nn/init.h"
+#include "tensor/fusion.h"
 
 namespace ams::gnn {
 
@@ -48,9 +49,12 @@ Tensor GatLayer::Forward(const Tensor& x, const Matrix& mask, bool training,
     // e_ij = LeakyReLU(s_src_i + s_dst_j).
     Tensor s_src = tensor::MatMul(hidden, attn_src_[h]);  // n x 1
     Tensor s_dst = tensor::MatMul(hidden, attn_dst_[h]);  // n x 1
-    Tensor logits = tensor::Add(zeros, s_src);            // broadcast rows
-    logits = tensor::Add(logits, tensor::Transpose(s_dst));  // broadcast cols
-    logits = tensor::LeakyRelu(logits, leaky_alpha_);
+    // Both broadcast adds and the LeakyReLU record one fused node.
+    Tensor logits = tensor::ElementwiseChain()
+                        .Add(s_src)                      // broadcast rows
+                        .Add(tensor::Transpose(s_dst))   // broadcast cols
+                        .LeakyRelu(leaky_alpha_)
+                        .Apply(zeros);
     Tensor attention = tensor::MaskedRowSoftmax(logits, mask);
     if (attn_dropout > 0.0 && training) {
       attention =
@@ -62,11 +66,10 @@ Tensor GatLayer::Forward(const Tensor& x, const Matrix& mask, bool training,
   }
   if (num_heads_ == 1) return head_outputs[0];
   if (!average_heads_) return tensor::ConcatCols(head_outputs);
-  Tensor sum = head_outputs[0];
-  for (int h = 1; h < num_heads_; ++h) {
-    sum = tensor::Add(sum, head_outputs[h]);
-  }
-  return tensor::Scale(sum, 1.0 / num_heads_);
+  tensor::ElementwiseChain mean;
+  for (int h = 1; h < num_heads_; ++h) mean.Add(head_outputs[h]);
+  mean.Scale(1.0 / num_heads_);
+  return mean.Apply(head_outputs[0]);
 }
 
 std::vector<Tensor> GatLayer::Parameters() const {

@@ -1,0 +1,121 @@
+// AVX2 GEMM microkernels. This translation unit is compiled with
+// -mavx2 -ffp-contract=off (see src/la/CMakeLists.txt) and deliberately
+// includes almost nothing: any inline function compiled here could be
+// emitted with AVX2 instructions and picked by the linker for all callers,
+// which would crash non-AVX2 hosts before dispatch ever runs.
+//
+// Bit-identity with the scalar kernels (the contract golden files are
+// recorded against): vector lanes hold independent output columns, each
+// accumulated in ascending k with one IEEE multiply and one IEEE add per
+// product — never FMA. -ffp-contract=off stops the compiler from fusing
+// the scalar tails.
+#include "la/gemm_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ams::la::internal {
+
+namespace {
+
+inline int MinInt(int a, int b) { return a < b ? a : b; }
+
+/// y[0..n) += a * x[0..n), 4 lanes at a time, scalar tail.
+inline void Axpy(double* y, const double* x, double a, int n) {
+  const __m256d va = _mm256_set1_pd(a);
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + j);
+    const __m256d vy = _mm256_loadu_pd(y + j);
+    _mm256_storeu_pd(y + j, _mm256_add_pd(vy, _mm256_mul_pd(va, vx)));
+  }
+  for (; j < n; ++j) y[j] += a * x[j];
+}
+
+void Avx2MatMulRows(const double* a, const double* b, double* c, int64_t r0,
+                    int64_t r1, int inner, int out_cols) {
+  for (int kk = 0; kk < inner; kk += kGemmBlockK) {
+    const int k_end = MinInt(kk + kGemmBlockK, inner);
+    for (int jj = 0; jj < out_cols; jj += kGemmBlockJ) {
+      const int j_end = MinInt(jj + kGemmBlockJ, out_cols);
+      for (int64_t i = r0; i < r1; ++i) {
+        double* c_row = c + i * out_cols;
+        const double* a_row = a + i * inner;
+        for (int k = kk; k < k_end; ++k) {
+          const double a_ik = a_row[k];
+          if (a_ik == 0.0) continue;
+          const double* b_row = b + static_cast<int64_t>(k) * out_cols;
+          Axpy(c_row + jj, b_row + jj, a_ik, j_end - jj);
+        }
+      }
+    }
+  }
+}
+
+void Avx2TransposeMatMulRows(const double* a, const double* b, double* c,
+                             int64_t i0, int64_t i1, int a_rows, int a_cols,
+                             int out_cols) {
+  for (int k = 0; k < a_rows; ++k) {
+    const double* a_row = a + static_cast<int64_t>(k) * a_cols;
+    const double* b_row = b + static_cast<int64_t>(k) * out_cols;
+    for (int64_t i = i0; i < i1; ++i) {
+      const double a_ki = a_row[i];
+      if (a_ki == 0.0) continue;
+      Axpy(c + i * out_cols, b_row, a_ki, out_cols);
+    }
+  }
+}
+
+void Avx2MatMulTransposeRows(const double* a, const double* b, double* c,
+                             int64_t r0, int64_t r1, int inner, int b_rows) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const double* a_row = a + i * inner;
+    double* c_row = c + i * b_rows;
+    int j = 0;
+    // Four output columns at once: each lane is one dot product with its
+    // own accumulator, k ascending — the scalar order, four at a time.
+    for (; j + 4 <= b_rows; j += 4) {
+      const double* b0 = b + static_cast<int64_t>(j) * inner;
+      const double* b1 = b0 + inner;
+      const double* b2 = b1 + inner;
+      const double* b3 = b2 + inner;
+      __m256d acc = _mm256_setzero_pd();
+      for (int k = 0; k < inner; ++k) {
+        const __m256d va = _mm256_set1_pd(a_row[k]);
+        const __m256d vb = _mm256_set_pd(b3[k], b2[k], b1[k], b0[k]);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+      }
+      _mm256_storeu_pd(c_row + j, acc);
+    }
+    for (; j < b_rows; ++j) {
+      const double* b_row = b + static_cast<int64_t>(j) * inner;
+      double acc = 0.0;
+      for (int k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
+      c_row[j] = acc;
+    }
+  }
+}
+
+constexpr GemmKernels kAvx2Kernels = {
+    Avx2MatMulRows,
+    Avx2TransposeMatMulRows,
+    Avx2MatMulTransposeRows,
+    "avx2",
+};
+
+}  // namespace
+
+const GemmKernels* Avx2GemmKernels() { return &kAvx2Kernels; }
+
+}  // namespace ams::la::internal
+
+#else  // !defined(__AVX2__)
+
+namespace ams::la::internal {
+
+const GemmKernels* Avx2GemmKernels() { return nullptr; }
+
+}  // namespace ams::la::internal
+
+#endif

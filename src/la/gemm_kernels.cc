@@ -1,0 +1,103 @@
+// Scalar GEMM kernels (the reference FP semantics) and the process-wide
+// kernel dispatch. The AVX2 kernels live in gemm_avx2.cc, compiled with
+// -mavx2 -ffp-contract=off; both implementations share the blocked loop
+// structure so they are bit-identical (see gemm_kernels.h).
+#include "la/gemm_kernels.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.h"
+
+namespace ams::la::internal {
+
+namespace {
+
+void ScalarMatMulRows(const double* a, const double* b, double* c, int64_t r0,
+                      int64_t r1, int inner, int out_cols) {
+  for (int kk = 0; kk < inner; kk += kGemmBlockK) {
+    const int k_end = std::min(kk + kGemmBlockK, inner);
+    for (int jj = 0; jj < out_cols; jj += kGemmBlockJ) {
+      const int j_end = std::min(jj + kGemmBlockJ, out_cols);
+      for (int64_t i = r0; i < r1; ++i) {
+        double* c_row = c + i * out_cols;
+        const double* a_row = a + i * inner;
+        for (int k = kk; k < k_end; ++k) {
+          const double a_ik = a_row[k];
+          if (a_ik == 0.0) continue;
+          const double* b_row = b + static_cast<int64_t>(k) * out_cols;
+          for (int j = jj; j < j_end; ++j) c_row[j] += a_ik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+void ScalarTransposeMatMulRows(const double* a, const double* b, double* c,
+                               int64_t i0, int64_t i1, int a_rows, int a_cols,
+                               int out_cols) {
+  for (int k = 0; k < a_rows; ++k) {
+    const double* a_row = a + static_cast<int64_t>(k) * a_cols;
+    const double* b_row = b + static_cast<int64_t>(k) * out_cols;
+    for (int64_t i = i0; i < i1; ++i) {
+      const double a_ki = a_row[i];
+      if (a_ki == 0.0) continue;
+      double* c_row = c + i * out_cols;
+      for (int j = 0; j < out_cols; ++j) c_row[j] += a_ki * b_row[j];
+    }
+  }
+}
+
+void ScalarMatMulTransposeRows(const double* a, const double* b, double* c,
+                               int64_t r0, int64_t r1, int inner, int b_rows) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const double* a_row = a + i * inner;
+    double* c_row = c + i * b_rows;
+    for (int j = 0; j < b_rows; ++j) {
+      const double* b_row = b + static_cast<int64_t>(j) * inner;
+      double acc = 0.0;
+      for (int k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
+      c_row[j] = acc;
+    }
+  }
+}
+
+constexpr GemmKernels kScalarKernels = {
+    ScalarMatMulRows,
+    ScalarTransposeMatMulRows,
+    ScalarMatMulTransposeRows,
+    "scalar",
+};
+
+}  // namespace
+
+const GemmKernels& ScalarGemmKernels() { return kScalarKernels; }
+
+bool CpuSupportsAvx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const GemmKernels& ActiveGemmKernels() {
+  static const GemmKernels& kernels = []() -> const GemmKernels& {
+    const char* env = std::getenv("AMS_SIMD");
+    const std::string mode = env != nullptr ? env : "auto";
+    if (mode == "off" || mode == "scalar") return kScalarKernels;
+    const GemmKernels* avx2 = Avx2GemmKernels();
+    if (avx2 != nullptr && CpuSupportsAvx2()) return *avx2;
+    if (mode == "avx2") {
+      AMS_LOG(Warning) << "AMS_SIMD=avx2 requested but "
+                    << (avx2 == nullptr ? "this build has no AVX2 kernels"
+                                        : "the CPU lacks AVX2")
+                    << "; using scalar GEMM kernels";
+    }
+    return kScalarKernels;
+  }();
+  return kernels;
+}
+
+}  // namespace ams::la::internal

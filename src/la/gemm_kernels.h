@@ -1,0 +1,66 @@
+// GEMM microkernels behind la::Matrix, runtime-dispatched between a portable
+// scalar implementation and an AVX2 one compiled in its own translation unit.
+//
+// FP-order contract: for a fixed problem shape, every kernel accumulates each
+// output element's products in ascending k order with one IEEE multiply and
+// one IEEE add per product — the historical scalar i-k-j semantics. The AVX2
+// kernels vectorize across *output columns* (independent elements, one lane
+// each) and deliberately use mul+add instead of FMA, so their results are
+// bit-identical to the scalar kernels and the committed golden files stay
+// valid. The AVX2 TU is compiled with -ffp-contract=off so the compiler
+// cannot re-fuse those operations behind our back.
+//
+// Dispatch: resolved once per process. AMS_SIMD=off|scalar forces the scalar
+// kernels; AMS_SIMD=avx2 requests AVX2 (falls back with a warning when the
+// CPU lacks it); unset/auto picks AVX2 when __builtin_cpu_supports agrees.
+#ifndef AMS_LA_GEMM_KERNELS_H_
+#define AMS_LA_GEMM_KERNELS_H_
+
+#include <cstdint>
+
+namespace ams::la::internal {
+
+// Cache-blocking tile sizes shared by all kernel implementations: a
+// kGemmBlockK x kGemmBlockJ panel of B (64 * 256 * 8 bytes = 128 KiB) plus
+// the live output row segments stay cache-resident while a row range
+// streams through them.
+inline constexpr int kGemmBlockK = 64;
+inline constexpr int kGemmBlockJ = 256;
+
+/// Raw-pointer kernel table. All matrices are dense row-major; strides are
+/// implied by the dimensions (A is packed on `inner`/`a_cols`, B on
+/// `out_cols`, C on `out_cols`/`b_rows`).
+struct GemmKernels {
+  /// C rows [r0, r1) += A rows * B, cache-blocked over (k, j).
+  /// A: (>= r1) x inner, B: inner x out_cols, C: (>= r1) x out_cols.
+  void (*matmul_rows)(const double* a, const double* b, double* c, int64_t r0,
+                      int64_t r1, int inner, int out_cols);
+  /// C rows [i0, i1) of A^T * B (i indexes A's columns, k A/B rows ascends).
+  /// A: a_rows x a_cols, B: a_rows x out_cols, C: a_cols x out_cols.
+  void (*transpose_matmul_rows)(const double* a, const double* b, double* c,
+                                int64_t i0, int64_t i1, int a_rows, int a_cols,
+                                int out_cols);
+  /// C rows [r0, r1) of A * B^T: independent row dot products.
+  /// A: (>= r1) x inner, B: b_rows x inner, C: (>= r1) x b_rows.
+  void (*matmul_transpose_rows)(const double* a, const double* b, double* c,
+                                int64_t r0, int64_t r1, int inner, int b_rows);
+  const char* name;
+};
+
+/// The portable scalar kernels (the pre-SIMD reference semantics).
+const GemmKernels& ScalarGemmKernels();
+
+/// The AVX2 kernels, or nullptr when this build has no AVX2 translation
+/// unit (non-x86 target or compiler without -mavx2). Does NOT check the
+/// running CPU — callers combine this with CpuSupportsAvx2().
+const GemmKernels* Avx2GemmKernels();
+
+/// True when the running CPU executes AVX2 instructions.
+bool CpuSupportsAvx2();
+
+/// The kernels la::Matrix uses, resolved once from AMS_SIMD + cpuid.
+const GemmKernels& ActiveGemmKernels();
+
+}  // namespace ams::la::internal
+
+#endif  // AMS_LA_GEMM_KERNELS_H_

@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "la/gemm_kernels.h"
 #include "par/thread_pool.h"
 
 namespace ams::la {
@@ -16,7 +17,9 @@ namespace {
 // the per-element floating-point addition order is always k-ascending —
 // identical to the historical single-threaded i-k-j kernel — and row-range
 // boundaries never depend on the worker count, so every thread count
-// produces bit-identical results.
+// produces bit-identical results. The scalar and AVX2 microkernels share
+// this contract (see gemm_kernels.h), so the SIMD choice never changes
+// bits either.
 //
 // Products below kParallelFlops run entirely on the calling thread: the
 // autograd/GAT stack issues thousands of small GEMMs where a pool handoff
@@ -25,11 +28,6 @@ constexpr int64_t kParallelFlops = int64_t{1} << 18;
 // Rows per pool chunk; small enough to balance ragged tails, large enough
 // that chunk claiming is noise.
 constexpr int64_t kRowGrain = 16;
-// Tile sizes for the blocked kernel: a kBlockK x kBlockJ panel of B
-// (64 * 256 * 8 bytes = 128 KiB) plus the live output row segments stay
-// cache-resident while a row range streams through them.
-constexpr int kBlockK = 64;
-constexpr int kBlockJ = 256;
 
 }  // namespace
 
@@ -127,64 +125,6 @@ Matrix Matrix::Transposed() const {
 
 namespace {
 
-/// out rows [r0, r1) of A * B, cache-blocked over (k, j). Per output
-/// element the k blocks advance in ascending order, so the addition order
-/// matches the plain i-k-j kernel exactly.
-void MatMulRows(const Matrix& a, const Matrix& b, Matrix* out, int64_t r0,
-                int64_t r1) {
-  const int inner = a.cols();
-  const int out_cols = b.cols();
-  for (int kk = 0; kk < inner; kk += kBlockK) {
-    const int k_end = std::min(kk + kBlockK, inner);
-    for (int jj = 0; jj < out_cols; jj += kBlockJ) {
-      const int j_end = std::min(jj + kBlockJ, out_cols);
-      for (int64_t i = r0; i < r1; ++i) {
-        double* out_row = out->row_data(static_cast<int>(i));
-        const double* a_row = a.row_data(static_cast<int>(i));
-        for (int k = kk; k < k_end; ++k) {
-          const double a_ik = a_row[k];
-          if (a_ik == 0.0) continue;
-          const double* b_row = b.row_data(k);
-          for (int j = jj; j < j_end; ++j) out_row[j] += a_ik * b_row[j];
-        }
-      }
-    }
-  }
-}
-
-/// out rows [i0, i1) of A^T * B (i indexes A's columns). k (A/B rows)
-/// ascends per element, matching the historical kernel.
-void TransposeMatMulRows(const Matrix& a, const Matrix& b, Matrix* out,
-                         int64_t i0, int64_t i1) {
-  const int out_cols = b.cols();
-  for (int k = 0; k < a.rows(); ++k) {
-    const double* a_row = a.row_data(k);
-    const double* b_row = b.row_data(k);
-    for (int64_t i = i0; i < i1; ++i) {
-      const double a_ki = a_row[i];
-      if (a_ki == 0.0) continue;
-      double* out_row = out->row_data(static_cast<int>(i));
-      for (int j = 0; j < out_cols; ++j) out_row[j] += a_ki * b_row[j];
-    }
-  }
-}
-
-/// out rows [r0, r1) of A * B^T: independent row dot products.
-void MatMulTransposeRows(const Matrix& a, const Matrix& b, Matrix* out,
-                         int64_t r0, int64_t r1) {
-  const int inner = a.cols();
-  for (int64_t i = r0; i < r1; ++i) {
-    const double* a_row = a.row_data(static_cast<int>(i));
-    double* out_row = out->row_data(static_cast<int>(i));
-    for (int j = 0; j < b.rows(); ++j) {
-      const double* b_row = b.row_data(j);
-      double acc = 0.0;
-      for (int k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
-    }
-  }
-}
-
 /// Runs `rows` output rows through `kernel`, on the pool when the product
 /// is large enough to amortize the handoff.
 template <typename Kernel>
@@ -208,8 +148,10 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   Matrix out(rows_, other.cols_, 0.0);
   const int64_t flops =
       int64_t{rows_} * cols_ * other.cols_;
+  const internal::GemmKernels& kernels = internal::ActiveGemmKernels();
   DispatchGemm(flops, rows_, [&](int64_t r0, int64_t r1) {
-    MatMulRows(*this, other, &out, r0, r1);
+    kernels.matmul_rows(data(), other.data(), out.data(), r0, r1, cols_,
+                        other.cols_);
   });
   return out;
 }
@@ -219,8 +161,10 @@ Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   Matrix out(cols_, other.cols_, 0.0);
   const int64_t flops =
       int64_t{rows_} * cols_ * other.cols_;
+  const internal::GemmKernels& kernels = internal::ActiveGemmKernels();
   DispatchGemm(flops, cols_, [&](int64_t i0, int64_t i1) {
-    TransposeMatMulRows(*this, other, &out, i0, i1);
+    kernels.transpose_matmul_rows(data(), other.data(), out.data(), i0, i1,
+                                  rows_, cols_, other.cols_);
   });
   return out;
 }
@@ -230,8 +174,10 @@ Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   Matrix out(rows_, other.rows_, 0.0);
   const int64_t flops =
       int64_t{rows_} * cols_ * other.rows_;
+  const internal::GemmKernels& kernels = internal::ActiveGemmKernels();
   DispatchGemm(flops, rows_, [&](int64_t r0, int64_t r1) {
-    MatMulTransposeRows(*this, other, &out, r0, r1);
+    kernels.matmul_transpose_rows(data(), other.data(), out.data(), r0, r1,
+                                  cols_, other.rows_);
   });
   return out;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "la/pool.h"
 #include "util/status.h"
 
 namespace ams::la {
@@ -124,9 +125,14 @@ class Matrix {
   std::string ToString(int precision = 4) const;
 
  private:
+  // Buffers come from the process-wide BufferPool (la/pool.h): the autograd
+  // tape allocates a fresh matrix per op, and pooling turns that churn into
+  // free-list reuse instead of malloc traffic.
+  using Buffer = std::vector<double, PoolAllocator<double>>;
+
   int rows_;
   int cols_;
-  std::vector<double> data_;
+  Buffer data_;
 };
 
 inline Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }

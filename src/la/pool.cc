@@ -1,0 +1,232 @@
+#include "la/pool.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ams::la {
+
+namespace {
+
+// Every request is rounded up to a multiple of this (bytes). 256 keeps the
+// class count small while the tape's dominant shapes (1x1 scalars through
+// mid-sized layer activations) land on few enough classes to reuse well.
+constexpr size_t kAllocationUnit = 256;
+// Classes [1, kSmallClasses] units get an exact free list; larger blocks go
+// through the best-fit map.
+constexpr size_t kSmallClasses = 256;  // exact lists up to 64 KiB
+// A cached large block is reused only when its capacity is at most this
+// multiple of the request, bounding best-fit waste.
+constexpr size_t kBestFitSlack = 2;
+// Bytes reserved in front of every block for the capacity header. 16 keeps
+// the user pointer at the system allocator's own alignment.
+constexpr size_t kHeaderBytes = 16;
+
+constexpr uint64_t kDefaultMaxResident = uint64_t{512} << 20;  // 512 MiB
+
+size_t RoundUpToUnit(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  return (bytes + kAllocationUnit - 1) / kAllocationUnit * kAllocationUnit;
+}
+
+// The live pool, published for the static Free() path. Cleared in the
+// destructor so frees that arrive after static teardown (matrices with
+// static storage duration) fall back to the system allocator.
+std::atomic<BufferPool*> g_pool{nullptr};
+
+}  // namespace
+
+struct BufferPool::Impl {
+  std::mutex mu;
+  // small[units]: blocks of exactly units * kAllocationUnit capacity.
+  std::array<std::vector<void*>, kSmallClasses + 1> small;
+  // capacity -> cached blocks of that capacity, for large requests.
+  std::map<size_t, std::vector<void*>> large;
+
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> resident{0};
+  std::atomic<uint64_t> in_use{0};
+  std::atomic<uint64_t> frees{0};
+
+  obs::Counter* hits_counter;
+  obs::Counter* misses_counter;
+  obs::Gauge* hit_rate_gauge;
+  obs::Gauge* resident_gauge;
+  obs::Gauge* in_use_gauge;
+
+  Impl() {
+    auto& registry = obs::MetricsRegistry::Get();
+    hits_counter = &registry.GetCounter("la/pool_hits");
+    misses_counter = &registry.GetCounter("la/pool_misses");
+    hit_rate_gauge = &registry.GetGauge("la/pool_hit_rate");
+    resident_gauge = &registry.GetGauge("la/pool_resident_bytes");
+    in_use_gauge = &registry.GetGauge("la/pool_in_use_bytes");
+  }
+
+  // Gauges are a sampled view for reporters, not an exact ledger (the
+  // atomics behind GetStats are). Refreshing them on every pool op costs
+  // five extra atomic accesses on the hottest path in the codebase, so we
+  // refresh every 64th op and at the explicit read points.
+  static constexpr uint64_t kGaugeRefreshMask = 63;
+
+  void UpdateGauges() {
+    const uint64_t a = allocs.load(std::memory_order_relaxed);
+    const uint64_t h = hits.load(std::memory_order_relaxed);
+    hit_rate_gauge->Set(a == 0 ? 0.0 : static_cast<double>(h) / a);
+    resident_gauge->Set(
+        static_cast<double>(resident.load(std::memory_order_relaxed)));
+    in_use_gauge->Set(
+        static_cast<double>(in_use.load(std::memory_order_relaxed)));
+  }
+};
+
+BufferPool& BufferPool::Global() {
+  static BufferPool pool;
+  return pool;
+}
+
+BufferPool::BufferPool() : impl_(new Impl) {
+  const char* mode = std::getenv("AMS_POOL");
+  if (mode != nullptr) {
+    const std::string m = mode;
+    enabled_ = !(m == "off" || m == "0" || m == "false");
+  }
+  max_resident_bytes_ = kDefaultMaxResident;
+  if (const char* cap = std::getenv("AMS_POOL_MAX_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cap, &end, 10);
+    if (end != cap) max_resident_bytes_ = v;
+  }
+  g_pool.store(this, std::memory_order_release);
+}
+
+BufferPool::~BufferPool() {
+  g_pool.store(nullptr, std::memory_order_release);
+  ReleaseCached();
+  delete impl_;
+  impl_ = nullptr;
+}
+
+void* BufferPool::Allocate(size_t bytes) {
+  const size_t capacity = RoundUpToUnit(bytes);
+  const uint64_t alloc_seq =
+      impl_->allocs.fetch_add(1, std::memory_order_relaxed);
+
+  char* base = nullptr;
+  size_t got_capacity = capacity;
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const size_t units = capacity / kAllocationUnit;
+    if (units <= kSmallClasses) {
+      auto& list = impl_->small[units];
+      if (!list.empty()) {
+        base = static_cast<char*>(list.back());
+        list.pop_back();
+      }
+    } else {
+      // Emptied capacity entries stay in the map (their vectors keep their
+      // heap storage too): steady-state churn on a large shape must not
+      // allocate and free a map node per cycle.
+      auto it = impl_->large.lower_bound(capacity);
+      while (it != impl_->large.end() &&
+             it->first <= capacity * kBestFitSlack && it->second.empty()) {
+        ++it;
+      }
+      if (it != impl_->large.end() && it->first <= capacity * kBestFitSlack) {
+        got_capacity = it->first;
+        base = static_cast<char*>(it->second.back());
+        it->second.pop_back();
+      }
+    }
+    if (base != nullptr) {
+      impl_->resident.fetch_sub(got_capacity, std::memory_order_relaxed);
+    }
+  }
+
+  if (base != nullptr) {
+    impl_->hits.fetch_add(1, std::memory_order_relaxed);
+    impl_->hits_counter->Increment();
+  } else {
+    got_capacity = capacity;
+    base = static_cast<char*>(::operator new(capacity + kHeaderBytes));
+    impl_->misses.fetch_add(1, std::memory_order_relaxed);
+    impl_->misses_counter->Increment();
+  }
+  *reinterpret_cast<size_t*>(base) = got_capacity;
+  impl_->in_use.fetch_add(got_capacity, std::memory_order_relaxed);
+  if ((alloc_seq & Impl::kGaugeRefreshMask) == 0) impl_->UpdateGauges();
+  return base + kHeaderBytes;
+}
+
+void BufferPool::Free(void* ptr) {
+  if (ptr == nullptr) return;
+  char* base = static_cast<char*>(ptr) - kHeaderBytes;
+  const size_t capacity = *reinterpret_cast<size_t*>(base);
+  BufferPool* pool = g_pool.load(std::memory_order_acquire);
+  if (pool == nullptr) {
+    // Pool already destroyed (static-teardown ordering): hand the block
+    // straight back to the system allocator.
+    ::operator delete(base);
+    return;
+  }
+  pool->FreeImpl(base, capacity);
+}
+
+void BufferPool::FreeImpl(void* base, size_t capacity) {
+  impl_->in_use.fetch_sub(capacity, std::memory_order_relaxed);
+  bool cached = false;
+  if (enabled_ &&
+      impl_->resident.load(std::memory_order_relaxed) + capacity <=
+          max_resident_bytes_) {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const size_t units = capacity / kAllocationUnit;
+    if (units <= kSmallClasses) {
+      impl_->small[units].push_back(base);
+    } else {
+      impl_->large[capacity].push_back(base);
+    }
+    impl_->resident.fetch_add(capacity, std::memory_order_relaxed);
+    cached = true;
+  }
+  if (!cached) ::operator delete(base);
+  const uint64_t free_seq =
+      impl_->frees.fetch_add(1, std::memory_order_relaxed);
+  if ((free_seq & Impl::kGaugeRefreshMask) == 0) impl_->UpdateGauges();
+}
+
+BufferPool::Stats BufferPool::GetStats() const {
+  impl_->UpdateGauges();
+  Stats s;
+  s.allocs = impl_->allocs.load(std::memory_order_relaxed);
+  s.hits = impl_->hits.load(std::memory_order_relaxed);
+  s.misses = impl_->misses.load(std::memory_order_relaxed);
+  s.resident_bytes = impl_->resident.load(std::memory_order_relaxed);
+  s.in_use_bytes = impl_->in_use.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ReleaseCached() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& list : impl_->small) {
+    for (void* base : list) ::operator delete(base);
+    list.clear();
+  }
+  for (auto& [capacity, list] : impl_->large) {
+    for (void* base : list) ::operator delete(base);
+  }
+  impl_->large.clear();
+  impl_->resident.store(0, std::memory_order_relaxed);
+  impl_->UpdateGauges();
+}
+
+}  // namespace ams::la

@@ -1,0 +1,111 @@
+// Pooled tensor memory: a thread-safe, bucketed free-list arena that sits
+// behind every la::Matrix buffer and autograd tape Node, so the op-per-op
+// allocation churn of AMS/GNN training stops hitting the system allocator.
+//
+// Design (after the chainerx memory_pool free-list/bucketing scheme):
+//   * Every block carries a 16-byte header recording its rounded capacity,
+//     so Free() never trusts the caller's size and an oversized best-fit
+//     block re-enters the pool under its true class.
+//   * Requests are rounded up to kAllocationUnit. Small classes (up to
+//     kSmallClassLimit units) get an exact free list per class — O(1) pop.
+//     Larger blocks live in a size-ordered best-fit map; a cached block is
+//     reused only when it wastes less than 2x the request.
+//   * One mutex guards the free lists. The hot path is pop/push plus a few
+//     relaxed atomics for stats; contention is far below the malloc traffic
+//     it replaces (the tape allocates per op, mostly from one thread).
+//
+// Observability: counters la/pool_hits, la/pool_misses and gauges
+// la/pool_hit_rate, la/pool_resident_bytes (cached in free lists),
+// la/pool_in_use_bytes (handed out, not yet returned).
+//
+// Env knobs:
+//   AMS_POOL=off             bypass the pool entirely (plain operator new)
+//   AMS_POOL_MAX_BYTES=N     cap on cached (resident) bytes; blocks freed
+//                            beyond the cap go straight back to the system
+//                            (default 512 MiB)
+//
+// Shutdown: the singleton frees its cached blocks on static destruction so
+// LeakSanitizer sees a clean exit; buffers that outlive the pool (static
+// matrices destroyed later) are routed to plain operator delete.
+#ifndef AMS_LA_POOL_H_
+#define AMS_LA_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ams::la {
+
+class BufferPool {
+ public:
+  /// The process-wide pool (Meyer's singleton, created on first use).
+  static BufferPool& Global();
+
+  /// Returns a block of at least `bytes` usable bytes (16-byte aligned).
+  /// Never returns nullptr for bytes == 0 (a minimal block is handed out).
+  void* Allocate(size_t bytes);
+
+  /// Returns a block obtained from Allocate. Safe to call after the pool's
+  /// static destruction (falls back to the system allocator) so matrices
+  /// with static storage duration destroy cleanly in any order.
+  static void Free(void* ptr);
+
+  struct Stats {
+    uint64_t allocs = 0;          // total Allocate calls
+    uint64_t hits = 0;            // served from a free list
+    uint64_t misses = 0;          // fell through to operator new
+    uint64_t resident_bytes = 0;  // cached in free lists right now
+    uint64_t in_use_bytes = 0;    // handed out, not yet freed
+    double hit_rate() const {
+      return allocs == 0 ? 0.0 : static_cast<double>(hits) / allocs;
+    }
+  };
+  Stats GetStats() const;
+
+  /// Frees every cached block (resident_bytes -> 0). In-use blocks are
+  /// unaffected. For tests and explicit memory-pressure relief.
+  void ReleaseCached();
+
+  bool enabled() const { return enabled_; }
+  uint64_t max_resident_bytes() const { return max_resident_bytes_; }
+
+  ~BufferPool();
+
+ private:
+  BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  void FreeImpl(void* ptr, size_t capacity);
+
+  struct Impl;
+  Impl* impl_;  // raw pointer: pool.cc owns layout, header stays light
+  bool enabled_ = true;
+  uint64_t max_resident_bytes_ = 0;
+};
+
+/// Minimal std allocator over BufferPool::Global(). Stateless: all
+/// instances are interchangeable, so containers swap/move freely.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(BufferPool::Global().Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t /*n*/) { BufferPool::Free(p); }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const PoolAllocator&, const PoolAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace ams::la
+
+#endif  // AMS_LA_POOL_H_

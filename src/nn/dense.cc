@@ -22,6 +22,25 @@ Tensor Activate(const Tensor& x, Activation act) {
   return x;
 }
 
+void AppendActivation(tensor::ElementwiseChain* chain, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      chain->Relu();
+      break;
+    case Activation::kLeakyRelu:
+      chain->LeakyRelu(0.2);  // the tensor::LeakyRelu default
+      break;
+    case Activation::kSigmoid:
+      chain->Sigmoid();
+      break;
+    case Activation::kTanh:
+      chain->Tanh();
+      break;
+  }
+}
+
 Dense::Dense(int in_features, int out_features, Activation act, Rng* rng,
              bool use_bias)
     : in_features_(in_features),
@@ -44,8 +63,11 @@ Dense::Dense(int in_features, int out_features, Activation act, Rng* rng,
 Tensor Dense::Forward(const Tensor& x) const {
   AMS_DCHECK(x.cols() == in_features_, "Dense input width mismatch");
   Tensor out = tensor::MatMul(x, tensor::Transpose(weight_));
-  if (use_bias_) out = tensor::Add(out, bias_);
-  return Activate(out, act_);
+  // Bias add + activation as one fused tape node instead of two.
+  tensor::ElementwiseChain chain;
+  if (use_bias_) chain.Add(bias_);
+  AppendActivation(&chain, act_);
+  return chain.Apply(out);
 }
 
 std::vector<Tensor> Dense::Parameters() const {

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "tensor/fusion.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -14,6 +15,10 @@ enum class Activation { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh };
 
 /// Applies `act` to `x` (identity for kNone).
 tensor::Tensor Activate(const tensor::Tensor& x, Activation act);
+
+/// Records `act` onto a fused elementwise chain (no-op for kNone);
+/// bit-identical to Activate by the fusion contract (tensor/fusion.h).
+void AppendActivation(tensor::ElementwiseChain* chain, Activation act);
 
 /// One affine layer y = x W^T + b, with optional activation.
 ///

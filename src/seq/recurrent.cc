@@ -1,6 +1,7 @@
 #include "seq/recurrent.h"
 
 #include "nn/init.h"
+#include "tensor/fusion.h"
 
 namespace ams::seq {
 
@@ -9,11 +10,22 @@ using tensor::Tensor;
 
 namespace {
 
-Tensor GateLinear(const Tensor& x, const Tensor& h, const Tensor& w_x,
-                  const Tensor& w_h, const Tensor& b) {
-  Tensor pre = tensor::Add(tensor::MatMul(x, tensor::Transpose(w_x)),
-                           tensor::MatMul(h, tensor::Transpose(w_h)));
-  return tensor::Add(pre, b);
+/// x W_x^T + h W_h^T + b followed by the gate nonlinearity, fused: the two
+/// adds and the activation record one tape node instead of three.
+enum class GateAct { kSigmoid, kTanh };
+
+Tensor Gate(const Tensor& x, const Tensor& h, const Tensor& w_x,
+            const Tensor& w_h, const Tensor& b, GateAct act) {
+  Tensor xm = tensor::MatMul(x, tensor::Transpose(w_x));
+  Tensor hm = tensor::MatMul(h, tensor::Transpose(w_h));
+  tensor::ElementwiseChain chain;
+  chain.Add(hm).Add(b);
+  if (act == GateAct::kSigmoid) {
+    chain.Sigmoid();
+  } else {
+    chain.Tanh();
+  }
+  return chain.Apply(xm);
 }
 
 }  // namespace
@@ -39,17 +51,14 @@ LstmCell::State LstmCell::InitialState(int batch_size) const {
 
 LstmCell::State LstmCell::Step(const Tensor& x, const State& state) const {
   AMS_DCHECK(x.cols() == input_size_, "LSTM input width mismatch");
-  const Tensor i =
-      tensor::Sigmoid(GateLinear(x, state.h, w_x_[0], w_h_[0], b_[0]));
-  const Tensor f =
-      tensor::Sigmoid(GateLinear(x, state.h, w_x_[1], w_h_[1], b_[1]));
-  const Tensor g =
-      tensor::Tanh(GateLinear(x, state.h, w_x_[2], w_h_[2], b_[2]));
-  const Tensor o =
-      tensor::Sigmoid(GateLinear(x, state.h, w_x_[3], w_h_[3], b_[3]));
+  const Tensor i = Gate(x, state.h, w_x_[0], w_h_[0], b_[0], GateAct::kSigmoid);
+  const Tensor f = Gate(x, state.h, w_x_[1], w_h_[1], b_[1], GateAct::kSigmoid);
+  const Tensor g = Gate(x, state.h, w_x_[2], w_h_[2], b_[2], GateAct::kTanh);
+  const Tensor o = Gate(x, state.h, w_x_[3], w_h_[3], b_[3], GateAct::kSigmoid);
   State next;
-  next.c = tensor::Add(tensor::Mul(f, state.c), tensor::Mul(i, g));
-  next.h = tensor::Mul(o, tensor::Tanh(next.c));
+  // c' = f * c + i * g, h' = o * tanh(c'): one fused node each.
+  next.c = tensor::ElementwiseChain().Mul(state.c).AddProduct(i, g).Apply(f);
+  next.h = tensor::ElementwiseChain().Tanh().Mul(o).Apply(next.c);
   return next;
 }
 
@@ -81,15 +90,18 @@ Tensor GruCell::InitialState(int batch_size) const {
 
 Tensor GruCell::Step(const Tensor& x, const Tensor& h) const {
   AMS_DCHECK(x.cols() == input_size_, "GRU input width mismatch");
-  const Tensor z = tensor::Sigmoid(GateLinear(x, h, w_x_[0], w_h_[0], b_[0]));
-  const Tensor r = tensor::Sigmoid(GateLinear(x, h, w_x_[1], w_h_[1], b_[1]));
+  const Tensor z = Gate(x, h, w_x_[0], w_h_[0], b_[0], GateAct::kSigmoid);
+  const Tensor r = Gate(x, h, w_x_[1], w_h_[1], b_[1], GateAct::kSigmoid);
   // Candidate uses the reset-gated hidden state.
   const Tensor gated_h = tensor::Mul(r, h);
-  const Tensor n =
-      tensor::Tanh(GateLinear(x, gated_h, w_x_[2], w_h_[2], b_[2]));
-  // h' = (1 - z) * n + z * h.
-  const Tensor one_minus_z = tensor::AddScalar(tensor::Scale(z, -1.0), 1.0);
-  return tensor::Add(tensor::Mul(one_minus_z, n), tensor::Mul(z, h));
+  const Tensor n = Gate(x, gated_h, w_x_[2], w_h_[2], b_[2], GateAct::kTanh);
+  // h' = (1 - z) * n + z * h, recorded as one fused node on z.
+  return tensor::ElementwiseChain()
+      .Scale(-1.0)
+      .AddScalar(1.0)
+      .Mul(n)
+      .AddProduct(z, h)
+      .Apply(z);
 }
 
 std::vector<Tensor> GruCell::Parameters() const {

@@ -1,0 +1,351 @@
+// Fused elementwise forward/backward execution. See fusion.h for the
+// bit-identity contract; every per-element expression below is a literal
+// transcription of the unfused op it replaces (tensor.cc), including the
+// `sign * b` form of AddLike and the reduce-then-scale order of the
+// Sub/Scale backward paths.
+#include "tensor/fusion.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "par/thread_pool.h"
+
+namespace ams::tensor {
+
+/// Private-access shim so the file-local executor can see the recorded
+/// instruction list without widening the public API.
+struct FusionAccess {
+  using Kind = ElementwiseChain::Kind;
+  using Instr = ElementwiseChain::Instr;
+};
+
+namespace {
+
+using internal::BroadcastAt;
+using internal::BroadcastKind;
+using internal::ClassifyBroadcast;
+using internal::MakeOp;
+using internal::Node;
+using internal::ReduceToBroadcastShape;
+using la::Matrix;
+using Kind = FusionAccess::Kind;
+
+// Rows are split across the pool once the per-pass work crosses this many
+// elementwise ops; chunk boundaries depend only on the shape, so results
+// are identical at any thread count (same determinism story as la::Matrix).
+constexpr int64_t kFuseParallelOps = 1 << 15;
+constexpr int64_t kFuseRowGrain = 16;
+
+/// One compiled step: plain data + value snapshots of the operands (taken at
+/// Apply() time — parameters mutate in place between forward and backward).
+struct Step {
+  Kind kind;
+  double scalar = 0.0;
+  Matrix v0;
+  Matrix v1;
+  BroadcastKind b0 = BroadcastKind::kSame;
+  BroadcastKind b1 = BroadcastKind::kSame;
+  int parent0 = -1;  // index into the fused node's parents; -1 if none
+  int parent1 = -1;
+};
+
+struct FusedProgram {
+  Matrix x_val;  // chain input snapshot, re-walked by the backward pass
+  std::vector<Step> steps;
+};
+
+/// Walks the chain for element (r, c) starting from `v`. When `vals` is
+/// non-null it records the input of step i in vals[i] and the final output
+/// in vals[n] (the backward pass needs both (x, y) per step).
+inline double EvalForward(const FusedProgram& p, double v, int r, int c,
+                          double* vals) {
+  const int n = static_cast<int>(p.steps.size());
+  for (int i = 0; i < n; ++i) {
+    if (vals != nullptr) vals[i] = v;
+    const Step& s = p.steps[i];
+    switch (s.kind) {
+      case Kind::kRelu:
+        v = v > 0.0 ? v : 0.0;
+        break;
+      case Kind::kLeakyRelu:
+        v = v > 0.0 ? v : s.scalar * v;
+        break;
+      case Kind::kSigmoid:
+        v = 1.0 / (1.0 + std::exp(-v));
+        break;
+      case Kind::kTanh:
+        v = std::tanh(v);
+        break;
+      case Kind::kExp:
+        v = std::exp(v);
+        break;
+      case Kind::kScale:
+        v *= s.scalar;
+        break;
+      case Kind::kAddScalar:
+        v = v + s.scalar;
+        break;
+      case Kind::kAdd:
+        v += 1.0 * BroadcastAt(s.v0, s.b0, r, c);
+        break;
+      case Kind::kSub:
+        v += -1.0 * BroadcastAt(s.v0, s.b0, r, c);
+        break;
+      case Kind::kMul:
+        v *= BroadcastAt(s.v0, s.b0, r, c);
+        break;
+      case Kind::kAddScaled:
+        v += 1.0 * (BroadcastAt(s.v0, s.b0, r, c) * s.scalar);
+        break;
+      case Kind::kAddProduct:
+        v += 1.0 * (s.v0(r, c) * s.v1(r, c));
+        break;
+    }
+  }
+  if (vals != nullptr) vals[n] = v;
+  return v;
+}
+
+void RunForward(const FusedProgram& p, Matrix* out) {
+  const int rows = out->rows();
+  const int cols = out->cols();
+  auto body = [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int ri = static_cast<int>(r);
+      for (int c = 0; c < cols; ++c) {
+        (*out)(ri, c) = EvalForward(p, (*out)(ri, c), ri, c, nullptr);
+      }
+    }
+  };
+  const int64_t work =
+      static_cast<int64_t>(rows) * cols * static_cast<int64_t>(p.steps.size());
+  if (work >= kFuseParallelOps) {
+    par::ParallelFor(rows, kFuseRowGrain, body);
+  } else {
+    body(0, rows);
+  }
+}
+
+void RunBackward(const FusedProgram& p, Node& node) {
+  const Matrix& g = node.grad;
+  const int rows = g.rows();
+  const int cols = g.cols();
+  const int n = static_cast<int>(p.steps.size());
+
+  const bool need_input = node.parents[0]->requires_grad;
+  // Full-shape gradient buffers per live slot; reduced to operand shape
+  // after the elementwise pass, exactly like the unfused Add/Mul backward.
+  Matrix g_input;
+  if (need_input) g_input = Matrix(rows, cols);
+  std::vector<Matrix> g_slot0(n);
+  std::vector<Matrix> g_slot1(n);
+  std::vector<char> need0(n, 0);
+  std::vector<char> need1(n, 0);
+  for (int i = 0; i < n; ++i) {
+    const Step& s = p.steps[i];
+    if (s.parent0 >= 0 && node.parents[s.parent0]->requires_grad) {
+      need0[i] = 1;
+      g_slot0[i] = Matrix(rows, cols);
+    }
+    if (s.parent1 >= 0 && node.parents[s.parent1]->requires_grad) {
+      need1[i] = 1;
+      g_slot1[i] = Matrix(rows, cols);
+    }
+  }
+
+  auto body = [&](int64_t r0, int64_t r1) {
+    double vals[kMaxFusedChainOps + 1];
+    for (int64_t r = r0; r < r1; ++r) {
+      const int ri = static_cast<int>(r);
+      for (int c = 0; c < cols; ++c) {
+        EvalForward(p, p.x_val(ri, c), ri, c, vals);
+        double gv = g(ri, c);
+        for (int i = n - 1; i >= 0; --i) {
+          const Step& s = p.steps[i];
+          const double in = vals[i];
+          const double out = vals[i + 1];
+          switch (s.kind) {
+            case Kind::kRelu:
+              gv *= in > 0.0 ? 1.0 : 0.0;
+              break;
+            case Kind::kLeakyRelu:
+              gv *= in > 0.0 ? 1.0 : s.scalar;
+              break;
+            case Kind::kSigmoid:
+              gv *= out * (1.0 - out);
+              break;
+            case Kind::kTanh:
+              gv *= 1.0 - out * out;
+              break;
+            case Kind::kExp:
+              gv *= out;
+              break;
+            case Kind::kScale:
+              gv *= s.scalar;
+              break;
+            case Kind::kAddScalar:
+              break;
+            case Kind::kAdd:
+            case Kind::kSub:
+            case Kind::kAddScaled:
+              // Sign / scale are applied after the reduction, matching the
+              // unfused AddLike / Scale backward order.
+              if (need0[i]) g_slot0[i](ri, c) = gv;
+              break;
+            case Kind::kMul:
+              if (need0[i]) g_slot0[i](ri, c) = gv * in;
+              gv *= BroadcastAt(s.v0, s.b0, ri, c);
+              break;
+            case Kind::kAddProduct:
+              if (need0[i]) g_slot0[i](ri, c) = gv * s.v1(ri, c);
+              if (need1[i]) g_slot1[i](ri, c) = gv * s.v0(ri, c);
+              break;
+          }
+        }
+        if (need_input) g_input(ri, c) = gv;
+      }
+    }
+  };
+  const int64_t work = static_cast<int64_t>(rows) * cols * (2 * n);
+  if (work >= kFuseParallelOps) {
+    par::ParallelFor(rows, kFuseRowGrain, body);
+  } else {
+    body(0, rows);
+  }
+
+  // Accumulate in the order the unfused graph would: the last step's node is
+  // processed first by Backward (reverse topological order), the chain input
+  // last.
+  for (int i = n - 1; i >= 0; --i) {
+    const Step& s = p.steps[i];
+    if (need0[i]) {
+      Matrix gb = ReduceToBroadcastShape(g_slot0[i], s.b0);
+      if (s.kind == Kind::kSub) gb *= -1.0;
+      if (s.kind == Kind::kAddScaled) gb *= s.scalar;
+      node.parents[s.parent0]->AccumulateGrad(gb);
+    }
+    if (need1[i]) {
+      node.parents[s.parent1]->AccumulateGrad(g_slot1[i]);
+    }
+  }
+  if (need_input) node.parents[0]->AccumulateGrad(g_input);
+}
+
+}  // namespace
+
+ElementwiseChain& ElementwiseChain::Push(Instr instr) {
+  instrs_.push_back(std::move(instr));
+  return *this;
+}
+
+ElementwiseChain& ElementwiseChain::Relu() { return Push({Kind::kRelu}); }
+
+ElementwiseChain& ElementwiseChain::LeakyRelu(double alpha) {
+  Instr i{Kind::kLeakyRelu};
+  i.scalar = alpha;
+  return Push(std::move(i));
+}
+
+ElementwiseChain& ElementwiseChain::Sigmoid() {
+  return Push({Kind::kSigmoid});
+}
+
+ElementwiseChain& ElementwiseChain::Tanh() { return Push({Kind::kTanh}); }
+
+ElementwiseChain& ElementwiseChain::Exp() { return Push({Kind::kExp}); }
+
+ElementwiseChain& ElementwiseChain::Scale(double s) {
+  Instr i{Kind::kScale};
+  i.scalar = s;
+  return Push(std::move(i));
+}
+
+ElementwiseChain& ElementwiseChain::AddScalar(double s) {
+  Instr i{Kind::kAddScalar};
+  i.scalar = s;
+  return Push(std::move(i));
+}
+
+ElementwiseChain& ElementwiseChain::Add(const Tensor& t) {
+  AMS_DCHECK(!t.is_null(), "null operand in fused Add");
+  Instr i{Kind::kAdd};
+  i.t0 = t;
+  return Push(std::move(i));
+}
+
+ElementwiseChain& ElementwiseChain::Sub(const Tensor& t) {
+  AMS_DCHECK(!t.is_null(), "null operand in fused Sub");
+  Instr i{Kind::kSub};
+  i.t0 = t;
+  return Push(std::move(i));
+}
+
+ElementwiseChain& ElementwiseChain::Mul(const Tensor& t) {
+  AMS_DCHECK(!t.is_null(), "null operand in fused Mul");
+  Instr i{Kind::kMul};
+  i.t0 = t;
+  return Push(std::move(i));
+}
+
+ElementwiseChain& ElementwiseChain::AddScaled(const Tensor& t, double s) {
+  AMS_DCHECK(!t.is_null(), "null operand in fused AddScaled");
+  Instr i{Kind::kAddScaled};
+  i.scalar = s;
+  i.t0 = t;
+  return Push(std::move(i));
+}
+
+ElementwiseChain& ElementwiseChain::AddProduct(const Tensor& a,
+                                               const Tensor& b) {
+  AMS_DCHECK(!a.is_null() && !b.is_null(), "null operand in fused AddProduct");
+  Instr i{Kind::kAddProduct};
+  i.t0 = a;
+  i.t1 = b;
+  return Push(std::move(i));
+}
+
+Tensor ElementwiseChain::Apply(const Tensor& x) const {
+  AMS_DCHECK(!x.is_null(), "fused chain applied to null tensor");
+  if (instrs_.empty()) return x;
+  AMS_DCHECK(steps() <= kMaxFusedChainOps,
+             "fused chain longer than kMaxFusedChainOps");
+  const Matrix& xv = x.value();
+
+  auto program = std::make_shared<FusedProgram>();
+  program->x_val = xv;
+  program->steps.reserve(instrs_.size());
+  std::vector<Tensor> parents;
+  parents.reserve(1 + instrs_.size());
+  parents.push_back(x);
+  for (const Instr& in : instrs_) {
+    Step s;
+    s.kind = in.kind;
+    s.scalar = in.scalar;
+    if (!in.t0.is_null()) {
+      if (in.kind == Kind::kAddProduct) {
+        AMS_DCHECK(
+            in.t0.value().same_shape(xv) && in.t1.value().same_shape(xv),
+            "fused AddProduct operands must match the chain input shape");
+      } else {
+        s.b0 = ClassifyBroadcast(xv, in.t0.value(), "fused_elementwise");
+      }
+      s.v0 = in.t0.value();
+      s.parent0 = static_cast<int>(parents.size());
+      parents.push_back(in.t0);
+      if (!in.t1.is_null()) {
+        s.v1 = in.t1.value();
+        s.parent1 = static_cast<int>(parents.size());
+        parents.push_back(in.t1);
+      }
+    }
+    program->steps.push_back(std::move(s));
+  }
+
+  Matrix out = xv;
+  RunForward(*program, &out);
+  return MakeOp(std::move(out), parents, "fused_elementwise",
+                [program](Node& node) { RunBackward(*program, node); });
+}
+
+}  // namespace ams::tensor

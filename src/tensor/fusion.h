@@ -1,0 +1,101 @@
+// Trace-then-fuse executor for chains of elementwise tape ops.
+//
+// Model code builds an ElementwiseChain describing a sequence of elementwise
+// steps (activation, bias add, gating product, affine blend, ...) and applies
+// it to an input tensor. The chain records ONE tape node instead of one per
+// step: a single fused forward pass walks the instruction list per element,
+// and a single fused backward pass replays it in reverse, so the O(steps)
+// intermediate matrices and tape nodes of the unfused graph are never
+// allocated.
+//
+// Bit-identity contract: the fused forward computes, per element, exactly the
+// same IEEE operation sequence as the unfused op chain, and the fused
+// backward multiplies the running gradient by the same local derivatives in
+// the same (reverse) order that the unfused per-op backward closures would.
+// Operand gradients are accumulated full-shape, then reduced to the
+// broadcast operand's shape, then sign/scale-adjusted — matching the
+// reduce-then-scale order of the unfused Sub/Scale backward paths. The
+// fusion property test (tests/autograd_property_test.cc) asserts forward
+// values and all leaf gradients are bit-identical to the equivalent unfused
+// graph over random chains.
+#ifndef AMS_TENSOR_FUSION_H_
+#define AMS_TENSOR_FUSION_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ams::tensor {
+
+/// A recorded chain of elementwise ops, applied via Apply(). Chains are
+/// cheap value types; record, apply, discard. Operand tensors captured by
+/// reference must outlive Apply().
+///
+/// Every step maps 1:1 onto an unfused tensor op (the op it is bit-identical
+/// to is noted on each method). Broadcast rules for tensor operands are those
+/// of Add/Sub/Mul: same shape, 1 x C row, N x 1 column, or 1 x 1 scalar
+/// against the chain input's N x C shape.
+class ElementwiseChain {
+ public:
+  ElementwiseChain() = default;
+
+  // --- Unary steps. ---
+  ElementwiseChain& Relu();                       // tensor::Relu
+  ElementwiseChain& LeakyRelu(double alpha);      // tensor::LeakyRelu
+  ElementwiseChain& Sigmoid();                    // tensor::Sigmoid
+  ElementwiseChain& Tanh();                       // tensor::Tanh
+  ElementwiseChain& Exp();                        // tensor::Exp
+  ElementwiseChain& Scale(double s);              // tensor::Scale
+  ElementwiseChain& AddScalar(double s);          // tensor::AddScalar
+
+  // --- Steps with a tensor operand (broadcast like Add/Sub/Mul). ---
+  ElementwiseChain& Add(const Tensor& t);         // tensor::Add
+  ElementwiseChain& Sub(const Tensor& t);         // tensor::Sub
+  ElementwiseChain& Mul(const Tensor& t);         // tensor::Mul
+  /// x + s * t, bit-identical to tensor::Add(x, tensor::Scale(t, s)).
+  ElementwiseChain& AddScaled(const Tensor& t, double s);
+  /// x + a ⊙ b (both same shape as x), bit-identical to
+  /// tensor::Add(x, tensor::Mul(a, b)). The LSTM cell update.
+  ElementwiseChain& AddProduct(const Tensor& a, const Tensor& b);
+
+  int steps() const { return static_cast<int>(instrs_.size()); }
+
+  /// Runs the chain on `x`, returning one fused tape node. An empty chain
+  /// returns `x` itself.
+  Tensor Apply(const Tensor& x) const;
+
+ private:
+  friend struct FusionAccess;
+  enum class Kind {
+    kRelu,
+    kLeakyRelu,
+    kSigmoid,
+    kTanh,
+    kExp,
+    kScale,
+    kAddScalar,
+    kAdd,
+    kSub,
+    kMul,
+    kAddScaled,
+    kAddProduct,
+  };
+  struct Instr {
+    Kind kind;
+    double scalar = 0.0;  // alpha / s; unused otherwise
+    Tensor t0;            // first operand; null for unary/scalar steps
+    Tensor t1;            // second operand (kAddProduct only)
+  };
+
+  ElementwiseChain& Push(Instr instr);
+
+  std::vector<Instr> instrs_;
+};
+
+/// Longest chain Apply() accepts; fused evaluation uses fixed-size
+/// per-element scratch. Model code records far shorter chains.
+inline constexpr int kMaxFusedChainOps = 16;
+
+}  // namespace ams::tensor
+
+#endif  // AMS_TENSOR_FUSION_H_

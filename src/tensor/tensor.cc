@@ -20,12 +20,81 @@ void Node::AccumulateGrad(const Matrix& g) {
   }
 }
 
+Tensor MakeOp(Matrix value, const std::vector<Tensor>& parents,
+              std::string op_name, std::function<void(Node&)> backward_fn) {
+  bool needs_grad = false;
+  std::vector<std::shared_ptr<Node>> parent_nodes;
+  parent_nodes.reserve(parents.size());
+  for (const Tensor& p : parents) {
+    AMS_DCHECK(!p.is_null(), "null tensor input to " + op_name);
+    needs_grad = needs_grad || p.node()->requires_grad;
+    parent_nodes.push_back(p.node());
+  }
+  Tensor out(std::move(value), false);
+  auto node = out.node();
+  node->requires_grad = needs_grad;
+  node->op_name = std::move(op_name);
+  if (needs_grad) {
+    node->parents = std::move(parent_nodes);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return out;
+}
+
+BroadcastKind ClassifyBroadcast(const Matrix& a, const Matrix& b,
+                                const char* op) {
+  if (a.rows() == b.rows() && a.cols() == b.cols()) return BroadcastKind::kSame;
+  if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
+  if (b.rows() == 1 && b.cols() == a.cols()) return BroadcastKind::kRow;
+  if (b.cols() == 1 && b.rows() == a.rows()) return BroadcastKind::kCol;
+  AMS_DCHECK(false, std::string("incompatible broadcast shapes in ") + op);
+  return BroadcastKind::kSame;
+}
+
+double BroadcastAt(const Matrix& b, BroadcastKind kind, int r, int c) {
+  switch (kind) {
+    case BroadcastKind::kSame:
+      return b(r, c);
+    case BroadcastKind::kRow:
+      return b(0, c);
+    case BroadcastKind::kCol:
+      return b(r, 0);
+    case BroadcastKind::kScalar:
+      return b(0, 0);
+  }
+  return 0.0;
+}
+
+Matrix ReduceToBroadcastShape(const Matrix& g, BroadcastKind kind) {
+  switch (kind) {
+    case BroadcastKind::kSame:
+      return g;
+    case BroadcastKind::kRow:
+      return g.ColSums();
+    case BroadcastKind::kCol:
+      return g.RowSums();
+    case BroadcastKind::kScalar: {
+      Matrix out(1, 1);
+      out(0, 0) = g.Sum();
+      return out;
+    }
+  }
+  return g;
+}
+
 }  // namespace internal
 
+using internal::BroadcastAt;
+using internal::BroadcastKind;
+using internal::ClassifyBroadcast;
+using internal::MakeOp;
 using internal::Node;
+using internal::ReduceToBroadcastShape;
 
 Tensor::Tensor(Matrix value, bool requires_grad) {
-  node_ = std::make_shared<Node>();
+  // Tape nodes churn at the same rate as op values; allocate them from the
+  // same pool the Matrix buffers use (la/pool.h).
+  node_ = std::allocate_shared<Node>(la::PoolAllocator<Node>());
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
   node_->op_name = requires_grad ? "parameter" : "constant";
@@ -60,73 +129,6 @@ void Tensor::ZeroGrad() {
 }
 
 namespace {
-
-/// Builds a new op node over `parents` whose requires_grad is the OR of the
-/// parents' flags.
-Tensor MakeOp(Matrix value, std::vector<Tensor> parents, std::string op_name,
-              std::function<void(Node&)> backward_fn) {
-  bool needs_grad = false;
-  std::vector<std::shared_ptr<Node>> parent_nodes;
-  parent_nodes.reserve(parents.size());
-  for (const Tensor& p : parents) {
-    AMS_DCHECK(!p.is_null(), "null tensor input to " + op_name);
-    needs_grad = needs_grad || p.node()->requires_grad;
-    parent_nodes.push_back(p.node());
-  }
-  Tensor out(std::move(value), false);
-  auto node = out.node();
-  node->requires_grad = needs_grad;
-  node->op_name = std::move(op_name);
-  if (needs_grad) {
-    node->parents = std::move(parent_nodes);
-    node->backward_fn = std::move(backward_fn);
-  }
-  return out;
-}
-
-enum class BroadcastKind { kSame, kRow, kCol, kScalar };
-
-BroadcastKind ClassifyBroadcast(const Matrix& a, const Matrix& b,
-                                const char* op) {
-  if (a.rows() == b.rows() && a.cols() == b.cols()) return BroadcastKind::kSame;
-  if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
-  if (b.rows() == 1 && b.cols() == a.cols()) return BroadcastKind::kRow;
-  if (b.cols() == 1 && b.rows() == a.rows()) return BroadcastKind::kCol;
-  AMS_DCHECK(false, std::string("incompatible broadcast shapes in ") + op);
-  return BroadcastKind::kSame;
-}
-
-double BroadcastAt(const Matrix& b, BroadcastKind kind, int r, int c) {
-  switch (kind) {
-    case BroadcastKind::kSame:
-      return b(r, c);
-    case BroadcastKind::kRow:
-      return b(0, c);
-    case BroadcastKind::kCol:
-      return b(r, 0);
-    case BroadcastKind::kScalar:
-      return b(0, 0);
-  }
-  return 0.0;
-}
-
-/// Reduces a full-shaped gradient `g` back to the broadcast operand's shape.
-Matrix ReduceToBroadcastShape(const Matrix& g, BroadcastKind kind) {
-  switch (kind) {
-    case BroadcastKind::kSame:
-      return g;
-    case BroadcastKind::kRow:
-      return g.ColSums();
-    case BroadcastKind::kCol:
-      return g.RowSums();
-    case BroadcastKind::kScalar: {
-      Matrix out(1, 1);
-      out(0, 0) = g.Sum();
-      return out;
-    }
-  }
-  return g;
-}
 
 /// Elementwise unary op with derivative expressed in terms of (x, y).
 Tensor UnaryOp(const Tensor& a, const char* name,

@@ -81,6 +81,29 @@ class Tensor {
 /// Gradients accumulate into every reachable node with requires_grad.
 void Backward(const Tensor& root);
 
+namespace internal {
+
+/// Builds a new op node over `parents` whose requires_grad is the OR of the
+/// parents' flags. Shared by the op implementations in tensor.cc and the
+/// fused-elementwise executor in fusion.cc.
+Tensor MakeOp(la::Matrix value, const std::vector<Tensor>& parents,
+              std::string op_name, std::function<void(Node&)> backward_fn);
+
+/// Broadcast classification shared by Add/Sub/Mul and the fused executor:
+/// `b` may match `a`'s shape or be 1 x C (row), N x 1 (column) or 1 x 1
+/// (scalar) against `a` of N x C.
+enum class BroadcastKind { kSame, kRow, kCol, kScalar };
+
+BroadcastKind ClassifyBroadcast(const la::Matrix& a, const la::Matrix& b,
+                                const char* op);
+
+double BroadcastAt(const la::Matrix& b, BroadcastKind kind, int r, int c);
+
+/// Reduces a full-shaped gradient `g` back to the broadcast operand's shape.
+la::Matrix ReduceToBroadcastShape(const la::Matrix& g, BroadcastKind kind);
+
+}  // namespace internal
+
 // --- Graph-building operations. Shapes are validated with AMS_DCHECK. ---
 
 /// Matrix product: (n x k) . (k x m) -> (n x m).

@@ -10,6 +10,7 @@
 #include "gnn/gat.h"
 #include "nn/dense.h"
 #include "seq/recurrent.h"
+#include "tensor/fusion.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -159,6 +160,239 @@ TEST(SecondBackwardProperty, RebuiltGraphGivesSameGradients) {
   tensor::Backward(loss());
   Matrix twice = layer.weight().grad();
   EXPECT_LT((twice - once * 2.0).Norm(), 1e-10);
+}
+
+// --- Fused elementwise chains: bit-identity against the unfused graph. ---
+//
+// The fusion contract (tensor/fusion.h) promises the fused node computes the
+// SAME bits as the op-per-op graph, forward and backward. These tests build
+// both graphs from identical leaf values and compare with exact equality.
+
+/// One recorded step, mirrored onto the fused chain and the unfused ops.
+struct FusedStep {
+  int kind;       // 0..11, order matches the builder below
+  double scalar;  // alpha / s
+  int operand;    // index into the leaf set; -1 = none
+  int operand2;   // second AddProduct operand; -1 = none
+};
+
+constexpr int kFusedKinds = 12;
+
+/// Applies `step` to the unfused graph value `u` using leaf set `leaves`.
+Tensor UnfusedStepOp(const Tensor& u, const FusedStep& step,
+                     const std::vector<Tensor>& leaves) {
+  switch (step.kind) {
+    case 0:
+      return tensor::Relu(u);
+    case 1:
+      return tensor::LeakyRelu(u, step.scalar);
+    case 2:
+      return tensor::Sigmoid(u);
+    case 3:
+      return tensor::Tanh(u);
+    case 4:
+      return tensor::Exp(u);
+    case 5:
+      return tensor::Scale(u, step.scalar);
+    case 6:
+      return tensor::AddScalar(u, step.scalar);
+    case 7:
+      return tensor::Add(u, leaves[step.operand]);
+    case 8:
+      return tensor::Sub(u, leaves[step.operand]);
+    case 9:
+      return tensor::Mul(u, leaves[step.operand]);
+    case 10:
+      return tensor::Add(u, tensor::Scale(leaves[step.operand], step.scalar));
+    case 11:
+      return tensor::Add(
+          u, tensor::Mul(leaves[step.operand], leaves[step.operand2]));
+  }
+  ADD_FAILURE() << "unknown kind " << step.kind;
+  return u;
+}
+
+void RecordFusedStep(tensor::ElementwiseChain* chain, const FusedStep& step,
+                     const std::vector<Tensor>& leaves) {
+  switch (step.kind) {
+    case 0:
+      chain->Relu();
+      break;
+    case 1:
+      chain->LeakyRelu(step.scalar);
+      break;
+    case 2:
+      chain->Sigmoid();
+      break;
+    case 3:
+      chain->Tanh();
+      break;
+    case 4:
+      chain->Exp();
+      break;
+    case 5:
+      chain->Scale(step.scalar);
+      break;
+    case 6:
+      chain->AddScalar(step.scalar);
+      break;
+    case 7:
+      chain->Add(leaves[step.operand]);
+      break;
+    case 8:
+      chain->Sub(leaves[step.operand]);
+      break;
+    case 9:
+      chain->Mul(leaves[step.operand]);
+      break;
+    case 10:
+      chain->AddScaled(leaves[step.operand], step.scalar);
+      break;
+    case 11:
+      chain->AddProduct(leaves[step.operand], leaves[step.operand2]);
+      break;
+  }
+}
+
+/// Builds the fused and unfused graphs from identical leaf values, runs
+/// Backward through a shared weighted-sum head (non-uniform upstream grads),
+/// and asserts bit-equality of the forward value and every leaf gradient.
+void CheckFusedBitIdentity(int rows, int cols,
+                           const std::vector<FusedStep>& steps, Rng* rng) {
+  const Matrix x_val = RandomMatrix(rows, cols, rng);
+  // Two independent leaf sets with the same values, one per graph, so
+  // gradients accumulate separately.
+  auto operand_shape = [&](const FusedStep& s) {
+    if (s.kind == 11) return std::pair<int, int>(rows, cols);
+    switch (s.operand % 4) {
+      case 0:
+        return std::pair<int, int>(rows, cols);
+      case 1:
+        return std::pair<int, int>(1, cols);
+      case 2:
+        return std::pair<int, int>(rows, 1);
+      default:
+        return std::pair<int, int>(1, 1);
+    }
+  };
+  // Leaf index i is reserved for step i (and i + steps for AddProduct's
+  // second operand); some steps deliberately reuse an earlier leaf.
+  std::vector<Tensor> leaves_f(2 * steps.size());
+  std::vector<Tensor> leaves_u(2 * steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const FusedStep& s = steps[i];
+    if (s.operand < 0) continue;
+    for (int slot : {s.operand, s.operand2}) {
+      if (slot < 0 || !leaves_f[slot].is_null()) continue;
+      const auto [r, c] = operand_shape(s);
+      const Matrix v = RandomMatrix(r, c, rng);
+      leaves_f[slot] = Tensor::Parameter(v);
+      leaves_u[slot] = Tensor::Parameter(v);
+    }
+  }
+  Tensor x_f = Tensor::Parameter(x_val);
+  Tensor x_u = Tensor::Parameter(x_val);
+
+  tensor::ElementwiseChain chain;
+  for (const FusedStep& s : steps) RecordFusedStep(&chain, s, leaves_f);
+  Tensor out_f = chain.Apply(x_f);
+
+  Tensor out_u = x_u;
+  for (const FusedStep& s : steps) out_u = UnfusedStepOp(out_u, s, leaves_u);
+
+  ASSERT_TRUE(out_f.value() == out_u.value())
+      << "fused forward diverged, max |diff| = "
+      << out_f.value().MaxAbsDiff(out_u.value());
+
+  const Matrix head = RandomMatrix(rows, cols, rng);
+  tensor::Backward(tensor::Sum(tensor::Mul(out_f, Tensor::Constant(head))));
+  tensor::Backward(tensor::Sum(tensor::Mul(out_u, Tensor::Constant(head))));
+
+  ASSERT_TRUE(x_f.grad() == x_u.grad())
+      << "input grad diverged, max |diff| = "
+      << x_f.grad().MaxAbsDiff(x_u.grad());
+  for (size_t i = 0; i < leaves_f.size(); ++i) {
+    if (leaves_f[i].is_null()) continue;
+    EXPECT_TRUE(leaves_f[i].grad() == leaves_u[i].grad())
+        << "operand " << i << " grad diverged, max |diff| = "
+        << leaves_f[i].grad().MaxAbsDiff(leaves_u[i].grad());
+  }
+}
+
+TEST(FusionBitIdentity, RandomChainsMatchUnfusedGraphExactly) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int rows = 1 + static_cast<int>(rng.UniformInt(6));
+    const int cols = 1 + static_cast<int>(rng.UniformInt(6));
+    const int n = 1 + static_cast<int>(rng.UniformInt(6));
+    std::vector<FusedStep> steps;
+    steps.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      FusedStep s;
+      s.kind = static_cast<int>(rng.UniformInt(kFusedKinds));
+      s.scalar = rng.Uniform(-1.5, 1.5);
+      s.operand = s.kind >= 7 ? i : -1;
+      s.operand2 = s.kind == 11 ? n + i : -1;
+      steps.push_back(s);
+    }
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    CheckFusedBitIdentity(rows, cols, steps, &rng);
+  }
+}
+
+TEST(FusionBitIdentity, ReusedOperandAccumulatesInUnfusedOrder) {
+  // The same leaf feeding several steps is the ordering-sensitive case:
+  // gradient contributions must sum in the unfused graph's order.
+  Rng rng(18);
+  std::vector<FusedStep> steps = {
+      {9, 0.0, 0, -1},   // Mul(t0)
+      {2, 0.0, -1, -1},  // Sigmoid
+      {7, 0.0, 0, -1},   // Add(t0)  -- same leaf again
+      {11, 0.0, 0, 1},   // AddProduct(t0, t1) -- and again
+  };
+  // Make slot 0 full-shape so every use is broadcast-free.
+  for (int trial = 0; trial < 10; ++trial) {
+    CheckFusedBitIdentity(4, 4, steps, &rng);
+  }
+}
+
+TEST(FusionBitIdentity, ChainInputReusedAsOperand) {
+  // x both enters the chain and appears as an operand: the fused node holds
+  // the same node twice in its parent list, matching the unfused graph.
+  Rng rng(19);
+  const Matrix x_val = RandomMatrix(3, 5, &rng);
+  Tensor x_f = Tensor::Parameter(x_val);
+  Tensor x_u = Tensor::Parameter(x_val);
+
+  Tensor out_f =
+      tensor::ElementwiseChain().Sigmoid().Mul(x_f).Apply(x_f);
+  Tensor out_u = tensor::Mul(tensor::Sigmoid(x_u), x_u);
+  ASSERT_TRUE(out_f.value() == out_u.value());
+
+  const Matrix head = RandomMatrix(3, 5, &rng);
+  tensor::Backward(tensor::Sum(tensor::Mul(out_f, Tensor::Constant(head))));
+  tensor::Backward(tensor::Sum(tensor::Mul(out_u, Tensor::Constant(head))));
+  EXPECT_TRUE(x_f.grad() == x_u.grad())
+      << "max |diff| = " << x_f.grad().MaxAbsDiff(x_u.grad());
+}
+
+TEST(FusionGradProperty, FusedChainGradientsMatchNumerical) {
+  // Independent of the unfused graph: fused gradients also agree with
+  // central differences through a smooth chain.
+  Rng rng(20);
+  Tensor x = Tensor::Parameter(RandomMatrix(4, 3, &rng));
+  Tensor bias = Tensor::Parameter(RandomMatrix(1, 3, &rng));
+  Tensor gate = Tensor::Parameter(RandomMatrix(4, 3, &rng));
+  auto build = [&]() {
+    Tensor out = tensor::ElementwiseChain()
+                     .Add(bias)
+                     .Tanh()
+                     .Mul(gate)
+                     .AddScaled(bias, 0.25)
+                     .Apply(x);
+    return tensor::Mean(tensor::Mul(out, out));
+  };
+  CheckAllParams(build, {x, bias, gate});
 }
 
 class DropoutRateSweep : public ::testing::TestWithParam<double> {};

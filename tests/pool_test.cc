@@ -1,0 +1,191 @@
+// Tests for the pooled tensor-memory arena (la/pool.h): free-list reuse,
+// size-class bucketing, best-fit behaviour for large blocks, cross-thread
+// alloc/free (exercised under -DAMS_SANITIZE=thread), and the end-to-end
+// guarantee that AMS training runs almost entirely out of the pool.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "ams/ams_model.h"
+#include "data/features.h"
+#include "data/generator.h"
+#include "graph/company_graph.h"
+#include "la/matrix.h"
+#include "la/pool.h"
+
+namespace ams::la {
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Start from an empty cache so reuse assertions see only this test's
+    // blocks. The pool is process-global; other suites may have warmed it.
+    BufferPool::Global().ReleaseCached();
+  }
+};
+
+TEST_F(PoolTest, ReusesFreedBlockOfSameClass) {
+  BufferPool& pool = BufferPool::Global();
+  if (!pool.enabled()) GTEST_SKIP() << "AMS_POOL=off";
+
+  void* p = pool.Allocate(1000);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 1000);  // ASan poisons on misuse
+  BufferPool::Free(p);
+
+  const BufferPool::Stats before = pool.GetStats();
+  void* q = pool.Allocate(900);  // same 256-byte class as 1000
+  EXPECT_EQ(q, p) << "small-class free list should hand back the block";
+  const BufferPool::Stats after = pool.GetStats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+  BufferPool::Free(q);
+}
+
+TEST_F(PoolTest, RoundsSmallRequestsToOneClass) {
+  BufferPool& pool = BufferPool::Global();
+  if (!pool.enabled()) GTEST_SKIP() << "AMS_POOL=off";
+
+  // 1 byte and 200 bytes share the minimal 256-byte class.
+  void* p = pool.Allocate(1);
+  BufferPool::Free(p);
+  void* q = pool.Allocate(200);
+  EXPECT_EQ(q, p);
+  BufferPool::Free(q);
+}
+
+TEST_F(PoolTest, BestFitAcceptsNearSizesAndRejectsWastefulOnes) {
+  BufferPool& pool = BufferPool::Global();
+  if (!pool.enabled()) GTEST_SKIP() << "AMS_POOL=off";
+
+  // Above the 64 KiB exact-class limit blocks go through the best-fit map.
+  constexpr size_t kBig = 200 << 10;
+  void* p = pool.Allocate(kBig);
+  BufferPool::Free(p);
+
+  // A request under half the cached capacity must NOT reuse it (the 2x
+  // waste bound), and the cached block stays resident for a better fit.
+  BufferPool::Stats s0 = pool.GetStats();
+  void* small = pool.Allocate(70 << 10);
+  EXPECT_NE(small, p);
+  EXPECT_EQ(pool.GetStats().misses, s0.misses + 1);
+
+  // A request within 2x of the cached capacity reuses it.
+  s0 = pool.GetStats();
+  void* near = pool.Allocate(128 << 10);
+  EXPECT_EQ(near, p);
+  EXPECT_EQ(pool.GetStats().hits, s0.hits + 1);
+
+  BufferPool::Free(small);
+  BufferPool::Free(near);
+}
+
+TEST_F(PoolTest, StatsTrackResidentAndInUseBytes) {
+  BufferPool& pool = BufferPool::Global();
+  if (!pool.enabled()) GTEST_SKIP() << "AMS_POOL=off";
+
+  const BufferPool::Stats s0 = pool.GetStats();
+  void* p = pool.Allocate(4096);
+  const BufferPool::Stats s1 = pool.GetStats();
+  EXPECT_GE(s1.in_use_bytes, s0.in_use_bytes + 4096);
+
+  BufferPool::Free(p);
+  const BufferPool::Stats s2 = pool.GetStats();
+  EXPECT_GE(s2.resident_bytes, s1.resident_bytes + 4096);
+  EXPECT_LE(s2.in_use_bytes, s1.in_use_bytes - 4096);
+
+  pool.ReleaseCached();
+  EXPECT_EQ(pool.GetStats().resident_bytes, 0u);
+}
+
+TEST_F(PoolTest, CrossThreadAllocFreeIsSafe) {
+  BufferPool& pool = BufferPool::Global();
+  // Hammer the pool from several threads, including blocks allocated on one
+  // thread and freed on another. TSan verifies the locking discipline.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<void*> handoff(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &pool, &handoff] {
+      for (int i = 0; i < kIters; ++i) {
+        const size_t bytes = 64 + 97 * ((t * kIters + i) % 50);
+        void* p = pool.Allocate(bytes);
+        std::memset(p, t, bytes);
+        BufferPool::Free(p);
+      }
+      handoff[t] = pool.Allocate(1024);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // Free on the main thread what each worker allocated last.
+  for (void* p : handoff) BufferPool::Free(p);
+  SUCCEED();
+}
+
+TEST_F(PoolTest, MatrixChurnHitsTheFreeLists) {
+  BufferPool& pool = BufferPool::Global();
+  if (!pool.enabled()) GTEST_SKIP() << "AMS_POOL=off";
+
+  // Warm one shape, then re-create it repeatedly: steady-state churn should
+  // be all hits — exactly the tape's allocation pattern.
+  { Matrix warm(37, 19, 1.0); }
+  const BufferPool::Stats s0 = pool.GetStats();
+  for (int i = 0; i < 100; ++i) {
+    Matrix m(37, 19, static_cast<double>(i));
+    ASSERT_EQ(m(0, 0), static_cast<double>(i));
+  }
+  const BufferPool::Stats s1 = pool.GetStats();
+  EXPECT_EQ(s1.hits - s0.hits, 100u);
+  EXPECT_EQ(s1.misses, s0.misses);
+}
+
+TEST(PoolAmsFitTest, HitRateAboveNinetyPercentDuringTraining) {
+  BufferPool& pool = BufferPool::Global();
+  if (!pool.enabled()) GTEST_SKIP() << "AMS_POOL=off";
+
+  data::GeneratorConfig gen = data::GeneratorConfig::Defaults(
+      data::DatasetProfile::kTransactionAmount, 42);
+  gen.num_companies = 24;
+  gen.num_sectors = 4;
+  data::Panel panel = data::GenerateMarket(gen).MoveValue();
+  data::FeatureBuilder builder(&panel, data::FeatureOptions{});
+  data::Dataset train = builder.Build({4, 5, 6, 7, 8}).MoveValue();
+  data::Dataset valid = builder.Build({9}).MoveValue();
+  const data::Standardizer standardizer = data::Standardizer::Fit(train);
+  standardizer.Apply(&train);
+  standardizer.Apply(&valid);
+  graph::CorrelationGraphOptions graph_options;
+  graph_options.top_k = 3;
+  graph::CompanyGraph graph = graph::CompanyGraph::BuildFromRevenue(
+                                  panel.RevenueHistories(8), graph_options)
+                                  .MoveValue();
+
+  core::AmsConfig config;
+  config.node_transform_layers = {16};
+  config.gat.hidden_per_head = {4};
+  config.gat.num_heads = 2;
+  config.gat.out_features = 8;
+  config.generator_hidden = {16};
+  config.max_epochs = 20;
+  config.patience = 10;
+
+  const BufferPool::Stats s0 = pool.GetStats();
+  core::AmsModel model(config);
+  ASSERT_TRUE(model.Fit(train, valid, graph).ok());
+  const BufferPool::Stats s1 = pool.GetStats();
+
+  const uint64_t allocs = s1.allocs - s0.allocs;
+  const uint64_t hits = s1.hits - s0.hits;
+  ASSERT_GT(allocs, 1000u) << "fit should churn through the pool";
+  const double hit_rate = static_cast<double>(hits) / allocs;
+  EXPECT_GT(hit_rate, 0.90) << "pool hit rate during AMS fit: " << hit_rate
+                            << " (" << hits << "/" << allocs << ")";
+}
+
+}  // namespace
+}  // namespace ams::la

@@ -119,8 +119,28 @@ bool ExtractMetrics(const Value& root, const std::string& metric_field,
   return false;
 }
 
+/// context.num_cpus from a google-benchmark JSON report, or -1 when absent
+/// (ledger / obs report shapes carry no host context).
+int ExtractNumCpus(const Value& root) {
+  if (!root.is_object()) return -1;
+  const Value* context = root.Find("context");
+  if (context == nullptr) return -1;
+  const Value* num_cpus = context->Find("num_cpus");
+  if (num_cpus == nullptr || !num_cpus->is_number()) return -1;
+  return static_cast<int>(num_cpus->number);
+}
+
+/// N from a "threads:N" benchmark-arg segment in the metric name, or -1.
+/// Parsed numerically: "threads:16" must not match a check for threads:1.
+int ThreadsArg(const std::string& name) {
+  constexpr const char kTag[] = "threads:";
+  const size_t pos = name.find(kTag);
+  if (pos == std::string::npos) return -1;
+  return std::atoi(name.c_str() + pos + sizeof(kTag) - 1);
+}
+
 bool LoadMetrics(const std::string& path, const std::string& metric_field,
-                 MetricMap* out) {
+                 MetricMap* out, int* num_cpus) {
   std::string text;
   if (!ReadFile(path, &text)) {
     std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
@@ -137,6 +157,7 @@ bool LoadMetrics(const std::string& path, const std::string& metric_field,
     std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(), error.c_str());
     return false;
   }
+  if (num_cpus != nullptr) *num_cpus = ExtractNumCpus(parsed.ValueOrDie());
   if (out->empty()) {
     std::fprintf(stderr, "bench_diff: %s: no comparable metrics found\n",
                  path.c_str());
@@ -150,16 +171,36 @@ int RunDiff(const std::string& baseline_path,
             const std::string& metric_field, bool strict_missing) {
   MetricMap baseline;
   MetricMap candidate;
-  if (!LoadMetrics(baseline_path, metric_field, &baseline) ||
-      !LoadMetrics(candidate_path, metric_field, &candidate)) {
+  int baseline_cpus = -1;
+  int candidate_cpus = -1;
+  if (!LoadMetrics(baseline_path, metric_field, &baseline, &baseline_cpus) ||
+      !LoadMetrics(candidate_path, metric_field, &candidate,
+                   &candidate_cpus)) {
     return 2;
   }
+  // Thread-scaling results (threads:N for N > 1) only compare meaningfully
+  // between hosts with the same core count — a 4-thread run on a 1-core
+  // machine measures oversubscription, not speedup. When the recorded host
+  // core counts differ, those metrics are reported but not gated.
+  const bool skip_thread_scaling = baseline_cpus > 0 && candidate_cpus > 0 &&
+                                   baseline_cpus != candidate_cpus;
 
   std::vector<std::vector<std::string>> rows = {
       {"metric", "baseline", "candidate", "delta", "verdict"}};
   int regressions = 0;
   int missing = 0;
+  int skipped = 0;
   for (const auto& [name, base_value] : baseline) {
+    if (skip_thread_scaling && ThreadsArg(name) > 1) {
+      ++skipped;
+      const auto cand_it = candidate.find(name);
+      rows.push_back({name, ams::FormatDouble(base_value, 3),
+                      cand_it == candidate.end()
+                          ? "-"
+                          : ams::FormatDouble(cand_it->second, 3),
+                      "-", "skipped"});
+      continue;
+    }
     const auto it = candidate.find(name);
     if (it == candidate.end()) {
       ++missing;
@@ -188,6 +229,11 @@ int RunDiff(const std::string& baseline_path,
   std::cout << "threshold: " << ams::FormatDouble(threshold * 100.0, 1)
             << "%  regressions: " << regressions << "  missing: " << missing
             << "\n";
+  if (skipped > 0) {
+    std::cout << "note: host core counts differ (baseline " << baseline_cpus
+              << ", candidate " << candidate_cpus << "); skipped " << skipped
+              << " thread-scaling metric(s)\n";
+  }
   if (regressions > 0) return 1;
   if (strict_missing && missing > 0) return 1;
   return 0;

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Perf gate: rebuild the hot-path bench + diff tool in Release, run the
+# GEMM/pool/fusion micro benches, and compare against the committed
+# BENCH_par.json baseline through bench_diff. A regression beyond the
+# threshold fails the gate; thread-scaling metrics are skipped automatically
+# when this host's core count differs from the baseline host's (bench_diff
+# reads context.num_cpus from both files).
+#
+# The threshold is deliberately loose (50%): these are microsecond-scale
+# benches on shared CI hosts, and the gate exists to catch "the SIMD kernel
+# stopped dispatching" or "the pool stopped reusing" — order-of-magnitude
+# cliffs — not 5% jitter.
+#
+# Usage: check_perf.sh BUILD_DIR REPO_DIR
+set -eu
+BUILD_DIR=${1:?usage: check_perf.sh BUILD_DIR REPO_DIR}
+REPO_DIR=${2:?usage: check_perf.sh BUILD_DIR REPO_DIR}
+
+# Perf numbers are only meaningful from an optimized, uninstrumented build.
+# Under -DAMS_SANITIZE=... or a Debug configure, succeed without comparing
+# so sanitizer ctest sweeps stay green.
+CACHE="$BUILD_DIR/CMakeCache.txt"
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")
+SANITIZE=$(sed -n 's/^AMS_SANITIZE:[^=]*=//p' "$CACHE")
+# An empty cache entry means the top-level CMakeLists default (Release).
+if [ -z "$BUILD_TYPE" ]; then BUILD_TYPE=Release; fi
+if [ "$BUILD_TYPE" != "Release" ] || [ -n "$SANITIZE" ]; then
+  echo "check_perf: skipped (build type '$BUILD_TYPE', sanitizer" \
+       "'$SANITIZE' — perf gate needs a plain Release build)"
+  exit 0
+fi
+
+cmake --build "$BUILD_DIR" --target micro_substrates bench_diff
+BENCH_DIFF="$BUILD_DIR/tools/bench_diff"
+BENCH="$BUILD_DIR/bench/micro_substrates"
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$BENCH" --benchmark_filter='Pool|Parallel|MatMul|Fused' \
+  --benchmark_min_time=0.1 \
+  --benchmark_out="$TMP/bench.json" --benchmark_out_format=json \
+  > "$TMP/stdout.txt"
+
+"$BENCH_DIFF" --check "$TMP/bench.json"
+"$BENCH_DIFF" "$REPO_DIR/BENCH_par.json" "$TMP/bench.json" --threshold=0.5
+
+echo "check_perf: OK"

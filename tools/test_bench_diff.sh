@@ -48,6 +48,42 @@ if [ "$rc" -ne 2 ]; then
   exit 1
 fi
 
+# Thread-scaling metrics (threads:N, N > 1) are skipped when the recorded
+# host core counts differ — a regression there must NOT fail the gate —
+# but single-thread metrics still compare, and the same metrics gate
+# normally when the core counts match.
+cat > "$TMP/host1.json" <<'EOF'
+{"context":{"num_cpus":1},"benchmarks":[
+  {"name":"BM_X/threads:1","run_type":"iteration","real_time":100.0},
+  {"name":"BM_X/threads:16","run_type":"iteration","real_time":40.0}
+]}
+EOF
+cat > "$TMP/host8.json" <<'EOF'
+{"context":{"num_cpus":8},"benchmarks":[
+  {"name":"BM_X/threads:1","run_type":"iteration","real_time":100.0},
+  {"name":"BM_X/threads:16","run_type":"iteration","real_time":90.0}
+]}
+EOF
+"$BENCH_DIFF" "$TMP/host1.json" "$TMP/host8.json" > /dev/null
+sed 's/"num_cpus":8/"num_cpus":1/' "$TMP/host8.json" > "$TMP/samehost.json"
+rc=0
+"$BENCH_DIFF" "$TMP/host1.json" "$TMP/samehost.json" > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "test_bench_diff: FAIL - expected exit 1 on same-host thread" \
+       "regression, got $rc" >&2
+  exit 1
+fi
+sed 's/"real_time":100.0/"real_time":150.0/' "$TMP/host8.json" \
+  > "$TMP/host8_t1_regressed.json"
+rc=0
+"$BENCH_DIFF" "$TMP/host1.json" "$TMP/host8_t1_regressed.json" > /dev/null \
+  || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "test_bench_diff: FAIL - threads:1 must still gate across hosts," \
+       "got $rc" >&2
+  exit 1
+fi
+
 # JSONL lint: valid stream passes, a corrupt line fails.
 printf '{"seq":0}\n{"seq":1,"k":"v"}\n' > "$TMP/good.jsonl"
 "$BENCH_DIFF" --lint-jsonl "$TMP/good.jsonl" --min-lines=2 --require=seq \
