@@ -1,5 +1,6 @@
 // Microbenchmarks of the serving layer: AMSMODEL1 artifact encode/decode
-// and save/load, single-request scoring latency, and batched scoring
+// and save/load, AMSNET1 frame encode/decode (the per-request wire cost of
+// the network front), single-request scoring latency, and batched scoring
 // throughput at several micro-batch sizes (the latency-vs-batch-size curve
 // that motivates AMS_SERVE_BATCH tuning). `BENCH_serve.json` in the repo
 // root is the committed baseline; tools/check_serve.sh gates on it.
@@ -8,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ams/ams_model.h"
@@ -15,6 +17,7 @@
 #include "data/generator.h"
 #include "graph/company_graph.h"
 #include "serve/artifact.h"
+#include "serve/framing.h"
 #include "serve/server.h"
 
 namespace {
@@ -92,6 +95,32 @@ void BM_ArtifactSaveLoad(benchmark::State& state) {
   std::remove(path.c_str());
 }
 BENCHMARK(BM_ArtifactSaveLoad);
+
+void BM_FrameEncodeScoreRequest(benchmark::State& state) {
+  const ServeBenchFixture& fx = Fixture();
+  for (auto _ : state) {
+    const std::string wire = serve::EncodeScoreRequest(1, 250, fx.block);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(serve::EncodeScoreRequest(1, 250, fx.block).size()));
+}
+BENCHMARK(BM_FrameEncodeScoreRequest);
+
+void BM_FrameDecodeScoreRequest(benchmark::State& state) {
+  const ServeBenchFixture& fx = Fixture();
+  const std::string wire = serve::EncodeScoreRequest(1, 250, fx.block);
+  const std::string_view body = std::string_view(wire).substr(4);
+  for (auto _ : state) {
+    auto frame = serve::DecodeFrame(body);
+    if (!frame.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(body.size()));
+}
+BENCHMARK(BM_FrameDecodeScoreRequest);
 
 void BM_ScoreSingle(benchmark::State& state) {
   const ServeBenchFixture& fx = Fixture();

@@ -1,16 +1,25 @@
 // Serving demo: train a small AMS model, export it as an AMSMODEL1
 // artifact, load the artifact into the batched inference server, score a
-// quarter of requests, hot-swap a second model under load, and print the
-// serve/* telemetry the server recorded along the way.
+// quarter of requests, hot-swap a second model via the mtime reload
+// watcher, serve the same model over a loopback AMSNET1 socket (including
+// a deliberately overloaded burst that demonstrates load shedding), and
+// print the serve/* telemetry the run recorded along the way.
 //
 // Usage: serving_demo [--seed=42]
 //
 // Environment: AMS_SERVE_BATCH (micro-batch size, default 8) and
 // AMS_SERVE_MAX_WAIT_MS (co-batching window, default 1.0) tune the batcher;
-// AMS_TELEMETRY=text prints the full metrics report (including the
-// serve/latency_ms p50/p95/p99) at exit; AMS_RUN_LEDGER=dir writes a run
-// manifest whose "components" block carries the served model fingerprint.
+// AMS_SERVE_PORT / AMS_SERVE_QUEUE / AMS_SERVE_DEADLINE_MS /
+// AMS_SERVE_WORKERS configure the network front (see README "Serving over
+// the network"); AMS_TELEMETRY=text prints the full metrics report
+// (including the serve/latency_ms p50/p95/p99) at exit; AMS_RUN_LEDGER=dir
+// writes a run manifest whose "components" block carries the served model
+// fingerprint.
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "data/features.h"
 #include "data/generator.h"
@@ -18,6 +27,8 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "serve/artifact.h"
+#include "serve/net_client.h"
+#include "serve/net_server.h"
 #include "serve/server.h"
 #include "util/string_util.h"
 
@@ -95,19 +106,70 @@ int main(int argc, char** argv) {
   std::printf("scored %d/%zu requests; first company score %.6f\n", ok,
               results.size(), results[0].ValueOrDie()[0]);
 
-  // 4. Hot reload: swap in a retrained model; the fingerprint changes and
+  // 4. Hot reload, daemon-style: start the mtime watcher, overwrite the
+  //    artifact, and wait for the background thread to swap it in —
   //    in-flight requests drain on the model that admitted them.
+  server.StartReloadWatcher(path, /*interval_ms=*/20).Abort("start watcher");
   serve::SaveAmsArtifact(path, TrainModel(train, valid, graph, seed + 1))
       .Abort("save updated artifact");
-  server.ReloadIfChanged(path).Abort("reload");
-  std::printf("hot reload: now version %d fingerprint=%s\n",
+  const auto reload_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.model_version() < 2 &&
+         std::chrono::steady_clock::now() < reload_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.StopReloadWatcher();
+  std::printf("hot reload (watched): now version %d fingerprint=%s\n",
               server.model_version(), server.model_fingerprint().c_str());
   auto rescored = server.Score(test.x);
   rescored.status().Abort("score after reload");
   std::printf("rescored on new model; first company score %.6f\n",
               rescored.ValueOrDie()[0]);
 
-  // 5. The serve/* instruments the run recorded.
+  // 5. The network front: the same server behind a loopback AMSNET1 socket
+  //    with a deliberately tiny admission queue. A burst of concurrent
+  //    closed-loop clients overruns it, so some requests come back with the
+  //    distinct kUnavailable shed status instead of hanging.
+  serve::NetServerOptions net_options;
+  net_options.max_queue = 2;
+  net_options.num_workers = 1;
+  serve::NetServer net(&server, net_options);
+  net.Start().Abort("start net server");
+  std::printf("net: listening on 127.0.0.1:%d (queue=%d)\n", net.port(),
+              net_options.max_queue);
+  {
+    serve::NetClient client(net.port());
+    auto remote = client.Score(test.x);
+    remote.status().Abort("score over socket");
+    std::printf("net: scored over the socket; first company score %.6f\n",
+                remote.ValueOrDie()[0]);
+  }
+  int net_ok = 0, net_shed = 0;
+  {
+    std::vector<std::thread> burst;
+    std::mutex counts_mu;
+    for (int t = 0; t < 8; ++t) {
+      burst.emplace_back([&] {
+        serve::NetClient client(net.port());
+        for (int i = 0; i < 4; ++i) {
+          auto result = client.Score(test.x);
+          std::lock_guard<std::mutex> lock(counts_mu);
+          if (result.ok()) {
+            ++net_ok;
+          } else if (result.status().code() == StatusCode::kUnavailable) {
+            ++net_shed;
+          }
+        }
+      });
+    }
+    for (auto& t : burst) t.join();
+  }
+  net.Stop();
+  std::printf("net: burst of 32 -> ok=%d shed=%d (shedding is an answer, "
+              "not a hang)\n",
+              net_ok, net_shed);
+
+  // 6. The serve/* instruments the run recorded.
   const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Get().Snapshot();
   for (const auto& counter : snapshot.counters) {
     if (counter.name.rfind("serve/", 0) == 0) {

@@ -22,6 +22,10 @@ constexpr struct {
     {FaultKind::kHpoCrash, "hpo_crash", "trial"},
     {FaultKind::kBitFlipRead, "bit_flip", "read"},
     {FaultKind::kPartialRead, "partial_read", "read"},
+    {FaultKind::kConnDropAccept, "conn_drop", "accept"},
+    {FaultKind::kTornFrameRead, "torn_frame", "net_read"},
+    {FaultKind::kSlowPeerRead, "slow_peer", "net_read"},
+    {FaultKind::kConnDropWrite, "conn_drop", "net_write"},
 };
 
 obs::Counter& InjectedCounter() {
@@ -48,8 +52,14 @@ const char* FaultKindKey(FaultKind kind) {
 
 Result<std::vector<Fault>> ParseFaultSpec(const std::string& spec) {
   std::vector<Fault> faults;
-  for (const std::string& raw : SplitString(spec, ';')) {
-    const std::string entry = TrimString(raw);
+  // ';' and ',' are interchangeable entry separators.
+  std::vector<std::string> entries;
+  for (const std::string& seg : SplitString(spec, ';')) {
+    for (const std::string& raw : SplitString(seg, ',')) {
+      entries.push_back(TrimString(raw));
+    }
+  }
+  for (const std::string& entry : entries) {
     if (entry.empty()) {
       return Status::InvalidArgument("empty entry in fault spec: '" + spec +
                                      "'");
@@ -69,23 +79,31 @@ Result<std::vector<Fault>> ParseFaultSpec(const std::string& spec) {
     const std::string key = rest.substr(0, eq_pos);
     const std::string value = rest.substr(eq_pos + 1);
 
+    // A kind is identified by its (name, key) pair: `conn_drop` names two
+    // distinct injection points, disambiguated by `accept` vs `net_write`.
     Fault fault;
     bool known = false;
+    bool matched = false;
+    std::string expected_keys;
     for (const auto& table_entry : kFaultTable) {
-      if (kind_name == table_entry.name) {
+      if (kind_name != table_entry.name) continue;
+      known = true;
+      if (!expected_keys.empty()) expected_keys += "' or '";
+      expected_keys += table_entry.key;
+      if (key == table_entry.key) {
         fault.kind = table_entry.kind;
-        known = true;
-        if (key != table_entry.key) {
-          return Status::InvalidArgument(
-              "fault '" + kind_name + "' expects key '" + table_entry.key +
-              "', got '" + key + "'");
-        }
+        matched = true;
         break;
       }
     }
     if (!known) {
       return Status::InvalidArgument("unknown fault kind: '" + kind_name +
                                      "'");
+    }
+    if (!matched) {
+      return Status::InvalidArgument("fault '" + kind_name +
+                                     "' expects key '" + expected_keys +
+                                     "', got '" + key + "'");
     }
     if (value.empty() ||
         value.find_first_not_of("0123456789") != std::string::npos) {
@@ -126,6 +144,9 @@ Status FaultInjector::Configure(const std::string& spec) {
   task_calls_.store(0, std::memory_order_relaxed);
   write_calls_.store(0, std::memory_order_relaxed);
   read_calls_.store(0, std::memory_order_relaxed);
+  accept_calls_.store(0, std::memory_order_relaxed);
+  net_read_calls_.store(0, std::memory_order_relaxed);
+  net_write_calls_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -136,6 +157,9 @@ void FaultInjector::Disarm() {
   task_calls_.store(0, std::memory_order_relaxed);
   write_calls_.store(0, std::memory_order_relaxed);
   read_calls_.store(0, std::memory_order_relaxed);
+  accept_calls_.store(0, std::memory_order_relaxed);
+  net_read_calls_.store(0, std::memory_order_relaxed);
+  net_write_calls_.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::Fire(FaultKind kind, int64_t ordinal) {
@@ -172,6 +196,17 @@ FaultInjector::ReadFaults FaultInjector::OnRead() {
   ReadFaults faults;
   faults.bit_flip = Fire(FaultKind::kBitFlipRead, ordinal);
   faults.partial = Fire(FaultKind::kPartialRead, ordinal);
+  return faults;
+}
+
+FaultInjector::NetReadFaults FaultInjector::OnNetRead() {
+  // One shared ordinal for both net-read kinds, advanced on every call
+  // (armed or not) so "the N-th net read" is stable across configurations.
+  const int64_t ordinal =
+      net_read_calls_.fetch_add(1, std::memory_order_relaxed);
+  NetReadFaults faults;
+  faults.torn = Fire(FaultKind::kTornFrameRead, ordinal);
+  faults.slow = Fire(FaultKind::kSlowPeerRead, ordinal);
   return faults;
 }
 

@@ -24,11 +24,27 @@
 //   partial_read@read=N  drop the second half of the N-th verified file
 //                        read, simulating a short read / torn page
 //
+// Network-path kinds, fired inside serve::NetServer's accept/read/write
+// loops (the kind is resolved by its name *and* key, so `conn_drop` names
+// two distinct injection points):
+//
+//   conn_drop@accept=N     close the N-th accepted connection immediately,
+//                          before any frame is read
+//   torn_frame@net_read=N  truncate the N-th network frame read mid-frame
+//                          (the decoder must reject the torn bytes)
+//   slow_peer@net_read=N   stall the N-th network frame read (a dribbling
+//                          client), long enough to expire tight deadlines
+//   conn_drop@net_write=N  close the connection instead of performing the
+//                          N-th response write (client sees EOF and must
+//                          retry)
+//
 // Ordinals are deterministic given single-run determinism of the call
-// sites: epoch/trial ordinals are supplied by the caller, while task/write
-// ordinals count process-wide calls in order. Every injected fault bumps
-// the `robust/faults_injected` counter so a run that silently recovered is
-// still visible in AMS_TELEMETRY reports.
+// sites: epoch/trial ordinals are supplied by the caller, while
+// task/write/accept/net ordinals count process-wide calls in order. Every
+// injected fault bumps the `robust/faults_injected` counter so a run that
+// silently recovered is still visible in AMS_TELEMETRY reports. Entries
+// may be separated by ';' or ',' (the latter nests more easily inside
+// other comma-free env grammars).
 #ifndef AMS_ROBUST_FAULTS_H_
 #define AMS_ROBUST_FAULTS_H_
 
@@ -51,6 +67,10 @@ enum class FaultKind {
   kHpoCrash,
   kBitFlipRead,
   kPartialRead,
+  kConnDropAccept,
+  kTornFrameRead,
+  kSlowPeerRead,
+  kConnDropWrite,
 };
 
 /// The key each kind expects after the '@'; used for parse validation and
@@ -112,6 +132,24 @@ class FaultInjector {
     return Fire(FaultKind::kHpoCrash, completed_trials);
   }
 
+  /// Called once per accepted network connection; true = drop it on the
+  /// floor before reading anything (conn_drop@accept).
+  bool OnAccept() { return FireCounted(FaultKind::kConnDropAccept, &accept_calls_); }
+
+  /// Network read faults fired at one shared process-wide frame-read
+  /// ordinal, so "the N-th net read" means the same frame for both kinds.
+  struct NetReadFaults {
+    bool torn = false;
+    bool slow = false;
+  };
+  /// Called once per network frame read in the server's read loop; always
+  /// advances the net-read ordinal.
+  NetReadFaults OnNetRead();
+
+  /// Called once per response write in the server's write path; true =
+  /// drop the connection instead of writing (conn_drop@net_write).
+  bool OnNetWrite() { return FireCounted(FaultKind::kConnDropWrite, &net_write_calls_); }
+
   /// Throws InjectedFault when a task_throw fault matches this (process-wide
   /// ordinal-counted) task entry.
   void MaybeThrowTask();
@@ -133,6 +171,9 @@ class FaultInjector {
   std::atomic<int64_t> task_calls_{0};
   std::atomic<int64_t> write_calls_{0};
   std::atomic<int64_t> read_calls_{0};
+  std::atomic<int64_t> accept_calls_{0};
+  std::atomic<int64_t> net_read_calls_{0};
+  std::atomic<int64_t> net_write_calls_{0};
 };
 
 }  // namespace ams::robust

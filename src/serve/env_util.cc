@@ -1,0 +1,39 @@
+#include "serve/env_util.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace ams::serve::internal {
+
+int EnvInt(const char* name, int fallback, int min_value, int max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < min_value || value > max_value) {
+    AMS_LOG(Warning) << "ignoring unparseable " << name << "='" << raw
+                     << "' (want integer in [" << min_value << ", "
+                     << max_value << "]); keeping default " << fallback;
+    return fallback;
+  }
+  return static_cast<int>(value);
+}
+
+double EnvDouble(const char* name, double fallback, double min_value,
+                 double max_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || !(value >= min_value) ||
+      !(value <= max_value)) {
+    AMS_LOG(Warning) << "ignoring unparseable " << name << "='" << raw
+                     << "' (want number in [" << min_value << ", "
+                     << max_value << "]); keeping default " << fallback;
+    return fallback;
+  }
+  return value;
+}
+
+}  // namespace ams::serve::internal

@@ -1,0 +1,17 @@
+// Shared env-variable parsing for the serving layer's *Options::FromEnv
+// readers. Unset variables keep the fallback silently; set-but-unparseable
+// (or out-of-range) values also keep the fallback but log one AMS_LOG
+// warning naming the variable, so a typo'd knob is visible instead of
+// silently ignored.
+#ifndef AMS_SERVE_ENV_UTIL_H_
+#define AMS_SERVE_ENV_UTIL_H_
+
+namespace ams::serve::internal {
+
+int EnvInt(const char* name, int fallback, int min_value, int max_value);
+double EnvDouble(const char* name, double fallback, double min_value,
+                 double max_value);
+
+}  // namespace ams::serve::internal
+
+#endif  // AMS_SERVE_ENV_UTIL_H_

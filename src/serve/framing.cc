@@ -1,0 +1,273 @@
+#include "serve/framing.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "robust/atomic_io.h"
+
+namespace ams::serve {
+
+namespace {
+
+// Fixed header sizes (bytes), not counting the u32 length prefix.
+constexpr size_t kHeaderBytes = 8 + 1 + 8;  // magic + type + request_id
+constexpr size_t kCrcBytes = 4;
+constexpr size_t kMinBodyBytes = kHeaderBytes + kCrcBytes;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(buf));
+}
+
+/// Cursor over an untrusted frame body: every read checks the remaining
+/// byte count first.
+class Reader {
+ public:
+  explicit Reader(std::string_view body) : body_(body) {}
+
+  size_t remaining() const { return body_.size() - pos_; }
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+
+  bool ReadBytes(size_t n, std::string* out) {
+    if (remaining() < n) return false;
+    out->assign(body_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ReadDoubles(size_t n, std::vector<double>* out) {
+    if (n > remaining() / sizeof(double)) return false;
+    out->resize(n);
+    if (n > 0) {
+      std::memcpy(out->data(), body_.data() + pos_, n * sizeof(double));
+    }
+    pos_ += n * sizeof(double);
+    return true;
+  }
+
+ private:
+  bool ReadRaw(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, body_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view body_;
+  size_t pos_ = 0;
+};
+
+/// Appends the CRC footer over everything after the length prefix, then
+/// patches the length prefix at `length_pos`.
+void SealFrame(std::string* out, size_t length_pos) {
+  const std::string_view covered(out->data() + length_pos + 4,
+                                 out->size() - length_pos - 4);
+  AppendU32(out, robust::Crc32(covered));
+  const uint32_t length =
+      static_cast<uint32_t>(out->size() - length_pos - 4);
+  std::memcpy(out->data() + length_pos, &length, sizeof(length));
+}
+
+std::string BeginFrame(FrameType type, uint64_t request_id) {
+  std::string out;
+  AppendU32(&out, 0);  // length prefix, patched by SealFrame
+  out.append(kNetMagic, sizeof(kNetMagic));
+  out.push_back(static_cast<char>(type));
+  AppendU64(&out, request_id);
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeScoreRequest(uint64_t request_id, uint32_t deadline_ms,
+                               const la::Matrix& features) {
+  std::string out = BeginFrame(FrameType::kScoreRequest, request_id);
+  AppendU32(&out, deadline_ms);
+  AppendU32(&out, static_cast<uint32_t>(features.rows()));
+  AppendU32(&out, static_cast<uint32_t>(features.cols()));
+  const size_t doubles =
+      static_cast<size_t>(features.rows()) * features.cols();
+  out.append(reinterpret_cast<const char*>(features.data()),
+             doubles * sizeof(double));
+  SealFrame(&out, 0);
+  return out;
+}
+
+std::string EncodeInfoRequest(uint64_t request_id) {
+  std::string out = BeginFrame(FrameType::kInfoRequest, request_id);
+  SealFrame(&out, 0);
+  return out;
+}
+
+std::string EncodeResponse(FrameType type, uint64_t request_id,
+                           const Status& status,
+                           const std::vector<double>& values) {
+  std::string out = BeginFrame(type, request_id);
+  AppendU32(&out, static_cast<uint32_t>(status.code()));
+  AppendU32(&out, static_cast<uint32_t>(status.message().size()));
+  out.append(status.message());
+  AppendU32(&out, static_cast<uint32_t>(values.size()));
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(double));
+  SealFrame(&out, 0);
+  return out;
+}
+
+Result<Frame> DecodeFrame(std::string_view body) {
+  if (body.size() < kMinBodyBytes) {
+    return Status::InvalidArgument("frame too short: " +
+                                   std::to_string(body.size()) + " bytes");
+  }
+  if (body.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds kMaxFrameBytes");
+  }
+
+  // CRC first: nothing else in the body is trusted before it checks out.
+  const std::string_view covered = body.substr(0, body.size() - kCrcBytes);
+  uint32_t wire_crc = 0;
+  std::memcpy(&wire_crc, body.data() + body.size() - kCrcBytes, kCrcBytes);
+  if (wire_crc != robust::Crc32(covered)) {
+    return Status::IoError("frame CRC mismatch");
+  }
+
+  Reader reader(covered);
+  std::string magic;
+  reader.ReadBytes(sizeof(kNetMagic), &magic);  // length pre-checked above
+  if (std::memcmp(magic.data(), kNetMagic, sizeof(kNetMagic)) != 0) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  Frame frame;
+  uint8_t raw_type = 0;
+  reader.ReadU8(&raw_type);
+  reader.ReadU64(&frame.request_id);
+
+  switch (raw_type) {
+    case static_cast<uint8_t>(FrameType::kScoreRequest): {
+      frame.type = FrameType::kScoreRequest;
+      if (!reader.ReadU32(&frame.deadline_ms) || !reader.ReadU32(&frame.rows) ||
+          !reader.ReadU32(&frame.cols)) {
+        return Status::InvalidArgument("score request header truncated");
+      }
+      if (frame.rows == 0 || frame.cols == 0) {
+        return Status::InvalidArgument("score request with empty shape");
+      }
+      // rows * cols cannot overflow or lie about the payload: the product
+      // must equal the bytes actually present.
+      const uint64_t doubles =
+          static_cast<uint64_t>(frame.rows) * frame.cols;
+      if (doubles != reader.remaining() / sizeof(double) ||
+          reader.remaining() % sizeof(double) != 0) {
+        return Status::InvalidArgument(
+            "score request payload size does not match rows*cols");
+      }
+      reader.ReadDoubles(static_cast<size_t>(doubles), &frame.payload);
+      break;
+    }
+    case static_cast<uint8_t>(FrameType::kInfoRequest):
+      frame.type = FrameType::kInfoRequest;
+      if (reader.remaining() != 0) {
+        return Status::InvalidArgument("info request with trailing bytes");
+      }
+      break;
+    case static_cast<uint8_t>(FrameType::kScoreResponse):
+    case static_cast<uint8_t>(FrameType::kInfoResponse): {
+      frame.type = static_cast<FrameType>(raw_type);
+      uint32_t msg_len = 0;
+      if (!reader.ReadU32(&frame.status_code) || !reader.ReadU32(&msg_len)) {
+        return Status::InvalidArgument("response header truncated");
+      }
+      if (!reader.ReadBytes(msg_len, &frame.message)) {
+        return Status::InvalidArgument("response message truncated");
+      }
+      uint32_t num_values = 0;
+      if (!reader.ReadU32(&num_values)) {
+        return Status::InvalidArgument("response value count truncated");
+      }
+      if (static_cast<uint64_t>(num_values) * sizeof(double) !=
+          reader.remaining()) {
+        return Status::InvalidArgument(
+            "response value bytes do not match count");
+      }
+      reader.ReadDoubles(num_values, &frame.values);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown frame type " +
+                                     std::to_string(raw_type));
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after frame body");
+  }
+  return frame;
+}
+
+Result<uint32_t> ParseFramePrefix(uint32_t raw_length) {
+  if (raw_length < kMinBodyBytes) {
+    return Status::InvalidArgument("frame length prefix below minimum: " +
+                                   std::to_string(raw_length));
+  }
+  if (raw_length > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame length prefix exceeds cap: " +
+                                   std::to_string(raw_length));
+  }
+  return raw_length;
+}
+
+Status ReadExactBytes(int fd, char* out, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd, out + done, n - done, 0);
+    if (got == 0) {
+      return Status::IoError("connection closed mid-frame (" +
+                             std::to_string(done) + "/" +
+                             std::to_string(n) + " bytes)");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status ReadFrameBody(int fd, std::string* body) {
+  char prefix[4];
+  AMS_RETURN_NOT_OK(ReadExactBytes(fd, prefix, sizeof(prefix)));
+  uint32_t raw_length = 0;
+  std::memcpy(&raw_length, prefix, sizeof(raw_length));
+  AMS_ASSIGN_OR_RETURN(const uint32_t length, ParseFramePrefix(raw_length));
+  body->resize(length);
+  return ReadExactBytes(fd, body->data(), length);
+}
+
+Status WriteBytes(int fd, std::string_view bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t sent =
+        ::send(fd, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+}  // namespace ams::serve

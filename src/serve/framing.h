@@ -1,0 +1,108 @@
+// AMSNET1 wire framing: the length-prefixed binary frame format spoken
+// between serve::NetServer and serve::NetClient. No third-party deps —
+// fixed-width little-endian fields plus the CRC32 the robust layer already
+// uses for file artifacts.
+//
+// Wire layout of one frame (all integers little-endian):
+//
+//   u32  length      byte count of everything after this field
+//   -------------------- covered by the CRC footer --------------------
+//   char magic[8]    "AMSNET1\0"
+//   u8   type        FrameType
+//   u64  request_id  echoed verbatim in the response
+//   ...type-specific body (below)...
+//   -------------------------------------------------------------------
+//   u32  crc32       robust::Crc32 over [magic .. end of body]
+//
+// Score request body:   u32 deadline_ms (0 = server default), u32 rows,
+//                       u32 cols, f64 payload[rows*cols] (row-major — one
+//                       quarter block, exactly what InferenceServer::Score
+//                       consumes).
+// Info request body:    empty (asks the server for the model shape).
+// Response body (both): u32 status_code (ams::StatusCode; 0 = OK),
+//                       u32 msg_len, char msg[msg_len],
+//                       u32 num_values, f64 values[num_values]
+//                       (scores for a score response; {rows, cols,
+//                       model_version} for an info response).
+//
+// The decoder is the server's untrusted-input surface: it bounds-checks
+// the length prefix (kMaxFrameBytes), every count field against the
+// remaining bytes, and verifies the CRC before trusting anything — random
+// bytes, truncations, hostile lengths, and bit flips must all come back as
+// a clean Status (tests/framing_fuzz_test.cc).
+#ifndef AMS_SERVE_FRAMING_H_
+#define AMS_SERVE_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace ams::serve {
+
+inline constexpr char kNetMagic[8] = {'A', 'M', 'S', 'N', 'E', 'T', '1', '\0'};
+
+/// Upper bound on the byte count a length prefix may announce. Big enough
+/// for a 4096 x 1024 quarter block, small enough that a hostile prefix
+/// cannot make the server allocate gigabytes.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : uint8_t {
+  kScoreRequest = 1,
+  kScoreResponse = 2,
+  kInfoRequest = 3,
+  kInfoResponse = 4,
+};
+
+/// One decoded frame; which fields are meaningful depends on `type`.
+struct Frame {
+  FrameType type = FrameType::kScoreRequest;
+  uint64_t request_id = 0;
+
+  // Score request fields.
+  uint32_t deadline_ms = 0;  // 0 = use the server's default deadline
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  std::vector<double> payload;  // rows * cols, row-major
+
+  // Response fields (score and info).
+  uint32_t status_code = 0;  // ams::StatusCode as an integer
+  std::string message;       // error detail; empty on OK
+  std::vector<double> values;
+};
+
+/// Encoders return the complete wire bytes, length prefix included.
+std::string EncodeScoreRequest(uint64_t request_id, uint32_t deadline_ms,
+                               const la::Matrix& features);
+std::string EncodeInfoRequest(uint64_t request_id);
+std::string EncodeResponse(FrameType type, uint64_t request_id,
+                           const Status& status,
+                           const std::vector<double>& values);
+
+/// Decodes one frame body (the bytes a length prefix announced — magic
+/// through CRC). Rejects bad magic, unknown types, count fields that walk
+/// past the buffer, trailing garbage, and CRC mismatches.
+Result<Frame> DecodeFrame(std::string_view body);
+
+/// Validates a length prefix: [minimum viable frame, kMaxFrameBytes].
+Result<uint32_t> ParseFramePrefix(uint32_t raw_length);
+
+/// Blocking socket helpers (loopback TCP; EINTR-retried). ReadFrameBody
+/// reads one length prefix + body into `*body`; kIoError on EOF / short
+/// reads, kInvalidArgument on a hostile prefix — both fatal for the
+/// connection. WriteBytes sends the whole buffer (MSG_NOSIGNAL — a dead
+/// peer is a Status, not a SIGPIPE).
+Status ReadFrameBody(int fd, std::string* body);
+Status WriteBytes(int fd, std::string_view bytes);
+
+/// Reads exactly `n` bytes (EINTR-retried); kIoError on EOF or a socket
+/// error. Building block for callers that need to split the prefix read
+/// from the body read (the server's fault-injection points sit between).
+Status ReadExactBytes(int fd, char* out, size_t n);
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_FRAMING_H_

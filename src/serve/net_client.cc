@@ -1,0 +1,120 @@
+#include "serve/net_client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "robust/retry.h"
+
+namespace ams::serve {
+
+NetClient::NetClient(int port, NetClientOptions options)
+    : port_(port), options_(options) {}
+
+NetClient::~NetClient() { Disconnect(); }
+
+Status NetClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Status::IoError("connect to 127.0.0.1:" + std::to_string(port_) +
+                        " failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void NetClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Frame> NetClient::RoundTrip(const std::string& wire, FrameType want,
+                                   uint64_t request_id) {
+  Frame response;
+  // Transport failures throw out of the attempt, which drops the (possibly
+  // desynchronized) connection and retries on a fresh one with backoff.
+  const Status transport = robust::RunWithRetry(
+      [&] {
+        const Status connected = EnsureConnected();
+        if (!connected.ok()) throw std::runtime_error(connected.ToString());
+        auto fail = [&](const Status& status) {
+          Disconnect();
+          throw std::runtime_error(status.ToString());
+        };
+        const Status wrote = WriteBytes(fd_, wire);
+        if (!wrote.ok()) fail(wrote);
+        std::string body;
+        const Status read = ReadFrameBody(fd_, &body);
+        if (!read.ok()) fail(read);
+        auto decoded = DecodeFrame(body);
+        if (!decoded.ok()) fail(decoded.status());
+        response = decoded.MoveValue();
+        if (response.type != want || response.request_id != request_id) {
+          fail(Status::IoError("response does not match request " +
+                               std::to_string(request_id)));
+        }
+      },
+      robust::RetryOptions{options_.max_attempts, options_.base_backoff_ms});
+  if (!transport.ok()) {
+    return Status::IoError("transport failed after " +
+                           std::to_string(options_.max_attempts) +
+                           " attempts: " + transport.message());
+  }
+  return response;
+}
+
+Result<std::vector<double>> NetClient::ScoreWithDeadline(
+    const la::Matrix& features, uint32_t deadline_ms) {
+  const uint64_t id = next_id_++;
+  AMS_ASSIGN_OR_RETURN(
+      Frame response,
+      RoundTrip(EncodeScoreRequest(id, deadline_ms, features),
+                FrameType::kScoreResponse, id));
+  if (response.status_code != 0) {
+    // Application status (shed, deadline, bad shape...): the caller's to
+    // handle, deliberately not retried.
+    return Status(static_cast<StatusCode>(response.status_code),
+                  response.message);
+  }
+  return std::move(response.values);
+}
+
+Result<NetClient::ModelInfo> NetClient::Info() {
+  const uint64_t id = next_id_++;
+  AMS_ASSIGN_OR_RETURN(Frame response,
+                       RoundTrip(EncodeInfoRequest(id),
+                                 FrameType::kInfoResponse, id));
+  if (response.status_code != 0) {
+    return Status(static_cast<StatusCode>(response.status_code),
+                  response.message);
+  }
+  if (response.values.size() != 3) {
+    return Status::IoError("malformed info response");
+  }
+  ModelInfo info;
+  info.rows = static_cast<int>(response.values[0]);
+  info.cols = static_cast<int>(response.values[1]);
+  info.model_version = static_cast<int>(response.values[2]);
+  return info;
+}
+
+}  // namespace ams::serve

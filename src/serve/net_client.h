@@ -1,0 +1,78 @@
+// Client library for the AMSNET1 socket front (serve/net_server.h).
+//
+// Synchronous request/response over one loopback TCP connection, with
+// bounded retry-with-backoff (robust::RunWithRetry) around TRANSPORT
+// failures only: connect failures, dropped connections, torn or corrupt
+// response frames. Scoring is pure, so resending a request whose response
+// was lost is safe. Application-level responses — including the server's
+// kUnavailable shed and kDeadlineExceeded answers — are returned to the
+// caller verbatim and never retried here: blind retry against an
+// overloaded server is how load shedding gets defeated, so backoff policy
+// for those belongs to the caller.
+//
+// Not thread-safe: one NetClient owns one connection and matches responses
+// to requests by id sequentially. Use one client per thread.
+#ifndef AMS_SERVE_NET_CLIENT_H_
+#define AMS_SERVE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+#include "serve/framing.h"
+#include "util/status.h"
+
+namespace ams::serve {
+
+struct NetClientOptions {
+  /// Transport retry budget (attempts, first try included) and backoff
+  /// base; see robust::RetryOptions.
+  int max_attempts = 3;
+  int base_backoff_ms = 1;
+};
+
+class NetClient {
+ public:
+  /// Connects lazily on first request; `port` is a NetServer on loopback.
+  explicit NetClient(int port, NetClientOptions options = NetClientOptions());
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Scores one quarter block under the server's default deadline.
+  Result<std::vector<double>> Score(const la::Matrix& features) {
+    return ScoreWithDeadline(features, 0);
+  }
+  /// Scores with an explicit per-request deadline (0 = server default).
+  /// Shed and expired requests come back as kUnavailable /
+  /// kDeadlineExceeded statuses.
+  Result<std::vector<double>> ScoreWithDeadline(const la::Matrix& features,
+                                                uint32_t deadline_ms);
+
+  struct ModelInfo {
+    int rows = 0;
+    int cols = 0;
+    int model_version = 0;
+  };
+  /// Asks the server for the loaded model's block shape and version.
+  Result<ModelInfo> Info();
+
+ private:
+  Status EnsureConnected();
+  void Disconnect();
+  /// Sends `wire` and reads the matching response; transport failures are
+  /// retried on a fresh connection per options_.
+  Result<Frame> RoundTrip(const std::string& wire, FrameType want,
+                          uint64_t request_id);
+
+  const int port_;
+  const NetClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_NET_CLIENT_H_

@@ -1,0 +1,437 @@
+#include "serve/net_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "robust/faults.h"
+#include "serve/env_util.h"
+#include "serve/framing.h"
+#include "util/logging.h"
+
+namespace ams::serve {
+
+namespace {
+
+/// How long slow_peer@net_read stalls a frame read. Long enough to expire
+/// any test deadline of a few ms, short enough not to slow the suite.
+constexpr int kSlowPeerStallMs = 50;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+NetServerOptions NetServerOptions::FromEnv() {
+  NetServerOptions options;
+  options.port = internal::EnvInt("AMS_SERVE_PORT", options.port, 0, 65535);
+  options.max_queue =
+      internal::EnvInt("AMS_SERVE_QUEUE", options.max_queue, 1, 1 << 20);
+  options.default_deadline_ms = internal::EnvInt(
+      "AMS_SERVE_DEADLINE_MS", options.default_deadline_ms, 0, 1 << 30);
+  options.num_workers =
+      internal::EnvInt("AMS_SERVE_WORKERS", options.num_workers, 1, 256);
+  return options;
+}
+
+class NetServer::Metrics {
+ public:
+  Metrics() {
+    auto& reg = obs::MetricsRegistry::Get();
+    requests_shed = &reg.GetCounter("serve/requests", {{"outcome", "shed"}});
+    requests_deadline =
+        &reg.GetCounter("serve/requests", {{"outcome", "deadline"}});
+    accepted = &reg.GetCounter("serve/net_accepted");
+    decode_errors = &reg.GetCounter("serve/net_decode_errors");
+    shed_rate = &reg.GetGauge("serve/shed_rate");
+    connections = &reg.GetGauge("serve/net_connections");
+    queue_depth = &reg.GetGauge("serve/net_queue_depth");
+    latency_ms = &reg.GetHistogram("serve/net_latency_ms",
+                                   obs::Histogram::ExponentialBounds());
+  }
+
+  obs::Counter* requests_shed;
+  obs::Counter* requests_deadline;
+  obs::Counter* accepted;
+  obs::Counter* decode_errors;
+  obs::Gauge* shed_rate;
+  obs::Gauge* connections;
+  obs::Gauge* queue_depth;
+  obs::Histogram* latency_ms;
+};
+
+NetServer::Conn::~Conn() {
+  ShutDown();
+  ::close(fd);
+}
+
+void NetServer::Conn::ShutDown() {
+  if (open.exchange(false, std::memory_order_acq_rel)) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+NetServer::NetServer(InferenceServer* inference, NetServerOptions options)
+    : inference_(inference),
+      options_(options),
+      metrics_(std::make_unique<Metrics>()) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("NetServer already started");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Status::IoError(
+        "bind to 127.0.0.1:" + std::to_string(options_.port) +
+        " failed: " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, options_.backlog) < 0) {
+    const Status status =
+        Status::IoError(std::string("listen failed: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+
+  listen_fd_ = fd;
+  started_ = true;
+  stopping_.store(false, std::memory_order_release);
+
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&NetServer::WorkerLoop, this);
+  }
+  accept_thread_ = std::thread(&NetServer::AcceptLoop, this);
+
+  AMS_LOG(Info) << "net server listening on 127.0.0.1:" << port()
+                << " (queue=" << options_.max_queue
+                << ", workers=" << options_.num_workers
+                << ", default_deadline_ms=" << options_.default_deadline_ms
+                << ")";
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!started_ || stopping_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+
+  // 1. No new connections: unblock accept() and join the accept thread.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain: admissions now answer kUnavailable immediately (stopping_),
+  //    so the queue only shrinks. Wait until workers finished everything
+  //    admitted before the flag flipped — those still get real responses.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  }
+
+  // 3. Hang up: unblock every reader and wait for them to exit.
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    for (const auto& weak : conns_) {
+      if (auto conn = weak.lock()) conn->ShutDown();
+    }
+    readers_cv_.wait(lock, [&] { return active_readers_ == 0; });
+    conns_.clear();
+  }
+
+  // 4. Stop the workers.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+  AMS_LOG(Info) << "net server stopped (lifetime shed rate "
+                << metrics_->shed_rate->value() << ")";
+}
+
+void NetServer::AcceptLoop() {
+  auto& injector = robust::FaultInjector::Get();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      // listen_fd_ shut down (Stop) or a transient accept error; either
+      // way, re-check stopping_ and bail only on shutdown.
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE) {
+        AMS_LOG(Warning) << "accept failed transiently: "
+                         << std::strerror(errno);
+        continue;
+      }
+      return;
+    }
+    metrics_->accepted->Increment();
+    if (injector.OnAccept()) {
+      // conn_drop@accept: hang up before reading anything. The client sees
+      // EOF on its first read and must retry on a fresh connection.
+      ::close(client_fd);
+      continue;
+    }
+    auto conn = std::make_shared<Conn>(client_fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+      ++active_readers_;
+      metrics_->connections->Set(static_cast<double>(active_readers_));
+    }
+    // Detached: lifetime is accounted for by active_readers_, which Stop
+    // waits on after shutting every connection down.
+    std::thread(&NetServer::ReaderLoop, this, std::move(conn)).detach();
+  }
+}
+
+void NetServer::ReaderLoop(std::shared_ptr<Conn> conn) {
+  auto& injector = robust::FaultInjector::Get();
+  for (;;) {
+    // Phase 1: the length prefix. Blocking here is just an idle
+    // connection; the frame's deadline clock starts when its first bytes
+    // arrive.
+    char prefix[4];
+    if (!ReadExactBytes(conn->fd, prefix, sizeof(prefix)).ok()) break;
+    const Clock::time_point arrival = Clock::now();
+
+    const auto net_faults = injector.OnNetRead();
+    if (net_faults.slow) {
+      // slow_peer@net_read: the peer dribbles the frame in. The request's
+      // deadline keeps running, so a tight one expires at admission.
+      std::this_thread::sleep_for(std::chrono::milliseconds(kSlowPeerStallMs));
+    }
+
+    uint32_t raw_length = 0;
+    std::memcpy(&raw_length, prefix, sizeof(raw_length));
+    auto length = ParseFramePrefix(raw_length);
+    if (!length.ok()) {
+      // Hostile prefix: answer (best effort) and hang up — the byte stream
+      // can't be re-synchronized.
+      metrics_->decode_errors->Increment();
+      SendResponse(conn, FrameType::kScoreResponse, 0, length.status(), {});
+      break;
+    }
+    std::string body(length.ValueOrDie(), '\0');
+    if (!ReadExactBytes(conn->fd, body.data(), body.size()).ok()) break;
+
+    if (!HandleFrame(conn, std::move(body), arrival, net_faults.torn)) break;
+  }
+  conn->ShutDown();
+  {
+    // Notify under the lock: Stop's wait cannot observe the new count and
+    // destroy this object until the lock is released, after which this
+    // (detached) thread touches no member again.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    --active_readers_;
+    metrics_->connections->Set(static_cast<double>(active_readers_));
+    readers_cv_.notify_all();
+  }
+}
+
+bool NetServer::HandleFrame(const std::shared_ptr<Conn>& conn,
+                            std::string body, Clock::time_point arrival,
+                            bool torn) {
+  if (torn) {
+    // torn_frame@net_read: present the decoder with only half the frame,
+    // as if the connection died mid-body. Must be rejected cleanly.
+    body.resize(body.size() / 2);
+  }
+  auto decoded = DecodeFrame(body);
+  if (!decoded.ok()) {
+    metrics_->decode_errors->Increment();
+    SendResponse(conn, FrameType::kScoreResponse, 0, decoded.status(), {});
+    return false;  // framing is unrecoverable after garbage
+  }
+  Frame frame = decoded.MoveValue();
+
+  if (frame.type == FrameType::kInfoRequest) {
+    // Answered inline on the reader thread: shape discovery must work even
+    // when the score queue is saturated.
+    int rows = 0, cols = 0;
+    if (inference_->model_shape(&rows, &cols)) {
+      SendResponse(conn, FrameType::kInfoResponse, frame.request_id,
+                   Status::OK(),
+                   {static_cast<double>(rows), static_cast<double>(cols),
+                    static_cast<double>(inference_->model_version())});
+    } else {
+      SendResponse(conn, FrameType::kInfoResponse, frame.request_id,
+                   Status::FailedPrecondition("no model loaded"), {});
+    }
+    return true;
+  }
+  if (frame.type != FrameType::kScoreRequest) {
+    metrics_->decode_errors->Increment();
+    SendResponse(conn, FrameType::kScoreResponse, frame.request_id,
+                 Status::InvalidArgument("server expects request frames"), {});
+    return false;
+  }
+
+  Admitted request;
+  request.conn = conn;
+  request.request_id = frame.request_id;
+  request.arrival = arrival;
+  const uint32_t deadline_ms =
+      frame.deadline_ms != 0
+          ? frame.deadline_ms
+          : static_cast<uint32_t>(options_.default_deadline_ms);
+  request.has_deadline = deadline_ms != 0;
+  request.deadline = arrival + std::chrono::milliseconds(deadline_ms);
+  request.features = la::Matrix(static_cast<int>(frame.rows),
+                                static_cast<int>(frame.cols));
+  std::memcpy(request.features.data(), frame.payload.data(),
+              frame.payload.size() * sizeof(double));
+
+  // --- Admission control ---
+  if (request.has_deadline && Clock::now() >= request.deadline) {
+    RecordShedDecision(false);
+    metrics_->requests_deadline->Increment();
+    FinishScoreRequest(request,
+                       Status::DeadlineExceeded(
+                           "deadline of " + std::to_string(deadline_ms) +
+                           "ms expired before admission"),
+                       {});
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool full =
+        queue_.size() >= static_cast<size_t>(options_.max_queue);
+    if (!stopping_.load(std::memory_order_acquire) && !full) {
+      queue_.push_back(std::move(request));
+      metrics_->queue_depth->Set(static_cast<double>(queue_.size()));
+      RecordShedDecision(false);
+      queue_cv_.notify_one();
+      return true;
+    }
+  }
+  // SHED: full queue (or shutdown in progress). A clean, distinct Status —
+  // the one response an overloaded server can always afford.
+  RecordShedDecision(true);
+  metrics_->requests_shed->Increment();
+  FinishScoreRequest(
+      request,
+      Status::Unavailable(stopping_.load(std::memory_order_acquire)
+                              ? "server shutting down"
+                              : "overloaded: dispatch queue at limit " +
+                                    std::to_string(options_.max_queue)),
+      {});
+  return true;
+}
+
+void NetServer::WorkerLoop() {
+  for (;;) {
+    Admitted request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return worker_stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (worker_stop_) return;
+        continue;
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      metrics_->queue_depth->Set(static_cast<double>(queue_.size()));
+      ++in_flight_;
+    }
+
+    // Pickup-time deadline check: queue wait may have eaten the budget. An
+    // expired request is answered, never scored — scoring it anyway is how
+    // overloaded servers melt down.
+    if (request.has_deadline && Clock::now() >= request.deadline) {
+      metrics_->requests_deadline->Increment();
+      FinishScoreRequest(request,
+                         Status::DeadlineExceeded(
+                             "deadline expired in queue after " +
+                             std::to_string(MsSince(request.arrival)) + "ms"),
+                         {});
+    } else {
+      // Blocks on the micro-batcher; InferenceServer counts ok/error.
+      auto scores = inference_->Score(request.features);
+      if (scores.ok()) {
+        FinishScoreRequest(request, Status::OK(), scores.ValueOrDie());
+      } else {
+        FinishScoreRequest(request, scores.status(), {});
+      }
+    }
+
+    bool drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      drained = queue_.empty() && in_flight_ == 0;
+    }
+    if (drained) drain_cv_.notify_all();
+  }
+}
+
+void NetServer::FinishScoreRequest(const Admitted& request,
+                                   const Status& status,
+                                   const std::vector<double>& values) {
+  SendResponse(request.conn, FrameType::kScoreResponse, request.request_id,
+               status, values);
+  metrics_->latency_ms->Observe(MsSince(request.arrival));
+}
+
+void NetServer::SendResponse(const std::shared_ptr<Conn>& conn,
+                             FrameType type, uint64_t request_id,
+                             const Status& status,
+                             const std::vector<double>& values) {
+  if (robust::FaultInjector::Get().OnNetWrite()) {
+    // conn_drop@net_write: the connection dies instead of carrying the
+    // response. The client observes EOF and retries on a new connection.
+    conn->ShutDown();
+    return;
+  }
+  const std::string wire = EncodeResponse(type, request_id, status, values);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open.load(std::memory_order_acquire)) return;
+  if (!WriteBytes(conn->fd, wire).ok()) conn->ShutDown();
+}
+
+void NetServer::RecordShedDecision(bool shed) {
+  const uint64_t total = decisions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t sheds =
+      shed ? sheds_.fetch_add(1, std::memory_order_relaxed) + 1
+           : sheds_.load(std::memory_order_relaxed);
+  metrics_->shed_rate->Set(static_cast<double>(sheds) /
+                           static_cast<double>(total));
+}
+
+}  // namespace ams::serve

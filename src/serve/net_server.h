@@ -1,0 +1,200 @@
+// Deadline-aware network front for the in-process InferenceServer: a
+// loopback TCP socket server speaking the AMSNET1 frame format
+// (serve/framing.h) with real admission control, so the serving edge
+// degrades gracefully under abuse instead of falling over.
+//
+// Architecture — three thread roles around one bounded dispatch queue:
+//
+//   accept thread      accepts connections (conn_drop@accept injection
+//                      point) and spawns one reader per connection
+//   reader threads     read frames (torn_frame/slow_peer@net_read
+//                      injection points), decode, and run ADMISSION:
+//                        * decode failure -> error response, connection
+//                          closed (framing is unrecoverable after garbage)
+//                        * deadline already expired (a slow peer dribbled
+//                          the frame in) -> deadline response, never queued
+//                        * dispatch queue at AMS_SERVE_QUEUE -> SHED: an
+//                          immediate kUnavailable response, never queued
+//   worker threads     pick admitted requests up, re-check the deadline at
+//                      pickup (queue wait may have expired it -> deadline
+//                      response, never scored), then block on
+//                      InferenceServer::Score — concurrent workers are
+//                      what the batcher co-batches
+//
+// Every response write passes the conn_drop@net_write injection point.
+//
+// Admission-control state machine (per score request):
+//
+//       read frame ──decode ok──> admission check
+//         │                         │  queue full ──────> SHED (kUnavailable)
+//         │ decode error            │  deadline expired ─> DEADLINE
+//         v                         v
+//       ERROR + close             queued ──pickup──> deadline re-check
+//                                                      │ expired ─> DEADLINE
+//                                                      v
+//                                                    scored -> OK | ERROR
+//
+// Shedding and deadlines are *answered*, not dropped: the client always
+// gets a well-formed frame carrying a distinct Status (kUnavailable /
+// kDeadlineExceeded), so a closed-loop client never hangs on an
+// overloaded server.
+//
+// Observability: the serve/requests{outcome=...} counter family gains
+// shed and deadline outcomes at this layer (ok and error are counted by
+// the InferenceServer underneath — exactly one outcome per request);
+// serve/shed_rate gauge (lifetime shed fraction of score requests, the
+// SLO hook: AMS_SLO="serve/shed_rate:<0.2"); serve/net_connections and
+// serve/net_queue_depth gauges; serve/net_accepted and
+// serve/net_decode_errors counters; serve/net_latency_ms histogram
+// (frame arrival to response written, all outcomes).
+#ifndef AMS_SERVE_NET_SERVER_H_
+#define AMS_SERVE_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "la/matrix.h"
+#include "serve/framing.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace ams::serve {
+
+struct NetServerOptions {
+  /// TCP port to bind on 127.0.0.1 (AMS_SERVE_PORT); 0 = kernel-assigned,
+  /// read the result from NetServer::port().
+  int port = 0;
+  /// Bound on requests admitted but not yet picked up (AMS_SERVE_QUEUE).
+  /// Admissions beyond it are shed with kUnavailable.
+  int max_queue = 64;
+  /// Deadline applied to requests that carry deadline_ms=0
+  /// (AMS_SERVE_DEADLINE_MS); 0 = no default deadline.
+  int default_deadline_ms = 0;
+  /// Dispatcher threads blocking on InferenceServer::Score
+  /// (AMS_SERVE_WORKERS). Concurrent workers are what the micro-batcher
+  /// packs into one Predict call.
+  int num_workers = 2;
+  /// listen(2) backlog.
+  int backlog = 64;
+
+  /// Reads AMS_SERVE_PORT / AMS_SERVE_QUEUE / AMS_SERVE_DEADLINE_MS /
+  /// AMS_SERVE_WORKERS, keeping defaults for unset values and logging one
+  /// AMS_LOG warning per unparseable one.
+  static NetServerOptions FromEnv();
+};
+
+class NetServer {
+ public:
+  /// `inference` must outlive this object and have a model loaded before
+  /// the first score request arrives (requests beforehand get clean
+  /// FailedPrecondition responses).
+  explicit NetServer(InferenceServer* inference,
+                     NetServerOptions options = NetServerOptions::FromEnv());
+  /// Stops (drains admitted requests with responses, joins every thread).
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the accept + worker threads.
+  Status Start();
+
+  /// Graceful shutdown: stop admitting (new score requests are answered
+  /// kUnavailable), drain the dispatch queue through the workers, then
+  /// close every connection and join all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start), 0 before.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  const NetServerOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One live connection. The fd is shut down (unblocking reader and
+  /// failing writers) wherever the connection dies, but only closed by the
+  /// destructor — after every thread holding the shared_ptr let go — so an
+  /// fd number can never be recycled under a concurrent writer.
+  struct Conn {
+    explicit Conn(int fd) : fd(fd) {}
+    ~Conn();
+    void ShutDown();  // idempotent
+
+    const int fd;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+  };
+
+  struct Admitted {
+    std::shared_ptr<Conn> conn;
+    uint64_t request_id = 0;
+    la::Matrix features;
+    Clock::time_point arrival;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Conn> conn);
+  void WorkerLoop();
+
+  /// Handles one decoded frame on the reader thread: info requests are
+  /// answered inline; score requests go through admission. Returns false
+  /// when the connection must close.
+  bool HandleFrame(const std::shared_ptr<Conn>& conn, std::string body,
+                   Clock::time_point arrival, bool torn);
+
+  /// Writes one response frame through the conn_drop@net_write injection
+  /// point; a fired fault or a write error shuts the connection down.
+  void SendResponse(const std::shared_ptr<Conn>& conn, FrameType type,
+                    uint64_t request_id, const Status& status,
+                    const std::vector<double>& values);
+
+  void FinishScoreRequest(const Admitted& request, const Status& status,
+                          const std::vector<double>& values);
+  void RecordShedDecision(bool shed);
+
+  InferenceServer* const inference_;
+  const NetServerOptions options_;
+
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;  // guards queue_, in_flight_, worker_stop_
+  std::condition_variable queue_cv_;  // workers wait here
+  std::condition_variable drain_cv_;  // Stop waits for queue + in-flight
+  std::deque<Admitted> queue_;
+  int in_flight_ = 0;
+  bool worker_stop_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<Conn>> conns_;
+  std::condition_variable readers_cv_;
+  int active_readers_ = 0;  // guarded by conns_mu_
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  // Cumulative admission decisions for the shed-rate gauge.
+  std::atomic<uint64_t> decisions_{0};
+  std::atomic<uint64_t> sheds_{0};
+
+  // Cached instruments (see class comment for the names).
+  class Metrics;
+  std::unique_ptr<Metrics> metrics_;
+};
+
+}  // namespace ams::serve
+
+#endif  // AMS_SERVE_NET_SERVER_H_

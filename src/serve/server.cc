@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <utility>
 
 #include "data/features.h"
@@ -10,36 +11,17 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/artifact.h"
+#include "serve/env_util.h"
+#include "util/logging.h"
 
 namespace ams::serve {
 
 namespace {
 
+using internal::EnvDouble;
+using internal::EnvInt;
+
 using Clock = std::chrono::steady_clock;
-
-int EnvInt(const char* name, int fallback, int min_value, int max_value) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || raw[0] == '\0') return fallback;
-  char* end = nullptr;
-  const long value = std::strtol(raw, &end, 10);
-  if (end == raw || *end != '\0' || value < min_value || value > max_value) {
-    return fallback;
-  }
-  return static_cast<int>(value);
-}
-
-double EnvDouble(const char* name, double fallback, double min_value,
-                 double max_value) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || raw[0] == '\0') return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || !(value >= min_value) ||
-      !(value <= max_value)) {
-    return fallback;
-  }
-  return value;
-}
 
 }  // namespace
 
@@ -55,12 +37,12 @@ InferenceServer::InferenceServer(ServerOptions options)
     : options_(options) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
   requests_ok_ = &registry.GetCounter("serve/requests", {{"outcome", "ok"}});
-  requests_rejected_ =
-      &registry.GetCounter("serve/requests", {{"outcome", "rejected"}});
   requests_error_ =
       &registry.GetCounter("serve/requests", {{"outcome", "error"}});
   batches_ = &registry.GetCounter("serve/batches");
   reloads_ = &registry.GetCounter("serve/reloads");
+  reload_checks_ = &registry.GetCounter("serve/reload_checks");
+  reload_errors_ = &registry.GetCounter("serve/reload_errors");
   queue_depth_ = &registry.GetGauge("serve/queue_depth");
   model_version_gauge_ = &registry.GetGauge("serve/model_version");
   batch_size_ = &registry.GetHistogram(
@@ -77,6 +59,7 @@ InferenceServer::InferenceServer(ServerOptions options)
 }
 
 InferenceServer::~InferenceServer() {
+  StopReloadWatcher();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
@@ -124,6 +107,64 @@ Status InferenceServer::ReloadIfChanged(const std::string& path) {
   return LoadArtifact(path);
 }
 
+Status InferenceServer::StartReloadWatcher(const std::string& path,
+                                           double interval_ms) {
+  if (!(interval_ms > 0.0)) {
+    return Status::InvalidArgument("reload watch interval must be > 0 ms");
+  }
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  if (watcher_.joinable()) {
+    return Status::FailedPrecondition("a reload watcher is already running");
+  }
+  watch_stop_ = false;
+  watcher_ = std::thread(
+      [this, path, interval_ms] { ReloadWatchLoop(path, interval_ms); });
+  return Status::OK();
+}
+
+void InferenceServer::StopReloadWatcher() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    if (!watcher_.joinable()) return;
+    watch_stop_ = true;
+    to_join = std::move(watcher_);
+  }
+  watch_cv_.notify_all();
+  to_join.join();
+}
+
+void InferenceServer::ReloadWatchLoop(std::string path, double interval_ms) {
+  namespace fs = std::filesystem;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(interval_ms));
+  fs::file_time_type last_mtime = fs::file_time_type::min();
+  bool primed = false;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watch_mu_);
+      if (watch_cv_.wait_for(lock, interval, [this] { return watch_stop_; })) {
+        return;
+      }
+    }
+    reload_checks_->Increment();
+    std::error_code ec;
+    const fs::file_time_type mtime = fs::last_write_time(path, ec);
+    if (ec) continue;  // absent / unreadable: retry next tick
+    if (primed && mtime == last_mtime) continue;
+    // First sighting, or the mtime moved: probe the fingerprint and swap
+    // only on a real change. A failed load keeps the current model.
+    const Status status = ReloadIfChanged(path);
+    if (!status.ok()) {
+      reload_errors_->Increment();
+      AMS_LOG(Warning) << "reload watcher: " << path << ": " << status;
+      continue;  // leave last_mtime untouched so the next tick retries
+    }
+    last_mtime = mtime;
+    primed = true;
+  }
+}
+
 int InferenceServer::model_version() const {
   std::lock_guard<std::mutex> lock(model_mu_);
   return model_ != nullptr ? model_->version : 0;
@@ -132,6 +173,14 @@ int InferenceServer::model_version() const {
 std::string InferenceServer::model_fingerprint() const {
   std::lock_guard<std::mutex> lock(model_mu_);
   return model_ != nullptr ? model_->fingerprint : std::string();
+}
+
+bool InferenceServer::model_shape(int* rows, int* cols) const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  if (model_ == nullptr) return false;
+  *rows = model_->model.num_companies();
+  *cols = model_->model.num_features();
+  return true;
 }
 
 std::future<Result<std::vector<double>>> InferenceServer::Admit(
@@ -143,7 +192,7 @@ std::future<Result<std::vector<double>>> InferenceServer::Admit(
   }
   if (snapshot == nullptr) {
     *rejected = Status::FailedPrecondition("no model loaded");
-    requests_rejected_->Increment();
+    requests_error_->Increment();
     return {};
   }
   const core::AmsModel& model = snapshot->model;
@@ -154,7 +203,7 @@ std::future<Result<std::vector<double>>> InferenceServer::Admit(
         std::to_string(features.cols()) + " does not match model " +
         std::to_string(model.num_companies()) + "x" +
         std::to_string(model.num_features()));
-    requests_rejected_->Increment();
+    requests_error_->Increment();
     return {};
   }
   Pending pending;
@@ -170,7 +219,7 @@ std::future<Result<std::vector<double>>> InferenceServer::Admit(
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
       *rejected = Status::FailedPrecondition("server is shutting down");
-      requests_rejected_->Increment();
+      requests_error_->Increment();
       return {};
     }
     queue_.push_back(std::move(pending));

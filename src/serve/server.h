@@ -21,11 +21,14 @@
 // observed mid-batch. The old model is freed when its last in-flight
 // request completes.
 //
-// Observability: serve/requests{outcome=...}, serve/batches, serve/reloads
-// counters; serve/batch_size and serve/latency_ms histograms (the latter
-// feeds the p50/p95/p99 exit report); serve/queue_depth and
-// serve/model_version gauges; trace spans serve/request (admission to
-// completion) and serve/batch -> serve/batch/predict on the batcher thread.
+// Observability: serve/requests{outcome=ok|shed|deadline|error} (this
+// layer emits ok and error; the network front in serve/net_server.h emits
+// shed and deadline on the same counter family), serve/batches,
+// serve/reloads, serve/reload_checks counters; serve/batch_size and
+// serve/latency_ms histograms (the latter feeds the p50/p95/p99 exit
+// report); serve/queue_depth and serve/model_version gauges; trace spans
+// serve/request (admission to completion) and serve/batch ->
+// serve/batch/predict on the batcher thread.
 //
 // Request causality: Admit captures the caller's obs::CurrentTraceContext()
 // into the pending request, and after the batch executes the batcher
@@ -71,7 +74,8 @@ struct ServerOptions {
   double max_wait_ms = 1.0;
 
   /// Reads AMS_SERVE_BATCH / AMS_SERVE_MAX_WAIT_MS, keeping the defaults
-  /// for unset or unparseable values.
+  /// for unset or unparseable values. A set-but-unparseable value logs one
+  /// AMS_LOG warning naming the variable.
   static ServerOptions FromEnv();
 };
 
@@ -94,8 +98,23 @@ class InferenceServer {
   Status LoadArtifact(const std::string& path);
 
   /// Probes the artifact's fingerprint and reloads only when it differs
-  /// from the loaded model's (cheap periodic-poll reload).
+  /// from the loaded model's. Prefer StartReloadWatcher for production
+  /// wiring; this remains the one-shot building block underneath it.
   Status ReloadIfChanged(const std::string& path);
+
+  /// Starts the mtime-watch reload daemon: a background thread stats
+  /// `path` every `interval_ms` (counting each probe in
+  /// serve/reload_checks) and runs ReloadIfChanged only when the file's
+  /// mtime moved — so steady state costs one stat() per interval, not an
+  /// artifact read. A missing file is not an error (the next tick retries);
+  /// a failed reload keeps the current model serving and is counted in
+  /// serve/reload_errors. FailedPrecondition when a watcher is already
+  /// running.
+  Status StartReloadWatcher(const std::string& path,
+                            double interval_ms = 200.0);
+  /// Stops and joins the watcher thread; no-op when none is running. Also
+  /// called by the destructor, which joins cleanly mid-interval.
+  void StopReloadWatcher();
 
   /// Scores one quarter block (num_companies x num_features, rows ordered
   /// by company index). Blocks until the batcher has executed the request;
@@ -110,6 +129,9 @@ class InferenceServer {
 
   /// Monotone version of the loaded model (0 = none loaded yet).
   int model_version() const;
+  /// Shape a request block must have (rows = companies, cols = features).
+  /// False when no model is loaded.
+  bool model_shape(int* rows, int* cols) const;
   /// Config fingerprint of the loaded model ("" = none loaded yet).
   std::string model_fingerprint() const;
   bool has_model() const { return model_version() > 0; }
@@ -140,6 +162,7 @@ class InferenceServer {
                                                  Status* rejected);
 
   void BatchLoop();
+  void ReloadWatchLoop(std::string path, double interval_ms);
   /// Scores one batch of same-model requests on the batcher thread and
   /// fulfills their promises. `batch_start` is when the batcher took the
   /// batch off the queue (end of each request's queue phase). Never throws.
@@ -157,11 +180,18 @@ class InferenceServer {
   std::deque<Pending> queue_;  // guarded by queue_mu_
   bool stopping_ = false;      // guarded by queue_mu_
 
+  // Reload watcher state (guarded by watch_mu_ except the thread itself).
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  bool watch_stop_ = false;
+  std::thread watcher_;
+
   obs::Counter* requests_ok_;
-  obs::Counter* requests_rejected_;
   obs::Counter* requests_error_;
   obs::Counter* batches_;
   obs::Counter* reloads_;
+  obs::Counter* reload_checks_;
+  obs::Counter* reload_errors_;
   obs::Gauge* queue_depth_;
   obs::Gauge* model_version_gauge_;
   obs::Histogram* batch_size_;

@@ -25,6 +25,8 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  kUnavailable,       // transient overload: retry later (load shedding)
+  kDeadlineExceeded,  // request deadline expired before completion
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "Invalid argument"...).
@@ -68,6 +70,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,231 @@
+// Fuzz / property tests for the AMSNET1 frame decoder — the network
+// serving stack's untrusted-input surface (serve/framing.h).
+//
+// Deterministic (fixed-seed) mutation fuzzing, run under
+// -DAMS_SANITIZE=address in tools/check_serve.sh: every input below must
+// come back as either a clean error Status or a well-formed Frame — never
+// a crash, hang, out-of-bounds read, or sanitizer report.
+//
+// Three regimes, mirroring the artifact fuzzer in serve_fuzz_test.cc:
+//   * raw mutations leave the CRC32 footer stale, so the CRC check must
+//     reject (or, rarely, the mutation cancels itself — then the frame must
+//     still be well-formed);
+//   * re-CRC'd mutations recompute the footer over the mutated body,
+//     deliberately bypassing the CRC to exercise the bounds-checked field
+//     reader underneath;
+//   * hostile length prefixes (0, tiny, 4 GiB) against ParseFramePrefix and
+//     a real socket via ReadFrameBody.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "la/matrix.h"
+#include "robust/atomic_io.h"
+#include "serve/framing.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ams::serve {
+namespace {
+
+/// Body bytes (everything after the length prefix) of a valid frame.
+std::string BodyOf(const std::string& wire) {
+  EXPECT_GT(wire.size(), 4u);
+  return wire.substr(4);
+}
+
+/// Recomputes the CRC footer over [magic .. end of mutated body], the same
+/// way the encoder does, so mutations reach the field reader.
+std::string Refooter(std::string body) {
+  if (body.size() < 4) return body;
+  const uint32_t crc = robust::Crc32(body.data(), body.size() - 4);
+  std::memcpy(body.data() + body.size() - 4, &crc, sizeof(crc));
+  return body;
+}
+
+/// One deterministic mutation: bit flip, byte splice, truncation, or
+/// duplication, chosen and located by `rng` (serve_fuzz_test.cc idiom).
+std::string Mutate(const std::string& input, Rng* rng) {
+  std::string bytes = input;
+  switch (rng->UniformInt(4)) {
+    case 0: {  // flip 1-8 random bits
+      const int flips = 1 + static_cast<int>(rng->UniformInt(8));
+      for (int i = 0; i < flips && !bytes.empty(); ++i) {
+        const size_t pos = rng->UniformInt(bytes.size());
+        bytes[pos] ^= static_cast<char>(1u << rng->UniformInt(8));
+      }
+      break;
+    }
+    case 1: {  // overwrite a random run with random bytes
+      if (bytes.empty()) break;
+      const size_t pos = rng->UniformInt(bytes.size());
+      const size_t len =
+          std::min(bytes.size() - pos, rng->UniformInt(64) + size_t{1});
+      for (size_t i = 0; i < len; ++i) {
+        bytes[pos + i] = static_cast<char>(rng->UniformInt(256));
+      }
+      break;
+    }
+    case 2:  // truncate to a random prefix
+      bytes.resize(rng->UniformInt(bytes.size() + 1));
+      break;
+    default: {  // duplicate a random slice into the middle
+      if (bytes.empty()) break;
+      const size_t pos = rng->UniformInt(bytes.size());
+      const size_t len =
+          std::min(bytes.size() - pos, rng->UniformInt(32) + size_t{1});
+      bytes.insert(pos, bytes.substr(pos, len));
+      break;
+    }
+  }
+  return bytes;
+}
+
+std::vector<std::string> SeedBodies() {
+  la::Matrix block(6, 5);
+  for (int r = 0; r < block.rows(); ++r) {
+    for (int c = 0; c < block.cols(); ++c) {
+      block(r, c) = 0.25 * r - 1.5 * c;
+    }
+  }
+  return {
+      BodyOf(EncodeScoreRequest(12345, 250, block)),
+      BodyOf(EncodeInfoRequest(7)),
+      BodyOf(EncodeResponse(FrameType::kScoreResponse, 12345, Status::OK(),
+                            {1.0, -2.5, 3.75})),
+      BodyOf(EncodeResponse(FrameType::kInfoResponse, 7,
+                            Status::Unavailable("overloaded: queue at limit"),
+                            {})),
+  };
+}
+
+/// The property every fuzzed input must satisfy: DecodeFrame returns a
+/// Status or a frame whose variable-size fields agree with their counts.
+void ExpectCleanDecode(const std::string& body) {
+  auto result = DecodeFrame(body);
+  if (!result.ok()) return;  // clean rejection
+  const Frame& frame = result.ValueOrDie();
+  if (frame.type == FrameType::kScoreRequest) {
+    ASSERT_EQ(frame.payload.size(),
+              static_cast<size_t>(frame.rows) * frame.cols);
+  }
+  ASSERT_LE(frame.message.size(), body.size());
+  ASSERT_LE(frame.values.size() * sizeof(double), body.size());
+}
+
+TEST(FramingFuzz, RandomBytesNeverCrashTheDecoder) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string body(rng.UniformInt(256), '\0');
+    for (char& b : body) b = static_cast<char>(rng.UniformInt(256));
+    // Pure noise essentially never carries a valid magic + CRC.
+    EXPECT_FALSE(DecodeFrame(body).ok());
+  }
+}
+
+TEST(FramingFuzz, TruncationAtEveryLengthIsACleanStatus) {
+  for (const std::string& body : SeedBodies()) {
+    for (size_t len = 0; len < body.size(); ++len) {
+      auto result = DecodeFrame(std::string_view(body).substr(0, len));
+      EXPECT_FALSE(result.ok()) << "truncation to " << len << " accepted";
+    }
+  }
+}
+
+TEST(FramingFuzz, StaleCrcMutationsAreRejected) {
+  Rng rng(99);
+  for (const std::string& body : SeedBodies()) {
+    for (int trial = 0; trial < 1500; ++trial) {
+      const std::string mutated = Mutate(body, &rng);
+      if (mutated == body) continue;
+      // A stale footer must fail the CRC check (a mutation confined to the
+      // footer itself fails it just the same).
+      ExpectCleanDecode(mutated);
+    }
+  }
+}
+
+TEST(FramingFuzz, RefooteredMutationsReachTheFieldReaderSafely) {
+  Rng rng(1234);
+  for (const std::string& body : SeedBodies()) {
+    for (int trial = 0; trial < 1500; ++trial) {
+      // Valid CRC over hostile contents: the bounds-checked reader is now
+      // the only line of defence. Status or well-formed frame; never UB.
+      ExpectCleanDecode(Refooter(Mutate(body, &rng)));
+    }
+  }
+}
+
+TEST(FramingFuzz, BitFlipsAnywhereInTheFrameAreAlwaysRejected) {
+  const std::string body = SeedBodies()[0];
+  for (size_t pos = 0; pos < body.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = body;
+      flipped[pos] ^= static_cast<char>(1u << bit);
+      // Any single-bit flip breaks either a field the reader checks or the
+      // CRC — there is no bit whose corruption goes unnoticed.
+      EXPECT_FALSE(DecodeFrame(flipped).ok())
+          << "bit " << bit << " at byte " << pos << " accepted";
+    }
+  }
+}
+
+TEST(FramingFuzz, HostileCountFieldsWithValidCrcAreBoundsChecked) {
+  // Surgical attacks on each count field of a score request: rows/cols that
+  // multiply past the buffer (or overflow u32), then re-CRC so only the
+  // field reader can save us.
+  la::Matrix block(2, 2, 1.0);
+  const std::string body = BodyOf(EncodeScoreRequest(1, 0, block));
+  const size_t rows_off = 8 + 1 + 8 + 4;  // magic, type, id, deadline
+  for (uint32_t hostile : {0u, 3u, 1000u, 0x10000u, 0xFFFFFFFFu}) {
+    std::string attacked = body;
+    std::memcpy(attacked.data() + rows_off, &hostile, sizeof(hostile));
+    ExpectCleanDecode(Refooter(attacked));
+    std::memcpy(attacked.data() + rows_off + 4, &hostile, sizeof(hostile));
+    ExpectCleanDecode(Refooter(attacked));
+  }
+}
+
+TEST(FramingFuzz, HostileLengthPrefixOnARealSocketIsRejectedNotAllocated) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  std::thread writer([&] {
+    const uint32_t hostile = 0xFFFFFFFFu;  // announce 4 GiB
+    (void)::send(fds[1], &hostile, sizeof(hostile), 0);
+    ::close(fds[1]);
+  });
+  std::string body;
+  const Status status = ReadFrameBody(fds[0], &body);
+  writer.join();
+  ::close(fds[0]);
+  EXPECT_FALSE(status.ok());  // rejected before any 4 GiB allocation
+  EXPECT_TRUE(body.empty());
+}
+
+TEST(FramingFuzz, ShortFrameBodyOnARealSocketIsACleanIoError) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  const std::string wire = EncodeInfoRequest(3);
+  std::thread writer([&] {
+    // Send the prefix and half the body, then slam the connection shut.
+    (void)::send(fds[1], wire.data(), 4 + (wire.size() - 4) / 2, 0);
+    ::close(fds[1]);
+  });
+  std::string body;
+  const Status status = ReadFrameBody(fds[0], &body);
+  writer.join();
+  ::close(fds[0]);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ams::serve

@@ -84,6 +84,53 @@ TEST_F(RobustTest, RejectsMalformedFaultSpecs) {
   EXPECT_FALSE(robust::ParseFaultSpec("nan_grad@epoch=1;;").ok());  // empty
 }
 
+TEST_F(RobustTest, ParsesNetworkKindsWithCommaSeparatorAndKeyDisambiguation) {
+  // conn_drop names two injection points; the key picks one. ',' and ';'
+  // are interchangeable separators.
+  auto faults = robust::ParseFaultSpec(
+      "conn_drop@accept=1,torn_frame@net_read=2;slow_peer@net_read=3,"
+      "conn_drop@net_write=4");
+  ASSERT_TRUE(faults.ok()) << faults.status();
+  ASSERT_EQ(faults.ValueOrDie().size(), 4u);
+  EXPECT_EQ(faults.ValueOrDie()[0].kind, robust::FaultKind::kConnDropAccept);
+  EXPECT_EQ(faults.ValueOrDie()[1].kind, robust::FaultKind::kTornFrameRead);
+  EXPECT_EQ(faults.ValueOrDie()[2].kind, robust::FaultKind::kSlowPeerRead);
+  EXPECT_EQ(faults.ValueOrDie()[3].kind, robust::FaultKind::kConnDropWrite);
+  EXPECT_EQ(faults.ValueOrDie()[3].at, 4);
+
+  // A conn_drop with the wrong key must name the accepted ones.
+  auto bad = robust::ParseFaultSpec("conn_drop@epoch=1");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("accept"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("net_write"), std::string::npos);
+  EXPECT_FALSE(robust::ParseFaultSpec("torn_frame@read=1").ok());
+}
+
+TEST_F(RobustTest, NetworkQueryPointsFireAtCountedOrdinals) {
+  auto& injector = robust::FaultInjector::Get();
+  ASSERT_TRUE(injector
+                  .Configure("conn_drop@accept=1;torn_frame@net_read=0;"
+                             "slow_peer@net_read=2;conn_drop@net_write=1")
+                  .ok());
+  EXPECT_FALSE(injector.OnAccept());
+  EXPECT_TRUE(injector.OnAccept());
+  EXPECT_FALSE(injector.OnAccept());  // one-shot
+
+  auto read0 = injector.OnNetRead();
+  EXPECT_TRUE(read0.torn);
+  EXPECT_FALSE(read0.slow);
+  auto read1 = injector.OnNetRead();
+  EXPECT_FALSE(read1.torn);
+  EXPECT_FALSE(read1.slow);
+  auto read2 = injector.OnNetRead();
+  EXPECT_FALSE(read2.torn);
+  EXPECT_TRUE(read2.slow);
+
+  EXPECT_FALSE(injector.OnNetWrite());
+  EXPECT_TRUE(injector.OnNetWrite());
+  EXPECT_FALSE(injector.OnNetWrite());
+}
+
 TEST_F(RobustTest, InjectorFiresEachFaultExactlyOnce) {
   auto& injector = robust::FaultInjector::Get();
   ASSERT_TRUE(injector.Configure("nan_grad@epoch=2").ok());

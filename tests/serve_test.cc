@@ -397,7 +397,7 @@ TEST(ServeGolden, ParityAcrossBatchSizesAndThreadCounts) {
 
 TEST(ServeServer, RejectsUnloadedAndMisshapenRequests) {
   obs::Counter& rejected = obs::MetricsRegistry::Get().GetCounter(
-      "serve/requests", {{"outcome", "rejected"}});
+      "serve/requests", {{"outcome", "error"}});
   const uint64_t before = rejected.value();
 
   InferenceServer server{ServerOptions{}};

@@ -1,10 +1,19 @@
 #!/bin/sh
 # Serving gate: run the serve-labeled test suite (golden parity, artifact
-# round-trips, loader fuzzing, hot reload under load), then verify the
-# recorded serving benchmark baseline still parses and self-compares through
-# bench_diff. For the full guarantee, also run this from builds configured
-# with -DAMS_SANITIZE=thread (reload-under-load data races) and
-# -DAMS_SANITIZE=address (fuzzed loader memory safety).
+# round-trips, loader + frame fuzzing, hot reload under load), then exercise
+# the network front end to end: start the socket server with a deliberately
+# small admission queue, measure an uncontended baseline, drive an open-loop
+# overload at 2x the measured capacity, and assert that
+#   * overload produced real load shedding (shed > 0),
+#   * every shed/deadline response was a clean status (error = transport = 0),
+#   * the p99 of admitted requests stayed within 3x the uncontended baseline
+#     (floor 20 ms absorbs timer noise on loaded CI hosts),
+#   * the telemetry JSONL carries the SLO "health" field,
+#   * SIGTERM drains and exits 0.
+# Finally verify the recorded serving + network benchmark baselines still
+# parse through bench_diff. For the full guarantee, also run this from
+# builds configured with -DAMS_SANITIZE=thread (reload/shutdown races) and
+# -DAMS_SANITIZE=address (fuzzed decoder memory safety).
 #
 # Usage: check_serve.sh BUILD_DIR REPO_DIR
 set -eu
@@ -12,7 +21,67 @@ BUILD_DIR=${1:?usage: check_serve.sh BUILD_DIR REPO_DIR}
 REPO_DIR=${2:?usage: check_serve.sh BUILD_DIR REPO_DIR}
 cd "$BUILD_DIR"
 BENCH_DIFF="$(pwd)/tools/bench_diff"
+NET_SERVER="$(pwd)/tools/net_server_main"
+LOADGEN="$(pwd)/tools/loadgen"
 ctest -L serve --output-on-failure
 
 "$BENCH_DIFF" --check "$REPO_DIR/BENCH_serve.json"
+"$BENCH_DIFF" --check "$REPO_DIR/BENCH_net.json"
+
+# --- Network front: overload + shedding + clean drain -----------------------
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+SRV_OUT="$WORK/server.out"
+
+AMS_SERVE_QUEUE=4 AMS_SERVE_WORKERS=2 \
+AMS_TELEMETRY_INTERVAL_MS=200 AMS_TELEMETRY_FILE="$WORK/telemetry.jsonl" \
+AMS_SLO="serve/shed_rate:<0.95" \
+  "$NET_SERVER" > "$SRV_OUT" 2> "$WORK/server.err" &
+SRV_PID=$!
+
+i=0
+while ! grep -q 'AMSNET listening' "$SRV_OUT" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 300 ] && { echo "check_serve: server never became ready" >&2; exit 1; }
+  sleep 0.1
+done
+PORT=$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$SRV_OUT")
+
+# Uncontended baseline: closed loop, light concurrency.
+BASE=$("$LOADGEN" --port="$PORT" --mode=closed --concurrency=2 \
+       --duration_ms=2000 --json="$WORK/loadgen_base.json")
+echo "baseline:  $BASE"
+"$BENCH_DIFF" --check "$WORK/loadgen_base.json"
+BASE_P99=$(echo "$BASE" | sed -n 's/.*p99_ms=\([0-9.]*\).*/\1/p')
+BASE_RPS=$(echo "$BASE" | sed -n 's/.*rps=\([0-9.]*\).*/\1/p')
+
+# Overload: open loop at 2x measured capacity for a smoke window.
+TARGET_RPS=$(awk "BEGIN { printf \"%d\", 2 * $BASE_RPS }")
+OVER=$("$LOADGEN" --port="$PORT" --mode=open --concurrency=16 \
+       --rps="$TARGET_RPS" --duration_ms=5000)
+echo "overload:  $OVER"
+
+SHED=$(echo "$OVER" | sed -n 's/.*shed=\([0-9]*\).*/\1/p')
+ERROR=$(echo "$OVER" | sed -n 's/.*error=\([0-9]*\).*/\1/p')
+TRANSPORT=$(echo "$OVER" | sed -n 's/.*transport=\([0-9]*\).*/\1/p')
+OVER_P99=$(echo "$OVER" | sed -n 's/.*p99_ms=\([0-9.]*\).*/\1/p')
+[ "$SHED" -gt 0 ] || { echo "check_serve: overload at ${TARGET_RPS}rps shed nothing" >&2; exit 1; }
+[ "$ERROR" -eq 0 ] || { echo "check_serve: $ERROR non-status error responses" >&2; exit 1; }
+[ "$TRANSPORT" -eq 0 ] || { echo "check_serve: $TRANSPORT transport failures" >&2; exit 1; }
+awk "BEGIN { bound = 3 * $BASE_P99; if (bound < 20) bound = 20;
+             exit !($OVER_P99 <= bound) }" || {
+  echo "check_serve: overload p99 ${OVER_P99}ms > max(3 x ${BASE_P99}ms, 20ms)" >&2
+  exit 1
+}
+
+# Clean drain on SIGTERM.
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+  echo "check_serve: server did not exit cleanly on SIGTERM" >&2
+  exit 1
+fi
+
+# Telemetry JSONL must be parseable and report SLO health.
+"$BENCH_DIFF" --lint-jsonl "$WORK/telemetry.jsonl" --require='"health"' \
+  --require='serve/shed_rate' --min-lines=2
 echo "check_serve: OK"

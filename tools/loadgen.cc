@@ -1,0 +1,215 @@
+// Closed/open-loop load generator for the AMSNET1 socket front.
+//
+// Usage: loadgen --port=N [--mode=closed|open] [--concurrency=4]
+//                [--rps=0] [--duration_ms=2000] [--deadline_ms=0]
+//                [--json=path] [--seed=42]
+//
+//   closed mode  each of --concurrency worker threads keeps exactly one
+//                request in flight (throughput self-limits to server
+//                capacity — the polite client)
+//   open mode    workers pace requests to a combined --rps arrival rate
+//                regardless of response latency (the overload client; this
+//                is what drives the server past capacity so shedding and
+//                deadline enforcement become observable)
+//
+// The request shape is discovered from the server's info frame. Latency
+// percentiles are computed over OK responses only — shed and deadline
+// answers are fast by design and would flatter the numbers.
+//
+// Output: one parseable summary line on stdout —
+//
+//   loadgen: sent=N ok=N shed=N deadline=N error=N transport=N
+//   p50_ms=X p95_ms=X p99_ms=X rps=X
+//
+// plus, with --json=path, a Google-benchmark-shaped JSON report
+// (benchmarks[].name / real_time) that tools/bench_diff accepts for
+// --check and baseline diffing (BENCH_net.json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "la/matrix.h"
+#include "serve/net_client.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+using namespace ams;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkerStats {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t deadline = 0;
+  uint64_t error = 0;
+  uint64_t transport = 0;
+  std::vector<double> ok_latency_ms;
+};
+
+double Percentile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(index, sorted->size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int port = GetFlagInt(argc, argv, "port", 0);
+  if (port <= 0) {
+    std::fprintf(stderr, "loadgen: --port is required\n");
+    return 2;
+  }
+  const std::string mode = GetFlag(argc, argv, "mode", "closed");
+  const int concurrency = GetFlagInt(argc, argv, "concurrency", 4);
+  const int rps = GetFlagInt(argc, argv, "rps", 0);
+  const int duration_ms = GetFlagInt(argc, argv, "duration_ms", 2000);
+  const int deadline_ms = GetFlagInt(argc, argv, "deadline_ms", 0);
+  const std::string json_path = GetFlag(argc, argv, "json", "");
+  const uint64_t seed = GetFlagU64(argc, argv, "seed", 42);
+  if (mode == "open" && rps <= 0) {
+    std::fprintf(stderr, "loadgen: open mode needs --rps\n");
+    return 2;
+  }
+
+  // Shape discovery: one info round trip (retried internally on transport
+  // failures, so a just-started server is fine).
+  serve::NetClient probe(port);
+  auto info = probe.Info();
+  if (!info.ok()) {
+    std::fprintf(stderr, "loadgen: info request failed: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  const int rows = info.ValueOrDie().rows;
+  const int cols = info.ValueOrDie().cols;
+
+  la::Matrix features(rows, cols);
+  Rng rng(seed);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) features(r, c) = rng.Uniform(-1.0, 1.0);
+  }
+
+  // Open mode: each worker paces its own slice of the combined arrival
+  // rate. A response slower than the pace interval is not compensated for
+  // (no coordinated-omission backlog) — the server sheds precisely because
+  // arrivals keep coming.
+  const double per_worker_interval_ms =
+      mode == "open" ? 1000.0 * concurrency / rps : 0.0;
+
+  std::vector<WorkerStats> stats(concurrency);
+  std::vector<std::thread> workers;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point stop =
+      start + std::chrono::milliseconds(duration_ms);
+  for (int w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      serve::NetClient client(port);
+      WorkerStats& s = stats[w];
+      Clock::time_point next_send = Clock::now();
+      while (Clock::now() < stop) {
+        if (per_worker_interval_ms > 0.0) {
+          if (Clock::now() < next_send) {
+            std::this_thread::sleep_until(next_send);
+          }
+          next_send += std::chrono::microseconds(
+              static_cast<int64_t>(1000.0 * per_worker_interval_ms));
+        }
+        const Clock::time_point sent_at = Clock::now();
+        auto result = client.ScoreWithDeadline(
+            features, static_cast<uint32_t>(deadline_ms));
+        ++s.sent;
+        if (result.ok()) {
+          ++s.ok;
+          s.ok_latency_ms.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        sent_at)
+                  .count());
+        } else {
+          switch (result.status().code()) {
+            case StatusCode::kUnavailable:
+              ++s.shed;
+              break;
+            case StatusCode::kDeadlineExceeded:
+              ++s.deadline;
+              break;
+            case StatusCode::kIoError:
+              ++s.transport;
+              break;
+            default:
+              ++s.error;
+              break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  WorkerStats total;
+  for (const auto& s : stats) {
+    total.sent += s.sent;
+    total.ok += s.ok;
+    total.shed += s.shed;
+    total.deadline += s.deadline;
+    total.error += s.error;
+    total.transport += s.transport;
+    total.ok_latency_ms.insert(total.ok_latency_ms.end(),
+                               s.ok_latency_ms.begin(), s.ok_latency_ms.end());
+  }
+  std::sort(total.ok_latency_ms.begin(), total.ok_latency_ms.end());
+  const double p50 = Percentile(&total.ok_latency_ms, 0.50);
+  const double p95 = Percentile(&total.ok_latency_ms, 0.95);
+  const double p99 = Percentile(&total.ok_latency_ms, 0.99);
+  const double achieved_rps =
+      elapsed_s > 0.0 ? static_cast<double>(total.sent) / elapsed_s : 0.0;
+
+  std::printf(
+      "loadgen: sent=%llu ok=%llu shed=%llu deadline=%llu error=%llu "
+      "transport=%llu p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f rps=%.1f\n",
+      static_cast<unsigned long long>(total.sent),
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.shed),
+      static_cast<unsigned long long>(total.deadline),
+      static_cast<unsigned long long>(total.error),
+      static_cast<unsigned long long>(total.transport), p50, p95, p99,
+      achieved_rps);
+
+  if (!json_path.empty()) {
+    char date[64];
+    const std::time_t now = std::time(nullptr);
+    std::strftime(date, sizeof(date), "%FT%T%z", std::localtime(&now));
+    std::ofstream out(json_path, std::ios::trunc);
+    out << "{\n  \"context\": {\n    \"date\": \"" << date
+        << "\",\n    \"executable\": \"loadgen\",\n    \"num_cpus\": "
+        << std::thread::hardware_concurrency() << "\n  },\n"
+        << "  \"benchmarks\": [\n";
+    const auto bench = [&](const char* name, double value, bool last) {
+      out << "    {\"name\": \"" << name << "\", \"run_type\": \"iteration\""
+          << ", \"real_time\": " << value << ", \"time_unit\": \"ms\"}"
+          << (last ? "\n" : ",\n");
+    };
+    bench("LoadgenScore/p50_ms", p50, false);
+    bench("LoadgenScore/p95_ms", p95, false);
+    bench("LoadgenScore/p99_ms", p99, true);
+    out << "  ]\n}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "loadgen: failed writing %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return total.sent > 0 ? 0 : 1;
+}
