@@ -7,9 +7,11 @@
 
 #include <sstream>
 
+#include "obs/flight.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 
 namespace {
@@ -179,6 +181,43 @@ void BM_HealthEvaluate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HealthEvaluate);
+
+void BM_PrometheusRender(benchmark::State& state) {
+  // One /metrics scrape body over a populated registry: snapshot + text
+  // exposition render. This is the admin plane's per-scrape cost, which
+  // must stay off the serving threads' critical path but still cheap
+  // enough that a 1 Hz scraper is invisible in the process profile.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  for (int i = 0; i < 64; ++i) {
+    registry
+        .GetCounter("bench/prom_family",
+                    {{"shard", std::to_string(i)}})
+        .Increment();
+  }
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    obs::WritePrometheusReport(registry.Snapshot(), out);
+    bytes += static_cast<int64_t>(out.str().size());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_PrometheusRender);
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  // The wait-free ring write every span/serve-outcome pays once the flight
+  // recorder is enabled — a fetch_add, a few plain stores, one release
+  // store. Compare against BM_CounterIncrement for the relative cost.
+  obs::FlightRecorder::Get().Enable(1024);
+  for (auto _ : state) {
+    obs::FlightRecorder::Get().Record(obs::FlightEventKind::kMark,
+                                      "bench/flight", 1, 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderRecord)->ThreadRange(1, 8);
 
 }  // namespace
 

@@ -1,0 +1,144 @@
+// Live introspection plane: a dependency-free, minimal HTTP/1.0 loopback
+// server exposing the running process's telemetry as pull endpoints, so an
+// operator (or a per-shard scraper, or the champion/challenger promoter)
+// can ask a live server "what is your shed rate right now" instead of
+// waiting for exit reports or tailing JSONL files.
+//
+//   GET /            endpoint index (text)
+//   GET /metrics     Prometheus text exposition of the MetricsRegistry
+//                    (obs/prometheus.h; labels + escaping per exposition
+//                    rules)
+//   GET /metrics.json  the existing JSON report (obs/report.h)
+//   GET /healthz     SLO monitor state: 200 "ok" / 503 listing the
+//                    violating targets (evaluates the AMS_SLO monitor
+//                    against a fresh snapshot on every scrape — a scrape is
+//                    a health tick, hysteresis streaks advance with it)
+//   GET /tracez?n=N  last N completed spans from the trace ring as JSON
+//                    (trace/span/parent ids; the ring is enabled at a
+//                    reduced capacity when the admin plane starts, unless
+//                    AMS_TRACE_FILE already enabled it)
+//   GET /profilez?seconds=N  on-demand sampling profile: starts a
+//                    WallProfiler (AMS_PROFILE_HZ rate), samples for N
+//                    seconds (clamped to [1, 10]), responds with the
+//                    folded-stack text
+//   GET /varz        resolved AMS_* configuration + run-ledger config
+//                    fingerprint + registered components, as JSON
+//   GET /flightz     live dump of the flight-recorder ring (obs/flight.h)
+//
+// Transport: HTTP/1.0, GET only, Connection: close on every response, bound
+// to 127.0.0.1 (AMS_ADMIN_PORT; 0 = kernel-assigned, read port()). The
+// request parser is an untrusted-input surface in the spirit of
+// serve/framing.cc: the request line + headers are read into a bounded
+// buffer (kMaxRequestBytes) with a receive timeout, and anything
+// malformed — truncations, oversized headers, random bytes, non-GET
+// methods — is answered with a clean 4xx and a close, never a crash
+// (tests/admin_fuzz_test.cc). Handlers run on detached per-connection
+// threads bounded by max_inflight; excess connections get an immediate 503.
+//
+// The serve layer starts/stops one of these inside NetServer (the admin
+// plane outlives the 4-phase drain so operators can watch a shutdown), and
+// installs the torn_scrape@admin fault hook so half-written scrape
+// responses are an exercised failure mode.
+#ifndef AMS_OBS_ADMIN_H_
+#define AMS_OBS_ADMIN_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ams::obs {
+
+struct AdminServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 = kernel-assigned. Negative =
+  /// disabled (FromEnv returns -1 when AMS_ADMIN_PORT is unset).
+  int port = 0;
+  /// Concurrent handler threads (AMS_ADMIN_MAX_INFLIGHT); connections
+  /// beyond it are answered 503 inline on the accept thread.
+  int max_inflight = 8;
+  /// Per-connection receive/send socket timeout (AMS_ADMIN_TIMEOUT_MS):
+  /// a stalled scraper can hold a handler for at most this long per
+  /// syscall.
+  int timeout_ms = 2000;
+  int backlog = 16;
+
+  /// Reads AMS_ADMIN_PORT / AMS_ADMIN_MAX_INFLIGHT / AMS_ADMIN_TIMEOUT_MS
+  /// through env::EnvInt (warn-once on unparseable values). port stays -1
+  /// (disabled) when AMS_ADMIN_PORT is unset.
+  static AdminServerOptions FromEnv();
+
+  bool enabled() const { return port >= 0; }
+};
+
+class AdminServer {
+ public:
+  /// Request line + headers may not exceed this many bytes (431 beyond).
+  static constexpr size_t kMaxRequestBytes = 8192;
+
+  explicit AdminServer(AdminServerOptions options);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds 127.0.0.1:port, starts the accept thread. Enables the trace
+  /// ring (capacity kAdminTraceCapacity) if nothing enabled it before.
+  Status Start();
+
+  /// Stops accepting, hangs up open connections, waits for every handler
+  /// to finish. Idempotent.
+  void Stop();
+
+  /// Bound port (valid after Start), 0 before.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  const AdminServerOptions& options() const { return options_; }
+
+  /// Process-wide fault hook consulted once per response write; returning
+  /// true makes the server send only a prefix of the response and drop the
+  /// connection (a torn scrape). Installed by the serve layer as
+  /// robust::FaultInjector's torn_scrape@admin query (obs cannot link
+  /// robust — the dependency points the other way). nullptr = off.
+  static void SetWriteFaultHook(bool (*hook)());
+
+  /// Span-ring capacity Start() applies when the trace buffer was not
+  /// already enabled (AMS_TRACE_FILE uses a much larger default).
+  static constexpr size_t kAdminTraceCapacity = 8192;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  /// Routes one parsed request; fills body/content type, returns the HTTP
+  /// status code.
+  int Route(const std::string& path, const std::string& query,
+            std::string* body, std::string* content_type);
+
+  void SendHttpResponse(int fd, int code, const std::string& content_type,
+                        const std::string& body);
+
+  const AdminServerOptions options_;
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;  // guards active_, conn_fds_
+  std::condition_variable idle_cv_;
+  int active_ = 0;
+  std::vector<int> conn_fds_;  // open handler fds, for Stop() hangup
+
+  class Metrics;
+  std::unique_ptr<Metrics> metrics_;
+};
+
+}  // namespace ams::obs
+
+#endif  // AMS_OBS_ADMIN_H_

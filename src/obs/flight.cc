@@ -1,0 +1,254 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/trace.h"
+#include "util/env_util.h"
+#include "util/logging.h"
+
+namespace ams::obs {
+
+namespace {
+
+/// Setup-only lock (Enable/InstallCrashDump); never touched by Record or
+/// the dump path.
+std::mutex g_setup_mu;
+
+/// Signals whose default action kills the process with useful context.
+constexpr int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+const char* SignalReason(int sig) {
+  switch (sig) {
+    case SIGSEGV:
+      return "signal:SIGSEGV";
+    case SIGABRT:
+      return "signal:SIGABRT";
+    case SIGBUS:
+      return "signal:SIGBUS";
+    case SIGFPE:
+      return "signal:SIGFPE";
+    case SIGILL:
+      return "signal:SIGILL";
+  }
+  return "signal:unknown";
+}
+
+void CrashHandler(int sig) {
+  FlightRecorder::Get().DumpToFile(SignalReason(sig));
+  // Default disposition + re-raise: same exit code / core file as an
+  // uninstrumented crash. signal() and raise() are async-signal-safe.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void WarnLogObserver(LogLevel level, const char* line, size_t len) {
+  if (level < LogLevel::kWarning) return;
+  // Drop the trailing newline the sink formatting appends.
+  while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) --len;
+  std::string one_line(line, len);
+  FlightRecorder::Get().Record(FlightEventKind::kLog, one_line.c_str(),
+                               static_cast<uint64_t>(level), 0);
+}
+
+// --- async-signal-safe formatting helpers ---------------------------------
+
+/// Appends at most `cap - *pos` bytes of NUL-terminated `s`.
+void AppendStr(char* buf, size_t cap, size_t* pos, const char* s) {
+  while (*s != '\0' && *pos < cap) buf[(*pos)++] = *s++;
+}
+
+void AppendU64(char* buf, size_t cap, size_t* pos, uint64_t value) {
+  char digits[20];
+  size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0 && n < sizeof(digits));
+  while (n > 0 && *pos < cap) buf[(*pos)++] = digits[--n];
+}
+
+void WriteAll(int fd, const char* buf, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, buf + written, len - written);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return;  // nowhere to report a dump-path write error
+    }
+  }
+}
+
+}  // namespace
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSpanBegin:
+      return "span_begin";
+    case FlightEventKind::kSpanEnd:
+      return "span_end";
+    case FlightEventKind::kLog:
+      return "log";
+    case FlightEventKind::kFault:
+      return "fault";
+    case FlightEventKind::kServeOutcome:
+      return "serve_outcome";
+    case FlightEventKind::kMark:
+      return "mark";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Get() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never freed
+  return *recorder;
+}
+
+void FlightRecorder::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(g_setup_mu);
+  if (slots_ == nullptr) {
+    capacity_ = std::min<size_t>(std::max<size_t>(capacity, 16), 1u << 20);
+    slots_ = std::make_unique<Slot[]>(capacity_);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+Status FlightRecorder::InstallCrashDump(const std::string& path,
+                                        size_t capacity) {
+  Enable(capacity);
+  std::lock_guard<std::mutex> lock(g_setup_mu);
+  if (fd_ < 0) {
+    const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::IoError("flight recorder: cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    fd_ = fd;
+    path_ = path;
+    for (int sig : kCrashSignals) std::signal(sig, &CrashHandler);
+    SetLogObserver(&WarnLogObserver);
+  }
+  return Status::OK();
+}
+
+void FlightRecorder::InstallFromEnv() {
+  const char* path = std::getenv("AMS_FLIGHT_RECORDER");
+  if (path == nullptr || path[0] == '\0') return;
+  const int capacity =
+      env::EnvInt("AMS_FLIGHT_RECORDER_EVENTS", 1024, 16, 1 << 20);
+  const Status status =
+      InstallCrashDump(path, static_cast<size_t>(capacity));
+  if (!status.ok()) {
+    AMS_LOG(Warning) << "flight recorder disabled: " << status.ToString();
+  }
+}
+
+void FlightRecorder::Record(FlightEventKind kind, const char* text,
+                            uint64_t a, uint64_t b) {
+  if (!enabled()) return;
+  const uint64_t claim = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[claim % capacity_];
+  // Invalidate before touching the payload: a concurrent dump either sees
+  // the previous complete record (seq already overwritten -> skip) or the
+  // new one, never a blend it believes.
+  slot.seq.store(0, std::memory_order_release);
+  slot.ts_us =
+      internal::MicrosSinceOrigin(std::chrono::steady_clock::now());
+  slot.tid = TraceBuffer::CurrentThreadId();
+  slot.kind = kind;
+  slot.a = a;
+  slot.b = b;
+  size_t n = 0;
+  if (text != nullptr) {
+    for (; n < kTextBytes - 1 && text[n] != '\0'; ++n) {
+      const unsigned char c = static_cast<unsigned char>(text[n]);
+      slot.text[n] = c < 0x20 ? '_' : text[n];
+    }
+  }
+  slot.text[n] = '\0';
+  slot.seq.store(claim + 1, std::memory_order_release);
+}
+
+void FlightRecorder::DumpToFd(int fd, const char* reason) const {
+  char buf[256];
+  size_t pos = 0;
+  const uint64_t total = next_.load(std::memory_order_relaxed);
+  const uint64_t begin = total > capacity_ ? total - capacity_ : 0;
+  AppendStr(buf, sizeof(buf), &pos, "ams-flight-recorder-v1 reason=");
+  AppendStr(buf, sizeof(buf), &pos, reason);
+  AppendStr(buf, sizeof(buf), &pos, " events=");
+  AppendU64(buf, sizeof(buf), &pos, total - begin);
+  AppendStr(buf, sizeof(buf), &pos, " total=");
+  AppendU64(buf, sizeof(buf), &pos, total);
+  AppendStr(buf, sizeof(buf), &pos, "\n");
+  WriteAll(fd, buf, pos);
+  if (slots_ == nullptr) return;
+  for (uint64_t i = begin; i < total; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq != i + 1) continue;  // mid-rewrite or never completed: skip
+    pos = 0;
+    AppendStr(buf, sizeof(buf), &pos, "E ");
+    AppendU64(buf, sizeof(buf), &pos, seq);
+    AppendStr(buf, sizeof(buf), &pos, " ");
+    AppendU64(buf, sizeof(buf), &pos, slot.ts_us);
+    AppendStr(buf, sizeof(buf), &pos, " ");
+    AppendU64(buf, sizeof(buf), &pos, slot.tid);
+    AppendStr(buf, sizeof(buf), &pos, " ");
+    AppendStr(buf, sizeof(buf), &pos, FlightEventKindName(slot.kind));
+    AppendStr(buf, sizeof(buf), &pos, " ");
+    AppendU64(buf, sizeof(buf), &pos, slot.a);
+    AppendStr(buf, sizeof(buf), &pos, " ");
+    AppendU64(buf, sizeof(buf), &pos, slot.b);
+    AppendStr(buf, sizeof(buf), &pos, " ");
+    AppendStr(buf, sizeof(buf), &pos, slot.text);
+    if (pos == sizeof(buf)) pos = sizeof(buf) - 1;  // room for the newline
+    buf[pos++] = '\n';
+    WriteAll(fd, buf, pos);
+  }
+}
+
+void FlightRecorder::DumpToFile(const char* reason) const {
+  if (fd_ < 0) return;
+  // Rewind + truncate so the newest dump owns the file; both calls are
+  // async-signal-safe.
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return;
+  while (::ftruncate(fd_, 0) < 0 && errno == EINTR) {
+  }
+  DumpToFd(fd_, reason);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::SnapshotEvents() const {
+  std::vector<Event> events;
+  if (slots_ == nullptr) return events;
+  const uint64_t total = next_.load(std::memory_order_relaxed);
+  const uint64_t begin = total > capacity_ ? total - capacity_ : 0;
+  events.reserve(total - begin);
+  for (uint64_t i = begin; i < total; ++i) {
+    const Slot& slot = slots_[i % capacity_];
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    Event event;
+    event.seq = i + 1;
+    event.ts_us = slot.ts_us;
+    event.tid = slot.tid;
+    event.kind = slot.kind;
+    event.a = slot.a;
+    event.b = slot.b;
+    event.text = slot.text;
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace ams::obs

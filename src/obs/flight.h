@@ -1,0 +1,153 @@
+// Flight recorder: a fixed-size lock-free ring of recent process events —
+// span begin/end, log lines >= warn, fault injections, per-request serve
+// outcomes — dumped at crash time so a SIGSEGV/SIGABRT/fatal-Status death
+// leaves behind the last thing the process was doing, not just a corpse.
+//
+// Enable with AMS_FLIGHT_RECORDER=<path> (capacity via
+// AMS_FLIGHT_RECORDER_EVENTS, default 1024). Installation pre-opens the
+// dump fd, arms SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL handlers, and hooks
+// the log observer; from then on Record() is a wait-free slot claim
+// (fetch_add + plain stores + one release store) from any thread, and the
+// signal handler's dump path is async-signal-safe by construction:
+//
+//   * the fd was opened at install time — no open() at crash time,
+//   * formatting uses stack buffers and hand-rolled integer/hex rendering —
+//     no malloc, no stdio, no locale,
+//   * output leaves via write() (EINTR-retried) only,
+//   * ring slots are read through relaxed/acquire atomic seq words — a slot
+//     being concurrently written by a still-running thread is skipped, not
+//     torn.
+//
+// After the dump the handler restores the default disposition and
+// re-raises, so exit codes / core dumps behave exactly as without the
+// recorder. Normal exits write the same dump via the exit reporter, and the
+// admin plane serves the live ring at /flightz (obs/admin.h).
+//
+// Dump format (one line per record, text fields sanitized to one line):
+//
+//   ams-flight-recorder-v1 reason=signal:SIGABRT events=37 total=412
+//   E <seq> <ts_us> <tid> <kind> <a> <b> <text...>
+//
+// kind in {span_begin, span_end, log, fault, serve_outcome, mark}. The
+// a/b payload is kind-specific (documented at the Record call sites).
+#ifndef AMS_OBS_FLIGHT_H_
+#define AMS_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ams::obs {
+
+enum class FlightEventKind : uint8_t {
+  kSpanBegin = 1,
+  kSpanEnd = 2,
+  kLog = 3,
+  kFault = 4,
+  kServeOutcome = 5,
+  kMark = 6,
+};
+
+/// Stable dump-format name ("span_begin", ...).
+const char* FlightEventKindName(FlightEventKind kind);
+
+class FlightRecorder {
+ public:
+  /// Per-event text payload bound (NUL included); longer texts truncate.
+  static constexpr size_t kTextBytes = 104;
+
+  /// One recorded event, unpacked for tests and the /flightz endpoint.
+  struct Event {
+    uint64_t seq = 0;  // global record ordinal (1-based)
+    uint64_t ts_us = 0;  // trace-origin-relative (obs/trace.h)
+    uint32_t tid = 0;    // TraceBuffer dense thread id
+    FlightEventKind kind = FlightEventKind::kMark;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    std::string text;
+  };
+
+  static FlightRecorder& Get();
+
+  /// True once Enable/InstallCrashDump ran; Record() is a single relaxed
+  /// load when false.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Arms the ring with `capacity` slots (clamped to [16, 1<<20]) without
+  /// any file or signal wiring — tests and /flightz-only use. The capacity
+  /// is fixed by whichever of Enable/InstallCrashDump runs first.
+  void Enable(size_t capacity);
+
+  /// Stops recording (the ring and its contents stay readable).
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Full installation: pre-opens `path` (created/truncated), arms the
+  /// crash-signal handlers and the >=warn log observer, enables the ring.
+  Status InstallCrashDump(const std::string& path, size_t capacity);
+
+  /// InstallCrashDump from AMS_FLIGHT_RECORDER / AMS_FLIGHT_RECORDER_EVENTS;
+  /// silently does nothing when the variable is unset. Failures warn.
+  void InstallFromEnv();
+
+  /// Records one event. Wait-free; safe from any thread; no-op when
+  /// disabled. `text` may be nullptr (empty); control bytes are replaced
+  /// with '_' at copy time so every dump line stays one line.
+  void Record(FlightEventKind kind, const char* text, uint64_t a = 0,
+              uint64_t b = 0);
+
+  /// Async-signal-safe dump of the ring (oldest to newest) to `fd`.
+  /// `reason` must be a NUL-terminated literal. Slots mid-write are
+  /// skipped. Safe to call from a signal handler.
+  void DumpToFd(int fd, const char* reason) const;
+
+  /// DumpToFd to the pre-opened InstallCrashDump file, rewound and
+  /// truncated first so repeated dumps (exit after a survived signal, or
+  /// the exit reporter after a clean run) never interleave. No-op without
+  /// InstallCrashDump. Async-signal-safe.
+  void DumpToFile(const char* reason) const;
+
+  /// Ordered (oldest -> newest) copy of the completed slots. Not
+  /// signal-safe (allocates); this is the /flightz and test reader.
+  std::vector<Event> SnapshotEvents() const;
+
+  /// Records dropped because the ring was not yet enabled are not counted;
+  /// this is the count of ring overwrites (total records - capacity floor).
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return capacity_; }
+  const std::string& path() const { return path_; }
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  FlightRecorder() = default;
+
+  struct Slot {
+    /// 0 = never written / being rewritten; claim ordinal + 1 once the
+    /// payload below is complete.
+    std::atomic<uint64_t> seq{0};
+    uint64_t ts_us = 0;
+    uint32_t tid = 0;
+    FlightEventKind kind = FlightEventKind::kMark;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    char text[kTextBytes] = {0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_{0};
+  std::unique_ptr<Slot[]> slots_;
+  size_t capacity_ = 0;
+  int fd_ = -1;  // pre-opened dump file; -1 until InstallCrashDump
+  std::string path_;
+};
+
+}  // namespace ams::obs
+
+#endif  // AMS_OBS_FLIGHT_H_

@@ -161,36 +161,68 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels) {
-  return GetCounter(EncodeLabeledName(name, labels));
+  const std::string encoded = EncodeLabeledName(name, labels);
+  RecordDecomposition(encoded, name, labels);
+  return GetCounter(encoded);
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name,
                                  const Labels& labels) {
-  return GetGauge(EncodeLabeledName(name, labels));
+  const std::string encoded = EncodeLabeledName(name, labels);
+  RecordDecomposition(encoded, name, labels);
+  return GetGauge(encoded);
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const Labels& labels,
                                          std::vector<double> bucket_bounds) {
-  return GetHistogram(EncodeLabeledName(name, labels),
-                      std::move(bucket_bounds));
+  const std::string encoded = EncodeLabeledName(name, labels);
+  RecordDecomposition(encoded, name, labels);
+  return GetHistogram(encoded, std::move(bucket_bounds));
+}
+
+void MetricsRegistry::RecordDecomposition(const std::string& encoded,
+                                          const std::string& base,
+                                          const Labels& labels) {
+  if (labels.empty()) return;
+  Labels sorted = labels;
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::lock_guard<std::mutex> lock(mu_);
+  decomp_.emplace(encoded, std::make_pair(base, std::move(sorted)));
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  const auto decompose = [&](const std::string& encoded, std::string* base,
+                             Labels* labels) {
+    const auto it = decomp_.find(encoded);
+    if (it == decomp_.end()) {
+      *base = encoded;
+      return;
+    }
+    *base = it->second.first;
+    *labels = it->second.second;
+  };
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const Counter& counter : counters_) {
-    snapshot.counters.push_back({counter.name(), counter.value()});
+    MetricsSnapshot::CounterValue value{counter.name(), counter.value(), {}, {}};
+    decompose(value.name, &value.base, &value.labels);
+    snapshot.counters.push_back(std::move(value));
   }
   snapshot.gauges.reserve(gauges_.size());
   for (const Gauge& gauge : gauges_) {
-    snapshot.gauges.push_back({gauge.name(), gauge.value()});
+    MetricsSnapshot::GaugeValue value{gauge.name(), gauge.value(), {}, {}};
+    decompose(value.name, &value.base, &value.labels);
+    snapshot.gauges.push_back(std::move(value));
   }
   snapshot.histograms.reserve(histograms_.size());
   for (const Histogram& histogram : histograms_) {
     MetricsSnapshot::HistogramValue value;
     value.name = histogram.name();
+    decompose(value.name, &value.base, &value.labels);
     value.count = histogram.count();
     value.sum = histogram.sum();
     value.bucket_bounds = histogram.bucket_bounds();

@@ -123,17 +123,30 @@ class Histogram {
 };
 
 /// Plain-data view of the registry at one instant.
+///
+/// Every value carries both the canonical encoded `name` (what the JSON
+/// report keys on) and its decomposition into `base` + `labels` as supplied
+/// at interning time, so exporters with their own label syntax (Prometheus
+/// exposition — obs/prometheus.h) never have to re-parse the encoded form,
+/// which is ambiguous for hostile label values. Instruments registered
+/// through the unlabeled accessors have base == name and empty labels.
 struct MetricsSnapshot {
   struct CounterValue {
     std::string name;
     uint64_t value = 0;
+    std::string base;
+    Labels labels;
   };
   struct GaugeValue {
     std::string name;
     double value = 0.0;
+    std::string base;
+    Labels labels;
   };
   struct HistogramValue {
     std::string name;
+    std::string base;
+    Labels labels;
     uint64_t count = 0;
     double sum = 0.0;
     std::vector<double> bucket_bounds;
@@ -205,6 +218,12 @@ class MetricsRegistry {
   std::unordered_map<std::string, Counter*> counter_index_;
   std::unordered_map<std::string, Gauge*> gauge_index_;
   std::unordered_map<std::string, Histogram*> histogram_index_;
+  // Encoded name -> (base, canonical labels), recorded by the labeled
+  // accessors so Snapshot() can hand exporters the decomposed identity.
+  std::unordered_map<std::string, std::pair<std::string, Labels>> decomp_;
+
+  void RecordDecomposition(const std::string& encoded, const std::string& base,
+                           const Labels& labels);
 };
 
 }  // namespace ams::obs

@@ -1,0 +1,162 @@
+#include "obs/prometheus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace ams::obs {
+
+namespace {
+
+bool NameByte(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Exposition value: counters/sums/bounds. Unlike JSON, non-finite values
+/// have literal spellings here.
+std::string PromNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return JsonNumber(value);
+}
+
+/// `{k="v",...}` rendered from sanitized keys and escaped values; empty
+/// labels render as an empty string (no braces).
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    std::string key = PrometheusName(labels[i].first);
+    // ':' is reserved for metric names; label keys may not use it.
+    std::replace(key.begin(), key.end(), ':', '_');
+    out += key;
+    out += "=\"";
+    out += PrometheusLabelValue(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Emits one `# TYPE` header the first time a family appears. Families are
+/// pre-sorted, so tracking the previous name suffices to keep each family's
+/// series contiguous under its header.
+struct TypeHeader {
+  std::string last_family;
+  void MaybeEmit(const std::string& family, const char* type,
+                 std::ostream& out) {
+    if (family == last_family) return;
+    last_family = family;
+    out << "# TYPE " << family << " " << type << "\n";
+  }
+};
+
+/// Sort key grouping all series of one sanitized family together (the
+/// snapshot is sorted by encoded name, where `name_x` can interleave with
+/// `name{...}` because '_' < '{').
+template <typename T>
+void SortByFamily(std::vector<const T*>* values) {
+  std::stable_sort(values->begin(), values->end(),
+                   [](const T* a, const T* b) {
+                     const std::string fa = PrometheusName(a->base);
+                     const std::string fb = PrometheusName(b->base);
+                     if (fa != fb) return fa < fb;
+                     return a->name < b->name;
+                   });
+}
+
+template <typename T>
+std::vector<const T*> Pointers(const std::vector<T>& values) {
+  std::vector<const T*> out;
+  out.reserve(values.size());
+  for (const T& value : values) out.push_back(&value);
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) {
+    out += NameByte(c, out.empty()) ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string PrometheusLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void WritePrometheusReport(const MetricsSnapshot& snapshot,
+                           std::ostream& out) {
+  TypeHeader header;
+
+  auto counters = Pointers(snapshot.counters);
+  SortByFamily(&counters);
+  for (const auto* c : counters) {
+    const std::string family = PrometheusName(c->base);
+    header.MaybeEmit(family, "counter", out);
+    out << family << RenderLabels(c->labels) << " " << c->value << "\n";
+  }
+
+  header.last_family.clear();
+  auto gauges = Pointers(snapshot.gauges);
+  SortByFamily(&gauges);
+  for (const auto* g : gauges) {
+    const std::string family = PrometheusName(g->base);
+    header.MaybeEmit(family, "gauge", out);
+    out << family << RenderLabels(g->labels) << " " << PromNumber(g->value)
+        << "\n";
+  }
+
+  header.last_family.clear();
+  auto histograms = Pointers(snapshot.histograms);
+  SortByFamily(&histograms);
+  for (const auto* h : histograms) {
+    const std::string family = PrometheusName(h->base);
+    header.MaybeEmit(family, "histogram", out);
+    // Cumulative buckets; the registry's counts are per-bucket.
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h->bucket_counts.size(); ++b) {
+      cumulative += h->bucket_counts[b];
+      Labels with_le = h->labels;
+      with_le.emplace_back("le", b < h->bucket_bounds.size()
+                                     ? PromNumber(h->bucket_bounds[b])
+                                     : std::string("+Inf"));
+      out << family << "_bucket" << RenderLabels(with_le) << " " << cumulative
+          << "\n";
+    }
+    out << family << "_sum" << RenderLabels(h->labels) << " "
+        << PromNumber(h->sum) << "\n";
+    out << family << "_count" << RenderLabels(h->labels) << " " << h->count
+        << "\n";
+  }
+}
+
+}  // namespace ams::obs

@@ -1,0 +1,45 @@
+// Prometheus text exposition (version 0.0.4) rendering of a
+// MetricsSnapshot — what the admin plane serves at /metrics so any
+// standard scraper can pull the registry from a live process.
+//
+// Mapping rules:
+//   * Metric names are sanitized to the exposition charset
+//     [a-zA-Z_:][a-zA-Z0-9_:]*: every other byte becomes '_' and a leading
+//     digit gains a '_' prefix ("serve/latency_ms" -> "serve_latency_ms").
+//     Label keys sanitize the same way minus ':'.
+//   * Label values pass through verbatim with the three exposition escapes
+//     (backslash, double quote, newline); arbitrary hostile values can
+//     never break line framing (tests/obs_test.cc hostile corpus).
+//   * Counters/gauges emit one "# TYPE" header per sanitized family
+//     followed by its series. Histograms emit the standard
+//     <name>_bucket{le="..."} cumulative series (always ending at
+//     le="+Inf"), <name>_sum, and <name>_count.
+//   * Non-finite gauge values render as Prometheus literals NaN / +Inf /
+//     -Inf (unlike JSON, the exposition format has spellings for them).
+//
+// Rendering takes the snapshot by value-copy semantics only (const ref, no
+// registry access), so it is safe to call from any thread including the
+// admin server's handler threads.
+#ifndef AMS_OBS_PROMETHEUS_H_
+#define AMS_OBS_PROMETHEUS_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ams::obs {
+
+/// `name` squeezed into the exposition metric-name charset (see above).
+std::string PrometheusName(const std::string& name);
+
+/// `value` with the exposition label-value escapes applied
+/// (\ -> \\, " -> \", newline -> \n), unquoted.
+std::string PrometheusLabelValue(const std::string& value);
+
+/// Renders the whole snapshot in exposition text format.
+void WritePrometheusReport(const MetricsSnapshot& snapshot, std::ostream& out);
+
+}  // namespace ams::obs
+
+#endif  // AMS_OBS_PROMETHEUS_H_

@@ -8,6 +8,7 @@
 #include <limits>
 #include <mutex>
 
+#include "obs/flight.h"
 #include "obs/ledger.h"
 #include "obs/periodic.h"
 #include "obs/profiler.h"
@@ -196,6 +197,9 @@ void ExitReporter() {
     std::cerr << "telemetry: run ledger failed: " << ledger_status.ToString()
               << "\n";
   }
+  // Clean-exit dump: the flight-recorder file always holds the run's last
+  // events, crash or not (no-op when AMS_FLIGHT_RECORDER is unset).
+  FlightRecorder::Get().DumpToFile("exit");
 }
 
 }  // namespace
@@ -210,6 +214,7 @@ void InstallExitReporter() {
     }
     PeriodicReporter::StartFromEnv();
     WallProfiler::StartFromEnv();
+    FlightRecorder::Get().InstallFromEnv();
     std::atexit(ExitReporter);
   });
 }

@@ -19,6 +19,10 @@
 //                        sets the rate; see obs/profiler.h)
 //   AMS_SLO="m:p99<50;..."  evaluate SLO targets on every periodic tick and
 //                        export a process health state (see obs/health.h)
+//   AMS_FLIGHT_RECORDER=path  arm the crash-time flight recorder: a ring of
+//                        recent events dumped to `path` on fatal signals and
+//                        at exit (AMS_FLIGHT_RECORDER_EVENTS sets the ring
+//                        size, default 1024; see obs/flight.h)
 //
 // Binaries opt in with one call at the top of main():
 //

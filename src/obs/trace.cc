@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.h"
 #include "obs/report.h"
 
 namespace ams::obs {
@@ -211,6 +212,10 @@ void ScopedSpan::Enter(const TraceContext* explicit_parent) {
   t_context_stack.push_back({trace_id_, span_id_});
   ThreadSamplingStack().Push(name_, t_span_depth);
   ++t_span_depth;
+  // Flight-recorder payload: a = trace_id, b = span_id (no-op when the
+  // recorder is disarmed — one relaxed load).
+  FlightRecorder::Get().Record(FlightEventKind::kSpanBegin, name_, trace_id_,
+                               span_id_);
 }
 
 ScopedSpan::ScopedSpan(const char* name)
@@ -252,6 +257,9 @@ ScopedSpan::~ScopedSpan() {
     span.parent_id = parent_id_;
     buffer.Record(span);
   }
+  // Flight-recorder payload: a = span_id, b = duration_us.
+  FlightRecorder::Get().Record(FlightEventKind::kSpanEnd, name_, span_id_,
+                               MicrosSince(start_, end));
 }
 
 TraceContext RecordSpanWithParent(const char* name, TraceContext parent,

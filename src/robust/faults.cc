@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -26,6 +27,7 @@ constexpr struct {
     {FaultKind::kTornFrameRead, "torn_frame", "net_read"},
     {FaultKind::kSlowPeerRead, "slow_peer", "net_read"},
     {FaultKind::kConnDropWrite, "conn_drop", "net_write"},
+    {FaultKind::kTornScrape, "torn_scrape", "admin"},
 };
 
 obs::Counter& InjectedCounter() {
@@ -147,6 +149,7 @@ Status FaultInjector::Configure(const std::string& spec) {
   accept_calls_.store(0, std::memory_order_relaxed);
   net_read_calls_.store(0, std::memory_order_relaxed);
   net_write_calls_.store(0, std::memory_order_relaxed);
+  admin_calls_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -160,6 +163,7 @@ void FaultInjector::Disarm() {
   accept_calls_.store(0, std::memory_order_relaxed);
   net_read_calls_.store(0, std::memory_order_relaxed);
   net_write_calls_.store(0, std::memory_order_relaxed);
+  admin_calls_.store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::Fire(FaultKind kind, int64_t ordinal) {
@@ -176,6 +180,12 @@ bool FaultInjector::Fire(FaultKind kind, int64_t ordinal) {
         .Increment();
     AMS_LOG(Warning) << "injecting fault " << FaultKindName(kind) << "@"
                      << FaultKindKey(kind) << "=" << ordinal;
+    // Flight-recorder payload: a = ordinal (the AMS_LOG line above also
+    // lands in the ring via the warn observer; this event survives even if
+    // log capture is off).
+    obs::FlightRecorder::Get().Record(
+        obs::FlightEventKind::kFault, FaultKindName(kind),
+        static_cast<uint64_t>(ordinal), 0);
     return true;
   }
   return false;

@@ -37,6 +37,9 @@
 //   conn_drop@net_write=N  close the connection instead of performing the
 //                          N-th response write (client sees EOF and must
 //                          retry)
+//   torn_scrape@admin=N    truncate the N-th admin-plane response halfway
+//                          and hang up (obs::AdminServer; scrapers must
+//                          treat short reads as failed scrapes)
 //
 // Ordinals are deterministic given single-run determinism of the call
 // sites: epoch/trial ordinals are supplied by the caller, while
@@ -71,6 +74,7 @@ enum class FaultKind {
   kTornFrameRead,
   kSlowPeerRead,
   kConnDropWrite,
+  kTornScrape,
 };
 
 /// The key each kind expects after the '@'; used for parse validation and
@@ -150,6 +154,11 @@ class FaultInjector {
   /// drop the connection instead of writing (conn_drop@net_write).
   bool OnNetWrite() { return FireCounted(FaultKind::kConnDropWrite, &net_write_calls_); }
 
+  /// Called once per admin-plane response write (the serve layer installs
+  /// this as obs::AdminServer's write-fault hook); true = tear the scrape
+  /// (torn_scrape@admin).
+  bool OnAdminScrape() { return FireCounted(FaultKind::kTornScrape, &admin_calls_); }
+
   /// Throws InjectedFault when a task_throw fault matches this (process-wide
   /// ordinal-counted) task entry.
   void MaybeThrowTask();
@@ -174,6 +183,7 @@ class FaultInjector {
   std::atomic<int64_t> accept_calls_{0};
   std::atomic<int64_t> net_read_calls_{0};
   std::atomic<int64_t> net_write_calls_{0};
+  std::atomic<int64_t> admin_calls_{0};
 };
 
 }  // namespace ams::robust

@@ -1,16 +1,16 @@
-// Shared env-variable parsing for the serving layer's *Options::FromEnv
-// readers. Unset variables keep the fallback silently; set-but-unparseable
-// (or out-of-range) values also keep the fallback but log one AMS_LOG
-// warning naming the variable, so a typo'd knob is visible instead of
-// silently ignored.
+// Forwarder: the serving layer's FromEnv parsing helpers moved to
+// util/env_util.h so the obs admin plane (linked *below* ams_serve) can
+// share the same warn-once-per-unparseable-variable contract. Existing
+// serve call sites keep the ams::serve::internal spelling.
 #ifndef AMS_SERVE_ENV_UTIL_H_
 #define AMS_SERVE_ENV_UTIL_H_
 
+#include "util/env_util.h"
+
 namespace ams::serve::internal {
 
-int EnvInt(const char* name, int fallback, int min_value, int max_value);
-double EnvDouble(const char* name, double fallback, double min_value,
-                 double max_value);
+using ams::env::EnvDouble;
+using ams::env::EnvInt;
 
 }  // namespace ams::serve::internal
 

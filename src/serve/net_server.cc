@@ -8,6 +8,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "robust/faults.h"
 #include "serve/env_util.h"
@@ -26,6 +27,26 @@ double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// obs::AdminServer's write-fault hook must be a plain function pointer
+/// (obs cannot link robust); this free function is the bridge.
+bool AdminScrapeFault() {
+  return robust::FaultInjector::Get().OnAdminScrape();
+}
+
+/// Flight-recorder label for a finished score request.
+const char* OutcomeName(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kUnavailable:
+      return "shed";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline";
+    default:
+      return "error";
+  }
 }
 
 }  // namespace
@@ -137,6 +158,21 @@ Status NetServer::Start() {
                 << ", workers=" << options_.num_workers
                 << ", default_deadline_ms=" << options_.default_deadline_ms
                 << ")";
+
+  // Live introspection plane (AMS_ADMIN_PORT). An admin-plane startup
+  // failure (e.g. a taken fixed port) degrades to serving without
+  // introspection, never to not serving.
+  const obs::AdminServerOptions admin_options =
+      obs::AdminServerOptions::FromEnv();
+  if (admin_options.enabled()) {
+    obs::AdminServer::SetWriteFaultHook(&AdminScrapeFault);
+    admin_ = std::make_unique<obs::AdminServer>(admin_options);
+    const Status admin_status = admin_->Start();
+    if (!admin_status.ok()) {
+      AMS_LOG(Warning) << "admin plane disabled: " << admin_status.ToString();
+      admin_.reset();
+    }
+  }
   return Status::OK();
 }
 
@@ -181,6 +217,12 @@ void NetServer::Stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   started_ = false;
+  // 5. The admin plane goes last: scrapes during the drain above still see
+  //    live (and internally consistent) counters.
+  if (admin_ != nullptr) {
+    admin_->Stop();
+    admin_.reset();
+  }
   AMS_LOG(Info) << "net server stopped (lifetime shed rate "
                 << metrics_->shed_rate->value() << ")";
 }
@@ -406,7 +448,13 @@ void NetServer::FinishScoreRequest(const Admitted& request,
                                    const std::vector<double>& values) {
   SendResponse(request.conn, FrameType::kScoreResponse, request.request_id,
                status, values);
-  metrics_->latency_ms->Observe(MsSince(request.arrival));
+  const double ms = MsSince(request.arrival);
+  metrics_->latency_ms->Observe(ms);
+  // Flight-recorder payload: a = request_id, b = latency_us; text = the
+  // outcome — a crash dump ends with exactly what the server last answered.
+  obs::FlightRecorder::Get().Record(obs::FlightEventKind::kServeOutcome,
+                                    OutcomeName(status), request.request_id,
+                                    static_cast<uint64_t>(ms * 1000.0));
 }
 
 void NetServer::SendResponse(const std::shared_ptr<Conn>& conn,

@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "la/matrix.h"
+#include "obs/admin.h"
 #include "serve/framing.h"
 #include "serve/server.h"
 #include "util/status.h"
@@ -114,6 +115,12 @@ class NetServer {
 
   /// The bound port (valid after Start), 0 before.
   int port() const { return port_.load(std::memory_order_acquire); }
+
+  /// The admin plane's bound port; 0 when AMS_ADMIN_PORT is unset or the
+  /// admin server failed to start (its failure never fails serving).
+  int admin_port() const {
+    return admin_ != nullptr ? admin_->port() : 0;
+  }
 
   const NetServerOptions& options() const { return options_; }
 
@@ -185,6 +192,10 @@ class NetServer {
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
+
+  // Live introspection plane (AMS_ADMIN_PORT); started with the server,
+  // stopped after the 4-phase drain so operators can watch a shutdown.
+  std::unique_ptr<obs::AdminServer> admin_;
 
   // Cumulative admission decisions for the shed-rate gauge.
   std::atomic<uint64_t> decisions_{0};

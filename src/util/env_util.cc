@@ -1,10 +1,10 @@
-#include "serve/env_util.h"
+#include "util/env_util.h"
 
 #include <cstdlib>
 
 #include "util/logging.h"
 
-namespace ams::serve::internal {
+namespace ams::env {
 
 int EnvInt(const char* name, int fallback, int min_value, int max_value) {
   const char* raw = std::getenv(name);
@@ -36,4 +36,4 @@ double EnvDouble(const char* name, double fallback, double min_value,
   return value;
 }
 
-}  // namespace ams::serve::internal
+}  // namespace ams::env

@@ -1,0 +1,22 @@
+// Shared env-variable parsing for *Options::FromEnv readers across layers
+// (serving knobs AMS_SERVE_*, admin plane AMS_ADMIN_*, flight recorder).
+// Unset variables keep the fallback silently; set-but-unparseable (or
+// out-of-range) values also keep the fallback but log one AMS_LOG warning
+// naming the variable, so a typo'd knob is visible instead of silently
+// ignored.
+//
+// Lived in src/serve/env_util.h until the admin plane needed it from
+// src/obs (which src/serve links against); serve/env_util.h now forwards
+// here so existing call sites keep compiling.
+#ifndef AMS_UTIL_ENV_UTIL_H_
+#define AMS_UTIL_ENV_UTIL_H_
+
+namespace ams::env {
+
+int EnvInt(const char* name, int fallback, int min_value, int max_value);
+double EnvDouble(const char* name, double fallback, double min_value,
+                 double max_value);
+
+}  // namespace ams::env
+
+#endif  // AMS_UTIL_ENV_UTIL_H_

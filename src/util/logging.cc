@@ -12,6 +12,7 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::atomic<bool> g_timestamps{false};
 std::atomic<std::ostream*> g_sink{nullptr};  // nullptr = stderr
+std::atomic<LogObserver> g_observer{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -50,13 +51,18 @@ void SetLogSink(std::ostream* sink) {
   g_sink.store(sink, std::memory_order_release);
 }
 
+void SetLogObserver(LogObserver observer) {
+  g_observer.store(observer, std::memory_order_release);
+}
+
 namespace internal {
 
 bool LogEnabled(LogLevel level) {
   return level >= g_level.load(std::memory_order_relaxed);
 }
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) {
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
   if (g_timestamps.load(std::memory_order_relaxed)) {
     const auto now = std::chrono::system_clock::now();
     const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
@@ -80,10 +86,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) {
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
+  const std::string line = stream_.str();
   std::ostream* sink = g_sink.load(std::memory_order_acquire);
   if (sink == nullptr) sink = &std::cerr;
   // One operator<< call so concurrent log lines don't interleave mid-line.
-  *sink << stream_.str() << std::flush;
+  *sink << line << std::flush;
+  const LogObserver observer = g_observer.load(std::memory_order_acquire);
+  if (observer != nullptr) observer(level_, line.c_str(), line.size());
 }
 
 }  // namespace internal

@@ -24,6 +24,15 @@ void SetLogTimestamps(bool enabled);
 /// quiescent phases (e.g. test setup), not while other threads log.
 void SetLogSink(std::ostream* sink);
 
+/// Observer called with every emitted log line (after threshold filtering,
+/// formatted exactly as written to the sink, trailing newline included) —
+/// the hook the obs flight recorder uses to capture >= warn lines without
+/// the util layer depending on obs. A plain function pointer so the
+/// install is one atomic store; pass nullptr to remove. The observer runs
+/// on the logging thread and must not log (reentrancy is not guarded).
+using LogObserver = void (*)(LogLevel level, const char* line, size_t len);
+void SetLogObserver(LogObserver observer);
+
 namespace internal {
 
 /// True when `level` clears the active threshold (used by AMS_LOG to skip
@@ -40,6 +49,7 @@ class LogMessage {
   std::ostream& stream() { return stream_; }
 
  private:
+  const LogLevel level_;
   std::ostringstream stream_;
 };
 

@@ -1,0 +1,244 @@
+// Fuzz / property tests for the admin plane's HTTP request parser — the
+// introspection stack's untrusted-input surface (obs/admin.h), mirroring
+// the AMSNET1 frame fuzzer in framing_fuzz_test.cc.
+//
+// Deterministic (fixed-seed) mutation fuzzing against a real loopback
+// AdminServer: every input below must come back as a clean HTTP error (or
+// a legitimate 200 when the mutation happens to leave a valid request) —
+// never a crash, hang, or sanitizer report. Regimes:
+//   * pure random bytes,
+//   * truncations of a valid request at every length,
+//   * every single-byte overwrite of a valid `GET /metrics HTTP/1.0` at
+//     every position with every byte value,
+//   * oversized header blocks (past kMaxRequestBytes),
+//   * rng-driven splice/flip/truncate/duplicate mutations.
+// The client half-closes after sending, so a request the server is still
+// waiting on terminates in EOF (-> 400) instead of a read timeout.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "obs/admin.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace ams::obs {
+namespace {
+
+/// Process-wide fuzz target: one server, thousands of one-shot connections.
+int AdminPort() {
+  static AdminServer* server = [] {
+    MetricsRegistry::Get().GetCounter("admin_fuzz/seed").Add(1);
+    AdminServerOptions options;
+    options.port = 0;
+    auto* s = new AdminServer(options);
+    const Status status = s->Start();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return s;
+  }();
+  return server->port();
+}
+
+/// Sends `raw` (may contain NULs), half-closes, drains the response.
+/// Returns the raw response bytes; empty = closed without answering.
+std::string Exchange(const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(AdminPort()));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n =
+        ::send(fd, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      break;  // server may hang up mid-send (oversized request) — keep going
+    }
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      response.append(buf, static_cast<size_t>(n));
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      break;
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+/// The property every fuzzed request must satisfy: if the server answered
+/// at all, the answer is a well-formed HTTP/1.0 response with one of the
+/// status codes the parser can legitimately produce.
+void ExpectCleanHttpAnswer(const std::string& request) {
+  const std::string response = Exchange(request);
+  ASSERT_FALSE(response.empty())
+      << "no response (hang until timeout?) for request of "
+      << request.size() << " bytes";
+  ASSERT_EQ(response.rfind("HTTP/1.0 ", 0), 0u)
+      << "malformed status line: " << response.substr(0, 40);
+  const int code = std::atoi(response.c_str() + std::strlen("HTTP/1.0 "));
+  EXPECT_TRUE(code == 200 || code == 400 || code == 404 || code == 405 ||
+              code == 431 || code == 503)
+      << "unexpected status " << code;
+}
+
+constexpr char kValidRequest[] = "GET /metrics HTTP/1.0\r\n\r\n";
+
+TEST(AdminFuzz, ValidRequestIsAccepted) {
+  const std::string response = Exchange(kValidRequest);
+  ASSERT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u)
+      << response.substr(0, 40);
+}
+
+TEST(AdminFuzz, RandomBytesNeverCrashTheParser) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string request(rng.UniformInt(192), '\0');
+    for (char& b : request) b = static_cast<char>(rng.UniformInt(256));
+    // Pure noise essentially never spells a resolvable GET; whatever the
+    // parse outcome, the answer is clean HTTP.
+    ExpectCleanHttpAnswer(request);
+  }
+}
+
+TEST(AdminFuzz, TruncationAtEveryLengthIsACleanAnswer) {
+  const std::string request = kValidRequest;
+  for (size_t len = 1; len < request.size(); ++len) {
+    // EOF before the blank line -> 400 (half-close makes the EOF prompt).
+    const std::string response = Exchange(request.substr(0, len));
+    ASSERT_FALSE(response.empty()) << "truncation to " << len;
+    EXPECT_EQ(response.rfind("HTTP/1.0 4", 0), 0u)
+        << "truncation to " << len << " got " << response.substr(0, 16);
+  }
+}
+
+TEST(AdminFuzz, EverySingleByteOverwriteIsCleanlyAnswered) {
+  const std::string request = kValidRequest;
+  for (size_t pos = 0; pos < request.size(); ++pos) {
+    for (int value = 0; value < 256; value += 5) {  // every 5th byte value
+      std::string mutated = request;
+      if (mutated[pos] == static_cast<char>(value)) continue;
+      mutated[pos] = static_cast<char>(value);
+      // A mutation may still be a valid request (e.g. HTTP/1.1, another
+      // path) -> 200/404; anything else must be a clean 4xx.
+      ExpectCleanHttpAnswer(mutated);
+    }
+  }
+}
+
+TEST(AdminFuzz, EveryBitFlipIsCleanlyAnswered) {
+  const std::string request = kValidRequest;
+  for (size_t pos = 0; pos < request.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = request;
+      flipped[pos] ^= static_cast<char>(1u << bit);
+      ExpectCleanHttpAnswer(flipped);
+    }
+  }
+}
+
+TEST(AdminFuzz, OversizedHeaderBlockIs431NotUnboundedBuffering) {
+  std::string request = "GET /metrics HTTP/1.0\r\nX-Filler: ";
+  request += std::string(AdminServer::kMaxRequestBytes * 2, 'a');
+  request += "\r\n\r\n";
+  const std::string response = Exchange(request);
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(response.rfind("HTTP/1.0 431", 0), 0u) << response.substr(0, 16);
+}
+
+TEST(AdminFuzz, OversizedRequestLineIs431) {
+  // No header terminator at all, just an endless request line.
+  std::string request = "GET /";
+  request += std::string(AdminServer::kMaxRequestBytes * 2, 'x');
+  const std::string response = Exchange(request);
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(response.rfind("HTTP/1.0 431", 0), 0u) << response.substr(0, 16);
+}
+
+TEST(AdminFuzz, RngMutationsSpliceTruncateDuplicate) {
+  Rng rng(1234);
+  const std::string request = kValidRequest;
+  for (int trial = 0; trial < 600; ++trial) {
+    std::string bytes = request;
+    switch (rng.UniformInt(4)) {
+      case 0: {  // flip 1-8 random bits
+        const int flips = 1 + static_cast<int>(rng.UniformInt(8));
+        for (int i = 0; i < flips && !bytes.empty(); ++i) {
+          const size_t pos = rng.UniformInt(bytes.size());
+          bytes[pos] ^= static_cast<char>(1u << rng.UniformInt(8));
+        }
+        break;
+      }
+      case 1: {  // overwrite a random run with random bytes
+        const size_t pos = rng.UniformInt(bytes.size());
+        const size_t len =
+            std::min(bytes.size() - pos, rng.UniformInt(16) + size_t{1});
+        for (size_t i = 0; i < len; ++i) {
+          bytes[pos + i] = static_cast<char>(rng.UniformInt(256));
+        }
+        break;
+      }
+      case 2:  // truncate to a random prefix (keep >= 1 byte: empty sends
+               // nothing for the server to answer before our half-close)
+        bytes.resize(1 + rng.UniformInt(bytes.size()));
+        break;
+      default: {  // duplicate a random slice into the middle
+        const size_t pos = rng.UniformInt(bytes.size());
+        const size_t len =
+            std::min(bytes.size() - pos, rng.UniformInt(8) + size_t{1});
+        bytes.insert(pos, bytes.substr(pos, len));
+        break;
+      }
+    }
+    ExpectCleanHttpAnswer(bytes);
+  }
+}
+
+TEST(AdminFuzz, EmptySendIsAnsweredWith400) {
+  // Connect, send nothing, half-close: EOF before any bytes -> 400.
+  const std::string response = Exchange("");
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(response.rfind("HTTP/1.0 400", 0), 0u) << response.substr(0, 16);
+}
+
+TEST(AdminFuzz, NulBytesInsideTheRequestLineAreHandled) {
+  std::string request = kValidRequest;
+  request[5] = '\0';  // inside the path
+  ExpectCleanHttpAnswer(request);
+}
+
+TEST(AdminFuzz, ServerStillHealthyAfterTheBarrage) {
+  // After every regime above, a well-formed scrape still works — no fd
+  // leak, no wedged handler pool.
+  const std::string response = Exchange(kValidRequest);
+  ASSERT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u)
+      << response.substr(0, 40);
+  EXPECT_NE(response.find("admin_fuzz_seed 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ams::obs

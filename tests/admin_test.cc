@@ -1,0 +1,534 @@
+// Tests for the live introspection plane (obs/admin.h) and the crash-time
+// flight recorder (obs/flight.h): endpoint routing and payloads against a
+// real loopback socket, the /healthz SLO flip, torn-scrape fault injection
+// through the write hook, wait-free flight recording, and the
+// async-signal-safe crash dump (a gtest death test that SIGABRTs a child
+// and parses the dump it left behind).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/admin.h"
+#include "obs/flight.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+
+namespace ams::obs {
+namespace {
+
+/// One blocking HTTP GET against 127.0.0.1:port; returns the raw response
+/// (empty on transport failure). `raw_request` overrides the request bytes
+/// for malformed-input tests.
+std::string HttpRequest(int port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < raw_request.size()) {
+    const ssize_t n = ::send(fd, raw_request.data() + sent,
+                             raw_request.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      break;
+    }
+  }
+  // Half-close so a server waiting for more request bytes sees EOF instead
+  // of stalling until its read timeout.
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      response.append(buf, static_cast<size_t>(n));
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      break;
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& path) {
+  return HttpRequest(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+int HttpCode(const std::string& response) {
+  // "HTTP/1.0 NNN ..."
+  const size_t space = response.find(' ');
+  if (space == std::string::npos || space + 4 > response.size()) return -1;
+  return std::atoi(response.substr(space + 1, 3).c_str());
+}
+
+std::string HttpBody(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+/// RAII admin server on a kernel-assigned port.
+class AdminFixture {
+ public:
+  AdminFixture() {
+    AdminServerOptions options;
+    options.port = 0;
+    server_ = std::make_unique<AdminServer>(options);
+    const Status status = server_->Start();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+  ~AdminFixture() { server_->Stop(); }
+  int port() const { return server_->port(); }
+  AdminServer* server() { return server_.get(); }
+
+ private:
+  std::unique_ptr<AdminServer> server_;
+};
+
+// --- flight recorder (before anything Enables it: /flightz 404 first) ------
+
+TEST(AdminServerTest, FlightzIs404WhileRecorderDisabled) {
+  ASSERT_FALSE(FlightRecorder::Get().enabled())
+      << "this test must run before anything enables the flight recorder";
+  AdminFixture admin;
+  const std::string response = HttpGet(admin.port(), "/flightz");
+  EXPECT_EQ(HttpCode(response), 404);
+  EXPECT_NE(HttpBody(response).find("AMS_FLIGHT_RECORDER"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RecordsEventsAndSnapshotsInOrder) {
+  FlightRecorder& recorder = FlightRecorder::Get();
+  recorder.Enable(64);
+  const uint64_t before = recorder.total_recorded();
+  recorder.Record(FlightEventKind::kMark, "first", 11, 22);
+  recorder.Record(FlightEventKind::kMark, "second", 33, 44);
+  const std::vector<FlightRecorder::Event> events = recorder.SnapshotEvents();
+  ASSERT_GE(events.size(), 2u);
+  const FlightRecorder::Event& a = events[events.size() - 2];
+  const FlightRecorder::Event& b = events[events.size() - 1];
+  EXPECT_EQ(a.text, "first");
+  EXPECT_EQ(a.a, 11u);
+  EXPECT_EQ(a.b, 22u);
+  EXPECT_EQ(b.text, "second");
+  EXPECT_EQ(b.seq, a.seq + 1);
+  EXPECT_GE(b.ts_us, a.ts_us);
+  EXPECT_EQ(recorder.total_recorded(), before + 2);
+}
+
+TEST(FlightRecorderTest, ControlBytesAndOverlongTextAreSanitized) {
+  FlightRecorder& recorder = FlightRecorder::Get();
+  recorder.Enable(64);
+  std::string hostile = "evil\nmulti\rline\x01";
+  hostile += std::string(500, 'x');  // far past kTextBytes
+  recorder.Record(FlightEventKind::kLog, hostile.c_str());
+  const std::vector<FlightRecorder::Event> events = recorder.SnapshotEvents();
+  ASSERT_FALSE(events.empty());
+  const std::string& text = events.back().text;
+  EXPECT_LT(text.size(), FlightRecorder::kTextBytes);
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  EXPECT_EQ(text.find('\r'), std::string::npos);
+  EXPECT_EQ(text.find('\x01'), std::string::npos);
+  EXPECT_EQ(text.substr(0, 16), "evil_multi_line_");
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAndDumpSkipsNothingValid) {
+  FlightRecorder& recorder = FlightRecorder::Get();
+  recorder.Enable(64);  // capacity was fixed by the first Enable in this run
+  const size_t capacity = recorder.capacity();
+  for (size_t i = 0; i < capacity + 10; ++i) {
+    recorder.Record(FlightEventKind::kMark, "spin", i);
+  }
+  const std::vector<FlightRecorder::Event> events = recorder.SnapshotEvents();
+  EXPECT_EQ(events.size(), capacity);
+  // Strictly consecutive seq numbers: the dump window is the newest
+  // `capacity` records with no torn slots at rest.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST(FlightRecorderTest, DumpToFdIsParseable) {
+  FlightRecorder& recorder = FlightRecorder::Get();
+  recorder.Enable(64);
+  recorder.Record(FlightEventKind::kServeOutcome, "ok", 7, 1234);
+  const std::string path = ::testing::TempDir() + "/flight_dump_test.txt";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  recorder.DumpToFd(::fileno(file), "test");
+  std::fclose(file);
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header.rfind("ams-flight-recorder-v1 reason=test ", 0), 0u);
+  bool saw_outcome = false;
+  for (std::string line; std::getline(in, line);) {
+    ASSERT_EQ(line.rfind("E ", 0), 0u) << line;
+    if (line.find(" serve_outcome 7 1234 ok") != std::string::npos) {
+      saw_outcome = true;
+    }
+  }
+  EXPECT_TRUE(saw_outcome);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordersNeverTearTheDump) {
+  FlightRecorder& recorder = FlightRecorder::Get();
+  recorder.Enable(64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, &stop, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        recorder.Record(FlightEventKind::kMark, "race", t, ++i);
+      }
+    });
+  }
+  // Snapshot while writers hammer the ring: slots mid-rewrite are skipped,
+  // so every returned event is complete — nonzero seq, and "race" events
+  // carry exactly the payload some writer stored.
+  for (int round = 0; round < 50; ++round) {
+    for (const FlightRecorder::Event& event : recorder.SnapshotEvents()) {
+      ASSERT_GT(event.seq, 0u);
+      if (event.text == "race") {
+        EXPECT_LT(event.a, 4u);  // the writer's thread index
+        EXPECT_GT(event.b, 0u);
+      }
+    }
+    std::this_thread::yield();  // single-core hosts: let the writers run
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& writer : writers) writer.join();
+  // With the writers quiesced the ring must be full of their events.
+  bool saw_any = false;
+  for (const FlightRecorder::Event& event : recorder.SnapshotEvents()) {
+    if (event.text == "race") {
+      saw_any = true;
+      EXPECT_LT(event.a, 4u);
+      EXPECT_GT(event.b, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_any);
+}
+
+TEST(FlightRecorderDeathTest, CrashDumpSurvivesSigabrt) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path = ::testing::TempDir() + "/flight_crash_test.txt";
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        FlightRecorder& recorder = FlightRecorder::Get();
+        ASSERT_TRUE(recorder.InstallCrashDump(path, 64).ok());
+        recorder.Record(FlightEventKind::kServeOutcome, "deadline", 42, 500);
+        std::abort();
+      },
+      "");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash dump file missing: " << path;
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header.rfind("ams-flight-recorder-v1 reason=signal:SIGABRT", 0),
+            0u)
+      << header;
+  bool saw_outcome = false;
+  for (std::string line; std::getline(in, line);) {
+    if (line.find(" serve_outcome 42 500 deadline") != std::string::npos) {
+      saw_outcome = true;
+    }
+  }
+  EXPECT_TRUE(saw_outcome);
+  std::remove(path.c_str());
+}
+
+// --- admin endpoints --------------------------------------------------------
+
+TEST(AdminServerTest, IndexListsEveryEndpoint) {
+  AdminFixture admin;
+  const std::string response = HttpGet(admin.port(), "/");
+  EXPECT_EQ(HttpCode(response), 200);
+  const std::string body = HttpBody(response);
+  for (const char* endpoint : {"/metrics", "/metrics.json", "/healthz",
+                               "/tracez", "/profilez", "/varz", "/flightz"}) {
+    EXPECT_NE(body.find(endpoint), std::string::npos) << endpoint;
+  }
+}
+
+TEST(AdminServerTest, MetricsServesPrometheusTextWithLabels) {
+  MetricsRegistry::Get().GetCounter("admin_test/scrapes").Add(5);
+  MetricsRegistry::Get()
+      .GetCounter("admin_test/labeled", {{"outcome", "o\"k"}})
+      .Add(3);
+  AdminFixture admin;
+  const std::string response = HttpGet(admin.port(), "/metrics");
+  ASSERT_EQ(HttpCode(response), 200);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const std::string body = HttpBody(response);
+  EXPECT_NE(body.find("# TYPE admin_test_scrapes counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("admin_test_scrapes 5"), std::string::npos);
+  EXPECT_NE(body.find("admin_test_labeled{outcome=\"o\\\"k\"} 3"),
+            std::string::npos);
+  // Content-Length matches the body exactly (scrapers rely on it).
+  const size_t cl_pos = response.find("Content-Length: ");
+  ASSERT_NE(cl_pos, std::string::npos);
+  EXPECT_EQ(static_cast<size_t>(std::atoi(
+                response.c_str() + cl_pos + std::strlen("Content-Length: "))),
+            body.size());
+}
+
+TEST(AdminServerTest, MetricsJsonServesTheJsonReport) {
+  MetricsRegistry::Get().GetCounter("admin_test/json_scrapes").Add(2);
+  AdminFixture admin;
+  const std::string response = HttpGet(admin.port(), "/metrics.json");
+  ASSERT_EQ(HttpCode(response), 200);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  const std::string body = HttpBody(response);
+  EXPECT_NE(body.find("\"counters\""), std::string::npos);
+  EXPECT_NE(body.find("\"admin_test/json_scrapes\":2"), std::string::npos);
+}
+
+TEST(AdminServerTest, HealthzFlipsTo503AndBackWithTheGauge) {
+  Gauge& gauge = MetricsRegistry::Get().GetGauge("admin_test/health_gauge");
+  gauge.Set(0.0);
+  ASSERT_TRUE(
+      HealthMonitor::ConfigureGlobal("admin_test/health_gauge:<5").ok());
+  AdminFixture admin;
+
+  EXPECT_EQ(HttpCode(HttpGet(admin.port(), "/healthz")), 200);
+
+  gauge.Set(10.0);
+  const std::string degraded = HttpGet(admin.port(), "/healthz");
+  EXPECT_EQ(HttpCode(degraded), 503);
+  EXPECT_NE(HttpBody(degraded).find("admin_test/health_gauge:<5"),
+            std::string::npos);
+
+  gauge.Set(1.0);
+  EXPECT_EQ(HttpCode(HttpGet(admin.port(), "/healthz")), 200);
+
+  ASSERT_TRUE(HealthMonitor::ConfigureGlobal("").ok());
+}
+
+TEST(AdminServerTest, HealthzWithoutSloIsOk) {
+  ASSERT_TRUE(HealthMonitor::ConfigureGlobal("").ok());
+  AdminFixture admin;
+  const std::string response = HttpGet(admin.port(), "/healthz");
+  EXPECT_EQ(HttpCode(response), 200);
+  EXPECT_NE(HttpBody(response).find("no AMS_SLO"), std::string::npos);
+}
+
+TEST(AdminServerTest, TracezServesRecentSpansWithIds) {
+  AdminFixture admin;  // Start() enables the trace ring
+  {
+    AMS_TRACE_SPAN("admin_test/outer");
+    AMS_TRACE_SPAN("admin_test/inner");
+  }
+  const std::string response = HttpGet(admin.port(), "/tracez?n=50");
+  ASSERT_EQ(HttpCode(response), 200);
+  const std::string body = HttpBody(response);
+  EXPECT_NE(body.find("\"admin_test/inner\""), std::string::npos);
+  EXPECT_NE(body.find("\"trace_id\":"), std::string::npos);
+  EXPECT_NE(body.find("\"parent_id\":"), std::string::npos);
+}
+
+TEST(AdminServerTest, VarzReportsConfigAndFingerprint) {
+  AdminFixture admin;
+  const std::string response = HttpGet(admin.port(), "/varz");
+  ASSERT_EQ(HttpCode(response), 200);
+  const std::string body = HttpBody(response);
+  EXPECT_NE(body.find("\"config_fingerprint\":"), std::string::npos);
+  EXPECT_NE(body.find("\"AMS_SLO\":"), std::string::npos);
+  EXPECT_NE(body.find("\"components\":"), std::string::npos);
+}
+
+TEST(AdminServerTest, ProfilezReturnsFoldedStacks) {
+  AdminFixture admin;
+  // Keep a span open in another thread so the profile has a frame to see.
+  std::atomic<bool> stop{false};
+  std::thread busy([&stop] {
+    AMS_TRACE_SPAN("admin_test/busy_loop");
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const std::string response = HttpGet(admin.port(), "/profilez?seconds=1");
+  stop.store(true, std::memory_order_relaxed);
+  busy.join();
+  ASSERT_EQ(HttpCode(response), 200);
+  // Folded output: "frame[;frame...] count" lines (or "(idle) N").
+  EXPECT_NE(HttpBody(response).find("admin_test/busy_loop"),
+            std::string::npos);
+}
+
+TEST(AdminServerTest, FlightzServesTheLiveRingOnceEnabled) {
+  FlightRecorder::Get().Enable(64);
+  FlightRecorder::Get().Record(FlightEventKind::kMark, "flightz_probe");
+  AdminFixture admin;
+  const std::string response = HttpGet(admin.port(), "/flightz");
+  ASSERT_EQ(HttpCode(response), 200);
+  const std::string body = HttpBody(response);
+  EXPECT_EQ(body.rfind("ams-flight-recorder-v1 reason=live", 0), 0u);
+  EXPECT_NE(body.find("flightz_probe"), std::string::npos);
+}
+
+// --- protocol strictness ----------------------------------------------------
+
+TEST(AdminServerTest, UnknownPathIs404) {
+  AdminFixture admin;
+  EXPECT_EQ(HttpCode(HttpGet(admin.port(), "/nope")), 404);
+}
+
+TEST(AdminServerTest, NonGetMethodIs405) {
+  AdminFixture admin;
+  const std::string response =
+      HttpRequest(admin.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(HttpCode(response), 405);
+}
+
+TEST(AdminServerTest, MalformedRequestLineIs400) {
+  AdminFixture admin;
+  EXPECT_EQ(HttpCode(HttpRequest(admin.port(), "GARBAGE\r\n\r\n")), 400);
+  EXPECT_EQ(HttpCode(HttpRequest(admin.port(), "GET /metrics\r\n\r\n")), 400);
+  EXPECT_EQ(
+      HttpCode(HttpRequest(admin.port(), "GET metrics HTTP/1.0\r\n\r\n")),
+      400);
+}
+
+TEST(AdminServerTest, TruncatedRequestIs400) {
+  AdminFixture admin;
+  // EOF before the blank line (HttpRequest half-closes after sending).
+  EXPECT_EQ(HttpCode(HttpRequest(admin.port(), "GET /metrics HTT")), 400);
+}
+
+TEST(AdminServerTest, OversizedHeaderBlockIs431) {
+  AdminFixture admin;
+  std::string request = "GET /metrics HTTP/1.0\r\nX-Filler: ";
+  request += std::string(AdminServer::kMaxRequestBytes, 'a');
+  request += "\r\n\r\n";
+  EXPECT_EQ(HttpCode(HttpRequest(admin.port(), request)), 431);
+}
+
+TEST(AdminServerTest, ScrapeCountersTrackRequestsAndErrors) {
+  Counter& requests =
+      MetricsRegistry::Get().GetCounter("obs/admin_requests");
+  Counter& errors =
+      MetricsRegistry::Get().GetCounter("obs/admin_http_errors");
+  AdminFixture admin;
+  const uint64_t requests_before = requests.value();
+  const uint64_t errors_before = errors.value();
+  EXPECT_EQ(HttpCode(HttpGet(admin.port(), "/")), 200);
+  EXPECT_EQ(HttpCode(HttpGet(admin.port(), "/nope")), 404);
+  EXPECT_EQ(requests.value(), requests_before + 2);
+  EXPECT_EQ(errors.value(), errors_before + 1);
+}
+
+// --- torn-scrape fault hook -------------------------------------------------
+
+std::atomic<int> g_torn_budget{0};
+bool TornBudgetHook() {
+  return g_torn_budget.fetch_sub(1, std::memory_order_relaxed) > 0;
+}
+
+TEST(AdminServerTest, WriteFaultHookTearsExactlyTheArmedScrapes) {
+  MetricsRegistry::Get().GetCounter("admin_test/torn_probe").Add(1);
+  AdminFixture admin;
+  AdminServer::SetWriteFaultHook(&TornBudgetHook);
+  g_torn_budget.store(1, std::memory_order_relaxed);
+
+  // First scrape: torn — some prefix of the response, never the whole.
+  const std::string full = HttpGet(admin.port(), "/metrics");
+  AdminServer::SetWriteFaultHook(nullptr);
+  const std::string intact = HttpGet(admin.port(), "/metrics");
+  ASSERT_EQ(HttpCode(intact), 200);
+  EXPECT_LT(full.size(), intact.size());
+
+  // The torn scrape is visible in telemetry.
+  EXPECT_GE(
+      MetricsRegistry::Get().GetCounter("obs/admin_torn_scrapes").value(),
+      1u);
+}
+
+// --- options ----------------------------------------------------------------
+
+TEST(AdminServerOptionsTest, DisabledWithoutEnv) {
+  ::unsetenv("AMS_ADMIN_PORT");
+  const AdminServerOptions options = AdminServerOptions::FromEnv();
+  EXPECT_FALSE(options.enabled());
+  EXPECT_EQ(options.port, -1);
+}
+
+TEST(AdminServerOptionsTest, EnvOverridesParseThroughEnvUtil) {
+  ::setenv("AMS_ADMIN_PORT", "0", 1);
+  ::setenv("AMS_ADMIN_MAX_INFLIGHT", "3", 1);
+  ::setenv("AMS_ADMIN_TIMEOUT_MS", "1500", 1);
+  const AdminServerOptions options = AdminServerOptions::FromEnv();
+  EXPECT_TRUE(options.enabled());
+  EXPECT_EQ(options.port, 0);
+  EXPECT_EQ(options.max_inflight, 3);
+  EXPECT_EQ(options.timeout_ms, 1500);
+  ::unsetenv("AMS_ADMIN_PORT");
+  ::unsetenv("AMS_ADMIN_MAX_INFLIGHT");
+  ::unsetenv("AMS_ADMIN_TIMEOUT_MS");
+}
+
+TEST(AdminServerTest, StopIsIdempotentAndPortResets) {
+  AdminServerOptions options;
+  options.port = 0;
+  AdminServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+  EXPECT_EQ(server.port(), 0);
+  server.Stop();  // idempotent
+}
+
+TEST(AdminServerTest, ConcurrentScrapesAllSucceed) {
+  MetricsRegistry::Get().GetCounter("admin_test/concurrent").Add(1);
+  AdminFixture admin;
+  std::vector<std::thread> scrapers;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 8; ++i) {
+    scrapers.emplace_back([&admin, &ok] {
+      for (int j = 0; j < 5; ++j) {
+        const std::string response = HttpGet(admin.port(), "/metrics");
+        // Under max_inflight pressure a scrape may be answered 503; both
+        // are clean HTTP, never a hang or a torn response.
+        const int code = HttpCode(response);
+        if (code == 200) ok.fetch_add(1, std::memory_order_relaxed);
+        EXPECT_TRUE(code == 200 || code == 503) << code;
+      }
+    });
+  }
+  for (auto& scraper : scrapers) scraper.join();
+  EXPECT_GT(ok.load(), 0);
+}
+
+}  // namespace
+}  // namespace ams::obs

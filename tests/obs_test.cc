@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include "obs/metrics.h"
 #include "obs/periodic.h"
 #include "obs/profiler.h"
+#include "obs/prometheus.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -791,6 +793,134 @@ TEST(ReportTest, HostileInstrumentNamesRoundTrip) {
   const std::string labeled = "hostile/labeled{k=\"va\"l\\ue\"}";
   ASSERT_NE(counters->Find(labeled), nullptr);
   EXPECT_DOUBLE_EQ(counters->Find(labeled)->number, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition (src/obs/prometheus): the admin plane's /metrics
+// body. Same hostile corpus as the JSON tests above — names and label
+// values full of quotes, backslashes, newlines, and control bytes must
+// never break the one-series-per-line framing a scraper depends on.
+
+TEST(PrometheusTest, NameSanitizationSqueezesToExpositionCharset) {
+  EXPECT_EQ(PrometheusName("serve/latency_ms"), "serve_latency_ms");
+  EXPECT_EQ(PrometheusName("evil\"name\\with\nnewline\x01!"),
+            "evil_name_with_newline__");
+  EXPECT_EQ(PrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusName("ok:colon"), "ok:colon");
+  EXPECT_EQ(PrometheusName(""), "_");
+}
+
+TEST(PrometheusTest, LabelValueEscapesTheThreeSpecials) {
+  EXPECT_EQ(PrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(PrometheusLabelValue("va\"l\\ue"), "va\\\"l\\\\ue");
+  EXPECT_EQ(PrometheusLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(PrometheusTest, HostileNamesAndLabelValuesKeepLineFraming) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetCounter("prom_hostile/evil\"name\\with\nnewline\x01!").Add(9);
+  registry.GetCounter("prom_hostile/labeled", {{"k", "va\"l\\ue"}}).Add(2);
+  registry.GetCounter("prom_hostile/labeled", {{"k", "a\nb"}}).Add(3);
+
+  std::ostringstream out;
+  WritePrometheusReport(registry.Snapshot(), out);
+  const std::string body = out.str();
+
+  EXPECT_NE(body.find("prom_hostile_evil_name_with_newline__ 9"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("prom_hostile_labeled{k=\"va\\\"l\\\\ue\"} 2"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("prom_hostile_labeled{k=\"a\\nb\"} 3"),
+            std::string::npos)
+      << body;
+
+  // Framing: no control byte survives into the exposition, and every line
+  // is either a TYPE header or starts in the metric-name charset (a hostile
+  // value that broke out of its quotes would start a line with garbage).
+  EXPECT_EQ(body.find('\x01'), std::string::npos);
+  std::istringstream lines(body);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty()) continue;
+    ASSERT_TRUE(line[0] == '#' || line[0] == '_' || line[0] == ':' ||
+                std::isalpha(static_cast<unsigned char>(line[0])))
+        << "line breaks framing: " << line;
+    // Quotes are balanced once escapes are accounted for.
+    int quotes = 0;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '\\') {
+        ++i;  // skip the escaped byte
+      } else if (line[i] == '"') {
+        ++quotes;
+      }
+    }
+    ASSERT_EQ(quotes % 2, 0) << "unbalanced quotes: " << line;
+  }
+}
+
+TEST(PrometheusTest, LabeledSeriesGroupUnderOneTypeHeader) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetCounter("prom_group/family", {{"op", "read"}}).Add(1);
+  registry.GetCounter("prom_group/family", {{"op", "write"}}).Add(4);
+
+  std::ostringstream out;
+  WritePrometheusReport(registry.Snapshot(), out);
+  const std::string body = out.str();
+
+  // Exactly one TYPE header for the family, both series under it.
+  const std::string header = "# TYPE prom_group_family counter\n";
+  const size_t first = body.find(header);
+  ASSERT_NE(first, std::string::npos) << body;
+  EXPECT_EQ(body.find(header, first + 1), std::string::npos);
+  EXPECT_NE(body.find("prom_group_family{op=\"read\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("prom_group_family{op=\"write\"} 4"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramRendersCumulativeBucketsSumAndCount) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  Histogram& hist = registry.GetHistogram("prom_hist/latency",
+                                          std::vector<double>{1.0, 2.0});
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  hist.Observe(3.0);
+
+  std::ostringstream out;
+  WritePrometheusReport(registry.Snapshot(), out);
+  const std::string body = out.str();
+
+  EXPECT_NE(body.find("# TYPE prom_hist_latency histogram"),
+            std::string::npos);
+  // Cumulative, in bound order, always ending at +Inf.
+  const size_t b1 = body.find("prom_hist_latency_bucket{le=\"1\"} 1");
+  const size_t b2 = body.find("prom_hist_latency_bucket{le=\"2\"} 2");
+  const size_t binf = body.find("prom_hist_latency_bucket{le=\"+Inf\"} 3");
+  ASSERT_NE(b1, std::string::npos) << body;
+  ASSERT_NE(b2, std::string::npos) << body;
+  ASSERT_NE(binf, std::string::npos) << body;
+  EXPECT_LT(b1, b2);
+  EXPECT_LT(b2, binf);
+  EXPECT_NE(body.find("prom_hist_latency_sum 5"), std::string::npos);
+  EXPECT_NE(body.find("prom_hist_latency_count 3"), std::string::npos);
+}
+
+TEST(PrometheusTest, NonFiniteGaugesUseExpositionLiterals) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetGauge("prom_nonfinite/nan")
+      .Set(std::numeric_limits<double>::quiet_NaN());
+  registry.GetGauge("prom_nonfinite/pinf")
+      .Set(std::numeric_limits<double>::infinity());
+  registry.GetGauge("prom_nonfinite/ninf")
+      .Set(-std::numeric_limits<double>::infinity());
+
+  std::ostringstream out;
+  WritePrometheusReport(registry.Snapshot(), out);
+  const std::string body = out.str();
+  EXPECT_NE(body.find("prom_nonfinite_nan NaN"), std::string::npos) << body;
+  EXPECT_NE(body.find("prom_nonfinite_pinf +Inf"), std::string::npos);
+  EXPECT_NE(body.find("prom_nonfinite_ninf -Inf"), std::string::npos);
 }
 
 TEST(TraceTest, HostileSpanNamesRoundTripThroughChromeTrace) {

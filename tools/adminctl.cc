@@ -1,0 +1,106 @@
+// Raw-socket scraper for the admin plane (obs/admin.h): one HTTP/1.0 GET,
+// full response (status line, headers, body) printed to stdout. Exists so
+// check_admin.sh can scrape /metrics and poll /healthz without assuming
+// curl/wget exist on the host — the only dependency is this repo.
+//
+// Usage: adminctl --port=N [--path=/metrics] [--timeout_ms=5000]
+//
+// Exit codes: 0 = HTTP 2xx, 3 = any other well-formed HTTP status
+// (so `adminctl --path=/healthz` distinguishes healthy from degraded in a
+// shell `if`), 1 = transport failure (connect/read), 2 = usage error.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/string_util.h"
+
+using namespace ams;
+
+int main(int argc, char** argv) {
+  const int port = GetFlagInt(argc, argv, "port", 0);
+  const std::string path = GetFlag(argc, argv, "path", "/metrics");
+  const int timeout_ms = GetFlagInt(argc, argv, "timeout_ms", 5000);
+  if (port <= 0) {
+    std::fprintf(stderr, "adminctl: --port is required\n");
+    return 2;
+  }
+  if (path.empty() || path[0] != '/') {
+    std::fprintf(stderr, "adminctl: --path must start with '/'\n");
+    return 2;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "adminctl: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::fprintf(stderr, "adminctl: connect 127.0.0.1:%d: %s\n", port,
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      std::fprintf(stderr, "adminctl: send: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+  }
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      response.append(buf, static_cast<size_t>(n));
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else if (n == 0) {
+      break;  // Connection: close — EOF ends the response
+    } else {
+      std::fprintf(stderr, "adminctl: recv: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+  }
+  ::close(fd);
+
+  if (response.empty()) {
+    std::fprintf(stderr, "adminctl: empty response\n");
+    return 1;
+  }
+  std::fwrite(response.data(), 1, response.size(), stdout);
+
+  // "HTTP/1.0 NNN ..." — a 2xx code is success.
+  const size_t space = response.find(' ');
+  if (space == std::string::npos || space + 3 >= response.size()) return 1;
+  const std::string code = response.substr(space + 1, 3);
+  return code.size() == 3 && code[0] == '2' ? 0 : 3;
+}

@@ -1,0 +1,144 @@
+#!/bin/sh
+# Admin-plane gate: exercise the live introspection endpoints against a real
+# net_server_main process, end to end:
+#   * /metrics serves Prometheus text (serve_requests family present) and
+#     /metrics.json, /varz, /tracez, /flightz all answer 200,
+#   * /healthz flips to 503 under an injected AMS_SLO violation (open-loop
+#     overload holds serve/net_queue_depth above its target) and recovers to
+#     200 once the queue drains,
+#   * a crashed server (SIGABRT) leaves a parseable flight-recorder dump
+#     whose tail contains the last serve-request outcome events.
+#
+# Usage: check_admin.sh BUILD_DIR REPO_DIR
+set -eu
+BUILD_DIR=${1:?usage: check_admin.sh BUILD_DIR REPO_DIR}
+REPO_DIR=${2:?usage: check_admin.sh BUILD_DIR REPO_DIR}
+cd "$BUILD_DIR"
+NET_SERVER="$(pwd)/tools/net_server_main"
+LOADGEN="$(pwd)/tools/loadgen"
+ADMINCTL="$(pwd)/tools/adminctl"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+SRV_OUT="$WORK/server.out"
+FLIGHT="$WORK/flight.txt"
+
+# Small queue + one worker so an open-loop overload reliably keeps the
+# dispatch queue above the SLO target; the queue-depth gauge recovers the
+# moment the overload stops, so /healthz can demonstrate both directions.
+AMS_SERVE_QUEUE=8 AMS_SERVE_WORKERS=1 \
+AMS_ADMIN_PORT=0 \
+AMS_SLO="serve/net_queue_depth:<5" \
+AMS_FLIGHT_RECORDER="$FLIGHT" \
+  "$NET_SERVER" > "$SRV_OUT" 2> "$WORK/server.err" &
+SRV_PID=$!
+
+i=0
+while ! grep -q 'AMSADMIN port=' "$SRV_OUT" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -gt 300 ] && { echo "check_admin: server never became ready" >&2; exit 1; }
+  sleep 0.1
+done
+PORT=$(sed -n 's/^AMSNET listening port=\([0-9]*\).*/\1/p' "$SRV_OUT")
+ADMIN_PORT=$(sed -n 's/^AMSADMIN port=\([0-9]*\).*/\1/p' "$SRV_OUT")
+echo "check_admin: serve port=$PORT admin port=$ADMIN_PORT"
+
+# --- Endpoint smoke: every route answers 200 with the expected shape -------
+"$ADMINCTL" --port="$ADMIN_PORT" --path=/metrics > "$WORK/metrics.txt"
+grep -q '^# TYPE ' "$WORK/metrics.txt" || {
+  echo "check_admin: /metrics has no TYPE headers" >&2; exit 1; }
+"$ADMINCTL" --port="$ADMIN_PORT" --path=/metrics.json > "$WORK/metrics.json.txt"
+grep -q '"counters"' "$WORK/metrics.json.txt" || {
+  echo "check_admin: /metrics.json missing counters object" >&2; exit 1; }
+"$ADMINCTL" --port="$ADMIN_PORT" --path=/varz > "$WORK/varz.txt"
+grep -q '"config_fingerprint"' "$WORK/varz.txt" || {
+  echo "check_admin: /varz missing config_fingerprint" >&2; exit 1; }
+grep -q '"AMS_SLO"' "$WORK/varz.txt" || {
+  echo "check_admin: /varz missing AMS_SLO env row" >&2; exit 1; }
+"$ADMINCTL" --port="$ADMIN_PORT" --path=/tracez > "$WORK/tracez.txt"
+grep -q '"spans"' "$WORK/tracez.txt" || {
+  echo "check_admin: /tracez missing spans array" >&2; exit 1; }
+"$ADMINCTL" --port="$ADMIN_PORT" --path=/flightz > "$WORK/flightz.txt"
+grep -q 'ams-flight-recorder-v1 reason=live' "$WORK/flightz.txt" || {
+  echo "check_admin: /flightz missing dump header" >&2; exit 1; }
+# Unknown paths and non-GET methods are clean 4xx, not hangs or crashes.
+if "$ADMINCTL" --port="$ADMIN_PORT" --path=/nope > /dev/null; then
+  echo "check_admin: /nope unexpectedly succeeded" >&2; exit 1
+fi
+
+# Healthy before load: no target violated.
+"$ADMINCTL" --port="$ADMIN_PORT" --path=/healthz > "$WORK/healthz0.txt" || {
+  echo "check_admin: /healthz not ok on an idle server" >&2
+  cat "$WORK/healthz0.txt" >&2
+  exit 1
+}
+
+# --- Injected SLO violation: /healthz must flip to 503 ---------------------
+BASE=$("$LOADGEN" --port="$PORT" --mode=closed --concurrency=2 --duration_ms=1000)
+BASE_RPS=$(echo "$BASE" | sed -n 's/.*rps=\([0-9.]*\).*/\1/p')
+TARGET_RPS=$(awk "BEGIN { r = int(4 * $BASE_RPS); if (r < 50) r = 50; print r }")
+"$LOADGEN" --port="$PORT" --mode=open --concurrency=16 \
+  --rps="$TARGET_RPS" --duration_ms=8000 > "$WORK/overload.out" &
+LOAD_PID=$!
+
+UNHEALTHY=0
+i=0
+while [ "$i" -lt 70 ]; do
+  i=$((i + 1))
+  if "$ADMINCTL" --port="$ADMIN_PORT" --path=/healthz > "$WORK/healthz1.txt"
+  then
+    sleep 0.1
+  else
+    UNHEALTHY=1
+    break
+  fi
+done
+wait "$LOAD_PID" || { echo "check_admin: overload loadgen failed" >&2; exit 1; }
+[ "$UNHEALTHY" -eq 1 ] || {
+  echo "check_admin: /healthz never reported the injected SLO violation" >&2
+  cat "$WORK/healthz1.txt" >&2
+  exit 1
+}
+grep -q 'serve/net_queue_depth' "$WORK/healthz1.txt" || {
+  echo "check_admin: unhealthy /healthz body lacks the violated target" >&2
+  cat "$WORK/healthz1.txt" >&2
+  exit 1
+}
+
+# --- Recovery: queue drains after the overload stops -> 200 again ----------
+RECOVERED=0
+i=0
+while [ "$i" -lt 50 ]; do
+  i=$((i + 1))
+  if "$ADMINCTL" --port="$ADMIN_PORT" --path=/healthz > "$WORK/healthz2.txt"
+  then
+    RECOVERED=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$RECOVERED" -eq 1 ] || {
+  echo "check_admin: /healthz never recovered after the overload" >&2
+  cat "$WORK/healthz2.txt" >&2
+  exit 1
+}
+
+# --- Crash-time flight recorder --------------------------------------------
+kill -ABRT "$SRV_PID"
+wait "$SRV_PID" && {
+  echo "check_admin: server exited 0 despite SIGABRT" >&2; exit 1; } || true
+[ -s "$FLIGHT" ] || { echo "check_admin: no flight dump at $FLIGHT" >&2; exit 1; }
+head -1 "$FLIGHT" | grep -q '^ams-flight-recorder-v1 reason=signal:SIGABRT' || {
+  echo "check_admin: flight dump header wrong:" >&2
+  head -1 "$FLIGHT" >&2
+  exit 1
+}
+grep -q ' serve_outcome ' "$FLIGHT" || {
+  echo "check_admin: flight dump has no serve_outcome events" >&2; exit 1; }
+# Every event line is parseable: "E <seq> <ts> <tid> <kind> <a> <b> ...".
+awk '/^E / { if (NF < 7 || $2 !~ /^[0-9]+$/ || $3 !~ /^[0-9]+$/ ||
+                 $4 !~ /^[0-9]+$/ || $6 !~ /^[0-9]+$/ || $7 !~ /^[0-9]+$/)
+               { bad = 1 } }
+     END { exit bad }' "$FLIGHT" || {
+  echo "check_admin: malformed flight dump event line" >&2; exit 1; }
+echo "check_admin: OK"

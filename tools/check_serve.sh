@@ -8,6 +8,10 @@
 #   * every shed/deadline response was a clean status (error = transport = 0),
 #   * the p99 of admitted requests stayed within 3x the uncontended baseline
 #     (floor 20 ms absorbs timer noise on loaded CI hosts),
+#   * the admin plane stays scrapeable mid-overload (/metrics and /healthz
+#     answer 200 while the server sheds), and its final
+#     serve_requests{outcome=...} counters exactly match the client-side
+#     outcome counts loadgen observed (internally consistent snapshots),
 #   * the telemetry JSONL carries the SLO "health" field,
 #   * SIGTERM drains and exits 0.
 # Finally verify the recorded serving + network benchmark baselines still
@@ -23,6 +27,7 @@ cd "$BUILD_DIR"
 BENCH_DIFF="$(pwd)/tools/bench_diff"
 NET_SERVER="$(pwd)/tools/net_server_main"
 LOADGEN="$(pwd)/tools/loadgen"
+ADMINCTL="$(pwd)/tools/adminctl"
 ctest -L serve --output-on-failure
 
 "$BENCH_DIFF" --check "$REPO_DIR/BENCH_serve.json"
@@ -34,32 +39,68 @@ trap 'rm -rf "$WORK"' EXIT
 SRV_OUT="$WORK/server.out"
 
 AMS_SERVE_QUEUE=4 AMS_SERVE_WORKERS=2 \
+AMS_ADMIN_PORT=0 \
 AMS_TELEMETRY_INTERVAL_MS=200 AMS_TELEMETRY_FILE="$WORK/telemetry.jsonl" \
 AMS_SLO="serve/shed_rate:<0.95" \
   "$NET_SERVER" > "$SRV_OUT" 2> "$WORK/server.err" &
 SRV_PID=$!
 
 i=0
-while ! grep -q 'AMSNET listening' "$SRV_OUT" 2>/dev/null; do
+while ! grep -q 'AMSADMIN port=' "$SRV_OUT" 2>/dev/null; do
   i=$((i + 1))
   [ "$i" -gt 300 ] && { echo "check_serve: server never became ready" >&2; exit 1; }
   sleep 0.1
 done
-PORT=$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$SRV_OUT")
+PORT=$(sed -n 's/^AMSNET listening port=\([0-9]*\).*/\1/p' "$SRV_OUT")
+ADMIN_PORT=$(sed -n 's/^AMSADMIN port=\([0-9]*\).*/\1/p' "$SRV_OUT")
 
 # Uncontended baseline: closed loop, light concurrency.
 BASE=$("$LOADGEN" --port="$PORT" --mode=closed --concurrency=2 \
        --duration_ms=2000 --json="$WORK/loadgen_base.json")
+echo "$BASE" > "$WORK/loadgen_base.txt"
 echo "baseline:  $BASE"
 "$BENCH_DIFF" --check "$WORK/loadgen_base.json"
 BASE_P99=$(echo "$BASE" | sed -n 's/.*p99_ms=\([0-9.]*\).*/\1/p')
 BASE_RPS=$(echo "$BASE" | sed -n 's/.*rps=\([0-9.]*\).*/\1/p')
 
-# Overload: open loop at 2x measured capacity for a smoke window.
+# Overload: open loop at 2x measured capacity for a smoke window. Runs in
+# the background so the admin plane can be scraped mid-overload.
 TARGET_RPS=$(awk "BEGIN { printf \"%d\", 2 * $BASE_RPS }")
-OVER=$("$LOADGEN" --port="$PORT" --mode=open --concurrency=16 \
-       --rps="$TARGET_RPS" --duration_ms=5000)
+"$LOADGEN" --port="$PORT" --mode=open --concurrency=16 \
+  --rps="$TARGET_RPS" --duration_ms=5000 \
+  --json="$WORK/loadgen_over.json" > "$WORK/overload.out" &
+LOAD_PID=$!
+
+# Mid-overload scrapes: both endpoints must answer 200 while the server is
+# actively shedding (the introspection plane must not fall over with the
+# thing it introspects).
+sleep 2
+"$ADMINCTL" --port="$ADMIN_PORT" --path=/metrics > "$WORK/metrics_mid.txt" || {
+  echo "check_serve: /metrics scrape failed mid-overload" >&2; exit 1; }
+grep -q '^serve_requests{' "$WORK/metrics_mid.txt" || {
+  echo "check_serve: mid-overload /metrics lacks serve_requests family" >&2
+  exit 1
+}
+"$ADMINCTL" --port="$ADMIN_PORT" --path=/healthz > "$WORK/healthz_mid.txt" || {
+  echo "check_serve: /healthz not ok mid-overload (shed_rate SLO at 0.95)" >&2
+  cat "$WORK/healthz_mid.txt" >&2
+  exit 1
+}
+
+wait "$LOAD_PID" || { echo "check_serve: overload loadgen failed" >&2; exit 1; }
+OVER=$(cat "$WORK/overload.out")
 echo "overload:  $OVER"
+
+# The --json report must carry the same per-outcome counts as the summary
+# line (the machine-readable face of the same run).
+for OUTCOME in ok shed deadline error; do
+  SUMMARY_N=$(echo "$OVER" | sed -n "s/.* $OUTCOME=\([0-9]*\).*/\1/p")
+  JSON_N=$(sed -n "s/.*\"$OUTCOME\": \([0-9]*\).*/\1/p" "$WORK/loadgen_over.json")
+  [ "${SUMMARY_N:-x}" = "${JSON_N:-y}" ] || {
+    echo "check_serve: loadgen --json outcome $OUTCOME=$JSON_N != summary $SUMMARY_N" >&2
+    exit 1
+  }
+done
 
 SHED=$(echo "$OVER" | sed -n 's/.*shed=\([0-9]*\).*/\1/p')
 ERROR=$(echo "$OVER" | sed -n 's/.*error=\([0-9]*\).*/\1/p')
@@ -73,6 +114,25 @@ awk "BEGIN { bound = 3 * $BASE_P99; if (bound < 20) bound = 20;
   echo "check_serve: overload p99 ${OVER_P99}ms > max(3 x ${BASE_P99}ms, 20ms)" >&2
   exit 1
 }
+
+# Consistency: with both loadgen runs complete (and transport=0 asserted
+# above), every score request got exactly one outcome, so the server's
+# serve_requests{outcome=...} counters must equal the client-side counts
+# summed across the baseline and overload runs — per outcome, exactly.
+"$ADMINCTL" --port="$ADMIN_PORT" --path=/metrics > "$WORK/metrics_final.txt"
+for OUTCOME in ok shed deadline error; do
+  CLIENT=$(awk -v o="$OUTCOME" '
+    { for (i = 1; i <= NF; ++i)
+        if (split($i, kv, "=") == 2 && kv[1] == o) sum += kv[2] }
+    END { print sum + 0 }' "$WORK/loadgen_base.txt" "$WORK/overload.out")
+  SERVER=$(sed -n "s/^serve_requests{outcome=\"$OUTCOME\"} \([0-9]*\)$/\1/p" \
+    "$WORK/metrics_final.txt")
+  SERVER=${SERVER:-0}
+  [ "$CLIENT" -eq "$SERVER" ] || {
+    echo "check_serve: outcome=$OUTCOME mismatch: client=$CLIENT server=$SERVER" >&2
+    exit 1
+  }
+done
 
 # Clean drain on SIGTERM.
 kill -TERM "$SRV_PID"

@@ -23,7 +23,12 @@
 //
 // plus, with --json=path, a Google-benchmark-shaped JSON report
 // (benchmarks[].name / real_time) that tools/bench_diff accepts for
-// --check and baseline diffing (BENCH_net.json).
+// --check and baseline diffing (BENCH_net.json). The JSON additionally
+// carries a top-level "outcomes" object with the client-side per-outcome
+// counts ({sent, ok, shed, deadline, error, transport}) — check_serve.sh
+// cross-checks these against the server's serve/requests{outcome=...}
+// counters scraped from the admin plane. bench_diff ignores unknown
+// top-level keys, so the extra object is invisible to baseline diffing.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -196,6 +201,11 @@ int main(int argc, char** argv) {
     out << "{\n  \"context\": {\n    \"date\": \"" << date
         << "\",\n    \"executable\": \"loadgen\",\n    \"num_cpus\": "
         << std::thread::hardware_concurrency() << "\n  },\n"
+        << "  \"outcomes\": {\"sent\": " << total.sent
+        << ", \"ok\": " << total.ok << ", \"shed\": " << total.shed
+        << ", \"deadline\": " << total.deadline
+        << ", \"error\": " << total.error
+        << ", \"transport\": " << total.transport << "},\n"
         << "  \"benchmarks\": [\n";
     const auto bench = [&](const char* name, double value, bool last) {
       out << "    {\"name\": \"" << name << "\", \"run_type\": \"iteration\""

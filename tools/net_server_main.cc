@@ -15,12 +15,15 @@
 // torn_frame@net_read, slow_peer@net_read, conn_drop@net_write) exercise
 // the recovery paths. Telemetry per AMS_TELEMETRY / AMS_SLO.
 //
-// Prints exactly one readiness line on stdout once serving:
+// Prints one readiness line on stdout once serving:
 //
 //   AMSNET listening port=<N> rows=<R> cols=<C>
 //
 // so harnesses can parse the bound port and request shape, then SIGTERM
-// the process for a clean drain (exit code 0).
+// the process for a clean drain (exit code 0). When AMS_ADMIN_PORT is set
+// a second line follows with the introspection plane's bound port:
+//
+//   AMSADMIN port=<N>
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -101,6 +104,9 @@ int main(int argc, char** argv) {
   inference.model_shape(&rows, &cols);
   std::printf("AMSNET listening port=%d rows=%d cols=%d\n", server.port(),
               rows, cols);
+  if (server.admin_port() != 0) {
+    std::printf("AMSADMIN port=%d\n", server.admin_port());
+  }
   std::fflush(stdout);
 
   while (!g_stop) {
